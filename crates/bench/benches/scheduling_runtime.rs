@@ -1,0 +1,47 @@
+//! Runtime of the complete online algorithm (DLS + heuristic stretching)
+//! vs. reference algorithm 2 (DLS + NLP stretching) — the paper's
+//! "0.6 ms vs. 70 s / ~120 000×" comparison, on the Table-1 graphs and the
+//! MPEG decoder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctg_bench::setup::{prepare_case, prepare_mpeg};
+use ctg_sched::baseline::{reference2, NlpConfig};
+use ctg_sched::OnlineScheduler;
+use std::hint::black_box;
+
+fn bench_online_vs_ref2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve");
+    group.sample_size(10);
+    for (i, (cfg, pes)) in tgff_gen::table1_cases().iter().enumerate().take(2) {
+        let case = prepare_case(cfg, *pes, 1.6);
+        let scheduler = OnlineScheduler::new();
+        group.bench_with_input(BenchmarkId::new("online", i + 1), &case, |b, case| {
+            b.iter(|| {
+                black_box(
+                    scheduler
+                        .solve(&case.ctx, &case.probs)
+                        .expect("online solves"),
+                )
+            })
+        });
+        let nlp = NlpConfig::default();
+        group.bench_with_input(BenchmarkId::new("ref2_nlp", i + 1), &case, |b, case| {
+            b.iter(|| {
+                black_box(reference2(&case.ctx, &case.probs, &nlp).expect("ref2 solves"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mpeg_solve(c: &mut Criterion) {
+    let ctx = prepare_mpeg(2.0);
+    let probs = ctg_model::BranchProbs::uniform(ctx.ctg());
+    let scheduler = OnlineScheduler::new();
+    c.bench_function("solve/online_mpeg_40tasks", |b| {
+        b.iter(|| black_box(scheduler.solve(&ctx, &probs).expect("solves")))
+    });
+}
+
+criterion_group!(benches, bench_online_vs_ref2, bench_mpeg_solve);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Runtime of the stretching stage in isolation: the paper's low-complexity
+//! heuristic (Figure 2) vs. the NLP-style optimizer, on a fixed committed
+//! schedule; plus the adaptive manager's per-instance observation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctg_bench::setup::prepare_mpeg;
+use ctg_model::DecisionVector;
+use ctg_sched::baseline::{nlp_stretch, NlpConfig};
+use ctg_sched::{dls_schedule, stretch_schedule, AdaptiveScheduler, StretchConfig};
+use std::hint::black_box;
+
+fn bench_stretch(c: &mut Criterion) {
+    let ctx = prepare_mpeg(2.0);
+    let probs = ctg_model::BranchProbs::uniform(ctx.ctg());
+    let schedule = dls_schedule(&ctx, &probs).expect("schedulable");
+
+    c.bench_function("stretch/heuristic_mpeg", |b| {
+        b.iter(|| {
+            black_box(
+                stretch_schedule(&ctx, &probs, &schedule, &StretchConfig::default())
+                    .expect("stretches"),
+            )
+        })
+    });
+
+    let mut group = c.benchmark_group("stretch_nlp");
+    group.sample_size(10);
+    group.bench_function("nlp_mpeg", |b| {
+        b.iter(|| {
+            black_box(
+                nlp_stretch(&ctx, &probs, &schedule, &NlpConfig::default())
+                    .expect("optimizes"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let ctx = prepare_mpeg(2.0);
+    let probs = ctg_model::BranchProbs::uniform(ctx.ctg());
+    // Threshold 1.0: pure window/profiling cost, no re-scheduling.
+    let mut mgr = AdaptiveScheduler::new(&ctx, probs, 20, 1.0).expect("manager builds");
+    let v = DecisionVector::new(vec![0; ctx.ctg().num_branches()]);
+    c.bench_function("adaptive/observe_no_call", |b| {
+        b.iter(|| black_box(mgr.observe(&ctx, &v).expect("observes")))
+    });
+}
+
+criterion_group!(benches, bench_stretch, bench_observe);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Figure 5 + Table 2 — MPEG average energy for eight movie clips under the
+//! non-adaptive online algorithm and the adaptive algorithm with thresholds
+//! 0.5 and 0.1 (window 20), plus the re-scheduling call counts.
+//!
+//! Paper shape targets: adaptive saves ~21% (T = 0.5) and ~23% (T = 0.1)
+//! over the online algorithm; call counts average ~9 (T = 0.5) and ~162
+//! (T = 0.1).
+
+use ctg_bench::report::{f1, pct, Table};
+use ctg_bench::setup::{prepare_mpeg, profile_trace};
+use ctg_sched::{AdaptiveScheduler, OnlineScheduler};
+use ctg_sim::{run_adaptive, run_static};
+use ctg_workloads::traces;
+
+const WINDOW: usize = 20;
+const TRAIN: usize = 1000;
+const TEST: usize = 1000;
+
+fn main() {
+    let ctx = prepare_mpeg(2.0);
+    let mut energy_table = Table::new([
+        "Movie", "Online", "Adaptive T=0.5", "Adaptive T=0.1", "Sav. 0.5", "Sav. 0.1",
+    ]);
+    let mut calls_table = Table::new(["Movie", "T=0.5", "T=0.1"]);
+    let (mut sum05, mut sum01, mut n) = (0.0, 0.0, 0usize);
+    let (mut csum05, mut csum01) = (0usize, 0usize);
+
+    for movie in traces::movie_presets() {
+        let trace = traces::generate_trace(ctx.ctg(), &movie.profile, TRAIN + TEST);
+        let (train, test) = trace.split_at(TRAIN);
+
+        // Non-adaptive: profile the training half, schedule once.
+        let profiled = profile_trace(&ctx, train);
+        let online = OnlineScheduler::new()
+            .solve(&ctx, &profiled)
+            .expect("online solves");
+        let s_online = run_static(&ctx, &online, test).expect("static run");
+
+        // Adaptive: same initial (profiled) probabilities, window 20.
+        let mut results = Vec::new();
+        for threshold in [0.5, 0.1] {
+            let mgr = AdaptiveScheduler::new(&ctx, profiled.clone(), WINDOW, threshold)
+                .expect("manager builds");
+            let (summary, _) = run_adaptive(&ctx, mgr, test).expect("adaptive run");
+            assert_eq!(summary.deadline_misses, 0, "hard deadline violated");
+            results.push(summary);
+        }
+        let (a05, a01) = (&results[0], &results[1]);
+        let e_on = s_online.avg_energy();
+        let sav05 = 1.0 - a05.avg_energy() / e_on;
+        let sav01 = 1.0 - a01.avg_energy() / e_on;
+        sum05 += sav05;
+        sum01 += sav01;
+        csum05 += a05.calls;
+        csum01 += a01.calls;
+        n += 1;
+
+        energy_table.row([
+            movie.name.to_string(),
+            f1(e_on),
+            f1(a05.avg_energy()),
+            f1(a01.avg_energy()),
+            pct(sav05),
+            pct(sav01),
+        ]);
+        calls_table.row([
+            movie.name.to_string(),
+            a05.calls.to_string(),
+            a01.calls.to_string(),
+        ]);
+    }
+
+    energy_table.print("Figure 5: MPEG energy consumption with varying thresholds");
+    println!(
+        "\navg savings: T=0.5 {} (paper ~21%), T=0.1 {} (paper ~23%)",
+        pct(sum05 / n as f64),
+        pct(sum01 / n as f64)
+    );
+    calls_table.print("Table 2: algorithm call count for MPEG movies");
+    println!(
+        "\navg calls: T=0.5 {:.0} (paper ~9), T=0.1 {:.0} (paper ~162)",
+        csum05 as f64 / n as f64,
+        csum01 as f64 / n as f64
+    );
+}

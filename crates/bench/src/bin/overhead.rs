@@ -1,0 +1,90 @@
+//! DVFS switching-overhead ablation (extension).
+//!
+//! The paper states "we do not consider switching overhead for DVFS"; this
+//! bench quantifies what that assumption hides: per-transition time/energy
+//! charges are swept on the MPEG workload and their impact on average
+//! energy and deadline misses is reported. Transition times are expressed
+//! as a fraction of the average task WCET.
+
+use ctg_bench::report::{pct, Table};
+use ctg_bench::setup::{prepare_mpeg, profile_trace};
+use ctg_model::BranchProbs;
+use ctg_sched::OnlineScheduler;
+use ctg_sim::{simulate_instance_with_overhead, DvfsOverhead};
+use ctg_workloads::traces;
+
+const LEN: usize = 500;
+
+fn main() {
+    let ctx = prepare_mpeg(2.0);
+    let movie = &traces::movie_presets()[1];
+    let trace = traces::generate_trace(ctx.ctg(), &movie.profile, LEN);
+    let profiled = profile_trace(&ctx, &trace);
+    let online = OnlineScheduler::new()
+        .solve(&ctx, &profiled)
+        .expect("online solves");
+
+    // Reference scales.
+    let avg_wcet: f64 = {
+        let profile = ctx.platform().profile();
+        let n = ctx.ctg().num_tasks();
+        (0..n).map(|t| profile.wcet_avg(t)).sum::<f64>() / n as f64
+    };
+    let avg_energy: f64 = {
+        let probs = BranchProbs::uniform(ctx.ctg());
+        let e = ctg_sched::expected_energy(
+            &ctx,
+            &probs,
+            &online.schedule,
+            &ctg_sched::SpeedAssignment::nominal(ctx.ctg().num_tasks()),
+        );
+        e / ctx.ctg().num_tasks() as f64
+    };
+
+    let mut table = Table::new([
+        "switch time (×wcet)",
+        "switch energy (×task)",
+        "avg energy",
+        "Δ energy",
+        "deadline misses",
+    ]);
+    let mut base = None;
+    for (tf, ef) in [
+        (0.0, 0.0),
+        (0.01, 0.01),
+        (0.05, 0.05),
+        (0.1, 0.1),
+        (0.25, 0.25),
+        (0.5, 0.5),
+    ] {
+        let oh = DvfsOverhead {
+            switch_time: tf * avg_wcet,
+            switch_energy: ef * avg_energy,
+        };
+        let mut total = 0.0;
+        let mut misses = 0usize;
+        for v in &trace {
+            let r = simulate_instance_with_overhead(&ctx, &online, v, oh)
+                .expect("simulates");
+            total += r.energy;
+            misses += usize::from(!r.deadline_met);
+        }
+        let avg = total / trace.len() as f64;
+        let b = *base.get_or_insert(avg);
+        table.row([
+            format!("{tf}"),
+            format!("{ef}"),
+            format!("{avg:.2}"),
+            pct(avg / b - 1.0),
+            misses.to_string(),
+        ]);
+    }
+    table.print("DVFS switching overhead on MPEG (online schedule, 2x deadline)");
+    println!(
+        "\nenergy overhead grows linearly with the per-switch cost. The misses are the\n\
+         sharper finding: the stretching heuristic fills critical paths exactly to the\n\
+         deadline, so *any* non-zero transition time breaks the instances whose path\n\
+         was saturated — the paper's no-overhead assumption is load-bearing, and a\n\
+         deployment would need to reserve a transition budget when distributing slack."
+    );
+}

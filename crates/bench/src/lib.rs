@@ -1,0 +1,22 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! One binary per experiment:
+//!
+//! | Binary    | Paper artefact |
+//! |-----------|----------------|
+//! | `table1`  | Table 1 — online vs. reference algorithms 1/2 on 5 random CTGs (plus runtimes) |
+//! | `fig4`    | Figure 4 — branch selection, windowed probability, threshold-filtered probability |
+//! | `fig5`    | Figure 5 + Table 2 — MPEG energy for 8 movies, adaptive vs. online, call counts |
+//! | `table3`  | Table 3 — cruise-controller energy, 3 road sequences |
+//! | `table45` | Tables 4 & 5 — biased-profile online vs. adaptive on 10 random CTGs |
+//! | `fig6`    | Figure 6 — ideal-profile online vs. adaptive (threshold 0.5) |
+//!
+//! Criterion benches (`cargo bench -p ctg-bench`) quantify the runtime gap
+//! between the online heuristic and the NLP-based reference algorithm 2
+//! (the paper's ~120 000× claim).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod setup;

@@ -1,0 +1,124 @@
+//! Minimal fixed-width table rendering for experiment output.
+
+/// A printable table with a title, headers and string rows.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self, title: &str) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {title} ==\n"));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("| ");
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!("{:>width$} ", c, width = widths[i]));
+                line.push_str("| ");
+            }
+            line.trim_end().to_string()
+        };
+        let sep: String = {
+            let mut s = String::from("|");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('|');
+            }
+            s
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self, title: &str) {
+        print!("{}", self.render(title));
+    }
+}
+
+/// Formats a float with one decimal place.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a float with three decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a ratio as a percentage with one decimal place.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new(["CTG", "Energy"]);
+        t.row(["1", "100"]);
+        t.row(["2", "95.5"]);
+        let s = t.render("demo");
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("| CTG |"));
+        assert!(s.contains("95.5"));
+        // Separator present.
+        assert!(s.lines().any(|l| l.starts_with("|-")));
+    }
+
+    #[test]
+    fn rows_padded_to_header_width() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["only-one"]);
+        let s = t.render("x");
+        assert!(s.contains("only-one"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(pct(0.215), "21.5%");
+    }
+}

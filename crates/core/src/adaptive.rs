@@ -1,0 +1,551 @@
+//! The window-based adaptive scheduling and DVFS manager (paper §III.B).
+//!
+//! For each branch fork node a fixed-length buffer stores the most recent
+//! branch decisions of the executed instances. After every instance the
+//! windowed probability estimates are recomputed; when any estimate drifts
+//! from the probabilities underlying the current schedule by more than a
+//! threshold, the probabilities are re-latched and the online scheduling +
+//! DVFS algorithm is re-run ("a call"). The behaviour is that of a low-pass
+//! filter over the branch probability signal (the paper's *filtered Prob*
+//! series in Figure 4).
+
+use crate::context::SchedContext;
+use crate::error::SchedError;
+use crate::online::{OnlineScheduler, Solution};
+use ctg_model::{BranchProbs, DecisionVector, TaskId};
+use std::collections::VecDeque;
+
+/// How the manager estimates branch probabilities from observed decisions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EstimatorKind {
+    /// Fixed-length sliding window (the paper's approach).
+    Window(usize),
+    /// Exponentially weighted moving average with smoothing factor
+    /// `alpha ∈ (0, 1]` (extension): heavier `alpha` reacts faster. An EWMA
+    /// needs no per-decision buffer and forgets smoothly instead of
+    /// abruptly.
+    Ewma(f64),
+}
+
+/// A per-branch probability estimator.
+#[derive(Debug, Clone)]
+enum Estimator {
+    Window(SlidingWindow),
+    Ewma(EwmaEstimator),
+}
+
+impl Estimator {
+    fn new(kind: EstimatorKind, alts: u8) -> Result<Self, SchedError> {
+        match kind {
+            EstimatorKind::Window(len) => {
+                if len == 0 {
+                    return Err(SchedError::InvalidParameter(
+                        "window length must be positive",
+                    ));
+                }
+                Ok(Estimator::Window(SlidingWindow::new(alts, len)))
+            }
+            EstimatorKind::Ewma(alpha) => {
+                if !(alpha > 0.0 && alpha <= 1.0) {
+                    return Err(SchedError::InvalidParameter(
+                        "EWMA alpha must lie in (0, 1]",
+                    ));
+                }
+                Ok(Estimator::Ewma(EwmaEstimator::new(alts, alpha)))
+            }
+        }
+    }
+
+    fn push(&mut self, alt: u8) {
+        match self {
+            Estimator::Window(w) => w.push(alt),
+            Estimator::Ewma(e) => e.push(alt),
+        }
+    }
+
+    fn estimate(&self) -> Option<Vec<f64>> {
+        match self {
+            Estimator::Window(w) => w.estimate(),
+            Estimator::Ewma(e) => e.estimate(),
+        }
+    }
+}
+
+/// Exponentially weighted moving average over branch decisions.
+#[derive(Debug, Clone)]
+pub struct EwmaEstimator {
+    weights: Vec<f64>,
+    alpha: f64,
+    observed: bool,
+}
+
+impl EwmaEstimator {
+    /// Creates an estimator for a fork with `alts` alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]` or `alts < 2`.
+    pub fn new(alts: u8, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must lie in (0, 1]");
+        assert!(alts >= 2, "a branch has at least two alternatives");
+        EwmaEstimator {
+            weights: vec![0.0; alts as usize],
+            alpha,
+            observed: false,
+        }
+    }
+
+    /// Folds one decision into the average.
+    pub fn push(&mut self, alt: u8) {
+        debug_assert!((alt as usize) < self.weights.len());
+        if !self.observed {
+            // First observation: start from the one-hot distribution, like a
+            // window of length one.
+            self.weights[alt as usize] = 1.0;
+            self.observed = true;
+            return;
+        }
+        for w in &mut self.weights {
+            *w *= 1.0 - self.alpha;
+        }
+        self.weights[alt as usize] += self.alpha;
+    }
+
+    /// The current estimate, or `None` before the first observation.
+    pub fn estimate(&self) -> Option<Vec<f64>> {
+        if !self.observed {
+            return None;
+        }
+        let total: f64 = self.weights.iter().sum();
+        Some(self.weights.iter().map(|w| w / total).collect())
+    }
+}
+
+/// Sliding window of recent decisions for one branch fork node.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    alts: u8,
+    window: VecDeque<u8>,
+    capacity: usize,
+}
+
+impl SlidingWindow {
+    /// Creates an empty window of length `capacity` for a fork with `alts`
+    /// alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `alts < 2`.
+    pub fn new(alts: u8, capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        assert!(alts >= 2, "a branch has at least two alternatives");
+        SlidingWindow {
+            alts,
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Shifts a new decision into the window, evicting the oldest when full.
+    pub fn push(&mut self, alt: u8) {
+        debug_assert!(alt < self.alts);
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(alt);
+    }
+
+    /// Number of recorded decisions (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether no decision has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// The current windowed estimate, or `None` while the window is empty.
+    pub fn estimate(&self) -> Option<Vec<f64>> {
+        if self.window.is_empty() {
+            return None;
+        }
+        let mut counts = vec![0usize; self.alts as usize];
+        for &a in &self.window {
+            counts[a as usize] += 1;
+        }
+        let n = self.window.len() as f64;
+        Some(counts.into_iter().map(|c| c as f64 / n).collect())
+    }
+}
+
+/// Statistics of an adaptive run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdaptiveStats {
+    /// Instances observed so far.
+    pub instances: usize,
+    /// Number of times the online scheduling + DVFS was (re-)invoked,
+    /// excluding the initial solve.
+    pub calls: usize,
+}
+
+/// The adaptive scheduler: wraps the online algorithm with per-branch
+/// sliding-window profiling and threshold-triggered re-scheduling.
+///
+/// # Example
+///
+/// ```
+/// use ctg_sched::{AdaptiveScheduler, SchedContext};
+/// use ctg_model::{BranchProbs, CtgBuilder, DecisionVector};
+/// use mpsoc_platform::PlatformBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = CtgBuilder::new("g");
+/// let f = b.add_task("fork");
+/// let x = b.add_task("x");
+/// let y = b.add_task("y");
+/// b.add_cond_edge(f, x, 0, 0.0)?;
+/// b.add_cond_edge(f, y, 1, 0.0)?;
+/// let ctg = b.deadline(30.0).build()?;
+///
+/// let mut pb = PlatformBuilder::new(3);
+/// pb.add_pe("p0");
+/// for t in 0..3 {
+///     pb.set_wcet_row(t, vec![2.0])?;
+///     pb.set_energy_row(t, vec![2.0])?;
+/// }
+/// let ctx = SchedContext::new(ctg, pb.build()?)?;
+///
+/// let probs = BranchProbs::uniform(ctx.ctg());
+/// let mut adaptive = AdaptiveScheduler::new(&ctx, probs, 8, 0.3)?;
+/// // Feed a run of all-alternative-0 decisions: the estimate drifts to 1.0
+/// // and re-scheduling triggers.
+/// for _ in 0..10 {
+///     adaptive.observe(&ctx, &DecisionVector::new(vec![0]))?;
+/// }
+/// assert!(adaptive.stats().calls >= 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveScheduler {
+    scheduler: OnlineScheduler,
+    estimators: Vec<Estimator>,
+    current_probs: BranchProbs,
+    threshold: f64,
+    solution: Solution,
+    stats: AdaptiveStats,
+}
+
+impl AdaptiveScheduler {
+    /// Creates the manager, solving once with the initial (profiled)
+    /// probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid window length / threshold, probability tables not
+    /// matching the graph, and scheduling failures.
+    pub fn new(
+        ctx: &SchedContext,
+        initial_probs: BranchProbs,
+        window: usize,
+        threshold: f64,
+    ) -> Result<Self, SchedError> {
+        Self::with_scheduler(ctx, initial_probs, window, threshold, OnlineScheduler::new())
+    }
+
+    /// Like [`AdaptiveScheduler::new`] with a custom online scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AdaptiveScheduler::new`].
+    pub fn with_scheduler(
+        ctx: &SchedContext,
+        initial_probs: BranchProbs,
+        window: usize,
+        threshold: f64,
+        scheduler: OnlineScheduler,
+    ) -> Result<Self, SchedError> {
+        Self::with_estimator(
+            ctx,
+            initial_probs,
+            EstimatorKind::Window(window),
+            threshold,
+            scheduler,
+        )
+    }
+
+    /// Builds the manager with an explicit probability estimator (sliding
+    /// window or EWMA).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AdaptiveScheduler::new`], plus estimator-parameter errors.
+    pub fn with_estimator(
+        ctx: &SchedContext,
+        initial_probs: BranchProbs,
+        kind: EstimatorKind,
+        threshold: f64,
+        scheduler: OnlineScheduler,
+    ) -> Result<Self, SchedError> {
+        if !(threshold > 0.0 && threshold <= 1.0) {
+            return Err(SchedError::InvalidParameter("threshold must lie in (0, 1]"));
+        }
+        initial_probs.validate(ctx.ctg())?;
+        let estimators = ctx
+            .ctg()
+            .branch_nodes()
+            .iter()
+            .map(|&b| Estimator::new(kind, ctx.ctg().node(b).alternatives()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let solution = scheduler.solve(ctx, &initial_probs)?;
+        Ok(AdaptiveScheduler {
+            scheduler,
+            estimators,
+            current_probs: initial_probs,
+            threshold,
+            solution,
+            stats: AdaptiveStats::default(),
+        })
+    }
+
+    /// The solution currently in force.
+    pub fn solution(&self) -> &Solution {
+        &self.solution
+    }
+
+    /// The probability table the current solution was computed with.
+    pub fn current_probs(&self) -> &BranchProbs {
+        &self.current_probs
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> AdaptiveStats {
+        self.stats
+    }
+
+    /// The configured adaptation threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Current estimate for `branch`, if any decision was recorded.
+    pub fn window_estimate(&self, ctx: &SchedContext, branch: TaskId) -> Option<Vec<f64>> {
+        let idx = ctx.ctg().branch_index(branch)?;
+        self.estimators[idx].estimate()
+    }
+
+    /// Observes one executed instance: shifts the decisions of the *executed*
+    /// fork nodes into their windows, then re-schedules when the windowed
+    /// estimate drifts beyond the threshold.
+    ///
+    /// Returns `true` when a re-scheduling call happened.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::VectorArity`] for a wrong-size vector and
+    /// propagates scheduling failures.
+    pub fn observe(
+        &mut self,
+        ctx: &SchedContext,
+        vector: &DecisionVector,
+    ) -> Result<bool, SchedError> {
+        let ctg = ctx.ctg();
+        if vector.len() != ctg.num_branches() {
+            return Err(SchedError::VectorArity {
+                expected: ctg.num_branches(),
+                got: vector.len(),
+            });
+        }
+        self.stats.instances += 1;
+        // Only executed branch fork tasks record a decision (paper: "each
+        // time after a branch fork task is executed, a new branch decision is
+        // shifted into the buffer").
+        let assign = vector.assignment(ctg);
+        for (i, &b) in ctg.branch_nodes().iter().enumerate() {
+            if ctx.activation().is_active(b, assign) {
+                self.estimators[i].push(vector.alt(i));
+            }
+        }
+        // Drift check against the probabilities in force.
+        let mut drift = 0.0_f64;
+        let mut estimated = self.current_probs.clone();
+        for (i, &b) in ctg.branch_nodes().iter().enumerate() {
+            if let Some(est) = self.estimators[i].estimate() {
+                let current = self
+                    .current_probs
+                    .distribution(b)
+                    .expect("validated table has every branch");
+                for (p, q) in est.iter().zip(current) {
+                    drift = drift.max((p - q).abs());
+                }
+                estimated
+                    .set(b, est)
+                    .expect("estimates form a distribution");
+            }
+        }
+        if drift > self.threshold {
+            self.current_probs = estimated;
+            self.solution = self.scheduler.solve(ctx, &self.current_probs)?;
+            self.stats.calls += 1;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::example1_context;
+
+    #[test]
+    fn window_estimates() {
+        let mut w = SlidingWindow::new(2, 4);
+        assert!(w.estimate().is_none());
+        w.push(0);
+        w.push(0);
+        w.push(1);
+        assert_eq!(w.estimate().unwrap(), vec![2.0 / 3.0, 1.0 / 3.0]);
+        w.push(1);
+        w.push(1); // evicts the first 0
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.estimate().unwrap(), vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let (ctx, probs, _) = example1_context();
+        assert!(AdaptiveScheduler::new(&ctx, probs.clone(), 0, 0.1).is_err());
+        assert!(AdaptiveScheduler::new(&ctx, probs.clone(), 10, 0.0).is_err());
+        assert!(AdaptiveScheduler::new(&ctx, probs, 10, 1.5).is_err());
+    }
+
+    #[test]
+    fn drift_triggers_rescheduling() {
+        let (ctx, probs, _) = example1_context();
+        let mut mgr = AdaptiveScheduler::new(&ctx, probs, 4, 0.3).unwrap();
+        // Uniform start (0.5/0.5); feeding constant a1 drifts to 1.0.
+        let mut called = false;
+        for _ in 0..6 {
+            called |= mgr
+                .observe(&ctx, &ctg_model::DecisionVector::new(vec![0, 0]))
+                .unwrap();
+        }
+        assert!(called);
+        assert!(mgr.stats().calls >= 1);
+        assert_eq!(mgr.stats().instances, 6);
+    }
+
+    #[test]
+    fn high_threshold_suppresses_calls() {
+        let (ctx, probs, _) = example1_context();
+        let mut mgr = AdaptiveScheduler::new(&ctx, probs, 4, 1.0).unwrap();
+        for step in 0..20 {
+            let alt = (step % 2) as u8;
+            mgr.observe(&ctx, &ctg_model::DecisionVector::new(vec![alt, alt]))
+                .unwrap();
+        }
+        assert_eq!(mgr.stats().calls, 0);
+    }
+
+    #[test]
+    fn inactive_fork_records_no_decision() {
+        let (ctx, probs, ids) = example1_context();
+        let [_, _, _, _, t5, ..] = ids;
+        let mut mgr = AdaptiveScheduler::new(&ctx, probs, 8, 0.9).unwrap();
+        // Always select a1: fork τ5 never executes, its window stays empty.
+        for _ in 0..5 {
+            mgr.observe(&ctx, &ctg_model::DecisionVector::new(vec![0, 1]))
+                .unwrap();
+        }
+        assert!(mgr.window_estimate(&ctx, t5).is_none());
+    }
+
+    #[test]
+    fn wrong_vector_arity_rejected() {
+        let (ctx, probs, _) = example1_context();
+        let mut mgr = AdaptiveScheduler::new(&ctx, probs, 8, 0.5).unwrap();
+        assert!(matches!(
+            mgr.observe(&ctx, &ctg_model::DecisionVector::new(vec![0])),
+            Err(SchedError::VectorArity { expected: 2, got: 1 })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod ewma_tests {
+    use super::*;
+    use crate::test_util::example1_context;
+
+    #[test]
+    fn ewma_estimates_converge() {
+        let mut e = EwmaEstimator::new(2, 0.2);
+        assert!(e.estimate().is_none());
+        e.push(0);
+        assert_eq!(e.estimate().unwrap(), vec![1.0, 0.0]);
+        for _ in 0..50 {
+            e.push(1);
+        }
+        let est = e.estimate().unwrap();
+        assert!(est[1] > 0.99, "EWMA should converge to the new regime: {est:?}");
+        let total: f64 = est.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_reacts_faster_with_larger_alpha() {
+        let mut slow = EwmaEstimator::new(2, 0.05);
+        let mut fast = EwmaEstimator::new(2, 0.5);
+        for _ in 0..20 {
+            slow.push(0);
+            fast.push(0);
+        }
+        for _ in 0..3 {
+            slow.push(1);
+            fast.push(1);
+        }
+        assert!(fast.estimate().unwrap()[1] > slow.estimate().unwrap()[1]);
+    }
+
+    #[test]
+    fn manager_with_ewma_adapts() {
+        let (ctx, probs, _) = example1_context();
+        let mut mgr = AdaptiveScheduler::with_estimator(
+            &ctx,
+            probs,
+            EstimatorKind::Ewma(0.2),
+            0.3,
+            OnlineScheduler::new(),
+        )
+        .unwrap();
+        let mut called = false;
+        for _ in 0..10 {
+            called |= mgr
+                .observe(&ctx, &ctg_model::DecisionVector::new(vec![0, 0]))
+                .unwrap();
+        }
+        assert!(called, "EWMA drift should trigger re-scheduling");
+    }
+
+    #[test]
+    fn invalid_estimator_parameters_rejected() {
+        let (ctx, probs, _) = example1_context();
+        assert!(AdaptiveScheduler::with_estimator(
+            &ctx,
+            probs.clone(),
+            EstimatorKind::Ewma(0.0),
+            0.3,
+            OnlineScheduler::new()
+        )
+        .is_err());
+        assert!(AdaptiveScheduler::with_estimator(
+            &ctx,
+            probs,
+            EstimatorKind::Window(0),
+            0.3,
+            OnlineScheduler::new()
+        )
+        .is_err());
+    }
+}

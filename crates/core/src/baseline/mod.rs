@@ -1,0 +1,29 @@
+//! Baseline schedulers from the literature, used by the paper's evaluation.
+//!
+//! * [`reference1`] — in the spirit of Shin & Kim (ISLPED'03, the paper's
+//!   reference algorithm 1): probability-blind worst-case mapping/ordering
+//!   without mutual-exclusion overlap, followed by probability-blind
+//!   critical-path slack distribution.
+//! * [`reference2`] — in the spirit of Malani et al. (ISCAS'07, reference
+//!   algorithm 2): the same probability-aware modified-DLS mapping as the
+//!   online algorithm, but task stretching solved as a non-linear program by
+//!   a deterministic iterative optimizer ([`nlp`]). Much slower, slightly
+//!   better energy — the trade-off Table 1 of the paper quantifies.
+//! * [`slack_distribution`] — probability-blind slack distribution on the
+//!   probability-aware mapping, in the spirit of Wu et al. (the paper's
+//!   reference 9); used by the ablation bench.
+//! * [`simulated_annealing`] — a global mapping search in the spirit of
+//!   co-synthesis work on CTGs (the paper's reference 8): an upper baseline
+//!   for how much a better mapping could buy over DLS.
+
+mod annealing;
+pub mod nlp;
+mod ref1;
+mod ref2;
+mod slack_dist;
+
+pub use annealing::{simulated_annealing, SaConfig};
+pub use nlp::{nlp_stretch, NlpConfig};
+pub use ref1::{reference1, reference1_mapping};
+pub use ref2::reference2;
+pub use slack_dist::slack_distribution;

@@ -1,0 +1,179 @@
+//! Reference algorithm 1: probability-blind scheduling and stretching.
+//!
+//! Models the behaviour the paper attributes to its first comparison point
+//! (Shin & Kim, ISLPED'03 [10]):
+//!
+//! * the **mapping is not optimized jointly** — [10] orders tasks that are
+//!   already mapped, so reference 1 uses a communication-blind greedy
+//!   load-balancing assignment (each task, in topological order, goes to the
+//!   PE with the least accumulated work);
+//! * ordering uses worst-case static levels (no branch probabilities) and
+//!   does **not** let mutually exclusive tasks overlap on a PE;
+//! * stretching distributes slack proportionally along worst-case critical
+//!   paths without weighting by activation probability.
+
+use crate::context::SchedContext;
+use crate::dls::list_schedule_fixed;
+use crate::error::SchedError;
+use crate::online::Solution;
+use crate::static_level::worst_case_levels;
+use crate::stretch::{proportional_stretch, StretchConfig};
+use mpsoc_platform::PeId;
+
+/// Runs reference algorithm 1 on the context.
+///
+/// # Errors
+///
+/// Propagates mapping infeasibility.
+pub fn reference1(ctx: &SchedContext, cfg: &StretchConfig) -> Result<Solution, SchedError> {
+    let assignment = balance_mapping(ctx)?;
+    let sl = worst_case_levels(ctx);
+    let schedule = list_schedule_fixed(ctx, &assignment, &sl, false)?;
+    let speeds = proportional_stretch(ctx, &schedule, cfg, &|_| 1.0, false);
+    Ok(Solution { schedule, speeds })
+}
+
+/// Communication-blind greedy load balancing: tasks in topological order,
+/// each to the runnable PE with the least accumulated average work.
+fn balance_mapping(ctx: &SchedContext) -> Result<Vec<PeId>, SchedError> {
+    let ctg = ctx.ctg();
+    let profile = ctx.platform().profile();
+    let mut load = vec![0.0_f64; ctx.platform().num_pes()];
+    let mut assignment = vec![PeId::new(0); ctg.num_tasks()];
+    for &t in ctg.topological() {
+        let pe = ctx
+            .platform()
+            .pes()
+            .filter(|&p| profile.can_run(t.index(), p))
+            .min_by(|&a, &b| {
+                load[a.index()]
+                    .partial_cmp(&load[b.index()])
+                    .expect("finite loads")
+                    .then(a.cmp(&b))
+            })
+            .ok_or(SchedError::NoFeasiblePe(t))?;
+        assignment[t.index()] = pe;
+        load[pe.index()] += profile.wcet(t.index(), pe);
+    }
+    Ok(assignment)
+}
+
+/// Exposes the mapping used by reference 1 (for tests and ablations).
+pub fn reference1_mapping(ctx: &SchedContext) -> Result<Vec<PeId>, SchedError> {
+    balance_mapping(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::OnlineScheduler;
+    use crate::test_util::{example1_ctg, uniform_platform};
+    use ctg_model::BranchProbs;
+
+    #[test]
+    fn reference1_is_deadline_safe() {
+        let (ctg, _) = example1_ctg(60.0);
+        let platform = uniform_platform(ctg.num_tasks(), 2, 2.0, 2.0);
+        let ctx = SchedContext::new(ctg, platform).unwrap();
+        let sol = reference1(&ctx, &StretchConfig::default()).unwrap();
+        // No mutex overlap: per-PE serial stretched time within the deadline.
+        for pe in ctx.platform().pes() {
+            let total: f64 = sol
+                .schedule
+                .pe_order(pe)
+                .iter()
+                .map(|&t| 2.0 / sol.speeds.speed(t))
+                .sum();
+            assert!(total <= 60.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn mapping_balances_load() {
+        let (ctg, _) = example1_ctg(60.0);
+        let platform = uniform_platform(ctg.num_tasks(), 2, 2.0, 2.0);
+        let ctx = SchedContext::new(ctg, platform).unwrap();
+        let mapping = reference1_mapping(&ctx).unwrap();
+        let count0 = mapping.iter().filter(|p| p.index() == 0).count();
+        // 8 uniform tasks over 2 PEs: an even 4/4 split.
+        assert_eq!(count0, 4);
+    }
+
+    #[test]
+    fn online_beats_reference1_when_exclusion_matters() {
+        // Single PE, two heavy mutually exclusive arms, tight deadline: ref1
+        // serializes the arms and has little slack, the online algorithm
+        // overlaps them and stretches deeply.
+        use ctg_model::CtgBuilder;
+        let mut b = CtgBuilder::new("exclusive");
+        let f = b.add_task("fork");
+        let x = b.add_task("x");
+        let y = b.add_task("y");
+        b.add_cond_edge(f, x, 0, 0.0).unwrap();
+        b.add_cond_edge(f, y, 1, 0.0).unwrap();
+        let ctg = b.deadline(26.0).build().unwrap();
+        let probs = BranchProbs::uniform(&ctg);
+        let mut pb = mpsoc_platform::PlatformBuilder::new(3);
+        pb.add_pe("p0");
+        pb.set_wcet_row(0, vec![2.0]).unwrap();
+        pb.set_energy_row(0, vec![2.0]).unwrap();
+        for t in 1..3 {
+            pb.set_wcet_row(t, vec![10.0]).unwrap();
+            pb.set_energy_row(t, vec![10.0]).unwrap();
+        }
+        let ctx = SchedContext::new(ctg, pb.build().unwrap()).unwrap();
+        let online = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+        let ref1 = reference1(&ctx, &StretchConfig::default()).unwrap();
+        let e_online = online.expected_energy(&ctx, &probs);
+        let e_ref1 = ref1.expected_energy(&ctx, &probs);
+        assert!(
+            e_online < e_ref1,
+            "online ({e_online}) should beat reference 1 ({e_ref1}) here"
+        );
+    }
+
+    #[test]
+    fn reference1_ignores_probabilities() {
+        let (ctg, _) = example1_ctg(40.0);
+        let platform = uniform_platform(ctg.num_tasks(), 2, 2.0, 2.0);
+        let ctx = SchedContext::new(ctg, platform).unwrap();
+        let sol_a = reference1(&ctx, &StretchConfig::default()).unwrap();
+        let sol_b = reference1(&ctx, &StretchConfig::default()).unwrap();
+        assert_eq!(sol_a.schedule, sol_b.schedule);
+        assert_eq!(sol_a.speeds, sol_b.speeds);
+    }
+
+    #[test]
+    fn online_beats_reference1_on_comm_heavy_graphs() {
+        // Heavy producer→consumer data: the communication-blind mapping
+        // splits hot edges across PEs and pays both latency and energy.
+        use ctg_model::CtgBuilder;
+        let mut b = CtgBuilder::new("comm");
+        let a = b.add_task("a");
+        let c = b.add_task("c");
+        let d = b.add_task("d");
+        let e = b.add_task("e");
+        b.add_edge(a, c, 50.0).unwrap();
+        b.add_edge(c, d, 50.0).unwrap();
+        b.add_edge(d, e, 50.0).unwrap();
+        let ctg = b.deadline(60.0).build().unwrap();
+        let probs = BranchProbs::uniform(&ctg);
+        let mut pb = mpsoc_platform::PlatformBuilder::new(4);
+        pb.add_pe("p0");
+        pb.add_pe("p1");
+        for t in 0..4 {
+            pb.set_wcet_row(t, vec![4.0, 4.0]).unwrap();
+            pb.set_energy_row(t, vec![4.0, 4.0]).unwrap();
+        }
+        pb.uniform_links(10.0, 0.5).unwrap();
+        let ctx = SchedContext::new(ctg, pb.build().unwrap()).unwrap();
+        let online = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+        let ref1 = reference1(&ctx, &StretchConfig::default()).unwrap();
+        let e_online = online.expected_energy(&ctx, &probs);
+        let e_ref1 = ref1.expected_energy(&ctx, &probs);
+        assert!(
+            e_online < e_ref1,
+            "online ({e_online}) should beat reference 1 ({e_ref1}) on hot chains"
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Reference algorithm 2: probability-aware mapping + NLP stretching.
+
+use crate::baseline::nlp::{nlp_stretch, NlpConfig};
+use crate::context::SchedContext;
+use crate::dls::dls_schedule;
+use crate::error::SchedError;
+use crate::online::Solution;
+use ctg_model::BranchProbs;
+
+/// Runs reference algorithm 2: the same modified-DLS mapping/ordering as the
+/// online algorithm, with the stretching stage solved by the iterative NLP
+/// optimizer.
+///
+/// # Errors
+///
+/// Propagates mapping infeasibility and configuration errors.
+/// # Example
+///
+/// ```
+/// use ctg_sched::baseline::{reference2, NlpConfig};
+/// # use ctg_model::{BranchProbs, CtgBuilder};
+/// # use mpsoc_platform::PlatformBuilder;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let mut b = CtgBuilder::new("g");
+/// # let f = b.add_task("fork");
+/// # let x = b.add_task("x");
+/// # let y = b.add_task("y");
+/// # b.add_cond_edge(f, x, 0, 0.5)?;
+/// # b.add_cond_edge(f, y, 1, 0.5)?;
+/// # let ctg = b.deadline(30.0).build()?;
+/// # let mut pb = PlatformBuilder::new(3);
+/// # pb.add_pe("p0");
+/// # pb.add_pe("p1");
+/// # for t in 0..3 { pb.set_wcet_row(t, vec![2.0, 2.5])?; pb.set_energy_row(t, vec![2.0, 1.8])?; }
+/// # pb.uniform_links(4.0, 0.1)?;
+/// # let ctx = ctg_sched::SchedContext::new(ctg, pb.build()?)?;
+/// # let probs = BranchProbs::uniform(ctx.ctg());
+/// let cfg = NlpConfig { iterations: 200, ..Default::default() };
+/// let solution = reference2(&ctx, &probs, &cfg)?;
+/// assert!(solution.expected_energy(&ctx, &probs) > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn reference2(
+    ctx: &SchedContext,
+    probs: &BranchProbs,
+    cfg: &NlpConfig,
+) -> Result<Solution, SchedError> {
+    let schedule = dls_schedule(ctx, probs)?;
+    let speeds = nlp_stretch(ctx, probs, &schedule, cfg)?;
+    Ok(Solution { schedule, speeds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::OnlineScheduler;
+    use crate::test_util::example1_context;
+
+    #[test]
+    fn reference2_solution_is_complete() {
+        let (ctx, probs, _) = example1_context();
+        let sol = reference2(&ctx, &probs, &NlpConfig::default()).unwrap();
+        for t in ctx.ctg().tasks() {
+            let s = sol.speeds.speed(t);
+            assert!(s > 0.0 && s <= 1.0);
+        }
+    }
+
+    #[test]
+    fn reference2_energy_close_to_or_better_than_online() {
+        let (ctx, probs, _) = example1_context();
+        let online = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+        let ref2 = reference2(&ctx, &probs, &NlpConfig::default()).unwrap();
+        let e_online = online.expected_energy(&ctx, &probs);
+        let e_ref2 = ref2.expected_energy(&ctx, &probs);
+        // Table 1 of the paper: the online heuristic loses ≈8% on average to
+        // the NLP-based reference 2; allow it to lose, never to win by much.
+        assert!(e_ref2 <= e_online * 1.05, "ref2 {e_ref2} vs online {e_online}");
+    }
+}

@@ -1,0 +1,373 @@
+//! Shared scheduling context: graph, platform and cached analyses.
+
+use crate::error::SchedError;
+use ctg_model::{Activation, BranchProbs, Ctg, Dnf, ScenarioSet, TaskId};
+use mpsoc_platform::Platform;
+
+/// A set of runtime scenarios, stored as a bitmask over the context's
+/// scenario enumeration.
+///
+/// Conditions that arise during schedule analysis (path conditions, edge
+/// guards, task activations) are all evaluated against the finite scenario
+/// set, so set intersection replaces symbolic DNF conjunction — exact and
+/// orders of magnitude faster on deep graphs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScenarioMask {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl ScenarioMask {
+    /// The mask containing every scenario of a set of size `len`.
+    pub fn full(len: usize) -> Self {
+        let words = len.div_ceil(64);
+        let mut bits = vec![u64::MAX; words];
+        if len % 64 != 0 {
+            bits[words - 1] = (1u64 << (len % 64)) - 1;
+        }
+        if len == 0 {
+            bits.clear();
+        }
+        ScenarioMask { bits, len }
+    }
+
+    /// The empty mask for a set of size `len`.
+    pub fn empty(len: usize) -> Self {
+        ScenarioMask {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Sets scenario `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "scenario index out of range");
+        self.bits[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Whether scenario `i` is in the set.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// In-place intersection.
+    pub fn intersect(&mut self, other: &ScenarioMask) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= b;
+        }
+    }
+
+    /// Returns the intersection as a new mask.
+    pub fn and(&self, other: &ScenarioMask) -> ScenarioMask {
+        let mut out = self.clone();
+        out.intersect(other);
+        out
+    }
+
+    /// Whether no scenario is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Whether every scenario is in the set.
+    pub fn is_full(&self) -> bool {
+        *self == ScenarioMask::full(self.len)
+    }
+
+    /// Number of scenarios in the set.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether this set is a subset of `other`.
+    pub fn subset_of(&self, other: &ScenarioMask) -> bool {
+        self.bits.iter().zip(&other.bits).all(|(a, b)| a & !b == 0)
+    }
+
+    /// In-place union.
+    pub fn union(&mut self, other: &ScenarioMask) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Returns the scenarios in this set but not in `other`.
+    pub fn subtract(&self, other: &ScenarioMask) -> ScenarioMask {
+        debug_assert_eq!(self.len, other.len);
+        ScenarioMask {
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a & !b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Iterates over the scenario indices in the set.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(|&i| self.contains(i))
+    }
+}
+
+/// Everything the schedulers need about one (CTG, platform) pair, with the
+/// activation analysis and scenario enumeration computed once.
+///
+/// The adaptive manager re-schedules many times with different probability
+/// tables; building the context once amortizes the graph analyses.
+#[derive(Debug, Clone)]
+pub struct SchedContext {
+    ctg: Ctg,
+    platform: Platform,
+    act: Activation,
+    scenarios: ScenarioSet,
+    mutex: Vec<bool>, // row-major n×n mutual-exclusion matrix
+    task_masks: Vec<ScenarioMask>,
+    literal_masks: Vec<Vec<ScenarioMask>>, // [branch index][alt]
+}
+
+impl SchedContext {
+    /// Builds a context, validating that platform and graph agree on the
+    /// task count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::TaskCountMismatch`] when the platform profile
+    /// does not cover exactly the CTG's tasks.
+    pub fn new(ctg: Ctg, platform: Platform) -> Result<Self, SchedError> {
+        if ctg.num_tasks() != platform.num_tasks() {
+            return Err(SchedError::TaskCountMismatch {
+                ctg: ctg.num_tasks(),
+                platform: platform.num_tasks(),
+            });
+        }
+        let act = ctg.activation();
+        let scenarios = ScenarioSet::enumerate(&ctg, &act);
+        let n = ctg.num_tasks();
+        let mut mutex = vec![false; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let me = act.mutually_exclusive(TaskId::new(i), TaskId::new(j));
+                mutex[i * n + j] = me;
+                mutex[j * n + i] = me;
+            }
+        }
+        let s_len = scenarios.len();
+        let mut task_masks = vec![ScenarioMask::empty(s_len); n];
+        for (si, s) in scenarios.scenarios().iter().enumerate() {
+            for t in 0..n {
+                if s.is_active(TaskId::new(t)) {
+                    task_masks[t].set(si);
+                }
+            }
+        }
+        let mut literal_masks: Vec<Vec<ScenarioMask>> = ctg
+            .branch_nodes()
+            .iter()
+            .map(|&b| {
+                vec![ScenarioMask::empty(s_len); ctg.node(b).alternatives() as usize]
+            })
+            .collect();
+        for (si, s) in scenarios.scenarios().iter().enumerate() {
+            for (bi, &b) in ctg.branch_nodes().iter().enumerate() {
+                if let Some(alt) = s.cube().alt_of(b) {
+                    literal_masks[bi][alt as usize].set(si);
+                }
+            }
+        }
+        Ok(SchedContext {
+            ctg,
+            platform,
+            act,
+            scenarios,
+            mutex,
+            task_masks,
+            literal_masks,
+        })
+    }
+
+    /// Cached mutual-exclusion test (`X(τi) ∧ X(τj) = 0`).
+    pub fn mutually_exclusive(&self, a: TaskId, b: TaskId) -> bool {
+        self.mutex[a.index() * self.ctg.num_tasks() + b.index()]
+    }
+
+    /// The set of scenarios in which `task` executes.
+    pub fn task_mask(&self, task: TaskId) -> &ScenarioMask {
+        &self.task_masks[task.index()]
+    }
+
+    /// The set of scenarios in which the branch fork `branch` selects `alt`
+    /// (empty for unknown branches/alternatives).
+    pub fn literal_mask(&self, branch: TaskId, alt: u8) -> ScenarioMask {
+        match self.ctg.branch_index(branch) {
+            Some(bi) => self.literal_masks[bi]
+                .get(alt as usize)
+                .cloned()
+                .unwrap_or_else(|| ScenarioMask::empty(self.scenarios.len())),
+            None => ScenarioMask::empty(self.scenarios.len()),
+        }
+    }
+
+    /// Per-scenario probabilities under `probs`, in enumeration order.
+    pub fn scenario_probs(&self, probs: &BranchProbs) -> Vec<f64> {
+        self.scenarios
+            .scenarios()
+            .iter()
+            .map(|s| s.probability(probs))
+            .collect()
+    }
+
+    /// Total probability of a scenario mask given per-scenario
+    /// probabilities from [`SchedContext::scenario_probs`].
+    pub fn mask_prob(&self, mask: &ScenarioMask, scenario_probs: &[f64]) -> f64 {
+        mask.iter().map(|i| scenario_probs[i]).sum()
+    }
+
+    /// The conditional task graph.
+    pub fn ctg(&self) -> &Ctg {
+        &self.ctg
+    }
+
+    /// The platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The cached activation analysis.
+    pub fn activation(&self) -> &Activation {
+        &self.act
+    }
+
+    /// The cached scenario enumeration.
+    pub fn scenarios(&self) -> &ScenarioSet {
+        &self.scenarios
+    }
+
+    /// Activation probability `prob(τ)` under `probs`.
+    pub fn task_prob(&self, task: TaskId, probs: &BranchProbs) -> f64 {
+        self.scenarios.task_prob(task, probs)
+    }
+
+    /// Probability that a condition in DNF holds, computed exactly over the
+    /// scenario enumeration.
+    pub fn dnf_prob(&self, dnf: &Dnf, probs: &BranchProbs) -> f64 {
+        if dnf.is_true() {
+            return 1.0;
+        }
+        self.scenarios
+            .scenarios()
+            .iter()
+            .filter(|s| dnf.eval(|b| s.cube().alt_of(b)))
+            .map(|s| s.probability(probs))
+            .sum()
+    }
+
+    /// Probability that both endpoint tasks of an edge are active (the
+    /// probability the data transfer actually happens).
+    pub fn edge_prob(&self, src: TaskId, dst: TaskId, probs: &BranchProbs) -> f64 {
+        let both = self.act.condition(src).and(self.act.condition(dst));
+        self.dnf_prob(&both, probs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{example1_context, uniform_platform};
+    use ctg_model::CtgBuilder;
+
+    #[test]
+    fn scenario_mask_basic_ops() {
+        let mut a = ScenarioMask::empty(70);
+        assert!(a.is_empty());
+        a.set(0);
+        a.set(65);
+        assert!(a.contains(0) && a.contains(65) && !a.contains(1));
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 65]);
+
+        let full = ScenarioMask::full(70);
+        assert!(full.is_full());
+        assert_eq!(full.count(), 70);
+        assert!(a.subset_of(&full));
+        assert!(!full.subset_of(&a));
+        assert_eq!(a.and(&full), a);
+
+        let mut b = ScenarioMask::empty(70);
+        b.set(65);
+        let ab = a.and(&b);
+        assert_eq!(ab.count(), 1);
+        assert!(ab.contains(65));
+    }
+
+    #[test]
+    fn scenario_mask_zero_len() {
+        let m = ScenarioMask::full(0);
+        assert!(m.is_empty());
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scenario_mask_set_out_of_range() {
+        let mut m = ScenarioMask::empty(3);
+        m.set(3);
+    }
+
+    #[test]
+    fn task_and_literal_masks_cover_scenarios() {
+        let (ctx, probs, ids) = example1_context();
+        let [t1, _, t3, t4, _, t6, ..] = ids;
+        let n = ctx.scenarios().len();
+        assert!(ctx.task_mask(t1).is_full());
+        // τ4 executes exactly in the a1 scenario.
+        assert_eq!(ctx.task_mask(t4).count(), 1);
+        // τ6 executes in a2·b1 only.
+        assert_eq!(ctx.task_mask(t6).count(), 1);
+        // Literal a1 covers the same single scenario as X(τ4).
+        assert_eq!(ctx.literal_mask(t3, 0), *ctx.task_mask(t4));
+        // Unknown branch/alt yields the empty mask.
+        assert!(ctx.literal_mask(t4, 0).is_empty());
+        assert!(ctx.literal_mask(t3, 9).is_empty());
+        // mask_prob of the full mask is 1.
+        let sp = ctx.scenario_probs(&probs);
+        assert!((ctx.mask_prob(&ScenarioMask::full(n), &sp) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_task_count_mismatch() {
+        let mut b = CtgBuilder::new("g");
+        let _ = b.add_task("a");
+        let ctg = b.deadline(1.0).build().unwrap();
+        let platform = uniform_platform(3, 2, 1.0, 1.0);
+        assert!(matches!(
+            SchedContext::new(ctg, platform),
+            Err(SchedError::TaskCountMismatch { ctg: 1, platform: 3 })
+        ));
+    }
+
+    #[test]
+    fn dnf_prob_matches_scenarios() {
+        let (ctx, probs, ids) = example1_context();
+        let x6 = ctx.activation().condition(ids[5]).clone();
+        // X(τ6) = a2·b1 → 0.5 · 0.5 = 0.25 under uniform probabilities.
+        assert!((ctx.dnf_prob(&x6, &probs) - 0.25).abs() < 1e-12);
+        assert!((ctx.dnf_prob(&Dnf::top(), &probs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_prob_combines_endpoints() {
+        let (ctx, probs, ids) = example1_context();
+        // τ5 (a2) → τ6 (a2·b1): transfer happens with prob 0.25.
+        assert!((ctx.edge_prob(ids[4], ids[5], &probs) - 0.25).abs() < 1e-12);
+        // τ1 → τ2 always transfers.
+        assert!((ctx.edge_prob(ids[0], ids[1], &probs) - 1.0).abs() < 1e-12);
+    }
+}

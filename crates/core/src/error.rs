@@ -1,0 +1,74 @@
+//! Scheduler error types.
+
+use ctg_model::TaskId;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by scheduling, stretching or the adaptive manager.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// Platform and CTG disagree on the number of tasks.
+    TaskCountMismatch {
+        /// Tasks in the CTG.
+        ctg: usize,
+        /// Tasks covered by the platform profile.
+        platform: usize,
+    },
+    /// A task cannot be placed on any PE reachable from its predecessors'
+    /// PEs (missing links or unrunnable everywhere).
+    NoFeasiblePe(TaskId),
+    /// Even at nominal speed the worst-case schedule misses the deadline.
+    DeadlineUnreachable {
+        /// Worst-case makespan at nominal speed.
+        makespan: f64,
+        /// The deadline that was violated.
+        deadline: f64,
+    },
+    /// The branch probability table does not match the CTG.
+    BadProbabilities(ctg_model::ProbError),
+    /// A decision vector has the wrong number of fork positions.
+    VectorArity {
+        /// Fork positions expected (branch nodes of the CTG).
+        expected: usize,
+        /// Positions supplied.
+        got: usize,
+    },
+    /// An invalid configuration parameter (window length, threshold, …).
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::TaskCountMismatch { ctg, platform } => write!(
+                f,
+                "CTG has {ctg} tasks but the platform profile covers {platform}"
+            ),
+            SchedError::NoFeasiblePe(t) => write!(f, "no feasible PE for task {t}"),
+            SchedError::DeadlineUnreachable { makespan, deadline } => write!(
+                f,
+                "worst-case makespan {makespan} exceeds deadline {deadline} at nominal speed"
+            ),
+            SchedError::BadProbabilities(e) => write!(f, "bad branch probabilities: {e}"),
+            SchedError::VectorArity { expected, got } => {
+                write!(f, "decision vector has {got} positions, expected {expected}")
+            }
+            SchedError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for SchedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchedError::BadProbabilities(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ctg_model::ProbError> for SchedError {
+    fn from(e: ctg_model::ProbError) -> Self {
+        SchedError::BadProbabilities(e)
+    }
+}

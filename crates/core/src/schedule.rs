@@ -1,0 +1,94 @@
+//! Schedule representation: the output of the mapping/ordering stage.
+
+use ctg_model::TaskId;
+use mpsoc_platform::PeId;
+use serde::{Deserialize, Serialize};
+
+/// A task-to-PE mapping with worst-case start/finish times at nominal speed
+/// and the per-PE execution order.
+///
+/// Produced by [`dls_schedule`](crate::dls_schedule) (or a baseline); the
+/// stretching stage then assigns per-task speeds without changing mapping or
+/// order (the paper's two-stage structure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    pub(crate) assignment: Vec<PeId>,
+    pub(crate) start: Vec<f64>,
+    pub(crate) finish: Vec<f64>,
+    pub(crate) pe_order: Vec<Vec<TaskId>>,
+    pub(crate) task_order: Vec<TaskId>,
+}
+
+impl Schedule {
+    /// The PE executing `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn pe_of(&self, task: TaskId) -> PeId {
+        self.assignment[task.index()]
+    }
+
+    /// Worst-case start time of `task` at nominal speed.
+    pub fn start(&self, task: TaskId) -> f64 {
+        self.start[task.index()]
+    }
+
+    /// Worst-case finish time of `task` at nominal speed.
+    pub fn finish(&self, task: TaskId) -> f64 {
+        self.finish[task.index()]
+    }
+
+    /// Tasks mapped to `pe`, ordered by start time.
+    pub fn pe_order(&self, pe: PeId) -> &[TaskId] {
+        &self.pe_order[pe.index()]
+    }
+
+    /// The global order in which the scheduler placed tasks; the stretching
+    /// heuristic processes tasks in this order.
+    pub fn task_order(&self) -> &[TaskId] {
+        &self.task_order
+    }
+
+    /// Worst-case makespan at nominal speed (max finish time).
+    pub fn makespan(&self) -> f64 {
+        self.finish.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Number of scheduled tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of PEs in the target platform.
+    pub fn num_pes(&self) -> usize {
+        self.pe_order.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Schedule {
+        Schedule {
+            assignment: vec![PeId::new(0), PeId::new(1), PeId::new(0)],
+            start: vec![0.0, 0.0, 2.0],
+            finish: vec![2.0, 3.0, 4.0],
+            pe_order: vec![vec![TaskId::new(0), TaskId::new(2)], vec![TaskId::new(1)]],
+            task_order: vec![TaskId::new(0), TaskId::new(1), TaskId::new(2)],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let s = toy();
+        assert_eq!(s.pe_of(TaskId::new(2)), PeId::new(0));
+        assert_eq!(s.start(TaskId::new(2)), 2.0);
+        assert_eq!(s.finish(TaskId::new(1)), 3.0);
+        assert_eq!(s.pe_order(PeId::new(0)).len(), 2);
+        assert_eq!(s.makespan(), 4.0);
+        assert_eq!(s.num_tasks(), 3);
+        assert_eq!(s.num_pes(), 2);
+    }
+}

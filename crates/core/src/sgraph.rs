@@ -1,0 +1,525 @@
+//! The scheduled graph: the CTG augmented with processor-order pseudo-edges,
+//! and the path analysis the stretching heuristic runs on.
+//!
+//! After DLS commits a mapping, tasks sharing a PE are serialized (unless
+//! mutually exclusive). Those serialization constraints become zero-delay
+//! *pseudo-edges*; implied or-node waits become *implied* edges; CTG edges
+//! keep their (possibly non-zero) communication delay and branch guard. The
+//! union is transitively reduced and every source→sink path is enumerated
+//! with its delay, activation condition and probability — the data the
+//! paper's `CalculateSlack` routine consumes.
+
+use crate::context::{SchedContext, ScenarioMask};
+use crate::schedule::Schedule;
+use ctg_model::{BranchProbs, Literal, TaskId};
+
+/// Why an edge exists in the scheduled graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SEdgeKind {
+    /// Original CTG dependency (carries communication delay and guard).
+    Ctg,
+    /// Same-PE serialization constraint.
+    Pseudo,
+    /// Implied or-node wait on a branch fork node.
+    Implied,
+}
+
+/// An edge of the scheduled graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SEdge {
+    /// Source task.
+    pub src: TaskId,
+    /// Destination task.
+    pub dst: TaskId,
+    /// Fixed delay contributed by the edge (communication time; never scaled
+    /// by DVFS).
+    pub delay: f64,
+    /// Branch guard of the underlying CTG edge, if conditional.
+    pub guard: Option<Literal>,
+    /// Provenance of the edge.
+    pub kind: SEdgeKind,
+}
+
+/// A source→sink path of the scheduled graph, as used by the stretching
+/// heuristic.
+#[derive(Debug, Clone)]
+pub struct SPath {
+    /// Tasks along the path, in order.
+    pub tasks: Vec<TaskId>,
+    /// The set of scenarios in which the path exists — the paper's minterm
+    /// of the path, represented over the scenario enumeration.
+    pub cond: ScenarioMask,
+    /// Current path delay: execution times (updated as tasks are stretched)
+    /// plus fixed edge delays.
+    pub delay: f64,
+    /// Branch guards on the path, with the path position of the deciding
+    /// fork node.
+    pub guards: Vec<(usize, Literal)>,
+    /// Probability of `cond` under the probability table used at
+    /// construction time.
+    pub prob: f64,
+}
+
+impl SPath {
+    /// Whether `task` lies on this path.
+    pub fn spans(&self, task: TaskId) -> bool {
+        self.tasks.contains(&task)
+    }
+
+    /// The path's end-to-end delay when its tasks run at the given speeds
+    /// (communication delays are fixed).
+    ///
+    /// Note: `self.delay` reflects *nominal* execution times only when the
+    /// path comes fresh out of [`ScheduledGraph::build`]; this method always
+    /// recomputes from the nominal WCETs.
+    pub fn stretched_delay(
+        &self,
+        ctx: &SchedContext,
+        schedule: &Schedule,
+        speeds: &crate::speed::SpeedAssignment,
+    ) -> f64 {
+        let profile = ctx.platform().profile();
+        let comm_part: f64 = self.delay
+            - self
+                .tasks
+                .iter()
+                .map(|&t| profile.wcet(t.index(), schedule.pe_of(t)))
+                .sum::<f64>();
+        comm_part
+            + self
+                .tasks
+                .iter()
+                .map(|&t| {
+                    profile.wcet(t.index(), schedule.pe_of(t)) / speeds.speed(t)
+                })
+                .sum::<f64>()
+    }
+
+    /// Slack of the path against `deadline`.
+    pub fn slack(&self, deadline: f64) -> f64 {
+        deadline - self.delay
+    }
+
+    /// The paper's `prob(p, τ)`: joint probability of the branch guards
+    /// decided at or after `task`'s position on the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is not on the path.
+    pub fn prob_after(&self, task: TaskId, probs: &BranchProbs) -> f64 {
+        let pos = self
+            .tasks
+            .iter()
+            .position(|&t| t == task)
+            .expect("task must lie on the path");
+        self.guards
+            .iter()
+            .filter(|(fork_pos, _)| *fork_pos >= pos)
+            .map(|(_, lit)| probs.prob(lit.branch(), lit.alt()))
+            .product()
+    }
+}
+
+/// The scheduled graph plus its enumerated paths.
+#[derive(Debug, Clone)]
+pub struct ScheduledGraph {
+    edges: Vec<SEdge>,
+    paths: Vec<SPath>,
+    /// For each task, the indices of the paths spanning it.
+    spanning: Vec<Vec<usize>>,
+}
+
+/// Upper bound on enumerated paths before falling back to the caller's
+/// coarser analysis.
+pub const DEFAULT_PATH_CAP: usize = 50_000;
+
+impl ScheduledGraph {
+    /// Builds the scheduled graph for `schedule` and enumerates its paths.
+    ///
+    /// Returns `None` when the number of simple paths exceeds `cap`
+    /// (pathological graphs); callers fall back to critical-path stretching.
+    pub fn build(
+        ctx: &SchedContext,
+        schedule: &Schedule,
+        probs: &BranchProbs,
+        cap: usize,
+    ) -> Option<Self> {
+        let ctg = ctx.ctg();
+        let n = ctg.num_tasks();
+        let comm = ctx.platform().comm();
+
+        let mut edges: Vec<SEdge> = Vec::new();
+        for (_, e) in ctg.edges() {
+            let delay = comm.delay(schedule.pe_of(e.src()), schedule.pe_of(e.dst()), e.comm_kbytes());
+            edges.push(SEdge {
+                src: e.src(),
+                dst: e.dst(),
+                delay,
+                guard: e.condition().map(|alt| Literal::new(e.src(), alt)),
+                kind: SEdgeKind::Ctg,
+            });
+        }
+        for &(fork, or_node) in ctx.activation().implied_or_deps() {
+            if !edges.iter().any(|e| e.src == fork && e.dst == or_node) {
+                edges.push(SEdge {
+                    src: fork,
+                    dst: or_node,
+                    delay: 0.0,
+                    guard: None,
+                    kind: SEdgeKind::Implied,
+                });
+            }
+        }
+        // Same-PE serialization: earlier → later among non-exclusive pairs.
+        for pe in ctx.platform().pes() {
+            let order = schedule.pe_order(pe);
+            for i in 0..order.len() {
+                for j in (i + 1)..order.len() {
+                    let (a, b) = (order[i], order[j]);
+                    if ctx.mutually_exclusive(a, b) {
+                        continue;
+                    }
+                    if !edges.iter().any(|e| e.src == a && e.dst == b) {
+                        edges.push(SEdge {
+                            src: a,
+                            dst: b,
+                            delay: 0.0,
+                            guard: None,
+                            kind: SEdgeKind::Pseudo,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Scenario-aware transitive reduction: a zero-delay pseudo/implied
+        // edge (u, v) is redundant only when a longer route u→…→v exists
+        // whose every intermediate node executes in *every scenario where
+        // both u and v execute* — then the route's delay constraint is
+        // present whenever the edge's is, and dominates it. CTG edges are
+        // always kept (they carry guards and communication delays).
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &edges {
+            adj[e.src.index()].push(e.dst.index());
+        }
+        let covered_by_route = |u: TaskId, v: TaskId| -> bool {
+            let both = ctx.task_mask(u).and(ctx.task_mask(v));
+            let safe = |w: usize| {
+                w != u.index()
+                    && w != v.index()
+                    && both.subset_of(ctx.task_mask(TaskId::new(w)))
+            };
+            // Reach v from u through ≥1 safe intermediate.
+            let mut seen = vec![false; n];
+            let mut stack: Vec<usize> = adj[u.index()]
+                .iter()
+                .copied()
+                .filter(|&w| safe(w))
+                .collect();
+            while let Some(w) = stack.pop() {
+                if seen[w] {
+                    continue;
+                }
+                seen[w] = true;
+                for &x in &adj[w] {
+                    if x == v.index() {
+                        return true;
+                    }
+                    if safe(x) && !seen[x] {
+                        stack.push(x);
+                    }
+                }
+            }
+            false
+        };
+        let mut reduced: Vec<SEdge> = Vec::with_capacity(edges.len());
+        for e in &edges {
+            if e.kind == SEdgeKind::Ctg || !covered_by_route(e.src, e.dst) {
+                reduced.push(e.clone());
+            }
+        }
+        let edges = reduced;
+
+        let paths = enumerate(ctx, schedule, probs, &edges, cap)?;
+        let mut spanning = vec![Vec::new(); n];
+        for (i, p) in paths.iter().enumerate() {
+            for &t in &p.tasks {
+                spanning[t.index()].push(i);
+            }
+        }
+        Some(ScheduledGraph { edges, paths, spanning })
+    }
+
+    /// The edges of the (reduced) scheduled graph.
+    pub fn edges(&self) -> &[SEdge] {
+        &self.edges
+    }
+
+    /// The enumerated valid paths.
+    pub fn paths(&self) -> &[SPath] {
+        &self.paths
+    }
+
+    /// Mutable access to the paths (the stretching loop updates delays).
+    pub fn paths_mut(&mut self) -> &mut [SPath] {
+        &mut self.paths
+    }
+
+    /// Indices of the paths spanning `task`.
+    pub fn spanning(&self, task: TaskId) -> &[usize] {
+        &self.spanning[task.index()]
+    }
+
+    /// The worst-case end-to-end delay: the maximum path delay.
+    pub fn critical_delay(&self) -> f64 {
+        self.paths.iter().map(|p| p.delay).fold(0.0, f64::max)
+    }
+}
+
+fn enumerate(
+    ctx: &SchedContext,
+    schedule: &Schedule,
+    probs: &BranchProbs,
+    edges: &[SEdge],
+    cap: usize,
+) -> Option<Vec<SPath>> {
+    let ctg = ctx.ctg();
+    let n = ctg.num_tasks();
+    let mut out_adj: Vec<Vec<&SEdge>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for e in edges {
+        out_adj[e.src.index()].push(e);
+        indeg[e.dst.index()] += 1;
+    }
+    let profile = ctx.platform().profile();
+    let exec = |t: TaskId| profile.wcet(t.index(), schedule.pe_of(t));
+    let scenario_probs = ctx.scenario_probs(probs);
+
+    struct Frame {
+        task: TaskId,
+        tasks: Vec<TaskId>,
+        delay: f64,
+        cond: ScenarioMask,
+        guards: Vec<(usize, Literal)>,
+    }
+
+    let mut paths = Vec::new();
+    let mut stack: Vec<Frame> = (0..n)
+        .filter(|&t| indeg[t] == 0)
+        .map(|t| {
+            let t = TaskId::new(t);
+            Frame {
+                task: t,
+                tasks: vec![t],
+                delay: exec(t),
+                cond: ctx.task_mask(t).clone(),
+                guards: Vec::new(),
+            }
+        })
+        .collect();
+
+    let n_scen = ctx.scenarios().len();
+    while let Some(f) = stack.pop() {
+        // Extend through every consistent out-edge, tracking which of the
+        // frame's scenarios are covered by at least one extension.
+        let mut covered = ScenarioMask::empty(n_scen);
+        for e in &out_adj[f.task.index()] {
+            // Combine the running condition with the guard and the next
+            // node's own activation condition; prune impossible branches.
+            let mut cond = f.cond.and(ctx.task_mask(e.dst));
+            let mut guards = f.guards.clone();
+            if let Some(lit) = e.guard {
+                cond.intersect(&ctx.literal_mask(lit.branch(), lit.alt()));
+                let fork_pos = f
+                    .tasks
+                    .iter()
+                    .position(|&t| t == lit.branch())
+                    .unwrap_or(f.tasks.len() - 1);
+                guards.push((fork_pos, lit));
+            }
+            if cond.is_empty() {
+                continue;
+            }
+            covered.union(&cond);
+            let mut tasks = f.tasks.clone();
+            tasks.push(e.dst);
+            stack.push(Frame {
+                task: e.dst,
+                tasks,
+                delay: f.delay + e.delay + exec(e.dst),
+                cond,
+                guards,
+            });
+        }
+        // Scenarios in which the path effectively *ends here* — either the
+        // task is a graph sink, or every successor is deactivated. The
+        // task's finish time is a makespan candidate in those scenarios, so
+        // the prefix is a real worst-case path and must be emitted (without
+        // this, a chain ending at a non-sink task whose continuations are
+        // all scenario-inconsistent would escape the deadline analysis).
+        let residual = f.cond.subtract(&covered);
+        if !residual.is_empty() {
+            let prob = ctx.mask_prob(&residual, &scenario_probs);
+            paths.push(SPath {
+                tasks: f.tasks,
+                cond: residual,
+                delay: f.delay,
+                guards: f.guards,
+                prob,
+            });
+            if paths.len() > cap {
+                return None;
+            }
+        }
+    }
+    // Deterministic order.
+    paths.sort_by(|a, b| a.tasks.cmp(&b.tasks));
+    Some(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dls::dls_schedule;
+    use crate::test_util::{chain_context, example1_context};
+
+    #[test]
+    fn chain_has_single_path() {
+        let (ctx, probs, [a, c, d]) = chain_context(60.0);
+        let s = dls_schedule(&ctx, &probs).unwrap();
+        let g = ScheduledGraph::build(&ctx, &s, &probs, 1000).unwrap();
+        assert_eq!(g.paths().len(), 1);
+        let p = &g.paths()[0];
+        assert_eq!(p.tasks, vec![a, c, d]);
+        assert!((p.delay - 6.0).abs() < 1e-9); // 3 tasks × wcet 2, same PE
+        assert!((p.prob - 1.0).abs() < 1e-12);
+        assert!(p.cond.is_full());
+        assert!((g.critical_delay() - s.makespan()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn example1_paths_have_conditions() {
+        let (ctx, probs, ids) = example1_context();
+        let s = dls_schedule(&ctx, &probs).unwrap();
+        let g = ScheduledGraph::build(&ctx, &s, &probs, 10_000).unwrap();
+        let [_, _, _, t4, _, t6, t7, _] = ids;
+        // No valid path contains two mutually exclusive tasks.
+        for p in g.paths() {
+            assert!(!(p.spans(t4) && p.spans(t6)));
+            assert!(!(p.spans(t6) && p.spans(t7)));
+            assert!(p.prob > 0.0);
+        }
+        // Some path through t6 exists with probability 0.25.
+        let p6 = g.paths().iter().find(|p| p.spans(t6)).unwrap();
+        assert!((p6.prob - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prob_after_counts_pending_forks_only() {
+        let (ctx, probs, ids) = example1_context();
+        let s = dls_schedule(&ctx, &probs).unwrap();
+        let g = ScheduledGraph::build(&ctx, &s, &probs, 10_000).unwrap();
+        let [t1, _, t3, _, t5, t6, _, _] = ids;
+        // Find a pure CTG path t1→t3→t5→t6 style (may include pseudo hops).
+        let p = g
+            .paths()
+            .iter()
+            .find(|p| p.spans(t6) && p.spans(t5) && p.spans(t3) && p.spans(t1))
+            .expect("a path through the a2·b1 arm exists");
+        // After t6 every fork on the path is decided.
+        assert!((p.prob_after(t6, &probs) - 1.0).abs() < 1e-12);
+        // Before t3 both forks are pending (prob 0.25) unless extra guards
+        // from pseudo edges appear; at minimum it is ≤ 0.5.
+        assert!(p.prob_after(t1, &probs) <= 0.5 + 1e-12);
+    }
+
+    #[test]
+    fn critical_delay_matches_makespan() {
+        let (ctx, probs, _) = example1_context();
+        let s = dls_schedule(&ctx, &probs).unwrap();
+        let g = ScheduledGraph::build(&ctx, &s, &probs, 10_000).unwrap();
+        // The worst-case path delay bounds the schedule makespan.
+        assert!(g.critical_delay() + 1e-9 >= s.makespan());
+    }
+
+    #[test]
+    fn cap_triggers_fallback() {
+        let (ctx, probs, _) = example1_context();
+        let s = dls_schedule(&ctx, &probs).unwrap();
+        assert!(ScheduledGraph::build(&ctx, &s, &probs, 1).is_none());
+    }
+}
+
+#[cfg(test)]
+mod prefix_path_tests {
+    use super::*;
+    use crate::context::SchedContext;
+    use crate::dls::dls_schedule;
+    use crate::test_util::uniform_platform;
+    use ctg_model::{BranchProbs, CtgBuilder};
+
+    /// Regression: a chain ending at a task whose only continuations are
+    /// deactivated in some scenario must still appear as a worst-case path
+    /// for that scenario (found by tests/property.rs on a layered graph).
+    #[test]
+    fn prefix_paths_are_emitted_for_uncovered_scenarios() {
+        // head → mid → tail(cond alt 0). Under alt 1 the chain head→mid has
+        // no consistent continuation, yet mid's finish bounds the makespan.
+        let mut b = CtgBuilder::new("prefix");
+        let head = b.add_task("head");
+        let fork = b.add_task("fork");
+        let mid = b.add_task("mid");
+        let arm1 = b.add_task("arm1");
+        b.add_edge(head, fork, 0.0).unwrap();
+        b.add_edge(head, mid, 0.0).unwrap();
+        b.add_cond_edge(fork, arm1, 1, 0.0).unwrap();
+        // mid's only successor is conditional on alt 0 of the fork.
+        let gated = b.add_task("gated");
+        b.add_cond_edge(fork, gated, 0, 0.0).unwrap();
+        b.add_edge(mid, gated, 0.0).unwrap();
+        let ctg = b.deadline(100.0).build().unwrap();
+        let probs = BranchProbs::uniform(&ctg);
+        let platform = uniform_platform(ctg.num_tasks(), 2, 2.0, 2.0);
+        let ctx = SchedContext::new(ctg, platform).unwrap();
+        let schedule = dls_schedule(&ctx, &probs).unwrap();
+        let graph = ScheduledGraph::build(&ctx, &schedule, &probs, 10_000).unwrap();
+        // Some emitted path must end at `mid` (alt-1 scenarios where `gated`
+        // is inactive).
+        assert!(
+            graph
+                .paths()
+                .iter()
+                .any(|p| *p.tasks.last().unwrap() == mid),
+            "prefix path ending at mid missing: {:?}",
+            graph
+                .paths()
+                .iter()
+                .map(|p| p.tasks.iter().map(|t| t.index()).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        );
+        // And its scenario mask excludes the alt-0 scenarios (where the
+        // continuation through `gated` exists).
+        let prefix = graph
+            .paths()
+            .iter()
+            .find(|p| *p.tasks.last().unwrap() == mid)
+            .unwrap();
+        let gated_mask = ctx.task_mask(gated);
+        assert!(prefix.cond.and(gated_mask).is_empty());
+    }
+
+    /// Path scenario masks partition correctly: for every scenario, the
+    /// maximum delay over paths containing it bounds the simulated makespan.
+    #[test]
+    fn every_scenario_is_covered_by_some_path() {
+        let (ctx, probs, _) = crate::test_util::example1_context();
+        let schedule = dls_schedule(&ctx, &probs).unwrap();
+        let graph = ScheduledGraph::build(&ctx, &schedule, &probs, 10_000).unwrap();
+        for si in 0..ctx.scenarios().len() {
+            assert!(
+                graph.paths().iter().any(|p| p.cond.contains(si)),
+                "scenario {si} not covered by any path"
+            );
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Probability-aware static levels (paper §III.A).
+//!
+//! The static level of a task estimates the remaining critical work below it
+//! and drives the modified DLS priority. For a non-branching node
+//!
+//! `SL(τ) = wcet*(τ) + max_j SL(τ_j)`
+//!
+//! over its successors, and for a branch fork node the maximum is replaced by
+//! the *expectation* over alternatives:
+//!
+//! `SL(τ) = wcet*(τ) + Σ_alt prob(alt) · max_{τ_j via alt} SL(τ_j)`
+//!
+//! where `wcet*` is the WCET averaged over the PEs able to run the task at
+//! their maximum frequency. When an alternative activates several successors
+//! we take the maximum inside the alternative (the paper's formula sums over
+//! successors, which double-counts parallel work; the per-alternative maximum
+//! preserves the intended "expected critical path" semantics). Unconditional
+//! successors of a fork node contribute to every alternative.
+
+use crate::context::SchedContext;
+use ctg_model::{BranchProbs, TaskId};
+
+/// Computes the static level of every task under the current branch
+/// probabilities. Indexed by task id.
+pub fn static_levels(ctx: &SchedContext, probs: &BranchProbs) -> Vec<f64> {
+    let ctg = ctx.ctg();
+    let profile = ctx.platform().profile();
+    let mut sl = vec![0.0_f64; ctg.num_tasks()];
+    for &t in ctg.topological().iter().rev() {
+        let base = profile.wcet_avg(t.index());
+        let node = ctg.node(t);
+        let level = if node.is_branch() {
+            // Per-alternative maximum, expectation across alternatives.
+            let mut uncond_max: f64 = 0.0;
+            let alts = node.alternatives() as usize;
+            let mut alt_max = vec![0.0_f64; alts];
+            for (_, e) in ctg.out_edges(t) {
+                let succ_sl = sl[e.dst().index()];
+                match e.condition() {
+                    Some(a) => alt_max[a as usize] = alt_max[a as usize].max(succ_sl),
+                    None => uncond_max = uncond_max.max(succ_sl),
+                }
+            }
+            let expected: f64 = (0..alts)
+                .map(|a| probs.prob(t, a as u8) * alt_max[a].max(uncond_max))
+                .sum();
+            base + expected
+        } else {
+            let succ_max = ctg
+                .successors(t)
+                .map(|s| sl[s.index()])
+                .fold(0.0_f64, f64::max);
+            base + succ_max
+        };
+        sl[t.index()] = level;
+    }
+    sl
+}
+
+/// Worst-case static levels: like [`static_levels`] but every branch
+/// alternative is assumed taken (maximum instead of expectation).
+///
+/// Used by the probability-blind reference algorithm 1.
+pub fn worst_case_levels(ctx: &SchedContext) -> Vec<f64> {
+    let ctg = ctx.ctg();
+    let profile = ctx.platform().profile();
+    let mut sl = vec![0.0_f64; ctg.num_tasks()];
+    for &t in ctg.topological().iter().rev() {
+        let base = profile.wcet_avg(t.index());
+        let succ_max = ctg
+            .successors(t)
+            .map(|s| sl[s.index()])
+            .fold(0.0_f64, f64::max);
+        sl[t.index()] = base + succ_max;
+    }
+    sl
+}
+
+/// The DLS machine-bias term `δ(τ, p) = wcet*(τ) − WCET(τ, p)`.
+///
+/// Positive when `p` is faster than average for this task.
+pub fn delta(ctx: &SchedContext, task: TaskId, pe: mpsoc_platform::PeId) -> f64 {
+    let profile = ctx.platform().profile();
+    profile.wcet_avg(task.index()) - profile.wcet(task.index(), pe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{chain_context, example1_context};
+
+    #[test]
+    fn chain_levels_accumulate() {
+        let (ctx, probs, [a, c, d]) = chain_context(60.0);
+        let sl = static_levels(&ctx, &probs);
+        // Uniform wcet 2.0: SL(d)=2, SL(c)=4, SL(a)=6.
+        assert!((sl[d.index()] - 2.0).abs() < 1e-12);
+        assert!((sl[c.index()] - 4.0).abs() < 1e-12);
+        assert!((sl[a.index()] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branch_levels_take_expectation() {
+        // Asymmetric fork: alt 0 leads to a shallow arm, alt 1 to a deep one.
+        use crate::context::SchedContext;
+        use crate::test_util::uniform_platform;
+        use ctg_model::CtgBuilder;
+        let mut b = CtgBuilder::new("asym");
+        let f = b.add_task("f");
+        let shallow = b.add_task("shallow");
+        let d1 = b.add_task("d1");
+        let d2 = b.add_task("d2");
+        b.add_cond_edge(f, shallow, 0, 0.0).unwrap();
+        b.add_cond_edge(f, d1, 1, 0.0).unwrap();
+        b.add_edge(d1, d2, 0.0).unwrap();
+        let ctg = b.deadline(100.0).build().unwrap();
+        let mut probs = ctg_model::BranchProbs::uniform(&ctg);
+        let platform = uniform_platform(4, 2, 2.0, 2.0);
+        let ctx = SchedContext::new(ctg, platform).unwrap();
+
+        let sl_uniform = static_levels(&ctx, &probs);
+        // Skew towards the shallow arm: SL(f) decreases.
+        probs.set(f, vec![0.9, 0.1]).unwrap();
+        let sl_skew = static_levels(&ctx, &probs);
+        let arm0 = sl_skew[shallow.index()]; // 2
+        let arm1 = sl_skew[d1.index()]; // 4
+        assert!(arm1 > arm0);
+        assert!(sl_skew[f.index()] < sl_uniform[f.index()]);
+        let expect = 2.0 + 0.9 * arm0 + 0.1 * arm1;
+        assert!((sl_skew[f.index()] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example1_equal_arms_unaffected_by_skew() {
+        // In Example 1 both arms below τ3 have equal static level (the a1 arm
+        // gains depth through τ4→τ8), so skewing the probabilities leaves
+        // SL(τ3) unchanged — a useful regression anchor.
+        let (ctx, mut probs, ids) = example1_context();
+        let [_, _, t3, t4, t5, ..] = ids;
+        let sl_uniform = static_levels(&ctx, &probs);
+        assert!((sl_uniform[t4.index()] - sl_uniform[t5.index()]).abs() < 1e-12);
+        probs.set(t3, vec![0.9, 0.1]).unwrap();
+        let sl_skew = static_levels(&ctx, &probs);
+        assert!((sl_skew[t3.index()] - sl_uniform[t3.index()]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_dominates_expected() {
+        let (ctx, probs, _) = example1_context();
+        let wc = worst_case_levels(&ctx);
+        let ex = static_levels(&ctx, &probs);
+        for (w, e) in wc.iter().zip(&ex) {
+            assert!(w + 1e-12 >= *e);
+        }
+    }
+
+    #[test]
+    fn delta_prefers_fast_pes() {
+        let (ctx, _, ids) = example1_context();
+        // Uniform platform: δ = 0 everywhere.
+        for pe in ctx.platform().pes() {
+            assert!(delta(&ctx, ids[0], pe).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,555 @@
+//! The online task-stretching heuristic (paper §III.A, Figure 2).
+//!
+//! After DLS fixes mapping and order, each task is stretched once, in
+//! scheduling order:
+//!
+//! 1. enumerate all paths of the scheduled graph (BFS/DFS) with delay, slack
+//!    and per-path condition;
+//! 2. for each task `τ`, `CalculateSlack(τ)` finds, per minterm group of the
+//!    paths spanning `τ`, the critical path with the lowest distributable
+//!    slack ratio `slk(p)/delay(p)`; the slack granted to `τ` is a
+//!    probability-weighted combination, additionally weighted by the
+//!    activation probability `prob(τ)` — *tasks that are more likely to run
+//!    receive more slack*;
+//! 3. the task is stretched by its slack, its speed locked, and the delay and
+//!    slack of every path spanning it updated before the next task is
+//!    processed.
+//!
+//! The per-task slack is finally capped so that every spanning path still
+//! meets the deadline, which keeps the worst case schedulable.
+
+use crate::context::{ScenarioMask, SchedContext};
+use crate::error::SchedError;
+use crate::schedule::Schedule;
+use crate::sgraph::{ScheduledGraph, DEFAULT_PATH_CAP};
+use crate::speed::SpeedAssignment;
+use ctg_model::{BranchProbs, TaskId};
+use std::collections::HashMap;
+
+/// Tuning knobs for the stretching heuristic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StretchConfig {
+    /// Lower bound on assigned speed ratios (guards against degenerate
+    /// stretching when a path has huge slack).
+    pub min_speed: f64,
+    /// Maximum number of scheduled-graph paths to enumerate before falling
+    /// back to critical-path-based stretching.
+    pub path_cap: usize,
+    /// Number of stretching sweeps over the task order.
+    ///
+    /// The paper's Figure-2 heuristic makes a single probability-weighted
+    /// pass, which leaves slack unused but makes the solution *sensitive to
+    /// the probability estimates* — the property the adaptive manager
+    /// exploits. More sweeps approach full slack utilisation (closer to the
+    /// NLP optimum) at the cost of that sensitivity. The default of 2 is the
+    /// empirical balance that reproduces both Table 1 and Figure 5 shapes.
+    pub sweeps: usize,
+}
+
+impl Default for StretchConfig {
+    fn default() -> Self {
+        StretchConfig {
+            min_speed: 0.05,
+            path_cap: DEFAULT_PATH_CAP,
+            sweeps: 2,
+        }
+    }
+}
+
+impl StretchConfig {
+    /// A configuration that iterates stretching to (near) full slack
+    /// utilisation — probability-insensitive but closest to the NLP optimum.
+    pub fn exhaustive() -> Self {
+        StretchConfig { sweeps: MAX_SWEEPS, ..Default::default() }
+    }
+
+    /// The paper-faithful single-pass configuration (maximum probability
+    /// sensitivity, lowest slack utilisation).
+    pub fn single_pass() -> Self {
+        StretchConfig { sweeps: 1, ..Default::default() }
+    }
+}
+
+const PROB_ONE_EPS: f64 = 1e-9;
+
+/// Runs the stretching heuristic on a committed schedule.
+///
+/// # Errors
+///
+/// Returns [`SchedError::InvalidParameter`] for a non-positive `min_speed`
+/// or zero `path_cap`.
+/// # Example
+///
+/// ```
+/// use ctg_sched::{dls_schedule, stretch_schedule, StretchConfig};
+/// # use ctg_model::{BranchProbs, CtgBuilder};
+/// # use mpsoc_platform::PlatformBuilder;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let mut b = CtgBuilder::new("g");
+/// # let f = b.add_task("fork");
+/// # let x = b.add_task("x");
+/// # let y = b.add_task("y");
+/// # b.add_cond_edge(f, x, 0, 0.5)?;
+/// # b.add_cond_edge(f, y, 1, 0.5)?;
+/// # let ctg = b.deadline(30.0).build()?;
+/// # let mut pb = PlatformBuilder::new(3);
+/// # pb.add_pe("p0");
+/// # pb.add_pe("p1");
+/// # for t in 0..3 { pb.set_wcet_row(t, vec![2.0, 2.5])?; pb.set_energy_row(t, vec![2.0, 1.8])?; }
+/// # pb.uniform_links(4.0, 0.1)?;
+/// # let ctx = ctg_sched::SchedContext::new(ctg, pb.build()?)?;
+/// # let probs = BranchProbs::uniform(ctx.ctg());
+/// let schedule = dls_schedule(&ctx, &probs)?;
+/// let speeds = stretch_schedule(&ctx, &probs, &schedule, &StretchConfig::default())?;
+/// // With a loose deadline every task slows down.
+/// assert!(ctx.ctg().tasks().all(|t| speeds.speed(t) < 1.0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn stretch_schedule(
+    ctx: &SchedContext,
+    probs: &BranchProbs,
+    schedule: &Schedule,
+    cfg: &StretchConfig,
+) -> Result<SpeedAssignment, SchedError> {
+    if !(cfg.min_speed > 0.0 && cfg.min_speed <= 1.0) {
+        return Err(SchedError::InvalidParameter("min_speed must lie in (0, 1]"));
+    }
+    if cfg.path_cap == 0 {
+        return Err(SchedError::InvalidParameter("path_cap must be positive"));
+    }
+    if cfg.sweeps == 0 {
+        return Err(SchedError::InvalidParameter("sweeps must be positive"));
+    }
+    match ScheduledGraph::build(ctx, schedule, probs, cfg.path_cap) {
+        Some(graph) => Ok(stretch_with_paths(ctx, probs, schedule, cfg, graph)),
+        None => Ok(critical_path_fallback(ctx, probs, schedule, cfg)),
+    }
+}
+
+/// Hard upper bound on stretching sweeps (used by
+/// [`StretchConfig::exhaustive`]).
+pub(crate) const MAX_SWEEPS: usize = 64;
+
+fn stretch_with_paths(
+    ctx: &SchedContext,
+    probs: &BranchProbs,
+    schedule: &Schedule,
+    cfg: &StretchConfig,
+    mut graph: ScheduledGraph,
+) -> SpeedAssignment {
+    let deadline = ctx.ctg().deadline();
+    let profile = ctx.platform().profile();
+    let n = ctx.ctg().num_tasks();
+    let mut extra = vec![0.0_f64; n];
+
+    let task_probs: Vec<f64> = ctx
+        .ctg()
+        .tasks()
+        .map(|t| ctx.task_prob(t, probs))
+        .collect();
+
+    for _sweep in 0..cfg.sweeps.clamp(1, MAX_SWEEPS) {
+        let mut granted_total = 0.0;
+        for &t in schedule.task_order() {
+            let wcet = profile.wcet(t.index(), schedule.pe_of(t));
+            if wcet <= 0.0 || graph.spanning(t).is_empty() {
+                continue;
+            }
+            let task_prob = task_probs[t.index()];
+            if task_prob <= 0.0 {
+                // A task that can never activate costs no expected energy
+                // either way; leave it at nominal speed.
+                continue;
+            }
+            let slack = calculate_slack(probs, &graph, t, wcet, task_prob, deadline);
+            // Respect the speed floor over the *accumulated* extension.
+            let max_total = wcet * (1.0 / cfg.min_speed - 1.0);
+            let slack = slack.min(max_total - extra[t.index()]).max(0.0);
+            if slack <= 1e-12 {
+                continue;
+            }
+            extra[t.index()] += slack;
+            granted_total += slack;
+            // Lock and propagate: every spanning path now takes `slack`
+            // longer.
+            let spanning: Vec<usize> = graph.spanning(t).to_vec();
+            for idx in spanning {
+                graph.paths_mut()[idx].delay += slack;
+            }
+        }
+        if granted_total <= 1e-9 * deadline {
+            break;
+        }
+    }
+
+    let mut speeds = SpeedAssignment::nominal(n);
+    for t in ctx.ctg().tasks() {
+        if extra[t.index()] > 0.0 {
+            let wcet = profile.wcet(t.index(), schedule.pe_of(t));
+            speeds.set(t, wcet / (wcet + extra[t.index()]));
+        }
+    }
+    speeds
+}
+
+/// The paper's `CalculateSlack(τ)` routine.
+fn calculate_slack(
+    probs: &BranchProbs,
+    graph: &ScheduledGraph,
+    task: TaskId,
+    wcet: f64,
+    task_prob: f64,
+    deadline: f64,
+) -> f64 {
+    // Group spanning paths by their minterm (path condition).
+    let mut groups: HashMap<&ScenarioMask, Vec<usize>> = HashMap::new();
+    for &idx in graph.spanning(task) {
+        groups.entry(&graph.paths()[idx].cond).or_default().push(idx);
+    }
+    let ratio = |idx: usize| {
+        let p = &graph.paths()[idx];
+        if p.delay <= 0.0 {
+            0.0
+        } else {
+            (deadline - p.delay) / p.delay
+        }
+    };
+
+    let mut slk1 = 0.0;
+    let mut any1 = false;
+    let mut slk2 = f64::INFINITY;
+    let mut any2 = false;
+    // Deterministic iteration order over groups.
+    let mut ordered: Vec<(&ScenarioMask, Vec<usize>)> = groups.into_iter().collect();
+    ordered.sort_by(|a, b| {
+        let pa = a.1.first().copied().unwrap_or(0);
+        let pb = b.1.first().copied().unwrap_or(0);
+        pa.cmp(&pb)
+    });
+    for (_, idxs) in ordered {
+        let group_prob = graph.paths()[idxs[0]].prob;
+        if group_prob <= PROB_ONE_EPS {
+            // A minterm the current estimates consider impossible: it must
+            // not throttle the slack of live tasks. (It still participates
+            // in the final deadline cap below, so the worst case stays safe
+            // even when the estimate is wrong.)
+            continue;
+        }
+        if group_prob + PROB_ONE_EPS >= 1.0 {
+            // Step 5–7: minterms with probability 1 contribute via slk2.
+            let worst = idxs
+                .iter()
+                .copied()
+                .min_by(|&a, &b| ratio(a).partial_cmp(&ratio(b)).expect("finite ratios"))
+                .expect("non-empty group");
+            slk2 = slk2.min(wcet * ratio(worst) * task_prob);
+            any2 = true;
+        } else {
+            // Step 3–4: pick the critical path with prob(p, τ) ≠ 1 and the
+            // lowest distributable slack ratio; fall back to the whole group
+            // when every spanning path is already decided at τ.
+            let candidates: Vec<usize> = {
+                let undecided: Vec<usize> = idxs
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        graph.paths()[i].prob_after(task, probs) < 1.0 - PROB_ONE_EPS
+                    })
+                    .collect();
+                if undecided.is_empty() { idxs.clone() } else { undecided }
+            };
+            let worst = candidates
+                .into_iter()
+                .min_by(|&a, &b| ratio(a).partial_cmp(&ratio(b)).expect("finite ratios"))
+                .expect("non-empty candidates");
+            let p_after = graph.paths()[worst].prob_after(task, probs);
+            slk1 += p_after * wcet * ratio(worst) * task_prob;
+            any1 = true;
+        }
+    }
+
+    let mut slack = match (any1, any2) {
+        (true, true) => slk1.min(slk2),
+        (true, false) => slk1,
+        (false, true) => slk2,
+        (false, false) => 0.0,
+    };
+    // Steps 9–10: never push any spanning path past the deadline.
+    for &idx in graph.spanning(task) {
+        slack = slack.min(deadline - graph.paths()[idx].delay);
+    }
+    slack
+}
+
+/// Fallback when path enumeration exceeds the cap: distribute slack along
+/// per-task worst-case critical paths computed by dynamic programming
+/// (condition-blind, therefore conservative).
+fn critical_path_fallback(
+    ctx: &SchedContext,
+    probs: &BranchProbs,
+    schedule: &Schedule,
+    cfg: &StretchConfig,
+) -> SpeedAssignment {
+    proportional_stretch(ctx, schedule, cfg, &|t| ctx.task_prob(t, probs), true)
+}
+
+/// Critical-path proportional slack distribution.
+///
+/// Shared by the fallback path of the online heuristic (`weight` = activation
+/// probability) and by the probability-blind reference algorithm 1
+/// (`weight` ≡ 1, no mutual-exclusion overlap in the constraint graph).
+pub(crate) fn proportional_stretch(
+    ctx: &SchedContext,
+    schedule: &Schedule,
+    cfg: &StretchConfig,
+    weight: &dyn Fn(TaskId) -> f64,
+    exploit_mutex: bool,
+) -> SpeedAssignment {
+    let ctg = ctx.ctg();
+    let n = ctg.num_tasks();
+    let profile = ctx.platform().profile();
+    let comm = ctx.platform().comm();
+    let deadline = ctg.deadline();
+
+    // Constraint edges: CTG + implied + same-PE serialization.
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    let mut radj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    let push = |s: usize, d: usize, delay: f64, adj: &mut Vec<Vec<(usize, f64)>>, radj: &mut Vec<Vec<(usize, f64)>>| {
+        adj[s].push((d, delay));
+        radj[d].push((s, delay));
+    };
+    for (_, e) in ctg.edges() {
+        let d = comm.delay(schedule.pe_of(e.src()), schedule.pe_of(e.dst()), e.comm_kbytes());
+        push(e.src().index(), e.dst().index(), d, &mut adj, &mut radj);
+    }
+    for &(f, o) in ctx.activation().implied_or_deps() {
+        push(f.index(), o.index(), 0.0, &mut adj, &mut radj);
+    }
+    for pe in ctx.platform().pes() {
+        let order = schedule.pe_order(pe);
+        for i in 0..order.len() {
+            for j in (i + 1)..order.len() {
+                if exploit_mutex && ctx.mutually_exclusive(order[i], order[j]) {
+                    continue;
+                }
+                push(order[i].index(), order[j].index(), 0.0, &mut adj, &mut radj);
+            }
+        }
+    }
+
+    let mut exec: Vec<f64> = (0..n)
+        .map(|t| profile.wcet(t, schedule.pe_of(TaskId::new(t))))
+        .collect();
+    // A topological order of the *constraint* graph: pseudo edges always go
+    // from earlier to strictly later start times, so start order works (the
+    // CTG's own topological order does not account for pseudo edges).
+    let mut topo: Vec<TaskId> = ctg.tasks().collect();
+    topo.sort_by(|&a, &b| {
+        schedule
+            .start(a)
+            .partial_cmp(&schedule.start(b))
+            .expect("start times are finite")
+            .then(a.cmp(&b))
+    });
+    let topo = &topo;
+    let base_exec = exec.clone();
+    for _sweep in 0..cfg.sweeps.clamp(1, MAX_SWEEPS) {
+        let mut granted_total = 0.0;
+        for &t in schedule.task_order() {
+            // Longest in/out chains with current (already stretched)
+            // durations.
+            let mut to = vec![0.0_f64; n];
+            for &u in topo {
+                let mut best: f64 = 0.0;
+                for &(p, d) in &radj[u.index()] {
+                    best = best.max(to[p] + exec[p] + d);
+                }
+                to[u.index()] = best;
+            }
+            let mut from = vec![0.0_f64; n];
+            for &u in topo.iter().rev() {
+                let mut best: f64 = 0.0;
+                for &(s, d) in &adj[u.index()] {
+                    best = best.max(from[s] + exec[s] + d);
+                }
+                from[u.index()] = best;
+            }
+            let path_delay = to[t.index()] + exec[t.index()] + from[t.index()];
+            if path_delay >= deadline {
+                continue;
+            }
+            let ratio = (deadline - path_delay) / path_delay;
+            let wcet = base_exec[t.index()];
+            let max_total = wcet * (1.0 / cfg.min_speed - 1.0);
+            let already = exec[t.index()] - wcet;
+            let slack = (wcet * ratio * weight(t))
+                .min(deadline - path_delay)
+                .min(max_total - already)
+                .max(0.0);
+            if slack > 1e-12 {
+                exec[t.index()] += slack;
+                granted_total += slack;
+            }
+        }
+        if granted_total <= 1e-9 * deadline {
+            break;
+        }
+    }
+    let mut speeds = SpeedAssignment::nominal(n);
+    for t in 0..n {
+        if exec[t] > base_exec[t] {
+            speeds.set(TaskId::new(t), base_exec[t] / exec[t]);
+        }
+    }
+    speeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dls::dls_schedule;
+    use crate::speed::expected_energy;
+    use crate::test_util::{chain_context, example1_context, example1_ctg, uniform_platform};
+
+    #[test]
+    fn chain_stretch_fills_deadline() {
+        // Chain of 3 tasks (wcet 2 each) with deadline 60: lots of slack.
+        let (ctx, probs, _) = chain_context(60.0);
+        let sched = dls_schedule(&ctx, &probs).unwrap();
+        let speeds = stretch_schedule(&ctx, &probs, &sched, &StretchConfig::default()).unwrap();
+        // Every task slowed down.
+        for t in ctx.ctg().tasks() {
+            assert!(speeds.speed(t) < 1.0, "{t} should be stretched");
+        }
+        // Total stretched delay still within the deadline.
+        let total: f64 = ctx
+            .ctg()
+            .tasks()
+            .map(|t| 2.0 / speeds.speed(t))
+            .sum();
+        assert!(total <= 60.0 + 1e-6);
+    }
+
+    #[test]
+    fn no_slack_means_nominal_speeds() {
+        // Deadline equal to the makespan: nothing can stretch.
+        let (ctx, probs, _) = chain_context(60.0);
+        let sched = dls_schedule(&ctx, &probs).unwrap();
+        let tight = ctx.ctg().with_deadline(sched.makespan());
+        let ctx2 = SchedContext::new(tight, ctx.platform().clone()).unwrap();
+        let sched2 = dls_schedule(&ctx2, &probs).unwrap();
+        let speeds =
+            stretch_schedule(&ctx2, &probs, &sched2, &StretchConfig::default()).unwrap();
+        for t in ctx2.ctg().tasks() {
+            assert!((speeds.speed(t) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    use crate::context::SchedContext;
+
+    #[test]
+    fn stretching_reduces_expected_energy() {
+        let (ctx, probs, _) = example1_context();
+        let sched = dls_schedule(&ctx, &probs).unwrap();
+        let nominal = SpeedAssignment::nominal(ctx.ctg().num_tasks());
+        let stretched =
+            stretch_schedule(&ctx, &probs, &sched, &StretchConfig::default()).unwrap();
+        let e0 = expected_energy(&ctx, &probs, &sched, &nominal);
+        let e1 = expected_energy(&ctx, &probs, &sched, &stretched);
+        assert!(e1 < e0, "stretching must save energy ({e1} !< {e0})");
+    }
+
+    #[test]
+    fn deadline_respected_after_stretching() {
+        let (ctx, probs, _) = example1_context();
+        let sched = dls_schedule(&ctx, &probs).unwrap();
+        let speeds =
+            stretch_schedule(&ctx, &probs, &sched, &StretchConfig::default()).unwrap();
+        // Re-run the path analysis with stretched execution times: every
+        // path must still meet the deadline.
+        let graph = ScheduledGraph::build(&ctx, &sched, &probs, 100_000).unwrap();
+        let profile = ctx.platform().profile();
+        for p in graph.paths() {
+            let stretched_delay: f64 = p.delay
+                + p.tasks
+                    .iter()
+                    .map(|&t| {
+                        let w = profile.wcet(t.index(), sched.pe_of(t));
+                        w / speeds.speed(t) - w
+                    })
+                    .sum::<f64>();
+            assert!(
+                stretched_delay <= ctx.ctg().deadline() + 1e-6,
+                "path exceeds deadline: {stretched_delay}"
+            );
+        }
+    }
+
+    #[test]
+    fn likely_tasks_get_more_slack() {
+        // Two independent chains after a fork: the likely arm should end up
+        // slower (more stretched) than the unlikely one.
+        let (ctg, ids) = example1_ctg(100.0);
+        let [_, _, t3, t4, t5, ..] = ids;
+        let mut probs = ctg_model::BranchProbs::uniform(&ctg);
+        probs.set(t3, vec![0.9, 0.1]).unwrap();
+        let platform = uniform_platform(ctg.num_tasks(), 2, 2.0, 2.0);
+        let ctx = SchedContext::new(ctg, platform).unwrap();
+        let sched = dls_schedule(&ctx, &probs).unwrap();
+        let speeds =
+            stretch_schedule(&ctx, &probs, &sched, &StretchConfig::default()).unwrap();
+        // τ4 (prob 0.9) should run no faster than τ5 (prob 0.1) would
+        // suggest symmetric treatment; with probability weighting τ4 gets
+        // more slack.
+        assert!(
+            speeds.speed(t4) <= speeds.speed(t5) + 1e-9,
+            "likely task should be at least as stretched: s4={} s5={}",
+            speeds.speed(t4),
+            speeds.speed(t5)
+        );
+    }
+
+    #[test]
+    fn min_speed_floor_enforced() {
+        let (ctx, probs, _) = chain_context(10_000.0);
+        let sched = dls_schedule(&ctx, &probs).unwrap();
+        let cfg = StretchConfig { min_speed: 0.25, ..Default::default() };
+        let speeds = stretch_schedule(&ctx, &probs, &sched, &cfg).unwrap();
+        for t in ctx.ctg().tasks() {
+            assert!(speeds.speed(t) + 1e-12 >= 0.25);
+        }
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let (ctx, probs, _) = chain_context(60.0);
+        let sched = dls_schedule(&ctx, &probs).unwrap();
+        let bad = StretchConfig { min_speed: 0.0, ..Default::default() };
+        assert!(stretch_schedule(&ctx, &probs, &sched, &bad).is_err());
+        let bad = StretchConfig { path_cap: 0, ..Default::default() };
+        assert!(stretch_schedule(&ctx, &probs, &sched, &bad).is_err());
+    }
+
+    #[test]
+    fn fallback_matches_deadline_too() {
+        // Force the fallback with a tiny path cap.
+        let (ctx, probs, _) = example1_context();
+        let sched = dls_schedule(&ctx, &probs).unwrap();
+        let cfg = StretchConfig { path_cap: 1, ..Default::default() };
+        let speeds = stretch_schedule(&ctx, &probs, &sched, &cfg).unwrap();
+        let graph = ScheduledGraph::build(&ctx, &sched, &probs, 100_000).unwrap();
+        let profile = ctx.platform().profile();
+        for p in graph.paths() {
+            let stretched_delay: f64 = p.delay
+                + p.tasks
+                    .iter()
+                    .map(|&t| {
+                        let w = profile.wcet(t.index(), sched.pe_of(t));
+                        w / speeds.speed(t) - w
+                    })
+                    .sum::<f64>();
+            assert!(stretched_delay <= ctx.ctg().deadline() + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types render actionable messages and chain sources correctly
+//! (C-GOOD-ERR).
+
+use ctg_model::{BuildError, ProbError, TaskId};
+use ctg_sched::{ScheduleViolation, SchedError};
+use std::error::Error;
+
+#[test]
+fn sched_error_messages_name_the_subject() {
+    let cases: Vec<(SchedError, &str)> = vec![
+        (
+            SchedError::TaskCountMismatch { ctg: 3, platform: 5 },
+            "3 tasks",
+        ),
+        (SchedError::NoFeasiblePe(TaskId::new(7)), "t7"),
+        (
+            SchedError::DeadlineUnreachable { makespan: 12.0, deadline: 10.0 },
+            "12",
+        ),
+        (
+            SchedError::VectorArity { expected: 9, got: 2 },
+            "expected 9",
+        ),
+        (
+            SchedError::InvalidParameter("window length must be positive"),
+            "window length",
+        ),
+    ];
+    for (err, needle) in cases {
+        let msg = err.to_string();
+        assert!(msg.contains(needle), "`{msg}` missing `{needle}`");
+        // No trailing period (std error style).
+        assert!(!msg.ends_with('.'), "`{msg}` ends with a period");
+    }
+}
+
+#[test]
+fn bad_probabilities_chain_their_source() {
+    let inner = ProbError::NotABranch(TaskId::new(3));
+    let err = SchedError::from(inner.clone());
+    assert!(err.to_string().contains("t3"));
+    let source = err.source().expect("wraps the probability error");
+    assert_eq!(source.to_string(), inner.to_string());
+}
+
+#[test]
+fn schedule_violation_messages() {
+    let v = ScheduleViolation::Overlap { a: TaskId::new(1), b: TaskId::new(2) };
+    assert!(v.to_string().contains("t1"));
+    assert!(v.to_string().contains("overlap"));
+    let v = ScheduleViolation::DeadlineExceeded { delay: 11.5, deadline: 10.0 };
+    assert!(v.to_string().contains("11.5"));
+}
+
+#[test]
+fn error_types_are_send_sync_static() {
+    fn assert_good<E: Error + Send + Sync + 'static>() {}
+    assert_good::<BuildError>();
+    assert_good::<ProbError>();
+    assert_good::<SchedError>();
+    assert_good::<ScheduleViolation>();
+    assert_good::<mpsoc_platform::PlatformError>();
+    assert_good::<ctg_model::text::ParseTextError>();
+}

@@ -1,0 +1,315 @@
+//! Builder and validation for [`Ctg`].
+
+use crate::error::BuildError;
+use crate::graph::{Ctg, Edge, Node, NodeKind};
+use crate::id::{EdgeId, TaskId};
+use crate::topo::topological_order_of;
+
+/// Incremental builder for a [`Ctg`].
+///
+/// Tasks are added first, then edges; [`CtgBuilder::build`] validates the
+/// whole graph (acyclicity, branch-alternative consistency, deadline) and
+/// returns the immutable [`Ctg`].
+///
+/// # Example
+///
+/// ```
+/// use ctg_model::CtgBuilder;
+///
+/// # fn main() -> Result<(), ctg_model::BuildError> {
+/// let mut b = CtgBuilder::new("pipeline");
+/// let src = b.add_task("producer");
+/// let dst = b.add_task("consumer");
+/// b.add_edge(src, dst, 4.0)?; // 4 Kbytes transferred
+/// let ctg = b.deadline(20.0).build()?;
+/// assert_eq!(ctg.num_tasks(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CtgBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    deadline: f64,
+}
+
+impl CtgBuilder {
+    /// Creates an empty builder for a graph called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        CtgBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            deadline: 1.0,
+        }
+    }
+
+    /// Adds an and-node task and returns its id.
+    pub fn add_task(&mut self, name: impl Into<String>) -> TaskId {
+        self.add_task_with_kind(name, NodeKind::And)
+    }
+
+    /// Adds a task with explicit activation semantics and returns its id.
+    pub fn add_task_with_kind(&mut self, name: impl Into<String>, kind: NodeKind) -> TaskId {
+        let id = TaskId::new(self.nodes.len());
+        self.nodes.push(Node {
+            name: name.into(),
+            kind,
+            alternatives: 0,
+        });
+        id
+    }
+
+    /// Adds an unconditional edge carrying `comm_kbytes` Kbytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown endpoints, self loops, duplicate edges or
+    /// invalid communication volumes.
+    pub fn add_edge(
+        &mut self,
+        src: TaskId,
+        dst: TaskId,
+        comm_kbytes: f64,
+    ) -> Result<EdgeId, BuildError> {
+        self.push_edge(src, dst, None, comm_kbytes)
+    }
+
+    /// Adds a conditional edge guarded by alternative `alt` of the source
+    /// fork node.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CtgBuilder::add_edge`].
+    pub fn add_cond_edge(
+        &mut self,
+        src: TaskId,
+        dst: TaskId,
+        alt: u8,
+        comm_kbytes: f64,
+    ) -> Result<EdgeId, BuildError> {
+        self.push_edge(src, dst, Some(alt), comm_kbytes)
+    }
+
+    fn push_edge(
+        &mut self,
+        src: TaskId,
+        dst: TaskId,
+        condition: Option<u8>,
+        comm_kbytes: f64,
+    ) -> Result<EdgeId, BuildError> {
+        for t in [src, dst] {
+            if t.index() >= self.nodes.len() {
+                return Err(BuildError::UnknownTask(t));
+            }
+        }
+        if src == dst {
+            return Err(BuildError::SelfLoop(src));
+        }
+        if self.edges.iter().any(|e| e.src == src && e.dst == dst) {
+            return Err(BuildError::DuplicateEdge(src, dst));
+        }
+        if !comm_kbytes.is_finite() || comm_kbytes < 0.0 {
+            return Err(BuildError::InvalidCommVolume {
+                src,
+                dst,
+                volume: comm_kbytes,
+            });
+        }
+        let id = EdgeId::new(self.edges.len());
+        self.edges.push(Edge {
+            src,
+            dst,
+            condition,
+            comm_kbytes,
+        });
+        Ok(id)
+    }
+
+    /// Sets the common deadline (= period) of the graph.
+    pub fn deadline(&mut self, deadline: f64) -> &mut Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Validates and finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildError::Empty`] — no tasks were added;
+    /// * [`BuildError::Cyclic`] — the edge relation has a cycle;
+    /// * [`BuildError::AlternativeGap`] / [`BuildError::DegenerateBranch`] —
+    ///   the conditional out-edges of a fork node do not use alternatives
+    ///   `0..k` with `k ≥ 2`;
+    /// * [`BuildError::InvalidDeadline`] — the deadline is not positive/finite.
+    pub fn build(&self) -> Result<Ctg, BuildError> {
+        if self.nodes.is_empty() {
+            return Err(BuildError::Empty);
+        }
+        if !self.deadline.is_finite() || self.deadline <= 0.0 {
+            return Err(BuildError::InvalidDeadline(self.deadline));
+        }
+
+        let n = self.nodes.len();
+        let mut succ: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+        let mut pred: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+        for (i, e) in self.edges.iter().enumerate() {
+            succ[e.src.index()].push(EdgeId::new(i));
+            pred[e.dst.index()].push(EdgeId::new(i));
+        }
+
+        // Derive branch alternatives from conditional out-edges and validate.
+        let mut nodes = self.nodes.clone();
+        for t in 0..n {
+            let mut alts: Vec<u8> = succ[t]
+                .iter()
+                .filter_map(|&e| self.edges[e.index()].condition)
+                .collect();
+            if alts.is_empty() {
+                continue;
+            }
+            alts.sort_unstable();
+            alts.dedup();
+            let count = alts.len() as u8;
+            if count == 1 {
+                return Err(BuildError::DegenerateBranch(TaskId::new(t)));
+            }
+            for (want, &got) in alts.iter().enumerate() {
+                if got != want as u8 {
+                    return Err(BuildError::AlternativeGap {
+                        branch: TaskId::new(t),
+                        missing: want as u8,
+                    });
+                }
+            }
+            nodes[t].alternatives = count;
+        }
+
+        let topo = topological_order_of(n, &self.edges).ok_or(BuildError::Cyclic)?;
+        let branch_nodes: Vec<TaskId> = topo
+            .iter()
+            .copied()
+            .filter(|t| nodes[t.index()].alternatives > 0)
+            .collect();
+
+        Ok(Ctg {
+            name: self.name.clone(),
+            nodes,
+            edges: self.edges.clone(),
+            succ,
+            pred,
+            topo,
+            branch_nodes,
+            deadline: self.deadline,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_graph() {
+        assert_eq!(CtgBuilder::new("g").build(), Err(BuildError::Empty));
+    }
+
+    #[test]
+    fn rejects_unknown_task_and_self_loop() {
+        let mut b = CtgBuilder::new("g");
+        let a = b.add_task("a");
+        let ghost = TaskId::new(9);
+        assert_eq!(b.add_edge(a, ghost, 0.0), Err(BuildError::UnknownTask(ghost)));
+        assert_eq!(b.add_edge(a, a, 0.0), Err(BuildError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut b = CtgBuilder::new("g");
+        let a = b.add_task("a");
+        let c = b.add_task("c");
+        b.add_edge(a, c, 0.0).unwrap();
+        assert_eq!(b.add_edge(a, c, 1.0), Err(BuildError::DuplicateEdge(a, c)));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = CtgBuilder::new("g");
+        let a = b.add_task("a");
+        let c = b.add_task("c");
+        b.add_edge(a, c, 0.0).unwrap();
+        b.add_edge(c, a, 0.0).unwrap();
+        assert_eq!(b.deadline(1.0).build(), Err(BuildError::Cyclic));
+    }
+
+    #[test]
+    fn rejects_alternative_gap_and_degenerate_branch() {
+        let mut b = CtgBuilder::new("g");
+        let f = b.add_task("f");
+        let x = b.add_task("x");
+        let y = b.add_task("y");
+        b.add_cond_edge(f, x, 0, 0.0).unwrap();
+        b.add_cond_edge(f, y, 2, 0.0).unwrap();
+        assert_eq!(
+            b.deadline(1.0).build(),
+            Err(BuildError::AlternativeGap { branch: f, missing: 1 })
+        );
+
+        let mut b = CtgBuilder::new("g");
+        let f = b.add_task("f");
+        let x = b.add_task("x");
+        b.add_cond_edge(f, x, 0, 0.0).unwrap();
+        assert_eq!(b.deadline(1.0).build(), Err(BuildError::DegenerateBranch(f)));
+    }
+
+    #[test]
+    fn rejects_bad_deadline_and_volume() {
+        let mut b = CtgBuilder::new("g");
+        let a = b.add_task("a");
+        let c = b.add_task("c");
+        assert!(matches!(
+            b.add_edge(a, c, -1.0),
+            Err(BuildError::InvalidCommVolume { .. })
+        ));
+        b.add_edge(a, c, 1.0).unwrap();
+        assert_eq!(b.deadline(0.0).build(), Err(BuildError::InvalidDeadline(0.0)));
+        assert!(matches!(
+            b.deadline(f64::NAN).build(),
+            Err(BuildError::InvalidDeadline(d)) if d.is_nan()
+        ));
+    }
+
+    #[test]
+    fn multiple_edges_per_alternative_allowed() {
+        // A fork alternative may activate several successors.
+        let mut b = CtgBuilder::new("g");
+        let f = b.add_task("f");
+        let x = b.add_task("x");
+        let y = b.add_task("y");
+        let z = b.add_task("z");
+        b.add_cond_edge(f, x, 0, 0.0).unwrap();
+        b.add_cond_edge(f, y, 0, 0.0).unwrap();
+        b.add_cond_edge(f, z, 1, 0.0).unwrap();
+        let g = b.deadline(1.0).build().unwrap();
+        assert_eq!(g.node(f).alternatives(), 2);
+    }
+
+    #[test]
+    fn branch_nodes_in_topological_order() {
+        let mut b = CtgBuilder::new("g");
+        let f2 = b.add_task("late-fork"); // added first, appears later in topo
+        let f1 = b.add_task("early-fork");
+        let x = b.add_task("x");
+        let y = b.add_task("y");
+        let p = b.add_task("p");
+        let q = b.add_task("q");
+        b.add_cond_edge(f1, f2, 0, 0.0).unwrap();
+        b.add_cond_edge(f1, x, 1, 0.0).unwrap();
+        b.add_cond_edge(f2, p, 0, 0.0).unwrap();
+        b.add_cond_edge(f2, q, 1, 0.0).unwrap();
+        b.add_edge(x, y, 0.0).unwrap();
+        let g = b.deadline(1.0).build().unwrap();
+        assert_eq!(g.branch_nodes(), &[f1, f2]);
+    }
+}

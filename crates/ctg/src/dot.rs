@@ -1,0 +1,98 @@
+//! Graphviz (DOT) export of conditional task graphs.
+
+use crate::graph::{Ctg, NodeKind};
+use std::fmt::Write as _;
+
+/// Renders `ctg` as a Graphviz `digraph`.
+///
+/// Branch fork nodes are drawn as diamonds, or-nodes as double circles, and
+/// conditional edges are dashed and labelled with their alternative index.
+///
+/// ```
+/// use ctg_model::{CtgBuilder, dot};
+/// # fn main() -> Result<(), ctg_model::BuildError> {
+/// let mut b = CtgBuilder::new("g");
+/// let a = b.add_task("a");
+/// let c = b.add_task("c");
+/// b.add_edge(a, c, 1.5)?;
+/// let g = b.deadline(1.0).build()?;
+/// let rendered = dot::to_dot(&g);
+/// assert!(rendered.contains("digraph"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(ctg: &Ctg) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", ctg.name());
+    let _ = writeln!(s, "  rankdir=TB;");
+    for t in ctg.tasks() {
+        let node = ctg.node(t);
+        let shape = if node.is_branch() {
+            "diamond"
+        } else if node.kind() == NodeKind::Or {
+            "doublecircle"
+        } else {
+            "ellipse"
+        };
+        let _ = writeln!(
+            s,
+            "  {} [label=\"{}\" shape={}];",
+            t.index(),
+            node.name(),
+            shape
+        );
+    }
+    for (_, e) in ctg.edges() {
+        match e.condition() {
+            Some(alt) => {
+                let _ = writeln!(
+                    s,
+                    "  {} -> {} [style=dashed label=\"alt{} ({}KB)\"];",
+                    e.src().index(),
+                    e.dst().index(),
+                    alt,
+                    e.comm_kbytes()
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    s,
+                    "  {} -> {} [label=\"{}KB\"];",
+                    e.src().index(),
+                    e.dst().index(),
+                    e.comm_kbytes()
+                );
+            }
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CtgBuilder;
+    use crate::graph::NodeKind;
+
+    #[test]
+    fn renders_all_node_shapes_and_edge_styles() {
+        let mut b = CtgBuilder::new("shapes");
+        let f = b.add_task("fork");
+        let x = b.add_task("x");
+        let y = b.add_task("y");
+        let o = b.add_task_with_kind("or", NodeKind::Or);
+        b.add_cond_edge(f, x, 0, 1.0).unwrap();
+        b.add_cond_edge(f, y, 1, 2.0).unwrap();
+        b.add_edge(x, o, 0.5).unwrap();
+        b.add_edge(y, o, 0.5).unwrap();
+        let g = b.deadline(1.0).build().unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("shape=doublecircle"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("alt1"));
+        assert!(dot.starts_with("digraph \"shapes\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,108 @@
+//! Error types for graph construction and probability tables.
+
+use crate::id::TaskId;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building or validating a [`Ctg`](crate::Ctg).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// An edge refers to a task id that was never added.
+    UnknownTask(TaskId),
+    /// An edge would connect a task to itself.
+    SelfLoop(TaskId),
+    /// The same (src, dst) edge was added twice.
+    DuplicateEdge(TaskId, TaskId),
+    /// The graph contains a cycle and is therefore not a valid CTG.
+    Cyclic,
+    /// A branch fork node mixes conditional and unconditional outgoing edges
+    /// in a way that leaves an alternative index gap (alternatives must be
+    /// `0..k` with every index used by at least one edge).
+    AlternativeGap {
+        /// The offending branch fork node.
+        branch: TaskId,
+        /// The first missing alternative index.
+        missing: u8,
+    },
+    /// A branch fork node has a single alternative, which is not a branch.
+    DegenerateBranch(TaskId),
+    /// The deadline is not strictly positive and finite.
+    InvalidDeadline(f64),
+    /// A communication volume is negative or not finite.
+    InvalidCommVolume {
+        /// Source of the offending edge.
+        src: TaskId,
+        /// Destination of the offending edge.
+        dst: TaskId,
+        /// The rejected volume value (Kbytes).
+        volume: f64,
+    },
+    /// The graph has no tasks.
+    Empty,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownTask(t) => write!(f, "edge refers to unknown task {t}"),
+            BuildError::SelfLoop(t) => write!(f, "self loop on task {t}"),
+            BuildError::DuplicateEdge(s, d) => write!(f, "duplicate edge {s} -> {d}"),
+            BuildError::Cyclic => write!(f, "graph contains a cycle"),
+            BuildError::AlternativeGap { branch, missing } => write!(
+                f,
+                "branch fork node {branch} is missing alternative index {missing}"
+            ),
+            BuildError::DegenerateBranch(t) => {
+                write!(f, "branch fork node {t} has a single alternative")
+            }
+            BuildError::InvalidDeadline(d) => write!(f, "invalid deadline {d}"),
+            BuildError::InvalidCommVolume { src, dst, volume } => write!(
+                f,
+                "invalid communication volume {volume} on edge {src} -> {dst}"
+            ),
+            BuildError::Empty => write!(f, "graph has no tasks"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Error produced while building a [`BranchProbs`](crate::BranchProbs) table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbError {
+    /// The referenced task is not a branch fork node of the graph.
+    NotABranch(TaskId),
+    /// The probability vector has the wrong number of alternatives.
+    WrongArity {
+        /// The branch fork node concerned.
+        branch: TaskId,
+        /// The number of alternatives the node actually has.
+        expected: usize,
+        /// The number of probabilities supplied.
+        got: usize,
+    },
+    /// A probability is negative, non-finite, or the vector does not sum to 1.
+    InvalidDistribution(TaskId),
+    /// No probabilities were supplied for a branch fork node of the graph.
+    MissingBranch(TaskId),
+}
+
+impl fmt::Display for ProbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbError::NotABranch(t) => write!(f, "task {t} is not a branch fork node"),
+            ProbError::WrongArity { branch, expected, got } => write!(
+                f,
+                "branch {branch} has {expected} alternatives but {got} probabilities were given"
+            ),
+            ProbError::InvalidDistribution(t) => {
+                write!(f, "probabilities for branch {t} do not form a distribution")
+            }
+            ProbError::MissingBranch(t) => {
+                write!(f, "no probabilities supplied for branch {t}")
+            }
+        }
+    }
+}
+
+impl Error for ProbError {}

@@ -1,0 +1,306 @@
+//! The conditional task graph structure.
+
+use crate::activation::Activation;
+use crate::id::{EdgeId, TaskId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Activation semantics of a node (paper §II).
+///
+/// * An [`NodeKind::And`] node is activated when **all** its predecessors have
+///   completed and the conditions of the corresponding edges are satisfied.
+/// * An [`NodeKind::Or`] node is activated when **one or more** predecessors
+///   have completed and the conditions of the corresponding edges hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Conjunctive activation (default).
+    #[default]
+    And,
+    /// Disjunctive activation.
+    Or,
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeKind::And => write!(f, "and"),
+            NodeKind::Or => write!(f, "or"),
+        }
+    }
+}
+
+/// A task vertex of the CTG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    pub(crate) name: String,
+    pub(crate) kind: NodeKind,
+    /// Number of conditional alternatives if this is a branch fork node
+    /// (derived from the outgoing conditional edges), 0 otherwise.
+    pub(crate) alternatives: u8,
+}
+
+impl Node {
+    /// The human-readable name of the task.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Activation semantics of the task.
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// Number of branch alternatives (0 when the task is not a fork node).
+    pub fn alternatives(&self) -> u8 {
+        self.alternatives
+    }
+
+    /// Whether the task is a branch fork node.
+    pub fn is_branch(&self) -> bool {
+        self.alternatives > 0
+    }
+}
+
+/// A precedence/data-dependency edge of the CTG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    pub(crate) src: TaskId,
+    pub(crate) dst: TaskId,
+    /// `Some(alt)` when the edge is conditional on the source fork node
+    /// selecting alternative `alt`; `None` for unconditional edges.
+    pub(crate) condition: Option<u8>,
+    /// Communication volume in Kbytes (paper: `Comm(τi, τj)`).
+    pub(crate) comm_kbytes: f64,
+}
+
+impl Edge {
+    /// Source task.
+    pub fn src(&self) -> TaskId {
+        self.src
+    }
+
+    /// Destination task.
+    pub fn dst(&self) -> TaskId {
+        self.dst
+    }
+
+    /// The guarding alternative of the source fork node, if conditional.
+    pub fn condition(&self) -> Option<u8> {
+        self.condition
+    }
+
+    /// Communication volume carried by the edge, in Kbytes.
+    pub fn comm_kbytes(&self) -> f64 {
+        self.comm_kbytes
+    }
+
+    /// Whether the edge is guarded by a branch condition.
+    pub fn is_conditional(&self) -> bool {
+        self.condition.is_some()
+    }
+}
+
+/// A validated conditional task graph.
+///
+/// Construct with [`CtgBuilder`](crate::CtgBuilder); a built graph is
+/// immutable, acyclic, and has consistent branch alternatives. A common
+/// period/deadline applies to the entire graph (paper §II).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ctg {
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) succ: Vec<Vec<EdgeId>>,
+    pub(crate) pred: Vec<Vec<EdgeId>>,
+    pub(crate) topo: Vec<TaskId>,
+    pub(crate) branch_nodes: Vec<TaskId>,
+    pub(crate) deadline: f64,
+}
+
+impl Ctg {
+    /// The name of the graph.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Common deadline (= period) of the graph, in time units.
+    pub fn deadline(&self) -> f64 {
+        self.deadline
+    }
+
+    /// All task ids in index order.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.nodes.len()).map(TaskId::new)
+    }
+
+    /// The node payload of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` does not belong to this graph.
+    pub fn node(&self, task: TaskId) -> &Node {
+        &self.nodes[task.index()]
+    }
+
+    /// The edge payload of `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` does not belong to this graph.
+    pub fn edge(&self, edge: EdgeId) -> &Edge {
+        &self.edges[edge.index()]
+    }
+
+    /// All edges in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.edges.iter().enumerate().map(|(i, e)| (EdgeId::new(i), e))
+    }
+
+    /// Outgoing edges of `task`.
+    pub fn out_edges(&self, task: TaskId) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.succ[task.index()].iter().map(move |&e| (e, &self.edges[e.index()]))
+    }
+
+    /// Incoming edges of `task`.
+    pub fn in_edges(&self, task: TaskId) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.pred[task.index()].iter().map(move |&e| (e, &self.edges[e.index()]))
+    }
+
+    /// Successor tasks of `task`.
+    pub fn successors(&self, task: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.out_edges(task).map(|(_, e)| e.dst)
+    }
+
+    /// Predecessor tasks of `task`.
+    pub fn predecessors(&self, task: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.in_edges(task).map(|(_, e)| e.src)
+    }
+
+    /// Tasks with no predecessors.
+    pub fn sources(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.tasks().filter(|t| self.pred[t.index()].is_empty())
+    }
+
+    /// Tasks with no successors.
+    pub fn sinks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.tasks().filter(|t| self.succ[t.index()].is_empty())
+    }
+
+    /// Task ids in a topological order (computed at build time).
+    pub fn topological(&self) -> &[TaskId] {
+        &self.topo
+    }
+
+    /// Branch fork nodes in topological order.
+    ///
+    /// The position of a fork node in this slice is its index in a
+    /// [`DecisionVector`](crate::DecisionVector).
+    pub fn branch_nodes(&self) -> &[TaskId] {
+        &self.branch_nodes
+    }
+
+    /// Number of branch fork nodes.
+    pub fn num_branches(&self) -> usize {
+        self.branch_nodes.len()
+    }
+
+    /// Index of `branch` within [`Ctg::branch_nodes`], if it is a fork node.
+    pub fn branch_index(&self, branch: TaskId) -> Option<usize> {
+        self.branch_nodes.iter().position(|&b| b == branch)
+    }
+
+    /// Runs the activation analysis for this graph (computes `X(τ)`, `Γ(τ)`,
+    /// scenario structure and implied or-node dependencies).
+    ///
+    /// The analysis is recomputed on each call; cache the result when used in
+    /// a loop.
+    pub fn activation(&self) -> Activation {
+        Activation::analyze(self)
+    }
+
+    /// Returns a copy of the graph with a different deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is not strictly positive and finite.
+    pub fn with_deadline(&self, deadline: f64) -> Ctg {
+        assert!(
+            deadline.is_finite() && deadline > 0.0,
+            "deadline must be positive and finite"
+        );
+        let mut g = self.clone();
+        g.deadline = deadline;
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::CtgBuilder;
+    use crate::graph::NodeKind;
+
+    #[test]
+    fn accessors_cover_basic_shape() {
+        let mut b = CtgBuilder::new("g");
+        let t0 = b.add_task("a");
+        let t1 = b.add_task("b");
+        let t2 = b.add_task_with_kind("c", NodeKind::Or);
+        b.add_edge(t0, t1, 2.0).unwrap();
+        b.add_edge(t1, t2, 3.0).unwrap();
+        let g = b.deadline(10.0).build().unwrap();
+
+        assert_eq!(g.num_tasks(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.node(t2).kind(), NodeKind::Or);
+        assert_eq!(g.node(t0).name(), "a");
+        assert_eq!(g.sources().collect::<Vec<_>>(), vec![t0]);
+        assert_eq!(g.sinks().collect::<Vec<_>>(), vec![t2]);
+        assert_eq!(g.successors(t0).collect::<Vec<_>>(), vec![t1]);
+        assert_eq!(g.predecessors(t2).collect::<Vec<_>>(), vec![t1]);
+        assert_eq!(g.deadline(), 10.0);
+        assert!(g.branch_nodes().is_empty());
+    }
+
+    #[test]
+    fn branch_metadata_derived_from_edges() {
+        let mut b = CtgBuilder::new("g");
+        let f = b.add_task("fork");
+        let x = b.add_task("x");
+        let y = b.add_task("y");
+        b.add_cond_edge(f, x, 0, 0.0).unwrap();
+        b.add_cond_edge(f, y, 1, 0.0).unwrap();
+        let g = b.deadline(5.0).build().unwrap();
+        assert!(g.node(f).is_branch());
+        assert_eq!(g.node(f).alternatives(), 2);
+        assert_eq!(g.branch_nodes(), &[f]);
+        assert_eq!(g.branch_index(f), Some(0));
+        assert_eq!(g.branch_index(x), None);
+    }
+
+    #[test]
+    fn with_deadline_replaces_deadline() {
+        let mut b = CtgBuilder::new("g");
+        let _ = b.add_task("a");
+        let g = b.deadline(5.0).build().unwrap();
+        assert_eq!(g.with_deadline(7.5).deadline(), 7.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn with_deadline_rejects_nonpositive() {
+        let mut b = CtgBuilder::new("g");
+        let _ = b.add_task("a");
+        let g = b.deadline(5.0).build().unwrap();
+        let _ = g.with_deadline(0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Strongly typed identifiers for tasks and edges.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a task (vertex) within a [`Ctg`](crate::Ctg).
+///
+/// Task ids are dense indices assigned in insertion order by
+/// [`CtgBuilder::add_task`](crate::CtgBuilder::add_task); they are only
+/// meaningful relative to the graph that produced them.
+///
+/// ```
+/// use ctg_model::TaskId;
+/// let t = TaskId::new(3);
+/// assert_eq!(t.index(), 3);
+/// assert_eq!(t.to_string(), "t3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(u32);
+
+impl TaskId {
+    /// Creates a task id from a dense index.
+    pub fn new(index: usize) -> Self {
+        TaskId(index as u32)
+    }
+
+    /// Returns the dense index of this task.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<TaskId> for usize {
+    fn from(id: TaskId) -> usize {
+        id.index()
+    }
+}
+
+/// Identifier of an edge within a [`Ctg`](crate::Ctg).
+///
+/// Edge ids are dense indices assigned in insertion order.
+///
+/// ```
+/// use ctg_model::EdgeId;
+/// assert_eq!(EdgeId::new(0).to_string(), "e0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge id from a dense index.
+    pub fn new(index: usize) -> Self {
+        EdgeId(index as u32)
+    }
+
+    /// Returns the dense index of this edge.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<EdgeId> for usize {
+    fn from(id: EdgeId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_id_roundtrip() {
+        let t = TaskId::new(42);
+        assert_eq!(t.index(), 42);
+        assert_eq!(usize::from(t), 42);
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::new(7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(usize::from(e), 7);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(TaskId::new(1) < TaskId::new(2));
+        assert!(EdgeId::new(0) < EdgeId::new(5));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TaskId::new(9).to_string(), "t9");
+        assert_eq!(EdgeId::new(9).to_string(), "e9");
+    }
+}

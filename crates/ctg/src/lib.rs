@@ -1,0 +1,86 @@
+//! Conditional task graph (CTG) model for real-time applications with
+//! non-deterministic workload.
+//!
+//! A CTG is an acyclic graph whose vertices are tasks and whose edges are
+//! precedence/data-dependency relations. Some edges are *conditional*: they
+//! are guarded by the outcome of a *branch fork node* and are only traversed
+//! when that node selects the corresponding alternative at runtime. Nodes are
+//! either *and-nodes* (activated when **all** incoming guarded dependencies
+//! fire) or *or-nodes* (activated when **any** fires).
+//!
+//! This crate provides:
+//!
+//! * the graph structure itself ([`Ctg`], [`CtgBuilder`]),
+//! * a small condition algebra ([`Literal`], [`Cube`], [`Dnf`]) used to
+//!   represent task activation conditions `X(τ)`,
+//! * activation analysis ([`Activation`]): `X(τ)`, the minterm family `Γ(τ)`,
+//!   mutual-exclusion tests and the implied dependencies between or-nodes and
+//!   the branch fork nodes that decide their predecessors,
+//! * runtime scenarios ([`ScenarioSet`], [`DecisionVector`]) together with
+//!   branch-probability bookkeeping ([`BranchProbs`]),
+//! * source→sink path enumeration over the plain CTG ([`paths`]),
+//! * structural metrics ([`metrics`]), Graphviz export ([`dot`]) and a
+//!   line-based text serialization ([`text`]).
+//!
+//! # Example
+//!
+//! Build the CTG of Example 1 from the paper and query its activation
+//! conditions:
+//!
+//! ```
+//! use ctg_model::{CtgBuilder, NodeKind};
+//!
+//! # fn main() -> Result<(), ctg_model::BuildError> {
+//! let mut b = CtgBuilder::new("example1");
+//! let t1 = b.add_task("t1");
+//! let t2 = b.add_task("t2");
+//! let t3 = b.add_task("t3"); // branch fork: a1 / a2
+//! let t4 = b.add_task("t4");
+//! let t5 = b.add_task("t5"); // branch fork: b1 / b2
+//! let t6 = b.add_task("t6");
+//! let t7 = b.add_task("t7");
+//! let t8 = b.add_task_with_kind("t8", NodeKind::Or);
+//! b.add_edge(t1, t2, 1.0)?;
+//! b.add_edge(t1, t3, 1.0)?;
+//! b.add_cond_edge(t3, t4, 0, 1.0)?; // a1
+//! b.add_cond_edge(t3, t5, 1, 1.0)?; // a2
+//! b.add_cond_edge(t5, t6, 0, 1.0)?; // b1
+//! b.add_cond_edge(t5, t7, 1, 1.0)?; // b2
+//! b.add_edge(t2, t8, 1.0)?;
+//! b.add_edge(t4, t8, 1.0)?;
+//! let ctg = b.deadline(100.0).build()?;
+//!
+//! let act = ctg.activation();
+//! assert!(act.mutually_exclusive(t4, t5));
+//! assert!(!act.mutually_exclusive(t2, t4));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activation;
+mod builder;
+mod condition;
+pub mod dot;
+mod error;
+mod graph;
+mod id;
+pub mod metrics;
+pub mod paths;
+mod probability;
+pub mod project;
+mod scenario;
+pub mod text;
+mod topo;
+
+pub use activation::Activation;
+pub use builder::CtgBuilder;
+pub use condition::{Cube, Dnf, Literal};
+pub use error::{BuildError, ProbError};
+pub use graph::{Ctg, Edge, Node, NodeKind};
+pub use id::{EdgeId, TaskId};
+pub use probability::BranchProbs;
+pub use scenario::{DecisionVector, Scenario, ScenarioSet};
+pub use topo::{ancestors, descendants, topological_order};

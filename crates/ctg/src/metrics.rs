@@ -1,0 +1,137 @@
+//! Structural metrics of conditional task graphs.
+//!
+//! Used by the generators' tests (to check the produced families look like
+//! the paper's), the CLI summary, and experiment reporting.
+
+use crate::graph::Ctg;
+use crate::scenario::ScenarioSet;
+
+/// A summary of a CTG's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtgMetrics {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Number of branch fork nodes.
+    pub branches: usize,
+    /// Number of runtime scenarios (reachable minterms).
+    pub scenarios: usize,
+    /// Length (in tasks) of the longest source→sink chain.
+    pub depth: usize,
+    /// Maximum antichain width approximated as the largest number of tasks
+    /// at equal depth.
+    pub width: usize,
+    /// Fraction of tasks that are conditionally activated.
+    pub conditional_fraction: f64,
+    /// Mean out-degree.
+    pub avg_out_degree: f64,
+    /// Total communication volume (Kbytes).
+    pub total_comm: f64,
+}
+
+/// Computes the metrics of `ctg`.
+///
+/// ```
+/// use ctg_model::{metrics, CtgBuilder};
+/// # fn main() -> Result<(), ctg_model::BuildError> {
+/// let mut b = CtgBuilder::new("g");
+/// let a = b.add_task("a");
+/// let c = b.add_task("c");
+/// b.add_edge(a, c, 2.0)?;
+/// let g = b.deadline(1.0).build()?;
+/// let m = metrics::compute(&g);
+/// assert_eq!(m.depth, 2);
+/// assert_eq!(m.total_comm, 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compute(ctg: &Ctg) -> CtgMetrics {
+    let n = ctg.num_tasks();
+    let act = ctg.activation();
+    let scenarios = ScenarioSet::enumerate(ctg, &act);
+
+    // Depth per task (longest chain from any source, in tasks).
+    let mut depth = vec![1usize; n];
+    for &t in ctg.topological() {
+        for s in ctg.successors(t) {
+            depth[s.index()] = depth[s.index()].max(depth[t.index()] + 1);
+        }
+    }
+    let max_depth = depth.iter().copied().max().unwrap_or(0);
+    let mut level_counts = vec![0usize; max_depth + 1];
+    for &d in &depth {
+        level_counts[d] += 1;
+    }
+    let width = level_counts.iter().copied().max().unwrap_or(0);
+
+    let conditional = ctg
+        .tasks()
+        .filter(|&t| !act.condition(t).is_true())
+        .count();
+
+    CtgMetrics {
+        tasks: n,
+        edges: ctg.num_edges(),
+        branches: ctg.num_branches(),
+        scenarios: scenarios.len(),
+        depth: max_depth,
+        width,
+        conditional_fraction: conditional as f64 / n as f64,
+        avg_out_degree: ctg.num_edges() as f64 / n as f64,
+        total_comm: ctg.edges().map(|(_, e)| e.comm_kbytes()).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CtgBuilder;
+
+    #[test]
+    fn chain_metrics() {
+        let mut b = CtgBuilder::new("chain");
+        let a = b.add_task("a");
+        let c = b.add_task("c");
+        let d = b.add_task("d");
+        b.add_edge(a, c, 1.0).unwrap();
+        b.add_edge(c, d, 2.0).unwrap();
+        let g = b.deadline(1.0).build().unwrap();
+        let m = compute(&g);
+        assert_eq!(m.tasks, 3);
+        assert_eq!(m.depth, 3);
+        assert_eq!(m.width, 1);
+        assert_eq!(m.scenarios, 1);
+        assert_eq!(m.conditional_fraction, 0.0);
+        assert_eq!(m.total_comm, 3.0);
+    }
+
+    #[test]
+    fn fork_metrics() {
+        let mut b = CtgBuilder::new("fork");
+        let f = b.add_task("f");
+        let x = b.add_task("x");
+        let y = b.add_task("y");
+        b.add_cond_edge(f, x, 0, 1.0).unwrap();
+        b.add_cond_edge(f, y, 1, 1.0).unwrap();
+        let g = b.deadline(1.0).build().unwrap();
+        let m = compute(&g);
+        assert_eq!(m.branches, 1);
+        assert_eq!(m.scenarios, 2);
+        assert_eq!(m.depth, 2);
+        assert_eq!(m.width, 2);
+        assert!((m.conditional_fraction - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_width() {
+        let mut b = CtgBuilder::new("wide");
+        let s = b.add_task("s");
+        for i in 0..4 {
+            let t = b.add_task(format!("p{i}"));
+            b.add_edge(s, t, 0.0).unwrap();
+        }
+        let g = b.deadline(1.0).build().unwrap();
+        assert_eq!(compute(&g).width, 4);
+    }
+}

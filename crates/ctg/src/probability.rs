@@ -1,0 +1,249 @@
+//! Branch-selection probability tables.
+
+use crate::error::ProbError;
+use crate::graph::Ctg;
+use crate::id::TaskId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+const DIST_TOL: f64 = 1e-6;
+
+/// Per-branch probability distributions over alternatives — the paper's
+/// `prob(e)` for each conditional edge, grouped by fork node.
+///
+/// A table is validated against a specific graph shape with
+/// [`BranchProbs::validate`]; the scheduler treats it as the current belief
+/// about the workload and the adaptive manager re-estimates it online.
+///
+/// ```
+/// use ctg_model::{BranchProbs, CtgBuilder};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = CtgBuilder::new("g");
+/// let f = b.add_task("fork");
+/// let x = b.add_task("x");
+/// let y = b.add_task("y");
+/// b.add_cond_edge(f, x, 0, 0.0)?;
+/// b.add_cond_edge(f, y, 1, 0.0)?;
+/// let g = b.deadline(1.0).build()?;
+///
+/// let mut probs = BranchProbs::new();
+/// probs.set(f, vec![0.3, 0.7])?;
+/// probs.validate(&g)?;
+/// assert!((probs.prob(f, 1) - 0.7).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BranchProbs {
+    table: BTreeMap<TaskId, Vec<f64>>,
+}
+
+impl BranchProbs {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        BranchProbs::default()
+    }
+
+    /// Builds a table assigning the uniform distribution to every branch
+    /// fork node of `ctg`.
+    pub fn uniform(ctg: &Ctg) -> Self {
+        let mut probs = BranchProbs::new();
+        for &b in ctg.branch_nodes() {
+            let k = ctg.node(b).alternatives() as usize;
+            probs.table.insert(b, vec![1.0 / k as f64; k]);
+        }
+        probs
+    }
+
+    /// Sets the distribution of `branch` over its alternatives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::InvalidDistribution`] when the vector contains a
+    /// negative or non-finite entry or does not sum to 1 (within 1e-6).
+    pub fn set(&mut self, branch: TaskId, probs: Vec<f64>) -> Result<(), ProbError> {
+        if probs.iter().any(|p| !p.is_finite() || *p < 0.0)
+            || (probs.iter().sum::<f64>() - 1.0).abs() > DIST_TOL
+            || probs.len() < 2
+        {
+            return Err(ProbError::InvalidDistribution(branch));
+        }
+        self.table.insert(branch, probs);
+        Ok(())
+    }
+
+    /// The probability that `branch` selects alternative `alt`.
+    ///
+    /// Unknown branches or alternatives yield probability 0.
+    pub fn prob(&self, branch: TaskId, alt: u8) -> f64 {
+        self.table
+            .get(&branch)
+            .and_then(|v| v.get(alt as usize))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// The full distribution for `branch`, if present.
+    pub fn distribution(&self, branch: TaskId) -> Option<&[f64]> {
+        self.table.get(&branch).map(Vec::as_slice)
+    }
+
+    /// Branches present in the table.
+    pub fn branches(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.table.keys().copied()
+    }
+
+    /// Checks that the table matches the branch structure of `ctg`: every
+    /// fork node has a distribution of the right arity and no spurious
+    /// entries exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatch found.
+    pub fn validate(&self, ctg: &Ctg) -> Result<(), ProbError> {
+        for &b in ctg.branch_nodes() {
+            let expected = ctg.node(b).alternatives() as usize;
+            match self.table.get(&b) {
+                None => return Err(ProbError::MissingBranch(b)),
+                Some(v) if v.len() != expected => {
+                    return Err(ProbError::WrongArity {
+                        branch: b,
+                        expected,
+                        got: v.len(),
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        for &b in self.table.keys() {
+            if ctg.branch_index(b).is_none() {
+                return Err(ProbError::NotABranch(b));
+            }
+        }
+        Ok(())
+    }
+
+    /// Largest absolute per-alternative difference to another table, over the
+    /// union of branches.
+    ///
+    /// This is the drift measure compared against the adaptation threshold in
+    /// the paper's window-based algorithm.
+    pub fn max_abs_diff(&self, other: &BranchProbs) -> f64 {
+        let mut max: f64 = 0.0;
+        for (b, v) in &self.table {
+            match other.table.get(b) {
+                Some(w) => {
+                    for (i, p) in v.iter().enumerate() {
+                        let q = w.get(i).copied().unwrap_or(0.0);
+                        max = max.max((p - q).abs());
+                    }
+                }
+                None => max = 1.0_f64.max(max),
+            }
+        }
+        for (b, w) in &other.table {
+            if !self.table.contains_key(b) {
+                max = max.max(w.iter().cloned().fold(0.0, f64::max));
+            }
+        }
+        max
+    }
+}
+
+impl fmt::Display for BranchProbs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (b, v) in &self.table {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{b}: [")?;
+            for (i, p) in v.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{p:.3}")?;
+            }
+            write!(f, "]")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CtgBuilder;
+
+    fn fork_graph() -> (Ctg, TaskId) {
+        let mut b = CtgBuilder::new("g");
+        let f = b.add_task("f");
+        let x = b.add_task("x");
+        let y = b.add_task("y");
+        b.add_cond_edge(f, x, 0, 0.0).unwrap();
+        b.add_cond_edge(f, y, 1, 0.0).unwrap();
+        (b.deadline(1.0).build().unwrap(), f)
+    }
+
+    #[test]
+    fn uniform_matches_graph() {
+        let (g, f) = fork_graph();
+        let p = BranchProbs::uniform(&g);
+        assert!(p.validate(&g).is_ok());
+        assert_eq!(p.prob(f, 0), 0.5);
+        assert_eq!(p.prob(f, 1), 0.5);
+    }
+
+    #[test]
+    fn set_rejects_bad_distributions() {
+        let (_, f) = fork_graph();
+        let mut p = BranchProbs::new();
+        assert!(p.set(f, vec![0.5, 0.6]).is_err());
+        assert!(p.set(f, vec![-0.1, 1.1]).is_err());
+        assert!(p.set(f, vec![1.0]).is_err());
+        assert!(p.set(f, vec![0.25, 0.75]).is_ok());
+    }
+
+    #[test]
+    fn validate_catches_missing_and_spurious() {
+        let (g, f) = fork_graph();
+        let p = BranchProbs::new();
+        assert_eq!(p.validate(&g), Err(ProbError::MissingBranch(f)));
+
+        let mut p = BranchProbs::new();
+        p.set(f, vec![0.5, 0.5]).unwrap();
+        p.set(TaskId::new(1), vec![0.5, 0.5]).unwrap();
+        assert_eq!(p.validate(&g), Err(ProbError::NotABranch(TaskId::new(1))));
+    }
+
+    #[test]
+    fn validate_catches_wrong_arity() {
+        let (g, f) = fork_graph();
+        let mut p = BranchProbs::new();
+        p.set(f, vec![0.2, 0.3, 0.5]).unwrap();
+        assert_eq!(
+            p.validate(&g),
+            Err(ProbError::WrongArity { branch: f, expected: 2, got: 3 })
+        );
+    }
+
+    #[test]
+    fn unknown_branch_prob_is_zero() {
+        let p = BranchProbs::new();
+        assert_eq!(p.prob(TaskId::new(0), 0), 0.0);
+    }
+
+    #[test]
+    fn max_abs_diff_measures_drift() {
+        let (_, f) = fork_graph();
+        let mut a = BranchProbs::new();
+        a.set(f, vec![0.5, 0.5]).unwrap();
+        let mut b = BranchProbs::new();
+        b.set(f, vec![0.8, 0.2]).unwrap();
+        assert!((a.max_abs_diff(&b) - 0.3).abs() < 1e-12);
+        assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Scenario projection: the unconditional task graph one scenario executes.
+//!
+//! Resolving every branch decision turns a CTG into a plain DAG — the graph
+//! a classical (non-conditional) scheduler would see for that run. Useful
+//! for analysis, for comparing against non-conditional schedulers, and for
+//! visualising single scenarios.
+
+use crate::activation::Activation;
+use crate::builder::CtgBuilder;
+use crate::graph::{Ctg, NodeKind};
+use crate::id::TaskId;
+use crate::scenario::Scenario;
+
+/// The result of projecting a CTG onto one scenario.
+#[derive(Debug, Clone)]
+pub struct Projection {
+    /// The unconditional graph of the scenario (and-nodes only, no
+    /// conditional edges).
+    pub ctg: Ctg,
+    /// For each original task, its id in the projected graph (or `None` if
+    /// the task is inactive in the scenario).
+    pub task_map: Vec<Option<TaskId>>,
+}
+
+/// Projects `ctg` onto `scenario`.
+///
+/// Active tasks keep their names; edges survive when both endpoints are
+/// active and the edge's guard (if any) matches the scenario's decision.
+/// Or-nodes become plain and-nodes — in a resolved scenario every surviving
+/// incoming edge fires.
+///
+/// ```
+/// use ctg_model::{project, CtgBuilder, ScenarioSet};
+/// # fn main() -> Result<(), ctg_model::BuildError> {
+/// let mut b = CtgBuilder::new("g");
+/// let f = b.add_task("fork");
+/// let x = b.add_task("x");
+/// let y = b.add_task("y");
+/// b.add_cond_edge(f, x, 0, 1.0)?;
+/// b.add_cond_edge(f, y, 1, 1.0)?;
+/// let g = b.deadline(10.0).build()?;
+/// let act = g.activation();
+/// let scenarios = ScenarioSet::enumerate(&g, &act);
+/// let p = project::project(&g, &act, &scenarios.scenarios()[0]);
+/// assert_eq!(p.ctg.num_tasks(), 2); // fork + one arm
+/// assert_eq!(p.ctg.num_branches(), 0); // fully resolved
+/// # Ok(())
+/// # }
+/// ```
+pub fn project(ctg: &Ctg, _act: &Activation, scenario: &Scenario) -> Projection {
+    let mut b = CtgBuilder::new(format!("{}@{}", ctg.name(), scenario.cube()));
+    let mut task_map = vec![None; ctg.num_tasks()];
+    for t in ctg.tasks() {
+        if scenario.is_active(t) {
+            let new_id = b.add_task_with_kind(ctg.node(t).name(), NodeKind::And);
+            task_map[t.index()] = Some(new_id);
+        }
+    }
+    for (_, e) in ctg.edges() {
+        let (Some(src), Some(dst)) = (task_map[e.src().index()], task_map[e.dst().index()])
+        else {
+            continue;
+        };
+        let fires = match e.condition() {
+            None => true,
+            Some(alt) => scenario.cube().alt_of(e.src()) == Some(alt),
+        };
+        if fires {
+            b.add_edge(src, dst, e.comm_kbytes())
+                .expect("projected edges are fresh");
+        }
+    }
+    let projected = b
+        .deadline(ctg.deadline())
+        .build()
+        .expect("a projected scenario is a valid DAG");
+    Projection { ctg: projected, task_map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioSet;
+
+    fn example1() -> Ctg {
+        let mut b = CtgBuilder::new("example1");
+        let t1 = b.add_task("t1");
+        let t2 = b.add_task("t2");
+        let t3 = b.add_task("t3");
+        let t4 = b.add_task("t4");
+        let t5 = b.add_task("t5");
+        let t6 = b.add_task("t6");
+        let t7 = b.add_task("t7");
+        let t8 = b.add_task_with_kind("t8", NodeKind::Or);
+        b.add_edge(t1, t2, 1.0).unwrap();
+        b.add_edge(t1, t3, 1.0).unwrap();
+        b.add_cond_edge(t3, t4, 0, 1.0).unwrap();
+        b.add_cond_edge(t3, t5, 1, 1.0).unwrap();
+        b.add_cond_edge(t5, t6, 0, 1.0).unwrap();
+        b.add_cond_edge(t5, t7, 1, 1.0).unwrap();
+        b.add_edge(t2, t8, 1.0).unwrap();
+        b.add_edge(t4, t8, 1.0).unwrap();
+        b.deadline(100.0).build().unwrap()
+    }
+
+    #[test]
+    fn projections_partition_the_task_set() {
+        let g = example1();
+        let act = g.activation();
+        let scenarios = ScenarioSet::enumerate(&g, &act);
+        for s in scenarios.scenarios() {
+            let p = project(&g, &act, s);
+            let active = (0..g.num_tasks())
+                .filter(|&t| s.active_tasks()[t])
+                .count();
+            assert_eq!(p.ctg.num_tasks(), active);
+            assert_eq!(p.ctg.num_branches(), 0);
+            // No conditional edges survive.
+            assert!(p.ctg.edges().all(|(_, e)| !e.is_conditional()));
+        }
+    }
+
+    #[test]
+    fn a1_scenario_keeps_the_or_join_dependencies() {
+        let g = example1();
+        let act = g.activation();
+        let scenarios = ScenarioSet::enumerate(&g, &act);
+        // The a1 scenario: t1,t2,t3,t4,t8 with t8 fed by t2 and t4.
+        let a1 = scenarios
+            .scenarios()
+            .iter()
+            .find(|s| s.cube().len() == 1)
+            .unwrap();
+        let p = project(&g, &act, a1);
+        assert_eq!(p.ctg.num_tasks(), 5);
+        let t8_new = p.task_map[7].unwrap();
+        assert_eq!(p.ctg.predecessors(t8_new).count(), 2);
+        // Deadline carried over.
+        assert_eq!(p.ctg.deadline(), 100.0);
+    }
+
+    #[test]
+    fn task_map_is_consistent() {
+        let g = example1();
+        let act = g.activation();
+        let scenarios = ScenarioSet::enumerate(&g, &act);
+        for s in scenarios.scenarios() {
+            let p = project(&g, &act, s);
+            for t in g.tasks() {
+                match p.task_map[t.index()] {
+                    Some(new_id) => {
+                        assert!(s.is_active(t));
+                        assert_eq!(p.ctg.node(new_id).name(), g.node(t).name());
+                    }
+                    None => assert!(!s.is_active(t)),
+                }
+            }
+        }
+    }
+}

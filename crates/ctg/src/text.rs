@@ -1,0 +1,288 @@
+//! A small line-based text format for conditional task graphs.
+//!
+//! Graphs can be exported with [`to_text`] and re-read with [`from_text`],
+//! making it easy to version-control workloads or hand-edit generated ones.
+//!
+//! ```text
+//! # optional comments
+//! graph example deadline 60
+//! task sense
+//! task decide
+//! task heavy
+//! task light or        # "or" selects disjunctive activation
+//! edge sense decide comm 0.5
+//! edge decide heavy comm 2 cond 0
+//! edge decide light comm 0.5 cond 1
+//! ```
+
+use crate::builder::CtgBuilder;
+use crate::error::BuildError;
+use crate::graph::{Ctg, NodeKind};
+use crate::id::TaskId;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error produced while parsing the text format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseTextError {
+    /// Malformed line with its 1-based number and a description.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The parsed graph failed validation.
+    Build(BuildError),
+}
+
+impl fmt::Display for ParseTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTextError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ParseTextError::Build(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl Error for ParseTextError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseTextError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildError> for ParseTextError {
+    fn from(e: BuildError) -> Self {
+        ParseTextError::Build(e)
+    }
+}
+
+/// Renders `ctg` in the text format.
+pub fn to_text(ctg: &Ctg) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "graph {} deadline {}", ctg.name(), ctg.deadline());
+    for t in ctg.tasks() {
+        let node = ctg.node(t);
+        match node.kind() {
+            NodeKind::And => {
+                let _ = writeln!(s, "task {}", node.name());
+            }
+            NodeKind::Or => {
+                let _ = writeln!(s, "task {} or", node.name());
+            }
+        }
+    }
+    for (_, e) in ctg.edges() {
+        let src = ctg.node(e.src()).name();
+        let dst = ctg.node(e.dst()).name();
+        match e.condition() {
+            Some(alt) => {
+                let _ = writeln!(s, "edge {src} {dst} comm {} cond {alt}", e.comm_kbytes());
+            }
+            None => {
+                let _ = writeln!(s, "edge {src} {dst} comm {}", e.comm_kbytes());
+            }
+        }
+    }
+    s
+}
+
+/// Parses a graph from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseTextError::Syntax`] for malformed lines (unknown keyword,
+/// missing fields, duplicate or unknown task names) and
+/// [`ParseTextError::Build`] when the assembled graph fails validation.
+pub fn from_text(input: &str) -> Result<Ctg, ParseTextError> {
+    let mut builder: Option<CtgBuilder> = None;
+    let mut deadline = 1.0_f64;
+    let mut names: HashMap<String, TaskId> = HashMap::new();
+
+    let syntax = |line: usize, message: &str| ParseTextError::Syntax {
+        line,
+        message: message.to_string(),
+    };
+
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("graph") => {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| syntax(line_no, "graph needs a name"))?;
+                match (parts.next(), parts.next()) {
+                    (Some("deadline"), Some(d)) => {
+                        deadline = d
+                            .parse()
+                            .map_err(|_| syntax(line_no, "invalid deadline value"))?;
+                    }
+                    (None, _) => {}
+                    _ => return Err(syntax(line_no, "expected `deadline <value>`")),
+                }
+                builder = Some(CtgBuilder::new(name));
+            }
+            Some("task") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| syntax(line_no, "`graph` line must come first"))?;
+                let name = parts
+                    .next()
+                    .ok_or_else(|| syntax(line_no, "task needs a name"))?;
+                if names.contains_key(name) {
+                    return Err(syntax(line_no, "duplicate task name"));
+                }
+                let kind = match parts.next() {
+                    None => NodeKind::And,
+                    Some("or") => NodeKind::Or,
+                    Some(other) => {
+                        return Err(syntax(line_no, &format!("unknown task kind `{other}`")))
+                    }
+                };
+                let id = b.add_task_with_kind(name, kind);
+                names.insert(name.to_string(), id);
+            }
+            Some("edge") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| syntax(line_no, "`graph` line must come first"))?;
+                let src = parts
+                    .next()
+                    .and_then(|n| names.get(n))
+                    .copied()
+                    .ok_or_else(|| syntax(line_no, "unknown source task"))?;
+                let dst = parts
+                    .next()
+                    .and_then(|n| names.get(n))
+                    .copied()
+                    .ok_or_else(|| syntax(line_no, "unknown destination task"))?;
+                let mut comm = 0.0_f64;
+                let mut cond: Option<u8> = None;
+                while let Some(key) = parts.next() {
+                    let value = parts
+                        .next()
+                        .ok_or_else(|| syntax(line_no, &format!("`{key}` needs a value")))?;
+                    match key {
+                        "comm" => {
+                            comm = value
+                                .parse()
+                                .map_err(|_| syntax(line_no, "invalid comm value"))?;
+                        }
+                        "cond" => {
+                            cond = Some(
+                                value
+                                    .parse()
+                                    .map_err(|_| syntax(line_no, "invalid cond value"))?,
+                            );
+                        }
+                        other => {
+                            return Err(syntax(line_no, &format!("unknown key `{other}`")))
+                        }
+                    }
+                }
+                let result = match cond {
+                    Some(alt) => b.add_cond_edge(src, dst, alt, comm),
+                    None => b.add_edge(src, dst, comm),
+                };
+                result.map_err(ParseTextError::Build)?;
+            }
+            Some(other) => {
+                return Err(syntax(line_no, &format!("unknown keyword `{other}`")));
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+
+    let mut b = builder.ok_or_else(|| syntax(0, "missing `graph` line"))?;
+    Ok(b.deadline(deadline).build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CtgBuilder;
+
+    fn sample() -> Ctg {
+        let mut b = CtgBuilder::new("sample");
+        let s = b.add_task("sense");
+        let d = b.add_task("decide");
+        let h = b.add_task("heavy");
+        let l = b.add_task("light");
+        let j = b.add_task_with_kind("join", NodeKind::Or);
+        b.add_edge(s, d, 0.5).unwrap();
+        b.add_cond_edge(d, h, 0, 2.0).unwrap();
+        b.add_cond_edge(d, l, 1, 0.5).unwrap();
+        b.add_edge(h, j, 1.0).unwrap();
+        b.add_edge(l, j, 1.0).unwrap();
+        b.deadline(60.0).build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = sample();
+        let text = to_text(&g);
+        let back = from_text(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "\n# header\ngraph g deadline 10\ntask a # trailing\ntask b\nedge a b comm 1.5\n";
+        let g = from_text(text).unwrap();
+        assert_eq!(g.num_tasks(), 2);
+        assert_eq!(g.deadline(), 10.0);
+        assert_eq!(g.edges().next().unwrap().1.comm_kbytes(), 1.5);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let cases = [
+            ("task a", "`graph` line must come first"),
+            ("graph g\nbogus x", "unknown keyword"),
+            ("graph g\ntask a\ntask a", "duplicate task name"),
+            ("graph g\ntask a\nedge a z comm 1", "unknown destination"),
+            ("graph g\ntask a weird", "unknown task kind"),
+            ("graph g deadline abc", "invalid deadline"),
+            ("graph g\ntask a\ntask b\nedge a b comm", "`comm` needs a value"),
+        ];
+        for (text, needle) in cases {
+            let err = from_text(text).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "`{text}` → `{err}` missing `{needle}`"
+            );
+        }
+    }
+
+    #[test]
+    fn build_errors_propagate() {
+        // Cycle.
+        let text = "graph g\ntask a\ntask b\nedge a b comm 1\nedge b a comm 1";
+        assert!(matches!(
+            from_text(text),
+            Err(ParseTextError::Build(BuildError::Cyclic))
+        ));
+    }
+
+    #[test]
+    fn or_kind_roundtrips() {
+        let g = sample();
+        let text = to_text(&g);
+        assert!(text.contains("task join or"));
+        let back = from_text(&text).unwrap();
+        let join = back.tasks().find(|&t| back.node(t).name() == "join").unwrap();
+        assert_eq!(back.node(join).kind(), NodeKind::Or);
+    }
+}

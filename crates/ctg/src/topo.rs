@@ -1,0 +1,137 @@
+//! Topological utilities over the task precedence relation.
+
+use crate::graph::{Ctg, Edge};
+use crate::id::TaskId;
+
+/// Computes a topological order of `n` vertices under `edges` using Kahn's
+/// algorithm, or `None` when the relation is cyclic.
+///
+/// Vertices with equal depth are emitted in index order, making the result
+/// deterministic.
+pub(crate) fn topological_order_of(n: usize, edges: &[Edge]) -> Option<Vec<TaskId>> {
+    let mut indeg = vec![0usize; n];
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in edges {
+        indeg[e.dst().index()] += 1;
+        succ[e.src().index()].push(e.dst().index());
+    }
+    // A sorted ready set keeps the order deterministic.
+    let mut ready: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    ready.sort_unstable_by(|a, b| b.cmp(a)); // pop smallest from the back
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = ready.pop() {
+        order.push(TaskId::new(v));
+        for &w in &succ[v] {
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                let pos = ready.binary_search_by(|x| w.cmp(x)).unwrap_or_else(|p| p);
+                ready.insert(pos, w);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Returns a topological order of the tasks of `ctg`.
+///
+/// Equivalent to [`Ctg::topological`] but returns an owned vector.
+///
+/// ```
+/// use ctg_model::{CtgBuilder, topological_order};
+/// # fn main() -> Result<(), ctg_model::BuildError> {
+/// let mut b = CtgBuilder::new("g");
+/// let a = b.add_task("a");
+/// let c = b.add_task("c");
+/// b.add_edge(a, c, 0.0)?;
+/// let g = b.deadline(1.0).build()?;
+/// assert_eq!(topological_order(&g), vec![a, c]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn topological_order(ctg: &Ctg) -> Vec<TaskId> {
+    ctg.topological().to_vec()
+}
+
+/// Returns the set of (transitive) ancestors of `task`, as a boolean vector
+/// indexed by task id.
+pub fn ancestors(ctg: &Ctg, task: TaskId) -> Vec<bool> {
+    let mut seen = vec![false; ctg.num_tasks()];
+    let mut stack = vec![task];
+    while let Some(t) = stack.pop() {
+        for p in ctg.predecessors(t) {
+            if !seen[p.index()] {
+                seen[p.index()] = true;
+                stack.push(p);
+            }
+        }
+    }
+    seen
+}
+
+/// Returns the set of (transitive) descendants of `task`, as a boolean vector
+/// indexed by task id.
+pub fn descendants(ctg: &Ctg, task: TaskId) -> Vec<bool> {
+    let mut seen = vec![false; ctg.num_tasks()];
+    let mut stack = vec![task];
+    while let Some(t) = stack.pop() {
+        for s in ctg.successors(t) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CtgBuilder;
+
+    fn diamond() -> (Ctg, [TaskId; 4]) {
+        let mut b = CtgBuilder::new("diamond");
+        let a = b.add_task("a");
+        let l = b.add_task("l");
+        let r = b.add_task("r");
+        let z = b.add_task("z");
+        b.add_edge(a, l, 0.0).unwrap();
+        b.add_edge(a, r, 0.0).unwrap();
+        b.add_edge(l, z, 0.0).unwrap();
+        b.add_edge(r, z, 0.0).unwrap();
+        (b.deadline(1.0).build().unwrap(), [a, l, r, z])
+    }
+
+    #[test]
+    fn topo_respects_precedence() {
+        let (g, [a, l, r, z]) = diamond();
+        let order = topological_order(&g);
+        let pos = |t: TaskId| order.iter().position(|&x| x == t).unwrap();
+        assert!(pos(a) < pos(l));
+        assert!(pos(a) < pos(r));
+        assert!(pos(l) < pos(z));
+        assert!(pos(r) < pos(z));
+    }
+
+    #[test]
+    fn topo_is_deterministic_index_order_for_ties() {
+        let (g, [_, l, r, _]) = diamond();
+        let order = topological_order(&g);
+        let pos = |t: TaskId| order.iter().position(|&x| x == t).unwrap();
+        // l was added before r; ties break by index.
+        assert!(pos(l) < pos(r));
+    }
+
+    #[test]
+    fn ancestors_and_descendants() {
+        let (g, [a, l, r, z]) = diamond();
+        let anc = ancestors(&g, z);
+        assert!(anc[a.index()] && anc[l.index()] && anc[r.index()]);
+        assert!(!anc[z.index()]);
+        let desc = descendants(&g, a);
+        assert!(desc[l.index()] && desc[r.index()] && desc[z.index()]);
+        assert!(!desc[a.index()]);
+        // A node unrelated to r.
+        assert!(!descendants(&g, l)[r.index()]);
+    }
+}

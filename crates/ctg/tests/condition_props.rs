@@ -1,0 +1,101 @@
+//! Property-based tests of the condition algebra.
+
+use ctg_model::{Cube, Dnf, Literal, TaskId};
+use proptest::prelude::*;
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    (0usize..6, 0u8..3).prop_map(|(b, a)| Literal::new(TaskId::new(b), a))
+}
+
+fn arb_cube() -> impl Strategy<Value = Cube> {
+    proptest::collection::vec(arb_literal(), 0..5).prop_map(|lits| {
+        // Build ignoring contradictions: later literals on the same branch
+        // are dropped by `with` returning None; fall back to skipping them.
+        let mut cube = Cube::top();
+        for l in lits {
+            if let Some(next) = cube.with(l) {
+                cube = next;
+            }
+        }
+        cube
+    })
+}
+
+fn arb_dnf() -> impl Strategy<Value = Dnf> {
+    proptest::collection::vec(arb_cube(), 0..5).prop_map(Dnf::from_cubes)
+}
+
+/// An arbitrary complete assignment for branches 0..6 with 3 alternatives.
+fn arb_assignment() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..3, 6)
+}
+
+fn eval_cube(c: &Cube, assign: &[u8]) -> bool {
+    c.eval(|b| assign.get(b.index()).copied())
+}
+
+fn eval_dnf(d: &Dnf, assign: &[u8]) -> bool {
+    d.eval(|b| assign.get(b.index()).copied())
+}
+
+proptest! {
+    /// Cube conjunction is the logical AND under every assignment.
+    #[test]
+    fn cube_and_is_logical_and(a in arb_cube(), b in arb_cube(), assign in arb_assignment()) {
+        match a.and(&b) {
+            Some(c) => prop_assert_eq!(
+                eval_cube(&c, &assign),
+                eval_cube(&a, &assign) && eval_cube(&b, &assign)
+            ),
+            None => prop_assert!(!(eval_cube(&a, &assign) && eval_cube(&b, &assign))),
+        }
+    }
+
+    /// `implies` is sound: if a ⇒ b then every model of a models b.
+    #[test]
+    fn implies_is_sound(a in arb_cube(), b in arb_cube(), assign in arb_assignment()) {
+        if a.implies(&b) && eval_cube(&a, &assign) {
+            prop_assert!(eval_cube(&b, &assign));
+        }
+    }
+
+    /// DNF disjunction/conjunction match logical OR/AND.
+    #[test]
+    fn dnf_ops_are_logical(x in arb_dnf(), y in arb_dnf(), assign in arb_assignment()) {
+        prop_assert_eq!(
+            eval_dnf(&x.or(&y), &assign),
+            eval_dnf(&x, &assign) || eval_dnf(&y, &assign)
+        );
+        prop_assert_eq!(
+            eval_dnf(&x.and(&y), &assign),
+            eval_dnf(&x, &assign) && eval_dnf(&y, &assign)
+        );
+    }
+
+    /// Simplification preserves semantics.
+    #[test]
+    fn simplify_preserves_semantics(x in arb_dnf(), assign in arb_assignment()) {
+        prop_assert_eq!(eval_dnf(&x.simplified(), &assign), eval_dnf(&x, &assign));
+    }
+
+    /// Disjointness is sound: disjoint DNFs are never both true.
+    #[test]
+    fn disjoint_is_sound(x in arb_dnf(), y in arb_dnf(), assign in arb_assignment()) {
+        if x.disjoint(&y) {
+            prop_assert!(!(eval_dnf(&x, &assign) && eval_dnf(&y, &assign)));
+        }
+    }
+
+    /// `and` with top is identity; with a contradiction it is false.
+    #[test]
+    fn dnf_identities(x in arb_dnf(), assign in arb_assignment()) {
+        prop_assert_eq!(eval_dnf(&x.and(&Dnf::top()), &assign), eval_dnf(&x, &assign));
+        prop_assert!(!eval_dnf(&x.and(&Dnf::false_()), &assign));
+    }
+
+    /// Cube conjunction is commutative and associative (as far as defined).
+    #[test]
+    fn cube_and_commutative(a in arb_cube(), b in arb_cube()) {
+        prop_assert_eq!(a.and(&b), b.and(&a));
+    }
+}

@@ -1,0 +1,75 @@
+//! The model supports k-ary branch fork nodes (more than two alternatives),
+//! even though the paper's workloads are binary. These tests exercise a
+//! 3-way fork end to end at the model level.
+
+use ctg_model::{BranchProbs, Ctg, CtgBuilder, DecisionVector, ScenarioSet, TaskId};
+
+/// mode-selector fork with three alternatives, each its own handler chain.
+fn three_way() -> (Ctg, TaskId, [TaskId; 3]) {
+    let mut b = CtgBuilder::new("3way");
+    let src = b.add_task("src");
+    let sel = b.add_task("select");
+    let h0 = b.add_task("h0");
+    let h1 = b.add_task("h1");
+    let h2 = b.add_task("h2");
+    let join = b.add_task_with_kind("join", ctg_model::NodeKind::Or);
+    b.add_edge(src, sel, 0.1).unwrap();
+    b.add_cond_edge(sel, h0, 0, 1.0).unwrap();
+    b.add_cond_edge(sel, h1, 1, 1.0).unwrap();
+    b.add_cond_edge(sel, h2, 2, 1.0).unwrap();
+    for h in [h0, h1, h2] {
+        b.add_edge(h, join, 0.5).unwrap();
+    }
+    (b.deadline(50.0).build().unwrap(), sel, [h0, h1, h2])
+}
+
+#[test]
+fn three_alternatives_are_recognized() {
+    let (g, sel, _) = three_way();
+    assert_eq!(g.node(sel).alternatives(), 3);
+    assert_eq!(g.num_branches(), 1);
+}
+
+#[test]
+fn handlers_are_pairwise_exclusive() {
+    let (g, _, [h0, h1, h2]) = three_way();
+    let act = g.activation();
+    assert!(act.mutually_exclusive(h0, h1));
+    assert!(act.mutually_exclusive(h1, h2));
+    assert!(act.mutually_exclusive(h0, h2));
+}
+
+#[test]
+fn three_scenarios_with_correct_probabilities() {
+    let (g, sel, [h0, h1, h2]) = three_way();
+    let act = g.activation();
+    let scenarios = ScenarioSet::enumerate(&g, &act);
+    assert_eq!(scenarios.len(), 3);
+    let mut probs = BranchProbs::new();
+    probs.set(sel, vec![0.5, 0.3, 0.2]).unwrap();
+    assert!(probs.validate(&g).is_ok());
+    assert!((scenarios.task_prob(h0, &probs) - 0.5).abs() < 1e-12);
+    assert!((scenarios.task_prob(h1, &probs) - 0.3).abs() < 1e-12);
+    assert!((scenarios.task_prob(h2, &probs) - 0.2).abs() < 1e-12);
+}
+
+#[test]
+fn decision_vectors_select_one_handler() {
+    let (g, _, handlers) = three_way();
+    let act = g.activation();
+    for alt in 0..3u8 {
+        let v = DecisionVector::new(vec![alt]);
+        let active = v.active_tasks(&g, &act);
+        for (k, &h) in handlers.iter().enumerate() {
+            assert_eq!(active[h.index()], k == alt as usize);
+        }
+    }
+}
+
+#[test]
+fn wrong_arity_distribution_rejected() {
+    let (g, sel, _) = three_way();
+    let mut probs = BranchProbs::new();
+    probs.set(sel, vec![0.5, 0.5]).unwrap();
+    assert!(probs.validate(&g).is_err());
+}

@@ -1,0 +1,68 @@
+//! Serde round-trip tests: CTGs, probability tables and decision vectors
+//! survive serialization (C-SERDE).
+
+use ctg_model::{BranchProbs, Ctg, CtgBuilder, DecisionVector, NodeKind};
+
+fn sample_ctg() -> Ctg {
+    let mut b = CtgBuilder::new("roundtrip");
+    let s = b.add_task("s");
+    let f = b.add_task("fork");
+    let x = b.add_task("x");
+    let y = b.add_task("y");
+    let j = b.add_task_with_kind("join", NodeKind::Or);
+    b.add_edge(s, f, 1.25).unwrap();
+    b.add_cond_edge(f, x, 0, 2.5).unwrap();
+    b.add_cond_edge(f, y, 1, 0.75).unwrap();
+    b.add_edge(x, j, 1.0).unwrap();
+    b.add_edge(y, j, 1.0).unwrap();
+    b.deadline(42.5).build().unwrap()
+}
+
+#[test]
+fn ctg_roundtrips_through_json() {
+    let ctg = sample_ctg();
+    let json = serde_json::to_string(&ctg).unwrap();
+    let back: Ctg = serde_json::from_str(&json).unwrap();
+    assert_eq!(ctg, back);
+    // Derived structures survive too.
+    assert_eq!(back.deadline(), 42.5);
+    assert_eq!(back.branch_nodes(), ctg.branch_nodes());
+    let act_a = ctg.activation();
+    let act_b = back.activation();
+    for t in ctg.tasks() {
+        assert_eq!(act_a.condition(t), act_b.condition(t));
+    }
+}
+
+#[test]
+fn branch_probs_roundtrip() {
+    let ctg = sample_ctg();
+    let mut probs = BranchProbs::uniform(&ctg);
+    let fork = ctg.branch_nodes()[0];
+    probs.set(fork, vec![0.3, 0.7]).unwrap();
+    let json = serde_json::to_string(&probs).unwrap();
+    let back: BranchProbs = serde_json::from_str(&json).unwrap();
+    assert_eq!(probs, back);
+    assert!(back.validate(&ctg).is_ok());
+}
+
+#[test]
+fn decision_vector_roundtrip() {
+    let v = DecisionVector::new(vec![0, 1, 1, 0]);
+    let json = serde_json::to_string(&v).unwrap();
+    let back: DecisionVector = serde_json::from_str(&json).unwrap();
+    assert_eq!(v, back);
+}
+
+#[test]
+fn condition_types_roundtrip() {
+    use ctg_model::{Cube, Dnf, Literal, TaskId};
+    let lit = Literal::new(TaskId::new(3), 1);
+    let cube = Cube::from_literals([lit, Literal::new(TaskId::new(5), 0)]).unwrap();
+    let dnf = Dnf::from_cubes([cube.clone(), Cube::top()]);
+    let back: Dnf = serde_json::from_str(&serde_json::to_string(&dnf).unwrap()).unwrap();
+    assert_eq!(dnf, back);
+    let back_cube: Cube =
+        serde_json::from_str(&serde_json::to_string(&cube).unwrap()).unwrap();
+    assert_eq!(cube, back_cube);
+}

@@ -1,0 +1,270 @@
+//! Builder and validation for [`Platform`].
+
+use crate::comm::{CommMatrix, Link};
+use crate::dvfs::DvfsModel;
+use crate::error::PlatformError;
+use crate::pe::{Pe, PeId};
+use crate::platform::Platform;
+use crate::profile::ExecProfile;
+
+/// Incremental builder for a [`Platform`].
+///
+/// The number of tasks is fixed up front (it must match the CTG the platform
+/// will execute); PEs, table rows and links are then added and
+/// [`PlatformBuilder::build`] validates completeness.
+///
+/// See the [crate-level example](crate) for typical usage.
+#[derive(Debug, Clone)]
+pub struct PlatformBuilder {
+    num_tasks: usize,
+    pes: Vec<Pe>,
+    wcet: Vec<Option<Vec<f64>>>,
+    energy: Vec<Option<Vec<f64>>>,
+    links: Vec<(PeId, PeId, Link)>,
+    uniform: Option<Link>,
+    dvfs: DvfsModel,
+}
+
+impl PlatformBuilder {
+    /// Creates a builder for a platform executing `num_tasks` tasks.
+    pub fn new(num_tasks: usize) -> Self {
+        PlatformBuilder {
+            num_tasks,
+            pes: Vec::new(),
+            wcet: vec![None; num_tasks],
+            energy: vec![None; num_tasks],
+            links: Vec::new(),
+            uniform: None,
+            dvfs: DvfsModel::Continuous,
+        }
+    }
+
+    /// Adds a processing element and returns its id.
+    pub fn add_pe(&mut self, name: impl Into<String>) -> PeId {
+        let id = PeId::new(self.pes.len());
+        self.pes.push(Pe { name: name.into() });
+        id
+    }
+
+    /// Sets the WCET row of `task` (one entry per PE, in PE order).
+    ///
+    /// Use `f64::INFINITY` to mark the task unrunnable on a PE.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the task index is out of range or an entry is
+    /// zero, negative or NaN.
+    pub fn set_wcet_row(&mut self, task: usize, row: Vec<f64>) -> Result<&mut Self, PlatformError> {
+        if task >= self.num_tasks {
+            return Err(PlatformError::TaskOutOfRange(task));
+        }
+        for (pe, &w) in row.iter().enumerate() {
+            if w.is_nan() || w <= 0.0 {
+                return Err(PlatformError::InvalidEntry { task, pe });
+            }
+        }
+        self.wcet[task] = Some(row);
+        Ok(self)
+    }
+
+    /// Sets the nominal-voltage energy row of `task` (one entry per PE).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the task index is out of range or an entry is
+    /// negative or non-finite.
+    pub fn set_energy_row(
+        &mut self,
+        task: usize,
+        row: Vec<f64>,
+    ) -> Result<&mut Self, PlatformError> {
+        if task >= self.num_tasks {
+            return Err(PlatformError::TaskOutOfRange(task));
+        }
+        for (pe, &e) in row.iter().enumerate() {
+            if !e.is_finite() || e < 0.0 {
+                return Err(PlatformError::InvalidEntry { task, pe });
+            }
+        }
+        self.energy[task] = Some(row);
+        Ok(self)
+    }
+
+    /// Adds a bidirectional link between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for identical endpoints, out-of-range PEs, or
+    /// non-positive bandwidth/energy.
+    pub fn set_link(
+        &mut self,
+        a: PeId,
+        b: PeId,
+        bandwidth: f64,
+        energy_per_kb: f64,
+    ) -> Result<&mut Self, PlatformError> {
+        if a == b || a.index() >= self.pes.len() || b.index() >= self.pes.len() {
+            return Err(PlatformError::BadLink { src: a.index(), dst: b.index() });
+        }
+        if !(bandwidth.is_finite() && bandwidth > 0.0)
+            || !(energy_per_kb.is_finite() && energy_per_kb >= 0.0)
+        {
+            return Err(PlatformError::InvalidLink { src: a.index(), dst: b.index() });
+        }
+        let link = Link { bandwidth, energy_per_kb };
+        self.links.push((a, b, link));
+        self.links.push((b, a, link));
+        Ok(self)
+    }
+
+    /// Connects every ordered pair of PEs with the same parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive bandwidth or negative energy.
+    pub fn uniform_links(
+        &mut self,
+        bandwidth: f64,
+        energy_per_kb: f64,
+    ) -> Result<&mut Self, PlatformError> {
+        if !(bandwidth.is_finite() && bandwidth > 0.0)
+            || !(energy_per_kb.is_finite() && energy_per_kb >= 0.0)
+        {
+            return Err(PlatformError::InvalidLink { src: 0, dst: 0 });
+        }
+        self.uniform = Some(Link { bandwidth, energy_per_kb });
+        Ok(self)
+    }
+
+    /// Sets the DVFS model (defaults to [`DvfsModel::Continuous`]).
+    pub fn dvfs(&mut self, model: DvfsModel) -> &mut Self {
+        self.dvfs = model;
+        self
+    }
+
+    /// Validates and assembles the platform.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlatformError::NoPes`] — no PEs were added;
+    /// * [`PlatformError::MissingRow`] — a task has no WCET or energy row;
+    /// * [`PlatformError::WrongRowWidth`] — a row does not match the PE count;
+    /// * [`PlatformError::Unrunnable`] — a task has no finite WCET anywhere.
+    pub fn build(&self) -> Result<Platform, PlatformError> {
+        let n = self.pes.len();
+        if n == 0 {
+            return Err(PlatformError::NoPes);
+        }
+        let mut wcet = Vec::with_capacity(self.num_tasks);
+        let mut energy = Vec::with_capacity(self.num_tasks);
+        for t in 0..self.num_tasks {
+            let w = self.wcet[t].clone().ok_or(PlatformError::MissingRow(t))?;
+            let e = self.energy[t].clone().ok_or(PlatformError::MissingRow(t))?;
+            for (row, label) in [(&w, 0), (&e, 1)] {
+                if row.len() != n {
+                    let _ = label;
+                    return Err(PlatformError::WrongRowWidth {
+                        task: t,
+                        expected: n,
+                        got: row.len(),
+                    });
+                }
+            }
+            if !w.iter().any(|x| x.is_finite()) {
+                return Err(PlatformError::Unrunnable(t));
+            }
+            wcet.push(w);
+            energy.push(e);
+        }
+        let mut comm = match self.uniform {
+            Some(l) => CommMatrix::uniform(n, l.bandwidth, l.energy_per_kb),
+            None => CommMatrix::disconnected(n),
+        };
+        for &(a, b, link) in &self.links {
+            comm.links[a.index()][b.index()] = Some(link);
+        }
+        Ok(Platform {
+            pes: self.pes.clone(),
+            profile: ExecProfile { wcet, energy },
+            comm,
+            dvfs: self.dvfs.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_platform() {
+        assert_eq!(PlatformBuilder::new(0).build(), Err(PlatformError::NoPes));
+    }
+
+    #[test]
+    fn rejects_missing_rows() {
+        let mut b = PlatformBuilder::new(1);
+        b.add_pe("a");
+        assert_eq!(b.build(), Err(PlatformError::MissingRow(0)));
+        b.set_wcet_row(0, vec![1.0]).unwrap();
+        assert_eq!(b.build(), Err(PlatformError::MissingRow(0)));
+    }
+
+    #[test]
+    fn rejects_wrong_width_and_unrunnable() {
+        let mut b = PlatformBuilder::new(1);
+        b.add_pe("a");
+        b.add_pe("b");
+        b.set_wcet_row(0, vec![1.0]).unwrap();
+        b.set_energy_row(0, vec![1.0, 1.0]).unwrap();
+        assert!(matches!(b.build(), Err(PlatformError::WrongRowWidth { .. })));
+
+        let mut b = PlatformBuilder::new(1);
+        b.add_pe("a");
+        b.set_wcet_row(0, vec![f64::INFINITY]).unwrap();
+        b.set_energy_row(0, vec![1.0]).unwrap();
+        assert_eq!(b.build(), Err(PlatformError::Unrunnable(0)));
+    }
+
+    #[test]
+    fn rejects_invalid_entries_and_links() {
+        let mut b = PlatformBuilder::new(2);
+        let a = b.add_pe("a");
+        let c = b.add_pe("c");
+        assert!(b.set_wcet_row(0, vec![0.0, 1.0]).is_err());
+        assert!(b.set_wcet_row(9, vec![1.0, 1.0]).is_err());
+        assert!(b.set_energy_row(0, vec![-1.0, 1.0]).is_err());
+        assert!(b.set_link(a, a, 1.0, 0.1).is_err());
+        assert!(b.set_link(a, c, 0.0, 0.1).is_err());
+        assert!(b.set_link(a, c, 1.0, -0.1).is_err());
+        assert!(b.uniform_links(0.0, 0.1).is_err());
+    }
+
+    #[test]
+    fn explicit_links_override_uniform() {
+        let mut b = PlatformBuilder::new(1);
+        let a = b.add_pe("a");
+        let c = b.add_pe("c");
+        b.set_wcet_row(0, vec![1.0, 1.0]).unwrap();
+        b.set_energy_row(0, vec![1.0, 1.0]).unwrap();
+        b.uniform_links(1.0, 0.1).unwrap();
+        b.set_link(a, c, 4.0, 0.2).unwrap();
+        let p = b.build().unwrap();
+        assert_eq!(p.comm().link(a, c).unwrap().bandwidth, 4.0);
+        assert_eq!(p.comm().link(c, a).unwrap().bandwidth, 4.0);
+    }
+
+    #[test]
+    fn bidirectional_links() {
+        let mut b = PlatformBuilder::new(1);
+        let a = b.add_pe("a");
+        let c = b.add_pe("c");
+        b.set_wcet_row(0, vec![1.0, 1.0]).unwrap();
+        b.set_energy_row(0, vec![1.0, 1.0]).unwrap();
+        b.set_link(a, c, 2.0, 0.3).unwrap();
+        let p = b.build().unwrap();
+        assert!(p.comm().connected(a, c));
+        assert!(p.comm().connected(c, a));
+        assert_eq!(p.comm().delay(c, a, 4.0), 2.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Dynamic voltage and frequency scaling model.
+
+use serde::{Deserialize, Serialize};
+
+/// How per-task speed ratios map to realizable operating points.
+///
+/// A *speed ratio* `s ∈ (0, 1]` is the task frequency divided by the PE's
+/// nominal (maximum) frequency. Under the paper's assumptions — unit load
+/// capacitance and supply voltage proportional to frequency — energy scales
+/// as `s²` and execution time as `1/s`:
+///
+/// `E(s) = E_nom · s²`, `t(s) = WCET / s`.
+///
+/// The paper evaluates a continuous model; [`DvfsModel::Discrete`] is
+/// provided as an extension for platforms with a fixed level set (speeds are
+/// rounded **up** to the next available level so deadlines remain safe).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DvfsModel {
+    /// Any speed ratio in `(0, 1]` is realizable.
+    Continuous,
+    /// Only the listed speed ratios are realizable. The list must be sorted
+    /// ascending, each in `(0, 1]`, and end with `1.0`.
+    Discrete(Vec<f64>),
+}
+
+impl DvfsModel {
+    /// Creates a discrete model from a level list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty, unsorted, contains values outside
+    /// `(0, 1]`, or does not end with `1.0`.
+    pub fn discrete(levels: Vec<f64>) -> Self {
+        assert!(!levels.is_empty(), "level list must not be empty");
+        assert!(
+            levels.windows(2).all(|w| w[0] < w[1]),
+            "levels must be strictly ascending"
+        );
+        assert!(
+            levels.iter().all(|&l| l > 0.0 && l <= 1.0),
+            "levels must lie in (0, 1]"
+        );
+        assert!(
+            (levels[levels.len() - 1] - 1.0).abs() < 1e-12,
+            "the nominal speed 1.0 must be available"
+        );
+        DvfsModel::Discrete(levels)
+    }
+
+    /// Maps a requested speed ratio to the closest realizable ratio that is
+    /// at least as fast (so a stretched task never misses its share of the
+    /// deadline).
+    ///
+    /// Requests are clamped into `(0, 1]` first.
+    pub fn quantize(&self, speed: f64) -> f64 {
+        let s = speed.clamp(f64::MIN_POSITIVE, 1.0);
+        match self {
+            DvfsModel::Continuous => s,
+            DvfsModel::Discrete(levels) => *levels
+                .iter()
+                .find(|&&l| l + 1e-12 >= s)
+                .unwrap_or(&1.0),
+        }
+    }
+
+    /// Energy multiplier at speed ratio `s` (`s²` under the paper's model).
+    pub fn energy_factor(&self, speed: f64) -> f64 {
+        let s = self.quantize(speed);
+        s * s
+    }
+
+    /// Execution-time multiplier at speed ratio `s` (`1/s`).
+    pub fn time_factor(&self, speed: f64) -> f64 {
+        1.0 / self.quantize(speed)
+    }
+}
+
+impl Default for DvfsModel {
+    fn default() -> Self {
+        DvfsModel::Continuous
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_identity() {
+        let m = DvfsModel::Continuous;
+        assert_eq!(m.quantize(0.37), 0.37);
+        assert_eq!(m.quantize(2.0), 1.0);
+        assert!((m.energy_factor(0.5) - 0.25).abs() < 1e-12);
+        assert!((m.time_factor(0.5) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discrete_rounds_up() {
+        let m = DvfsModel::discrete(vec![0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(m.quantize(0.1), 0.25);
+        assert_eq!(m.quantize(0.25), 0.25);
+        assert_eq!(m.quantize(0.3), 0.5);
+        assert_eq!(m.quantize(0.9), 1.0);
+        assert_eq!(m.quantize(1.0), 1.0);
+    }
+
+    #[test]
+    fn discrete_energy_uses_quantized_speed() {
+        let m = DvfsModel::discrete(vec![0.5, 1.0]);
+        // 0.4 rounds up to 0.5 → energy factor 0.25, time factor 2.
+        assert!((m.energy_factor(0.4) - 0.25).abs() < 1e-12);
+        assert!((m.time_factor(0.4) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn discrete_requires_nominal_level() {
+        let _ = DvfsModel::discrete(vec![0.5, 0.9]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn discrete_requires_sorted_levels() {
+        let _ = DvfsModel::discrete(vec![0.5, 0.25, 1.0]);
+    }
+}

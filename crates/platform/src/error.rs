@@ -1,0 +1,74 @@
+//! Platform construction errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building a [`Platform`](crate::Platform).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// No PEs were added.
+    NoPes,
+    /// A table row index is out of the declared task range.
+    TaskOutOfRange(usize),
+    /// A table row has the wrong number of PE columns.
+    WrongRowWidth {
+        /// The offending task row.
+        task: usize,
+        /// Number of PEs in the platform.
+        expected: usize,
+        /// Number of columns supplied.
+        got: usize,
+    },
+    /// A WCET entry is zero/negative (use `f64::INFINITY` to mark a task as
+    /// unrunnable on a PE) or an energy entry is negative or non-finite.
+    InvalidEntry {
+        /// The offending task row.
+        task: usize,
+        /// The offending PE column.
+        pe: usize,
+    },
+    /// A WCET or energy row was never supplied for a task.
+    MissingRow(usize),
+    /// A task cannot run on any PE.
+    Unrunnable(usize),
+    /// Link endpoints out of range or identical.
+    BadLink {
+        /// Source PE index.
+        src: usize,
+        /// Destination PE index.
+        dst: usize,
+    },
+    /// Link bandwidth or energy is not positive/finite.
+    InvalidLink {
+        /// Source PE index.
+        src: usize,
+        /// Destination PE index.
+        dst: usize,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::NoPes => write!(f, "platform has no processing elements"),
+            PlatformError::TaskOutOfRange(t) => write!(f, "task index {t} out of range"),
+            PlatformError::WrongRowWidth { task, expected, got } => write!(
+                f,
+                "row for task {task} has {got} columns, platform has {expected} PEs"
+            ),
+            PlatformError::InvalidEntry { task, pe } => {
+                write!(f, "invalid table entry at task {task}, PE {pe}")
+            }
+            PlatformError::MissingRow(t) => write!(f, "no WCET/energy row for task {t}"),
+            PlatformError::Unrunnable(t) => write!(f, "task {t} cannot run on any PE"),
+            PlatformError::BadLink { src, dst } => {
+                write!(f, "invalid link endpoints {src} -> {dst}")
+            }
+            PlatformError::InvalidLink { src, dst } => {
+                write!(f, "invalid link parameters on {src} -> {dst}")
+            }
+        }
+    }
+}
+
+impl Error for PlatformError {}

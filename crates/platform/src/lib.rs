@@ -1,0 +1,59 @@
+//! Multiprocessor system-on-chip (MPSoC) architecture model.
+//!
+//! Following §II of the paper, an architecture consists of:
+//!
+//! * a set of processing elements `P = {p1, …, pn}` ([`Pe`], [`PeId`]),
+//! * per-(task, PE) worst-case execution time and energy tables at the
+//!   nominal supply voltage ([`ExecProfile`]),
+//! * point-to-point communication links with a bandwidth and a per-Kbyte
+//!   transmission energy ([`CommMatrix`]) — each PE has a dedicated
+//!   communication resource and voltage scaling does **not** apply to
+//!   communication,
+//! * a DVFS model ([`DvfsModel`]): with unit load capacitance and voltage
+//!   proportional to frequency (the paper's §IV assumptions), running a task
+//!   at speed ratio `s ∈ (0, 1]` multiplies its execution time by `1/s` and
+//!   its energy by `s²`.
+//!
+//! # Example
+//!
+//! ```
+//! use mpsoc_platform::{PlatformBuilder, DvfsModel};
+//!
+//! # fn main() -> Result<(), mpsoc_platform::PlatformError> {
+//! // 2 PEs, 3 tasks.
+//! let mut b = PlatformBuilder::new(3);
+//! let p0 = b.add_pe("risc");
+//! let p1 = b.add_pe("dsp");
+//! b.set_wcet_row(0, vec![4.0, 2.0])?;   // task 0 is faster on the DSP
+//! b.set_wcet_row(1, vec![3.0, 3.0])?;
+//! b.set_wcet_row(2, vec![5.0, 8.0])?;
+//! b.set_energy_row(0, vec![4.0, 3.0])?;
+//! b.set_energy_row(1, vec![3.0, 3.0])?;
+//! b.set_energy_row(2, vec![5.0, 9.0])?;
+//! b.set_link(p0, p1, 1.0, 0.1)?;        // 1 Kbyte per time unit, 0.1 energy/KB
+//! let platform = b.build()?;
+//! assert_eq!(platform.num_pes(), 2);
+//! assert_eq!(platform.profile().wcet_avg(0), 3.0);
+//! assert_eq!(DvfsModel::Continuous.energy_factor(0.5), 0.25);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod comm;
+mod dvfs;
+mod error;
+mod pe;
+mod platform;
+mod profile;
+
+pub use builder::PlatformBuilder;
+pub use comm::{CommMatrix, Link};
+pub use dvfs::DvfsModel;
+pub use error::PlatformError;
+pub use pe::{Pe, PeId};
+pub use platform::Platform;
+pub use profile::ExecProfile;

@@ -1,0 +1,63 @@
+//! Processing elements.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a processing element within a [`Platform`](crate::Platform).
+///
+/// ```
+/// use mpsoc_platform::PeId;
+/// assert_eq!(PeId::new(2).to_string(), "p2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PeId(u32);
+
+impl PeId {
+    /// Creates a PE id from a dense index.
+    pub fn new(index: usize) -> Self {
+        PeId(index as u32)
+    }
+
+    /// Returns the dense index of this PE.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<PeId> for usize {
+    fn from(id: PeId) -> usize {
+        id.index()
+    }
+}
+
+/// A processing element of the MPSoC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pe {
+    pub(crate) name: String,
+}
+
+impl Pe {
+    /// Human-readable name of the PE.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_id_roundtrip() {
+        let p = PeId::new(3);
+        assert_eq!(p.index(), 3);
+        assert_eq!(usize::from(p), 3);
+        assert!(PeId::new(0) < p);
+    }
+}

@@ -1,0 +1,113 @@
+//! The assembled platform.
+
+use crate::comm::CommMatrix;
+use crate::dvfs::DvfsModel;
+use crate::pe::{Pe, PeId};
+use crate::profile::ExecProfile;
+use serde::{Deserialize, Serialize};
+
+/// A validated MPSoC platform: PEs, execution profile, link matrix and DVFS
+/// model.
+///
+/// Construct with [`PlatformBuilder`](crate::PlatformBuilder).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    pub(crate) pes: Vec<Pe>,
+    pub(crate) profile: ExecProfile,
+    pub(crate) comm: CommMatrix,
+    pub(crate) dvfs: DvfsModel,
+}
+
+impl Platform {
+    /// Number of processing elements.
+    pub fn num_pes(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// All PE ids in index order.
+    pub fn pes(&self) -> impl Iterator<Item = PeId> + '_ {
+        (0..self.pes.len()).map(PeId::new)
+    }
+
+    /// The PE payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` does not belong to this platform.
+    pub fn pe(&self, pe: PeId) -> &Pe {
+        &self.pes[pe.index()]
+    }
+
+    /// The per-(task, PE) WCET/energy tables.
+    pub fn profile(&self) -> &ExecProfile {
+        &self.profile
+    }
+
+    /// The communication link matrix.
+    pub fn comm(&self) -> &CommMatrix {
+        &self.comm
+    }
+
+    /// The DVFS model.
+    pub fn dvfs(&self) -> &DvfsModel {
+        &self.dvfs
+    }
+
+    /// Number of tasks the profile covers.
+    pub fn num_tasks(&self) -> usize {
+        self.profile.num_tasks()
+    }
+
+    /// Execution time of `task` on `pe` at speed ratio `speed`.
+    pub fn exec_time(&self, task: usize, pe: PeId, speed: f64) -> f64 {
+        self.profile.wcet(task, pe) * self.dvfs.time_factor(speed)
+    }
+
+    /// Energy of `task` on `pe` at speed ratio `speed`.
+    pub fn exec_energy(&self, task: usize, pe: PeId, speed: f64) -> f64 {
+        self.profile.energy(task, pe) * self.dvfs.energy_factor(speed)
+    }
+
+    /// Returns a copy of the platform with a different DVFS model.
+    pub fn with_dvfs(&self, dvfs: DvfsModel) -> Platform {
+        Platform {
+            dvfs,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::PlatformBuilder;
+    use crate::dvfs::DvfsModel;
+    use crate::pe::PeId;
+
+    fn two_pe_platform() -> crate::Platform {
+        let mut b = PlatformBuilder::new(1);
+        let _p0 = b.add_pe("a");
+        let _p1 = b.add_pe("b");
+        b.set_wcet_row(0, vec![2.0, 4.0]).unwrap();
+        b.set_energy_row(0, vec![3.0, 5.0]).unwrap();
+        b.uniform_links(1.0, 0.1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn exec_time_and_energy_scale_with_speed() {
+        let p = two_pe_platform();
+        let p0 = PeId::new(0);
+        assert_eq!(p.exec_time(0, p0, 1.0), 2.0);
+        assert_eq!(p.exec_time(0, p0, 0.5), 4.0);
+        assert_eq!(p.exec_energy(0, p0, 1.0), 3.0);
+        assert!((p.exec_energy(0, p0, 0.5) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_dvfs_swaps_model() {
+        let p = two_pe_platform().with_dvfs(DvfsModel::discrete(vec![0.5, 1.0]));
+        let p0 = PeId::new(0);
+        // 0.4 quantizes to 0.5.
+        assert_eq!(p.exec_time(0, p0, 0.4), 4.0);
+    }
+}

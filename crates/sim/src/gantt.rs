@@ -1,0 +1,148 @@
+//! ASCII Gantt rendering of executed instances.
+
+use crate::instance::InstanceResult;
+use ctg_sched::{SchedContext, Solution};
+
+/// Renders the execution of one instance as a per-PE ASCII Gantt chart.
+///
+/// Each PE gets one row; executed tasks appear as `[name]` blocks scaled to
+/// `width` columns over the deadline horizon. Tasks skipped in this instance
+/// do not appear.
+///
+/// ```
+/// # use ctg_sched::test_util::{example1_ctg, uniform_platform};
+/// # use ctg_sched::{OnlineScheduler, SchedContext};
+/// # use ctg_model::{BranchProbs, DecisionVector};
+/// # use ctg_sim::{gantt, simulate_instance};
+/// # let (ctg, _) = example1_ctg(60.0);
+/// # let probs = BranchProbs::uniform(&ctg);
+/// # let platform = uniform_platform(ctg.num_tasks(), 2, 2.0, 2.0);
+/// # let ctx = SchedContext::new(ctg, platform).unwrap();
+/// # let solution = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+/// let run = simulate_instance(&ctx, &solution, &DecisionVector::new(vec![0, 0])).unwrap();
+/// let chart = gantt::render(&ctx, &solution, &run, 72);
+/// assert!(chart.contains("pe0"));
+/// ```
+pub fn render(
+    ctx: &SchedContext,
+    solution: &Solution,
+    run: &InstanceResult,
+    width: usize,
+) -> String {
+    let width = width.max(20);
+    let horizon = ctx.ctg().deadline().max(run.makespan).max(1e-9);
+    let col = |t: f64| -> usize {
+        (((t / horizon) * (width as f64 - 1.0)).round() as usize).min(width - 1)
+    };
+
+    let mut out = String::new();
+    for pe in ctx.platform().pes() {
+        let mut row = vec![b'.'; width];
+        for &t in solution.schedule.pe_order(pe) {
+            let Some((start, finish)) = run.task_times[t.index()] else {
+                continue;
+            };
+            let (a, b) = (col(start), col(finish).max(col(start) + 1));
+            let name = ctx.ctg().node(t).name().as_bytes();
+            for (k, slot) in row[a..b].iter_mut().enumerate() {
+                *slot = match k {
+                    0 => b'[',
+                    k if k == b - a - 1 => b']',
+                    k => *name.get(k - 1).unwrap_or(&b'='),
+                };
+            }
+        }
+        out.push_str(&format!(
+            "{:>6} |{}|\n",
+            ctx.platform().pe(pe).name(),
+            String::from_utf8_lossy(&row)
+        ));
+    }
+    out.push_str(&format!(
+        "{:>6} |{}|\n",
+        "t",
+        timeline(width, horizon)
+    ));
+    out.push_str(&format!(
+        "energy {:.2} (exec {:.2} + comm {:.2}), makespan {:.2}, deadline {:.2} {}\n",
+        run.energy,
+        run.exec_energy,
+        run.comm_energy,
+        run.makespan,
+        ctx.ctg().deadline(),
+        if run.deadline_met { "met" } else { "MISSED" },
+    ));
+    out
+}
+
+fn timeline(width: usize, horizon: f64) -> String {
+    let mut line = vec![b' '; width];
+    for frac in [0.0, 0.25, 0.5, 0.75] {
+        let pos = ((frac * (width as f64 - 1.0)).round() as usize).min(width - 1);
+        let label = format!("{:.0}", frac * horizon);
+        for (k, ch) in label.bytes().enumerate() {
+            if pos + k < width {
+                line[pos + k] = ch;
+            }
+        }
+    }
+    let end = format!("{horizon:.0}");
+    let start = width.saturating_sub(end.len());
+    for (k, ch) in end.bytes().enumerate() {
+        if start + k < width {
+            line[start + k] = ch;
+        }
+    }
+    String::from_utf8_lossy(&line).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::simulate_instance;
+    use ctg_model::{BranchProbs, DecisionVector};
+    use ctg_sched::test_util::{example1_ctg, uniform_platform};
+    use ctg_sched::OnlineScheduler;
+
+    fn setup() -> (SchedContext, Solution) {
+        let (ctg, _) = example1_ctg(60.0);
+        let probs = BranchProbs::uniform(&ctg);
+        let platform = uniform_platform(ctg.num_tasks(), 2, 2.0, 2.0);
+        let ctx = SchedContext::new(ctg, platform).unwrap();
+        let solution = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+        (ctx, solution)
+    }
+
+    #[test]
+    fn renders_one_row_per_pe_plus_footer() {
+        let (ctx, solution) = setup();
+        let run = simulate_instance(&ctx, &solution, &DecisionVector::new(vec![0, 0])).unwrap();
+        let chart = render(&ctx, &solution, &run, 60);
+        let lines: Vec<&str> = chart.lines().collect();
+        // 2 PEs + timeline + summary.
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("pe0"));
+        assert!(lines[1].contains("pe1"));
+        assert!(lines[3].contains("energy"));
+        assert!(lines[3].contains("met"));
+    }
+
+    #[test]
+    fn skipped_tasks_leave_gaps() {
+        let (ctx, solution) = setup();
+        // Always-a1 instance activates 5 of 8 tasks.
+        let r1 = simulate_instance(&ctx, &solution, &DecisionVector::new(vec![0, 0])).unwrap();
+        let r2 = simulate_instance(&ctx, &solution, &DecisionVector::new(vec![1, 0])).unwrap();
+        let c1 = render(&ctx, &solution, &r1, 60);
+        let c2 = render(&ctx, &solution, &r2, 60);
+        assert_ne!(c1, c2, "different scenarios render differently");
+    }
+
+    #[test]
+    fn width_is_clamped() {
+        let (ctx, solution) = setup();
+        let run = simulate_instance(&ctx, &solution, &DecisionVector::new(vec![0, 0])).unwrap();
+        let chart = render(&ctx, &solution, &run, 1);
+        assert!(chart.lines().next().unwrap().len() >= 20);
+    }
+}

@@ -1,0 +1,367 @@
+//! Single-instance execution.
+
+use ctg_model::{DecisionVector, TaskId};
+use ctg_sched::{SchedContext, SchedError, Solution};
+
+/// DVFS transition overhead model (extension — the paper explicitly
+/// neglects switching overhead; this quantifies what that assumption hides).
+///
+/// Whenever two consecutively executed tasks on one PE run at different
+/// speed ratios, the later task is delayed by `switch_time` and the instance
+/// is charged `switch_energy`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DvfsOverhead {
+    /// Time to re-lock the PLL / settle the voltage rail per speed change.
+    pub switch_time: f64,
+    /// Energy per speed change.
+    pub switch_energy: f64,
+}
+
+/// Outcome of executing one CTG instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceResult {
+    /// Total energy: activated tasks at their locked speeds plus the
+    /// communication energy of transfers that actually happened.
+    pub energy: f64,
+    /// Computation share of [`InstanceResult::energy`].
+    pub exec_energy: f64,
+    /// Communication share of [`InstanceResult::energy`] (never
+    /// voltage-scaled).
+    pub comm_energy: f64,
+    /// Completion time of the last activated task.
+    pub makespan: f64,
+    /// Whether the makespan met the graph deadline.
+    pub deadline_met: bool,
+    /// Per-task `(start, finish)` for activated tasks, `None` otherwise.
+    pub task_times: Vec<Option<(f64, f64)>>,
+}
+
+impl InstanceResult {
+    /// Number of tasks that executed in this instance.
+    pub fn active_count(&self) -> usize {
+        self.task_times.iter().filter(|t| t.is_some()).count()
+    }
+}
+
+/// Executes one instance of the context's CTG under `solution` with the
+/// branch decisions in `vector`.
+///
+/// Execution semantics:
+///
+/// * a task runs iff its activation condition holds under `vector`;
+/// * it starts when all of the following have happened: every *activated*
+///   predecessor has finished and its data arrived (cross-PE transfers take
+///   `volume / bandwidth`), every branch fork node deciding one of its
+///   predecessors has finished (or-node implied wait), and every activated
+///   task scheduled before it on the same PE has finished;
+/// * it runs for `WCET / speed` and consumes `E · speed²` (communication is
+///   not voltage-scaled).
+///
+/// # Errors
+///
+/// Returns [`SchedError::VectorArity`] when `vector` does not match the
+/// graph's fork count.
+pub fn simulate_instance(
+    ctx: &SchedContext,
+    solution: &Solution,
+    vector: &DecisionVector,
+) -> Result<InstanceResult, SchedError> {
+    simulate_instance_with_overhead(ctx, solution, vector, DvfsOverhead::default())
+}
+
+/// Like [`simulate_instance`] but charges DVFS transition overheads
+/// (extension; see [`DvfsOverhead`]).
+///
+/// # Errors
+///
+/// Same as [`simulate_instance`].
+pub fn simulate_instance_with_overhead(
+    ctx: &SchedContext,
+    solution: &Solution,
+    vector: &DecisionVector,
+    overhead: DvfsOverhead,
+) -> Result<InstanceResult, SchedError> {
+    let ctg = ctx.ctg();
+    if vector.len() != ctg.num_branches() {
+        return Err(SchedError::VectorArity {
+            expected: ctg.num_branches(),
+            got: vector.len(),
+        });
+    }
+    let platform = ctx.platform();
+    let comm = platform.comm();
+    let schedule = &solution.schedule;
+    let speeds = &solution.speeds;
+
+    let active = vector.active_tasks(ctg, ctx.activation());
+    let n = ctg.num_tasks();
+
+    // Constraint lists: CTG edges, implied or-deps, same-PE serialization.
+    let mut preds: Vec<Vec<(TaskId, f64)>> = vec![Vec::new(); n];
+    for (_, e) in ctg.edges() {
+        preds[e.dst().index()].push((e.src(), e.comm_kbytes()));
+    }
+    for &(fork, or_node) in ctx.activation().implied_or_deps() {
+        preds[or_node.index()].push((fork, 0.0));
+    }
+    for pe in platform.pes() {
+        let order = schedule.pe_order(pe);
+        for i in 0..order.len() {
+            for j in (i + 1)..order.len() {
+                preds[order[j].index()].push((order[i], 0.0));
+            }
+        }
+    }
+
+    // Process in a topological order of the constraint graph: nominal start
+    // order (pseudo constraints always point from earlier to later starts).
+    let mut order: Vec<TaskId> = ctg.tasks().collect();
+    order.sort_by(|&a, &b| {
+        schedule
+            .start(a)
+            .partial_cmp(&schedule.start(b))
+            .expect("finite start times")
+            .then(a.cmp(&b))
+    });
+
+    let mut task_times: Vec<Option<(f64, f64)>> = vec![None; n];
+    let mut exec_energy = 0.0;
+    let mut makespan: f64 = 0.0;
+    // Last speed each PE ran at, for DVFS transition accounting.
+    let mut pe_speed: Vec<Option<f64>> = vec![None; platform.num_pes()];
+    for &t in &order {
+        if !active[t.index()] {
+            continue;
+        }
+        let pe = schedule.pe_of(t);
+        let mut start: f64 = 0.0;
+        for &(p, kbytes) in &preds[t.index()] {
+            if !active[p.index()] {
+                continue;
+            }
+            let (_, p_finish) = task_times[p.index()]
+                .expect("constraint order processes predecessors first");
+            let arrival = p_finish + comm.delay(schedule.pe_of(p), pe, kbytes);
+            start = start.max(arrival);
+        }
+        let speed = platform.dvfs().quantize(speeds.speed(t));
+        if let Some(prev) = pe_speed[pe.index()] {
+            if (prev - speed).abs() > 1e-12 {
+                start += overhead.switch_time;
+                exec_energy += overhead.switch_energy;
+            }
+        }
+        pe_speed[pe.index()] = Some(speed);
+        let duration = platform.exec_time(t.index(), pe, speeds.speed(t));
+        let finish = start + duration;
+        task_times[t.index()] = Some((start, finish));
+        exec_energy += platform.exec_energy(t.index(), pe, speeds.speed(t));
+        makespan = makespan.max(finish);
+    }
+    // Communication energy of transfers that actually happened.
+    let mut comm_energy = 0.0;
+    for (_, e) in ctg.edges() {
+        if active[e.src().index()] && active[e.dst().index()] {
+            comm_energy += comm.energy(
+                schedule.pe_of(e.src()),
+                schedule.pe_of(e.dst()),
+                e.comm_kbytes(),
+            );
+        }
+    }
+
+    Ok(InstanceResult {
+        energy: exec_energy + comm_energy,
+        exec_energy,
+        comm_energy,
+        makespan,
+        deadline_met: makespan <= ctg.deadline() + 1e-9,
+        task_times,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctg_model::{BranchProbs, DecisionVector};
+    use ctg_sched::test_util::{example1_ctg, uniform_platform};
+    use ctg_sched::{OnlineScheduler, SchedContext, SpeedAssignment};
+
+    fn setup(deadline: f64) -> (SchedContext, BranchProbs, [TaskId; 8]) {
+        let (ctg, ids) = example1_ctg(deadline);
+        let probs = BranchProbs::uniform(&ctg);
+        let platform = uniform_platform(ctg.num_tasks(), 2, 2.0, 2.0);
+        (SchedContext::new(ctg, platform).unwrap(), probs, ids)
+    }
+
+    #[test]
+    fn only_active_tasks_execute() {
+        let (ctx, probs, ids) = setup(60.0);
+        let solution = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+        let [_, _, _, t4, t5, t6, t7, t8] = ids;
+        // a1 (alt 0 at fork τ3): τ4, τ8 run; τ5, τ6, τ7 do not.
+        let r = simulate_instance(&ctx, &solution, &DecisionVector::new(vec![0, 0])).unwrap();
+        assert!(r.task_times[t4.index()].is_some());
+        assert!(r.task_times[t8.index()].is_some());
+        assert!(r.task_times[t5.index()].is_none());
+        assert!(r.task_times[t6.index()].is_none());
+        assert!(r.task_times[t7.index()].is_none());
+        assert_eq!(r.active_count(), 5);
+    }
+
+    #[test]
+    fn deadline_met_for_all_scenarios() {
+        let (ctx, probs, _) = setup(60.0);
+        let solution = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+        for a in 0..2u8 {
+            for b in 0..2u8 {
+                let r =
+                    simulate_instance(&ctx, &solution, &DecisionVector::new(vec![a, b])).unwrap();
+                assert!(r.deadline_met, "scenario ({a},{b}) missed: {}", r.makespan);
+            }
+        }
+    }
+
+    #[test]
+    fn stretched_instance_uses_less_energy_than_nominal() {
+        let (ctx, probs, _) = setup(80.0);
+        let solution = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+        let nominal = Solution {
+            schedule: solution.schedule.clone(),
+            speeds: SpeedAssignment::nominal(ctx.ctg().num_tasks()),
+        };
+        let v = DecisionVector::new(vec![1, 0]);
+        let e_stretched = simulate_instance(&ctx, &solution, &v).unwrap().energy;
+        let e_nominal = simulate_instance(&ctx, &nominal, &v).unwrap().energy;
+        assert!(e_stretched < e_nominal);
+    }
+
+    #[test]
+    fn precedence_respected_in_simulation() {
+        let (ctx, probs, ids) = setup(60.0);
+        let solution = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+        let [t1, t2, t3, t4, _, _, _, t8] = ids;
+        let r = simulate_instance(&ctx, &solution, &DecisionVector::new(vec![0, 1])).unwrap();
+        let times = |t: TaskId| r.task_times[t.index()].unwrap();
+        assert!(times(t1).1 <= times(t2).0 + 1e-9);
+        assert!(times(t1).1 <= times(t3).0 + 1e-9);
+        assert!(times(t3).1 <= times(t4).0 + 1e-9);
+        // Or-node waits for all activated inputs and the fork.
+        assert!(times(t8).0 + 1e-9 >= times(t2).1);
+        assert!(times(t8).0 + 1e-9 >= times(t4).1);
+        assert!(times(t8).0 + 1e-9 >= times(t3).1);
+    }
+
+    #[test]
+    fn same_pe_tasks_serialize() {
+        let (ctx, probs, _) = setup(60.0);
+        let solution = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+        let r = simulate_instance(&ctx, &solution, &DecisionVector::new(vec![1, 1])).unwrap();
+        for pe in ctx.platform().pes() {
+            let mut intervals: Vec<(f64, f64)> = solution
+                .schedule
+                .pe_order(pe)
+                .iter()
+                .filter_map(|&t| r.task_times[t.index()])
+                .collect();
+            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in intervals.windows(2) {
+                assert!(w[0].1 <= w[1].0 + 1e-9, "overlap on {pe}: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let (ctx, probs, _) = setup(60.0);
+        let solution = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+        assert!(matches!(
+            simulate_instance(&ctx, &solution, &DecisionVector::new(vec![0])),
+            Err(SchedError::VectorArity { .. })
+        ));
+    }
+
+    #[test]
+    fn comm_energy_only_for_executed_cross_pe_transfers() {
+        // Force a 2-PE split with a heavy edge and compare scenario energies.
+        let (ctx, probs, _) = setup(60.0);
+        let solution = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+        // Energy is finite and non-negative in all scenarios.
+        for a in 0..2u8 {
+            for b in 0..2u8 {
+                let r =
+                    simulate_instance(&ctx, &solution, &DecisionVector::new(vec![a, b])).unwrap();
+                assert!(r.energy.is_finite() && r.energy > 0.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod overhead_tests {
+    use super::*;
+    use ctg_model::{BranchProbs, DecisionVector};
+    use ctg_sched::test_util::{example1_ctg, uniform_platform};
+    use ctg_sched::{OnlineScheduler, SchedContext};
+
+    fn setup(deadline: f64) -> (SchedContext, Solution) {
+        let (ctg, _) = example1_ctg(deadline);
+        let probs = BranchProbs::uniform(&ctg);
+        let platform = uniform_platform(ctg.num_tasks(), 2, 2.0, 2.0);
+        let ctx = SchedContext::new(ctg, platform).unwrap();
+        let solution = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+        (ctx, solution)
+    }
+
+    #[test]
+    fn zero_overhead_matches_plain_simulation() {
+        let (ctx, solution) = setup(60.0);
+        let v = DecisionVector::new(vec![1, 0]);
+        let plain = simulate_instance(&ctx, &solution, &v).unwrap();
+        let zero = simulate_instance_with_overhead(&ctx, &solution, &v, DvfsOverhead::default())
+            .unwrap();
+        assert_eq!(plain, zero);
+    }
+
+    #[test]
+    fn overhead_increases_energy_and_makespan() {
+        let (ctx, solution) = setup(60.0);
+        let v = DecisionVector::new(vec![1, 0]);
+        let plain = simulate_instance(&ctx, &solution, &v).unwrap();
+        let oh = DvfsOverhead { switch_time: 0.5, switch_energy: 0.3 };
+        let with = simulate_instance_with_overhead(&ctx, &solution, &v, oh).unwrap();
+        // The solution assigns different speeds to different tasks, so at
+        // least one transition is charged.
+        assert!(with.energy > plain.energy);
+        assert!(with.makespan >= plain.makespan);
+    }
+
+    #[test]
+    fn large_overhead_can_break_the_deadline() {
+        // Tight deadline: nominal makespan ~ deadline/1.05.
+        let (ctx, solution) = {
+            let (ctg, _) = example1_ctg(1_000.0);
+            let probs = BranchProbs::uniform(&ctg);
+            let platform = uniform_platform(ctg.num_tasks(), 2, 2.0, 2.0);
+            let ctx = SchedContext::new(ctg, platform).unwrap();
+            let makespan = ctg_sched::dls_schedule(&ctx, &probs).unwrap().makespan();
+            let ctx = SchedContext::new(
+                ctx.ctg().with_deadline(1.05 * makespan),
+                ctx.platform().clone(),
+            )
+            .unwrap();
+            let solution = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+            (ctx, solution)
+        };
+        let v = DecisionVector::new(vec![1, 0]);
+        assert!(simulate_instance(&ctx, &solution, &v).unwrap().deadline_met);
+        let oh = DvfsOverhead { switch_time: 5.0, switch_energy: 0.0 };
+        let with = simulate_instance_with_overhead(&ctx, &solution, &v, oh).unwrap();
+        // Whether it breaks depends on how many transitions the schedule
+        // has; at minimum the makespan must grow.
+        assert!(
+            with.makespan
+                > simulate_instance(&ctx, &solution, &v).unwrap().makespan - 1e-9
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Execution simulator for scheduled conditional task graphs.
+//!
+//! Given a committed [`Solution`](ctg_sched::Solution) (mapping, order and
+//! per-task speeds) and a concrete [`DecisionVector`](ctg_model::DecisionVector),
+//! the simulator executes one *instance* of the CTG: only activated tasks
+//! run, each at its locked speed; data transfers between PEs take link time
+//! and energy; tasks on one PE serialize in schedule order; or-nodes wait for
+//! the branch fork nodes deciding their predecessors. The result is the
+//! instance's actual energy, makespan and deadline verdict — the quantities
+//! the paper's evaluation averages over 1000-instance traces.
+//!
+//! [`runner`] drives whole traces through the non-adaptive (static) and
+//! adaptive policies.
+//!
+//! # Example
+//!
+//! ```
+//! use ctg_sim::simulate_instance;
+//! use ctg_sched::{OnlineScheduler, SchedContext};
+//! use ctg_model::{BranchProbs, CtgBuilder, DecisionVector};
+//! use mpsoc_platform::PlatformBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = CtgBuilder::new("fork");
+//! let f = b.add_task("f");
+//! let x = b.add_task("x");
+//! let y = b.add_task("y");
+//! b.add_cond_edge(f, x, 0, 0.0)?;
+//! b.add_cond_edge(f, y, 1, 0.0)?;
+//! let ctg = b.deadline(30.0).build()?;
+//! let mut pb = PlatformBuilder::new(3);
+//! pb.add_pe("p0");
+//! for t in 0..3 {
+//!     pb.set_wcet_row(t, vec![2.0])?;
+//!     pb.set_energy_row(t, vec![2.0])?;
+//! }
+//! let ctx = SchedContext::new(ctg, pb.build()?)?;
+//! let probs = BranchProbs::uniform(ctx.ctg());
+//! let solution = OnlineScheduler::new().solve(&ctx, &probs)?;
+//!
+//! let run = simulate_instance(&ctx, &solution, &DecisionVector::new(vec![0]))?;
+//! assert!(run.deadline_met);
+//! assert!(run.energy > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod estimate;
+pub mod gantt;
+mod instance;
+pub mod metrics;
+pub mod reclaim;
+pub mod runner;
+
+pub use estimate::{monte_carlo_energy, McEstimate};
+pub use instance::{
+    simulate_instance, simulate_instance_with_overhead, DvfsOverhead, InstanceResult,
+};
+pub use metrics::{trace_metrics, TraceMetrics};
+pub use reclaim::simulate_instance_reclaiming;
+pub use runner::{run_adaptive, run_periodic, run_static, PeriodicSummary, RunSummary};

@@ -1,0 +1,390 @@
+//! Trace runners: drive the non-adaptive and adaptive policies over a
+//! sequence of decision vectors.
+
+use crate::instance::simulate_instance;
+use ctg_model::DecisionVector;
+use ctg_sched::{AdaptiveScheduler, SchedContext, SchedError, Solution};
+
+/// Aggregate outcome of a trace run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Instances executed.
+    pub instances: usize,
+    /// Sum of per-instance energies.
+    pub total_energy: f64,
+    /// Instances whose makespan exceeded the deadline.
+    pub deadline_misses: usize,
+    /// Largest observed makespan.
+    pub max_makespan: f64,
+    /// Re-scheduling call count (0 for the static policy).
+    pub calls: usize,
+}
+
+impl RunSummary {
+    /// Mean per-instance energy.
+    pub fn avg_energy(&self) -> f64 {
+        if self.instances == 0 {
+            0.0
+        } else {
+            self.total_energy / self.instances as f64
+        }
+    }
+}
+
+/// Runs a fixed solution over a trace (the paper's *non-adaptive online*
+/// policy: schedule once from profiled probabilities, never revisit).
+///
+/// # Errors
+///
+/// Propagates vector-arity mismatches.
+pub fn run_static(
+    ctx: &SchedContext,
+    solution: &Solution,
+    vectors: &[DecisionVector],
+) -> Result<RunSummary, SchedError> {
+    let mut summary = RunSummary {
+        instances: 0,
+        total_energy: 0.0,
+        deadline_misses: 0,
+        max_makespan: 0.0,
+        calls: 0,
+    };
+    for v in vectors {
+        let r = simulate_instance(ctx, solution, v)?;
+        summary.instances += 1;
+        summary.total_energy += r.energy;
+        summary.deadline_misses += usize::from(!r.deadline_met);
+        summary.max_makespan = summary.max_makespan.max(r.makespan);
+    }
+    Ok(summary)
+}
+
+/// Runs the adaptive policy over a trace: each instance executes under the
+/// solution currently in force, then its branch decisions are fed to the
+/// manager, possibly triggering a re-schedule that takes effect from the
+/// next instance (paper §III.B).
+///
+/// The manager is taken by value and mutated; pass a freshly constructed
+/// [`AdaptiveScheduler`] for reproducible runs.
+///
+/// # Errors
+///
+/// Propagates vector-arity mismatches and re-scheduling failures.
+pub fn run_adaptive(
+    ctx: &SchedContext,
+    mut manager: AdaptiveScheduler,
+    vectors: &[DecisionVector],
+) -> Result<(RunSummary, AdaptiveScheduler), SchedError> {
+    let mut summary = RunSummary {
+        instances: 0,
+        total_energy: 0.0,
+        deadline_misses: 0,
+        max_makespan: 0.0,
+        calls: 0,
+    };
+    for v in vectors {
+        let r = simulate_instance(ctx, manager.solution(), v)?;
+        summary.instances += 1;
+        summary.total_energy += r.energy;
+        summary.deadline_misses += usize::from(!r.deadline_met);
+        summary.max_makespan = summary.max_makespan.max(r.makespan);
+        manager.observe(ctx, v)?;
+    }
+    summary.calls = manager.stats().calls;
+    Ok((summary, manager))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctg_model::BranchProbs;
+    use ctg_sched::test_util::{example1_ctg, uniform_platform};
+    use ctg_sched::OnlineScheduler;
+
+    fn setup() -> (SchedContext, BranchProbs) {
+        let (ctg, _) = example1_ctg(60.0);
+        let probs = BranchProbs::uniform(&ctg);
+        let platform = uniform_platform(ctg.num_tasks(), 2, 2.0, 2.0);
+        (SchedContext::new(ctg, platform).unwrap(), probs)
+    }
+
+    fn constant_trace(alt: u8, len: usize) -> Vec<DecisionVector> {
+        (0..len).map(|_| DecisionVector::new(vec![alt, alt])).collect()
+    }
+
+    #[test]
+    fn static_run_aggregates() {
+        let (ctx, probs) = setup();
+        let sol = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+        let trace = constant_trace(0, 10);
+        let s = run_static(&ctx, &sol, &trace).unwrap();
+        assert_eq!(s.instances, 10);
+        assert_eq!(s.deadline_misses, 0);
+        assert_eq!(s.calls, 0);
+        assert!(s.avg_energy() > 0.0);
+        assert!((s.total_energy - 10.0 * s.avg_energy()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_beats_static_under_mismatched_profile() {
+        let (ctx, _) = setup();
+        // Profile says a2 almost always; the trace is constant a1.
+        let mut wrong = BranchProbs::uniform(ctx.ctg());
+        let forks: Vec<_> = ctx.ctg().branch_nodes().to_vec();
+        wrong.set(forks[0], vec![0.05, 0.95]).unwrap();
+        let static_sol = OnlineScheduler::new().solve(&ctx, &wrong).unwrap();
+        let trace = constant_trace(0, 60);
+        let s_static = run_static(&ctx, &static_sol, &trace).unwrap();
+
+        let manager = AdaptiveScheduler::new(&ctx, wrong, 10, 0.2).unwrap();
+        let (s_adaptive, _) = run_adaptive(&ctx, manager, &trace).unwrap();
+        assert!(s_adaptive.calls >= 1);
+        assert!(
+            s_adaptive.total_energy < s_static.total_energy,
+            "adaptive {} !< static {}",
+            s_adaptive.total_energy,
+            s_static.total_energy
+        );
+        assert_eq!(s_adaptive.deadline_misses, 0);
+    }
+
+    #[test]
+    fn adaptive_with_huge_threshold_equals_static() {
+        let (ctx, probs) = setup();
+        let sol = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+        let trace = constant_trace(1, 20);
+        let s_static = run_static(&ctx, &sol, &trace).unwrap();
+        let manager = AdaptiveScheduler::new(&ctx, probs, 10, 1.0).unwrap();
+        let (s_adaptive, _) = run_adaptive(&ctx, manager, &trace).unwrap();
+        assert_eq!(s_adaptive.calls, 0);
+        assert!((s_adaptive.total_energy - s_static.total_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_threshold_means_more_calls() {
+        let (ctx, probs) = setup();
+        // Alternating trace keeps the windowed estimate moving.
+        let trace: Vec<DecisionVector> = (0..100)
+            .map(|i| DecisionVector::new(vec![(i / 7 % 2) as u8, (i / 11 % 2) as u8]))
+            .collect();
+        let m_low = AdaptiveScheduler::new(&ctx, probs.clone(), 10, 0.1).unwrap();
+        let m_high = AdaptiveScheduler::new(&ctx, probs, 10, 0.5).unwrap();
+        let (s_low, _) = run_adaptive(&ctx, m_low, &trace).unwrap();
+        let (s_high, _) = run_adaptive(&ctx, m_high, &trace).unwrap();
+        assert!(
+            s_low.calls >= s_high.calls,
+            "T=0.1 calls {} < T=0.5 calls {}",
+            s_low.calls,
+            s_high.calls
+        );
+        assert!(s_low.calls > 0);
+    }
+}
+
+/// Outcome of a periodic run (extension).
+///
+/// The paper assumes a periodic graph whose period equals its deadline. This
+/// runner releases one instance every `period` time units and lets instances
+/// queue on the PEs: tasks of instance *i+1* wait for the release time, for
+/// their predecessors, and for instance *i*'s tasks on the same PE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeriodicSummary {
+    /// Instances executed.
+    pub instances: usize,
+    /// Instances finishing after `release + deadline`.
+    pub overruns: usize,
+    /// Largest lateness (finish − absolute deadline) observed; ≤ 0 when all
+    /// instances met their deadlines.
+    pub max_lateness: f64,
+    /// Total energy over the run.
+    pub total_energy: f64,
+    /// Completion time of the last instance.
+    pub horizon: f64,
+}
+
+impl PeriodicSummary {
+    /// Mean per-instance energy.
+    pub fn avg_energy(&self) -> f64 {
+        if self.instances == 0 {
+            0.0
+        } else {
+            self.total_energy / self.instances as f64
+        }
+    }
+}
+
+/// Runs `vectors` as periodically released instances with carry-over PE
+/// contention.
+///
+/// With `period ≥` the worst-case makespan the result matches
+/// [`run_static`] instance by instance; shorter periods make instances
+/// interfere and eventually overrun.
+///
+/// # Errors
+///
+/// Returns [`SchedError::InvalidParameter`] for a non-positive period and
+/// propagates vector-arity mismatches.
+pub fn run_periodic(
+    ctx: &SchedContext,
+    solution: &Solution,
+    vectors: &[DecisionVector],
+    period: f64,
+) -> Result<PeriodicSummary, SchedError> {
+    if !(period.is_finite() && period > 0.0) {
+        return Err(SchedError::InvalidParameter("period must be positive"));
+    }
+    let ctg = ctx.ctg();
+    let platform = ctx.platform();
+    let comm = platform.comm();
+    let schedule = &solution.schedule;
+    let n = ctg.num_tasks();
+
+    // Static constraint structure (same as the instance simulator).
+    let mut preds: Vec<Vec<(ctg_model::TaskId, f64)>> = vec![Vec::new(); n];
+    for (_, e) in ctg.edges() {
+        preds[e.dst().index()].push((e.src(), e.comm_kbytes()));
+    }
+    for &(fork, or_node) in ctx.activation().implied_or_deps() {
+        preds[or_node.index()].push((fork, 0.0));
+    }
+    for pe in platform.pes() {
+        let order = schedule.pe_order(pe);
+        for i in 0..order.len() {
+            for j in (i + 1)..order.len() {
+                preds[order[j].index()].push((order[i], 0.0));
+            }
+        }
+    }
+    let mut order: Vec<ctg_model::TaskId> = ctg.tasks().collect();
+    order.sort_by(|&a, &b| {
+        schedule
+            .start(a)
+            .partial_cmp(&schedule.start(b))
+            .expect("finite start times")
+            .then(a.cmp(&b))
+    });
+
+    let mut pe_carry = vec![0.0_f64; platform.num_pes()];
+    let mut summary = PeriodicSummary {
+        instances: 0,
+        overruns: 0,
+        max_lateness: f64::NEG_INFINITY,
+        total_energy: 0.0,
+        horizon: 0.0,
+    };
+    for (i, v) in vectors.iter().enumerate() {
+        if v.len() != ctg.num_branches() {
+            return Err(SchedError::VectorArity {
+                expected: ctg.num_branches(),
+                got: v.len(),
+            });
+        }
+        let release = i as f64 * period;
+        let active = v.active_tasks(ctg, ctx.activation());
+        let mut finish_at: Vec<Option<f64>> = vec![None; n];
+        let mut instance_end: f64 = release;
+        let mut next_carry = pe_carry.clone();
+        for &t in &order {
+            if !active[t.index()] {
+                continue;
+            }
+            let pe = schedule.pe_of(t);
+            let mut start = release.max(pe_carry[pe.index()]);
+            for &(p, kbytes) in &preds[t.index()] {
+                if !active[p.index()] {
+                    continue;
+                }
+                let pf = finish_at[p.index()].expect("topological processing");
+                start = start.max(pf + comm.delay(schedule.pe_of(p), pe, kbytes));
+            }
+            let speed = solution.speeds.speed(t);
+            let finish = start + platform.exec_time(t.index(), pe, speed);
+            finish_at[t.index()] = Some(finish);
+            next_carry[pe.index()] = next_carry[pe.index()].max(finish);
+            summary.total_energy += platform.exec_energy(t.index(), pe, speed);
+            instance_end = instance_end.max(finish);
+        }
+        for (_, e) in ctg.edges() {
+            if active[e.src().index()] && active[e.dst().index()] {
+                summary.total_energy += comm.energy(
+                    schedule.pe_of(e.src()),
+                    schedule.pe_of(e.dst()),
+                    e.comm_kbytes(),
+                );
+            }
+        }
+        pe_carry = next_carry;
+        let lateness = instance_end - (release + ctg.deadline());
+        summary.max_lateness = summary.max_lateness.max(lateness);
+        summary.overruns += usize::from(lateness > 1e-9);
+        summary.instances += 1;
+        summary.horizon = summary.horizon.max(instance_end);
+    }
+    if summary.instances == 0 {
+        summary.max_lateness = 0.0;
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod periodic_tests {
+    use super::*;
+    use ctg_model::BranchProbs;
+    use ctg_sched::test_util::{example1_ctg, uniform_platform};
+    use ctg_sched::OnlineScheduler;
+
+    fn setup() -> (SchedContext, Solution) {
+        let (ctg, _) = example1_ctg(60.0);
+        let probs = BranchProbs::uniform(&ctg);
+        let platform = uniform_platform(ctg.num_tasks(), 2, 2.0, 2.0);
+        let ctx = SchedContext::new(ctg, platform).unwrap();
+        let solution = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+        (ctx, solution)
+    }
+
+    fn trace(len: usize) -> Vec<DecisionVector> {
+        (0..len)
+            .map(|i| DecisionVector::new(vec![(i % 2) as u8, ((i / 2) % 2) as u8]))
+            .collect()
+    }
+
+    #[test]
+    fn long_period_matches_isolated_instances() {
+        let (ctx, solution) = setup();
+        let vs = trace(12);
+        let periodic = run_periodic(&ctx, &solution, &vs, ctx.ctg().deadline()).unwrap();
+        let isolated = run_static(&ctx, &solution, &vs).unwrap();
+        assert_eq!(periodic.overruns, 0);
+        assert!((periodic.total_energy - isolated.total_energy).abs() < 1e-9);
+        assert!(periodic.max_lateness <= 0.0);
+    }
+
+    #[test]
+    fn short_period_overruns_and_backlogs() {
+        let (ctx, solution) = setup();
+        let vs = trace(20);
+        // Period far below the stretched makespan: backlog accumulates.
+        let periodic = run_periodic(&ctx, &solution, &vs, 5.0).unwrap();
+        assert!(periodic.overruns > 0);
+        assert!(periodic.max_lateness > 0.0);
+        // Energy is speed-determined, not contention-determined.
+        let isolated = run_static(&ctx, &solution, &vs).unwrap();
+        assert!((periodic.total_energy - isolated.total_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lateness_monotone_in_period() {
+        let (ctx, solution) = setup();
+        let vs = trace(16);
+        let tight = run_periodic(&ctx, &solution, &vs, 10.0).unwrap();
+        let loose = run_periodic(&ctx, &solution, &vs, 40.0).unwrap();
+        assert!(tight.max_lateness >= loose.max_lateness);
+    }
+
+    #[test]
+    fn bad_period_rejected() {
+        let (ctx, solution) = setup();
+        assert!(run_periodic(&ctx, &solution, &trace(2), 0.0).is_err());
+        assert!(run_periodic(&ctx, &solution, &trace(2), f64::NAN).is_err());
+    }
+}

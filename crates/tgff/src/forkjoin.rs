@@ -1,0 +1,164 @@
+//! Category-1 generation: fork-join graphs with nested conditional branches.
+
+use crate::TgffConfig;
+use ctg_model::{Ctg, CtgBuilder, NodeKind, TaskId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generates a fork-join CTG.
+///
+/// Construction: starting from an entry task, `num_branches` conditional
+/// sections (fork → two arm chains → or-join) are attached at random
+/// extension points — attaching inside an existing arm produces a *nested*
+/// conditional branch. The remaining task budget is spent on chain tasks at
+/// random extension points, and all dangling ends are joined into a common
+/// exit task, giving the fork-join shape.
+pub(crate) fn generate(cfg: &TgffConfig, rng: &mut StdRng) -> Ctg {
+    let mut b = CtgBuilder::new(format!("tgff-fj-{}", cfg.seed));
+    let comm = |rng: &mut StdRng| rng.gen_range(cfg.comm_range.0..cfg.comm_range.1);
+
+    let entry = b.add_task("entry");
+    // Extension points: (task to append after, is the point inside a
+    // conditional arm). Arms make nesting possible.
+    let mut points: Vec<TaskId> = vec![entry];
+    let mut used = 1usize;
+    // Budget reserved for the joint exit task.
+    let budget = cfg.num_tasks - 1;
+
+    let arms = cfg.branch_alternatives;
+    let section_min = arms as usize + 2;
+    for section in 0..cfg.num_branches {
+        let at = points[rng.gen_range(0..points.len())];
+        let fork = b.add_task(format!("fork{section}"));
+        let c = comm(rng);
+        b.add_edge(at, fork, c).expect("extension point is valid");
+        used += 1;
+        // Arms: each a chain of 1..=4 tasks (budget permitting) — the
+        // paper's branches "activate or deactivate a large set of
+        // operations", so arms carry a meaningful share of the graph.
+        let remaining_sections = cfg.num_branches - section - 1;
+        let reserve = remaining_sections * section_min;
+        let mut arm_ends = Vec::new();
+        for alt in 0..arms {
+            // Still needed after this arm's first task: the remaining arms'
+            // minimum (1 task each) plus the join node.
+            let needed_min = (arms - 1 - alt) as usize + 1;
+            let spare = budget.saturating_sub(used + reserve + needed_min + 1);
+            let len = 1 + rng.gen_range(0..=spare.min(3));
+            let head = b.add_task(format!("arm{section}.{alt}.0"));
+            b.add_cond_edge(fork, head, alt, comm(rng))
+                .expect("fresh conditional edge");
+            used += 1;
+            let mut tail = head;
+            for k in 1..len {
+                let next = b.add_task(format!("arm{section}.{alt}.{k}"));
+                b.add_edge(tail, next, comm(rng)).expect("fresh chain edge");
+                used += 1;
+                tail = next;
+                points.push(tail); // interior of an arm: nesting point
+            }
+            points.push(tail);
+            arm_ends.push(tail);
+        }
+        let join = b.add_task_with_kind(format!("join{section}"), NodeKind::Or);
+        for end in arm_ends {
+            b.add_edge(end, join, comm(rng)).expect("fresh join edge");
+        }
+        used += 1;
+        points.push(join);
+    }
+
+    // Spend the rest of the budget on chain tasks.
+    let mut filler = 0usize;
+    while used < budget {
+        let at = points[rng.gen_range(0..points.len())];
+        let t = b.add_task(format!("task{filler}"));
+        b.add_edge(at, t, comm(rng)).expect("fresh filler edge");
+        points.push(t);
+        used += 1;
+        filler += 1;
+    }
+
+    // Join all dangling ends into a common exit (fork-join closure). A
+    // *conditional* dangling end must meet the exit through an or-semantic;
+    // making the exit an or-node handles every case uniformly.
+    let ctg_probe = b.clone().deadline(1.0).build().expect("probe build");
+    let sinks: Vec<TaskId> = ctg_probe.sinks().collect();
+    let exit = b.add_task_with_kind("exit", NodeKind::Or);
+    for s in sinks {
+        b.add_edge(s, exit, comm(rng)).expect("fresh exit edge");
+    }
+
+    // Provisional, always-feasible deadline; callers rescale.
+    let ctg = b
+        .deadline(1.0)
+        .build()
+        .expect("construction yields a valid DAG");
+    let safe_deadline = 10.0 * cfg.wcet_range.1 * ctg.num_tasks() as f64;
+    ctg.with_deadline(safe_deadline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Category;
+    use rand::SeedableRng;
+
+    fn gen(seed: u64, tasks: usize, branches: usize) -> Ctg {
+        let cfg = TgffConfig::new(seed, tasks, branches, Category::ForkJoin);
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn single_exit_node() {
+        for seed in 0..10 {
+            let g = gen(seed, 20, 2);
+            assert_eq!(g.sinks().count(), 1, "seed {seed}");
+            assert_eq!(g.sources().count(), 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn task_count_close_to_budget() {
+        for seed in 0..10 {
+            let g = gen(seed, 25, 3);
+            // Budget + exit node; construction may not undershoot.
+            assert!(g.num_tasks() >= 25, "seed {seed}: {}", g.num_tasks());
+            assert!(g.num_tasks() <= 27, "seed {seed}: {}", g.num_tasks());
+        }
+    }
+
+    #[test]
+    fn all_branch_arms_are_exclusive() {
+        let g = gen(3, 25, 3);
+        let act = g.activation();
+        for &f in g.branch_nodes() {
+            let arms: Vec<TaskId> = g
+                .out_edges(f)
+                .filter(|(_, e)| e.is_conditional())
+                .map(|(_, e)| e.dst())
+                .collect();
+            for i in 0..arms.len() {
+                for j in (i + 1)..arms.len() {
+                    assert!(act.mutually_exclusive(arms[i], arms[j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exit_executes_in_every_scenario() {
+        // The exit's activation DNF may read `a1 ∨ a2` rather than the
+        // literal "1", so check semantically over the scenario enumeration.
+        for seed in 0..5 {
+            let g = gen(seed, 25, 3);
+            let act = g.activation();
+            let scenarios = ctg_model::ScenarioSet::enumerate(&g, &act);
+            let exit = g.sinks().next().unwrap();
+            for s in scenarios.scenarios() {
+                assert!(s.is_active(exit), "seed {seed}, scenario {}", s.cube());
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Category-2 generation: layered DAGs without fork-join structure or
+//! nested conditional branches.
+
+use crate::TgffConfig;
+use ctg_model::{Ctg, CtgBuilder, TaskId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generates a layered CTG.
+///
+/// Tasks are distributed over layers; every task (beyond the first layer)
+/// receives at least one predecessor from the previous layer plus random
+/// extra edges. Branch fork nodes are drawn from tasks that are themselves
+/// unconditionally activated and get exactly two conditional successors in
+/// the next layer, each of which receives no other incoming edges — this
+/// keeps conditional activation flat (no nesting) and well-defined.
+pub(crate) fn generate(cfg: &TgffConfig, rng: &mut StdRng) -> Ctg {
+    let n = cfg.num_tasks;
+    let mut b = CtgBuilder::new(format!("tgff-lay-{}", cfg.seed));
+    let comm = |rng: &mut StdRng| rng.gen_range(cfg.comm_range.0..cfg.comm_range.1);
+
+    // Layer count: enough layers to host one fork per layer (plus the final
+    // layer, which cannot host a fork), every layer ≥ 3 tasks so fork arms
+    // always leave a connecting task. The budget precondition
+    // (n ≥ 2 + 4·branches) guarantees this is satisfiable.
+    let min_size = cfg.branch_alternatives as usize + 1;
+    let min_layers = cfg.num_branches + 1;
+    let num_layers = min_layers
+        .max(n / 4)
+        .max(1)
+        .min((n / min_size).max(1))
+        .max(min_layers);
+    let base = n / num_layers;
+    let rem = n % num_layers;
+    assert!(
+        cfg.num_branches == 0 || base >= min_size,
+        "layer structure cannot host the requested branch count"
+    );
+    let mut layers: Vec<Vec<TaskId>> = Vec::new();
+    for li in 0..num_layers {
+        let want = base + usize::from(li < rem);
+        let layer: Vec<TaskId> = (0..want)
+            .map(|k| b.add_task(format!("l{li}t{k}")))
+            .collect();
+        layers.push(layer);
+    }
+
+    // Choose fork nodes: one per distinct layer (except the last), so their
+    // conditional successors live in disjoint layers — no nesting by
+    // construction when each fork is unconditionally activated.
+    let usable_layers = layers.len() - 1;
+    assert!(
+        cfg.num_branches <= usable_layers,
+        "not enough layers for the requested branch count"
+    );
+    // Fork layers: the first `num_branches` layers whose successor layer has
+    // ≥ 3 tasks (2 for the arms + 1 to stay connected). The fork *task* is
+    // picked during wiring so that it is never an arm (no nesting).
+    let mut fork_of_layer: Vec<bool> = vec![false; layers.len()];
+    let mut assigned = 0usize;
+    for li in 0..usable_layers {
+        if assigned == cfg.num_branches {
+            break;
+        }
+        if layers[li + 1].len() >= 3 {
+            fork_of_layer[li] = true;
+            assigned += 1;
+        }
+    }
+    assert_eq!(
+        assigned, cfg.num_branches,
+        "layer structure cannot host the requested branch count"
+    );
+
+    // Wire layers. `is_arm` marks tasks with a conditional in-edge; they are
+    // never used as sources of further edges, keeping conditional activation
+    // flat (no nesting) and every other task unconditionally active.
+    let mut is_arm = vec![false; n];
+    for li in 0..layers.len() - 1 {
+        let (cur, next) = (&layers[li], &layers[li + 1]);
+        let mut conditional_targets: Vec<TaskId> = Vec::new();
+        if fork_of_layer[li] {
+            let candidates: Vec<TaskId> = cur
+                .iter()
+                .copied()
+                .filter(|&c| !is_arm[c.index()])
+                .collect();
+            assert!(!candidates.is_empty(), "a layer always has a non-arm task");
+            let fork = candidates[rng.gen_range(0..candidates.len())];
+            // Arms: the first `alts` tasks of the next layer.
+            let alts = (cfg.branch_alternatives as usize).min(next.len() - 1);
+            assert!(
+                alts >= 2,
+                "layer structure cannot host the requested branch arity"
+            );
+            for (alt, &target) in next.iter().take(alts).enumerate() {
+                b.add_cond_edge(fork, target, alt as u8, comm(rng))
+                    .expect("fresh conditional edge");
+                conditional_targets.push(target);
+                is_arm[target.index()] = true;
+            }
+        }
+        for &t in next {
+            if conditional_targets.contains(&t) {
+                continue; // exactly one (conditional) predecessor
+            }
+            // At least one unconditional predecessor that is itself
+            // unconditionally active: prefer non-arm tasks of this layer.
+            let safe: Vec<TaskId> = cur
+                .iter()
+                .copied()
+                .filter(|&c| !is_arm[c.index()])
+                .collect();
+            let pool = if safe.is_empty() { cur.clone() } else { safe };
+            let p = pool[rng.gen_range(0..pool.len())];
+            b.add_edge(p, t, comm(rng)).expect("fresh layer edge");
+            // Extra random edges for irregularity.
+            for &extra in cur {
+                if extra != p && !is_arm[extra.index()] && rng.gen_bool(0.25) {
+                    let _ = b.add_edge(extra, t, comm(rng));
+                }
+            }
+        }
+    }
+
+    let ctg = b
+        .deadline(1.0)
+        .build()
+        .expect("layered construction yields a valid DAG");
+    let safe_deadline = 10.0 * cfg.wcet_range.1 * ctg.num_tasks() as f64;
+    ctg.with_deadline(safe_deadline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Category;
+    use rand::SeedableRng;
+
+    fn gen(seed: u64, tasks: usize, branches: usize) -> Ctg {
+        let cfg = TgffConfig::new(seed, tasks, branches, Category::Layered);
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn exact_task_count() {
+        for seed in 0..10 {
+            let g = gen(seed, 25, 3);
+            assert_eq!(g.num_tasks(), 25);
+        }
+    }
+
+    #[test]
+    fn conditional_tasks_have_single_predecessor() {
+        for seed in 0..10 {
+            let g = gen(seed, 25, 3);
+            for t in g.tasks() {
+                let cond_in = g.in_edges(t).filter(|(_, e)| e.is_conditional()).count();
+                if cond_in > 0 {
+                    assert_eq!(g.in_edges(t).count(), 1, "seed {seed} task {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_first_layer_task_has_a_predecessor() {
+        let g = gen(4, 25, 2);
+        let roots: Vec<_> = g.sources().collect();
+        // All roots live in the first layer (names start with l0).
+        for r in roots {
+            assert!(g.node(r).name().starts_with("l0"), "{}", g.node(r).name());
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Random heterogeneous platform generation.
+
+use crate::TgffConfig;
+use ctg_model::Ctg;
+use mpsoc_platform::{Platform, PlatformBuilder};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generates a fully connected heterogeneous platform for `ctg`.
+///
+/// Every task gets a base WCET from `cfg.wcet_range`; each PE multiplies it
+/// by a per-(task, PE) heterogeneity factor. Nominal-voltage energy is
+/// proportional to the per-PE WCET via a per-task energy factor, matching the
+/// paper's unit-load-capacitance assumption (energy ~ cycles at `V_nom`).
+pub(crate) fn generate(
+    cfg: &TgffConfig,
+    ctg: &Ctg,
+    num_pes: usize,
+    rng: &mut StdRng,
+) -> Platform {
+    let mut b = PlatformBuilder::new(ctg.num_tasks());
+    for i in 0..num_pes {
+        b.add_pe(format!("pe{i}"));
+    }
+    for t in 0..ctg.num_tasks() {
+        let base = rng.gen_range(cfg.wcet_range.0..cfg.wcet_range.1);
+        let e_factor = rng.gen_range(cfg.energy_factor_range.0..cfg.energy_factor_range.1);
+        let mut wcet_row = Vec::with_capacity(num_pes);
+        let mut energy_row = Vec::with_capacity(num_pes);
+        for _ in 0..num_pes {
+            let f = rng.gen_range(cfg.pe_factor_range.0..cfg.pe_factor_range.1);
+            let w = base * f;
+            wcet_row.push(w);
+            energy_row.push(w * e_factor);
+        }
+        b.set_wcet_row(t, wcet_row).expect("valid generated WCETs");
+        b.set_energy_row(t, energy_row).expect("valid generated energies");
+    }
+    b.uniform_links(cfg.link_bandwidth, cfg.link_energy_per_kb)
+        .expect("valid link parameters");
+    b.build().expect("generated platform is complete")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Category, TgffConfig};
+
+    #[test]
+    fn platform_matches_graph_and_is_deterministic() {
+        let cfg = TgffConfig::new(5, 20, 2, Category::ForkJoin);
+        let g = cfg.generate();
+        let p1 = cfg.generate_platform(&g.ctg, 4);
+        let p2 = cfg.generate_platform(&g.ctg, 4);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.num_tasks(), g.ctg.num_tasks());
+        assert_eq!(p1.num_pes(), 4);
+    }
+
+    #[test]
+    fn wcet_heterogeneity_within_bounds() {
+        let cfg = TgffConfig::new(6, 20, 2, Category::Layered);
+        let g = cfg.generate();
+        let p = cfg.generate_platform(&g.ctg, 3);
+        for t in 0..p.num_tasks() {
+            for pe in p.pes() {
+                let w = p.profile().wcet(t, pe);
+                assert!(w >= cfg.wcet_range.0 * cfg.pe_factor_range.0 - 1e-12);
+                assert!(w <= cfg.wcet_range.1 * cfg.pe_factor_range.1 + 1e-12);
+                assert!(p.profile().energy(t, pe) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn all_pes_connected() {
+        let cfg = TgffConfig::new(7, 20, 0, Category::ForkJoin);
+        let g = cfg.generate();
+        let p = cfg.generate_platform(&g.ctg, 3);
+        for a in p.pes() {
+            for b in p.pes() {
+                assert!(p.comm().connected(a, b));
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! The vehicle cruise-controller conditional task graph, after Pop's
+//! distributed real-time case study as used by the paper.
+//!
+//! 32 tasks with two branch fork nodes and **three minterms**
+//! (`{maintain, adjust·accelerate, adjust·decelerate}`), mapped onto a
+//! 5-PE system. The two nested alternatives (accelerate vs. decelerate)
+//! are nearly identical in cost — the property the paper uses to explain the
+//! modest adaptive savings on this application.
+
+use ctg_model::{Ctg, CtgBuilder, NodeKind, TaskId};
+use mpsoc_platform::{Platform, PlatformBuilder};
+
+/// Index of the `mode` fork (maintain vs. adjust) in the decision vector.
+pub const BRANCH_MODE: usize = 0;
+/// Index of the `direction` fork (accelerate vs. decelerate).
+pub const BRANCH_DIRECTION: usize = 1;
+
+/// Builds the 32-task, 2-fork cruise-controller CTG.
+///
+/// The deadline is a generous placeholder; the paper uses twice the optimal
+/// schedule length, which callers set via
+/// [`Ctg::with_deadline`](ctg_model::Ctg::with_deadline).
+pub fn cruise_ctg() -> Ctg {
+    let mut b = CtgBuilder::new("cruise-controller");
+
+    // Sensor front end: three parallel acquisition chains.
+    let tick = b.add_task("timer_tick");
+    let speed_raw = b.add_task("speed_sensor");
+    let speed_flt = b.add_task("speed_filter");
+    let throttle_raw = b.add_task("throttle_sensor");
+    let throttle_flt = b.add_task("throttle_filter");
+    let brake_raw = b.add_task("brake_sensor");
+    let brake_flt = b.add_task("brake_filter");
+    let fusion = b.add_task("sensor_fusion");
+    let ref_speed = b.add_task("reference_speed");
+    let err = b.add_task("speed_error");
+
+    // Fork 1: maintain (alt 0) vs adjust (alt 1).
+    let mode = b.add_task("mode"); // fork
+    let hold_pid = b.add_task("hold_pid");
+    let hold_out = b.add_task("hold_output");
+
+    let gain = b.add_task("gain_schedule");
+    // Fork 2 (nested): accelerate (alt 0) vs decelerate (alt 1) — arms are
+    // intentionally near-identical in shape and cost.
+    let direction = b.add_task("direction"); // fork
+    let acc_map = b.add_task("accel_map");
+    let acc_pid = b.add_task("accel_pid");
+    let acc_lim = b.add_task("accel_limiter");
+    let dec_map = b.add_task("decel_map");
+    let dec_pid = b.add_task("decel_pid");
+    let dec_lim = b.add_task("decel_limiter");
+    let adj_join = b.add_task_with_kind("adjust_join", NodeKind::Or);
+
+    let cmd_join = b.add_task_with_kind("command_join", NodeKind::Or);
+    let safety = b.add_task("safety_check");
+    let arbitration = b.add_task("arbitration");
+    let throttle_cmd = b.add_task("throttle_actuate");
+    let display = b.add_task("display_update");
+    let log = b.add_task("telemetry_log");
+    let diag = b.add_task("diagnostics");
+    let watchdog = b.add_task("watchdog_kick");
+    let bus_tx = b.add_task("bus_broadcast");
+    let end = b.add_task("cycle_end");
+
+    // Sensor wiring.
+    for (raw, flt) in [
+        (speed_raw, speed_flt),
+        (throttle_raw, throttle_flt),
+        (brake_raw, brake_flt),
+    ] {
+        b.add_edge(tick, raw, 0.05).unwrap();
+        b.add_edge(raw, flt, 0.4).unwrap();
+        b.add_edge(flt, fusion, 0.4).unwrap();
+    }
+    b.add_edge(tick, ref_speed, 0.05).unwrap();
+    b.add_edge(fusion, err, 0.3).unwrap();
+    b.add_edge(ref_speed, err, 0.2).unwrap();
+    b.add_edge(err, mode, 0.2).unwrap();
+
+    // Maintain arm.
+    b.add_cond_edge(mode, hold_pid, 0, 0.2).unwrap();
+    b.add_edge(hold_pid, hold_out, 0.2).unwrap();
+    b.add_edge(hold_out, cmd_join, 0.2).unwrap();
+
+    // Adjust arm with nested direction fork.
+    b.add_cond_edge(mode, gain, 1, 0.2).unwrap();
+    b.add_edge(gain, direction, 0.2).unwrap();
+    b.add_cond_edge(direction, acc_map, 0, 0.2).unwrap();
+    b.add_edge(acc_map, acc_pid, 0.2).unwrap();
+    b.add_edge(acc_pid, acc_lim, 0.2).unwrap();
+    b.add_edge(acc_lim, adj_join, 0.2).unwrap();
+    b.add_cond_edge(direction, dec_map, 1, 0.2).unwrap();
+    b.add_edge(dec_map, dec_pid, 0.2).unwrap();
+    b.add_edge(dec_pid, dec_lim, 0.2).unwrap();
+    b.add_edge(dec_lim, adj_join, 0.2).unwrap();
+    b.add_edge(adj_join, cmd_join, 0.2).unwrap();
+
+    // Back end.
+    b.add_edge(cmd_join, safety, 0.2).unwrap();
+    b.add_edge(brake_flt, safety, 0.2).unwrap();
+    b.add_edge(safety, arbitration, 0.2).unwrap();
+    b.add_edge(arbitration, throttle_cmd, 0.2).unwrap();
+    b.add_edge(arbitration, display, 0.2).unwrap();
+    b.add_edge(arbitration, log, 0.3).unwrap();
+    b.add_edge(fusion, diag, 0.3).unwrap();
+    b.add_edge(diag, watchdog, 0.1).unwrap();
+    b.add_edge(log, bus_tx, 0.4).unwrap();
+    b.add_edge(throttle_cmd, end, 0.1).unwrap();
+    b.add_edge(display, end, 0.1).unwrap();
+    b.add_edge(bus_tx, end, 0.1).unwrap();
+    b.add_edge(watchdog, end, 0.1).unwrap();
+
+    let ctg = b.deadline(1.0).build().expect("cruise CTG is a valid DAG");
+    ctg.with_deadline(10_000.0)
+}
+
+fn base_wcet(name: &str) -> f64 {
+    if name.contains("pid") || name == "sensor_fusion" {
+        3.0
+    } else if name.contains("map") || name.contains("filter") || name == "gain_schedule" {
+        2.0
+    } else if name.contains("sensor") || name.contains("actuate") || name == "bus_broadcast" {
+        1.5
+    } else {
+        0.8
+    }
+}
+
+/// Builds the 5-PE platform of the paper's cruise-controller experiment.
+pub fn cruise_platform(ctg: &Ctg) -> Platform {
+    let mut b = PlatformBuilder::new(ctg.num_tasks());
+    for i in 0..5 {
+        b.add_pe(format!("ecu{i}"));
+    }
+    for t in ctg.tasks() {
+        let w = base_wcet(ctg.node(t).name());
+        // Mild deterministic heterogeneity across the five ECUs.
+        let factors = [1.0, 0.85, 1.1, 0.95, 1.2];
+        let wcet: Vec<f64> = factors.iter().map(|f| w * f).collect();
+        let energy: Vec<f64> = factors.iter().map(|f| w * f * 1.0).collect();
+        b.set_wcet_row(t.index(), wcet).expect("valid WCET row");
+        b.set_energy_row(t.index(), energy).expect("valid energy row");
+    }
+    b.uniform_links(2.0, 0.1).expect("valid links");
+    b.build().expect("complete platform")
+}
+
+/// Returns the two fork node ids (mode, direction).
+pub fn fork_nodes(ctg: &Ctg) -> [TaskId; 2] {
+    let forks = ctg.branch_nodes();
+    [forks[BRANCH_MODE], forks[BRANCH_DIRECTION]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let g = cruise_ctg();
+        assert_eq!(g.num_tasks(), 32, "paper: 32 tasks");
+        assert_eq!(g.num_branches(), 2, "paper: 2 branching nodes");
+    }
+
+    #[test]
+    fn exactly_three_minterms() {
+        let g = cruise_ctg();
+        let act = g.activation();
+        let scenarios = ctg_model::ScenarioSet::enumerate(&g, &act);
+        // maintain; adjust·accelerate; adjust·decelerate.
+        assert_eq!(scenarios.len(), 3, "paper: three minterms");
+    }
+
+    #[test]
+    fn direction_arms_have_equal_cost() {
+        let g = cruise_ctg();
+        let p = cruise_platform(&g);
+        let cost = |prefix: &str| -> f64 {
+            g.tasks()
+                .filter(|&t| g.node(t).name().starts_with(prefix))
+                .map(|t| p.profile().wcet_avg(t.index()))
+                .sum()
+        };
+        assert!((cost("accel") - cost("decel")).abs() < 1e-9);
+    }
+
+    #[test]
+    fn five_pes() {
+        let g = cruise_ctg();
+        let p = cruise_platform(&g);
+        assert_eq!(p.num_pes(), 5);
+    }
+
+    #[test]
+    fn schedulable() {
+        use ctg_sched::{OnlineScheduler, SchedContext};
+        let g = cruise_ctg();
+        let p = cruise_platform(&g);
+        let ctx = SchedContext::new(g, p).unwrap();
+        let probs = ctg_model::BranchProbs::uniform(ctx.ctg());
+        let sol = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+        assert!(sol.schedule.makespan() < ctx.ctg().deadline());
+    }
+}

@@ -1,0 +1,35 @@
+//! Reference workloads of the paper's evaluation: the MPEG-1 macroblock
+//! decoder CTG, the vehicle cruise-controller CTG, and branch-decision trace
+//! generators standing in for the measured movie clips and road profiles.
+//!
+//! The original evaluation instrumented the Berkeley software MPEG decoder
+//! and recorded branch decisions while decoding real movie clips. The
+//! scheduling and DVFS algorithms only ever observe *decision vectors*, so
+//! this crate substitutes statistically equivalent synthetic traces: per
+//! branch, a piecewise-stationary Bernoulli source whose parameter drifts
+//! slowly between "scenes" and fluctuates locally — exactly the behaviour
+//! the paper reports in Figure 4 (windowed probability with local
+//! fluctuation of 0.4–0.5 per branch and slow drift).
+//!
+//! # Example
+//!
+//! ```
+//! use ctg_workloads::{mpeg, traces};
+//!
+//! let ctg = mpeg::mpeg_ctg();
+//! assert_eq!(ctg.num_tasks(), 40);
+//! assert_eq!(ctg.num_branches(), 9);
+//!
+//! let movie = &traces::movie_presets()[0];
+//! let trace = traces::generate_trace(&ctg, &movie.profile, 100);
+//! assert_eq!(trace.len(), 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cruise;
+pub mod mpeg;
+pub mod stats;
+pub mod traces;
+pub mod wlan;

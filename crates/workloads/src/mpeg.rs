@@ -1,0 +1,267 @@
+//! The MPEG-1 macroblock-decoder conditional task graph (paper Figure 3).
+//!
+//! 40 tasks with 9 branch fork nodes, reconstructed from the paper's
+//! description of the software decoder:
+//!
+//! * fork **a** (`skipped`): a skipped macroblock (alt 1) is handled by a
+//!   cheap motion-copy path; otherwise (alt 0) full decoding proceeds;
+//! * fork **b** (`mb_type`): an intra macroblock (alt 0) runs the full-IDCT
+//!   reconstruction; an inter macroblock (alt 1) decodes motion vectors and
+//!   processes six 8×8 blocks;
+//! * fork **i** (`mc_mode`): half-pel (alt 0) or full-pel (alt 1) motion
+//!   compensation — both arms are similar in cost;
+//! * forks **c–h** (`blk{k}_coded`): each of the six blocks either runs its
+//!   IDCT (alt 0) or is zero-filled (alt 1) — the dominant workload lever.
+//!
+//! The per-(task, PE) profile models a 3-PE MPSoC with mild heterogeneity;
+//! IDCT tasks dominate the execution time, matching the motivation that
+//! enabling/disabling IDCT swings the workload.
+
+use ctg_model::{Ctg, CtgBuilder, NodeKind, TaskId};
+use mpsoc_platform::{Platform, PlatformBuilder};
+
+/// Number of 8×8 blocks per macroblock.
+pub const BLOCKS: usize = 6;
+
+/// Index of the `skipped` fork in the decision vector.
+pub const BRANCH_SKIPPED: usize = 0;
+/// Index of the `mb_type` fork in the decision vector.
+pub const BRANCH_TYPE: usize = 1;
+/// Index of the motion-compensation mode fork in the decision vector.
+pub const BRANCH_MC: usize = 2;
+/// Index of the first per-block IDCT fork; blocks occupy indices
+/// `BRANCH_BLOCK0 .. BRANCH_BLOCK0 + BLOCKS`.
+pub const BRANCH_BLOCK0: usize = 3;
+
+/// Builds the 40-task, 9-fork MPEG macroblock-decoder CTG.
+///
+/// The deadline is set to a placeholder; callers pick the real constraint
+/// (e.g. `2×` the nominal DLS makespan) via
+/// [`Ctg::with_deadline`](ctg_model::Ctg::with_deadline).
+pub fn mpeg_ctg() -> Ctg {
+    let mut b = CtgBuilder::new("mpeg-macroblock");
+
+    // Front end.
+    let hdr = b.add_task("hdr_parse");
+    let skipped = b.add_task("skipped"); // fork a
+    // Skipped path (alt 1).
+    let skip_mc = b.add_task("skip_mc_copy");
+    let skip_out = b.add_task("skip_store");
+    // Decoded path (alt 0).
+    let vld = b.add_task("vld");
+    let mb_type = b.add_task("mb_type"); // fork b
+    // Intra path (alt 0).
+    let intra_q = b.add_task("intra_dequant");
+    let intra_idct = b.add_task("intra_idct");
+    let intra_rec = b.add_task("intra_reconstruct");
+    // Inter path (alt 1).
+    let mv_dec = b.add_task("mv_decode");
+    let mc_mode = b.add_task("mc_mode"); // fork i
+    let mc_half = b.add_task("mc_halfpel");
+    let mc_full = b.add_task("mc_fullpel");
+    let mc_done = b.add_task_with_kind("mc_done", NodeKind::Or);
+    // Six block pipelines (forks c..h).
+    let mut blk_forks = Vec::new();
+    let mut blk_dones = Vec::new();
+    let mut blk_tasks = Vec::new();
+    for k in 0..BLOCKS {
+        let fork = b.add_task(format!("blk{k}_coded"));
+        let idct = b.add_task(format!("blk{k}_idct"));
+        let zero = b.add_task(format!("blk{k}_zero"));
+        let done = b.add_task_with_kind(format!("blk{k}_done"), NodeKind::Or);
+        blk_forks.push(fork);
+        blk_tasks.push((idct, zero));
+        blk_dones.push(done);
+    }
+    // Back end.
+    let add_pred = b.add_task("add_prediction");
+    let mb_end = b.add_task_with_kind("mb_store", NodeKind::Or);
+
+    // Wiring. Communication volumes in Kbytes.
+    b.add_edge(hdr, skipped, 0.1).unwrap();
+    b.add_cond_edge(skipped, vld, 0, 1.5).unwrap(); // a1: coded
+    b.add_cond_edge(skipped, skip_mc, 1, 0.4).unwrap(); // a2: skipped
+    b.add_edge(skip_mc, skip_out, 0.8).unwrap();
+    b.add_edge(vld, mb_type, 1.5).unwrap();
+    b.add_cond_edge(mb_type, intra_q, 0, 1.5).unwrap(); // b1: intra
+    b.add_cond_edge(mb_type, mv_dec, 1, 0.3).unwrap(); // b2: inter
+    b.add_edge(intra_q, intra_idct, 1.5).unwrap();
+    b.add_edge(intra_idct, intra_rec, 1.5).unwrap();
+    b.add_edge(mv_dec, mc_mode, 0.2).unwrap();
+    b.add_cond_edge(mc_mode, mc_half, 0, 0.8).unwrap();
+    b.add_cond_edge(mc_mode, mc_full, 1, 0.8).unwrap();
+    b.add_edge(mc_half, mc_done, 0.8).unwrap();
+    b.add_edge(mc_full, mc_done, 0.8).unwrap();
+    for k in 0..BLOCKS {
+        let fork = blk_forks[k];
+        let (idct, zero) = blk_tasks[k];
+        let done = blk_dones[k];
+        // Block pipelines hang off the inter path's motion-vector decode
+        // (coefficients come from the VLD data flowing through mv_dec's
+        // sibling dependency).
+        b.add_edge(mv_dec, fork, 0.4).unwrap();
+        b.add_cond_edge(fork, idct, 0, 0.8).unwrap();
+        b.add_cond_edge(fork, zero, 1, 0.1).unwrap();
+        b.add_edge(idct, done, 0.8).unwrap();
+        b.add_edge(zero, done, 0.1).unwrap();
+        b.add_edge(done, add_pred, 0.8).unwrap();
+    }
+    b.add_edge(mc_done, add_pred, 1.5).unwrap();
+    b.add_edge(add_pred, mb_end, 1.5).unwrap();
+    b.add_edge(intra_rec, mb_end, 1.5).unwrap();
+    b.add_edge(skip_out, mb_end, 0.8).unwrap();
+
+    let ctg = b.deadline(1.0).build().expect("MPEG CTG is a valid DAG");
+    // Generous placeholder; callers rescale to the real constraint.
+    ctg.with_deadline(10_000.0)
+}
+
+/// Base WCETs per task class on the reference PE.
+fn base_wcet(name: &str) -> f64 {
+    if name.contains("idct") {
+        8.0
+    } else if name == "vld" {
+        5.0
+    } else if name.contains("mc_") || name.contains("skip_mc") {
+        4.0
+    } else if name.contains("reconstruct") || name.contains("add_prediction") {
+        3.0
+    } else if name.contains("dequant") || name.contains("coded") {
+        2.0
+    } else if name.contains("done") || name.contains("store") || name.contains("zero") {
+        0.8
+    } else {
+        1.2
+    }
+}
+
+/// Builds the 3-PE platform the paper maps the decoder onto.
+///
+/// PE0 is a general-purpose core, PE1 a DSP-like core (fast on IDCT/MC),
+/// PE2 a small control core (fast on parsing, slow on number crunching).
+pub fn mpeg_platform(ctg: &Ctg) -> Platform {
+    let mut b = PlatformBuilder::new(ctg.num_tasks());
+    b.add_pe("cpu");
+    b.add_pe("dsp");
+    b.add_pe("ctrl");
+    for t in ctg.tasks() {
+        let name = ctg.node(t).name().to_string();
+        let w = base_wcet(&name);
+        let crunch = name.contains("idct")
+            || name.contains("mc_")
+            || name.contains("dequant")
+            || name.contains("add_prediction");
+        let (f_cpu, f_dsp, f_ctrl) = if crunch {
+            (1.0, 0.7, 1.6)
+        } else {
+            (1.0, 1.2, 0.8)
+        };
+        b.set_wcet_row(t.index(), vec![w * f_cpu, w * f_dsp, w * f_ctrl])
+            .expect("valid WCET row");
+        // Nominal energy proportional to cycles on each PE; the DSP pays a
+        // small static premium.
+        b.set_energy_row(
+            t.index(),
+            vec![w * f_cpu, w * f_dsp * 1.1, w * f_ctrl * 0.9],
+        )
+        .expect("valid energy row");
+    }
+    b.uniform_links(4.0, 0.15).expect("valid links");
+    b.build().expect("complete platform")
+}
+
+/// Returns the fork node ids in decision-vector order (topological).
+pub fn fork_nodes(ctg: &Ctg) -> Vec<TaskId> {
+    ctg.branch_nodes().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let g = mpeg_ctg();
+        assert_eq!(g.num_tasks(), 40, "paper: 40 tasks");
+        assert_eq!(g.num_branches(), 9, "paper: 9 branching nodes");
+    }
+
+    #[test]
+    fn branch_vector_layout() {
+        let g = mpeg_ctg();
+        let forks = fork_nodes(&g);
+        assert_eq!(g.node(forks[BRANCH_SKIPPED]).name(), "skipped");
+        assert_eq!(g.node(forks[BRANCH_TYPE]).name(), "mb_type");
+        assert_eq!(g.node(forks[BRANCH_MC]).name(), "mc_mode");
+        for k in 0..BLOCKS {
+            assert!(g
+                .node(forks[BRANCH_BLOCK0 + k])
+                .name()
+                .starts_with("blk"));
+        }
+    }
+
+    #[test]
+    fn skipped_and_decoded_paths_are_exclusive() {
+        let g = mpeg_ctg();
+        let act = g.activation();
+        let by_name = |n: &str| g.tasks().find(|&t| g.node(t).name() == n).unwrap();
+        assert!(act.mutually_exclusive(by_name("skip_mc_copy"), by_name("vld")));
+        assert!(act.mutually_exclusive(by_name("intra_idct"), by_name("mv_decode")));
+        assert!(act.mutually_exclusive(by_name("blk0_idct"), by_name("blk0_zero")));
+        // Different blocks are independent.
+        assert!(!act.mutually_exclusive(by_name("blk0_idct"), by_name("blk1_idct")));
+        // Intra path excludes all block forks (nested under inter).
+        assert!(act.mutually_exclusive(by_name("intra_idct"), by_name("blk3_coded")));
+    }
+
+    #[test]
+    fn nested_forks_are_conditional() {
+        let g = mpeg_ctg();
+        let act = g.activation();
+        let forks = fork_nodes(&g);
+        assert!(act.always_active(forks[BRANCH_SKIPPED]));
+        assert!(!act.always_active(forks[BRANCH_TYPE]));
+        assert!(!act.always_active(forks[BRANCH_MC]));
+        for k in 0..BLOCKS {
+            assert!(!act.always_active(forks[BRANCH_BLOCK0 + k]));
+        }
+    }
+
+    #[test]
+    fn intra_scenario_runs_idct_only() {
+        let g = mpeg_ctg();
+        let act = g.activation();
+        // not skipped, intra; the rest of the vector is irrelevant.
+        let v = ctg_model::DecisionVector::new(vec![0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let active = v.active_tasks(&g, &act);
+        let by_name = |n: &str| g.tasks().find(|&t| g.node(t).name() == n).unwrap();
+        assert!(active[by_name("intra_idct").index()]);
+        assert!(!active[by_name("mv_decode").index()]);
+        assert!(!active[by_name("blk0_coded").index()]);
+        assert!(active[by_name("mb_store").index()]);
+    }
+
+    #[test]
+    fn platform_covers_all_tasks() {
+        let g = mpeg_ctg();
+        let p = mpeg_platform(&g);
+        assert_eq!(p.num_pes(), 3);
+        assert_eq!(p.num_tasks(), 40);
+        // IDCT is fastest on the DSP.
+        let idct = g.tasks().find(|&t| g.node(t).name() == "blk0_idct").unwrap();
+        let w: Vec<f64> = p.pes().map(|pe| p.profile().wcet(idct.index(), pe)).collect();
+        assert!(w[1] < w[0] && w[1] < w[2]);
+    }
+
+    #[test]
+    fn mpeg_is_schedulable_with_loose_deadline() {
+        use ctg_sched::{OnlineScheduler, SchedContext};
+        let g = mpeg_ctg();
+        let p = mpeg_platform(&g);
+        let ctx = SchedContext::new(g, p).unwrap();
+        let probs = ctg_model::BranchProbs::uniform(ctx.ctg());
+        let sol = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+        assert!(sol.schedule.makespan() < ctx.ctg().deadline());
+    }
+}

@@ -1,0 +1,121 @@
+//! Trace statistics: the quantities plotted in the paper's Figure 4.
+
+use ctg_model::{Ctg, DecisionVector};
+
+/// One point of the Figure-4 data series for a single branch position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfilePoint {
+    /// Instance index.
+    pub instance: usize,
+    /// Raw selection: 1 when the tracked alternative was chosen.
+    pub selection: u8,
+    /// Sliding-window probability estimate of the tracked alternative.
+    pub windowed: f64,
+    /// Threshold-filtered ("latched") probability — the value the adaptive
+    /// algorithm would currently schedule with.
+    pub filtered: f64,
+}
+
+/// Computes the selection / windowed-probability / filtered-probability
+/// series for one branch position of a trace, exactly as Figure 4 plots
+/// them.
+///
+/// `alt` is the alternative whose probability is tracked; `window` is the
+/// sliding-window length and `threshold` the re-latch trigger.
+///
+/// # Panics
+///
+/// Panics if the trace is empty, `branch_index` is out of range for the
+/// graph, or `window` is zero.
+pub fn profile_series(
+    ctg: &Ctg,
+    trace: &[DecisionVector],
+    branch_index: usize,
+    alt: u8,
+    window: usize,
+    threshold: f64,
+) -> Vec<ProfilePoint> {
+    assert!(!trace.is_empty(), "trace must not be empty");
+    assert!(branch_index < ctg.num_branches(), "branch index out of range");
+    assert!(window > 0, "window must be positive");
+
+    let mut buf: Vec<u8> = Vec::with_capacity(window);
+    let mut filtered = 0.5_f64;
+    let mut out = Vec::with_capacity(trace.len());
+    for (i, v) in trace.iter().enumerate() {
+        let decision = v.alt(branch_index);
+        if buf.len() == window {
+            buf.remove(0);
+        }
+        buf.push(decision);
+        let hits = buf.iter().filter(|&&d| d == alt).count();
+        let windowed = hits as f64 / buf.len() as f64;
+        if (windowed - filtered).abs() > threshold {
+            filtered = windowed;
+        }
+        out.push(ProfilePoint {
+            instance: i,
+            selection: u8::from(decision == alt),
+            windowed,
+            filtered,
+        });
+    }
+    out
+}
+
+/// Number of filter re-latches in a series (≙ scheduling/DVFS invocations a
+/// single-branch adaptive manager would perform).
+pub fn update_count(series: &[ProfilePoint]) -> usize {
+    series
+        .windows(2)
+        .filter(|w| (w[0].filtered - w[1].filtered).abs() > f64::EPSILON)
+        .count()
+        + usize::from(
+            series
+                .first()
+                .is_some_and(|p| (p.filtered - 0.5).abs() > f64::EPSILON),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpeg::mpeg_ctg;
+    use crate::traces::{generate_trace, DriftProfile};
+
+    #[test]
+    fn constant_trace_latches_once() {
+        let g = mpeg_ctg();
+        let trace: Vec<DecisionVector> = (0..100)
+            .map(|_| DecisionVector::new(vec![0; g.num_branches()]))
+            .collect();
+        let series = profile_series(&g, &trace, 0, 0, 20, 0.1);
+        assert_eq!(series.len(), 100);
+        // Windowed probability goes to 1 immediately and stays.
+        assert!(series.iter().all(|p| p.selection == 1));
+        assert!(series.last().unwrap().windowed > 0.99);
+        // One latch: 0.5 → 1.0.
+        assert_eq!(update_count(&series), 1);
+    }
+
+    #[test]
+    fn drifting_trace_latches_repeatedly() {
+        let g = mpeg_ctg();
+        let profile = DriftProfile::new(5);
+        let trace = generate_trace(&g, &profile, 1000);
+        let series = profile_series(&g, &trace, crate::mpeg::BRANCH_TYPE, 0, 50, 0.1);
+        let updates = update_count(&series);
+        assert!(updates > 3, "drifting trace should re-latch often: {updates}");
+        // Filtered tracks windowed within the threshold at every point.
+        for p in &series {
+            assert!((p.windowed - p.filtered).abs() <= 0.1 + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_trace_panics() {
+        let g = mpeg_ctg();
+        let _ = profile_series(&g, &[], 0, 0, 10, 0.1);
+    }
+}

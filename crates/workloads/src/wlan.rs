@@ -1,0 +1,201 @@
+//! An 802.11b physical-layer receive chain as a conditional task graph.
+//!
+//! The paper's introduction names this workload class explicitly: *"branches
+//! that select different modulation schemes for preamble and payload based
+//! on 802.11b physical layer standard"*. The receive chain first decodes the
+//! PLCP preamble/header (always DBPSK), then the header selects one of four
+//! payload demodulation pipelines:
+//!
+//! * alt 0 — 1 Mbit/s DBPSK (longest airtime, simple demodulation),
+//! * alt 1 — 2 Mbit/s DQPSK,
+//! * alt 2 — 5.5 Mbit/s CCK-4,
+//! * alt 3 — 11 Mbit/s CCK-8 (shortest airtime, heaviest DSP),
+//!
+//! making the `rate` fork the repository's only **4-ary** branch workload.
+//! A second binary fork models the optional short-preamble detection.
+
+use ctg_model::{Ctg, CtgBuilder, NodeKind, TaskId};
+use mpsoc_platform::{Platform, PlatformBuilder};
+
+/// Index of the short/long preamble fork in the decision vector.
+pub const BRANCH_PREAMBLE: usize = 0;
+/// Index of the 4-ary payload-rate fork in the decision vector.
+pub const BRANCH_RATE: usize = 1;
+
+/// Number of payload rate alternatives.
+pub const RATES: usize = 4;
+
+/// Builds the 23-task 802.11b receive-chain CTG (2 forks, one 4-ary).
+///
+/// The deadline placeholder is generous; callers calibrate against the
+/// nominal makespan as with the other workloads.
+pub fn wlan_ctg() -> Ctg {
+    let mut b = CtgBuilder::new("wlan-80211b-rx");
+    let agc = b.add_task("agc_acquire");
+    let sync = b.add_task("preamble_detect"); // fork: long (0) / short (1)
+    let long_corr = b.add_task("long_sync_correlate");
+    let short_corr = b.add_task("short_sync_correlate");
+    let sync_done = b.add_task_with_kind("sync_done", NodeKind::Or);
+    let hdr_demod = b.add_task("plcp_header_demod");
+    let hdr_crc = b.add_task("plcp_header_crc");
+    let rate = b.add_task("rate_select"); // 4-ary fork
+
+    // Four payload pipelines: demodulate → despread/decode → descramble.
+    let mut tails = Vec::new();
+    for (alt, name, _cost) in [
+        (0u8, "dbpsk1", 1.0),
+        (1, "dqpsk2", 1.0),
+        (2, "cck55", 1.0),
+        (3, "cck11", 1.0),
+    ] {
+        let demod = b.add_task(format!("{name}_demod"));
+        let decode = b.add_task(format!("{name}_decode"));
+        let descramble = b.add_task(format!("{name}_descramble"));
+        b.add_cond_edge(rate, demod, alt, 2.0).unwrap();
+        b.add_edge(demod, decode, 2.0).unwrap();
+        b.add_edge(decode, descramble, 1.0).unwrap();
+        tails.push(descramble);
+    }
+    let payload_done = b.add_task_with_kind("payload_done", NodeKind::Or);
+    let fcs = b.add_task("fcs_check");
+    let mac_up = b.add_task("mac_indication");
+
+    b.add_edge(agc, sync, 0.2).unwrap();
+    b.add_cond_edge(sync, long_corr, 0, 1.0).unwrap();
+    b.add_cond_edge(sync, short_corr, 1, 0.5).unwrap();
+    b.add_edge(long_corr, sync_done, 0.2).unwrap();
+    b.add_edge(short_corr, sync_done, 0.2).unwrap();
+    b.add_edge(sync_done, hdr_demod, 0.5).unwrap();
+    b.add_edge(hdr_demod, hdr_crc, 0.2).unwrap();
+    b.add_edge(hdr_crc, rate, 0.1).unwrap();
+    for &t in &tails {
+        b.add_edge(t, payload_done, 1.0).unwrap();
+    }
+    b.add_edge(payload_done, fcs, 1.0).unwrap();
+    b.add_edge(fcs, mac_up, 0.5).unwrap();
+
+    let ctg = b.deadline(1.0).build().expect("wlan CTG is a valid DAG");
+    ctg.with_deadline(10_000.0)
+}
+
+fn base_wcet(name: &str) -> f64 {
+    // Airtime dominates at low rates (more symbols per payload bit);
+    // DSP complexity dominates at high rates.
+    if name.starts_with("dbpsk1") {
+        6.0
+    } else if name.starts_with("dqpsk2") {
+        4.0
+    } else if name.starts_with("cck55") {
+        3.0
+    } else if name.starts_with("cck11") {
+        2.5
+    } else if name.contains("correlate") || name.contains("demod") {
+        2.0
+    } else if name.contains("agc") || name.contains("fcs") {
+        1.5
+    } else {
+        0.8
+    }
+}
+
+/// Builds a 2-PE (RF front-end DSP + baseband CPU) platform for the chain.
+pub fn wlan_platform(ctg: &Ctg) -> Platform {
+    let mut b = PlatformBuilder::new(ctg.num_tasks());
+    b.add_pe("bb-dsp");
+    b.add_pe("mac-cpu");
+    for t in ctg.tasks() {
+        let name = ctg.node(t).name();
+        let w = base_wcet(name);
+        let dsp_heavy = name.contains("demod")
+            || name.contains("decode")
+            || name.contains("correlate")
+            || name.contains("cck");
+        let (f_dsp, f_cpu) = if dsp_heavy { (0.8, 1.5) } else { (1.1, 0.9) };
+        b.set_wcet_row(t.index(), vec![w * f_dsp, w * f_cpu])
+            .expect("valid WCET row");
+        b.set_energy_row(t.index(), vec![w * f_dsp * 1.1, w * f_cpu])
+            .expect("valid energy row");
+    }
+    b.uniform_links(3.0, 0.1).expect("valid links");
+    b.build().expect("complete platform")
+}
+
+/// The fork node ids (preamble, rate).
+pub fn fork_nodes(ctg: &Ctg) -> [TaskId; 2] {
+    let forks = ctg.branch_nodes();
+    [forks[BRANCH_PREAMBLE], forks[BRANCH_RATE]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctg_model::{BranchProbs, DecisionVector, ScenarioSet};
+
+    #[test]
+    fn shape() {
+        let g = wlan_ctg();
+        assert_eq!(g.num_branches(), 2);
+        let [pre, rate] = fork_nodes(&g);
+        assert_eq!(g.node(pre).alternatives(), 2);
+        assert_eq!(g.node(rate).alternatives(), 4, "4-ary modulation fork");
+        assert_eq!(g.num_tasks(), 23);
+    }
+
+    #[test]
+    fn eight_scenarios() {
+        let g = wlan_ctg();
+        let act = g.activation();
+        let scenarios = ScenarioSet::enumerate(&g, &act);
+        // 2 preamble × 4 rates.
+        assert_eq!(scenarios.len(), 8);
+    }
+
+    #[test]
+    fn rates_are_pairwise_exclusive() {
+        let g = wlan_ctg();
+        let act = g.activation();
+        let by_name = |n: &str| g.tasks().find(|&t| g.node(t).name() == n).unwrap();
+        for a in ["dbpsk1_demod", "dqpsk2_demod", "cck55_demod", "cck11_demod"] {
+            for b in ["dbpsk1_demod", "dqpsk2_demod", "cck55_demod", "cck11_demod"] {
+                if a != b {
+                    assert!(act.mutually_exclusive(by_name(a), by_name(b)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rate_probabilities_flow_through() {
+        let g = wlan_ctg();
+        let [pre, rate] = fork_nodes(&g);
+        let mut probs = BranchProbs::new();
+        probs.set(pre, vec![0.5, 0.5]).unwrap();
+        probs.set(rate, vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+        assert!(probs.validate(&g).is_ok());
+        let act = g.activation();
+        let scenarios = ScenarioSet::enumerate(&g, &act);
+        let by_name = |n: &str| g.tasks().find(|&t| g.node(t).name() == n).unwrap();
+        assert!((scenarios.task_prob(by_name("cck11_demod"), &probs) - 0.4).abs() < 1e-12);
+        assert!((scenarios.task_prob(by_name("fcs_check"), &probs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedulable_end_to_end() {
+        use ctg_sched::{OnlineScheduler, SchedContext};
+        let g = wlan_ctg();
+        let p = wlan_platform(&g);
+        let ctx = SchedContext::new(g, p).unwrap();
+        let probs = BranchProbs::uniform(ctx.ctg());
+        let sol = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+        assert!(sol.schedule.makespan() < ctx.ctg().deadline());
+        // Every rate decodes within the deadline.
+        let act = ctx.activation().clone();
+        for rate_alt in 0..4u8 {
+            for pre in 0..2u8 {
+                let v = DecisionVector::new(vec![pre, rate_alt]);
+                let active = v.active_tasks(ctx.ctg(), &act);
+                assert!(active.iter().filter(|&&a| a).count() >= 10);
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! The paper's headline scenario: decode a stream of MPEG macroblocks on a
+//! 3-PE MPSoC while the adaptive manager tracks the branch statistics and
+//! re-runs scheduling + DVFS when they drift.
+//!
+//! Run with `cargo run --release --example mpeg_adaptive`.
+
+use adaptive_dvfs::ctg::BranchProbs;
+use adaptive_dvfs::sched::{dls_schedule, AdaptiveScheduler, OnlineScheduler, SchedContext};
+use adaptive_dvfs::sim::{run_adaptive, run_static};
+use adaptive_dvfs::workloads::{mpeg, traces};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // MPEG macroblock decoder: 40 tasks, 9 branch fork nodes, 3 PEs.
+    let ctg = mpeg::mpeg_ctg();
+    let platform = mpeg::mpeg_platform(&ctg);
+
+    // Calibrate the deadline to 2x the nominal worst-case makespan.
+    let ctx = SchedContext::new(ctg, platform)?;
+    let probs = BranchProbs::uniform(ctx.ctg());
+    let makespan = dls_schedule(&ctx, &probs)?.makespan();
+    let ctx = SchedContext::new(
+        ctx.ctg().with_deadline(2.0 * makespan),
+        ctx.platform().clone(),
+    )?;
+    println!(
+        "MPEG decoder: {} tasks, {} forks, deadline {:.1} (2x makespan {:.1})",
+        ctx.ctg().num_tasks(),
+        ctx.ctg().num_branches(),
+        ctx.ctg().deadline(),
+        makespan
+    );
+
+    // A movie: 1000 training + 1000 testing macroblocks.
+    let movie = &traces::movie_presets()[1]; // "Bike"
+    let trace = traces::generate_trace(ctx.ctg(), &movie.profile, 2000);
+    let (train, test) = traces::split_train_test(&trace);
+
+    // Non-adaptive online algorithm: profile once, schedule once.
+    let profiled = traces::empirical_probs(ctx.ctg(), train);
+    let online = OnlineScheduler::new().solve(&ctx, &profiled)?;
+    let s_static = run_static(&ctx, &online, test)?;
+
+    // Adaptive: sliding window 20, threshold 0.1.
+    let manager = AdaptiveScheduler::new(&ctx, profiled, 20, 0.1)?;
+    let (s_adaptive, manager) = run_adaptive(&ctx, manager, test)?;
+
+    println!(
+        "movie {:8}: online avg energy {:.2}, adaptive avg energy {:.2} ({:.1}% saved)",
+        movie.name,
+        s_static.avg_energy(),
+        s_adaptive.avg_energy(),
+        100.0 * (1.0 - s_adaptive.avg_energy() / s_static.avg_energy()),
+    );
+    println!(
+        "re-scheduling calls: {} over {} macroblocks; deadline misses: {} (must be 0)",
+        s_adaptive.calls, s_adaptive.instances, s_adaptive.deadline_misses
+    );
+    println!(
+        "final tracked probabilities: {}",
+        manager.current_probs()
+    );
+    Ok(())
+}

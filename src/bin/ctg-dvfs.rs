@@ -1,0 +1,205 @@
+//! Command-line explorer for the adaptive-DVFS framework.
+//!
+//! ```text
+//! ctg-dvfs gen      --workload tgff --seed 7 --tasks 20 --branches 2 [--dot]
+//! ctg-dvfs solve    --workload mpeg [--factor 2.0]
+//! ctg-dvfs simulate --workload tgff --seed 7 --vector 0,1 [--factor 1.6]
+//! ```
+//!
+//! Workloads: `tgff` (random fork-join graph, also honours `--tasks`,
+//! `--branches`, `--layered`), `mpeg`, `cruise`.
+
+use adaptive_dvfs::ctg::{dot, BranchProbs, Ctg, DecisionVector};
+use adaptive_dvfs::platform::Platform;
+use adaptive_dvfs::sched::{dls_schedule, OnlineScheduler, SchedContext};
+use adaptive_dvfs::sim::{gantt, simulate_instance};
+use adaptive_dvfs::tgff::{Category, TgffConfig};
+use adaptive_dvfs::workloads::{cruise, mpeg};
+use std::collections::HashMap;
+use std::error::Error;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: ctg-dvfs <gen|solve|simulate> [options]
+  --workload tgff|mpeg|cruise   workload selection (default tgff)
+  --seed N                      tgff seed (default 1)
+  --tasks N                     tgff task budget (default 20)
+  --branches N                  tgff fork count (default 2)
+  --layered                     tgff category 2 instead of fork-join
+  --pes N                       PE count for tgff (default 3)
+  --factor F                    deadline = F x nominal makespan (default 1.6)
+  --vector a,b,c                branch decisions for `simulate`
+  --dot                         (gen) print Graphviz instead of a summary";
+
+fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let cmd = args.first().ok_or("missing subcommand")?.clone();
+    let opts = parse_opts(&args[1..])?;
+    let workload = opts.get("workload").map(String::as_str).unwrap_or("tgff");
+    let factor: f64 = opt_parse(&opts, "factor", 1.6)?;
+
+    let (ctg, platform, probs) = build_workload(workload, &opts)?;
+    match cmd.as_str() {
+        "gen" => {
+            if opts.contains_key("dot") {
+                print!("{}", dot::to_dot(&ctg));
+            } else {
+                summarize(&ctg);
+            }
+            Ok(())
+        }
+        "solve" => {
+            let ctx = calibrated(ctg, platform, &probs, factor)?;
+            let solution = OnlineScheduler::new().solve(&ctx, &probs)?;
+            println!(
+                "deadline {:.2} ({}x nominal makespan), expected energy {:.3}",
+                ctx.ctg().deadline(),
+                factor,
+                solution.expected_energy(&ctx, &probs)
+            );
+            for pe in ctx.platform().pes() {
+                println!("{}:", ctx.platform().pe(pe).name());
+                for &t in solution.schedule.pe_order(pe) {
+                    println!(
+                        "  {:16} t={:6.2}..{:6.2}  speed {:.2}",
+                        ctx.ctg().node(t).name(),
+                        solution.schedule.start(t),
+                        solution.schedule.finish(t),
+                        solution.speeds.speed(t)
+                    );
+                }
+            }
+            Ok(())
+        }
+        "simulate" => {
+            let ctx = calibrated(ctg, platform, &probs, factor)?;
+            let solution = OnlineScheduler::new().solve(&ctx, &probs)?;
+            let vector = match opts.get("vector") {
+                Some(v) => DecisionVector::new(
+                    v.split(',')
+                        .map(|s| s.trim().parse::<u8>())
+                        .collect::<Result<Vec<_>, _>>()?,
+                ),
+                None => DecisionVector::new(vec![0; ctx.ctg().num_branches()]),
+            };
+            let run = simulate_instance(&ctx, &solution, &vector)?;
+            println!("decision vector {vector}:");
+            print!("{}", gantt::render(&ctx, &solution, &run, 80));
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`").into()),
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, Box<dyn Error>> {
+    let mut opts = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument `{arg}`"))?;
+        let flag = matches!(key, "dot" | "layered");
+        let value = if flag {
+            String::new()
+        } else {
+            it.next()
+                .ok_or_else(|| format!("--{key} needs a value"))?
+                .clone()
+        };
+        opts.insert(key.to_string(), value);
+    }
+    Ok(opts)
+}
+
+fn opt_parse<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, Box<dyn Error>>
+where
+    T::Err: Error + 'static,
+{
+    match opts.get(key) {
+        Some(v) => Ok(v.parse::<T>()?),
+        None => Ok(default),
+    }
+}
+
+fn build_workload(
+    workload: &str,
+    opts: &HashMap<String, String>,
+) -> Result<(Ctg, Platform, BranchProbs), Box<dyn Error>> {
+    match workload {
+        "mpeg" => {
+            let ctg = mpeg::mpeg_ctg();
+            let platform = mpeg::mpeg_platform(&ctg);
+            let probs = BranchProbs::uniform(&ctg);
+            Ok((ctg, platform, probs))
+        }
+        "cruise" => {
+            let ctg = cruise::cruise_ctg();
+            let platform = cruise::cruise_platform(&ctg);
+            let probs = BranchProbs::uniform(&ctg);
+            Ok((ctg, platform, probs))
+        }
+        "tgff" => {
+            let seed: u64 = opt_parse(opts, "seed", 1)?;
+            let tasks: usize = opt_parse(opts, "tasks", 20)?;
+            let branches: usize = opt_parse(opts, "branches", 2)?;
+            let pes: usize = opt_parse(opts, "pes", 3)?;
+            let category = if opts.contains_key("layered") {
+                Category::Layered
+            } else {
+                Category::ForkJoin
+            };
+            let cfg = TgffConfig::new(seed, tasks, branches, category);
+            let generated = cfg.generate();
+            let platform = cfg.generate_platform(&generated.ctg, pes);
+            Ok((generated.ctg, platform, generated.probs))
+        }
+        other => Err(format!("unknown workload `{other}`").into()),
+    }
+}
+
+fn calibrated(
+    ctg: Ctg,
+    platform: Platform,
+    probs: &BranchProbs,
+    factor: f64,
+) -> Result<SchedContext, Box<dyn Error>> {
+    let ctx = SchedContext::new(ctg, platform)?;
+    let makespan = dls_schedule(&ctx, probs)?.makespan();
+    Ok(SchedContext::new(
+        ctx.ctg().with_deadline(factor * makespan),
+        ctx.platform().clone(),
+    )?)
+}
+
+fn summarize(ctg: &Ctg) {
+    println!(
+        "{}: {} tasks, {} edges, {} branch fork nodes, {} scenarios",
+        ctg.name(),
+        ctg.num_tasks(),
+        ctg.num_edges(),
+        ctg.num_branches(),
+        adaptive_dvfs::ctg::ScenarioSet::enumerate(ctg, &ctg.activation()).len(),
+    );
+    for &b in ctg.branch_nodes() {
+        println!(
+            "  fork {} ({} alternatives)",
+            ctg.node(b).name(),
+            ctg.node(b).alternatives()
+        );
+    }
+}

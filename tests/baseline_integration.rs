@@ -1,0 +1,103 @@
+//! Regression tests encoding the paper's headline (Table 1) relationships
+//! over the committed benchmark seeds: the probability-blind reference 1
+//! loses clearly to the online algorithm, which in turn trails the NLP-based
+//! reference 2 by a modest margin.
+
+use adaptive_dvfs::sched::baseline::{reference1, reference2, slack_distribution, NlpConfig};
+use adaptive_dvfs::sched::{dls_schedule, OnlineScheduler, SchedContext, StretchConfig};
+use adaptive_dvfs::tgff::table1_cases;
+
+struct Case {
+    ctx: SchedContext,
+    probs: adaptive_dvfs::ctg::BranchProbs,
+}
+
+fn prepared_cases() -> Vec<Case> {
+    table1_cases()
+        .iter()
+        .map(|(cfg, pes)| {
+            let generated = cfg.generate();
+            let platform = cfg.generate_platform(&generated.ctg, *pes);
+            let ctx = SchedContext::new(generated.ctg, platform).unwrap();
+            let makespan = dls_schedule(&ctx, &generated.probs).unwrap().makespan();
+            let ctx = SchedContext::new(
+                ctx.ctg().with_deadline(1.6 * makespan),
+                ctx.platform().clone(),
+            )
+            .unwrap();
+            Case { ctx, probs: generated.probs }
+        })
+        .collect()
+}
+
+#[test]
+fn table1_shape_holds_on_committed_seeds() {
+    let mut ratio_ref1 = Vec::new();
+    let mut ratio_ref2 = Vec::new();
+    for case in prepared_cases() {
+        let online = OnlineScheduler::new().solve(&case.ctx, &case.probs).unwrap();
+        let r1 = reference1(&case.ctx, &StretchConfig::default()).unwrap();
+        let r2 = reference2(
+            &case.ctx,
+            &case.probs,
+            &NlpConfig { iterations: 2000, ..Default::default() },
+        )
+        .unwrap();
+        let e_on = online.expected_energy(&case.ctx, &case.probs);
+        ratio_ref1.push(r1.expected_energy(&case.ctx, &case.probs) / e_on);
+        ratio_ref2.push(r2.expected_energy(&case.ctx, &case.probs) / e_on);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    // Paper Table 1: reference 1 averages ~1.8× the online energy; our
+    // committed seeds give ~2×. Assert a robust band.
+    assert!(
+        avg(&ratio_ref1) > 1.3,
+        "reference 1 should lose clearly: avg ratio {}",
+        avg(&ratio_ref1)
+    );
+    // Reference 2 (NLP) is better than online but in the same ballpark.
+    let r2 = avg(&ratio_ref2);
+    assert!(
+        (0.6..=1.02).contains(&r2),
+        "reference 2 should win modestly: avg ratio {r2}"
+    );
+}
+
+#[test]
+fn probability_weighting_beats_blind_stretching_on_average() {
+    let mut ratios = Vec::new();
+    for case in prepared_cases() {
+        let online = OnlineScheduler::new().solve(&case.ctx, &case.probs).unwrap();
+        let blind = slack_distribution(&case.ctx, &case.probs, &StretchConfig::default()).unwrap();
+        ratios.push(
+            blind.expected_energy(&case.ctx, &case.probs)
+                / online.expected_energy(&case.ctx, &case.probs),
+        );
+    }
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(
+        avg > 0.98,
+        "probability weighting should not lose on average: {avg}"
+    );
+}
+
+#[test]
+fn all_algorithms_are_deterministic() {
+    let case = &prepared_cases()[0];
+    let run = || {
+        let online = OnlineScheduler::new().solve(&case.ctx, &case.probs).unwrap();
+        let r1 = reference1(&case.ctx, &StretchConfig::default()).unwrap();
+        let r2 = reference2(
+            &case.ctx,
+            &case.probs,
+            &NlpConfig { iterations: 300, ..Default::default() },
+        )
+        .unwrap();
+        (
+            online.expected_energy(&case.ctx, &case.probs).to_bits(),
+            r1.expected_energy(&case.ctx, &case.probs).to_bits(),
+            r2.expected_energy(&case.ctx, &case.probs).to_bits(),
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,147 @@
+//! End-to-end pipeline tests spanning all crates: generate → schedule →
+//! stretch → simulate, checking the hard invariants the paper relies on.
+
+use adaptive_dvfs::ctg::{BranchProbs, DecisionVector};
+use adaptive_dvfs::sched::{dls_schedule, OnlineScheduler, SchedContext, Solution, SpeedAssignment};
+use adaptive_dvfs::sim::simulate_instance;
+use adaptive_dvfs::tgff::{Category, TgffConfig};
+
+/// Every decision vector (hence every scenario) of every generated graph
+/// must meet the deadline under the stretched solution.
+#[test]
+fn stretched_schedules_meet_deadline_in_every_scenario() {
+    for seed in 0..6 {
+        for category in [Category::ForkJoin, Category::Layered] {
+            let cfg = TgffConfig::new(seed, 18, 2, category);
+            let generated = cfg.generate();
+            let platform = cfg.generate_platform(&generated.ctg, 3);
+            let ctx = SchedContext::new(generated.ctg, platform).unwrap();
+            let makespan = dls_schedule(&ctx, &generated.probs).unwrap().makespan();
+            let ctx = SchedContext::new(
+                ctx.ctg().with_deadline(1.3 * makespan),
+                ctx.platform().clone(),
+            )
+            .unwrap();
+            let solution = OnlineScheduler::new().solve(&ctx, &generated.probs).unwrap();
+
+            let nb = ctx.ctg().num_branches();
+            for code in 0..(1u32 << nb) {
+                let alts: Vec<u8> = (0..nb).map(|i| ((code >> i) & 1) as u8).collect();
+                let v = DecisionVector::new(alts);
+                let run = simulate_instance(&ctx, &solution, &v).unwrap();
+                assert!(
+                    run.deadline_met,
+                    "seed {seed} {category:?} vector {v}: makespan {} > deadline {}",
+                    run.makespan,
+                    ctx.ctg().deadline()
+                );
+            }
+        }
+    }
+}
+
+/// Stretching must never *increase* instance energy relative to nominal
+/// speeds on the same schedule.
+#[test]
+fn stretching_never_increases_instance_energy() {
+    for seed in 10..14 {
+        let cfg = TgffConfig::new(seed, 16, 2, Category::ForkJoin);
+        let generated = cfg.generate();
+        let platform = cfg.generate_platform(&generated.ctg, 3);
+        let ctx = SchedContext::new(generated.ctg, platform).unwrap();
+        let makespan = dls_schedule(&ctx, &generated.probs).unwrap().makespan();
+        let ctx = SchedContext::new(
+            ctx.ctg().with_deadline(1.8 * makespan),
+            ctx.platform().clone(),
+        )
+        .unwrap();
+        let solution = OnlineScheduler::new().solve(&ctx, &generated.probs).unwrap();
+        let nominal = Solution {
+            schedule: solution.schedule.clone(),
+            speeds: SpeedAssignment::nominal(ctx.ctg().num_tasks()),
+        };
+        let nb = ctx.ctg().num_branches();
+        for code in 0..(1u32 << nb) {
+            let alts: Vec<u8> = (0..nb).map(|i| ((code >> i) & 1) as u8).collect();
+            let v = DecisionVector::new(alts);
+            let e_stretched = simulate_instance(&ctx, &solution, &v).unwrap().energy;
+            let e_nominal = simulate_instance(&ctx, &nominal, &v).unwrap().energy;
+            assert!(
+                e_stretched <= e_nominal + 1e-9,
+                "seed {seed} vector {v}: stretched {e_stretched} > nominal {e_nominal}"
+            );
+        }
+    }
+}
+
+/// The whole pipeline is deterministic: same seed, same results.
+#[test]
+fn pipeline_is_deterministic() {
+    let run = || {
+        let cfg = TgffConfig::new(99, 20, 2, Category::ForkJoin);
+        let generated = cfg.generate();
+        let platform = cfg.generate_platform(&generated.ctg, 3);
+        let ctx = SchedContext::new(generated.ctg, platform).unwrap();
+        let solution = OnlineScheduler::new().solve(&ctx, &generated.probs).unwrap();
+        let v = DecisionVector::new(vec![0, 1]);
+        simulate_instance(&ctx, &solution, &v).unwrap().energy
+    };
+    assert_eq!(run().to_bits(), run().to_bits());
+}
+
+/// The simulator's active set matches the scenario enumeration exactly.
+#[test]
+fn simulated_active_set_matches_scenarios() {
+    let cfg = TgffConfig::new(5, 20, 3, Category::ForkJoin);
+    let generated = cfg.generate();
+    let platform = cfg.generate_platform(&generated.ctg, 3);
+    let ctx = SchedContext::new(generated.ctg, platform).unwrap();
+    let solution = OnlineScheduler::new().solve(&ctx, &generated.probs).unwrap();
+    let nb = ctx.ctg().num_branches();
+    for code in 0..(1u32 << nb) {
+        let alts: Vec<u8> = (0..nb).map(|i| ((code >> i) & 1) as u8).collect();
+        let v = DecisionVector::new(alts);
+        let run = simulate_instance(&ctx, &solution, &v).unwrap();
+        let scenario = ctx.scenarios().scenario_of(ctx.ctg(), &v).unwrap();
+        for t in ctx.ctg().tasks() {
+            assert_eq!(
+                run.task_times[t.index()].is_some(),
+                scenario.is_active(t),
+                "task {t} activation mismatch under {v}"
+            );
+        }
+    }
+}
+
+/// Expected energy is the probability-weighted average of per-scenario
+/// instance energies (with the same solution in force).
+#[test]
+fn expected_energy_matches_scenario_average() {
+    let cfg = TgffConfig::new(7, 16, 2, Category::ForkJoin);
+    let generated = cfg.generate();
+    let platform = cfg.generate_platform(&generated.ctg, 3);
+    let ctx = SchedContext::new(generated.ctg, platform).unwrap();
+    let solution = OnlineScheduler::new().solve(&ctx, &generated.probs).unwrap();
+
+    let analytic = solution.expected_energy(&ctx, &generated.probs);
+    // Monte-Carlo-free check: enumerate scenarios exactly.
+    let mut weighted = 0.0;
+    for s in ctx.scenarios().scenarios() {
+        // Build a full decision vector matching the scenario (undecided
+        // forks use alternative 0; they do not affect the active set).
+        let alts: Vec<u8> = ctx
+            .ctg()
+            .branch_nodes()
+            .iter()
+            .map(|&b| s.cube().alt_of(b).unwrap_or(0))
+            .collect();
+        let v = DecisionVector::new(alts);
+        let run = simulate_instance(&ctx, &solution, &v).unwrap();
+        weighted += s.probability(&generated.probs) * run.energy;
+    }
+    let rel = (analytic - weighted).abs() / weighted.max(1e-12);
+    assert!(
+        rel < 1e-6,
+        "analytic {analytic} vs scenario-weighted {weighted} (rel {rel})"
+    );
+}
