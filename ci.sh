@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Offline CI gate: formatting, lints, and the full test suite.
+# The workspace has no external dependencies, so everything below succeeds
+# without network access.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test (offline)"
+cargo test -q --workspace --offline
+
+echo "==> CI OK"

@@ -2,46 +2,48 @@
 //! vs. reference algorithm 2 (DLS + NLP stretching) — the paper's
 //! "0.6 ms vs. 70 s / ~120 000×" comparison, on the Table-1 graphs and the
 //! MPEG decoder.
+//!
+//! Plain timing harness (no external bench framework): each case is warmed
+//! up once, then timed over a fixed iteration budget; we report the mean
+//! per-iteration wall time.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ctg_bench::setup::{prepare_case, prepare_mpeg};
 use ctg_sched::baseline::{reference2, NlpConfig};
 use ctg_sched::OnlineScheduler;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_online_vs_ref2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solve");
-    group.sample_size(10);
+fn time<F: FnMut()>(label: &str, iters: u32, mut f: F) {
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed().as_secs_f64() / f64::from(iters);
+    println!("{label:<32} {:>12.3} us/iter  ({iters} iters)", per * 1e6);
+}
+
+fn main() {
     for (i, (cfg, pes)) in tgff_gen::table1_cases().iter().enumerate().take(2) {
         let case = prepare_case(cfg, *pes, 1.6);
         let scheduler = OnlineScheduler::new();
-        group.bench_with_input(BenchmarkId::new("online", i + 1), &case, |b, case| {
-            b.iter(|| {
-                black_box(
-                    scheduler
-                        .solve(&case.ctx, &case.probs)
-                        .expect("online solves"),
-                )
-            })
+        time(&format!("solve/online/{}", i + 1), 50, || {
+            black_box(
+                scheduler
+                    .solve(&case.ctx, &case.probs)
+                    .expect("online solves"),
+            );
         });
         let nlp = NlpConfig::default();
-        group.bench_with_input(BenchmarkId::new("ref2_nlp", i + 1), &case, |b, case| {
-            b.iter(|| {
-                black_box(reference2(&case.ctx, &case.probs, &nlp).expect("ref2 solves"))
-            })
+        time(&format!("solve/ref2_nlp/{}", i + 1), 10, || {
+            black_box(reference2(&case.ctx, &case.probs, &nlp).expect("ref2 solves"));
         });
     }
-    group.finish();
-}
 
-fn bench_mpeg_solve(c: &mut Criterion) {
     let ctx = prepare_mpeg(2.0);
     let probs = ctg_model::BranchProbs::uniform(ctx.ctg());
     let scheduler = OnlineScheduler::new();
-    c.bench_function("solve/online_mpeg_40tasks", |b| {
-        b.iter(|| black_box(scheduler.solve(&ctx, &probs).expect("solves")))
+    time("solve/online_mpeg_40tasks", 50, || {
+        black_box(scheduler.solve(&ctx, &probs).expect("solves"));
     });
 }
-
-criterion_group!(benches, bench_online_vs_ref2, bench_mpeg_solve);
-criterion_main!(benches);

@@ -1,51 +1,48 @@
 //! Runtime of the stretching stage in isolation: the paper's low-complexity
 //! heuristic (Figure 2) vs. the NLP-style optimizer, on a fixed committed
 //! schedule; plus the adaptive manager's per-instance observation cost.
+//!
+//! Plain timing harness (no external bench framework): each case is warmed
+//! up once, then timed over a fixed iteration budget; we report the mean
+//! per-iteration wall time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ctg_bench::setup::prepare_mpeg;
 use ctg_model::DecisionVector;
 use ctg_sched::baseline::{nlp_stretch, NlpConfig};
 use ctg_sched::{dls_schedule, stretch_schedule, AdaptiveScheduler, StretchConfig};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_stretch(c: &mut Criterion) {
+fn time<F: FnMut()>(label: &str, iters: u32, mut f: F) {
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed().as_secs_f64() / f64::from(iters);
+    println!("{label:<32} {:>12.3} us/iter  ({iters} iters)", per * 1e6);
+}
+
+fn main() {
     let ctx = prepare_mpeg(2.0);
     let probs = ctg_model::BranchProbs::uniform(ctx.ctg());
     let schedule = dls_schedule(&ctx, &probs).expect("schedulable");
 
-    c.bench_function("stretch/heuristic_mpeg", |b| {
-        b.iter(|| {
-            black_box(
-                stretch_schedule(&ctx, &probs, &schedule, &StretchConfig::default())
-                    .expect("stretches"),
-            )
-        })
+    time("stretch/heuristic_mpeg", 100, || {
+        black_box(
+            stretch_schedule(&ctx, &probs, &schedule, &StretchConfig::default())
+                .expect("stretches"),
+        );
     });
 
-    let mut group = c.benchmark_group("stretch_nlp");
-    group.sample_size(10);
-    group.bench_function("nlp_mpeg", |b| {
-        b.iter(|| {
-            black_box(
-                nlp_stretch(&ctx, &probs, &schedule, &NlpConfig::default())
-                    .expect("optimizes"),
-            )
-        })
+    time("stretch/nlp_mpeg", 10, || {
+        black_box(nlp_stretch(&ctx, &probs, &schedule, &NlpConfig::default()).expect("optimizes"));
     });
-    group.finish();
-}
 
-fn bench_observe(c: &mut Criterion) {
-    let ctx = prepare_mpeg(2.0);
-    let probs = ctg_model::BranchProbs::uniform(ctx.ctg());
     // Threshold 1.0: pure window/profiling cost, no re-scheduling.
     let mut mgr = AdaptiveScheduler::new(&ctx, probs, 20, 1.0).expect("manager builds");
     let v = DecisionVector::new(vec![0; ctx.ctg().num_branches()]);
-    c.bench_function("adaptive/observe_no_call", |b| {
-        b.iter(|| black_box(mgr.observe(&ctx, &v).expect("observes")))
+    time("adaptive/observe_no_call", 1000, || {
+        black_box(mgr.observe(&ctx, &v).expect("observes"));
     });
 }
-
-criterion_group!(benches, bench_stretch, bench_observe);
-criterion_main!(benches);

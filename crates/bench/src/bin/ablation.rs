@@ -19,6 +19,7 @@
 
 use ctg_bench::report::{f1, Table};
 use ctg_bench::setup::prepare_case;
+use ctg_model::BranchProbs;
 use ctg_sched::baseline::{
     reference1, reference2, simulated_annealing, slack_distribution, NlpConfig, SaConfig,
 };
@@ -26,13 +27,8 @@ use ctg_sched::{
     dls_with_levels, static_levels, stretch_schedule, worst_case_levels, OnlineScheduler,
     SchedContext, Solution, StretchConfig,
 };
-use ctg_model::BranchProbs;
 
-fn variant_energy(
-    ctx: &SchedContext,
-    probs: &BranchProbs,
-    name: &str,
-) -> f64 {
+fn variant_energy(ctx: &SchedContext, probs: &BranchProbs, name: &str) -> f64 {
     let cfg = StretchConfig::default();
     let solution: Solution = match name {
         "online" => OnlineScheduler::new().solve(ctx, probs).expect("solves"),
@@ -57,9 +53,7 @@ fn variant_energy(
         }
         "ref1" => reference1(ctx, &cfg).expect("solves"),
         "ref2 (NLP)" => reference2(ctx, probs, &NlpConfig::default()).expect("solves"),
-        "SA mapping" => {
-            simulated_annealing(ctx, probs, &SaConfig::default()).expect("solves")
-        }
+        "SA mapping" => simulated_annealing(ctx, probs, &SaConfig::default()).expect("solves"),
         other => unreachable!("unknown variant {other}"),
     };
     solution.expected_energy(ctx, probs)

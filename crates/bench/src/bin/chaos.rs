@@ -1,0 +1,148 @@
+//! Chaos sweep — fault-injection rates × severities over TGFF and MPEG
+//! workloads, driven through the resilient adaptive runner (extension; not
+//! a paper table).
+//!
+//! For every workload the harness sweeps a grid of fault rates (applied
+//! uniformly to overruns, stalls, DVFS denials and retransmits) and overrun
+//! severities, printing one CSV row per cell: average energy, miss rate and
+//! the degradation-ladder counters. The whole sweep is then repeated with
+//! the same seeds and both passes are compared field by field — any
+//! difference aborts the run, making the determinism guarantee of
+//! [`ctg_sim::FaultPlan`] an executable check rather than a comment.
+//!
+//! Expected shape: miss rate grows (weakly) with the fault rate, the ladder
+//! escalates under heavy faults instead of erroring out, and the zero-rate
+//! column reproduces the fault-free adaptive numbers.
+
+use ctg_bench::setup::{prepare_case, prepare_mpeg};
+use ctg_model::DecisionVector;
+use ctg_sched::{AdaptiveScheduler, SchedContext};
+use ctg_sim::{run_adaptive_resilient, DegradeConfig, FaultPlan, RunSummary};
+use ctg_workloads::traces::{self, DriftProfile};
+
+const LEN: usize = 400;
+const WINDOW: usize = 20;
+const THRESHOLD: f64 = 0.2;
+const RATES: [f64; 4] = [0.0, 0.02, 0.05, 0.10];
+const SEVERITIES: [f64; 3] = [1.2, 1.5, 2.0];
+const FAULT_SEED: u64 = 0xC4A0_5EED;
+
+struct Workload {
+    name: &'static str,
+    ctx: SchedContext,
+    trace: Vec<DecisionVector>,
+}
+
+fn workloads() -> Vec<Workload> {
+    let mut out = Vec::new();
+    for (i, (cfg, pes)) in tgff_gen::table1_cases().iter().take(2).enumerate() {
+        let case = prepare_case(cfg, *pes, 1.6);
+        let profile = DriftProfile::new(9100 + i as u64);
+        let trace = traces::generate_trace(case.ctx.ctg(), &profile, LEN);
+        out.push(Workload {
+            name: if i == 0 {
+                "tgff-forkjoin"
+            } else {
+                "tgff-layered"
+            },
+            ctx: case.ctx,
+            trace,
+        });
+    }
+    let ctx = prepare_mpeg(2.0);
+    let trace = traces::generate_trace(ctx.ctg(), &DriftProfile::new(9200), LEN);
+    out.push(Workload {
+        name: "mpeg",
+        ctx,
+        trace,
+    });
+    out
+}
+
+fn plan_for(rate: f64, severity: f64) -> FaultPlan {
+    let mut plan = FaultPlan::uniform(FAULT_SEED, rate);
+    plan.overrun_factor = severity;
+    plan
+}
+
+fn run_cell(w: &Workload, rate: f64, severity: f64) -> RunSummary {
+    let probs = ctg_model::BranchProbs::uniform(w.ctx.ctg());
+    let manager = AdaptiveScheduler::new(&w.ctx, probs, WINDOW, THRESHOLD).expect("manager builds");
+    let (summary, _) = run_adaptive_resilient(
+        &w.ctx,
+        manager,
+        &w.trace,
+        &plan_for(rate, severity),
+        &DegradeConfig::default(),
+    )
+    .expect("resilient runner never fails on recoverable faults");
+    summary
+}
+
+fn sweep(workloads: &[Workload]) -> Vec<(String, RunSummary)> {
+    let mut cells = Vec::new();
+    for w in workloads {
+        for &severity in &SEVERITIES {
+            for &rate in &RATES {
+                let key = format!("{},{rate:.2},{severity:.1}", w.name);
+                cells.push((key, run_cell(w, rate, severity)));
+            }
+        }
+    }
+    cells
+}
+
+fn main() {
+    let ws = workloads();
+    let first = sweep(&ws);
+
+    println!(
+        "workload,rate,severity,avg_energy,miss_rate,overruns,stalls,denials,\
+         retransmits,guard_band,safe_mode,unschedulable,recoveries,rejected,failed,calls"
+    );
+    for (key, s) in &first {
+        println!(
+            "{key},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{}",
+            s.avg_energy(),
+            s.miss_rate(),
+            s.faults.overruns,
+            s.faults.stalls,
+            s.faults.denials,
+            s.faults.retransmits,
+            s.degrade.guard_band_escalations,
+            s.degrade.safe_mode_escalations,
+            s.degrade.unschedulable_events,
+            s.degrade.recoveries,
+            s.degrade.rejected_reschedules,
+            s.degrade.failed_reschedules,
+            s.calls,
+        );
+    }
+
+    // Determinism: a second identical sweep must reproduce every cell.
+    let second = sweep(&ws);
+    assert_eq!(first.len(), second.len());
+    for ((k1, s1), (k2, s2)) in first.iter().zip(&second) {
+        assert_eq!(k1, k2);
+        assert_eq!(s1, s2, "non-deterministic chaos cell {k1}");
+    }
+    println!(
+        "\ndeterminism: PASS ({} cells reproduced bit-for-bit)",
+        first.len()
+    );
+
+    // Shape check: miss rate should not decrease as the fault rate grows
+    // (weak monotonicity per workload × severity).
+    let mut violations = 0;
+    for chunk in first.chunks(RATES.len()) {
+        for pair in chunk.windows(2) {
+            if pair[1].1.miss_rate() + 1e-12 < pair[0].1.miss_rate() {
+                violations += 1;
+            }
+        }
+    }
+    println!(
+        "monotonicity: {violations} inversions across {} adjacent rate pairs",
+        { first.len() / RATES.len() * (RATES.len() - 1) }
+    );
+}

@@ -19,7 +19,12 @@ const TEST: usize = 1000;
 fn main() {
     let ctx = prepare_mpeg(2.0);
     let mut energy_table = Table::new([
-        "Movie", "Online", "Adaptive T=0.5", "Adaptive T=0.1", "Sav. 0.5", "Sav. 0.1",
+        "Movie",
+        "Online",
+        "Adaptive T=0.5",
+        "Adaptive T=0.1",
+        "Sav. 0.5",
+        "Sav. 0.1",
     ]);
     let mut calls_table = Table::new(["Movie", "T=0.5", "T=0.1"]);
     let (mut sum05, mut sum01, mut n) = (0.0, 0.0, 0usize);

@@ -48,7 +48,9 @@ fn main() {
         // Ideal profiling: the exact long-run averages of the test trace
         // itself.
         let ideal = profile_trace(ctx, &trace);
-        let online = OnlineScheduler::new().solve(ctx, &ideal).expect("online solves");
+        let online = OnlineScheduler::new()
+            .solve(ctx, &ideal)
+            .expect("online solves");
         let s_online = run_static(ctx, &online, &trace).expect("static run");
 
         let mut cells = vec![

@@ -64,8 +64,7 @@ fn main() {
         let mut total = 0.0;
         let mut misses = 0usize;
         for v in &trace {
-            let r = simulate_instance_with_overhead(&ctx, &online, v, oh)
-                .expect("simulates");
+            let r = simulate_instance_with_overhead(&ctx, &online, v, oh).expect("simulates");
             total += r.energy;
             misses += usize::from(!r.deadline_met);
         }

@@ -61,7 +61,12 @@ fn run_adaptive_mgr(
 fn main() {
     let ctx = prepare_mpeg(2.0);
     let mut table = Table::new([
-        "Movie", "online", "+reclaim", "adaptive", "adaptive+reclaim", "best saving",
+        "Movie",
+        "online",
+        "+reclaim",
+        "adaptive",
+        "adaptive+reclaim",
+        "best saving",
     ]);
     let mut sums = [0.0f64; 4];
     let movies = traces::movie_presets();
@@ -70,7 +75,9 @@ fn main() {
         let trace = traces::generate_trace(ctx.ctg(), &movie.profile, LEN);
         let (train, test) = trace.split_at(LEN / 2);
         let profiled = profile_trace(&ctx, train);
-        let online = OnlineScheduler::new().solve(&ctx, &profiled).expect("solves");
+        let online = OnlineScheduler::new()
+            .solve(&ctx, &profiled)
+            .expect("solves");
 
         let e = [
             run_fixed(&ctx, &online, test, false),

@@ -33,8 +33,7 @@ fn main() {
     for &w in &windows {
         let mut row = vec![w.to_string()];
         for &t in &thresholds {
-            let mgr = AdaptiveScheduler::new(&ctx, profiled.clone(), w, t)
-                .expect("manager builds");
+            let mgr = AdaptiveScheduler::new(&ctx, profiled.clone(), w, t).expect("manager builds");
             let (s, _) = run_adaptive(&ctx, mgr, test).expect("adaptive run");
             assert_eq!(s.deadline_misses, 0);
             let savings = 1.0 - s.avg_energy() / s_online.avg_energy();
@@ -84,10 +83,7 @@ fn main() {
             "8 levels",
             DvfsModel::discrete((1..=8).map(|i| i as f64 / 8.0).collect()),
         ),
-        (
-            "4 levels",
-            DvfsModel::discrete(vec![0.25, 0.5, 0.75, 1.0]),
-        ),
+        ("4 levels", DvfsModel::discrete(vec![0.25, 0.5, 0.75, 1.0])),
         ("2 levels", DvfsModel::discrete(vec![0.5, 1.0])),
     ] {
         let e = energy_with_dvfs(&ctx, &profiled, test, model);
@@ -114,6 +110,9 @@ fn energy_with_dvfs(
     let ctx = SchedContext::new(ctx.ctg().clone(), platform).expect("rebuild context");
     let online = OnlineScheduler::new().solve(&ctx, probs).expect("solves");
     let s = run_static(&ctx, &online, test).expect("static run");
-    assert_eq!(s.deadline_misses, 0, "quantized speeds must stay deadline-safe");
+    assert_eq!(
+        s.deadline_misses, 0,
+        "quantized speeds must stay deadline-safe"
+    );
     s.avg_energy()
 }

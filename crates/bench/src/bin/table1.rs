@@ -11,7 +11,13 @@ use std::time::Instant;
 
 fn main() {
     let mut table = Table::new([
-        "CTG", "a/b/c", "Ref. Alg. 1", "Ref. Alg. 2", "Online", "t_online", "t_ref2",
+        "CTG",
+        "a/b/c",
+        "Ref. Alg. 1",
+        "Ref. Alg. 2",
+        "Online",
+        "t_online",
+        "t_ref2",
     ]);
     let mut sum_ref1 = 0.0;
     let mut sum_ref2 = 0.0;

@@ -32,7 +32,12 @@ fn main() {
     let thresholds = [0.1, 0.1, 0.5];
 
     let mut table = Table::new([
-        "Vector sequence", "Non-adaptive", "Adaptive", "Savings", "Calls", "T",
+        "Vector sequence",
+        "Non-adaptive",
+        "Adaptive",
+        "Savings",
+        "Calls",
+        "T",
     ]);
     for (i, seq) in seqs.iter().enumerate() {
         let s_static = run_static(&ctx, &online, seq).expect("static run");

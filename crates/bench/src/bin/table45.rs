@@ -33,13 +33,15 @@ fn run_case(
     biased: &ctg_model::BranchProbs,
     trace: &[DecisionVector],
 ) -> CaseResult {
-    let online = OnlineScheduler::new().solve(ctx, biased).expect("online solves");
+    let online = OnlineScheduler::new()
+        .solve(ctx, biased)
+        .expect("online solves");
     let s_online: RunSummary = run_static(ctx, &online, trace).expect("static run");
     assert_eq!(s_online.deadline_misses, 0, "hard deadline violated");
     let mut adaptive = [(0.0, 0usize); 2];
     for (k, threshold) in [0.5, 0.1].into_iter().enumerate() {
-        let mgr = AdaptiveScheduler::new(ctx, biased.clone(), WINDOW, threshold)
-            .expect("manager builds");
+        let mgr =
+            AdaptiveScheduler::new(ctx, biased.clone(), WINDOW, threshold).expect("manager builds");
         let (s, _) = run_adaptive(ctx, mgr, trace).expect("adaptive run");
         assert_eq!(s.deadline_misses, 0, "hard deadline violated");
         adaptive[k] = (s.avg_energy(), s.calls);
@@ -53,8 +55,12 @@ fn run_case(
 fn main() {
     let cases = tgff_gen::table45_cases();
     let mut tables = [
-        Table::new(["CTG", "a/b/c", "Online", "E T=0.5", "# calls", "E T=0.1", "# calls"]),
-        Table::new(["CTG", "a/b/c", "Online", "E T=0.5", "# calls", "E T=0.1", "# calls"]),
+        Table::new([
+            "CTG", "a/b/c", "Online", "E T=0.5", "# calls", "E T=0.1", "# calls",
+        ]),
+        Table::new([
+            "CTG", "a/b/c", "Online", "E T=0.5", "# calls", "E T=0.1", "# calls",
+        ]),
     ];
     // savings accumulators: [bias][category]
     let mut savings = [[Vec::new(), Vec::new()], [Vec::new(), Vec::new()]];

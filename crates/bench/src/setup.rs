@@ -41,10 +41,7 @@ pub struct PreparedCase {
 pub fn prepare_case(cfg: &TgffConfig, num_pes: usize, factor: f64) -> PreparedCase {
     let generated = cfg.generate();
     let platform = cfg.generate_platform(&generated.ctg, num_pes);
-    let label = format!(
-        "{}/{}/{}",
-        cfg.num_tasks, num_pes, cfg.num_branches
-    );
+    let label = format!("{}/{}/{}", cfg.num_tasks, num_pes, cfg.num_branches);
     let ctx = context_with_scaled_deadline(generated.ctg, platform, &generated.probs, factor);
     PreparedCase {
         ctx,

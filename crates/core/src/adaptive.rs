@@ -12,6 +12,7 @@
 use crate::context::SchedContext;
 use crate::error::SchedError;
 use crate::online::{OnlineScheduler, Solution};
+use crate::speed::SpeedAssignment;
 use ctg_model::{BranchProbs, DecisionVector, TaskId};
 use std::collections::VecDeque;
 
@@ -189,6 +190,28 @@ pub struct AdaptiveStats {
     pub calls: usize,
 }
 
+/// Outcome of a resilient (re-)scheduling attempt.
+///
+/// Returned by [`AdaptiveScheduler::observe_resilient`] and
+/// [`AdaptiveScheduler::resolve_now`]: instead of propagating solver
+/// failures, the attempt keeps the last-known-good solution and reports
+/// what happened so the caller can account for it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObserveOutcome {
+    /// No drift beyond the threshold; the solution in force is unchanged.
+    NoDrift,
+    /// A new solution was solved and adopted.
+    Rescheduled,
+    /// The candidate solved, but its worst-case makespan was worse than
+    /// both the deadline and the incumbent solution's; kept last-known-good.
+    RejectedWorse {
+        /// The rejected candidate's worst-case makespan.
+        worst_case: f64,
+    },
+    /// The solver failed; kept last-known-good.
+    SolveFailed(SchedError),
+}
+
 /// The adaptive scheduler: wraps the online algorithm with per-branch
 /// sliding-window profiling and threshold-triggered re-scheduling.
 ///
@@ -235,6 +258,9 @@ pub struct AdaptiveScheduler {
     threshold: f64,
     solution: Solution,
     stats: AdaptiveStats,
+    /// Deadline multiplier in `(0, 1]` applied to resilient re-solves
+    /// (guard-band rung of the degradation ladder); 1.0 = paper behaviour.
+    deadline_guard: f64,
 }
 
 impl AdaptiveScheduler {
@@ -251,7 +277,13 @@ impl AdaptiveScheduler {
         window: usize,
         threshold: f64,
     ) -> Result<Self, SchedError> {
-        Self::with_scheduler(ctx, initial_probs, window, threshold, OnlineScheduler::new())
+        Self::with_scheduler(
+            ctx,
+            initial_probs,
+            window,
+            threshold,
+            OnlineScheduler::new(),
+        )
     }
 
     /// Like [`AdaptiveScheduler::new`] with a custom online scheduler.
@@ -306,6 +338,7 @@ impl AdaptiveScheduler {
             threshold,
             solution,
             stats: AdaptiveStats::default(),
+            deadline_guard: 1.0,
         })
     }
 
@@ -350,6 +383,28 @@ impl AdaptiveScheduler {
         ctx: &SchedContext,
         vector: &DecisionVector,
     ) -> Result<bool, SchedError> {
+        self.record_observation(ctx, vector)?;
+        if let Some(estimated) = self.drifted_probs(ctx) {
+            self.current_probs = estimated;
+            self.solution = self.scheduler.solve(ctx, &self.current_probs)?;
+            self.stats.calls += 1;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Records one executed instance's branch decisions *without* any
+    /// re-scheduling: the estimators keep profiling while the solution in
+    /// force stays pinned (used by the degradation ladder's safe mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::VectorArity`] for a wrong-size vector.
+    pub fn record_observation(
+        &mut self,
+        ctx: &SchedContext,
+        vector: &DecisionVector,
+    ) -> Result<(), SchedError> {
         let ctg = ctx.ctg();
         if vector.len() != ctg.num_branches() {
             return Err(SchedError::VectorArity {
@@ -367,7 +422,13 @@ impl AdaptiveScheduler {
                 self.estimators[i].push(vector.alt(i));
             }
         }
-        // Drift check against the probabilities in force.
+        Ok(())
+    }
+
+    /// Drift check against the probabilities in force: the estimated table
+    /// when any branch's estimate drifted beyond the threshold.
+    fn drifted_probs(&self, ctx: &SchedContext) -> Option<BranchProbs> {
+        let ctg = ctx.ctg();
         let mut drift = 0.0_f64;
         let mut estimated = self.current_probs.clone();
         for (i, &b) in ctg.branch_nodes().iter().enumerate() {
@@ -384,13 +445,106 @@ impl AdaptiveScheduler {
                     .expect("estimates form a distribution");
             }
         }
-        if drift > self.threshold {
-            self.current_probs = estimated;
-            self.solution = self.scheduler.solve(ctx, &self.current_probs)?;
-            self.stats.calls += 1;
-            return Ok(true);
+        (drift > self.threshold).then_some(estimated)
+    }
+
+    /// Like [`AdaptiveScheduler::observe`], but with retry-with-fallback
+    /// semantics: a failed or worse re-schedule keeps the last-known-good
+    /// solution and is *reported*, not propagated. The probabilities in
+    /// force are only re-latched when a candidate is adopted, so a failed
+    /// attempt is naturally retried on the next drifting observation.
+    ///
+    /// When a deadline guard is set (see
+    /// [`AdaptiveScheduler::set_deadline_guard`]), candidates are solved
+    /// against the guard-banded deadline but judged against the real one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::VectorArity`] for a wrong-size vector; solver
+    /// failures surface as [`ObserveOutcome::SolveFailed`] instead.
+    pub fn observe_resilient(
+        &mut self,
+        ctx: &SchedContext,
+        vector: &DecisionVector,
+    ) -> Result<ObserveOutcome, SchedError> {
+        self.record_observation(ctx, vector)?;
+        match self.drifted_probs(ctx) {
+            None => Ok(ObserveOutcome::NoDrift),
+            Some(estimated) => Ok(self.try_adopt(ctx, estimated)),
         }
-        Ok(false)
+    }
+
+    /// Forces a re-schedule with the probabilities currently in force,
+    /// with the same retry-with-fallback semantics as
+    /// [`AdaptiveScheduler::observe_resilient`] (used when the degradation
+    /// ladder changes rung).
+    pub fn resolve_now(&mut self, ctx: &SchedContext) -> ObserveOutcome {
+        let probs = self.current_probs.clone();
+        self.try_adopt(ctx, probs)
+    }
+
+    /// Solves for `probs` (honouring the deadline guard) and adopts the
+    /// candidate unless it fails or its worst-case makespan is worse than
+    /// both the deadline and the incumbent's.
+    fn try_adopt(&mut self, ctx: &SchedContext, probs: BranchProbs) -> ObserveOutcome {
+        let solved = if self.deadline_guard < 1.0 {
+            SchedContext::new(
+                ctx.ctg()
+                    .with_deadline(self.deadline_guard * ctx.ctg().deadline()),
+                ctx.platform().clone(),
+            )
+            .and_then(|guarded| self.scheduler.solve(&guarded, &probs))
+        } else {
+            self.scheduler.solve(ctx, &probs)
+        };
+        match solved {
+            Err(e) => ObserveOutcome::SolveFailed(e),
+            Ok(candidate) => {
+                let candidate_wcm = candidate.worst_case_makespan(ctx);
+                let bar = ctx
+                    .ctg()
+                    .deadline()
+                    .max(self.solution.worst_case_makespan(ctx))
+                    + 1e-6;
+                if candidate_wcm > bar {
+                    ObserveOutcome::RejectedWorse {
+                        worst_case: candidate_wcm,
+                    }
+                } else {
+                    self.current_probs = probs;
+                    self.solution = candidate;
+                    self.stats.calls += 1;
+                    ObserveOutcome::Rescheduled
+                }
+            }
+        }
+    }
+
+    /// Sets the deadline guard-band factor used by resilient re-solves.
+    ///
+    /// # Errors
+    ///
+    /// Rejects factors outside `(0, 1]`.
+    pub fn set_deadline_guard(&mut self, factor: f64) -> Result<(), SchedError> {
+        if !(factor > 0.0 && factor <= 1.0) {
+            return Err(SchedError::InvalidParameter(
+                "deadline guard must lie in (0, 1]",
+            ));
+        }
+        self.deadline_guard = factor;
+        Ok(())
+    }
+
+    /// The deadline guard-band factor in force (1.0 = none).
+    pub fn deadline_guard(&self) -> f64 {
+        self.deadline_guard
+    }
+
+    /// Pins every task to full speed while keeping the committed mapping
+    /// and order — the all-max-speed safe solution of the degradation
+    /// ladder. Cannot fail: no solver is involved.
+    pub fn enter_safe_mode(&mut self) {
+        self.solution.speeds = SpeedAssignment::nominal(self.solution.schedule.num_tasks());
     }
 }
 
@@ -468,8 +622,123 @@ mod tests {
         let mut mgr = AdaptiveScheduler::new(&ctx, probs, 8, 0.5).unwrap();
         assert!(matches!(
             mgr.observe(&ctx, &ctg_model::DecisionVector::new(vec![0])),
-            Err(SchedError::VectorArity { expected: 2, got: 1 })
+            Err(SchedError::VectorArity {
+                expected: 2,
+                got: 1
+            })
         ));
+    }
+}
+
+#[cfg(test)]
+mod resilient_tests {
+    use super::*;
+    use crate::test_util::example1_context;
+    use ctg_model::DecisionVector;
+
+    #[test]
+    fn resilient_matches_observe_when_solves_succeed() {
+        let (ctx, probs, _) = example1_context();
+        let mut plain = AdaptiveScheduler::new(&ctx, probs.clone(), 4, 0.3).unwrap();
+        let mut resilient = AdaptiveScheduler::new(&ctx, probs, 4, 0.3).unwrap();
+        for step in 0..12 {
+            let alt = u8::from(step % 3 == 0);
+            let v = DecisionVector::new(vec![alt, alt]);
+            let called = plain.observe(&ctx, &v).unwrap();
+            let outcome = resilient.observe_resilient(&ctx, &v).unwrap();
+            assert_eq!(
+                called,
+                outcome == ObserveOutcome::Rescheduled,
+                "step {step}"
+            );
+        }
+        assert_eq!(plain.stats(), resilient.stats());
+        assert_eq!(plain.solution(), resilient.solution());
+        assert_eq!(
+            plain.current_probs().clone(),
+            resilient.current_probs().clone()
+        );
+    }
+
+    #[test]
+    fn guard_band_tightens_worst_case() {
+        let (ctx, probs, _) = example1_context();
+        let mut mgr = AdaptiveScheduler::new(&ctx, probs, 4, 0.3).unwrap();
+        let relaxed_wcm = mgr.solution().worst_case_makespan(&ctx);
+        mgr.set_deadline_guard(0.8).unwrap();
+        match mgr.resolve_now(&ctx) {
+            ObserveOutcome::Rescheduled => {
+                let guarded_wcm = mgr.solution().worst_case_makespan(&ctx);
+                assert!(
+                    guarded_wcm <= 0.8 * ctx.ctg().deadline() + 1e-6,
+                    "guarded solution must meet the shortened deadline: {guarded_wcm}"
+                );
+                assert!(guarded_wcm <= relaxed_wcm + 1e-9);
+            }
+            // A very tight guard may make the solve fail; that is the
+            // fallback path and must keep the old solution.
+            ObserveOutcome::SolveFailed(_) => {
+                assert!((mgr.solution().worst_case_makespan(&ctx) - relaxed_wcm).abs() < 1e-9);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_guarded_solve_keeps_last_known_good() {
+        let (ctx, probs, _) = example1_context();
+        let mut mgr = AdaptiveScheduler::new(&ctx, probs, 4, 0.3).unwrap();
+        let before = mgr.solution().clone();
+        let calls_before = mgr.stats().calls;
+        // Guard so tight no solution exists: solve must fail, solution must
+        // survive.
+        mgr.set_deadline_guard(1e-6).unwrap();
+        match mgr.resolve_now(&ctx) {
+            ObserveOutcome::SolveFailed(_) => {}
+            other => panic!("expected a solver failure, got {other:?}"),
+        }
+        assert_eq!(mgr.solution(), &before);
+        assert_eq!(mgr.stats().calls, calls_before);
+    }
+
+    #[test]
+    fn safe_mode_pins_full_speed() {
+        let (ctx, probs, _) = example1_context();
+        let mut mgr = AdaptiveScheduler::new(&ctx, probs, 4, 0.3).unwrap();
+        let schedule_before = mgr.solution().schedule.clone();
+        mgr.enter_safe_mode();
+        assert_eq!(mgr.solution().schedule, schedule_before);
+        for t in ctx.ctg().tasks() {
+            assert_eq!(mgr.solution().speeds.speed(t), 1.0);
+        }
+        // Full speed minimizes the worst case the committed schedule admits.
+        assert!(mgr.solution().worst_case_makespan(&ctx) <= ctx.ctg().deadline() + 1e-6);
+    }
+
+    #[test]
+    fn record_observation_never_reschedules() {
+        let (ctx, probs, _) = example1_context();
+        let mut mgr = AdaptiveScheduler::new(&ctx, probs, 4, 0.1).unwrap();
+        for _ in 0..20 {
+            mgr.record_observation(&ctx, &DecisionVector::new(vec![0, 0]))
+                .unwrap();
+        }
+        assert_eq!(mgr.stats().calls, 0);
+        assert_eq!(mgr.stats().instances, 20);
+        // The recorded history still feeds the next resilient observation.
+        let outcome = mgr
+            .observe_resilient(&ctx, &DecisionVector::new(vec![0, 0]))
+            .unwrap();
+        assert_eq!(outcome, ObserveOutcome::Rescheduled);
+    }
+
+    #[test]
+    fn invalid_guard_rejected() {
+        let (ctx, probs, _) = example1_context();
+        let mut mgr = AdaptiveScheduler::new(&ctx, probs, 4, 0.3).unwrap();
+        assert!(mgr.set_deadline_guard(0.0).is_err());
+        assert!(mgr.set_deadline_guard(1.5).is_err());
+        assert!(mgr.set_deadline_guard(1.0).is_ok());
     }
 }
 
@@ -488,7 +757,10 @@ mod ewma_tests {
             e.push(1);
         }
         let est = e.estimate().unwrap();
-        assert!(est[1] > 0.99, "EWMA should converge to the new regime: {est:?}");
+        assert!(
+            est[1] > 0.99,
+            "EWMA should converge to the new regime: {est:?}"
+        );
         let total: f64 = est.iter().sum();
         assert!((total - 1.0).abs() < 1e-12);
     }

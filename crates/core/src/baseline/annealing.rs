@@ -17,9 +17,8 @@ use crate::speed::expected_energy;
 use crate::static_level::static_levels;
 use crate::stretch::{stretch_schedule, StretchConfig};
 use ctg_model::BranchProbs;
+use ctg_rng::Rng64;
 use mpsoc_platform::PeId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of the annealing search.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,7 +82,7 @@ pub fn simulated_annealing(
         evaluate(&mapping).ok_or(SchedError::NoFeasiblePe(ctg_model::TaskId::new(0)))?;
     let mut current_energy = best_energy;
 
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng64::seed_from_u64(cfg.seed);
     let mut temperature = cfg.t0 * best_energy;
     let cool_every = (cfg.iterations / 20).max(1);
 
@@ -139,9 +138,7 @@ mod tests {
         let (ctx, probs, _) = example1_context();
         let online = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
         let sa = simulated_annealing(&ctx, &probs, &SaConfig::default()).unwrap();
-        assert!(
-            sa.expected_energy(&ctx, &probs) <= online.expected_energy(&ctx, &probs) + 1e-9
-        );
+        assert!(sa.expected_energy(&ctx, &probs) <= online.expected_energy(&ctx, &probs) + 1e-9);
     }
 
     #[test]
@@ -163,7 +160,10 @@ mod tests {
     #[test]
     fn zero_iterations_rejected() {
         let (ctx, probs, _) = example1_context();
-        let bad = SaConfig { iterations: 0, ..Default::default() };
+        let bad = SaConfig {
+            iterations: 0,
+            ..Default::default()
+        };
         assert!(simulated_annealing(&ctx, &probs, &bad).is_err());
     }
 }

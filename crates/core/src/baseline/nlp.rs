@@ -87,10 +87,7 @@ pub fn nlp_stretch(
     let coeff: Vec<f64> = (0..n)
         .map(|t| {
             let tid = TaskId::new(t);
-            ctx.task_prob(tid, probs)
-                * profile.energy(t, schedule.pe_of(tid))
-                * wcet[t]
-                * wcet[t]
+            ctx.task_prob(tid, probs) * profile.energy(t, schedule.pe_of(tid)) * wcet[t] * wcet[t]
         })
         .collect();
     // Fixed (communication) part of each path's delay.
@@ -131,11 +128,8 @@ pub fn nlp_stretch(
                 let d = path_delay(&x, pi);
                 if d > deadline + 1e-9 {
                     violated = true;
-                    let stretchable: f64 = graph.paths()[pi]
-                        .tasks
-                        .iter()
-                        .map(|&t| x[t.index()])
-                        .sum();
+                    let stretchable: f64 =
+                        graph.paths()[pi].tasks.iter().map(|&t| x[t.index()]).sum();
                     if stretchable <= 0.0 {
                         continue;
                     }
@@ -189,7 +183,10 @@ mod tests {
                         w / speeds.speed(t) - w
                     })
                     .sum::<f64>();
-            assert!(d <= ctx.ctg().deadline() + 1e-6, "path delay {d} over deadline");
+            assert!(
+                d <= ctx.ctg().deadline() + 1e-6,
+                "path delay {d} over deadline"
+            );
         }
     }
 
@@ -197,8 +194,7 @@ mod tests {
     fn nlp_beats_or_matches_heuristic() {
         let (ctx, probs, _) = example1_context();
         let sched = dls_schedule(&ctx, &probs).unwrap();
-        let heuristic =
-            stretch_schedule(&ctx, &probs, &sched, &StretchConfig::default()).unwrap();
+        let heuristic = stretch_schedule(&ctx, &probs, &sched, &StretchConfig::default()).unwrap();
         let nlp = nlp_stretch(&ctx, &probs, &sched, &NlpConfig::default()).unwrap();
         let e_h = expected_energy(&ctx, &probs, &sched, &heuristic);
         let e_n = expected_energy(&ctx, &probs, &sched, &nlp);
@@ -228,7 +224,10 @@ mod tests {
     fn rejects_bad_config() {
         let (ctx, probs, _) = chain_context(18.0);
         let sched = dls_schedule(&ctx, &probs).unwrap();
-        let bad = NlpConfig { iterations: 0, ..Default::default() };
+        let bad = NlpConfig {
+            iterations: 0,
+            ..Default::default()
+        };
         assert!(nlp_stretch(&ctx, &probs, &sched, &bad).is_err());
     }
 }

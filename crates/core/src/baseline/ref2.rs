@@ -76,6 +76,9 @@ mod tests {
         let e_ref2 = ref2.expected_energy(&ctx, &probs);
         // Table 1 of the paper: the online heuristic loses ≈8% on average to
         // the NLP-based reference 2; allow it to lose, never to win by much.
-        assert!(e_ref2 <= e_online * 1.05, "ref2 {e_ref2} vs online {e_online}");
+        assert!(
+            e_ref2 <= e_online * 1.05,
+            "ref2 {e_ref2} vs online {e_online}"
+        );
     }
 }

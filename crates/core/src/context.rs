@@ -22,7 +22,7 @@ impl ScenarioMask {
     pub fn full(len: usize) -> Self {
         let words = len.div_ceil(64);
         let mut bits = vec![u64::MAX; words];
-        if len % 64 != 0 {
+        if !len.is_multiple_of(64) {
             bits[words - 1] = (1u64 << (len % 64)) - 1;
         }
         if len == 0 {
@@ -162,18 +162,16 @@ impl SchedContext {
         let s_len = scenarios.len();
         let mut task_masks = vec![ScenarioMask::empty(s_len); n];
         for (si, s) in scenarios.scenarios().iter().enumerate() {
-            for t in 0..n {
+            for (t, mask) in task_masks.iter_mut().enumerate() {
                 if s.is_active(TaskId::new(t)) {
-                    task_masks[t].set(si);
+                    mask.set(si);
                 }
             }
         }
         let mut literal_masks: Vec<Vec<ScenarioMask>> = ctg
             .branch_nodes()
             .iter()
-            .map(|&b| {
-                vec![ScenarioMask::empty(s_len); ctg.node(b).alternatives() as usize]
-            })
+            .map(|&b| vec![ScenarioMask::empty(s_len); ctg.node(b).alternatives() as usize])
             .collect();
         for (si, s) in scenarios.scenarios().iter().enumerate() {
             for (bi, &b) in ctg.branch_nodes().iter().enumerate() {
@@ -349,7 +347,10 @@ mod tests {
         let platform = uniform_platform(3, 2, 1.0, 1.0);
         assert!(matches!(
             SchedContext::new(ctg, platform),
-            Err(SchedError::TaskCountMismatch { ctg: 1, platform: 3 })
+            Err(SchedError::TaskCountMismatch {
+                ctg: 1,
+                platform: 3
+            })
         ));
     }
 

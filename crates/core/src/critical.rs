@@ -125,7 +125,11 @@ pub fn criticality_report(
         .collect();
     Some(CriticalityReport {
         tasks,
-        min_float: if min_float.is_finite() { min_float } else { 0.0 },
+        min_float: if min_float.is_finite() {
+            min_float
+        } else {
+            0.0
+        },
         saturated_paths: saturated,
     })
 }
@@ -144,8 +148,7 @@ mod tests {
         let sol = OnlineScheduler::with_config(crate::StretchConfig::exhaustive())
             .solve(&ctx, &probs)
             .unwrap();
-        let report =
-            criticality_report(&ctx, &sol.schedule, &sol.speeds, &probs, 10_000).unwrap();
+        let report = criticality_report(&ctx, &sol.schedule, &sol.speeds, &probs, 10_000).unwrap();
         // The multi-sweep heuristic fills the single chain path (near) full.
         assert!(report.min_float >= 0.0);
         assert!(report.min_float < 1.0, "chain should be nearly saturated");
@@ -161,8 +164,7 @@ mod tests {
         let (ctx, probs, _) = example1_context();
         let sol = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
         let nominal = SpeedAssignment::nominal(ctx.ctg().num_tasks());
-        let report =
-            criticality_report(&ctx, &sol.schedule, &nominal, &probs, 10_000).unwrap();
+        let report = criticality_report(&ctx, &sol.schedule, &nominal, &probs, 10_000).unwrap();
         // At nominal speed with a loose deadline nothing is saturated.
         assert_eq!(report.saturated_paths, 0);
         assert!(report.min_float > 0.0);
@@ -173,8 +175,7 @@ mod tests {
     fn stretched_solution_remains_feasible() {
         let (ctx, probs, _) = example1_context();
         let sol = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
-        let report =
-            criticality_report(&ctx, &sol.schedule, &sol.speeds, &probs, 10_000).unwrap();
+        let report = criticality_report(&ctx, &sol.schedule, &sol.speeds, &probs, 10_000).unwrap();
         assert!(report.min_float >= -1e-6, "no path may exceed the deadline");
         for t in &report.tasks {
             assert!(t.critical_prob >= 0.0 && t.critical_prob <= 1.0 + 1e-12);

@@ -257,7 +257,9 @@ pub fn list_schedule_fixed(
         finish[t.index()] = at + wcet;
         let pos = pe_order[pe.index()]
             .binary_search_by(|&x| {
-                start[x.index()].partial_cmp(&at).expect("finite start times")
+                start[x.index()]
+                    .partial_cmp(&at)
+                    .expect("finite start times")
             })
             .unwrap_or_else(|p| p);
         pe_order[pe.index()].insert(pos, t);
@@ -295,7 +297,10 @@ fn earliest_start(
     let comm = ctx.platform().comm();
     let mut at: f64 = 0.0;
     for &(p, kbytes) in preds {
-        debug_assert!(scheduled[p.index()], "ready task with unscheduled predecessor");
+        debug_assert!(
+            scheduled[p.index()],
+            "ready task with unscheduled predecessor"
+        );
         let arrival = finish[p.index()] + comm.delay(assignment[p.index()], pe, kbytes);
         at = at.max(arrival);
     }

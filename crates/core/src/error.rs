@@ -51,7 +51,10 @@ impl fmt::Display for SchedError {
             ),
             SchedError::BadProbabilities(e) => write!(f, "bad branch probabilities: {e}"),
             SchedError::VectorArity { expected, got } => {
-                write!(f, "decision vector has {got} positions, expected {expected}")
+                write!(
+                    f,
+                    "decision vector has {got} positions, expected {expected}"
+                )
             }
             SchedError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
         }

@@ -71,7 +71,9 @@ mod stretch;
 pub mod test_util;
 mod validate;
 
-pub use adaptive::{AdaptiveScheduler, AdaptiveStats, EstimatorKind, EwmaEstimator, SlidingWindow};
+pub use adaptive::{
+    AdaptiveScheduler, AdaptiveStats, EstimatorKind, EwmaEstimator, ObserveOutcome, SlidingWindow,
+};
 pub use context::{ScenarioMask, SchedContext};
 pub use dls::{dls_schedule, dls_with_levels, list_schedule_fixed};
 pub use error::SchedError;

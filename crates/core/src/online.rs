@@ -22,6 +22,39 @@ impl Solution {
     pub fn expected_energy(&self, ctx: &SchedContext, probs: &BranchProbs) -> f64 {
         expected_energy(ctx, probs, &self.schedule, &self.speeds)
     }
+
+    /// Worst-case makespan of this solution: the longest scheduled-graph
+    /// path at the stretched speeds, over all scenarios.
+    ///
+    /// When the path enumeration explodes past
+    /// [`DEFAULT_PATH_CAP`](crate::DEFAULT_PATH_CAP) an upper bound is
+    /// returned instead (nominal makespan over the slowest assigned speed),
+    /// which is consistent between solutions compared under the same cap.
+    pub fn worst_case_makespan(&self, ctx: &SchedContext) -> f64 {
+        let probs = BranchProbs::uniform(ctx.ctg());
+        match crate::sgraph::ScheduledGraph::build(
+            ctx,
+            &self.schedule,
+            &probs,
+            crate::DEFAULT_PATH_CAP,
+        ) {
+            Some(graph) => graph
+                .paths()
+                .iter()
+                .map(|p| p.stretched_delay(ctx, &self.schedule, &self.speeds))
+                .fold(0.0, f64::max),
+            None => {
+                let slowest = self
+                    .speeds
+                    .speeds()
+                    .iter()
+                    .copied()
+                    .fold(1.0_f64, f64::min)
+                    .max(f64::MIN_POSITIVE);
+                self.schedule.makespan() / slowest
+            }
+        }
+    }
 }
 
 /// The paper's online scheduling and DVFS algorithm.
@@ -84,9 +117,17 @@ impl OnlineScheduler {
     ///
     /// # Errors
     ///
-    /// Propagates mapping infeasibility and configuration errors.
+    /// Propagates mapping infeasibility and configuration errors, and
+    /// returns [`SchedError::DeadlineUnreachable`] when even the nominal
+    /// (full-speed) schedule's worst-case makespan misses the deadline —
+    /// stretching cannot repair an infeasible mapping.
     pub fn solve(&self, ctx: &SchedContext, probs: &BranchProbs) -> Result<Solution, SchedError> {
         let schedule = dls_schedule(ctx, probs)?;
+        let makespan = schedule.makespan();
+        let deadline = ctx.ctg().deadline();
+        if makespan > deadline + 1e-9 {
+            return Err(SchedError::DeadlineUnreachable { makespan, deadline });
+        }
         let speeds = stretch_schedule(ctx, probs, &schedule, &self.cfg)?;
         Ok(Solution { schedule, speeds })
     }

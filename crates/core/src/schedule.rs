@@ -2,7 +2,6 @@
 
 use ctg_model::TaskId;
 use mpsoc_platform::PeId;
-use serde::{Deserialize, Serialize};
 
 /// A task-to-PE mapping with worst-case start/finish times at nominal speed
 /// and the per-PE execution order.
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// Produced by [`dls_schedule`](crate::dls_schedule) (or a baseline); the
 /// stretching stage then assigns per-task speeds without changing mapping or
 /// order (the paper's two-stage structure).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
     pub(crate) assignment: Vec<PeId>,
     pub(crate) start: Vec<f64>,

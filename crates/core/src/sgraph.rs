@@ -9,7 +9,7 @@
 //! with its delay, activation condition and probability — the data the
 //! paper's `CalculateSlack` routine consumes.
 
-use crate::context::{SchedContext, ScenarioMask};
+use crate::context::{ScenarioMask, SchedContext};
 use crate::schedule::Schedule;
 use ctg_model::{BranchProbs, Literal, TaskId};
 
@@ -89,9 +89,7 @@ impl SPath {
             + self
                 .tasks
                 .iter()
-                .map(|&t| {
-                    profile.wcet(t.index(), schedule.pe_of(t)) / speeds.speed(t)
-                })
+                .map(|&t| profile.wcet(t.index(), schedule.pe_of(t)) / speeds.speed(t))
                 .sum::<f64>()
     }
 
@@ -150,7 +148,11 @@ impl ScheduledGraph {
 
         let mut edges: Vec<SEdge> = Vec::new();
         for (_, e) in ctg.edges() {
-            let delay = comm.delay(schedule.pe_of(e.src()), schedule.pe_of(e.dst()), e.comm_kbytes());
+            let delay = comm.delay(
+                schedule.pe_of(e.src()),
+                schedule.pe_of(e.dst()),
+                e.comm_kbytes(),
+            );
             edges.push(SEdge {
                 src: e.src(),
                 dst: e.dst(),
@@ -205,9 +207,7 @@ impl ScheduledGraph {
         let covered_by_route = |u: TaskId, v: TaskId| -> bool {
             let both = ctx.task_mask(u).and(ctx.task_mask(v));
             let safe = |w: usize| {
-                w != u.index()
-                    && w != v.index()
-                    && both.subset_of(ctx.task_mask(TaskId::new(w)))
+                w != u.index() && w != v.index() && both.subset_of(ctx.task_mask(TaskId::new(w)))
             };
             // Reach v from u through ≥1 safe intermediate.
             let mut seen = vec![false; n];
@@ -247,7 +247,11 @@ impl ScheduledGraph {
                 spanning[t.index()].push(i);
             }
         }
-        Some(ScheduledGraph { edges, paths, spanning })
+        Some(ScheduledGraph {
+            edges,
+            paths,
+            spanning,
+        })
     }
 
     /// The edges of the (reduced) scheduled graph.

@@ -3,11 +3,10 @@
 use crate::context::SchedContext;
 use crate::schedule::Schedule;
 use ctg_model::{BranchProbs, TaskId};
-use serde::{Deserialize, Serialize};
 
 /// A speed ratio in `(0, 1]` for every task — the output of the stretching
 /// (DVFS) stage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpeedAssignment {
     speeds: Vec<f64>,
 }
@@ -15,7 +14,9 @@ pub struct SpeedAssignment {
 impl SpeedAssignment {
     /// All tasks at nominal speed.
     pub fn nominal(num_tasks: usize) -> Self {
-        SpeedAssignment { speeds: vec![1.0; num_tasks] }
+        SpeedAssignment {
+            speeds: vec![1.0; num_tasks],
+        }
     }
 
     /// Creates an assignment from raw speed ratios.
@@ -51,7 +52,10 @@ impl SpeedAssignment {
     ///
     /// Panics if `task` is out of range or `speed` outside `(0, 1]`.
     pub fn set(&mut self, task: TaskId, speed: f64) {
-        assert!(speed > 0.0 && speed <= 1.0, "speed ratio must lie in (0, 1]");
+        assert!(
+            speed > 0.0 && speed <= 1.0,
+            "speed ratio must lie in (0, 1]"
+        );
         self.speeds[task.index()] = speed;
     }
 }
@@ -76,9 +80,10 @@ pub fn expected_energy(
     }
     for (_, e) in ctx.ctg().edges() {
         let (src, dst) = (e.src(), e.dst());
-        let energy = platform
-            .comm()
-            .energy(schedule.pe_of(src), schedule.pe_of(dst), e.comm_kbytes());
+        let energy =
+            platform
+                .comm()
+                .energy(schedule.pe_of(src), schedule.pe_of(dst), e.comm_kbytes());
         if energy > 0.0 {
             total += ctx.edge_prob(src, dst, probs) * energy;
         }
@@ -130,8 +135,7 @@ mod tests {
     fn expected_energy_weights_by_activation_probability() {
         let (ctx, probs, ids) = example1_context();
         let sched = dls_schedule(&ctx, &probs).unwrap();
-        let nominal =
-            expected_energy(&ctx, &probs, &sched, &SpeedAssignment::nominal(8));
+        let nominal = expected_energy(&ctx, &probs, &sched, &SpeedAssignment::nominal(8));
         // Unit energies of 2.0 per task: the three always-active tasks plus
         // or-node τ8 contribute fully, τ4/τ5 half, τ6/τ7 a quarter.
         let exec_part = 2.0 * (4.0 + 0.5 + 0.5 + 0.25 + 0.25);

@@ -60,13 +60,19 @@ impl StretchConfig {
     /// A configuration that iterates stretching to (near) full slack
     /// utilisation — probability-insensitive but closest to the NLP optimum.
     pub fn exhaustive() -> Self {
-        StretchConfig { sweeps: MAX_SWEEPS, ..Default::default() }
+        StretchConfig {
+            sweeps: MAX_SWEEPS,
+            ..Default::default()
+        }
     }
 
     /// The paper-faithful single-pass configuration (maximum probability
     /// sensitivity, lowest slack utilisation).
     pub fn single_pass() -> Self {
-        StretchConfig { sweeps: 1, ..Default::default() }
+        StretchConfig {
+            sweeps: 1,
+            ..Default::default()
+        }
     }
 }
 
@@ -143,11 +149,7 @@ fn stretch_with_paths(
     let n = ctx.ctg().num_tasks();
     let mut extra = vec![0.0_f64; n];
 
-    let task_probs: Vec<f64> = ctx
-        .ctg()
-        .tasks()
-        .map(|t| ctx.task_prob(t, probs))
-        .collect();
+    let task_probs: Vec<f64> = ctx.ctg().tasks().map(|t| ctx.task_prob(t, probs)).collect();
 
     for _sweep in 0..cfg.sweeps.clamp(1, MAX_SWEEPS) {
         let mut granted_total = 0.0;
@@ -205,7 +207,10 @@ fn calculate_slack(
     // Group spanning paths by their minterm (path condition).
     let mut groups: HashMap<&ScenarioMask, Vec<usize>> = HashMap::new();
     for &idx in graph.spanning(task) {
-        groups.entry(&graph.paths()[idx].cond).or_default().push(idx);
+        groups
+            .entry(&graph.paths()[idx].cond)
+            .or_default()
+            .push(idx);
     }
     let ratio = |idx: usize| {
         let p = &graph.paths()[idx];
@@ -253,11 +258,13 @@ fn calculate_slack(
                 let undecided: Vec<usize> = idxs
                     .iter()
                     .copied()
-                    .filter(|&i| {
-                        graph.paths()[i].prob_after(task, probs) < 1.0 - PROB_ONE_EPS
-                    })
+                    .filter(|&i| graph.paths()[i].prob_after(task, probs) < 1.0 - PROB_ONE_EPS)
                     .collect();
-                if undecided.is_empty() { idxs.clone() } else { undecided }
+                if undecided.is_empty() {
+                    idxs.clone()
+                } else {
+                    undecided
+                }
             };
             let worst = candidates
                 .into_iter()
@@ -315,12 +322,20 @@ pub(crate) fn proportional_stretch(
     // Constraint edges: CTG + implied + same-PE serialization.
     let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
     let mut radj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-    let push = |s: usize, d: usize, delay: f64, adj: &mut Vec<Vec<(usize, f64)>>, radj: &mut Vec<Vec<(usize, f64)>>| {
+    let push = |s: usize,
+                d: usize,
+                delay: f64,
+                adj: &mut Vec<Vec<(usize, f64)>>,
+                radj: &mut Vec<Vec<(usize, f64)>>| {
         adj[s].push((d, delay));
         radj[d].push((s, delay));
     };
     for (_, e) in ctg.edges() {
-        let d = comm.delay(schedule.pe_of(e.src()), schedule.pe_of(e.dst()), e.comm_kbytes());
+        let d = comm.delay(
+            schedule.pe_of(e.src()),
+            schedule.pe_of(e.dst()),
+            e.comm_kbytes(),
+        );
         push(e.src().index(), e.dst().index(), d, &mut adj, &mut radj);
     }
     for &(f, o) in ctx.activation().implied_or_deps() {
@@ -423,11 +438,7 @@ mod tests {
             assert!(speeds.speed(t) < 1.0, "{t} should be stretched");
         }
         // Total stretched delay still within the deadline.
-        let total: f64 = ctx
-            .ctg()
-            .tasks()
-            .map(|t| 2.0 / speeds.speed(t))
-            .sum();
+        let total: f64 = ctx.ctg().tasks().map(|t| 2.0 / speeds.speed(t)).sum();
         assert!(total <= 60.0 + 1e-6);
     }
 
@@ -439,8 +450,7 @@ mod tests {
         let tight = ctx.ctg().with_deadline(sched.makespan());
         let ctx2 = SchedContext::new(tight, ctx.platform().clone()).unwrap();
         let sched2 = dls_schedule(&ctx2, &probs).unwrap();
-        let speeds =
-            stretch_schedule(&ctx2, &probs, &sched2, &StretchConfig::default()).unwrap();
+        let speeds = stretch_schedule(&ctx2, &probs, &sched2, &StretchConfig::default()).unwrap();
         for t in ctx2.ctg().tasks() {
             assert!((speeds.speed(t) - 1.0).abs() < 1e-9);
         }
@@ -453,8 +463,7 @@ mod tests {
         let (ctx, probs, _) = example1_context();
         let sched = dls_schedule(&ctx, &probs).unwrap();
         let nominal = SpeedAssignment::nominal(ctx.ctg().num_tasks());
-        let stretched =
-            stretch_schedule(&ctx, &probs, &sched, &StretchConfig::default()).unwrap();
+        let stretched = stretch_schedule(&ctx, &probs, &sched, &StretchConfig::default()).unwrap();
         let e0 = expected_energy(&ctx, &probs, &sched, &nominal);
         let e1 = expected_energy(&ctx, &probs, &sched, &stretched);
         assert!(e1 < e0, "stretching must save energy ({e1} !< {e0})");
@@ -464,8 +473,7 @@ mod tests {
     fn deadline_respected_after_stretching() {
         let (ctx, probs, _) = example1_context();
         let sched = dls_schedule(&ctx, &probs).unwrap();
-        let speeds =
-            stretch_schedule(&ctx, &probs, &sched, &StretchConfig::default()).unwrap();
+        let speeds = stretch_schedule(&ctx, &probs, &sched, &StretchConfig::default()).unwrap();
         // Re-run the path analysis with stretched execution times: every
         // path must still meet the deadline.
         let graph = ScheduledGraph::build(&ctx, &sched, &probs, 100_000).unwrap();
@@ -497,8 +505,7 @@ mod tests {
         let platform = uniform_platform(ctg.num_tasks(), 2, 2.0, 2.0);
         let ctx = SchedContext::new(ctg, platform).unwrap();
         let sched = dls_schedule(&ctx, &probs).unwrap();
-        let speeds =
-            stretch_schedule(&ctx, &probs, &sched, &StretchConfig::default()).unwrap();
+        let speeds = stretch_schedule(&ctx, &probs, &sched, &StretchConfig::default()).unwrap();
         // τ4 (prob 0.9) should run no faster than τ5 (prob 0.1) would
         // suggest symmetric treatment; with probability weighting τ4 gets
         // more slack.
@@ -514,7 +521,10 @@ mod tests {
     fn min_speed_floor_enforced() {
         let (ctx, probs, _) = chain_context(10_000.0);
         let sched = dls_schedule(&ctx, &probs).unwrap();
-        let cfg = StretchConfig { min_speed: 0.25, ..Default::default() };
+        let cfg = StretchConfig {
+            min_speed: 0.25,
+            ..Default::default()
+        };
         let speeds = stretch_schedule(&ctx, &probs, &sched, &cfg).unwrap();
         for t in ctx.ctg().tasks() {
             assert!(speeds.speed(t) + 1e-12 >= 0.25);
@@ -525,9 +535,15 @@ mod tests {
     fn invalid_config_rejected() {
         let (ctx, probs, _) = chain_context(60.0);
         let sched = dls_schedule(&ctx, &probs).unwrap();
-        let bad = StretchConfig { min_speed: 0.0, ..Default::default() };
+        let bad = StretchConfig {
+            min_speed: 0.0,
+            ..Default::default()
+        };
         assert!(stretch_schedule(&ctx, &probs, &sched, &bad).is_err());
-        let bad = StretchConfig { path_cap: 0, ..Default::default() };
+        let bad = StretchConfig {
+            path_cap: 0,
+            ..Default::default()
+        };
         assert!(stretch_schedule(&ctx, &probs, &sched, &bad).is_err());
     }
 
@@ -536,7 +552,10 @@ mod tests {
         // Force the fallback with a tiny path cap.
         let (ctx, probs, _) = example1_context();
         let sched = dls_schedule(&ctx, &probs).unwrap();
-        let cfg = StretchConfig { path_cap: 1, ..Default::default() };
+        let cfg = StretchConfig {
+            path_cap: 1,
+            ..Default::default()
+        };
         let speeds = stretch_schedule(&ctx, &probs, &sched, &cfg).unwrap();
         let graph = ScheduledGraph::build(&ctx, &sched, &probs, 100_000).unwrap();
         let profile = ctx.platform().profile();

@@ -60,7 +60,10 @@ impl fmt::Display for ScheduleViolation {
                 write!(f, "task {t} has an inconsistent placement")
             }
             ScheduleViolation::DeadlineExceeded { delay, deadline } => {
-                write!(f, "worst-case path delay {delay} exceeds deadline {deadline}")
+                write!(
+                    f,
+                    "worst-case path delay {delay} exceeds deadline {deadline}"
+                )
             }
         }
     }
@@ -99,10 +102,7 @@ impl Error for ScheduleViolation {}
 /// # Ok(())
 /// # }
 /// ```
-pub fn validate_schedule(
-    ctx: &SchedContext,
-    schedule: &Schedule,
-) -> Result<(), ScheduleViolation> {
+pub fn validate_schedule(ctx: &SchedContext, schedule: &Schedule) -> Result<(), ScheduleViolation> {
     let ctg = ctx.ctg();
     let profile = ctx.platform().profile();
     let comm = ctx.platform().comm();
@@ -129,14 +129,24 @@ pub fn validate_schedule(
     // Precedence including communication delays and implied or-deps.
     for (_, e) in ctg.edges() {
         let arrival = schedule.finish(e.src())
-            + comm.delay(schedule.pe_of(e.src()), schedule.pe_of(e.dst()), e.comm_kbytes());
+            + comm.delay(
+                schedule.pe_of(e.src()),
+                schedule.pe_of(e.dst()),
+                e.comm_kbytes(),
+            );
         if schedule.start(e.dst()) + 1e-9 < arrival {
-            return Err(ScheduleViolation::Precedence { src: e.src(), dst: e.dst() });
+            return Err(ScheduleViolation::Precedence {
+                src: e.src(),
+                dst: e.dst(),
+            });
         }
     }
     for &(fork, or_node) in ctx.activation().implied_or_deps() {
         if schedule.start(or_node) + 1e-9 < schedule.finish(fork) {
-            return Err(ScheduleViolation::Precedence { src: fork, dst: or_node });
+            return Err(ScheduleViolation::Precedence {
+                src: fork,
+                dst: or_node,
+            });
         }
     }
 

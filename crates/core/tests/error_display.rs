@@ -2,23 +2,32 @@
 //! (C-GOOD-ERR).
 
 use ctg_model::{BuildError, ProbError, TaskId};
-use ctg_sched::{ScheduleViolation, SchedError};
+use ctg_sched::{SchedError, ScheduleViolation};
 use std::error::Error;
 
 #[test]
 fn sched_error_messages_name_the_subject() {
     let cases: Vec<(SchedError, &str)> = vec![
         (
-            SchedError::TaskCountMismatch { ctg: 3, platform: 5 },
+            SchedError::TaskCountMismatch {
+                ctg: 3,
+                platform: 5,
+            },
             "3 tasks",
         ),
         (SchedError::NoFeasiblePe(TaskId::new(7)), "t7"),
         (
-            SchedError::DeadlineUnreachable { makespan: 12.0, deadline: 10.0 },
+            SchedError::DeadlineUnreachable {
+                makespan: 12.0,
+                deadline: 10.0,
+            },
             "12",
         ),
         (
-            SchedError::VectorArity { expected: 9, got: 2 },
+            SchedError::VectorArity {
+                expected: 9,
+                got: 2,
+            },
             "expected 9",
         ),
         (
@@ -45,10 +54,16 @@ fn bad_probabilities_chain_their_source() {
 
 #[test]
 fn schedule_violation_messages() {
-    let v = ScheduleViolation::Overlap { a: TaskId::new(1), b: TaskId::new(2) };
+    let v = ScheduleViolation::Overlap {
+        a: TaskId::new(1),
+        b: TaskId::new(2),
+    };
     assert!(v.to_string().contains("t1"));
     assert!(v.to_string().contains("overlap"));
-    let v = ScheduleViolation::DeadlineExceeded { delay: 11.5, deadline: 10.0 };
+    let v = ScheduleViolation::DeadlineExceeded {
+        delay: 11.5,
+        deadline: 10.0,
+    };
     assert!(v.to_string().contains("11.5"));
 }
 

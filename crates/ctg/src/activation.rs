@@ -104,7 +104,11 @@ impl Activation {
             }
         }
 
-        Activation { x_raw, x, implied_or_deps }
+        Activation {
+            x_raw,
+            x,
+            implied_or_deps,
+        }
     }
 
     /// The simplified activation condition `X(τ)`.

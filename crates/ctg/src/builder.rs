@@ -220,7 +220,10 @@ mod tests {
         let mut b = CtgBuilder::new("g");
         let a = b.add_task("a");
         let ghost = TaskId::new(9);
-        assert_eq!(b.add_edge(a, ghost, 0.0), Err(BuildError::UnknownTask(ghost)));
+        assert_eq!(
+            b.add_edge(a, ghost, 0.0),
+            Err(BuildError::UnknownTask(ghost))
+        );
         assert_eq!(b.add_edge(a, a, 0.0), Err(BuildError::SelfLoop(a)));
     }
 
@@ -253,14 +256,20 @@ mod tests {
         b.add_cond_edge(f, y, 2, 0.0).unwrap();
         assert_eq!(
             b.deadline(1.0).build(),
-            Err(BuildError::AlternativeGap { branch: f, missing: 1 })
+            Err(BuildError::AlternativeGap {
+                branch: f,
+                missing: 1
+            })
         );
 
         let mut b = CtgBuilder::new("g");
         let f = b.add_task("f");
         let x = b.add_task("x");
         b.add_cond_edge(f, x, 0, 0.0).unwrap();
-        assert_eq!(b.deadline(1.0).build(), Err(BuildError::DegenerateBranch(f)));
+        assert_eq!(
+            b.deadline(1.0).build(),
+            Err(BuildError::DegenerateBranch(f))
+        );
     }
 
     #[test]
@@ -273,7 +282,10 @@ mod tests {
             Err(BuildError::InvalidCommVolume { .. })
         ));
         b.add_edge(a, c, 1.0).unwrap();
-        assert_eq!(b.deadline(0.0).build(), Err(BuildError::InvalidDeadline(0.0)));
+        assert_eq!(
+            b.deadline(0.0).build(),
+            Err(BuildError::InvalidDeadline(0.0))
+        );
         assert!(matches!(
             b.deadline(f64::NAN).build(),
             Err(BuildError::InvalidDeadline(d)) if d.is_nan()

@@ -91,7 +91,11 @@ impl fmt::Display for ProbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProbError::NotABranch(t) => write!(f, "task {t} is not a branch fork node"),
-            ProbError::WrongArity { branch, expected, got } => write!(
+            ProbError::WrongArity {
+                branch,
+                expected,
+                got,
+            } => write!(
                 f,
                 "branch {branch} has {expected} alternatives but {got} probabilities were given"
             ),

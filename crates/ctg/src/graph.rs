@@ -2,7 +2,6 @@
 
 use crate::activation::Activation;
 use crate::id::{EdgeId, TaskId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Activation semantics of a node (paper §II).
@@ -11,7 +10,7 @@ use std::fmt;
 ///   completed and the conditions of the corresponding edges are satisfied.
 /// * An [`NodeKind::Or`] node is activated when **one or more** predecessors
 ///   have completed and the conditions of the corresponding edges hold.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum NodeKind {
     /// Conjunctive activation (default).
     #[default]
@@ -30,7 +29,7 @@ impl fmt::Display for NodeKind {
 }
 
 /// A task vertex of the CTG.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Node {
     pub(crate) name: String,
     pub(crate) kind: NodeKind,
@@ -62,7 +61,7 @@ impl Node {
 }
 
 /// A precedence/data-dependency edge of the CTG.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Edge {
     pub(crate) src: TaskId,
     pub(crate) dst: TaskId,
@@ -105,7 +104,7 @@ impl Edge {
 /// Construct with [`CtgBuilder`](crate::CtgBuilder); a built graph is
 /// immutable, acyclic, and has consistent branch alternatives. A common
 /// period/deadline applies to the entire graph (paper §II).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ctg {
     pub(crate) name: String,
     pub(crate) nodes: Vec<Node>,
@@ -163,17 +162,24 @@ impl Ctg {
 
     /// All edges in insertion order.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
-        self.edges.iter().enumerate().map(|(i, e)| (EdgeId::new(i), e))
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId::new(i), e))
     }
 
     /// Outgoing edges of `task`.
     pub fn out_edges(&self, task: TaskId) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
-        self.succ[task.index()].iter().map(move |&e| (e, &self.edges[e.index()]))
+        self.succ[task.index()]
+            .iter()
+            .map(move |&e| (e, &self.edges[e.index()]))
     }
 
     /// Incoming edges of `task`.
     pub fn in_edges(&self, task: TaskId) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
-        self.pred[task.index()].iter().map(move |&e| (e, &self.edges[e.index()]))
+        self.pred[task.index()]
+            .iter()
+            .map(move |&e| (e, &self.edges[e.index()]))
     }
 
     /// Successor tasks of `task`.

@@ -1,6 +1,5 @@
 //! Strongly typed identifiers for tasks and edges.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a task (vertex) within a [`Ctg`](crate::Ctg).
@@ -15,7 +14,7 @@ use std::fmt;
 /// assert_eq!(t.index(), 3);
 /// assert_eq!(t.to_string(), "t3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId(u32);
 
 impl TaskId {
@@ -50,7 +49,7 @@ impl From<TaskId> for usize {
 /// use ctg_model::EdgeId;
 /// assert_eq!(EdgeId::new(0).to_string(), "e0");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeId(u32);
 
 impl EdgeId {

@@ -65,10 +65,7 @@ pub fn compute(ctg: &Ctg) -> CtgMetrics {
     }
     let width = level_counts.iter().copied().max().unwrap_or(0);
 
-    let conditional = ctg
-        .tasks()
-        .filter(|&t| !act.condition(t).is_true())
-        .count();
+    let conditional = ctg.tasks().filter(|&t| !act.condition(t).is_true()).count();
 
     CtgMetrics {
         tasks: n,

@@ -36,10 +36,8 @@ impl CtgPath {
 /// a coarser analysis.
 pub fn enumerate_paths(ctg: &Ctg, cap: usize) -> Option<Vec<CtgPath>> {
     let mut out = Vec::new();
-    let mut stack: Vec<(TaskId, Vec<TaskId>, Cube)> = ctg
-        .sources()
-        .map(|s| (s, vec![s], Cube::top()))
-        .collect();
+    let mut stack: Vec<(TaskId, Vec<TaskId>, Cube)> =
+        ctg.sources().map(|s| (s, vec![s], Cube::top())).collect();
     while let Some((t, tasks, cube)) = stack.pop() {
         let mut extended = false;
         for (_, e) in ctg.out_edges(t) {
@@ -76,11 +74,7 @@ pub fn enumerate_paths(ctg: &Ctg, cap: usize) -> Option<Vec<CtgPath>> {
 /// # Panics
 ///
 /// Panics if `task` is not on the path.
-pub fn prob_after(
-    path: &CtgPath,
-    task: TaskId,
-    probs: &crate::probability::BranchProbs,
-) -> f64 {
+pub fn prob_after(path: &CtgPath, task: TaskId, probs: &crate::probability::BranchProbs) -> f64 {
     let pos = path
         .tasks
         .iter()

@@ -3,7 +3,6 @@
 use crate::error::ProbError;
 use crate::graph::Ctg;
 use crate::id::TaskId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -34,7 +33,7 @@ const DIST_TOL: f64 = 1e-6;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct BranchProbs {
     table: BTreeMap<TaskId, Vec<f64>>,
 }
@@ -226,7 +225,11 @@ mod tests {
         p.set(f, vec![0.2, 0.3, 0.5]).unwrap();
         assert_eq!(
             p.validate(&g),
-            Err(ProbError::WrongArity { branch: f, expected: 2, got: 3 })
+            Err(ProbError::WrongArity {
+                branch: f,
+                expected: 2,
+                got: 3
+            })
         );
     }
 

@@ -57,8 +57,7 @@ pub fn project(ctg: &Ctg, _act: &Activation, scenario: &Scenario) -> Projection 
         }
     }
     for (_, e) in ctg.edges() {
-        let (Some(src), Some(dst)) = (task_map[e.src().index()], task_map[e.dst().index()])
-        else {
+        let (Some(src), Some(dst)) = (task_map[e.src().index()], task_map[e.dst().index()]) else {
             continue;
         };
         let fires = match e.condition() {
@@ -74,7 +73,10 @@ pub fn project(ctg: &Ctg, _act: &Activation, scenario: &Scenario) -> Projection 
         .deadline(ctg.deadline())
         .build()
         .expect("a projected scenario is a valid DAG");
-    Projection { ctg: projected, task_map }
+    Projection {
+        ctg: projected,
+        task_map,
+    }
 }
 
 #[cfg(test)]
@@ -110,9 +112,7 @@ mod tests {
         let scenarios = ScenarioSet::enumerate(&g, &act);
         for s in scenarios.scenarios() {
             let p = project(&g, &act, s);
-            let active = (0..g.num_tasks())
-                .filter(|&t| s.active_tasks()[t])
-                .count();
+            let active = (0..g.num_tasks()).filter(|&t| s.active_tasks()[t]).count();
             assert_eq!(p.ctg.num_tasks(), active);
             assert_eq!(p.ctg.num_branches(), 0);
             // No conditional edges survive.

@@ -12,7 +12,6 @@ use crate::condition::Cube;
 use crate::graph::Ctg;
 use crate::id::TaskId;
 use crate::probability::BranchProbs;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One concrete run of the CTG: the alternative selected by each branch fork
@@ -21,7 +20,7 @@ use std::fmt;
 /// Positions of fork nodes that end up not being activated are still present
 /// (a trace monitor records them anyway); they are simply ignored when
 /// computing the active task set.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DecisionVector {
     alts: Vec<u8>,
 }
@@ -230,7 +229,7 @@ impl ScenarioSet {
                 && ctg.branch_nodes().iter().all(|&b| {
                     let in_cube = s.cube().alt_of(b).is_some();
                     let active = s.is_active(b);
-                    !(active && !in_cube)
+                    !active || in_cube
                 })
         })
     }

@@ -187,9 +187,7 @@ pub fn from_text(input: &str) -> Result<Ctg, ParseTextError> {
                                     .map_err(|_| syntax(line_no, "invalid cond value"))?,
                             );
                         }
-                        other => {
-                            return Err(syntax(line_no, &format!("unknown key `{other}`")))
-                        }
+                        other => return Err(syntax(line_no, &format!("unknown key `{other}`"))),
                     }
                 }
                 let result = match cond {
@@ -239,7 +237,8 @@ mod tests {
 
     #[test]
     fn parses_comments_and_blank_lines() {
-        let text = "\n# header\ngraph g deadline 10\ntask a # trailing\ntask b\nedge a b comm 1.5\n";
+        let text =
+            "\n# header\ngraph g deadline 10\ntask a # trailing\ntask b\nedge a b comm 1.5\n";
         let g = from_text(text).unwrap();
         assert_eq!(g.num_tasks(), 2);
         assert_eq!(g.deadline(), 10.0);
@@ -255,7 +254,10 @@ mod tests {
             ("graph g\ntask a\nedge a z comm 1", "unknown destination"),
             ("graph g\ntask a weird", "unknown task kind"),
             ("graph g deadline abc", "invalid deadline"),
-            ("graph g\ntask a\ntask b\nedge a b comm", "`comm` needs a value"),
+            (
+                "graph g\ntask a\ntask b\nedge a b comm",
+                "`comm` needs a value",
+            ),
         ];
         for (text, needle) in cases {
             let err = from_text(text).unwrap_err();
@@ -282,7 +284,10 @@ mod tests {
         let text = to_text(&g);
         assert!(text.contains("task join or"));
         let back = from_text(&text).unwrap();
-        let join = back.tasks().find(|&t| back.node(t).name() == "join").unwrap();
+        let join = back
+            .tasks()
+            .find(|&t| back.node(t).name() == "join")
+            .unwrap();
         assert_eq!(back.node(join).kind(), NodeKind::Or);
     }
 }

@@ -1,33 +1,42 @@
-//! Property-based tests of the condition algebra.
+//! Randomized property tests of the condition algebra (seeded, offline —
+//! no proptest dependency; each property is checked over a few thousand
+//! random cases drawn from `ctg-rng`).
 
 use ctg_model::{Cube, Dnf, Literal, TaskId};
-use proptest::prelude::*;
+use ctg_rng::Rng64;
 
-fn arb_literal() -> impl Strategy<Value = Literal> {
-    (0usize..6, 0u8..3).prop_map(|(b, a)| Literal::new(TaskId::new(b), a))
+const CASES: usize = 2000;
+
+fn arb_literal(rng: &mut Rng64) -> Literal {
+    Literal::new(
+        TaskId::new(rng.gen_range(0..6usize)),
+        rng.gen_range(0..3usize) as u8,
+    )
 }
 
-fn arb_cube() -> impl Strategy<Value = Cube> {
-    proptest::collection::vec(arb_literal(), 0..5).prop_map(|lits| {
-        // Build ignoring contradictions: later literals on the same branch
-        // are dropped by `with` returning None; fall back to skipping them.
-        let mut cube = Cube::top();
-        for l in lits {
-            if let Some(next) = cube.with(l) {
-                cube = next;
-            }
+fn arb_cube(rng: &mut Rng64) -> Cube {
+    // Build ignoring contradictions: later literals on the same branch are
+    // dropped by `with` returning None; fall back to skipping them.
+    let mut cube = Cube::top();
+    for _ in 0..rng.gen_range(0..5usize) {
+        let l = arb_literal(rng);
+        if let Some(next) = cube.with(l) {
+            cube = next;
         }
-        cube
-    })
+    }
+    cube
 }
 
-fn arb_dnf() -> impl Strategy<Value = Dnf> {
-    proptest::collection::vec(arb_cube(), 0..5).prop_map(Dnf::from_cubes)
+fn arb_dnf(rng: &mut Rng64) -> Dnf {
+    let cubes: Vec<Cube> = (0..rng.gen_range(0..5usize))
+        .map(|_| arb_cube(rng))
+        .collect();
+    Dnf::from_cubes(cubes)
 }
 
 /// An arbitrary complete assignment for branches 0..6 with 3 alternatives.
-fn arb_assignment() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(0u8..3, 6)
+fn arb_assignment(rng: &mut Rng64) -> Vec<u8> {
+    (0..6).map(|_| rng.gen_range(0..3usize) as u8).collect()
 }
 
 fn eval_cube(c: &Cube, assign: &[u8]) -> bool {
@@ -38,64 +47,117 @@ fn eval_dnf(d: &Dnf, assign: &[u8]) -> bool {
     d.eval(|b| assign.get(b.index()).copied())
 }
 
-proptest! {
-    /// Cube conjunction is the logical AND under every assignment.
-    #[test]
-    fn cube_and_is_logical_and(a in arb_cube(), b in arb_cube(), assign in arb_assignment()) {
+/// Cube conjunction is the logical AND under every assignment.
+#[test]
+fn cube_and_is_logical_and() {
+    let mut rng = Rng64::seed_from_u64(0xC0FE_0001);
+    for _ in 0..CASES {
+        let (a, b, assign) = (
+            arb_cube(&mut rng),
+            arb_cube(&mut rng),
+            arb_assignment(&mut rng),
+        );
         match a.and(&b) {
-            Some(c) => prop_assert_eq!(
+            Some(c) => assert_eq!(
                 eval_cube(&c, &assign),
-                eval_cube(&a, &assign) && eval_cube(&b, &assign)
+                eval_cube(&a, &assign) && eval_cube(&b, &assign),
+                "a={a:?} b={b:?} assign={assign:?}"
             ),
-            None => prop_assert!(!(eval_cube(&a, &assign) && eval_cube(&b, &assign))),
+            None => assert!(!(eval_cube(&a, &assign) && eval_cube(&b, &assign))),
         }
     }
+}
 
-    /// `implies` is sound: if a ⇒ b then every model of a models b.
-    #[test]
-    fn implies_is_sound(a in arb_cube(), b in arb_cube(), assign in arb_assignment()) {
+/// `implies` is sound: if a ⇒ b then every model of a models b.
+#[test]
+fn implies_is_sound() {
+    let mut rng = Rng64::seed_from_u64(0xC0FE_0002);
+    for _ in 0..CASES {
+        let (a, b, assign) = (
+            arb_cube(&mut rng),
+            arb_cube(&mut rng),
+            arb_assignment(&mut rng),
+        );
         if a.implies(&b) && eval_cube(&a, &assign) {
-            prop_assert!(eval_cube(&b, &assign));
+            assert!(eval_cube(&b, &assign), "a={a:?} b={b:?} assign={assign:?}");
         }
     }
+}
 
-    /// DNF disjunction/conjunction match logical OR/AND.
-    #[test]
-    fn dnf_ops_are_logical(x in arb_dnf(), y in arb_dnf(), assign in arb_assignment()) {
-        prop_assert_eq!(
+/// DNF disjunction/conjunction match logical OR/AND.
+#[test]
+fn dnf_ops_are_logical() {
+    let mut rng = Rng64::seed_from_u64(0xC0FE_0003);
+    for _ in 0..CASES {
+        let (x, y, assign) = (
+            arb_dnf(&mut rng),
+            arb_dnf(&mut rng),
+            arb_assignment(&mut rng),
+        );
+        assert_eq!(
             eval_dnf(&x.or(&y), &assign),
             eval_dnf(&x, &assign) || eval_dnf(&y, &assign)
         );
-        prop_assert_eq!(
+        assert_eq!(
             eval_dnf(&x.and(&y), &assign),
             eval_dnf(&x, &assign) && eval_dnf(&y, &assign)
         );
     }
+}
 
-    /// Simplification preserves semantics.
-    #[test]
-    fn simplify_preserves_semantics(x in arb_dnf(), assign in arb_assignment()) {
-        prop_assert_eq!(eval_dnf(&x.simplified(), &assign), eval_dnf(&x, &assign));
+/// Simplification preserves semantics.
+#[test]
+fn simplify_preserves_semantics() {
+    let mut rng = Rng64::seed_from_u64(0xC0FE_0004);
+    for _ in 0..CASES {
+        let (x, assign) = (arb_dnf(&mut rng), arb_assignment(&mut rng));
+        assert_eq!(
+            eval_dnf(&x.simplified(), &assign),
+            eval_dnf(&x, &assign),
+            "x={x:?} assign={assign:?}"
+        );
     }
+}
 
-    /// Disjointness is sound: disjoint DNFs are never both true.
-    #[test]
-    fn disjoint_is_sound(x in arb_dnf(), y in arb_dnf(), assign in arb_assignment()) {
+/// Disjointness is sound: disjoint DNFs are never both true.
+#[test]
+fn disjoint_is_sound() {
+    let mut rng = Rng64::seed_from_u64(0xC0FE_0005);
+    for _ in 0..CASES {
+        let (x, y, assign) = (
+            arb_dnf(&mut rng),
+            arb_dnf(&mut rng),
+            arb_assignment(&mut rng),
+        );
         if x.disjoint(&y) {
-            prop_assert!(!(eval_dnf(&x, &assign) && eval_dnf(&y, &assign)));
+            assert!(
+                !(eval_dnf(&x, &assign) && eval_dnf(&y, &assign)),
+                "x={x:?} y={y:?} assign={assign:?}"
+            );
         }
     }
+}
 
-    /// `and` with top is identity; with a contradiction it is false.
-    #[test]
-    fn dnf_identities(x in arb_dnf(), assign in arb_assignment()) {
-        prop_assert_eq!(eval_dnf(&x.and(&Dnf::top()), &assign), eval_dnf(&x, &assign));
-        prop_assert!(!eval_dnf(&x.and(&Dnf::false_()), &assign));
+/// `and` with top is identity; with a contradiction it is false.
+#[test]
+fn dnf_identities() {
+    let mut rng = Rng64::seed_from_u64(0xC0FE_0006);
+    for _ in 0..CASES {
+        let (x, assign) = (arb_dnf(&mut rng), arb_assignment(&mut rng));
+        assert_eq!(
+            eval_dnf(&x.and(&Dnf::top()), &assign),
+            eval_dnf(&x, &assign)
+        );
+        assert!(!eval_dnf(&x.and(&Dnf::false_()), &assign));
     }
+}
 
-    /// Cube conjunction is commutative and associative (as far as defined).
-    #[test]
-    fn cube_and_commutative(a in arb_cube(), b in arb_cube()) {
-        prop_assert_eq!(a.and(&b), b.and(&a));
+/// Cube conjunction is commutative (as far as defined).
+#[test]
+fn cube_and_commutative() {
+    let mut rng = Rng64::seed_from_u64(0xC0FE_0007);
+    for _ in 0..CASES {
+        let (a, b) = (arb_cube(&mut rng), arb_cube(&mut rng));
+        assert_eq!(a.and(&b), b.and(&a), "a={a:?} b={b:?}");
     }
 }

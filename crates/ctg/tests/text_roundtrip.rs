@@ -1,0 +1,78 @@
+//! Round-trip tests through the text format: CTGs survive export + re-parse
+//! with all derived structures intact (C-SERDE).
+
+use ctg_model::{text, Ctg, CtgBuilder, NodeKind};
+
+fn sample_ctg() -> Ctg {
+    let mut b = CtgBuilder::new("roundtrip");
+    let s = b.add_task("s");
+    let f = b.add_task("fork");
+    let x = b.add_task("x");
+    let y = b.add_task("y");
+    let j = b.add_task_with_kind("join", NodeKind::Or);
+    b.add_edge(s, f, 1.25).unwrap();
+    b.add_cond_edge(f, x, 0, 2.5).unwrap();
+    b.add_cond_edge(f, y, 1, 0.75).unwrap();
+    b.add_edge(x, j, 1.0).unwrap();
+    b.add_edge(y, j, 1.0).unwrap();
+    b.deadline(42.5).build().unwrap()
+}
+
+#[test]
+fn ctg_roundtrips_through_text() {
+    let ctg = sample_ctg();
+    let txt = text::to_text(&ctg);
+    let back = text::from_text(&txt).unwrap();
+    assert_eq!(ctg, back);
+    // Derived structures survive too.
+    assert_eq!(back.deadline(), 42.5);
+    assert_eq!(back.branch_nodes(), ctg.branch_nodes());
+    let act_a = ctg.activation();
+    let act_b = back.activation();
+    for t in ctg.tasks() {
+        assert_eq!(act_a.condition(t), act_b.condition(t));
+    }
+}
+
+#[test]
+fn roundtrip_is_stable() {
+    // to_text ∘ from_text is the identity on the textual form.
+    let ctg = sample_ctg();
+    let txt = text::to_text(&ctg);
+    let again = text::to_text(&text::from_text(&txt).unwrap());
+    assert_eq!(txt, again);
+}
+
+#[test]
+fn random_graphs_roundtrip() {
+    use ctg_rng::Rng64;
+    // Randomized structural fuzz: any graph the builder accepts must
+    // round-trip exactly.
+    for seed in 0..20u64 {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut b = CtgBuilder::new(format!("fuzz{seed}"));
+        let n = rng.gen_range(4..12usize);
+        let tasks: Vec<_> = (0..n)
+            .map(|i| {
+                if rng.gen_bool(0.2) {
+                    b.add_task_with_kind(format!("t{i}"), NodeKind::Or)
+                } else {
+                    b.add_task(format!("t{i}"))
+                }
+            })
+            .collect();
+        // Forward chain plus random extra forward edges keeps it acyclic.
+        for w in tasks.windows(2) {
+            let _ = b.add_edge(w[0], w[1], rng.gen_range(0.0..4.0));
+        }
+        for _ in 0..n {
+            let i = rng.gen_range(0..n - 1);
+            let j = rng.gen_range(i + 1..n);
+            let _ = b.add_edge(tasks[i], tasks[j], rng.gen_range(0.0..4.0));
+        }
+        if let Ok(ctg) = b.deadline(rng.gen_range(10.0..500.0)).build() {
+            let back = text::from_text(&text::to_text(&ctg)).unwrap();
+            assert_eq!(ctg, back, "seed {seed}");
+        }
+    }
+}

@@ -104,14 +104,25 @@ impl PlatformBuilder {
         energy_per_kb: f64,
     ) -> Result<&mut Self, PlatformError> {
         if a == b || a.index() >= self.pes.len() || b.index() >= self.pes.len() {
-            return Err(PlatformError::BadLink { src: a.index(), dst: b.index() });
+            return Err(PlatformError::BadLink {
+                src: a.index(),
+                dst: b.index(),
+            });
         }
-        if !(bandwidth.is_finite() && bandwidth > 0.0)
-            || !(energy_per_kb.is_finite() && energy_per_kb >= 0.0)
+        if !(bandwidth.is_finite()
+            && bandwidth > 0.0
+            && energy_per_kb.is_finite()
+            && energy_per_kb >= 0.0)
         {
-            return Err(PlatformError::InvalidLink { src: a.index(), dst: b.index() });
+            return Err(PlatformError::InvalidLink {
+                src: a.index(),
+                dst: b.index(),
+            });
         }
-        let link = Link { bandwidth, energy_per_kb };
+        let link = Link {
+            bandwidth,
+            energy_per_kb,
+        };
         self.links.push((a, b, link));
         self.links.push((b, a, link));
         Ok(self)
@@ -127,12 +138,17 @@ impl PlatformBuilder {
         bandwidth: f64,
         energy_per_kb: f64,
     ) -> Result<&mut Self, PlatformError> {
-        if !(bandwidth.is_finite() && bandwidth > 0.0)
-            || !(energy_per_kb.is_finite() && energy_per_kb >= 0.0)
+        if !(bandwidth.is_finite()
+            && bandwidth > 0.0
+            && energy_per_kb.is_finite()
+            && energy_per_kb >= 0.0)
         {
             return Err(PlatformError::InvalidLink { src: 0, dst: 0 });
         }
-        self.uniform = Some(Link { bandwidth, energy_per_kb });
+        self.uniform = Some(Link {
+            bandwidth,
+            energy_per_kb,
+        });
         Ok(self)
     }
 
@@ -217,7 +233,10 @@ mod tests {
         b.add_pe("b");
         b.set_wcet_row(0, vec![1.0]).unwrap();
         b.set_energy_row(0, vec![1.0, 1.0]).unwrap();
-        assert!(matches!(b.build(), Err(PlatformError::WrongRowWidth { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(PlatformError::WrongRowWidth { .. })
+        ));
 
         let mut b = PlatformBuilder::new(1);
         b.add_pe("a");

@@ -1,10 +1,9 @@
 //! Point-to-point communication links.
 
 use crate::pe::PeId;
-use serde::{Deserialize, Serialize};
 
 /// A directed communication link between two PEs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Link {
     /// Bandwidth in Kbytes per time unit (`B(pi, pj)`).
     pub bandwidth: f64,
@@ -17,7 +16,7 @@ pub struct Link {
 /// Intra-PE transfers are free and instantaneous. Voltage scaling is never
 /// applied to communication (paper §II). Each PE owns a dedicated
 /// communication resource, so transfers on distinct links never contend.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CommMatrix {
     pub(crate) links: Vec<Vec<Option<Link>>>,
 }
@@ -37,7 +36,10 @@ impl CommMatrix {
         for i in 0..n {
             for j in 0..n {
                 if i != j {
-                    m.links[i][j] = Some(Link { bandwidth, energy_per_kb });
+                    m.links[i][j] = Some(Link {
+                        bandwidth,
+                        energy_per_kb,
+                    });
                 }
             }
         }

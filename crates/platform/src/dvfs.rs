@@ -1,7 +1,5 @@
 //! Dynamic voltage and frequency scaling model.
 
-use serde::{Deserialize, Serialize};
-
 /// How per-task speed ratios map to realizable operating points.
 ///
 /// A *speed ratio* `s ∈ (0, 1]` is the task frequency divided by the PE's
@@ -14,9 +12,10 @@ use serde::{Deserialize, Serialize};
 /// The paper evaluates a continuous model; [`DvfsModel::Discrete`] is
 /// provided as an extension for platforms with a fixed level set (speeds are
 /// rounded **up** to the next available level so deadlines remain safe).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum DvfsModel {
     /// Any speed ratio in `(0, 1]` is realizable.
+    #[default]
     Continuous,
     /// Only the listed speed ratios are realizable. The list must be sorted
     /// ascending, each in `(0, 1]`, and end with `1.0`.
@@ -56,10 +55,9 @@ impl DvfsModel {
         let s = speed.clamp(f64::MIN_POSITIVE, 1.0);
         match self {
             DvfsModel::Continuous => s,
-            DvfsModel::Discrete(levels) => *levels
-                .iter()
-                .find(|&&l| l + 1e-12 >= s)
-                .unwrap_or(&1.0),
+            DvfsModel::Discrete(levels) => {
+                *levels.iter().find(|&&l| l + 1e-12 >= s).unwrap_or(&1.0)
+            }
         }
     }
 
@@ -72,12 +70,6 @@ impl DvfsModel {
     /// Execution-time multiplier at speed ratio `s` (`1/s`).
     pub fn time_factor(&self, speed: f64) -> f64 {
         1.0 / self.quantize(speed)
-    }
-}
-
-impl Default for DvfsModel {
-    fn default() -> Self {
-        DvfsModel::Continuous
     }
 }
 

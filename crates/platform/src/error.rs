@@ -52,7 +52,11 @@ impl fmt::Display for PlatformError {
         match self {
             PlatformError::NoPes => write!(f, "platform has no processing elements"),
             PlatformError::TaskOutOfRange(t) => write!(f, "task index {t} out of range"),
-            PlatformError::WrongRowWidth { task, expected, got } => write!(
+            PlatformError::WrongRowWidth {
+                task,
+                expected,
+                got,
+            } => write!(
                 f,
                 "row for task {task} has {got} columns, platform has {expected} PEs"
             ),

@@ -1,6 +1,5 @@
 //! Processing elements.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a processing element within a [`Platform`](crate::Platform).
@@ -9,7 +8,7 @@ use std::fmt;
 /// use mpsoc_platform::PeId;
 /// assert_eq!(PeId::new(2).to_string(), "p2");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PeId(u32);
 
 impl PeId {
@@ -37,7 +36,7 @@ impl From<PeId> for usize {
 }
 
 /// A processing element of the MPSoC.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pe {
     pub(crate) name: String,
 }

@@ -4,13 +4,12 @@ use crate::comm::CommMatrix;
 use crate::dvfs::DvfsModel;
 use crate::pe::{Pe, PeId};
 use crate::profile::ExecProfile;
-use serde::{Deserialize, Serialize};
 
 /// A validated MPSoC platform: PEs, execution profile, link matrix and DVFS
 /// model.
 ///
 /// Construct with [`PlatformBuilder`](crate::PlatformBuilder).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Platform {
     pub(crate) pes: Vec<Pe>,
     pub(crate) profile: ExecProfile,

@@ -1,7 +1,6 @@
 //! Per-(task, PE) execution profiles.
 
 use crate::pe::PeId;
-use serde::{Deserialize, Serialize};
 
 /// Worst-case execution time and energy of every task on every PE at the
 /// nominal supply voltage — the paper's `WCET(τi, pj)` and `E(τi, pj)`.
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// Rows are indexed by dense task index, columns by PE index. A value of
 /// `f64::INFINITY` in the WCET table marks a task that cannot run on that PE
 /// (heterogeneous platforms).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecProfile {
     pub(crate) wcet: Vec<Vec<f64>>,
     pub(crate) energy: Vec<Vec<f64>>,

@@ -1,81 +1,111 @@
-//! Property-based tests of the platform model.
+//! Randomized property tests of the platform model (seeded, offline — no
+//! proptest dependency).
 
+use ctg_rng::Rng64;
 use mpsoc_platform::{CommMatrix, DvfsModel, PeId, PlatformBuilder};
-use proptest::prelude::*;
 
-fn arb_levels() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::btree_set(1u32..100, 1..6).prop_map(|set| {
-        let mut levels: Vec<f64> = set.into_iter().map(|l| l as f64 / 100.0).collect();
-        if *levels.last().unwrap() < 1.0 {
-            levels.push(1.0);
-        }
-        levels
-    })
+const CASES: usize = 2000;
+
+fn arb_levels(rng: &mut Rng64) -> Vec<f64> {
+    let count = rng.gen_range(1..6usize);
+    let mut set = std::collections::BTreeSet::new();
+    while set.len() < count {
+        set.insert(rng.gen_range(1..100u64) as u32);
+    }
+    let mut levels: Vec<f64> = set.into_iter().map(|l| l as f64 / 100.0).collect();
+    if *levels.last().unwrap() < 1.0 {
+        levels.push(1.0);
+    }
+    levels
 }
 
-proptest! {
-    /// Quantization never slows a request down and always lands on a level.
-    #[test]
-    fn quantize_rounds_up_onto_a_level(levels in arb_levels(), req in 0.001f64..1.0) {
+/// Quantization never slows a request down and always lands on a level.
+#[test]
+fn quantize_rounds_up_onto_a_level() {
+    let mut rng = Rng64::seed_from_u64(0x91A7_0001);
+    for _ in 0..CASES {
+        let levels = arb_levels(&mut rng);
+        let req = rng.gen_range(0.001..1.0);
         let m = DvfsModel::discrete(levels.clone());
         let q = m.quantize(req);
-        prop_assert!(q + 1e-12 >= req, "quantized {q} slower than request {req}");
-        prop_assert!(levels.iter().any(|&l| (l - q).abs() < 1e-12));
+        assert!(q + 1e-12 >= req, "quantized {q} slower than request {req}");
+        assert!(levels.iter().any(|&l| (l - q).abs() < 1e-12));
         // Idempotent.
-        prop_assert!((m.quantize(q) - q).abs() < 1e-12);
+        assert!((m.quantize(q) - q).abs() < 1e-12);
     }
+}
 
-    /// Energy and time factors are consistent with the quantized speed.
-    #[test]
-    fn factors_follow_quantized_speed(levels in arb_levels(), req in 0.001f64..1.0) {
+/// Energy and time factors are consistent with the quantized speed.
+#[test]
+fn factors_follow_quantized_speed() {
+    let mut rng = Rng64::seed_from_u64(0x91A7_0002);
+    for _ in 0..CASES {
+        let levels = arb_levels(&mut rng);
+        let req = rng.gen_range(0.001..1.0);
         let m = DvfsModel::discrete(levels);
         let q = m.quantize(req);
-        prop_assert!((m.energy_factor(req) - q * q).abs() < 1e-12);
-        prop_assert!((m.time_factor(req) - 1.0 / q).abs() < 1e-12);
+        assert!((m.energy_factor(req) - q * q).abs() < 1e-12);
+        assert!((m.time_factor(req) - 1.0 / q).abs() < 1e-12);
     }
+}
 
-    /// Continuous quantization is the identity on (0, 1].
-    #[test]
-    fn continuous_identity(req in 0.001f64..1.0) {
-        prop_assert!((DvfsModel::Continuous.quantize(req) - req).abs() < 1e-15);
+/// Continuous quantization is the identity on (0, 1].
+#[test]
+fn continuous_identity() {
+    let mut rng = Rng64::seed_from_u64(0x91A7_0003);
+    for _ in 0..CASES {
+        let req = rng.gen_range(0.001..1.0);
+        assert!((DvfsModel::Continuous.quantize(req) - req).abs() < 1e-15);
     }
+}
 
-    /// Energy × time product degrades linearly with speed (E·t = E_nom·wcet/s):
-    /// slower always means less energy but more time, monotonically.
-    #[test]
-    fn energy_monotone_in_speed(a in 0.01f64..1.0, b in 0.01f64..1.0) {
+/// Energy decreases and time increases monotonically as speed drops.
+#[test]
+fn energy_monotone_in_speed() {
+    let mut rng = Rng64::seed_from_u64(0x91A7_0004);
+    for _ in 0..CASES {
+        let a = rng.gen_range(0.01..1.0);
+        let b = rng.gen_range(0.01..1.0);
         let m = DvfsModel::Continuous;
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-        prop_assert!(m.energy_factor(lo) <= m.energy_factor(hi) + 1e-12);
-        prop_assert!(m.time_factor(lo) + 1e-12 >= m.time_factor(hi));
+        assert!(m.energy_factor(lo) <= m.energy_factor(hi) + 1e-12);
+        assert!(m.time_factor(lo) + 1e-12 >= m.time_factor(hi));
     }
+}
 
-    /// Uniform communication matrices: delay and energy scale linearly in
-    /// volume and are symmetric.
-    #[test]
-    fn comm_scales_linearly(
-        n in 2usize..6,
-        bw in 0.1f64..10.0,
-        epk in 0.0f64..2.0,
-        kb in 0.0f64..100.0,
-    ) {
+/// Uniform communication matrices: delay and energy scale linearly in
+/// volume and are symmetric.
+#[test]
+fn comm_scales_linearly() {
+    let mut rng = Rng64::seed_from_u64(0x91A7_0005);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2..6usize);
+        let bw = rng.gen_range(0.1..10.0);
+        let epk = rng.gen_range(0.0..2.0);
+        let kb = rng.gen_range(0.0..100.0);
         let m = CommMatrix::uniform(n, bw, epk);
         let (a, b) = (PeId::new(0), PeId::new(n - 1));
-        prop_assert!((m.delay(a, b, kb) - kb / bw).abs() < 1e-9);
-        prop_assert!((m.energy(a, b, kb) - kb * epk).abs() < 1e-9);
-        prop_assert!((m.delay(a, b, kb) - m.delay(b, a, kb)).abs() < 1e-12);
-        prop_assert_eq!(m.delay(a, a, kb), 0.0);
+        assert!((m.delay(a, b, kb) - kb / bw).abs() < 1e-9);
+        assert!((m.energy(a, b, kb) - kb * epk).abs() < 1e-9);
+        assert!((m.delay(a, b, kb) - m.delay(b, a, kb)).abs() < 1e-12);
+        assert_eq!(m.delay(a, a, kb), 0.0);
     }
+}
 
-    /// Builder round-trip: exec time and energy behave per the model laws.
-    #[test]
-    fn platform_exec_laws(w in 0.1f64..20.0, e in 0.0f64..20.0, s in 0.01f64..1.0) {
+/// Builder round-trip: exec time and energy behave per the model laws.
+#[test]
+fn platform_exec_laws() {
+    let mut rng = Rng64::seed_from_u64(0x91A7_0006);
+    for _ in 0..CASES {
+        let w = rng.gen_range(0.1..20.0);
+        let e = rng.gen_range(0.0..20.0);
+        let s = rng.gen_range(0.01..1.0);
         let mut b = PlatformBuilder::new(1);
         let pe = b.add_pe("p");
         b.set_wcet_row(0, vec![w]).unwrap();
         b.set_energy_row(0, vec![e]).unwrap();
         let p = b.build().unwrap();
-        prop_assert!((p.exec_time(0, pe, s) - w / s).abs() < 1e-9);
-        prop_assert!((p.exec_energy(0, pe, s) - e * s * s).abs() < 1e-9);
+        assert!((p.exec_time(0, pe, s) - w / s).abs() < 1e-9);
+        assert!((p.exec_energy(0, pe, s) - e * s * s).abs() < 1e-9);
     }
 }

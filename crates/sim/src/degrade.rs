@@ -1,0 +1,297 @@
+//! Graceful-degradation ladder for the adaptive manager (robustness
+//! extension).
+//!
+//! The paper's manager assumes every instance meets its deadline and every
+//! re-schedule succeeds. Under faults (see [`crate::fault`]) neither holds,
+//! so the resilient runner drives a **watchdog** over a sliding window of
+//! per-instance deadline verdicts and escalates through a ladder of rungs
+//! when misses accumulate:
+//!
+//! 1. [`Rung::Normal`] — the paper's behaviour, nothing special;
+//! 2. [`Rung::GuardBand`] — the online scheduler is re-run against a
+//!    deadline shortened by a configurable guard-band factor, buying slack
+//!    that absorbs overruns and retransmits at an energy premium;
+//! 3. [`Rung::SafeMode`] — the current mapping/order is kept but every task
+//!    is pinned to full speed (the all-max-speed safe solution); this is the
+//!    fastest solution the committed schedule admits and needs no solver,
+//!    so entering it cannot fail;
+//! 4. [`Rung::Unschedulable`] — even full speed keeps missing: the workload
+//!    is not schedulable on this platform under the observed faults. The
+//!    event is *recorded*, never raised as an error — a production manager
+//!    keeps running at full speed rather than aborting the application.
+//!
+//! A fully clean window (no misses) de-escalates one rung at a time, so a
+//! transient fault burst does not pin the system at full speed forever.
+
+use std::collections::VecDeque;
+
+/// A rung of the degradation ladder, most capable first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Rung {
+    /// Fault-free operation: energy-minimal solutions, paper semantics.
+    #[default]
+    Normal,
+    /// Solutions are solved against a guard-banded (shortened) deadline.
+    GuardBand,
+    /// All-max-speed safe solution; no energy management.
+    SafeMode,
+    /// Even safe mode misses deadlines; logged, not fatal.
+    Unschedulable,
+}
+
+impl Rung {
+    fn escalated(self) -> Rung {
+        match self {
+            Rung::Normal => Rung::GuardBand,
+            Rung::GuardBand => Rung::SafeMode,
+            Rung::SafeMode | Rung::Unschedulable => Rung::Unschedulable,
+        }
+    }
+
+    fn relaxed(self) -> Rung {
+        match self {
+            Rung::Normal | Rung::GuardBand => Rung::Normal,
+            Rung::SafeMode => Rung::GuardBand,
+            Rung::Unschedulable => Rung::SafeMode,
+        }
+    }
+}
+
+/// Watchdog configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradeConfig {
+    /// Length of the sliding window of deadline verdicts.
+    pub window: usize,
+    /// Misses within the window that trigger an escalation.
+    pub max_misses: usize,
+    /// Deadline multiplier in `(0, 1]` used on the guard-band rung: the
+    /// online algorithm solves against `guard_band × deadline`.
+    pub guard_band: f64,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            window: 20,
+            max_misses: 3,
+            guard_band: 0.85,
+        }
+    }
+}
+
+impl DegradeConfig {
+    pub(crate) fn validate(&self) -> Result<(), ctg_sched::SchedError> {
+        if self.window == 0 {
+            return Err(ctg_sched::SchedError::InvalidParameter(
+                "degrade window must be positive",
+            ));
+        }
+        if self.max_misses == 0 {
+            return Err(ctg_sched::SchedError::InvalidParameter(
+                "degrade miss budget must be positive",
+            ));
+        }
+        if !(self.guard_band > 0.0 && self.guard_band <= 1.0) {
+            return Err(ctg_sched::SchedError::InvalidParameter(
+                "guard band must lie in (0, 1]",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Degradation accounting, embeddable in run summaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DegradeStats {
+    /// Escalations onto the guard-band rung.
+    pub guard_band_escalations: usize,
+    /// Escalations onto the safe-mode rung.
+    pub safe_mode_escalations: usize,
+    /// Times the ladder bottomed out (recorded, not raised).
+    pub unschedulable_events: usize,
+    /// De-escalations after a clean window.
+    pub recoveries: usize,
+    /// Re-schedules rejected for a worse worst-case makespan.
+    pub rejected_reschedules: usize,
+    /// Re-schedules that failed with a `SchedError` and kept the
+    /// last-known-good solution.
+    pub failed_reschedules: usize,
+}
+
+/// What the watchdog decided after absorbing one verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogVerdict {
+    /// Stay on the current rung.
+    Hold,
+    /// Escalate to the returned rung.
+    Escalate(Rung),
+    /// De-escalate to the returned rung after a clean window.
+    Relax(Rung),
+}
+
+/// Sliding-window deadline-miss watchdog driving the ladder.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    cfg: DegradeConfig,
+    window: VecDeque<bool>,
+    misses: usize,
+    rung: Rung,
+}
+
+impl Watchdog {
+    /// Creates a watchdog on the normal rung.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero window lengths / miss budgets and out-of-range guard
+    /// bands.
+    pub fn new(cfg: DegradeConfig) -> Result<Self, ctg_sched::SchedError> {
+        cfg.validate()?;
+        Ok(Watchdog {
+            cfg,
+            window: VecDeque::with_capacity(cfg.window),
+            misses: 0,
+            rung: Rung::Normal,
+        })
+    }
+
+    /// The rung currently in force.
+    pub fn rung(&self) -> Rung {
+        self.rung
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DegradeConfig {
+        &self.cfg
+    }
+
+    /// Deadline misses inside the current window.
+    pub fn window_misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Absorbs one instance verdict and moves the ladder.
+    ///
+    /// Escalates when the windowed miss count reaches the budget; the
+    /// window is cleared on every rung change so each rung is judged on
+    /// fresh evidence. De-escalates one rung after a full window without a
+    /// single miss.
+    pub fn record(&mut self, deadline_met: bool) -> WatchdogVerdict {
+        if self.window.len() == self.cfg.window && self.window.pop_front() == Some(false) {
+            self.misses -= 1;
+        }
+        self.window.push_back(deadline_met);
+        if !deadline_met {
+            self.misses += 1;
+        }
+        if self.misses >= self.cfg.max_misses {
+            let next = self.rung.escalated();
+            self.window.clear();
+            self.misses = 0;
+            self.rung = next;
+            return WatchdogVerdict::Escalate(next);
+        }
+        if self.rung != Rung::Normal && self.window.len() == self.cfg.window && self.misses == 0 {
+            let next = self.rung.relaxed();
+            self.window.clear();
+            self.rung = next;
+            return WatchdogVerdict::Relax(next);
+        }
+        WatchdogVerdict::Hold
+    }
+
+    /// Resets the ladder to [`Rung::Normal`] (e.g. after a fresh solution
+    /// was adopted).
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.misses = 0;
+        self.rung = Rung::Normal;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(window: usize, max_misses: usize) -> DegradeConfig {
+        DegradeConfig {
+            window,
+            max_misses,
+            guard_band: 0.9,
+        }
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(Watchdog::new(cfg(0, 1)).is_err());
+        assert!(Watchdog::new(cfg(5, 0)).is_err());
+        assert!(Watchdog::new(DegradeConfig {
+            guard_band: 0.0,
+            ..cfg(5, 1)
+        })
+        .is_err());
+        assert!(Watchdog::new(DegradeConfig {
+            guard_band: 1.5,
+            ..cfg(5, 1)
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn escalates_rung_by_rung() {
+        let mut w = Watchdog::new(cfg(4, 2)).unwrap();
+        assert_eq!(w.record(false), WatchdogVerdict::Hold);
+        assert_eq!(w.record(false), WatchdogVerdict::Escalate(Rung::GuardBand));
+        assert_eq!(w.record(false), WatchdogVerdict::Hold);
+        assert_eq!(w.record(false), WatchdogVerdict::Escalate(Rung::SafeMode));
+        assert_eq!(w.record(false), WatchdogVerdict::Hold);
+        assert_eq!(
+            w.record(false),
+            WatchdogVerdict::Escalate(Rung::Unschedulable)
+        );
+        // Bottomed out: further bursts re-report unschedulable.
+        assert_eq!(w.record(false), WatchdogVerdict::Hold);
+        assert_eq!(
+            w.record(false),
+            WatchdogVerdict::Escalate(Rung::Unschedulable)
+        );
+    }
+
+    #[test]
+    fn misses_age_out_of_the_window() {
+        let mut w = Watchdog::new(cfg(3, 2)).unwrap();
+        assert_eq!(w.record(false), WatchdogVerdict::Hold);
+        assert_eq!(w.record(true), WatchdogVerdict::Hold);
+        assert_eq!(w.record(true), WatchdogVerdict::Hold);
+        // The miss fell out; another one alone does not escalate.
+        assert_eq!(w.record(false), WatchdogVerdict::Hold);
+        assert_eq!(w.rung(), Rung::Normal);
+    }
+
+    #[test]
+    fn clean_window_relaxes_one_rung() {
+        let mut w = Watchdog::new(cfg(3, 1)).unwrap();
+        assert_eq!(w.record(false), WatchdogVerdict::Escalate(Rung::GuardBand));
+        assert_eq!(w.record(false), WatchdogVerdict::Escalate(Rung::SafeMode));
+        assert_eq!(w.record(true), WatchdogVerdict::Hold);
+        assert_eq!(w.record(true), WatchdogVerdict::Hold);
+        assert_eq!(w.record(true), WatchdogVerdict::Relax(Rung::GuardBand));
+        assert_eq!(w.record(true), WatchdogVerdict::Hold);
+        assert_eq!(w.record(true), WatchdogVerdict::Hold);
+        assert_eq!(w.record(true), WatchdogVerdict::Relax(Rung::Normal));
+        // Normal never relaxes further.
+        for _ in 0..6 {
+            assert_eq!(w.record(true), WatchdogVerdict::Hold);
+        }
+    }
+
+    #[test]
+    fn reset_returns_to_normal() {
+        let mut w = Watchdog::new(cfg(2, 1)).unwrap();
+        w.record(false);
+        assert_eq!(w.rung(), Rung::GuardBand);
+        w.reset();
+        assert_eq!(w.rung(), Rung::Normal);
+        assert_eq!(w.window_misses(), 0);
+    }
+}

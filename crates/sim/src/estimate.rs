@@ -8,9 +8,8 @@
 
 use crate::instance::simulate_instance;
 use ctg_model::{BranchProbs, Ctg, DecisionVector};
+use ctg_rng::Rng64;
 use ctg_sched::{SchedContext, SchedError, Solution};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A Monte-Carlo estimate with its standard error.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,7 +33,7 @@ impl McEstimate {
 ///
 /// Every fork position receives a decision (matching the trace format); the
 /// simulator ignores decisions of non-activated forks.
-pub fn sample_vector(ctg: &Ctg, probs: &BranchProbs, rng: &mut StdRng) -> DecisionVector {
+pub fn sample_vector(ctg: &Ctg, probs: &BranchProbs, rng: &mut Rng64) -> DecisionVector {
     let alts = ctg
         .branch_nodes()
         .iter()
@@ -102,7 +101,7 @@ pub fn monte_carlo_energy(
         return Err(SchedError::InvalidParameter("samples must be positive"));
     }
     probs.validate(ctx.ctg())?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut sum = 0.0;
     let mut sum_sq = 0.0;
     for _ in 0..samples {
@@ -173,7 +172,7 @@ mod tests {
         let (ctx, mut probs, _) = setup();
         let forks: Vec<_> = ctx.ctg().branch_nodes().to_vec();
         probs.set(forks[0], vec![1.0, 0.0]).unwrap();
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng64::seed_from_u64(9);
         for _ in 0..50 {
             let v = sample_vector(ctx.ctg(), &probs, &mut rng);
             assert_eq!(v.alt(0), 0);

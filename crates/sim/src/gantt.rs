@@ -58,11 +58,7 @@ pub fn render(
             String::from_utf8_lossy(&row)
         ));
     }
-    out.push_str(&format!(
-        "{:>6} |{}|\n",
-        "t",
-        timeline(width, horizon)
-    ));
+    out.push_str(&format!("{:>6} |{}|\n", "t", timeline(width, horizon)));
     out.push_str(&format!(
         "energy {:.2} (exec {:.2} + comm {:.2}), makespan {:.2}, deadline {:.2} {}\n",
         run.energy,

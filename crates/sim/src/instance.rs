@@ -139,8 +139,8 @@ pub fn simulate_instance_with_overhead(
             if !active[p.index()] {
                 continue;
             }
-            let (_, p_finish) = task_times[p.index()]
-                .expect("constraint order processes predecessors first");
+            let (_, p_finish) =
+                task_times[p.index()].expect("constraint order processes predecessors first");
             let arrival = p_finish + comm.delay(schedule.pe_of(p), pe, kbytes);
             start = start.max(arrival);
         }
@@ -318,8 +318,8 @@ mod overhead_tests {
         let (ctx, solution) = setup(60.0);
         let v = DecisionVector::new(vec![1, 0]);
         let plain = simulate_instance(&ctx, &solution, &v).unwrap();
-        let zero = simulate_instance_with_overhead(&ctx, &solution, &v, DvfsOverhead::default())
-            .unwrap();
+        let zero =
+            simulate_instance_with_overhead(&ctx, &solution, &v, DvfsOverhead::default()).unwrap();
         assert_eq!(plain, zero);
     }
 
@@ -328,7 +328,10 @@ mod overhead_tests {
         let (ctx, solution) = setup(60.0);
         let v = DecisionVector::new(vec![1, 0]);
         let plain = simulate_instance(&ctx, &solution, &v).unwrap();
-        let oh = DvfsOverhead { switch_time: 0.5, switch_energy: 0.3 };
+        let oh = DvfsOverhead {
+            switch_time: 0.5,
+            switch_energy: 0.3,
+        };
         let with = simulate_instance_with_overhead(&ctx, &solution, &v, oh).unwrap();
         // The solution assigns different speeds to different tasks, so at
         // least one transition is charged.
@@ -355,13 +358,13 @@ mod overhead_tests {
         };
         let v = DecisionVector::new(vec![1, 0]);
         assert!(simulate_instance(&ctx, &solution, &v).unwrap().deadline_met);
-        let oh = DvfsOverhead { switch_time: 5.0, switch_energy: 0.0 };
+        let oh = DvfsOverhead {
+            switch_time: 5.0,
+            switch_energy: 0.0,
+        };
         let with = simulate_instance_with_overhead(&ctx, &solution, &v, oh).unwrap();
         // Whether it breaks depends on how many transitions the schedule
         // has; at minimum the makespan must grow.
-        assert!(
-            with.makespan
-                > simulate_instance(&ctx, &solution, &v).unwrap().makespan - 1e-9
-        );
+        assert!(with.makespan > simulate_instance(&ctx, &solution, &v).unwrap().makespan - 1e-9);
     }
 }

@@ -48,17 +48,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod degrade;
 pub mod estimate;
+pub mod fault;
 pub mod gantt;
 mod instance;
 pub mod metrics;
 pub mod reclaim;
 pub mod runner;
 
+pub use degrade::{DegradeConfig, DegradeStats, Rung, Watchdog, WatchdogVerdict};
 pub use estimate::{monte_carlo_energy, McEstimate};
+pub use fault::{
+    simulate_instance_faulty, FaultEvent, FaultInjector, FaultLog, FaultPlan, FaultStats,
+};
 pub use instance::{
     simulate_instance, simulate_instance_with_overhead, DvfsOverhead, InstanceResult,
 };
 pub use metrics::{trace_metrics, TraceMetrics};
 pub use reclaim::simulate_instance_reclaiming;
-pub use runner::{run_adaptive, run_periodic, run_static, PeriodicSummary, RunSummary};
+pub use runner::{
+    run_adaptive, run_adaptive_resilient, run_periodic, run_static, PeriodicSummary, RunSummary,
+};

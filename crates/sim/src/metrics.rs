@@ -122,8 +122,7 @@ mod tests {
     #[test]
     fn metrics_over_constant_trace() {
         let (ctx, solution) = setup();
-        let trace: Vec<DecisionVector> =
-            (0..10).map(|_| DecisionVector::new(vec![0, 0])).collect();
+        let trace: Vec<DecisionVector> = (0..10).map(|_| DecisionVector::new(vec![0, 0])).collect();
         let m = trace_metrics(&ctx, &solution, &trace).unwrap();
         assert_eq!(m.instances, 10);
         // a1 activates 5 of 8 tasks.

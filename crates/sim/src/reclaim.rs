@@ -156,8 +156,8 @@ pub fn simulate_instance_reclaiming(
             if !active[p.index()] {
                 continue;
             }
-            let (_, p_finish) = task_times[p.index()]
-                .expect("constraint order processes predecessors first");
+            let (_, p_finish) =
+                task_times[p.index()].expect("constraint order processes predecessors first");
             start = start.max(p_finish + comm.delay(schedule.pe_of(p), pe, kbytes));
         }
         let wcet = profile.wcet(t.index(), pe);
@@ -268,6 +268,47 @@ mod tests {
             reclaimed.energy,
             plain.energy
         );
+    }
+
+    #[test]
+    fn locked_floor_bounds_every_task_speed_and_energy() {
+        // The documented safety invariant of `use_locked = true`: by the
+        // remaining-work induction, every dispatched task's budget is at
+        // least its locked duration, so reclamation may only slow tasks
+        // down — per task, reclaimed speed ≤ locked speed and reclaimed
+        // energy ≤ locked energy, in every scenario.
+        let (ctx, _, solution) = setup(1.5);
+        let platform = ctx.platform();
+        let profile = platform.profile();
+        for a in 0..2u8 {
+            for b in 0..2u8 {
+                let v = DecisionVector::new(vec![a, b]);
+                let r = simulate_instance_reclaiming(&ctx, &solution, &v, 0.05, true).unwrap();
+                for t in ctx.ctg().tasks() {
+                    let Some((start, finish)) = r.task_times[t.index()] else {
+                        continue;
+                    };
+                    let pe = solution.schedule.pe_of(t);
+                    let locked = solution.speeds.speed(t);
+                    let locked_duration = platform.exec_time(t.index(), pe, locked);
+                    let duration = finish - start;
+                    assert!(
+                        duration + 1e-9 >= locked_duration,
+                        "({a},{b}) {t}: reclaimed duration {duration} < locked {locked_duration}"
+                    );
+                    let speed = profile.wcet(t.index(), pe) / duration;
+                    assert!(
+                        speed <= locked + 1e-9,
+                        "({a},{b}) {t}: reclaimed speed {speed} > locked {locked}"
+                    );
+                    assert!(
+                        platform.exec_energy(t.index(), pe, speed)
+                            <= platform.exec_energy(t.index(), pe, locked) + 1e-9,
+                        "({a},{b}) {t}: reclaimed energy exceeds locked energy"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

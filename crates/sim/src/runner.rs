@@ -1,12 +1,14 @@
 //! Trace runners: drive the non-adaptive and adaptive policies over a
 //! sequence of decision vectors.
 
+use crate::degrade::{DegradeConfig, DegradeStats, Rung, Watchdog, WatchdogVerdict};
+use crate::fault::{simulate_instance_faulty, FaultPlan, FaultStats};
 use crate::instance::simulate_instance;
 use ctg_model::DecisionVector;
-use ctg_sched::{AdaptiveScheduler, SchedContext, SchedError, Solution};
+use ctg_sched::{AdaptiveScheduler, ObserveOutcome, SchedContext, SchedError, Solution};
 
 /// Aggregate outcome of a trace run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunSummary {
     /// Instances executed.
     pub instances: usize,
@@ -18,16 +20,42 @@ pub struct RunSummary {
     pub max_makespan: f64,
     /// Re-scheduling call count (0 for the static policy).
     pub calls: usize,
+    /// Injected-fault accounting (all-zero for fault-free runners).
+    pub faults: FaultStats,
+    /// Degradation-ladder accounting (all-zero for fault-free runners).
+    pub degrade: DegradeStats,
 }
 
 impl RunSummary {
     /// Mean per-instance energy.
+    ///
+    /// Returns `0.0` when `instances == 0` (an empty run consumed nothing),
+    /// so callers can aggregate without guarding against division by zero.
     pub fn avg_energy(&self) -> f64 {
         if self.instances == 0 {
             0.0
         } else {
             self.total_energy / self.instances as f64
         }
+    }
+
+    /// Fraction of instances that missed the deadline, in `[0, 1]`.
+    ///
+    /// Returns `0.0` when `instances == 0` (an empty run missed nothing),
+    /// mirroring [`RunSummary::avg_energy`].
+    pub fn miss_rate(&self) -> f64 {
+        if self.instances == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.instances as f64
+        }
+    }
+
+    fn absorb_instance(&mut self, r: &crate::instance::InstanceResult) {
+        self.instances += 1;
+        self.total_energy += r.energy;
+        self.deadline_misses += usize::from(!r.deadline_met);
+        self.max_makespan = self.max_makespan.max(r.makespan);
     }
 }
 
@@ -42,19 +70,10 @@ pub fn run_static(
     solution: &Solution,
     vectors: &[DecisionVector],
 ) -> Result<RunSummary, SchedError> {
-    let mut summary = RunSummary {
-        instances: 0,
-        total_energy: 0.0,
-        deadline_misses: 0,
-        max_makespan: 0.0,
-        calls: 0,
-    };
+    let mut summary = RunSummary::default();
     for v in vectors {
         let r = simulate_instance(ctx, solution, v)?;
-        summary.instances += 1;
-        summary.total_energy += r.energy;
-        summary.deadline_misses += usize::from(!r.deadline_met);
-        summary.max_makespan = summary.max_makespan.max(r.makespan);
+        summary.absorb_instance(&r);
     }
     Ok(summary)
 }
@@ -75,20 +94,99 @@ pub fn run_adaptive(
     mut manager: AdaptiveScheduler,
     vectors: &[DecisionVector],
 ) -> Result<(RunSummary, AdaptiveScheduler), SchedError> {
-    let mut summary = RunSummary {
-        instances: 0,
-        total_energy: 0.0,
-        deadline_misses: 0,
-        max_makespan: 0.0,
-        calls: 0,
-    };
+    let mut summary = RunSummary::default();
     for v in vectors {
         let r = simulate_instance(ctx, manager.solution(), v)?;
-        summary.instances += 1;
-        summary.total_energy += r.energy;
-        summary.deadline_misses += usize::from(!r.deadline_met);
-        summary.max_makespan = summary.max_makespan.max(r.makespan);
+        summary.absorb_instance(&r);
         manager.observe(ctx, v)?;
+    }
+    summary.calls = manager.stats().calls;
+    Ok((summary, manager))
+}
+
+fn note_outcome(summary: &mut RunSummary, outcome: ObserveOutcome) {
+    match outcome {
+        ObserveOutcome::RejectedWorse { .. } => summary.degrade.rejected_reschedules += 1,
+        ObserveOutcome::SolveFailed(_) => summary.degrade.failed_reschedules += 1,
+        ObserveOutcome::NoDrift | ObserveOutcome::Rescheduled => {}
+    }
+}
+
+/// Runs the adaptive policy over a trace under a fault plan, protected by
+/// the graceful-degradation ladder (see [`crate::degrade`]).
+///
+/// Each instance executes under [`simulate_instance_faulty`]; the watchdog
+/// absorbs its deadline verdict and may escalate the ladder (guard-banded
+/// re-stretch → all-max-speed safe mode → recorded unschedulability).
+/// Drift-triggered re-schedules use the manager's resilient path: a
+/// `SchedError` or a worse worst-case makespan keeps the last-known-good
+/// solution and bumps the corresponding [`DegradeStats`] counter. On the
+/// safe-mode and unschedulable rungs the estimators keep profiling but the
+/// pinned full-speed solution is not overwritten until the ladder relaxes.
+///
+/// With a no-op plan ([`FaultPlan::is_none`]) and a trace that never
+/// misses, the summary's energies and call counts equal [`run_adaptive`]'s
+/// exactly.
+///
+/// # Errors
+///
+/// Returns `Err` only for non-recoverable misuse: wrong-arity vectors and
+/// invalid plan/ladder configuration. Solver failures and deadline misses
+/// during the run are absorbed and accounted, never propagated.
+pub fn run_adaptive_resilient(
+    ctx: &SchedContext,
+    mut manager: AdaptiveScheduler,
+    vectors: &[DecisionVector],
+    plan: &FaultPlan,
+    cfg: &DegradeConfig,
+) -> Result<(RunSummary, AdaptiveScheduler), SchedError> {
+    let mut watchdog = Watchdog::new(*cfg)?;
+    let mut summary = RunSummary::default();
+    for (i, v) in vectors.iter().enumerate() {
+        let (r, log) = simulate_instance_faulty(ctx, manager.solution(), v, plan, i as u64)?;
+        summary.absorb_instance(&r);
+        summary.faults.absorb(&log.stats);
+        match watchdog.record(r.deadline_met) {
+            WatchdogVerdict::Hold => {}
+            WatchdogVerdict::Escalate(rung) => match rung {
+                Rung::GuardBand => {
+                    summary.degrade.guard_band_escalations += 1;
+                    manager.set_deadline_guard(cfg.guard_band)?;
+                    note_outcome(&mut summary, manager.resolve_now(ctx));
+                }
+                Rung::SafeMode => {
+                    summary.degrade.safe_mode_escalations += 1;
+                    manager.enter_safe_mode();
+                }
+                Rung::Unschedulable => {
+                    // Recorded, not raised: stay at full speed and keep going.
+                    summary.degrade.unschedulable_events += 1;
+                }
+                Rung::Normal => unreachable!("escalation never lands on Normal"),
+            },
+            WatchdogVerdict::Relax(rung) => {
+                summary.degrade.recoveries += 1;
+                match rung {
+                    Rung::Normal => {
+                        manager.set_deadline_guard(1.0)?;
+                        note_outcome(&mut summary, manager.resolve_now(ctx));
+                    }
+                    Rung::GuardBand => {
+                        manager.set_deadline_guard(cfg.guard_band)?;
+                        note_outcome(&mut summary, manager.resolve_now(ctx));
+                    }
+                    Rung::SafeMode => manager.enter_safe_mode(),
+                    Rung::Unschedulable => unreachable!("relaxation always climbs"),
+                }
+            }
+        }
+        if watchdog.rung() <= Rung::GuardBand {
+            let outcome = manager.observe_resilient(ctx, v)?;
+            note_outcome(&mut summary, outcome);
+        } else {
+            // Safe mode / unschedulable: profile only, keep speeds pinned.
+            manager.record_observation(ctx, v)?;
+        }
     }
     summary.calls = manager.stats().calls;
     Ok((summary, manager))
@@ -109,7 +207,9 @@ mod tests {
     }
 
     fn constant_trace(alt: u8, len: usize) -> Vec<DecisionVector> {
-        (0..len).map(|_| DecisionVector::new(vec![alt, alt])).collect()
+        (0..len)
+            .map(|_| DecisionVector::new(vec![alt, alt]))
+            .collect()
     }
 
     #[test]

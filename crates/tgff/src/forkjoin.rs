@@ -2,8 +2,7 @@
 
 use crate::TgffConfig;
 use ctg_model::{Ctg, CtgBuilder, NodeKind, TaskId};
-use rand::rngs::StdRng;
-use rand::Rng;
+use ctg_rng::Rng64;
 
 /// Generates a fork-join CTG.
 ///
@@ -13,9 +12,9 @@ use rand::Rng;
 /// conditional branch. The remaining task budget is spent on chain tasks at
 /// random extension points, and all dangling ends are joined into a common
 /// exit task, giving the fork-join shape.
-pub(crate) fn generate(cfg: &TgffConfig, rng: &mut StdRng) -> Ctg {
+pub(crate) fn generate(cfg: &TgffConfig, rng: &mut Rng64) -> Ctg {
     let mut b = CtgBuilder::new(format!("tgff-fj-{}", cfg.seed));
-    let comm = |rng: &mut StdRng| rng.gen_range(cfg.comm_range.0..cfg.comm_range.1);
+    let comm = |rng: &mut Rng64| rng.gen_range(cfg.comm_range.0..cfg.comm_range.1);
 
     let entry = b.add_task("entry");
     // Extension points: (task to append after, is the point inside a
@@ -102,11 +101,10 @@ pub(crate) fn generate(cfg: &TgffConfig, rng: &mut StdRng) -> Ctg {
 mod tests {
     use super::*;
     use crate::Category;
-    use rand::SeedableRng;
 
     fn gen(seed: u64, tasks: usize, branches: usize) -> Ctg {
         let cfg = TgffConfig::new(seed, tasks, branches, Category::ForkJoin);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         generate(&cfg, &mut rng)
     }
 

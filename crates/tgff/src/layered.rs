@@ -3,8 +3,7 @@
 
 use crate::TgffConfig;
 use ctg_model::{Ctg, CtgBuilder, TaskId};
-use rand::rngs::StdRng;
-use rand::Rng;
+use ctg_rng::Rng64;
 
 /// Generates a layered CTG.
 ///
@@ -14,10 +13,10 @@ use rand::Rng;
 /// unconditionally activated and get exactly two conditional successors in
 /// the next layer, each of which receives no other incoming edges — this
 /// keeps conditional activation flat (no nesting) and well-defined.
-pub(crate) fn generate(cfg: &TgffConfig, rng: &mut StdRng) -> Ctg {
+pub(crate) fn generate(cfg: &TgffConfig, rng: &mut Rng64) -> Ctg {
     let n = cfg.num_tasks;
     let mut b = CtgBuilder::new(format!("tgff-lay-{}", cfg.seed));
-    let comm = |rng: &mut StdRng| rng.gen_range(cfg.comm_range.0..cfg.comm_range.1);
+    let comm = |rng: &mut Rng64| rng.gen_range(cfg.comm_range.0..cfg.comm_range.1);
 
     // Layer count: enough layers to host one fork per layer (plus the final
     // layer, which cannot host a fork), every layer ≥ 3 tasks so fork arms
@@ -135,11 +134,10 @@ pub(crate) fn generate(cfg: &TgffConfig, rng: &mut StdRng) -> Ctg {
 mod tests {
     use super::*;
     use crate::Category;
-    use rand::SeedableRng;
 
     fn gen(seed: u64, tasks: usize, branches: usize) -> Ctg {
         let cfg = TgffConfig::new(seed, tasks, branches, Category::Layered);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         generate(&cfg, &mut rng)
     }
 

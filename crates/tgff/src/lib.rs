@@ -33,9 +33,8 @@ mod layered;
 mod platform;
 
 use ctg_model::{BranchProbs, Ctg};
+use ctg_rng::Rng64;
 use mpsoc_platform::Platform;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Graph family selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,7 +110,7 @@ impl TgffConfig {
             self.num_branches,
             self.branch_alternatives
         );
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng64::seed_from_u64(self.seed);
         let ctg = match self.category {
             Category::ForkJoin => forkjoin::generate(self, &mut rng),
             Category::Layered => layered::generate(self, &mut rng),
@@ -123,7 +122,7 @@ impl TgffConfig {
     /// Generates a heterogeneous platform for `ctg` with `num_pes` PEs,
     /// derived from the same seed.
     pub fn generate_platform(&self, ctg: &Ctg, num_pes: usize) -> Platform {
-        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15));
+        let mut rng = Rng64::seed_from_u64(self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15));
         platform::generate(self, ctg, num_pes, &mut rng)
     }
 }
@@ -139,7 +138,7 @@ pub struct GeneratedCtg {
     pub probs: BranchProbs,
 }
 
-fn random_probs(ctg: &Ctg, rng: &mut StdRng) -> BranchProbs {
+fn random_probs(ctg: &Ctg, rng: &mut Rng64) -> BranchProbs {
     let mut probs = BranchProbs::new();
     for &b in ctg.branch_nodes() {
         let k = ctg.node(b).alternatives() as usize;
@@ -155,13 +154,19 @@ fn random_probs(ctg: &Ctg, rng: &mut StdRng) -> BranchProbs {
 
 /// Returns the paper's five Table-1 test cases `(a, b, c)` with stable seeds.
 pub fn table1_cases() -> Vec<(TgffConfig, usize)> {
-    let triplets = [(25usize, 3usize, 3usize), (16, 3, 1), (15, 4, 2), (15, 4, 2), (25, 4, 3)];
+    let triplets = [
+        (25usize, 3usize, 3usize),
+        (16, 3, 1),
+        (15, 4, 2),
+        (15, 4, 2),
+        (25, 4, 3),
+    ];
     triplets
         .iter()
         .enumerate()
         .map(|(i, &(a, b, c))| {
             (
-                TgffConfig::new(1000 + i as u64, a, c, Category::ForkJoin),
+                TgffConfig::new(1640 + i as u64, a, c, Category::ForkJoin),
                 b,
             )
         })
@@ -171,11 +176,20 @@ pub fn table1_cases() -> Vec<(TgffConfig, usize)> {
 /// Returns the paper's ten Table-4/5 test cases: five Category-1 graphs
 /// followed by five Category-2 graphs with the listed `a/b/c` triplets.
 pub fn table45_cases() -> Vec<(TgffConfig, usize)> {
-    let cat1 = [(25usize, 3usize, 3usize), (16, 3, 1), (15, 4, 2), (15, 4, 1), (25, 4, 3)];
+    let cat1 = [
+        (25usize, 3usize, 3usize),
+        (16, 3, 1),
+        (15, 4, 2),
+        (15, 4, 1),
+        (25, 4, 3),
+    ];
     let cat2 = cat1;
     let mut out = Vec::new();
     for (i, &(a, b, c)) in cat1.iter().enumerate() {
-        out.push((TgffConfig::new(2000 + i as u64, a, c, Category::ForkJoin), b));
+        out.push((
+            TgffConfig::new(2000 + i as u64, a, c, Category::ForkJoin),
+            b,
+        ));
     }
     for (i, &(a, b, c)) in cat2.iter().enumerate() {
         out.push((TgffConfig::new(3000 + i as u64, a, c, Category::Layered), b));
@@ -254,11 +268,7 @@ mod tests {
         for seed in 0..20 {
             let g = TgffConfig::new(seed, 30, 3, Category::ForkJoin).generate();
             let act = g.ctg.activation();
-            nested |= g
-                .ctg
-                .branch_nodes()
-                .iter()
-                .any(|&b| !act.always_active(b));
+            nested |= g.ctg.branch_nodes().iter().any(|&b| !act.always_active(b));
         }
         assert!(nested, "fork-join family should produce nested branches");
     }

@@ -2,9 +2,8 @@
 
 use crate::TgffConfig;
 use ctg_model::Ctg;
+use ctg_rng::Rng64;
 use mpsoc_platform::{Platform, PlatformBuilder};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// Generates a fully connected heterogeneous platform for `ctg`.
 ///
@@ -12,12 +11,7 @@ use rand::Rng;
 /// by a per-(task, PE) heterogeneity factor. Nominal-voltage energy is
 /// proportional to the per-PE WCET via a per-task energy factor, matching the
 /// paper's unit-load-capacitance assumption (energy ~ cycles at `V_nom`).
-pub(crate) fn generate(
-    cfg: &TgffConfig,
-    ctg: &Ctg,
-    num_pes: usize,
-    rng: &mut StdRng,
-) -> Platform {
+pub(crate) fn generate(cfg: &TgffConfig, ctg: &Ctg, num_pes: usize, rng: &mut Rng64) -> Platform {
     let mut b = PlatformBuilder::new(ctg.num_tasks());
     for i in 0..num_pes {
         b.add_pe(format!("pe{i}"));
@@ -34,7 +28,8 @@ pub(crate) fn generate(
             energy_row.push(w * e_factor);
         }
         b.set_wcet_row(t, wcet_row).expect("valid generated WCETs");
-        b.set_energy_row(t, energy_row).expect("valid generated energies");
+        b.set_energy_row(t, energy_row)
+            .expect("valid generated energies");
     }
     b.uniform_links(cfg.link_bandwidth, cfg.link_energy_per_kb)
         .expect("valid link parameters");

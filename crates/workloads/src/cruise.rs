@@ -140,7 +140,8 @@ pub fn cruise_platform(ctg: &Ctg) -> Platform {
         let wcet: Vec<f64> = factors.iter().map(|f| w * f).collect();
         let energy: Vec<f64> = factors.iter().map(|f| w * f * 1.0).collect();
         b.set_wcet_row(t.index(), wcet).expect("valid WCET row");
-        b.set_energy_row(t.index(), energy).expect("valid energy row");
+        b.set_energy_row(t.index(), energy)
+            .expect("valid energy row");
     }
     b.uniform_links(2.0, 0.1).expect("valid links");
     b.build().expect("complete platform")

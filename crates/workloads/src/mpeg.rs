@@ -44,13 +44,13 @@ pub fn mpeg_ctg() -> Ctg {
     // Front end.
     let hdr = b.add_task("hdr_parse");
     let skipped = b.add_task("skipped"); // fork a
-    // Skipped path (alt 1).
+                                         // Skipped path (alt 1).
     let skip_mc = b.add_task("skip_mc_copy");
     let skip_out = b.add_task("skip_store");
     // Decoded path (alt 0).
     let vld = b.add_task("vld");
     let mb_type = b.add_task("mb_type"); // fork b
-    // Intra path (alt 0).
+                                         // Intra path (alt 0).
     let intra_q = b.add_task("intra_dequant");
     let intra_idct = b.add_task("intra_idct");
     let intra_rec = b.add_task("intra_reconstruct");
@@ -194,10 +194,7 @@ mod tests {
         assert_eq!(g.node(forks[BRANCH_TYPE]).name(), "mb_type");
         assert_eq!(g.node(forks[BRANCH_MC]).name(), "mc_mode");
         for k in 0..BLOCKS {
-            assert!(g
-                .node(forks[BRANCH_BLOCK0 + k])
-                .name()
-                .starts_with("blk"));
+            assert!(g.node(forks[BRANCH_BLOCK0 + k]).name().starts_with("blk"));
         }
     }
 
@@ -249,8 +246,14 @@ mod tests {
         assert_eq!(p.num_pes(), 3);
         assert_eq!(p.num_tasks(), 40);
         // IDCT is fastest on the DSP.
-        let idct = g.tasks().find(|&t| g.node(t).name() == "blk0_idct").unwrap();
-        let w: Vec<f64> = p.pes().map(|pe| p.profile().wcet(idct.index(), pe)).collect();
+        let idct = g
+            .tasks()
+            .find(|&t| g.node(t).name() == "blk0_idct")
+            .unwrap();
+        let w: Vec<f64> = p
+            .pes()
+            .map(|pe| p.profile().wcet(idct.index(), pe))
+            .collect();
         assert!(w[1] < w[0] && w[1] < w[2]);
     }
 

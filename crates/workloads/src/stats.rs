@@ -36,7 +36,10 @@ pub fn profile_series(
     threshold: f64,
 ) -> Vec<ProfilePoint> {
     assert!(!trace.is_empty(), "trace must not be empty");
-    assert!(branch_index < ctg.num_branches(), "branch index out of range");
+    assert!(
+        branch_index < ctg.num_branches(),
+        "branch index out of range"
+    );
     assert!(window > 0, "window must be positive");
 
     let mut buf: Vec<u8> = Vec::with_capacity(window);
@@ -105,7 +108,10 @@ mod tests {
         let trace = generate_trace(&g, &profile, 1000);
         let series = profile_series(&g, &trace, crate::mpeg::BRANCH_TYPE, 0, 50, 0.1);
         let updates = update_count(&series);
-        assert!(updates > 3, "drifting trace should re-latch often: {updates}");
+        assert!(
+            updates > 3,
+            "drifting trace should re-latch often: {updates}"
+        );
         // Filtered tracks windowed within the threshold at every point.
         for p in &series {
             assert!((p.windowed - p.filtered).abs() <= 0.1 + 1e-12);

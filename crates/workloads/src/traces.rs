@@ -9,8 +9,7 @@
 //! that the adaptive algorithm must chase.
 
 use ctg_model::{BranchProbs, Ctg, DecisionVector};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ctg_rng::Rng64;
 
 /// How per-scene base probabilities are drawn.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,7 +28,7 @@ pub enum SceneDist {
 }
 
 impl SceneDist {
-    fn sample(&self, rng: &mut StdRng) -> f64 {
+    fn sample(&self, rng: &mut Rng64) -> f64 {
         match *self {
             SceneDist::Uniform(a, b) => rng.gen_range(a..b),
             SceneDist::Bimodal { low, high } => {
@@ -84,7 +83,7 @@ struct BranchSource {
 /// trace monitor records them regardless of activation), exactly like the
 /// paper's `⟨x1, …, xn⟩` vectors.
 pub fn generate_trace(ctg: &Ctg, profile: &DriftProfile, len: usize) -> Vec<DecisionVector> {
-    let mut rng = StdRng::seed_from_u64(profile.seed);
+    let mut rng = Rng64::seed_from_u64(profile.seed);
     let forks = ctg.branch_nodes();
     let mut sources: Vec<BranchSource> = forks
         .iter()
@@ -119,7 +118,7 @@ pub fn generate_trace(ctg: &Ctg, profile: &DriftProfile, len: usize) -> Vec<Deci
     out
 }
 
-fn fresh_scene(k: usize, profile: &DriftProfile, rng: &mut StdRng) -> Vec<f64> {
+fn fresh_scene(k: usize, profile: &DriftProfile, rng: &mut Rng64) -> Vec<f64> {
     let p0 = profile.dist.sample(rng);
     let mut p = vec![0.0; k];
     p[0] = p0;
@@ -138,7 +137,7 @@ fn renormalize_tail(p: &mut [f64]) {
     }
 }
 
-fn sample_alt(p: &[f64], rng: &mut StdRng) -> u8 {
+fn sample_alt(p: &[f64], rng: &mut Rng64) -> u8 {
     let x: f64 = rng.gen_range(0.0..1.0);
     let mut acc = 0.0;
     for (i, &q) in p.iter().enumerate() {
@@ -151,7 +150,7 @@ fn sample_alt(p: &[f64], rng: &mut StdRng) -> u8 {
 }
 
 /// Box–Muller standard normal sample.
-fn sample_gauss(rng: &mut StdRng) -> f64 {
+fn sample_gauss(rng: &mut Rng64) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
@@ -274,8 +273,15 @@ pub fn empirical_probs(ctg: &Ctg, trace: &[DecisionVector]) -> BranchProbs {
 /// Panics if `favoured` does not list one alternative per fork node or
 /// `strength` is outside `(0, 1)`.
 pub fn skewed_probs(ctg: &Ctg, favoured: &[u8], strength: f64) -> BranchProbs {
-    assert_eq!(favoured.len(), ctg.num_branches(), "one alternative per fork");
-    assert!(strength > 0.0 && strength < 1.0, "strength must be in (0, 1)");
+    assert_eq!(
+        favoured.len(),
+        ctg.num_branches(),
+        "one alternative per fork"
+    );
+    assert!(
+        strength > 0.0 && strength < 1.0,
+        "strength must be in (0, 1)"
+    );
     let mut probs = BranchProbs::new();
     for (i, &b) in ctg.branch_nodes().iter().enumerate() {
         let k = ctg.node(b).alternatives() as usize;

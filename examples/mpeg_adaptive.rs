@@ -56,9 +56,6 @@ fn main() -> Result<(), Box<dyn Error>> {
         "re-scheduling calls: {} over {} macroblocks; deadline misses: {} (must be 0)",
         s_adaptive.calls, s_adaptive.instances, s_adaptive.deadline_misses
     );
-    println!(
-        "final tracked probabilities: {}",
-        manager.current_probs()
-    );
+    println!("final tracked probabilities: {}", manager.current_probs());
     Ok(())
 }

@@ -76,7 +76,10 @@ fn main() -> Result<(), Box<dyn Error>> {
             ctx.ctg().deadline(),
             run.deadline_met,
         );
-        print!("{}", adaptive_dvfs::sim::gantt::render(&ctx, &solution, &run, 72));
+        print!(
+            "{}",
+            adaptive_dvfs::sim::gantt::render(&ctx, &solution, &run, 72)
+        );
     }
     Ok(())
 }

@@ -20,10 +20,8 @@ fn main() -> Result<(), Box<dyn Error>> {
             // Calibrate the deadline against the nominal makespan.
             let ctx = SchedContext::new(generated.ctg.clone(), platform.clone())?;
             let makespan = dls_schedule(&ctx, &generated.probs)?.makespan();
-            let ctx = SchedContext::new(
-                ctx.ctg().with_deadline(factor * makespan),
-                platform.clone(),
-            )?;
+            let ctx =
+                SchedContext::new(ctx.ctg().with_deadline(factor * makespan), platform.clone())?;
 
             let online = OnlineScheduler::new().solve(&ctx, &generated.probs)?;
             let r1 = reference1(&ctx, &StretchConfig::default())?;

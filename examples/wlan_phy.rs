@@ -11,14 +11,13 @@ use adaptive_dvfs::ctg::{BranchProbs, DecisionVector};
 use adaptive_dvfs::sched::{dls_schedule, AdaptiveScheduler, OnlineScheduler, SchedContext};
 use adaptive_dvfs::sim::{run_adaptive, run_static, simulate_instance};
 use adaptive_dvfs::workloads::wlan;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ctg_rng::Rng64;
 use std::error::Error;
 
 /// Frames under drifting link quality: good links favour 11 Mbit/s CCK,
 /// degraded links fall back towards 1 Mbit/s DBPSK.
 fn link_trace(seed: u64, len: usize) -> Vec<DecisionVector> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut quality = 0.8_f64; // 0 = terrible, 1 = perfect
     let mut out = Vec::with_capacity(len);
     for i in 0..len {
@@ -26,7 +25,7 @@ fn link_trace(seed: u64, len: usize) -> Vec<DecisionVector> {
             quality = rng.gen_range(0.1..0.95);
         }
         let preamble = u8::from(rng.gen_bool(quality)); // short preamble on good links
-        // Rate selection skews with quality.
+                                                        // Rate selection skews with quality.
         let weights = [
             (1.0 - quality).powi(2),         // 1 Mbit/s
             (1.0 - quality) * quality * 2.0, // 2 Mbit/s
@@ -68,7 +67,12 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Demonstrate per-rate energies under one solution.
     let solution = OnlineScheduler::new().solve(&ctx, &probs)?;
-    for (rate, label) in [(0u8, "1 Mbit/s"), (1, "2 Mbit/s"), (2, "5.5 Mbit/s"), (3, "11 Mbit/s")] {
+    for (rate, label) in [
+        (0u8, "1 Mbit/s"),
+        (1, "2 Mbit/s"),
+        (2, "5.5 Mbit/s"),
+        (3, "11 Mbit/s"),
+    ] {
         let run = simulate_instance(&ctx, &solution, &DecisionVector::new(vec![0, rate]))?;
         println!(
             "  rate {label:10}: energy {:6.2}, makespan {:6.2}, met: {}",

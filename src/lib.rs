@@ -72,6 +72,7 @@
 #![forbid(unsafe_code)]
 
 pub use ctg_model as ctg;
+pub use ctg_rng as rng;
 pub use ctg_sched as sched;
 pub use ctg_sim as sim;
 pub use ctg_workloads as workloads;

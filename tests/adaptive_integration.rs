@@ -28,7 +28,10 @@ fn mpeg_adaptive_run_is_deadline_safe_and_counts_calls() {
     let (summary, mgr) = run_adaptive(&ctx, mgr, &trace).unwrap();
     assert_eq!(summary.instances, 600);
     assert_eq!(summary.deadline_misses, 0);
-    assert!(summary.calls > 0, "a drifting movie must trigger re-scheduling");
+    assert!(
+        summary.calls > 0,
+        "a drifting movie must trigger re-scheduling"
+    );
     assert_eq!(mgr.stats().instances, 600);
     assert_eq!(mgr.stats().calls, summary.calls);
 }

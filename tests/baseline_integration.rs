@@ -25,7 +25,10 @@ fn prepared_cases() -> Vec<Case> {
                 ctx.platform().clone(),
             )
             .unwrap();
-            Case { ctx, probs: generated.probs }
+            Case {
+                ctx,
+                probs: generated.probs,
+            }
         })
         .collect()
 }
@@ -35,12 +38,17 @@ fn table1_shape_holds_on_committed_seeds() {
     let mut ratio_ref1 = Vec::new();
     let mut ratio_ref2 = Vec::new();
     for case in prepared_cases() {
-        let online = OnlineScheduler::new().solve(&case.ctx, &case.probs).unwrap();
+        let online = OnlineScheduler::new()
+            .solve(&case.ctx, &case.probs)
+            .unwrap();
         let r1 = reference1(&case.ctx, &StretchConfig::default()).unwrap();
         let r2 = reference2(
             &case.ctx,
             &case.probs,
-            &NlpConfig { iterations: 2000, ..Default::default() },
+            &NlpConfig {
+                iterations: 2000,
+                ..Default::default()
+            },
         )
         .unwrap();
         let e_on = online.expected_energy(&case.ctx, &case.probs);
@@ -67,7 +75,9 @@ fn table1_shape_holds_on_committed_seeds() {
 fn probability_weighting_beats_blind_stretching_on_average() {
     let mut ratios = Vec::new();
     for case in prepared_cases() {
-        let online = OnlineScheduler::new().solve(&case.ctx, &case.probs).unwrap();
+        let online = OnlineScheduler::new()
+            .solve(&case.ctx, &case.probs)
+            .unwrap();
         let blind = slack_distribution(&case.ctx, &case.probs, &StretchConfig::default()).unwrap();
         ratios.push(
             blind.expected_energy(&case.ctx, &case.probs)
@@ -85,12 +95,17 @@ fn probability_weighting_beats_blind_stretching_on_average() {
 fn all_algorithms_are_deterministic() {
     let case = &prepared_cases()[0];
     let run = || {
-        let online = OnlineScheduler::new().solve(&case.ctx, &case.probs).unwrap();
+        let online = OnlineScheduler::new()
+            .solve(&case.ctx, &case.probs)
+            .unwrap();
         let r1 = reference1(&case.ctx, &StretchConfig::default()).unwrap();
         let r2 = reference2(
             &case.ctx,
             &case.probs,
-            &NlpConfig { iterations: 300, ..Default::default() },
+            &NlpConfig {
+                iterations: 300,
+                ..Default::default()
+            },
         )
         .unwrap();
         (

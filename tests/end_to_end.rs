@@ -1,8 +1,10 @@
 //! End-to-end pipeline tests spanning all crates: generate → schedule →
 //! stretch → simulate, checking the hard invariants the paper relies on.
 
-use adaptive_dvfs::ctg::{BranchProbs, DecisionVector};
-use adaptive_dvfs::sched::{dls_schedule, OnlineScheduler, SchedContext, Solution, SpeedAssignment};
+use adaptive_dvfs::ctg::DecisionVector;
+use adaptive_dvfs::sched::{
+    dls_schedule, OnlineScheduler, SchedContext, Solution, SpeedAssignment,
+};
 use adaptive_dvfs::sim::simulate_instance;
 use adaptive_dvfs::tgff::{Category, TgffConfig};
 
@@ -22,7 +24,9 @@ fn stretched_schedules_meet_deadline_in_every_scenario() {
                 ctx.platform().clone(),
             )
             .unwrap();
-            let solution = OnlineScheduler::new().solve(&ctx, &generated.probs).unwrap();
+            let solution = OnlineScheduler::new()
+                .solve(&ctx, &generated.probs)
+                .unwrap();
 
             let nb = ctx.ctg().num_branches();
             for code in 0..(1u32 << nb) {
@@ -55,7 +59,9 @@ fn stretching_never_increases_instance_energy() {
             ctx.platform().clone(),
         )
         .unwrap();
-        let solution = OnlineScheduler::new().solve(&ctx, &generated.probs).unwrap();
+        let solution = OnlineScheduler::new()
+            .solve(&ctx, &generated.probs)
+            .unwrap();
         let nominal = Solution {
             schedule: solution.schedule.clone(),
             speeds: SpeedAssignment::nominal(ctx.ctg().num_tasks()),
@@ -82,7 +88,9 @@ fn pipeline_is_deterministic() {
         let generated = cfg.generate();
         let platform = cfg.generate_platform(&generated.ctg, 3);
         let ctx = SchedContext::new(generated.ctg, platform).unwrap();
-        let solution = OnlineScheduler::new().solve(&ctx, &generated.probs).unwrap();
+        let solution = OnlineScheduler::new()
+            .solve(&ctx, &generated.probs)
+            .unwrap();
         let v = DecisionVector::new(vec![0, 1]);
         simulate_instance(&ctx, &solution, &v).unwrap().energy
     };
@@ -96,7 +104,9 @@ fn simulated_active_set_matches_scenarios() {
     let generated = cfg.generate();
     let platform = cfg.generate_platform(&generated.ctg, 3);
     let ctx = SchedContext::new(generated.ctg, platform).unwrap();
-    let solution = OnlineScheduler::new().solve(&ctx, &generated.probs).unwrap();
+    let solution = OnlineScheduler::new()
+        .solve(&ctx, &generated.probs)
+        .unwrap();
     let nb = ctx.ctg().num_branches();
     for code in 0..(1u32 << nb) {
         let alts: Vec<u8> = (0..nb).map(|i| ((code >> i) & 1) as u8).collect();
@@ -121,7 +131,9 @@ fn expected_energy_matches_scenario_average() {
     let generated = cfg.generate();
     let platform = cfg.generate_platform(&generated.ctg, 3);
     let ctx = SchedContext::new(generated.ctg, platform).unwrap();
-    let solution = OnlineScheduler::new().solve(&ctx, &generated.probs).unwrap();
+    let solution = OnlineScheduler::new()
+        .solve(&ctx, &generated.probs)
+        .unwrap();
 
     let analytic = solution.expected_energy(&ctx, &generated.probs);
     // Monte-Carlo-free check: enumerate scenarios exactly.

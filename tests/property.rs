@@ -1,44 +1,70 @@
-//! Property-based tests over randomly generated CTGs and platforms.
+//! Randomized property tests over randomly generated CTGs and platforms
+//! (seeded, offline — no proptest dependency).
 
 use adaptive_dvfs::ctg::{DecisionVector, ScenarioSet};
+use adaptive_dvfs::rng::Rng64;
 use adaptive_dvfs::sched::{
     dls_schedule, validate_schedule, validate_solution, OnlineScheduler, SchedContext,
 };
 use adaptive_dvfs::sim::simulate_instance;
 use adaptive_dvfs::tgff::{Category, TgffConfig};
-use proptest::prelude::*;
 
-fn arb_case() -> impl Strategy<Value = (u64, usize, usize, Category, usize, f64)> {
-    (
-        0u64..5000,
-        12usize..28,
-        0usize..4,
-        prop_oneof![Just(Category::ForkJoin), Just(Category::Layered)],
-        2usize..5,
-        1.1f64..2.5,
-    )
-        .prop_filter("task budget must host the branches", |(_, a, c, ..)| {
-            *a >= 2 + 4 * c
-        })
+struct Case {
+    seed: u64,
+    a: usize,
+    c: usize,
+    cat: Category,
+    pes: usize,
+    factor: f64,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+/// Draws a random generator configuration whose task budget hosts the
+/// requested branch count.
+fn arb_case(rng: &mut Rng64) -> Case {
+    loop {
+        let a = rng.gen_range(12..28usize);
+        let c = rng.gen_range(0..4usize);
+        if a < 2 + 4 * c {
+            continue;
+        }
+        return Case {
+            seed: rng.gen_range(0..5000u64),
+            a,
+            c,
+            cat: if rng.gen_bool(0.5) {
+                Category::ForkJoin
+            } else {
+                Category::Layered
+            },
+            pes: rng.gen_range(2..5usize),
+            factor: rng.gen_range(1.1..2.5),
+        };
+    }
+}
 
-    /// DLS produces a complete schedule that respects precedence and never
-    /// overlaps two non-exclusive tasks on one PE.
-    #[test]
-    fn dls_schedule_is_well_formed((seed, a, c, cat, pes, _f) in arb_case()) {
-        let cfg = TgffConfig::new(seed, a, c, cat);
+const CASES: usize = 48;
+
+/// DLS produces a complete schedule that respects precedence and never
+/// overlaps two non-exclusive tasks on one PE.
+#[test]
+fn dls_schedule_is_well_formed() {
+    let mut rng = Rng64::seed_from_u64(0xD15_0001);
+    for _ in 0..CASES {
+        let case = arb_case(&mut rng);
+        let cfg = TgffConfig::new(case.seed, case.a, case.c, case.cat);
         let generated = cfg.generate();
-        let platform = cfg.generate_platform(&generated.ctg, pes);
+        let platform = cfg.generate_platform(&generated.ctg, case.pes);
         let ctx = SchedContext::new(generated.ctg, platform).unwrap();
         let s = dls_schedule(&ctx, &generated.probs).unwrap();
 
         // Precedence.
         for (_, e) in ctx.ctg().edges() {
-            prop_assert!(s.finish(e.src()) <= s.start(e.dst()) + 1e-9,
-                "edge {} -> {} violated", e.src(), e.dst());
+            assert!(
+                s.finish(e.src()) <= s.start(e.dst()) + 1e-9,
+                "edge {} -> {} violated",
+                e.src(),
+                e.dst()
+            );
         }
         // No overlap among non-exclusive same-PE pairs.
         for pe in ctx.platform().pes() {
@@ -49,39 +75,46 @@ proptest! {
                     if ctx.mutually_exclusive(x, y) {
                         continue;
                     }
-                    let overlap = s.start(x) < s.finish(y) - 1e-9
-                        && s.start(y) < s.finish(x) - 1e-9;
-                    prop_assert!(!overlap, "{x} and {y} overlap on {pe}");
+                    let overlap =
+                        s.start(x) < s.finish(y) - 1e-9 && s.start(y) < s.finish(x) - 1e-9;
+                    assert!(!overlap, "{x} and {y} overlap on {pe}");
                 }
             }
         }
         // Every task placed exactly once.
         let placed: usize = ctx.platform().pes().map(|p| s.pe_order(p).len()).sum();
-        prop_assert_eq!(placed, ctx.ctg().num_tasks());
+        assert_eq!(placed, ctx.ctg().num_tasks());
         // The library's own validator agrees.
-        prop_assert_eq!(validate_schedule(&ctx, &s), Ok(()));
+        assert_eq!(validate_schedule(&ctx, &s), Ok(()));
     }
+}
 
-    /// The full solve keeps every scenario within the deadline and yields
-    /// valid speeds.
-    #[test]
-    fn solve_is_deadline_safe((seed, a, c, cat, pes, factor) in arb_case()) {
-        let cfg = TgffConfig::new(seed, a, c, cat);
+/// The full solve keeps every scenario within the deadline and yields
+/// valid speeds.
+#[test]
+fn solve_is_deadline_safe() {
+    let mut rng = Rng64::seed_from_u64(0xD15_0002);
+    for _ in 0..CASES {
+        let case = arb_case(&mut rng);
+        let cfg = TgffConfig::new(case.seed, case.a, case.c, case.cat);
         let generated = cfg.generate();
-        let platform = cfg.generate_platform(&generated.ctg, pes);
+        let platform = cfg.generate_platform(&generated.ctg, case.pes);
         let ctx = SchedContext::new(generated.ctg, platform).unwrap();
         let makespan = dls_schedule(&ctx, &generated.probs).unwrap().makespan();
         let ctx = SchedContext::new(
-            ctx.ctg().with_deadline(factor * makespan),
+            ctx.ctg().with_deadline(case.factor * makespan),
             ctx.platform().clone(),
-        ).unwrap();
-        let solution = OnlineScheduler::new().solve(&ctx, &generated.probs).unwrap();
+        )
+        .unwrap();
+        let solution = OnlineScheduler::new()
+            .solve(&ctx, &generated.probs)
+            .unwrap();
 
         for t in ctx.ctg().tasks() {
             let sp = solution.speeds.speed(t);
-            prop_assert!(sp > 0.0 && sp <= 1.0);
+            assert!(sp > 0.0 && sp <= 1.0);
         }
-        prop_assert_eq!(
+        assert_eq!(
             validate_solution(&ctx, &solution.schedule, &solution.speeds),
             Ok(())
         );
@@ -90,17 +123,26 @@ proptest! {
             let alts: Vec<u8> = (0..nb).map(|i| ((code >> i) & 1) as u8).collect();
             let v = DecisionVector::new(alts);
             let run = simulate_instance(&ctx, &solution, &v).unwrap();
-            prop_assert!(run.deadline_met,
-                "vector {} missed: {} > {}", v, run.makespan, ctx.ctg().deadline());
-            prop_assert!(run.energy.is_finite() && run.energy >= 0.0);
+            assert!(
+                run.deadline_met,
+                "vector {} missed: {} > {}",
+                v,
+                run.makespan,
+                ctx.ctg().deadline()
+            );
+            assert!(run.energy.is_finite() && run.energy >= 0.0);
         }
     }
+}
 
-    /// Scenario probabilities always sum to one and activation probabilities
-    /// lie in [0, 1].
-    #[test]
-    fn scenario_probabilities_are_a_distribution((seed, a, c, cat, _pes, _f) in arb_case()) {
-        let cfg = TgffConfig::new(seed, a, c, cat);
+/// Scenario probabilities always sum to one and activation probabilities
+/// lie in [0, 1].
+#[test]
+fn scenario_probabilities_are_a_distribution() {
+    let mut rng = Rng64::seed_from_u64(0xD15_0003);
+    for _ in 0..CASES {
+        let case = arb_case(&mut rng);
+        let cfg = TgffConfig::new(case.seed, case.a, case.c, case.cat);
         let generated = cfg.generate();
         let act = generated.ctg.activation();
         let scenarios = ScenarioSet::enumerate(&generated.ctg, &act);
@@ -109,18 +151,22 @@ proptest! {
             .iter()
             .map(|s| s.probability(&generated.probs))
             .sum();
-        prop_assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
         for t in generated.ctg.tasks() {
             let p = scenarios.task_prob(t, &generated.probs);
-            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&p), "prob({t}) = {p}");
+            assert!((-1e-12..=1.0 + 1e-12).contains(&p), "prob({t}) = {p}");
         }
     }
+}
 
-    /// Mutual exclusion is symmetric, irreflexive for activatable tasks, and
-    /// consistent with the scenario enumeration.
-    #[test]
-    fn mutual_exclusion_consistent_with_scenarios((seed, a, c, cat, _pes, _f) in arb_case()) {
-        let cfg = TgffConfig::new(seed, a, c, cat);
+/// Mutual exclusion is symmetric, irreflexive for activatable tasks, and
+/// consistent with the scenario enumeration.
+#[test]
+fn mutual_exclusion_consistent_with_scenarios() {
+    let mut rng = Rng64::seed_from_u64(0xD15_0004);
+    for _ in 0..CASES {
+        let case = arb_case(&mut rng);
+        let cfg = TgffConfig::new(case.seed, case.a, case.c, case.cat);
         let generated = cfg.generate();
         let ctg = &generated.ctg;
         let act = ctg.activation();
@@ -135,9 +181,11 @@ proptest! {
                     .scenarios()
                     .iter()
                     .any(|s| s.is_active(x) && s.is_active(y));
-                prop_assert_eq!(declared, !coactive,
-                    "tasks {} / {}: algebra says {}, scenarios say {}",
-                    x, y, declared, !coactive);
+                assert_eq!(
+                    declared, !coactive,
+                    "tasks {x} / {y}: algebra says {declared}, scenarios say {}",
+                    !coactive
+                );
             }
         }
     }
