@@ -13,4 +13,11 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test (offline)"
 cargo test -q --workspace --offline
 
+echo "==> parallel determinism matrix (2 workers forced)"
+CTG_WORKERS=2 cargo test -q --offline --test parallel_determinism
+
+echo "==> throughput smoke (2 workers)"
+cargo build -q --release --offline -p ctg-bench --bin throughput
+CTG_WORKERS=2 ./target/release/throughput --smoke
+
 echo "==> CI OK"

@@ -9,7 +9,7 @@
 use ctg_bench::report::{f1, pct, Table};
 use ctg_bench::setup::{prepare_mpeg, profile_trace};
 use ctg_sched::{AdaptiveScheduler, OnlineScheduler};
-use ctg_sim::{run_adaptive, run_static};
+use ctg_sim::{map_ordered, run_adaptive, run_static, worker_count, RunSummary};
 use ctg_workloads::traces;
 
 const WINDOW: usize = 20;
@@ -30,26 +30,33 @@ fn main() {
     let (mut sum05, mut sum01, mut n) = (0.0, 0.0, 0usize);
     let (mut csum05, mut csum01) = (0usize, 0usize);
 
-    for movie in traces::movie_presets() {
-        let trace = traces::generate_trace(ctx.ctg(), &movie.profile, TRAIN + TEST);
-        let (train, test) = trace.split_at(TRAIN);
+    // One independent cell per movie clip, merged back in preset order.
+    let movies = traces::movie_presets();
+    let per_movie: Vec<(RunSummary, Vec<RunSummary>)> =
+        map_ordered(&movies, worker_count(), |_, movie| {
+            let trace = traces::generate_trace(ctx.ctg(), &movie.profile, TRAIN + TEST);
+            let (train, test) = trace.split_at(TRAIN);
 
-        // Non-adaptive: profile the training half, schedule once.
-        let profiled = profile_trace(&ctx, train);
-        let online = OnlineScheduler::new()
-            .solve(&ctx, &profiled)
-            .expect("online solves");
-        let s_online = run_static(&ctx, &online, test).expect("static run");
+            // Non-adaptive: profile the training half, schedule once.
+            let profiled = profile_trace(&ctx, train);
+            let online = OnlineScheduler::new()
+                .solve(&ctx, &profiled)
+                .expect("online solves");
+            let s_online = run_static(&ctx, &online, test).expect("static run");
 
-        // Adaptive: same initial (profiled) probabilities, window 20.
-        let mut results = Vec::new();
-        for threshold in [0.5, 0.1] {
-            let mgr = AdaptiveScheduler::new(&ctx, profiled.clone(), WINDOW, threshold)
-                .expect("manager builds");
-            let (summary, _) = run_adaptive(&ctx, mgr, test).expect("adaptive run");
-            assert_eq!(summary.deadline_misses, 0, "hard deadline violated");
-            results.push(summary);
-        }
+            // Adaptive: same initial (profiled) probabilities, window 20.
+            let mut results = Vec::new();
+            for threshold in [0.5, 0.1] {
+                let mgr = AdaptiveScheduler::new(&ctx, profiled.clone(), WINDOW, threshold)
+                    .expect("manager builds");
+                let (summary, _) = run_adaptive(&ctx, mgr, test).expect("adaptive run");
+                assert_eq!(summary.deadline_misses, 0, "hard deadline violated");
+                results.push(summary);
+            }
+            (s_online, results)
+        });
+
+    for (movie, (s_online, results)) in movies.iter().zip(&per_movie) {
         let (a05, a01) = (&results[0], &results[1]);
         let e_on = s_online.avg_energy();
         let sav05 = 1.0 - a05.avg_energy() / e_on;

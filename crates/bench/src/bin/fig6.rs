@@ -9,7 +9,7 @@
 use ctg_bench::report::{f1, pct, Table};
 use ctg_bench::setup::{prepare_case, profile_trace};
 use ctg_sched::{AdaptiveScheduler, OnlineScheduler};
-use ctg_sim::{run_adaptive, run_static};
+use ctg_sim::{map_ordered, run_adaptive, run_static, worker_count};
 use ctg_workloads::traces::{self, DriftProfile};
 
 const WINDOW: usize = 20;
@@ -32,7 +32,9 @@ fn main() {
     ]);
     let mut per_cat = [Vec::new(), Vec::new()];
 
-    for (i, (cfg, pes)) in cases.iter().enumerate() {
+    // Each CTG case is an independent cell; fan out and merge in case
+    // order so the table is identical to a sequential run.
+    let rows = map_ordered(&cases, worker_count(), |i, (cfg, pes)| {
         let case = prepare_case(cfg, *pes, 1.6);
         let ctx = &case.ctx;
         let profile = DriftProfile {
@@ -69,6 +71,9 @@ fn main() {
             cells.push(f1(s_adaptive.avg_energy()));
             cells.push(pct(savings));
         }
+        (cells, best_savings)
+    });
+    for (i, (cells, best_savings)) in rows.into_iter().enumerate() {
         per_cat[usize::from(i >= 5)].push(best_savings);
         table.row(cells);
     }

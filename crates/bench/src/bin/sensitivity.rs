@@ -10,7 +10,7 @@
 use ctg_bench::report::{pct, Table};
 use ctg_bench::setup::{prepare_mpeg, profile_trace};
 use ctg_sched::{AdaptiveScheduler, EstimatorKind, OnlineScheduler, SchedContext};
-use ctg_sim::{run_adaptive, run_static};
+use ctg_sim::{map_ordered, run_adaptive, run_static, worker_count};
 use ctg_workloads::traces;
 use mpsoc_platform::DvfsModel;
 
@@ -27,18 +27,26 @@ fn main() {
         .expect("online solves");
     let s_online = run_static(&ctx, &online, test).expect("static run");
 
+    let workers = worker_count();
     let windows = [8usize, 20, 50];
     let thresholds = [0.5, 0.25, 0.1, 0.05];
+    // Flatten the window × threshold grid and fan the cells out; ordered
+    // merging reassembles the rows exactly as the nested loops printed them.
+    let grid: Vec<(usize, f64)> = windows
+        .iter()
+        .flat_map(|&w| thresholds.iter().map(move |&t| (w, t)))
+        .collect();
+    let grid_cells = map_ordered(&grid, workers, |_, &(w, t)| {
+        let mgr = AdaptiveScheduler::new(&ctx, profiled.clone(), w, t).expect("manager builds");
+        let (s, _) = run_adaptive(&ctx, mgr, test).expect("adaptive run");
+        assert_eq!(s.deadline_misses, 0);
+        let savings = 1.0 - s.avg_energy() / s_online.avg_energy();
+        format!("{} ({} calls)", pct(savings), s.calls)
+    });
     let mut table = Table::new(["window \\ T", "0.5", "0.25", "0.1", "0.05"]);
-    for &w in &windows {
+    for (wi, &w) in windows.iter().enumerate() {
         let mut row = vec![w.to_string()];
-        for &t in &thresholds {
-            let mgr = AdaptiveScheduler::new(&ctx, profiled.clone(), w, t).expect("manager builds");
-            let (s, _) = run_adaptive(&ctx, mgr, test).expect("adaptive run");
-            assert_eq!(s.deadline_misses, 0);
-            let savings = 1.0 - s.avg_energy() / s_online.avg_energy();
-            row.push(format!("{} ({} calls)", pct(savings), s.calls));
-        }
+        row.extend_from_slice(&grid_cells[wi * thresholds.len()..(wi + 1) * thresholds.len()]);
         table.row(row);
     }
     table.print(&format!(
@@ -48,14 +56,14 @@ fn main() {
     ));
 
     // ---- Estimator comparison: sliding window vs EWMA. ----
-    let mut est_table = Table::new(["estimator", "savings", "calls"]);
-    for (label, kind) in [
+    let estimators = [
         ("window 20", EstimatorKind::Window(20)),
         ("window 50", EstimatorKind::Window(50)),
         ("EWMA a=0.05", EstimatorKind::Ewma(0.05)),
         ("EWMA a=0.1", EstimatorKind::Ewma(0.1)),
         ("EWMA a=0.3", EstimatorKind::Ewma(0.3)),
-    ] {
+    ];
+    let est_rows = map_ordered(&estimators, workers, |_, &(label, kind)| {
         let mgr = AdaptiveScheduler::with_estimator(
             &ctx,
             profiled.clone(),
@@ -66,18 +74,20 @@ fn main() {
         .expect("manager builds");
         let (s, _) = run_adaptive(&ctx, mgr, test).expect("adaptive run");
         assert_eq!(s.deadline_misses, 0);
-        est_table.row([
+        [
             label.to_string(),
             pct(1.0 - s.avg_energy() / s_online.avg_energy()),
             s.calls.to_string(),
-        ]);
+        ]
+    });
+    let mut est_table = Table::new(["estimator", "savings", "calls"]);
+    for row in est_rows {
+        est_table.row(row);
     }
     est_table.print("Estimator comparison at threshold 0.1 (extension: EWMA vs window)");
 
     // ---- DVFS granularity: continuous vs. discrete levels. ----
-    let mut dvfs_table = Table::new(["DVFS model", "online energy", "vs continuous"]);
-    let base = energy_with_dvfs(&ctx, &profiled, test, DvfsModel::Continuous);
-    for (label, model) in [
+    let dvfs_models = [
         ("continuous", DvfsModel::Continuous),
         (
             "8 levels",
@@ -85,8 +95,13 @@ fn main() {
         ),
         ("4 levels", DvfsModel::discrete(vec![0.25, 0.5, 0.75, 1.0])),
         ("2 levels", DvfsModel::discrete(vec![0.5, 1.0])),
-    ] {
-        let e = energy_with_dvfs(&ctx, &profiled, test, model);
+    ];
+    let energies = map_ordered(&dvfs_models, workers, |_, (_, model)| {
+        energy_with_dvfs(&ctx, &profiled, test, model.clone())
+    });
+    let base = energies[0]; // continuous is the first model
+    let mut dvfs_table = Table::new(["DVFS model", "online energy", "vs continuous"]);
+    for ((label, _), &e) in dvfs_models.iter().zip(&energies) {
         dvfs_table.row([
             label.to_string(),
             format!("{e:.2}"),

@@ -7,7 +7,45 @@ use ctg_bench::report::{f1, Table};
 use ctg_bench::setup::prepare_case;
 use ctg_sched::baseline::{reference1, reference2, NlpConfig};
 use ctg_sched::{OnlineScheduler, StretchConfig};
-use std::time::Instant;
+use ctg_sim::{map_ordered, worker_count};
+use std::time::{Duration, Instant};
+
+struct CaseResult {
+    label: String,
+    n1: f64,
+    n2: f64,
+    t_online: Duration,
+    t_ref2: Duration,
+}
+
+fn run_case(cfg: &tgff_gen::TgffConfig, pes: usize) -> CaseResult {
+    let case = prepare_case(cfg, pes, 1.6);
+    let (ctx, probs) = (&case.ctx, &case.probs);
+
+    let t0 = Instant::now();
+    let online = OnlineScheduler::with_config(StretchConfig::default())
+        .solve(ctx, probs)
+        .expect("online solves");
+    let t_online = t0.elapsed();
+
+    let ref1 = reference1(ctx, &StretchConfig::default()).expect("ref1 solves");
+
+    let t0 = Instant::now();
+    let ref2 = reference2(ctx, probs, &NlpConfig::default()).expect("ref2 solves");
+    let t_ref2 = t0.elapsed();
+
+    let e_online = online.expected_energy(ctx, probs);
+    let e_ref1 = ref1.expected_energy(ctx, probs);
+    let e_ref2 = ref2.expected_energy(ctx, probs);
+    CaseResult {
+        label: case.label,
+        // Normalize: online = 100 (as in the paper).
+        n1: 100.0 * e_ref1 / e_online,
+        n2: 100.0 * e_ref2 / e_online,
+        t_online,
+        t_ref2,
+    }
+}
 
 fn main() {
     let mut table = Table::new([
@@ -23,40 +61,24 @@ fn main() {
     let mut sum_ref2 = 0.0;
     let mut speedups = Vec::new();
 
-    for (i, (cfg, pes)) in tgff_gen::table1_cases().iter().enumerate() {
-        let case = prepare_case(cfg, *pes, 1.6);
-        let (ctx, probs) = (&case.ctx, &case.probs);
+    // The cases are independent; fan them out and merge in table order. The
+    // energy columns are bit-identical to a sequential run; only the timing
+    // columns feel scheduler contention.
+    let cases = tgff_gen::table1_cases();
+    let results = map_ordered(&cases, worker_count(), |_, (cfg, pes)| run_case(cfg, *pes));
 
-        let t0 = Instant::now();
-        let online = OnlineScheduler::with_config(StretchConfig::default())
-            .solve(ctx, probs)
-            .expect("online solves");
-        let t_online = t0.elapsed();
-
-        let ref1 = reference1(ctx, &StretchConfig::default()).expect("ref1 solves");
-
-        let t0 = Instant::now();
-        let ref2 = reference2(ctx, probs, &NlpConfig::default()).expect("ref2 solves");
-        let t_ref2 = t0.elapsed();
-
-        let e_online = online.expected_energy(ctx, probs);
-        let e_ref1 = ref1.expected_energy(ctx, probs);
-        let e_ref2 = ref2.expected_energy(ctx, probs);
-        // Normalize: online = 100 (as in the paper).
-        let n1 = 100.0 * e_ref1 / e_online;
-        let n2 = 100.0 * e_ref2 / e_online;
-        sum_ref1 += n1;
-        sum_ref2 += n2;
-        speedups.push(t_ref2.as_secs_f64() / t_online.as_secs_f64());
-
+    for (i, r) in results.into_iter().enumerate() {
+        sum_ref1 += r.n1;
+        sum_ref2 += r.n2;
+        speedups.push(r.t_ref2.as_secs_f64() / r.t_online.as_secs_f64());
         table.row([
             format!("{}", i + 1),
-            case.label.clone(),
-            f1(n1),
-            f1(n2),
+            r.label,
+            f1(r.n1),
+            f1(r.n2),
             "100.0".to_string(),
-            format!("{:.2?}", t_online),
-            format!("{:.2?}", t_ref2),
+            format!("{:.2?}", r.t_online),
+            format!("{:.2?}", r.t_ref2),
         ]);
     }
     table.print("Table 1: energy consumption of online algorithm (online = 100)");

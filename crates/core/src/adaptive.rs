@@ -9,6 +9,7 @@
 //! filter over the branch probability signal (the paper's *filtered Prob*
 //! series in Figure 4).
 
+use crate::cache::LruCache;
 use crate::context::SchedContext;
 use crate::error::SchedError;
 use crate::online::{OnlineScheduler, Solution};
@@ -185,9 +186,47 @@ impl SlidingWindow {
 pub struct AdaptiveStats {
     /// Instances observed so far.
     pub instances: usize,
-    /// Number of times the online scheduling + DVFS was (re-)invoked,
-    /// excluding the initial solve.
+    /// Number of times the online scheduling + DVFS was (re-)invoked *and
+    /// its candidate adopted*, excluding the initial solve. A schedule-cache
+    /// hit is not a call: the whole point of the cache is saving them.
     pub calls: usize,
+    /// Adopted re-schedule events: solver calls plus adopted cache hits.
+    /// Equals [`AdaptiveStats::calls`] while the cache is disabled.
+    pub reschedules: usize,
+    /// Schedule-cache lookups answered from the cache (0 while disabled).
+    pub cache_hits: usize,
+    /// Schedule-cache lookups that fell through to the solver (0 while
+    /// disabled). Counts rejected/failed candidates too — it tallies solve
+    /// attempts, not adoptions.
+    pub cache_misses: usize,
+}
+
+/// Cache key of one solver invocation: the branch-probability table
+/// quantised at the drift threshold, plus the guard-banded deadline the
+/// solve ran against.
+///
+/// Quantisation only *buckets* entries so the cache stays small over a
+/// drifting trace — it never substitutes a nearby solution: a hit
+/// additionally requires the entry's exact stored probabilities to equal the
+/// requested ones (see [`CacheEntry`]), so a cached plan is always the plan
+/// the solver would have produced.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    /// `round(p / threshold)` per alternative, in branch-node order.
+    qprobs: Vec<i64>,
+    /// Bits of the deadline-guard factor the solve honours.
+    guard: u64,
+    /// Bits of the context's (unguarded) deadline — a cheap fingerprint
+    /// against a manager being driven with a re-scaled context.
+    deadline: u64,
+}
+
+/// A memoised solver result: the exact probability table it was solved for
+/// and the solution produced.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    probs: BranchProbs,
+    solution: Solution,
 }
 
 /// Outcome of a resilient (re-)scheduling attempt.
@@ -261,6 +300,10 @@ pub struct AdaptiveScheduler {
     /// Deadline multiplier in `(0, 1]` applied to resilient re-solves
     /// (guard-band rung of the degradation ladder); 1.0 = paper behaviour.
     deadline_guard: f64,
+    /// Memoised solver results; `None` means caching is disabled (the
+    /// default, which reproduces the paper's re-solve-on-every-drift
+    /// behaviour exactly).
+    cache: Option<LruCache<CacheKey, CacheEntry>>,
 }
 
 impl AdaptiveScheduler {
@@ -339,6 +382,7 @@ impl AdaptiveScheduler {
             solution,
             stats: AdaptiveStats::default(),
             deadline_guard: 1.0,
+            cache: None,
         })
     }
 
@@ -385,9 +429,13 @@ impl AdaptiveScheduler {
     ) -> Result<bool, SchedError> {
         self.record_observation(ctx, vector)?;
         if let Some(estimated) = self.drifted_probs(ctx) {
+            let (solution, hit) = self.solve_probs(ctx, &estimated, 1.0)?;
             self.current_probs = estimated;
-            self.solution = self.scheduler.solve(ctx, &self.current_probs)?;
-            self.stats.calls += 1;
+            self.solution = solution;
+            if !hit {
+                self.stats.calls += 1;
+            }
+            self.stats.reschedules += 1;
             return Ok(true);
         }
         Ok(false)
@@ -485,21 +533,12 @@ impl AdaptiveScheduler {
 
     /// Solves for `probs` (honouring the deadline guard) and adopts the
     /// candidate unless it fails or its worst-case makespan is worse than
-    /// both the deadline and the incumbent's.
+    /// both the deadline and the incumbent's. Cached candidates are judged
+    /// against the bar like freshly solved ones.
     fn try_adopt(&mut self, ctx: &SchedContext, probs: BranchProbs) -> ObserveOutcome {
-        let solved = if self.deadline_guard < 1.0 {
-            SchedContext::new(
-                ctx.ctg()
-                    .with_deadline(self.deadline_guard * ctx.ctg().deadline()),
-                ctx.platform().clone(),
-            )
-            .and_then(|guarded| self.scheduler.solve(&guarded, &probs))
-        } else {
-            self.scheduler.solve(ctx, &probs)
-        };
-        match solved {
+        match self.solve_probs(ctx, &probs, self.deadline_guard) {
             Err(e) => ObserveOutcome::SolveFailed(e),
-            Ok(candidate) => {
+            Ok((candidate, hit)) => {
                 let candidate_wcm = candidate.worst_case_makespan(ctx);
                 let bar = ctx
                     .ctg()
@@ -513,11 +552,121 @@ impl AdaptiveScheduler {
                 } else {
                     self.current_probs = probs;
                     self.solution = candidate;
-                    self.stats.calls += 1;
+                    if !hit {
+                        self.stats.calls += 1;
+                    }
+                    self.stats.reschedules += 1;
                     ObserveOutcome::Rescheduled
                 }
             }
         }
+    }
+
+    /// Solves for `probs`, honouring a guard-banded deadline when
+    /// `guard < 1.0`, without consulting or filling the cache.
+    fn raw_solve(
+        &self,
+        ctx: &SchedContext,
+        probs: &BranchProbs,
+        guard: f64,
+    ) -> Result<Solution, SchedError> {
+        if guard < 1.0 {
+            SchedContext::new(
+                ctx.ctg().with_deadline(guard * ctx.ctg().deadline()),
+                ctx.platform().clone(),
+            )
+            .and_then(|guarded| self.scheduler.solve(&guarded, probs))
+        } else {
+            self.scheduler.solve(ctx, probs)
+        }
+    }
+
+    /// Solves for `probs` through the schedule cache when enabled.
+    ///
+    /// Returns the solution and whether it came from the cache. A hit
+    /// requires the stored entry's *exact* probability table to equal
+    /// `probs` — quantisation only selects the bucket — so the returned
+    /// solution is always identical to what [`AdaptiveScheduler::raw_solve`]
+    /// would produce. Solver failures are propagated and never cached.
+    fn solve_probs(
+        &mut self,
+        ctx: &SchedContext,
+        probs: &BranchProbs,
+        guard: f64,
+    ) -> Result<(Solution, bool), SchedError> {
+        if self.cache.is_none() {
+            return Ok((self.raw_solve(ctx, probs, guard)?, false));
+        }
+        let key = self.cache_key(ctx, probs, guard);
+        if let Some(entry) = self
+            .cache
+            .as_mut()
+            .and_then(|c| c.get(&key))
+            .filter(|e| e.probs == *probs)
+        {
+            let solution = entry.solution.clone();
+            self.stats.cache_hits += 1;
+            return Ok((solution, true));
+        }
+        self.stats.cache_misses += 1;
+        let solution = self.raw_solve(ctx, probs, guard)?;
+        if let Some(cache) = self.cache.as_mut() {
+            cache.insert(
+                key,
+                CacheEntry {
+                    probs: probs.clone(),
+                    solution: solution.clone(),
+                },
+            );
+        }
+        Ok((solution, false))
+    }
+
+    /// The cache key for one solve: per-alternative probabilities quantised
+    /// at the adaptation threshold (the resolution below which the manager
+    /// itself does not react), plus the guard factor and deadline bits.
+    fn cache_key(&self, ctx: &SchedContext, probs: &BranchProbs, guard: f64) -> CacheKey {
+        let ctg = ctx.ctg();
+        let mut qprobs = Vec::new();
+        for &b in ctg.branch_nodes() {
+            let dist = probs
+                .distribution(b)
+                .expect("validated table has every branch");
+            for &p in dist {
+                qprobs.push((p / self.threshold).round() as i64);
+            }
+        }
+        CacheKey {
+            qprobs,
+            guard: guard.to_bits(),
+            deadline: ctg.deadline().to_bits(),
+        }
+    }
+
+    /// Enables schedule memoisation with room for `capacity` solutions,
+    /// seeding the cache with the solution currently in force. A capacity
+    /// of 0 keeps caching effectively off (every lookup misses) but still
+    /// counts hits/misses. Re-enabling resets the cache contents.
+    ///
+    /// Caching never changes decisions: a hit returns a clone of a plan the
+    /// solver produced earlier *for the exact same probability table, guard
+    /// and deadline*, so runs with the cache on and off adopt identical
+    /// solutions (only [`AdaptiveStats::calls`] shrinks).
+    pub fn enable_cache(&mut self, ctx: &SchedContext, capacity: usize) {
+        let mut cache = LruCache::new(capacity);
+        cache.insert(
+            self.cache_key(ctx, &self.current_probs, 1.0),
+            CacheEntry {
+                probs: self.current_probs.clone(),
+                solution: self.solution.clone(),
+            },
+        );
+        self.cache = Some(cache);
+    }
+
+    /// Whether schedule memoisation is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
     }
 
     /// Sets the deadline guard-band factor used by resilient re-solves.
@@ -739,6 +888,170 @@ mod resilient_tests {
         assert!(mgr.set_deadline_guard(0.0).is_err());
         assert!(mgr.set_deadline_guard(1.5).is_err());
         assert!(mgr.set_deadline_guard(1.0).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use crate::test_util::example1_context;
+    use ctg_model::DecisionVector;
+
+    /// Alternating decision regimes (8 instances each) make the windowed
+    /// estimates recur exactly, so a cached manager can replay earlier
+    /// plans instead of re-solving.
+    fn regime_trace(len: usize) -> Vec<DecisionVector> {
+        (0..len)
+            .map(|i| {
+                let alt = u8::from((i / 8) % 2 == 1);
+                DecisionVector::new(vec![alt, alt])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cached_runs_adopt_identical_plans() {
+        let (ctx, probs, _) = example1_context();
+        let mut plain = AdaptiveScheduler::new(&ctx, probs.clone(), 4, 0.3).unwrap();
+        let mut cached = AdaptiveScheduler::new(&ctx, probs, 4, 0.3).unwrap();
+        cached.enable_cache(&ctx, 16);
+        for v in regime_trace(64) {
+            let a = plain.observe(&ctx, &v).unwrap();
+            let b = cached.observe(&ctx, &v).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(plain.solution(), cached.solution());
+            assert_eq!(plain.current_probs(), cached.current_probs());
+        }
+        assert_eq!(plain.stats().reschedules, cached.stats().reschedules);
+        assert!(
+            cached.stats().cache_hits > 0,
+            "recurring regimes must hit the cache"
+        );
+        assert!(
+            cached.stats().calls < plain.stats().calls,
+            "hits must save solver calls"
+        );
+    }
+
+    #[test]
+    fn resilient_cached_matches_uncached() {
+        let (ctx, probs, _) = example1_context();
+        let mut plain = AdaptiveScheduler::new(&ctx, probs.clone(), 4, 0.3).unwrap();
+        let mut cached = AdaptiveScheduler::new(&ctx, probs, 4, 0.3).unwrap();
+        cached.enable_cache(&ctx, 16);
+        for v in regime_trace(48) {
+            let a = plain.observe_resilient(&ctx, &v).unwrap();
+            let b = cached.observe_resilient(&ctx, &v).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(plain.solution(), cached.solution());
+        }
+        assert!(cached.stats().cache_hits > 0);
+    }
+
+    #[test]
+    fn enable_cache_seeds_the_incumbent_plan() {
+        let (ctx, probs, _) = example1_context();
+        let mut mgr = AdaptiveScheduler::new(&ctx, probs, 4, 0.3).unwrap();
+        mgr.enable_cache(&ctx, 4);
+        let current = mgr.current_probs().clone();
+        let incumbent = mgr.solution().clone();
+        let (sol, hit) = mgr.solve_probs(&ctx, &current, 1.0).unwrap();
+        assert!(hit, "the incumbent plan is seeded on enable");
+        assert_eq!(sol, incumbent);
+    }
+
+    #[test]
+    fn exact_repeat_hits_and_matches_raw_solver() {
+        let (ctx, probs, _) = example1_context();
+        let mut mgr = AdaptiveScheduler::new(&ctx, probs.clone(), 4, 0.3).unwrap();
+        mgr.enable_cache(&ctx, 8);
+        let fork = ctx.ctg().branch_nodes()[0];
+        let mut skewed = probs.clone();
+        skewed.set(fork, vec![0.8, 0.2]).unwrap();
+        let (first, hit1) = mgr.solve_probs(&ctx, &skewed, 1.0).unwrap();
+        assert!(!hit1);
+        let (second, hit2) = mgr.solve_probs(&ctx, &skewed, 1.0).unwrap();
+        assert!(hit2);
+        assert_eq!(first, second);
+        assert_eq!(second, mgr.raw_solve(&ctx, &skewed, 1.0).unwrap());
+    }
+
+    #[test]
+    fn same_bucket_different_probs_never_hits() {
+        let (ctx, probs, _) = example1_context();
+        let mut mgr = AdaptiveScheduler::new(&ctx, probs.clone(), 4, 0.3).unwrap();
+        mgr.enable_cache(&ctx, 8);
+        let fork = ctx.ctg().branch_nodes()[0];
+        // 0.6/0.3 = 2.0 and 0.59/0.3 ≈ 1.97 both round to bucket 2 (and
+        // 0.4 / 0.41 both to bucket 1): same key, different exact
+        // probabilities. Neither equals the seeded incumbent table.
+        let mut a = probs.clone();
+        a.set(fork, vec![0.6, 0.4]).unwrap();
+        let mut b = probs.clone();
+        b.set(fork, vec![0.59, 0.41]).unwrap();
+        assert_eq!(mgr.cache_key(&ctx, &a, 1.0), mgr.cache_key(&ctx, &b, 1.0));
+
+        let (sol_a, hit_a) = mgr.solve_probs(&ctx, &a, 1.0).unwrap();
+        assert!(!hit_a);
+        let (_sol_b, hit_b) = mgr.solve_probs(&ctx, &b, 1.0).unwrap();
+        assert!(
+            !hit_b,
+            "exactness guard must reject a same-bucket neighbour"
+        );
+        // The bucket now stores b's plan; a must miss again and re-solve to
+        // its own plan rather than borrow b's.
+        let (sol_a2, hit_a2) = mgr.solve_probs(&ctx, &a, 1.0).unwrap();
+        assert!(!hit_a2);
+        assert_eq!(sol_a, sol_a2);
+        assert_eq!(mgr.stats().cache_hits, 0);
+        assert_eq!(mgr.stats().cache_misses, 3);
+    }
+
+    #[test]
+    fn quantisation_boundary_splits_buckets_deterministically() {
+        let (ctx, probs, _) = example1_context();
+        let mgr = AdaptiveScheduler::new(&ctx, probs.clone(), 4, 0.3).unwrap();
+        let fork = ctx.ctg().branch_nodes()[0];
+        // 0.45/0.3 = 1.5 sits exactly on a bucket edge and rounds away from
+        // zero (bucket 2); 0.44/0.3 ≈ 1.47 stays in bucket 1. The key is a
+        // pure function of the probability bits, never of lookup history.
+        let mut on_edge = probs.clone();
+        on_edge.set(fork, vec![0.45, 0.55]).unwrap();
+        let mut below = probs.clone();
+        below.set(fork, vec![0.44, 0.56]).unwrap();
+        assert_ne!(
+            mgr.cache_key(&ctx, &on_edge, 1.0),
+            mgr.cache_key(&ctx, &below, 1.0)
+        );
+        assert_eq!(
+            mgr.cache_key(&ctx, &on_edge, 1.0),
+            mgr.cache_key(&ctx, &on_edge, 1.0)
+        );
+    }
+
+    #[test]
+    fn guard_factor_is_part_of_the_key() {
+        let (ctx, probs, _) = example1_context();
+        let mgr = AdaptiveScheduler::new(&ctx, probs.clone(), 4, 0.3).unwrap();
+        assert_ne!(
+            mgr.cache_key(&ctx, &probs, 1.0),
+            mgr.cache_key(&ctx, &probs, 0.9)
+        );
+    }
+
+    #[test]
+    fn disabled_cache_keeps_counters_zero() {
+        let (ctx, probs, _) = example1_context();
+        let mut mgr = AdaptiveScheduler::new(&ctx, probs, 4, 0.3).unwrap();
+        assert!(!mgr.cache_enabled());
+        for v in regime_trace(32) {
+            mgr.observe(&ctx, &v).unwrap();
+        }
+        let s = mgr.stats();
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.cache_misses, 0);
+        assert_eq!(s.reschedules, s.calls);
+        assert!(s.reschedules > 0);
     }
 }
 

@@ -1,0 +1,159 @@
+//! A small bounded LRU map, hand-rolled over `HashMap` + `VecDeque`.
+//!
+//! The workspace is offline-only, so no external cache crate is used. The
+//! recency list is a `VecDeque<K>` scanned linearly on touch — O(capacity)
+//! per operation, which is the right trade-off for the schedule cache's
+//! double-digit capacities (entries hold full DLS+stretch solutions, so the
+//! map stays small by construction).
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// A bounded map evicting the least-recently-used entry on overflow.
+///
+/// `get` and `insert` both count as a use. A capacity of 0 is legal and
+/// degenerates to a map that never stores anything (every lookup misses),
+/// which lets callers thread "caching disabled" through the same code path.
+#[derive(Debug, Clone)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, V>,
+    /// Keys from least- (front) to most-recently-used (back).
+    recency: VecDeque<K>,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates an empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            recency: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of stored entries (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks `key` up, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        if self.map.contains_key(key) {
+            self.touch(key);
+        }
+        self.map.get(key)
+    }
+
+    /// Looks `key` up without affecting recency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    /// Inserts (or replaces) an entry as most-recently-used, evicting the
+    /// least-recently-used one if the cache is full. Returns the previous
+    /// value under `key`, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if self.map.contains_key(&key) {
+            self.touch(&key);
+            return self.map.insert(key, value);
+        }
+        if self.map.len() == self.capacity {
+            if let Some(lru) = self.recency.pop_front() {
+                self.map.remove(&lru);
+            }
+        }
+        self.recency.push_back(key.clone());
+        self.map.insert(key, value)
+    }
+
+    /// Moves `key` (assumed present) to the most-recently-used position.
+    fn touch(&mut self, key: &K) {
+        if let Some(pos) = self.recency.iter().position(|k| k == key) {
+            let k = self.recency.remove(pos).expect("position is in range");
+            self.recency.push_back(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        // Touch "a": "b" becomes the LRU entry.
+        assert_eq!(c.get(&"a"), Some(&1));
+        c.insert("c", 3);
+        assert_eq!(c.peek(&"b"), None, "b was LRU and must be evicted");
+        assert_eq!(c.peek(&"a"), Some(&1));
+        assert_eq!(c.peek(&"c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn insertion_order_eviction_without_touches() {
+        let mut c = LruCache::new(3);
+        for (i, k) in ["a", "b", "c", "d", "e"].iter().enumerate() {
+            c.insert(*k, i);
+        }
+        assert_eq!(c.len(), 3);
+        assert!(c.peek(&"a").is_none() && c.peek(&"b").is_none());
+        assert!(c.peek(&"c").is_some() && c.peek(&"d").is_some() && c.peek(&"e").is_some());
+    }
+
+    #[test]
+    fn replacing_a_key_refreshes_it() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("a", 10); // refresh: "b" is now LRU
+        c.insert("c", 3);
+        assert_eq!(c.peek(&"a"), Some(&10));
+        assert_eq!(c.peek(&"b"), None);
+    }
+
+    #[test]
+    fn capacity_zero_stores_nothing() {
+        let mut c = LruCache::new(0);
+        assert_eq!(c.insert("a", 1), None);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&"a"), None);
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_the_newest() {
+        let mut c = LruCache::new(1);
+        c.insert("a", 1);
+        assert_eq!(c.get(&"a"), Some(&1));
+        c.insert("b", 2);
+        assert_eq!(c.peek(&"a"), None);
+        assert_eq!(c.get(&"b"), Some(&2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn get_miss_leaves_state_untouched() {
+        let mut c: LruCache<&str, i32> = LruCache::new(2);
+        c.insert("a", 1);
+        assert_eq!(c.get(&"zzz"), None);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek(&"a"), Some(&1));
+    }
+}

@@ -57,6 +57,7 @@
 
 mod adaptive;
 pub mod baseline;
+mod cache;
 mod context;
 pub mod critical;
 mod dls;
@@ -74,6 +75,7 @@ mod validate;
 pub use adaptive::{
     AdaptiveScheduler, AdaptiveStats, EstimatorKind, EwmaEstimator, ObserveOutcome, SlidingWindow,
 };
+pub use cache::LruCache;
 pub use context::{ScenarioMask, SchedContext};
 pub use dls::{dls_schedule, dls_with_levels, list_schedule_fixed};
 pub use error::SchedError;

@@ -274,6 +274,15 @@ impl ScheduledGraph {
         &self.spanning[task.index()]
     }
 
+    /// Adds `extra` to the delay of every path spanning `task` — the
+    /// stretching loop's propagation step, without cloning the spanning
+    /// list to appease the borrow checker.
+    pub fn add_delay_to_spanning(&mut self, task: TaskId, extra: f64) {
+        for &idx in &self.spanning[task.index()] {
+            self.paths[idx].delay += extra;
+        }
+    }
+
     /// The worst-case end-to-end delay: the maximum path delay.
     pub fn critical_delay(&self) -> f64 {
         self.paths.iter().map(|p| p.delay).fold(0.0, f64::max)

@@ -151,6 +151,24 @@ fn stretch_with_paths(
 
     let task_probs: Vec<f64> = ctx.ctg().tasks().map(|t| ctx.task_prob(t, probs)).collect();
 
+    // Global minterm-group ids, assigned by first occurrence over the path
+    // list: `calculate_slack` then groups a task's spanning paths into
+    // reusable scratch buffers instead of building a fresh HashMap per task.
+    // Spanning lists are ascending, so first-occurrence order within a
+    // spanning list equals the old sort-by-smallest-member group order.
+    let (group_of, num_groups) = {
+        let mut ids: HashMap<&ScenarioMask, usize> = HashMap::new();
+        let mut group_of = Vec::with_capacity(graph.paths().len());
+        for p in graph.paths() {
+            let next = ids.len();
+            group_of.push(*ids.entry(&p.cond).or_insert(next));
+        }
+        let n = ids.len();
+        (group_of, n)
+    };
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); num_groups];
+    let mut touched: Vec<usize> = Vec::with_capacity(num_groups);
+
     for _sweep in 0..cfg.sweeps.clamp(1, MAX_SWEEPS) {
         let mut granted_total = 0.0;
         for &t in schedule.task_order() {
@@ -164,7 +182,17 @@ fn stretch_with_paths(
                 // either way; leave it at nominal speed.
                 continue;
             }
-            let slack = calculate_slack(probs, &graph, t, wcet, task_prob, deadline);
+            let slack = calculate_slack(
+                probs,
+                &graph,
+                t,
+                wcet,
+                task_prob,
+                deadline,
+                &group_of,
+                &mut members,
+                &mut touched,
+            );
             // Respect the speed floor over the *accumulated* extension.
             let max_total = wcet * (1.0 / cfg.min_speed - 1.0);
             let slack = slack.min(max_total - extra[t.index()]).max(0.0);
@@ -175,10 +203,7 @@ fn stretch_with_paths(
             granted_total += slack;
             // Lock and propagate: every spanning path now takes `slack`
             // longer.
-            let spanning: Vec<usize> = graph.spanning(t).to_vec();
-            for idx in spanning {
-                graph.paths_mut()[idx].delay += slack;
-            }
+            graph.add_delay_to_spanning(t, slack);
         }
         if granted_total <= 1e-9 * deadline {
             break;
@@ -196,6 +221,13 @@ fn stretch_with_paths(
 }
 
 /// The paper's `CalculateSlack(τ)` routine.
+///
+/// `group_of` maps each path index to its global minterm-group id (see
+/// `stretch_with_paths`); `members`/`touched` are caller-owned scratch
+/// buffers, left empty on return, so the hot loop allocates nothing after
+/// warm-up. Minimum scans replace on `<=` to reproduce
+/// `Iterator::min_by`'s last-of-equal-minima choice bit-for-bit.
+#[allow(clippy::too_many_arguments)]
 fn calculate_slack(
     probs: &BranchProbs,
     graph: &ScheduledGraph,
@@ -203,14 +235,20 @@ fn calculate_slack(
     wcet: f64,
     task_prob: f64,
     deadline: f64,
+    group_of: &[usize],
+    members: &mut [Vec<usize>],
+    touched: &mut Vec<usize>,
 ) -> f64 {
-    // Group spanning paths by their minterm (path condition).
-    let mut groups: HashMap<&ScenarioMask, Vec<usize>> = HashMap::new();
+    // Group spanning paths by their minterm (path condition). Spanning
+    // lists are ascending, so `touched` visits groups in order of their
+    // smallest member.
+    debug_assert!(touched.is_empty());
     for &idx in graph.spanning(task) {
-        groups
-            .entry(&graph.paths()[idx].cond)
-            .or_default()
-            .push(idx);
+        let g = group_of[idx];
+        if members[g].is_empty() {
+            touched.push(g);
+        }
+        members[g].push(idx);
     }
     let ratio = |idx: usize| {
         let p = &graph.paths()[idx];
@@ -225,14 +263,8 @@ fn calculate_slack(
     let mut any1 = false;
     let mut slk2 = f64::INFINITY;
     let mut any2 = false;
-    // Deterministic iteration order over groups.
-    let mut ordered: Vec<(&ScenarioMask, Vec<usize>)> = groups.into_iter().collect();
-    ordered.sort_by(|a, b| {
-        let pa = a.1.first().copied().unwrap_or(0);
-        let pb = b.1.first().copied().unwrap_or(0);
-        pa.cmp(&pb)
-    });
-    for (_, idxs) in ordered {
+    for &g in touched.iter() {
+        let idxs = &members[g];
         let group_prob = graph.paths()[idxs[0]].prob;
         if group_prob <= PROB_ONE_EPS {
             // A minterm the current estimates consider impossible: it must
@@ -243,38 +275,43 @@ fn calculate_slack(
         }
         if group_prob + PROB_ONE_EPS >= 1.0 {
             // Step 5–7: minterms with probability 1 contribute via slk2.
-            let worst = idxs
-                .iter()
-                .copied()
-                .min_by(|&a, &b| ratio(a).partial_cmp(&ratio(b)).expect("finite ratios"))
-                .expect("non-empty group");
-            slk2 = slk2.min(wcet * ratio(worst) * task_prob);
+            let mut worst_ratio = ratio(idxs[0]);
+            for &i in &idxs[1..] {
+                let r = ratio(i);
+                if r <= worst_ratio {
+                    worst_ratio = r;
+                }
+            }
+            slk2 = slk2.min(wcet * worst_ratio * task_prob);
             any2 = true;
         } else {
             // Step 3–4: pick the critical path with prob(p, τ) ≠ 1 and the
             // lowest distributable slack ratio; fall back to the whole group
             // when every spanning path is already decided at τ.
-            let candidates: Vec<usize> = {
-                let undecided: Vec<usize> = idxs
-                    .iter()
-                    .copied()
-                    .filter(|&i| graph.paths()[i].prob_after(task, probs) < 1.0 - PROB_ONE_EPS)
-                    .collect();
-                if undecided.is_empty() {
-                    idxs.clone()
-                } else {
-                    undecided
+            let undecided =
+                |i: usize| graph.paths()[i].prob_after(task, probs) < 1.0 - PROB_ONE_EPS;
+            let any_undecided = idxs.iter().any(|&i| undecided(i));
+            let mut worst = usize::MAX;
+            let mut worst_ratio = f64::INFINITY;
+            for &i in idxs.iter() {
+                if any_undecided && !undecided(i) {
+                    continue;
                 }
-            };
-            let worst = candidates
-                .into_iter()
-                .min_by(|&a, &b| ratio(a).partial_cmp(&ratio(b)).expect("finite ratios"))
-                .expect("non-empty candidates");
+                let r = ratio(i);
+                if worst == usize::MAX || r <= worst_ratio {
+                    worst_ratio = r;
+                    worst = i;
+                }
+            }
             let p_after = graph.paths()[worst].prob_after(task, probs);
-            slk1 += p_after * wcet * ratio(worst) * task_prob;
+            slk1 += p_after * wcet * worst_ratio * task_prob;
             any1 = true;
         }
     }
+    for &g in touched.iter() {
+        members[g].clear();
+    }
+    touched.clear();
 
     let mut slack = match (any1, any2) {
         (true, true) => slk1.min(slk2),
@@ -369,12 +406,16 @@ pub(crate) fn proportional_stretch(
     });
     let topo = &topo;
     let base_exec = exec.clone();
+    // Longest-chain scratch, reused across tasks and sweeps: every slot is
+    // fully overwritten by the propagation passes below, so hoisting the
+    // buffers out of the loop changes nothing but the allocation count.
+    let mut to = vec![0.0_f64; n];
+    let mut from = vec![0.0_f64; n];
     for _sweep in 0..cfg.sweeps.clamp(1, MAX_SWEEPS) {
         let mut granted_total = 0.0;
         for &t in schedule.task_order() {
             // Longest in/out chains with current (already stretched)
             // durations.
-            let mut to = vec![0.0_f64; n];
             for &u in topo {
                 let mut best: f64 = 0.0;
                 for &(p, d) in &radj[u.index()] {
@@ -382,7 +423,6 @@ pub(crate) fn proportional_stretch(
                 }
                 to[u.index()] = best;
             }
-            let mut from = vec![0.0_f64; n];
             for &u in topo.iter().rev() {
                 let mut best: f64 = 0.0;
                 for &(s, d) in &adj[u.index()] {

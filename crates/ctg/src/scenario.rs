@@ -65,8 +65,17 @@ impl DecisionVector {
     /// Computes the set of activated tasks under this vector, as a boolean
     /// vector indexed by task id.
     pub fn active_tasks(&self, ctg: &Ctg, act: &Activation) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.active_tasks_into(ctg, act, &mut out);
+        out
+    }
+
+    /// Like [`DecisionVector::active_tasks`], but writes into `out` so a hot
+    /// loop can reuse one buffer across instances without reallocating.
+    pub fn active_tasks_into(&self, ctg: &Ctg, act: &Activation, out: &mut Vec<bool>) {
         let assign = self.assignment(ctg);
-        ctg.tasks().map(|t| act.is_active(t, assign)).collect()
+        out.clear();
+        out.extend(ctg.tasks().map(|t| act.is_active(t, assign)));
     }
 }
 

@@ -26,7 +26,7 @@
 //! [`simulate_instance`](crate::simulate_instance) **bit-for-bit**: the
 //! fault-free arithmetic path is byte-identical, faults only ever add terms.
 
-use crate::instance::InstanceResult;
+use crate::instance::{InstanceOutcome, InstanceResult, SimWorkspace};
 use ctg_model::{DecisionVector, TaskId};
 use ctg_rng::{Rng64, SplitMix64};
 use ctg_sched::{SchedContext, SchedError, Solution};
@@ -219,6 +219,12 @@ pub struct FaultLog {
 }
 
 impl FaultLog {
+    /// Resets the log for reuse, keeping the event buffer's allocation.
+    pub fn clear(&mut self) {
+        self.stats = FaultStats::default();
+        self.events.clear();
+    }
+
     fn record(&mut self, event: FaultEvent) {
         match event {
             FaultEvent::Overrun { .. } => self.stats.overruns += 1,
@@ -248,6 +254,17 @@ pub struct FaultInjector {
 }
 
 impl FaultInjector {
+    /// An injector with no decisions yet, with buffers right-sized for
+    /// `ctx`. Call [`FaultInjector::resample`] before simulating.
+    pub fn empty(ctx: &SchedContext) -> Self {
+        FaultInjector {
+            overrun: Vec::with_capacity(ctx.ctg().num_tasks()),
+            stall: Vec::with_capacity(ctx.platform().num_pes()),
+            denial: Vec::with_capacity(ctx.ctg().num_tasks()),
+            retransmit: Vec::with_capacity(ctx.ctg().num_edges()),
+        }
+    }
+
     /// Samples the fault decisions for `instance` under `plan`.
     ///
     /// # Errors
@@ -258,52 +275,62 @@ impl FaultInjector {
         ctx: &SchedContext,
         instance: u64,
     ) -> Result<Self, SchedError> {
+        let mut injector = FaultInjector::empty(ctx);
+        injector.resample(plan, ctx, instance)?;
+        Ok(injector)
+    }
+
+    /// Re-draws the decisions for `instance` under `plan` in place, reusing
+    /// the buffers. The draw order is fixed (tasks, PEs, tasks, edges), so
+    /// the decisions equal [`FaultInjector::for_instance`]'s exactly.
+    ///
+    /// # Errors
+    ///
+    /// Rejects plans with out-of-range rates or severities.
+    pub fn resample(
+        &mut self,
+        plan: &FaultPlan,
+        ctx: &SchedContext,
+        instance: u64,
+    ) -> Result<(), SchedError> {
         plan.validate()?;
         let mut rng = Rng64::seed_from_u64(SplitMix64::mix(plan.seed, instance));
         let n = ctx.ctg().num_tasks();
         let horizon = ctx.ctg().deadline().max(0.0);
 
-        let overrun: Vec<f64> = (0..n)
-            .map(|_| {
-                if rng.gen_bool(plan.overrun_rate) {
-                    plan.overrun_factor
+        self.overrun.clear();
+        self.overrun.extend((0..n).map(|_| {
+            if rng.gen_bool(plan.overrun_rate) {
+                plan.overrun_factor
+            } else {
+                1.0
+            }
+        }));
+        self.stall.clear();
+        self.stall.extend((0..ctx.platform().num_pes()).map(|_| {
+            if rng.gen_bool(plan.stall_rate) {
+                let from = if horizon > 0.0 {
+                    rng.gen_range(0.0..horizon)
                 } else {
-                    1.0
-                }
-            })
-            .collect();
-        let stall: Vec<Option<(f64, f64)>> = (0..ctx.platform().num_pes())
-            .map(|_| {
-                if rng.gen_bool(plan.stall_rate) {
-                    let from = if horizon > 0.0 {
-                        rng.gen_range(0.0..horizon)
-                    } else {
-                        0.0
-                    };
-                    Some((from, from + plan.stall_time))
-                } else {
-                    None
-                }
-            })
-            .collect();
-        let denial: Vec<bool> = (0..n)
-            .map(|_| rng.gen_bool(plan.dvfs_denial_rate))
-            .collect();
-        let retransmit: Vec<f64> = (0..ctx.ctg().num_edges())
-            .map(|_| {
-                if rng.gen_bool(plan.retransmit_rate) {
-                    plan.retransmit_factor
-                } else {
-                    1.0
-                }
-            })
-            .collect();
-        Ok(FaultInjector {
-            overrun,
-            stall,
-            denial,
-            retransmit,
-        })
+                    0.0
+                };
+                Some((from, from + plan.stall_time))
+            } else {
+                None
+            }
+        }));
+        self.denial.clear();
+        self.denial
+            .extend((0..n).map(|_| rng.gen_bool(plan.dvfs_denial_rate)));
+        self.retransmit.clear();
+        self.retransmit.extend((0..ctx.ctg().num_edges()).map(|_| {
+            if rng.gen_bool(plan.retransmit_rate) {
+                plan.retransmit_factor
+            } else {
+                1.0
+            }
+        }));
+        Ok(())
     }
 
     /// Nearest legal ratio to `requested` from `levels`.
@@ -348,177 +375,166 @@ pub fn simulate_instance_faulty(
     instance: u64,
 ) -> Result<(InstanceResult, FaultLog), SchedError> {
     let injector = FaultInjector::for_instance(plan, ctx, instance)?;
-    simulate_with_injector(ctx, solution, vector, plan, &injector)
+    let mut ws = SimWorkspace::new(ctx, solution);
+    let mut log = FaultLog::default();
+    let out = ws.simulate_faulty(ctx, solution, vector, plan, &injector, &mut log)?;
+    Ok((ws.result_from(out), log))
 }
 
-fn simulate_with_injector(
-    ctx: &SchedContext,
-    solution: &Solution,
-    vector: &DecisionVector,
-    plan: &FaultPlan,
-    injector: &FaultInjector,
-) -> Result<(InstanceResult, FaultLog), SchedError> {
-    let ctg = ctx.ctg();
-    if vector.len() != ctg.num_branches() {
-        return Err(SchedError::VectorArity {
-            expected: ctg.num_branches(),
-            got: vector.len(),
-        });
-    }
-    let platform = ctx.platform();
-    let profile = platform.profile();
-    let comm = platform.comm();
-    let schedule = &solution.schedule;
-    let speeds = &solution.speeds;
-
-    let active = vector.active_tasks(ctg, ctx.activation());
-    let n = ctg.num_tasks();
-    let mut log = FaultLog::default();
-
-    // Constraint lists: CTG edges (with their index for retransmit lookup),
-    // implied or-deps, same-PE serialization — identical to the fault-free
-    // simulator except edges carry their id.
-    let mut preds: Vec<Vec<(TaskId, f64, Option<usize>)>> = vec![Vec::new(); n];
-    for (idx, (_, e)) in ctg.edges().enumerate() {
-        preds[e.dst().index()].push((e.src(), e.comm_kbytes(), Some(idx)));
-    }
-    for &(fork, or_node) in ctx.activation().implied_or_deps() {
-        preds[or_node.index()].push((fork, 0.0, None));
-    }
-    for pe in platform.pes() {
-        let order = schedule.pe_order(pe);
-        for i in 0..order.len() {
-            for j in (i + 1)..order.len() {
-                preds[order[j].index()].push((order[i], 0.0, None));
-            }
+impl SimWorkspace {
+    /// Executes one instance under pre-sampled fault decisions, reusing the
+    /// workspace buffers; `log` is cleared first and refilled (its event
+    /// buffer's allocation is kept across calls).
+    ///
+    /// Semantics and arithmetic equal
+    /// [`simulate_instance_faulty`]'s bit-for-bit; the injector must have
+    /// been (re-)sampled under the same `plan` (the plan is only consulted
+    /// for its DVFS denial levels here, so it is **not** re-validated).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::VectorArity`] on a wrong-size vector.
+    pub fn simulate_faulty(
+        &mut self,
+        ctx: &SchedContext,
+        solution: &Solution,
+        vector: &DecisionVector,
+        plan: &FaultPlan,
+        injector: &FaultInjector,
+        log: &mut FaultLog,
+    ) -> Result<InstanceOutcome, SchedError> {
+        let ctg = ctx.ctg();
+        if vector.len() != ctg.num_branches() {
+            return Err(SchedError::VectorArity {
+                expected: ctg.num_branches(),
+                got: vector.len(),
+            });
         }
-    }
+        let platform = ctx.platform();
+        let profile = platform.profile();
+        let comm = platform.comm();
+        let schedule = &solution.schedule;
+        let speeds = &solution.speeds;
+        let n = ctg.num_tasks();
+        log.clear();
 
-    let mut order: Vec<TaskId> = ctg.tasks().collect();
-    order.sort_by(|&a, &b| {
-        schedule
-            .start(a)
-            .partial_cmp(&schedule.start(b))
-            .expect("finite start times")
-            .then(a.cmp(&b))
-    });
+        vector.active_tasks_into(ctg, ctx.activation(), &mut self.active);
+        self.task_times.clear();
+        self.task_times.resize(n, None);
+        self.stall_hit.clear();
+        self.stall_hit.resize(platform.num_pes(), false);
 
-    let mut task_times: Vec<Option<(f64, f64)>> = vec![None; n];
-    let mut exec_energy = 0.0;
-    let mut makespan: f64 = 0.0;
-    let mut stall_hit = vec![false; platform.num_pes()];
-    for &t in &order {
-        if !active[t.index()] {
-            continue;
-        }
-        let pe = schedule.pe_of(t);
-        let mut start: f64 = 0.0;
-        for &(p, kbytes, edge_idx) in &preds[t.index()] {
-            if !active[p.index()] {
+        let mut exec_energy = 0.0;
+        let mut makespan: f64 = 0.0;
+        for &t in &self.order {
+            if !self.active[t.index()] {
                 continue;
             }
-            let (_, p_finish) =
-                task_times[p.index()].expect("constraint order processes predecessors first");
-            let mut delay = comm.delay(schedule.pe_of(p), pe, kbytes);
-            if let Some(idx) = edge_idx {
-                let factor = injector.retransmit[idx];
-                if factor != 1.0 && delay > 0.0 {
-                    log.record(FaultEvent::Retransmit {
-                        src: p,
-                        dst: t,
-                        factor,
+            let pe = schedule.pe_of(t);
+            let mut start: f64 = 0.0;
+            for &(p, kbytes, edge_idx) in &self.preds[t.index()] {
+                if !self.active[p.index()] {
+                    continue;
+                }
+                let (_, p_finish) = self.task_times[p.index()]
+                    .expect("constraint order processes predecessors first");
+                let mut delay = comm.delay(schedule.pe_of(p), pe, kbytes);
+                if let Some(idx) = edge_idx {
+                    let factor = injector.retransmit[idx];
+                    if factor != 1.0 && delay > 0.0 {
+                        log.record(FaultEvent::Retransmit {
+                            src: p,
+                            dst: t,
+                            factor,
+                        });
+                        log.stats.extra_time += delay * (factor - 1.0);
+                        // Each retransmission re-pays the transfer energy.
+                        log.stats.extra_energy +=
+                            comm.energy(schedule.pe_of(p), pe, kbytes) * (factor - 1.0);
+                        delay *= factor;
+                    }
+                }
+                start = start.max(p_finish + delay);
+            }
+            // Transient PE stall: dispatch inside the window is deferred.
+            if let Some((from, until)) = injector.stall[pe.index()] {
+                if start >= from && start < until {
+                    if !self.stall_hit[pe.index()] {
+                        self.stall_hit[pe.index()] = true;
+                        log.record(FaultEvent::Stall { pe, from, until });
+                    }
+                    log.stats.extra_time += until - start;
+                    start = until;
+                }
+            }
+            // Fault-free duration/energy, exactly as `simulate_instance`.
+            let mut duration = platform.exec_time(t.index(), pe, speeds.speed(t));
+            let mut energy = platform.exec_energy(t.index(), pe, speeds.speed(t));
+            // DVFS denial: governor snaps to the nearest coarse legal ratio,
+            // bypassing the platform's own quantization.
+            if injector.denial[t.index()] {
+                let requested = speeds.speed(t);
+                let granted = FaultInjector::snap(&plan.dvfs_levels, requested);
+                if (granted - requested).abs() > 1e-12 {
+                    let d2 = profile.wcet(t.index(), pe) / granted;
+                    let e2 = profile.energy(t.index(), pe) * granted * granted;
+                    log.record(FaultEvent::DvfsDenial {
+                        task: t,
+                        requested,
+                        granted,
                     });
-                    log.stats.extra_time += delay * (factor - 1.0);
-                    // Each retransmission re-pays the transfer energy.
-                    log.stats.extra_energy +=
-                        comm.energy(schedule.pe_of(p), pe, kbytes) * (factor - 1.0);
-                    delay *= factor;
+                    log.stats.extra_time += d2 - duration;
+                    log.stats.extra_energy += e2 - energy;
+                    duration = d2;
+                    energy = e2;
                 }
             }
-            start = start.max(p_finish + delay);
+            // Execution-time overrun: same speed, more cycles — time and
+            // energy scale together.
+            let factor = injector.overrun[t.index()];
+            if factor != 1.0 {
+                log.record(FaultEvent::Overrun { task: t, factor });
+                log.stats.extra_time += duration * (factor - 1.0);
+                log.stats.extra_energy += energy * (factor - 1.0);
+                duration *= factor;
+                energy *= factor;
+            }
+            let finish = start + duration;
+            self.task_times[t.index()] = Some((start, finish));
+            exec_energy += energy;
+            makespan = makespan.max(finish);
         }
-        // Transient PE stall: dispatch inside the window is deferred.
-        if let Some((from, until)) = injector.stall[pe.index()] {
-            if start >= from && start < until {
-                if !stall_hit[pe.index()] {
-                    stall_hit[pe.index()] = true;
-                    log.record(FaultEvent::Stall { pe, from, until });
+        // Communication energy of transfers that actually happened, each
+        // charged once per (re-)transmission.
+        let mut comm_energy = 0.0;
+        for (idx, (_, e)) in ctg.edges().enumerate() {
+            if self.active[e.src().index()] && self.active[e.dst().index()] {
+                let base = comm.energy(
+                    schedule.pe_of(e.src()),
+                    schedule.pe_of(e.dst()),
+                    e.comm_kbytes(),
+                );
+                comm_energy += base;
+                let factor = injector.retransmit[idx];
+                let delay = comm.delay(
+                    schedule.pe_of(e.src()),
+                    schedule.pe_of(e.dst()),
+                    e.comm_kbytes(),
+                );
+                if factor != 1.0 && delay > 0.0 {
+                    comm_energy += base * (factor - 1.0);
                 }
-                log.stats.extra_time += until - start;
-                start = until;
             }
         }
-        // Fault-free duration/energy, exactly as `simulate_instance`.
-        let mut duration = platform.exec_time(t.index(), pe, speeds.speed(t));
-        let mut energy = platform.exec_energy(t.index(), pe, speeds.speed(t));
-        // DVFS denial: governor snaps to the nearest coarse legal ratio,
-        // bypassing the platform's own quantization.
-        if injector.denial[t.index()] {
-            let requested = speeds.speed(t);
-            let granted = FaultInjector::snap(&plan.dvfs_levels, requested);
-            if (granted - requested).abs() > 1e-12 {
-                let d2 = profile.wcet(t.index(), pe) / granted;
-                let e2 = profile.energy(t.index(), pe) * granted * granted;
-                log.record(FaultEvent::DvfsDenial {
-                    task: t,
-                    requested,
-                    granted,
-                });
-                log.stats.extra_time += d2 - duration;
-                log.stats.extra_energy += e2 - energy;
-                duration = d2;
-                energy = e2;
-            }
-        }
-        // Execution-time overrun: same speed, more cycles — time and energy
-        // scale together.
-        let factor = injector.overrun[t.index()];
-        if factor != 1.0 {
-            log.record(FaultEvent::Overrun { task: t, factor });
-            log.stats.extra_time += duration * (factor - 1.0);
-            log.stats.extra_energy += energy * (factor - 1.0);
-            duration *= factor;
-            energy *= factor;
-        }
-        let finish = start + duration;
-        task_times[t.index()] = Some((start, finish));
-        exec_energy += energy;
-        makespan = makespan.max(finish);
-    }
-    // Communication energy of transfers that actually happened, each charged
-    // once per (re-)transmission.
-    let mut comm_energy = 0.0;
-    for (idx, (_, e)) in ctg.edges().enumerate() {
-        if active[e.src().index()] && active[e.dst().index()] {
-            let base = comm.energy(
-                schedule.pe_of(e.src()),
-                schedule.pe_of(e.dst()),
-                e.comm_kbytes(),
-            );
-            comm_energy += base;
-            let factor = injector.retransmit[idx];
-            let delay = comm.delay(
-                schedule.pe_of(e.src()),
-                schedule.pe_of(e.dst()),
-                e.comm_kbytes(),
-            );
-            if factor != 1.0 && delay > 0.0 {
-                comm_energy += base * (factor - 1.0);
-            }
-        }
-    }
 
-    Ok((
-        InstanceResult {
+        Ok(InstanceOutcome {
             energy: exec_energy + comm_energy,
             exec_energy,
             comm_energy,
             makespan,
             deadline_met: makespan <= ctg.deadline() + 1e-9,
-            task_times,
-        },
-        log,
-    ))
+        })
+    }
 }
 
 #[cfg(test)]

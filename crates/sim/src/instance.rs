@@ -43,6 +43,229 @@ impl InstanceResult {
     }
 }
 
+/// Scalar outcome of one simulated instance, without the per-task timeline.
+///
+/// [`SimWorkspace::simulate`] returns this `Copy` summary so the hot loop of
+/// a trace runner moves no heap data; the timeline stays in the workspace
+/// (see [`SimWorkspace::task_times`]) until the next instance overwrites it.
+/// Values are computed by the exact same arithmetic as [`InstanceResult`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceOutcome {
+    /// Total energy (execution + communication).
+    pub energy: f64,
+    /// Computation share of the energy.
+    pub exec_energy: f64,
+    /// Communication share of the energy.
+    pub comm_energy: f64,
+    /// Completion time of the last activated task.
+    pub makespan: f64,
+    /// Whether the makespan met the graph deadline.
+    pub deadline_met: bool,
+}
+
+/// Precomputed constraint structure and scratch buffers for simulating many
+/// instances under one committed schedule.
+///
+/// The constraint lists (CTG edges, implied or-deps, same-PE serialization)
+/// and the topological processing order depend only on the context and on
+/// `solution.schedule` — not on the decision vector or the speeds — so they
+/// are built once and reused. After the first instance the per-instance
+/// buffers are recycled too, making a warm simulate call allocation-free.
+///
+/// Contract: every `simulate*` call must pass the context and a solution
+/// whose **schedule** equals the one the workspace was last built/rebuilt
+/// for; the **speeds** may differ freely (they are read per call). Call
+/// [`SimWorkspace::rebuild`] whenever the schedule changes (e.g. after an
+/// adaptive re-schedule).
+#[derive(Debug, Clone)]
+pub struct SimWorkspace {
+    /// Per-task constraint list `(pred, comm kbytes, CTG edge index)`; the
+    /// edge index is `None` for implied or-deps and same-PE pseudo edges
+    /// (it is only consumed by the fault simulator's retransmit lookup).
+    pub(crate) preds: Vec<Vec<(TaskId, f64, Option<usize>)>>,
+    /// Topological processing order of the constraint graph: nominal start
+    /// order (pseudo constraints always point from earlier to later starts).
+    pub(crate) order: Vec<TaskId>,
+    pub(crate) active: Vec<bool>,
+    pub(crate) task_times: Vec<Option<(f64, f64)>>,
+    pub(crate) pe_speed: Vec<Option<f64>>,
+    pub(crate) stall_hit: Vec<bool>,
+}
+
+impl SimWorkspace {
+    /// Builds the workspace for `solution.schedule` on `ctx`.
+    pub fn new(ctx: &SchedContext, solution: &Solution) -> Self {
+        let mut ws = SimWorkspace {
+            preds: Vec::new(),
+            order: Vec::new(),
+            active: Vec::new(),
+            task_times: Vec::new(),
+            pe_speed: Vec::new(),
+            stall_hit: Vec::new(),
+        };
+        ws.rebuild(ctx, solution);
+        ws
+    }
+
+    /// Re-derives the constraint structure for a (possibly new) schedule,
+    /// reusing the existing allocations.
+    pub fn rebuild(&mut self, ctx: &SchedContext, solution: &Solution) {
+        let ctg = ctx.ctg();
+        let platform = ctx.platform();
+        let schedule = &solution.schedule;
+        let n = ctg.num_tasks();
+
+        self.preds.resize(n, Vec::new());
+        for p in &mut self.preds {
+            p.clear();
+        }
+        for (idx, (_, e)) in ctg.edges().enumerate() {
+            self.preds[e.dst().index()].push((e.src(), e.comm_kbytes(), Some(idx)));
+        }
+        for &(fork, or_node) in ctx.activation().implied_or_deps() {
+            self.preds[or_node.index()].push((fork, 0.0, None));
+        }
+        for pe in platform.pes() {
+            let order = schedule.pe_order(pe);
+            for i in 0..order.len() {
+                for j in (i + 1)..order.len() {
+                    self.preds[order[j].index()].push((order[i], 0.0, None));
+                }
+            }
+        }
+
+        self.order.clear();
+        self.order.extend(ctg.tasks());
+        self.order.sort_by(|&a, &b| {
+            schedule
+                .start(a)
+                .partial_cmp(&schedule.start(b))
+                .expect("finite start times")
+                .then(a.cmp(&b))
+        });
+    }
+
+    /// The per-task `(start, finish)` timeline of the most recent instance
+    /// simulated through this workspace (activated tasks only).
+    pub fn task_times(&self) -> &[Option<(f64, f64)>] {
+        &self.task_times
+    }
+
+    /// Executes one instance, reusing the workspace buffers.
+    ///
+    /// Semantics and arithmetic are exactly those of [`simulate_instance`];
+    /// results are bit-for-bit identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::VectorArity`] when `vector` does not match the
+    /// graph's fork count.
+    pub fn simulate(
+        &mut self,
+        ctx: &SchedContext,
+        solution: &Solution,
+        vector: &DecisionVector,
+    ) -> Result<InstanceOutcome, SchedError> {
+        self.simulate_with_overhead(ctx, solution, vector, DvfsOverhead::default())
+    }
+
+    /// Like [`SimWorkspace::simulate`] but charges DVFS transition
+    /// overheads.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SimWorkspace::simulate`].
+    pub fn simulate_with_overhead(
+        &mut self,
+        ctx: &SchedContext,
+        solution: &Solution,
+        vector: &DecisionVector,
+        overhead: DvfsOverhead,
+    ) -> Result<InstanceOutcome, SchedError> {
+        let ctg = ctx.ctg();
+        if vector.len() != ctg.num_branches() {
+            return Err(SchedError::VectorArity {
+                expected: ctg.num_branches(),
+                got: vector.len(),
+            });
+        }
+        let platform = ctx.platform();
+        let comm = platform.comm();
+        let schedule = &solution.schedule;
+        let speeds = &solution.speeds;
+        let n = ctg.num_tasks();
+
+        vector.active_tasks_into(ctg, ctx.activation(), &mut self.active);
+        self.task_times.clear();
+        self.task_times.resize(n, None);
+        // Last speed each PE ran at, for DVFS transition accounting.
+        self.pe_speed.clear();
+        self.pe_speed.resize(platform.num_pes(), None);
+
+        let mut exec_energy = 0.0;
+        let mut makespan: f64 = 0.0;
+        for &t in &self.order {
+            if !self.active[t.index()] {
+                continue;
+            }
+            let pe = schedule.pe_of(t);
+            let mut start: f64 = 0.0;
+            for &(p, kbytes, _) in &self.preds[t.index()] {
+                if !self.active[p.index()] {
+                    continue;
+                }
+                let (_, p_finish) = self.task_times[p.index()]
+                    .expect("constraint order processes predecessors first");
+                let arrival = p_finish + comm.delay(schedule.pe_of(p), pe, kbytes);
+                start = start.max(arrival);
+            }
+            let speed = platform.dvfs().quantize(speeds.speed(t));
+            if let Some(prev) = self.pe_speed[pe.index()] {
+                if (prev - speed).abs() > 1e-12 {
+                    start += overhead.switch_time;
+                    exec_energy += overhead.switch_energy;
+                }
+            }
+            self.pe_speed[pe.index()] = Some(speed);
+            let duration = platform.exec_time(t.index(), pe, speeds.speed(t));
+            let finish = start + duration;
+            self.task_times[t.index()] = Some((start, finish));
+            exec_energy += platform.exec_energy(t.index(), pe, speeds.speed(t));
+            makespan = makespan.max(finish);
+        }
+        // Communication energy of transfers that actually happened.
+        let mut comm_energy = 0.0;
+        for (_, e) in ctg.edges() {
+            if self.active[e.src().index()] && self.active[e.dst().index()] {
+                comm_energy += comm.energy(
+                    schedule.pe_of(e.src()),
+                    schedule.pe_of(e.dst()),
+                    e.comm_kbytes(),
+                );
+            }
+        }
+
+        Ok(InstanceOutcome {
+            energy: exec_energy + comm_energy,
+            exec_energy,
+            comm_energy,
+            makespan,
+            deadline_met: makespan <= ctg.deadline() + 1e-9,
+        })
+    }
+
+    pub(crate) fn result_from(&self, out: InstanceOutcome) -> InstanceResult {
+        InstanceResult {
+            energy: out.energy,
+            exec_energy: out.exec_energy,
+            comm_energy: out.comm_energy,
+            makespan: out.makespan,
+            deadline_met: out.deadline_met,
+            task_times: self.task_times.clone(),
+        }
+    }
+}
+
 /// Executes one instance of the context's CTG under `solution` with the
 /// branch decisions in `vector`.
 ///
@@ -56,6 +279,10 @@ impl InstanceResult {
 ///   task scheduled before it on the same PE has finished;
 /// * it runs for `WCET / speed` and consumes `E · speed²` (communication is
 ///   not voltage-scaled).
+///
+/// Simulating many instances under one schedule? Build a [`SimWorkspace`]
+/// once instead — this convenience wrapper rebuilds the constraint structure
+/// on every call.
 ///
 /// # Errors
 ///
@@ -81,103 +308,9 @@ pub fn simulate_instance_with_overhead(
     vector: &DecisionVector,
     overhead: DvfsOverhead,
 ) -> Result<InstanceResult, SchedError> {
-    let ctg = ctx.ctg();
-    if vector.len() != ctg.num_branches() {
-        return Err(SchedError::VectorArity {
-            expected: ctg.num_branches(),
-            got: vector.len(),
-        });
-    }
-    let platform = ctx.platform();
-    let comm = platform.comm();
-    let schedule = &solution.schedule;
-    let speeds = &solution.speeds;
-
-    let active = vector.active_tasks(ctg, ctx.activation());
-    let n = ctg.num_tasks();
-
-    // Constraint lists: CTG edges, implied or-deps, same-PE serialization.
-    let mut preds: Vec<Vec<(TaskId, f64)>> = vec![Vec::new(); n];
-    for (_, e) in ctg.edges() {
-        preds[e.dst().index()].push((e.src(), e.comm_kbytes()));
-    }
-    for &(fork, or_node) in ctx.activation().implied_or_deps() {
-        preds[or_node.index()].push((fork, 0.0));
-    }
-    for pe in platform.pes() {
-        let order = schedule.pe_order(pe);
-        for i in 0..order.len() {
-            for j in (i + 1)..order.len() {
-                preds[order[j].index()].push((order[i], 0.0));
-            }
-        }
-    }
-
-    // Process in a topological order of the constraint graph: nominal start
-    // order (pseudo constraints always point from earlier to later starts).
-    let mut order: Vec<TaskId> = ctg.tasks().collect();
-    order.sort_by(|&a, &b| {
-        schedule
-            .start(a)
-            .partial_cmp(&schedule.start(b))
-            .expect("finite start times")
-            .then(a.cmp(&b))
-    });
-
-    let mut task_times: Vec<Option<(f64, f64)>> = vec![None; n];
-    let mut exec_energy = 0.0;
-    let mut makespan: f64 = 0.0;
-    // Last speed each PE ran at, for DVFS transition accounting.
-    let mut pe_speed: Vec<Option<f64>> = vec![None; platform.num_pes()];
-    for &t in &order {
-        if !active[t.index()] {
-            continue;
-        }
-        let pe = schedule.pe_of(t);
-        let mut start: f64 = 0.0;
-        for &(p, kbytes) in &preds[t.index()] {
-            if !active[p.index()] {
-                continue;
-            }
-            let (_, p_finish) =
-                task_times[p.index()].expect("constraint order processes predecessors first");
-            let arrival = p_finish + comm.delay(schedule.pe_of(p), pe, kbytes);
-            start = start.max(arrival);
-        }
-        let speed = platform.dvfs().quantize(speeds.speed(t));
-        if let Some(prev) = pe_speed[pe.index()] {
-            if (prev - speed).abs() > 1e-12 {
-                start += overhead.switch_time;
-                exec_energy += overhead.switch_energy;
-            }
-        }
-        pe_speed[pe.index()] = Some(speed);
-        let duration = platform.exec_time(t.index(), pe, speeds.speed(t));
-        let finish = start + duration;
-        task_times[t.index()] = Some((start, finish));
-        exec_energy += platform.exec_energy(t.index(), pe, speeds.speed(t));
-        makespan = makespan.max(finish);
-    }
-    // Communication energy of transfers that actually happened.
-    let mut comm_energy = 0.0;
-    for (_, e) in ctg.edges() {
-        if active[e.src().index()] && active[e.dst().index()] {
-            comm_energy += comm.energy(
-                schedule.pe_of(e.src()),
-                schedule.pe_of(e.dst()),
-                e.comm_kbytes(),
-            );
-        }
-    }
-
-    Ok(InstanceResult {
-        energy: exec_energy + comm_energy,
-        exec_energy,
-        comm_energy,
-        makespan,
-        deadline_met: makespan <= ctg.deadline() + 1e-9,
-        task_times,
-    })
+    let mut ws = SimWorkspace::new(ctx, solution);
+    let out = ws.simulate_with_overhead(ctx, solution, vector, overhead)?;
+    Ok(ws.result_from(out))
 }
 
 #[cfg(test)]

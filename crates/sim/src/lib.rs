@@ -54,6 +54,7 @@ pub mod fault;
 pub mod gantt;
 mod instance;
 pub mod metrics;
+pub mod pool;
 pub mod reclaim;
 pub mod runner;
 
@@ -63,10 +64,13 @@ pub use fault::{
     simulate_instance_faulty, FaultEvent, FaultInjector, FaultLog, FaultPlan, FaultStats,
 };
 pub use instance::{
-    simulate_instance, simulate_instance_with_overhead, DvfsOverhead, InstanceResult,
+    simulate_instance, simulate_instance_with_overhead, DvfsOverhead, InstanceOutcome,
+    InstanceResult, SimWorkspace,
 };
 pub use metrics::{trace_metrics, TraceMetrics};
+pub use pool::{map_ordered, map_ordered_with, worker_count};
 pub use reclaim::simulate_instance_reclaiming;
 pub use runner::{
-    run_adaptive, run_adaptive_resilient, run_periodic, run_static, PeriodicSummary, RunSummary,
+    run_adaptive, run_adaptive_resilient, run_periodic, run_static, run_static_faulty,
+    run_static_faulty_parallel, run_static_parallel, PeriodicSummary, RunSummary,
 };

@@ -1,7 +1,7 @@
 //! Trace-level execution metrics: PE utilization, workload statistics and
 //! energy dispersion over a sequence of instances.
 
-use crate::instance::simulate_instance;
+use crate::instance::SimWorkspace;
 use ctg_model::DecisionVector;
 use ctg_sched::{SchedContext, SchedError, Solution};
 
@@ -74,14 +74,15 @@ pub fn trace_metrics(
     // Welford's online mean/variance (numerically stable).
     let mut mean = 0.0_f64;
     let mut m2 = 0.0_f64;
+    let mut ws = SimWorkspace::new(ctx, solution);
     for (i, v) in vectors.iter().enumerate() {
-        let r = simulate_instance(ctx, solution, v)?;
+        let r = ws.simulate(ctx, solution, v)?;
         for t in ctx.ctg().tasks() {
-            if let Some((start, finish)) = r.task_times[t.index()] {
+            if let Some((start, finish)) = ws.task_times()[t.index()] {
                 pe_busy[solution.schedule.pe_of(t).index()] += finish - start;
+                active_total += 1;
             }
         }
-        active_total += r.active_count();
         let delta = r.energy - mean;
         mean += delta / (i as f64 + 1.0);
         m2 += delta * (r.energy - mean);

@@ -2,13 +2,20 @@
 //! sequence of decision vectors.
 
 use crate::degrade::{DegradeConfig, DegradeStats, Rung, Watchdog, WatchdogVerdict};
-use crate::fault::{simulate_instance_faulty, FaultPlan, FaultStats};
-use crate::instance::simulate_instance;
+use crate::fault::{FaultInjector, FaultLog, FaultPlan, FaultStats};
+use crate::instance::{InstanceOutcome, SimWorkspace};
+use crate::pool;
 use ctg_model::DecisionVector;
 use ctg_sched::{AdaptiveScheduler, ObserveOutcome, SchedContext, SchedError, Solution};
+use std::time::Instant;
 
 /// Aggregate outcome of a trace run.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// Equality (`==`) compares the *simulated* quantities only: the wall-clock
+/// fields [`RunSummary::wall_s`] and [`RunSummary::resched_wall_s`] are
+/// measured, vary run to run, and are ignored — so the determinism checks
+/// "parallel summary == sequential summary" hold bit-for-bit.
+#[derive(Debug, Clone, Default)]
 pub struct RunSummary {
     /// Instances executed.
     pub instances: usize,
@@ -18,12 +25,42 @@ pub struct RunSummary {
     pub deadline_misses: usize,
     /// Largest observed makespan.
     pub max_makespan: f64,
-    /// Re-scheduling call count (0 for the static policy).
+    /// Adopted re-schedules that invoked the solver (0 for the static
+    /// policy; excludes cache hits).
     pub calls: usize,
+    /// Adopted re-schedule events, whether served by the solver or by the
+    /// schedule cache (`calls + adopted cache hits`; equals `calls` when the
+    /// cache is disabled; 0 for the static policy).
+    pub reschedules: usize,
+    /// Schedule-cache hits (0 unless the manager's cache is enabled).
+    pub cache_hits: usize,
+    /// Schedule-cache misses (0 unless the manager's cache is enabled).
+    pub cache_misses: usize,
     /// Injected-fault accounting (all-zero for fault-free runners).
     pub faults: FaultStats,
     /// Degradation-ladder accounting (all-zero for fault-free runners).
     pub degrade: DegradeStats,
+    /// Wall-clock seconds of the whole run (measured; ignored by `==`).
+    pub wall_s: f64,
+    /// Wall-clock seconds spent inside the adaptive manager — drift checks
+    /// and re-schedules (measured; ignored by `==`; 0 for static runs).
+    pub resched_wall_s: f64,
+}
+
+impl PartialEq for RunSummary {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except the measured wall-clock fields.
+        self.instances == other.instances
+            && self.total_energy == other.total_energy
+            && self.deadline_misses == other.deadline_misses
+            && self.max_makespan == other.max_makespan
+            && self.calls == other.calls
+            && self.reschedules == other.reschedules
+            && self.cache_hits == other.cache_hits
+            && self.cache_misses == other.cache_misses
+            && self.faults == other.faults
+            && self.degrade == other.degrade
+    }
 }
 
 impl RunSummary {
@@ -51,11 +88,31 @@ impl RunSummary {
         }
     }
 
-    fn absorb_instance(&mut self, r: &crate::instance::InstanceResult) {
+    /// Simulated instances per wall-clock second.
+    ///
+    /// Returns `0.0` when `instances == 0` or no wall time was recorded
+    /// (same convention as [`RunSummary::avg_energy`]).
+    pub fn throughput(&self) -> f64 {
+        if self.instances == 0 || self.wall_s <= 0.0 {
+            0.0
+        } else {
+            self.instances as f64 / self.wall_s
+        }
+    }
+
+    fn absorb_outcome(&mut self, r: &InstanceOutcome) {
         self.instances += 1;
         self.total_energy += r.energy;
         self.deadline_misses += usize::from(!r.deadline_met);
         self.max_makespan = self.max_makespan.max(r.makespan);
+    }
+
+    fn absorb_manager(&mut self, manager: &AdaptiveScheduler) {
+        let stats = manager.stats();
+        self.calls = stats.calls;
+        self.reschedules = stats.reschedules;
+        self.cache_hits = stats.cache_hits;
+        self.cache_misses = stats.cache_misses;
     }
 }
 
@@ -70,11 +127,154 @@ pub fn run_static(
     solution: &Solution,
     vectors: &[DecisionVector],
 ) -> Result<RunSummary, SchedError> {
+    let start = Instant::now();
+    let mut ws = SimWorkspace::new(ctx, solution);
     let mut summary = RunSummary::default();
     for v in vectors {
-        let r = simulate_instance(ctx, solution, v)?;
-        summary.absorb_instance(&r);
+        let r = ws.simulate(ctx, solution, v)?;
+        summary.absorb_outcome(&r);
     }
+    summary.wall_s = start.elapsed().as_secs_f64();
+    Ok(summary)
+}
+
+/// Picks the per-worker chunk length for a trace of `len` instances: small
+/// enough that every worker gets several chunks (load balance), large enough
+/// to amortize the channel round-trip. Chunking only affects wall time —
+/// results are merged in submission order either way.
+fn chunk_len(len: usize, workers: usize) -> usize {
+    len.div_ceil(workers.max(1) * 8).max(1)
+}
+
+/// [`run_static`] fanned out over a worker pool (see [`pool`]).
+///
+/// The trace is split into chunks, simulated on up to `workers` threads
+/// (each with its own [`SimWorkspace`]), and the per-instance outcomes are
+/// folded into the summary **in trace order** — so the returned summary is
+/// bit-for-bit equal to [`run_static`]'s for every worker count (the
+/// wall-clock fields differ; they are ignored by `==`).
+///
+/// Use [`pool::worker_count`] for a `CTG_WORKERS`-aware default.
+///
+/// # Errors
+///
+/// Propagates vector-arity mismatches.
+pub fn run_static_parallel(
+    ctx: &SchedContext,
+    solution: &Solution,
+    vectors: &[DecisionVector],
+    workers: usize,
+) -> Result<RunSummary, SchedError> {
+    let start = Instant::now();
+    let chunks: Vec<&[DecisionVector]> =
+        vectors.chunks(chunk_len(vectors.len(), workers)).collect();
+    let results = pool::map_ordered_with(
+        &chunks,
+        workers,
+        || SimWorkspace::new(ctx, solution),
+        |ws, _, chunk| -> Result<Vec<InstanceOutcome>, SchedError> {
+            chunk
+                .iter()
+                .map(|v| ws.simulate(ctx, solution, v))
+                .collect()
+        },
+    );
+    let mut summary = RunSummary::default();
+    for chunk in results {
+        for r in chunk? {
+            summary.absorb_outcome(&r);
+        }
+    }
+    summary.wall_s = start.elapsed().as_secs_f64();
+    Ok(summary)
+}
+
+/// Runs a fixed solution over a trace under a fault plan (the static policy
+/// of [`run_static`] with the fault semantics of
+/// [`simulate_instance_faulty`](crate::simulate_instance_faulty); instance
+/// `i` draws its faults from the sub-stream `mix(plan.seed, i)`).
+///
+/// # Errors
+///
+/// Propagates vector-arity mismatches and invalid plans.
+pub fn run_static_faulty(
+    ctx: &SchedContext,
+    solution: &Solution,
+    vectors: &[DecisionVector],
+    plan: &FaultPlan,
+) -> Result<RunSummary, SchedError> {
+    let start = Instant::now();
+    let mut ws = SimWorkspace::new(ctx, solution);
+    let mut injector = FaultInjector::empty(ctx);
+    let mut log = FaultLog::default();
+    let mut summary = RunSummary::default();
+    for (i, v) in vectors.iter().enumerate() {
+        injector.resample(plan, ctx, i as u64)?;
+        let r = ws.simulate_faulty(ctx, solution, v, plan, &injector, &mut log)?;
+        summary.absorb_outcome(&r);
+        summary.faults.absorb(&log.stats);
+    }
+    summary.wall_s = start.elapsed().as_secs_f64();
+    Ok(summary)
+}
+
+/// [`run_static_faulty`] fanned out over a worker pool.
+///
+/// Fault decisions are keyed by `(plan.seed, global instance index)`, so
+/// instances are independent and the partition into chunks cannot change
+/// them; outcomes are folded in trace order, making the summary bit-for-bit
+/// equal to [`run_static_faulty`]'s at every worker count.
+///
+/// # Errors
+///
+/// Propagates vector-arity mismatches and invalid plans.
+pub fn run_static_faulty_parallel(
+    ctx: &SchedContext,
+    solution: &Solution,
+    vectors: &[DecisionVector],
+    plan: &FaultPlan,
+    workers: usize,
+) -> Result<RunSummary, SchedError> {
+    let start = Instant::now();
+    let clen = chunk_len(vectors.len(), workers);
+    let chunks: Vec<(usize, &[DecisionVector])> = vectors
+        .chunks(clen)
+        .enumerate()
+        .map(|(c, chunk)| (c * clen, chunk))
+        .collect();
+    let results = pool::map_ordered_with(
+        &chunks,
+        workers,
+        || {
+            (
+                SimWorkspace::new(ctx, solution),
+                FaultInjector::empty(ctx),
+                FaultLog::default(),
+            )
+        },
+        |(ws, injector, log),
+         _,
+         &(base, chunk)|
+         -> Result<Vec<(InstanceOutcome, FaultStats)>, SchedError> {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(j, v)| {
+                    injector.resample(plan, ctx, (base + j) as u64)?;
+                    let r = ws.simulate_faulty(ctx, solution, v, plan, injector, log)?;
+                    Ok((r, log.stats))
+                })
+                .collect()
+        },
+    );
+    let mut summary = RunSummary::default();
+    for chunk in results {
+        for (r, stats) in chunk? {
+            summary.absorb_outcome(&r);
+            summary.faults.absorb(&stats);
+        }
+    }
+    summary.wall_s = start.elapsed().as_secs_f64();
     Ok(summary)
 }
 
@@ -94,13 +294,25 @@ pub fn run_adaptive(
     mut manager: AdaptiveScheduler,
     vectors: &[DecisionVector],
 ) -> Result<(RunSummary, AdaptiveScheduler), SchedError> {
+    let start = Instant::now();
     let mut summary = RunSummary::default();
+    let mut ws = SimWorkspace::new(ctx, manager.solution());
+    let mut last_reschedules = manager.stats().reschedules;
     for v in vectors {
-        let r = simulate_instance(ctx, manager.solution(), v)?;
-        summary.absorb_instance(&r);
+        let r = ws.simulate(ctx, manager.solution(), v)?;
+        summary.absorb_outcome(&r);
+        let t0 = Instant::now();
         manager.observe(ctx, v)?;
+        summary.resched_wall_s += t0.elapsed().as_secs_f64();
+        // An adoption may change the committed schedule; re-derive the
+        // workspace's constraint structure (speeds alone need no rebuild).
+        if manager.stats().reschedules != last_reschedules {
+            last_reschedules = manager.stats().reschedules;
+            ws.rebuild(ctx, manager.solution());
+        }
     }
-    summary.calls = manager.stats().calls;
+    summary.absorb_manager(&manager);
+    summary.wall_s = start.elapsed().as_secs_f64();
     Ok((summary, manager))
 }
 
@@ -140,12 +352,19 @@ pub fn run_adaptive_resilient(
     plan: &FaultPlan,
     cfg: &DegradeConfig,
 ) -> Result<(RunSummary, AdaptiveScheduler), SchedError> {
+    let start = Instant::now();
     let mut watchdog = Watchdog::new(*cfg)?;
     let mut summary = RunSummary::default();
+    let mut ws = SimWorkspace::new(ctx, manager.solution());
+    let mut injector = FaultInjector::empty(ctx);
+    let mut log = FaultLog::default();
+    let mut last_reschedules = manager.stats().reschedules;
     for (i, v) in vectors.iter().enumerate() {
-        let (r, log) = simulate_instance_faulty(ctx, manager.solution(), v, plan, i as u64)?;
-        summary.absorb_instance(&r);
+        injector.resample(plan, ctx, i as u64)?;
+        let r = ws.simulate_faulty(ctx, manager.solution(), v, plan, &injector, &mut log)?;
+        summary.absorb_outcome(&r);
         summary.faults.absorb(&log.stats);
+        let manage_t0 = Instant::now();
         match watchdog.record(r.deadline_met) {
             WatchdogVerdict::Hold => {}
             WatchdogVerdict::Escalate(rung) => match rung {
@@ -187,8 +406,14 @@ pub fn run_adaptive_resilient(
             // Safe mode / unschedulable: profile only, keep speeds pinned.
             manager.record_observation(ctx, v)?;
         }
+        summary.resched_wall_s += manage_t0.elapsed().as_secs_f64();
+        if manager.stats().reschedules != last_reschedules {
+            last_reschedules = manager.stats().reschedules;
+            ws.rebuild(ctx, manager.solution());
+        }
     }
-    summary.calls = manager.stats().calls;
+    summary.absorb_manager(&manager);
+    summary.wall_s = start.elapsed().as_secs_f64();
     Ok((summary, manager))
 }
 
