@@ -20,4 +20,11 @@ echo "==> throughput smoke (2 workers)"
 cargo build -q --release --offline -p ctg-bench --bin throughput
 CTG_WORKERS=2 ./target/release/throughput --smoke
 
+echo "==> warm-start solver equivalence"
+cargo test -q --offline --test solver_equivalence
+
+echo "==> solver bench smoke (asserts warm == cold bit-for-bit)"
+cargo build -q --release --offline -p ctg-bench --bin solver
+./target/release/solver --smoke
+
 echo "==> CI OK"

@@ -1,0 +1,183 @@
+//! Solver-latency bench — cold (from-scratch [`OnlineScheduler::solve`])
+//! vs warm ([`SolverWorkspace`]) re-solve latency over the probability
+//! tables an adaptive MPEG run actually re-schedules on (perf extension;
+//! not a paper table).
+//!
+//! The table sequence is harvested by replaying a drifting MPEG trace
+//! through an [`AdaptiveScheduler`] and recording every adopted table, so
+//! consecutive tables differ exactly as much as real drift makes them
+//! differ. Each rep then solves the whole sequence twice: once cold (a
+//! fresh solve per table) and once warm (one workspace carried across the
+//! sequence, fresh per rep — the first solve of a rep pays the full level
+//! build, exactly like a freshly constructed manager). Every warm solution
+//! is asserted **bit-for-bit identical** to its cold counterpart before any
+//! number is reported.
+//!
+//! Pass `--smoke` for a seconds-scale run (CI); numbers land in
+//! `BENCH_solver.json`.
+
+use std::time::Instant;
+
+use ctg_bench::setup::{prepare_mpeg, profile_trace};
+use ctg_model::BranchProbs;
+use ctg_sched::{AdaptiveScheduler, OnlineScheduler, SolverWorkspace};
+use ctg_workloads::traces;
+
+const WINDOW: usize = 20;
+const THRESHOLD: f64 = 0.1;
+
+/// Latency summary of one pass, in microseconds.
+struct Lat {
+    p50_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    total_s: f64,
+}
+
+fn summarize(mut samples: Vec<f64>) -> Lat {
+    assert!(!samples.is_empty());
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |q: f64| {
+        let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+        samples[idx] * 1e6
+    };
+    let total: f64 = samples.iter().sum();
+    Lat {
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        mean_us: total * 1e6 / samples.len() as f64,
+        total_s: total,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (segment_len, tiles, reps) = if smoke { (200, 10, 1) } else { (500, 20, 3) };
+
+    let ctx = prepare_mpeg(2.0);
+    let movie = &traces::movie_presets()[1]; // Bike: strong scene drift
+    let segment = traces::generate_trace(ctx.ctg(), &movie.profile, segment_len);
+    let profiled = profile_trace(&ctx, &segment);
+
+    // ---- Harvest the tables an adaptive run re-schedules on. ----
+    let mut mgr =
+        AdaptiveScheduler::new(&ctx, profiled.clone(), WINDOW, THRESHOLD).expect("manager builds");
+    let mut tables: Vec<BranchProbs> = vec![profiled.clone()];
+    for _ in 0..tiles {
+        for v in &segment {
+            if mgr.observe(&ctx, v).expect("observe succeeds") {
+                tables.push(mgr.current_probs().clone());
+            }
+        }
+    }
+    assert!(
+        tables.len() >= 10,
+        "drift must trigger enough re-schedules to time ({} tables)",
+        tables.len()
+    );
+
+    let online = OnlineScheduler::new();
+    let mut cold_samples = Vec::with_capacity(tables.len() * reps);
+    let mut warm_samples = Vec::with_capacity(tables.len() * reps);
+    let mut last_stats = None;
+    for _ in 0..reps {
+        // Cold: every table solved from scratch.
+        let mut cold_solutions = Vec::with_capacity(tables.len());
+        for probs in &tables {
+            let t0 = Instant::now();
+            let sol = online.solve(&ctx, probs).expect("cold solve");
+            cold_samples.push(t0.elapsed().as_secs_f64());
+            cold_solutions.push(sol);
+        }
+
+        // Warm: one workspace across the sequence (fresh per rep).
+        let mut ws = SolverWorkspace::new();
+        for (probs, cold) in tables.iter().zip(&cold_solutions) {
+            let t0 = Instant::now();
+            let sol = online
+                .solve_with_workspace(&ctx, probs, &mut ws)
+                .expect("warm solve");
+            warm_samples.push(t0.elapsed().as_secs_f64());
+            assert_eq!(cold.schedule, sol.schedule, "warm schedule must match");
+            for t in ctx.ctg().tasks() {
+                assert_eq!(
+                    cold.speeds.speed(t).to_bits(),
+                    sol.speeds.speed(t).to_bits(),
+                    "warm speed bits must match for task {t}"
+                );
+            }
+            assert_eq!(
+                cold.expected_energy(&ctx, probs).to_bits(),
+                sol.expected_energy(&ctx, probs).to_bits(),
+                "warm energy bits must match"
+            );
+        }
+        last_stats = Some(ws.stats());
+    }
+
+    let cold = summarize(cold_samples);
+    let warm = summarize(warm_samples);
+    let speedup_total = cold.total_s / warm.total_s;
+    let stats = last_stats.expect("at least one rep ran");
+
+    // ---- Report. ----
+    println!(
+        "solver latency on mpeg/{} ({} tables x {reps} reps, adaptive drift):\n",
+        movie.name,
+        tables.len()
+    );
+    let fmt = |label: &str, l: &Lat| {
+        println!(
+            "{label:<6} p50 {:>9.1} us   p99 {:>9.1} us   mean {:>9.1} us   total {:.4} s",
+            l.p50_us, l.p99_us, l.mean_us, l.total_s
+        );
+    };
+    fmt("cold", &cold);
+    fmt("warm", &warm);
+    println!("\nwarm speedup (total cold / total warm): {speedup_total:.2}x");
+    println!(
+        "workspace: {} solves, {} memo hits, {} full level builds, {} dirty updates \
+         ({} levels recomputed), {} graph reuses / {} rebuilds",
+        stats.solves,
+        stats.memo_hits,
+        stats.full_level_rebuilds,
+        stats.dirty_level_updates,
+        stats.levels_recomputed,
+        stats.graph_reuses,
+        stats.graph_rebuilds
+    );
+    println!("equivalence: PASS (every warm solution bit-identical to cold)");
+
+    // ---- Hand-rolled JSON artifact. ----
+    let lat_json = |l: &Lat| {
+        format!(
+            "{{\"p50_us\": {:.3}, \"p99_us\": {:.3}, \"mean_us\": {:.3}, \"total_s\": {:.6}}}",
+            l.p50_us, l.p99_us, l.mean_us, l.total_s
+        )
+    };
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"workload\": \"mpeg/{}\",\n  \"tables\": {},\n  \"reps\": {reps},\n  \"smoke\": {smoke},\n",
+        movie.name,
+        tables.len()
+    ));
+    json.push_str(&format!("  \"cold\": {},\n", lat_json(&cold)));
+    json.push_str(&format!("  \"warm\": {},\n", lat_json(&warm)));
+    json.push_str(&format!("  \"speedup_total\": {speedup_total:.4},\n"));
+    json.push_str(&format!(
+        "  \"workspace\": {{\"solves\": {}, \"memo_hits\": {}, \"full_level_rebuilds\": {}, \
+         \"dirty_level_updates\": {}, \"levels_recomputed\": {}, \"graph_reuses\": {}, \
+         \"graph_rebuilds\": {}, \"rebinds\": {}}},\n",
+        stats.solves,
+        stats.memo_hits,
+        stats.full_level_rebuilds,
+        stats.dirty_level_updates,
+        stats.levels_recomputed,
+        stats.graph_reuses,
+        stats.graph_rebuilds,
+        stats.rebinds
+    ));
+    json.push_str("  \"equivalence\": \"pass\"\n}\n");
+    std::fs::write("BENCH_solver.json", json).expect("write BENCH_solver.json");
+    println!("wrote BENCH_solver.json");
+}

@@ -14,6 +14,7 @@ use crate::context::SchedContext;
 use crate::error::SchedError;
 use crate::online::{OnlineScheduler, Solution};
 use crate::speed::SpeedAssignment;
+use crate::workspace::{SolverWorkspace, WorkspaceStats};
 use ctg_model::{BranchProbs, DecisionVector, TaskId};
 use std::collections::VecDeque;
 
@@ -304,6 +305,16 @@ pub struct AdaptiveScheduler {
     /// default, which reproduces the paper's re-solve-on-every-drift
     /// behaviour exactly).
     cache: Option<LruCache<CacheKey, CacheEntry>>,
+    /// Warm-start solver state for unguarded solves — bit-for-bit
+    /// equivalent to calling the scheduler from scratch, but structurally
+    /// incremental across re-schedules.
+    workspace: SolverWorkspace,
+    /// Separate warm-start state for guard-banded solves: those run
+    /// against a deadline-scaled context, and the two streams must not
+    /// thrash each other's incumbents (the workspace re-binds by context
+    /// content, so interleaving them would discard the warm state every
+    /// call).
+    guard_workspace: SolverWorkspace,
 }
 
 impl AdaptiveScheduler {
@@ -373,7 +384,8 @@ impl AdaptiveScheduler {
             .iter()
             .map(|&b| Estimator::new(kind, ctx.ctg().node(b).alternatives()))
             .collect::<Result<Vec<_>, _>>()?;
-        let solution = scheduler.solve(ctx, &initial_probs)?;
+        let mut workspace = SolverWorkspace::new();
+        let solution = workspace.solve(scheduler.config(), ctx, &initial_probs)?;
         Ok(AdaptiveScheduler {
             scheduler,
             estimators,
@@ -383,6 +395,8 @@ impl AdaptiveScheduler {
             stats: AdaptiveStats::default(),
             deadline_guard: 1.0,
             cache: None,
+            workspace,
+            guard_workspace: SolverWorkspace::new(),
         })
     }
 
@@ -563,22 +577,35 @@ impl AdaptiveScheduler {
     }
 
     /// Solves for `probs`, honouring a guard-banded deadline when
-    /// `guard < 1.0`, without consulting or filling the cache.
+    /// `guard < 1.0`, without consulting or filling the cache. Runs through
+    /// the owned [`SolverWorkspace`] — identical results to a from-scratch
+    /// solve, warm-started when only the probabilities moved.
     fn raw_solve(
-        &self,
+        &mut self,
         ctx: &SchedContext,
         probs: &BranchProbs,
         guard: f64,
     ) -> Result<Solution, SchedError> {
         if guard < 1.0 {
+            // The guarded context is rebuilt per call, but its *content* is
+            // the same for a fixed guard factor, so the guard workspace
+            // stays warm across calls.
             SchedContext::new(
                 ctx.ctg().with_deadline(guard * ctx.ctg().deadline()),
                 ctx.platform().clone(),
             )
-            .and_then(|guarded| self.scheduler.solve(&guarded, probs))
+            .and_then(|guarded| {
+                self.guard_workspace
+                    .solve(self.scheduler.config(), &guarded, probs)
+            })
         } else {
-            self.scheduler.solve(ctx, probs)
+            self.workspace.solve(self.scheduler.config(), ctx, probs)
         }
+    }
+
+    /// Work counters of the unguarded warm-start solver workspace.
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        self.workspace.stats()
     }
 
     /// Solves for `probs` through the schedule cache when enabled.

@@ -1,10 +1,17 @@
 //! A small bounded LRU map, hand-rolled over `HashMap` + `VecDeque`.
 //!
-//! The workspace is offline-only, so no external cache crate is used. The
-//! recency list is a `VecDeque<K>` scanned linearly on touch — O(capacity)
-//! per operation, which is the right trade-off for the schedule cache's
-//! double-digit capacities (entries hold full DLS+stretch solutions, so the
-//! map stays small by construction).
+//! No external cache crate is used. The recency list is a `VecDeque<K>`
+//! scanned linearly on touch — O(capacity) per operation, which is the
+//! right trade-off for the schedule cache's double-digit capacities
+//! (entries hold full DLS+stretch solutions, so the map stays small by
+//! construction).
+//!
+//! The schedule cache and the warm-start
+//! [`SolverWorkspace`](crate::SolverWorkspace) are complementary: the
+//! cache replays *exact* revisits of a probability table without any
+//! solver work, while the workspace makes the solves the cache cannot
+//! avoid — nearby-but-new tables — structurally incremental. Neither
+//! changes a single adopted plan.
 
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;

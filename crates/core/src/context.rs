@@ -117,6 +117,110 @@ impl ScenarioMask {
     }
 }
 
+/// Flat (CSR) view of the combined precedence structure — CTG edges plus the
+/// implied or-node dependencies — with per-task quantities the schedulers'
+/// inner loops keep asking for.
+///
+/// Built once in [`SchedContext::new`] so repeated solves stop rebuilding
+/// `Vec<Vec<…>>` adjacency on every call. The adjacency preserves the
+/// historical construction order exactly (CTG edges in declaration order,
+/// implied dependencies appended; successors derived by ascending task
+/// index), so schedulers iterating it reproduce the from-scratch results
+/// bit for bit.
+#[derive(Debug, Clone)]
+pub struct CompiledGraph {
+    pred_off: Vec<usize>,
+    pred_data: Vec<(TaskId, f64)>, // (predecessor, comm kbytes)
+    succ_off: Vec<usize>,
+    succ_data: Vec<TaskId>,
+    /// Per-task WCET averaged over runnable PEs; NaN when the task can run
+    /// nowhere (the accessor panics on use, like `PeProfile::wcet_avg`).
+    wcet_avg: Vec<f64>,
+}
+
+impl CompiledGraph {
+    fn build(ctg: &Ctg, platform: &Platform, act: &Activation) -> Self {
+        let n = ctg.num_tasks();
+        let mut preds: Vec<Vec<(TaskId, f64)>> = vec![Vec::new(); n];
+        for (_, e) in ctg.edges() {
+            preds[e.dst().index()].push((e.src(), e.comm_kbytes()));
+        }
+        for &(fork, or_node) in act.implied_or_deps() {
+            preds[or_node.index()].push((fork, 0.0));
+        }
+        let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        for (t, ps) in preds.iter().enumerate() {
+            for &(p, _) in ps {
+                succs[p.index()].push(TaskId::new(t));
+            }
+        }
+        fn flatten_counts<T>(lists: &[Vec<T>]) -> Vec<usize> {
+            let mut off = Vec::with_capacity(lists.len() + 1);
+            off.push(0usize);
+            for l in lists {
+                off.push(off.last().unwrap() + l.len());
+            }
+            off
+        }
+        let pred_off = flatten_counts(&preds);
+        let succ_off = flatten_counts(&succs);
+        let profile = platform.profile();
+        let wcet_avg = (0..n)
+            .map(|t| {
+                let mut sum = 0.0;
+                let mut count = 0usize;
+                for pe in platform.pes() {
+                    let w = profile.wcet(t, pe);
+                    if w.is_finite() {
+                        sum += w;
+                        count += 1;
+                    }
+                }
+                if count == 0 {
+                    f64::NAN
+                } else {
+                    sum / count as f64
+                }
+            })
+            .collect();
+        CompiledGraph {
+            pred_off,
+            pred_data: preds.into_iter().flatten().collect(),
+            succ_off,
+            succ_data: succs.into_iter().flatten().collect(),
+            wcet_avg,
+        }
+    }
+
+    /// The combined predecessors of `task` with their communication volumes,
+    /// in the order the schedulers historically built them.
+    pub fn preds(&self, task: TaskId) -> &[(TaskId, f64)] {
+        &self.pred_data[self.pred_off[task.index()]..self.pred_off[task.index() + 1]]
+    }
+
+    /// Number of combined predecessors of `task`.
+    pub fn num_preds(&self, task: TaskId) -> usize {
+        self.pred_off[task.index() + 1] - self.pred_off[task.index()]
+    }
+
+    /// The combined successors of `task` (transposed from [`CompiledGraph::preds`]).
+    pub fn succs(&self, task: TaskId) -> &[TaskId] {
+        &self.succ_data[self.succ_off[task.index()]..self.succ_off[task.index() + 1]]
+    }
+
+    /// Cached WCET of `task` averaged over the PEs able to run it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the task cannot run on any PE (mirrors
+    /// `PeProfile::wcet_avg`, which this caches).
+    pub fn wcet_avg(&self, task: TaskId) -> f64 {
+        let avg = self.wcet_avg[task.index()];
+        assert!(!avg.is_nan(), "task {} cannot run on any PE", task.index());
+        avg
+    }
+}
+
 /// Everything the schedulers need about one (CTG, platform) pair, with the
 /// activation analysis and scenario enumeration computed once.
 ///
@@ -131,6 +235,7 @@ pub struct SchedContext {
     mutex: Vec<bool>, // row-major n×n mutual-exclusion matrix
     task_masks: Vec<ScenarioMask>,
     literal_masks: Vec<Vec<ScenarioMask>>, // [branch index][alt]
+    compiled: CompiledGraph,
 }
 
 impl SchedContext {
@@ -180,6 +285,7 @@ impl SchedContext {
                 }
             }
         }
+        let compiled = CompiledGraph::build(&ctg, &platform, &act);
         Ok(SchedContext {
             ctg,
             platform,
@@ -188,7 +294,13 @@ impl SchedContext {
             mutex,
             task_masks,
             literal_masks,
+            compiled,
         })
+    }
+
+    /// The flat precedence structure and per-task caches (built once).
+    pub fn compiled(&self) -> &CompiledGraph {
+        &self.compiled
     }
 
     /// Cached mutual-exclusion test (`X(τi) ∧ X(τj) = 0`).

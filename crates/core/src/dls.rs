@@ -75,22 +75,10 @@ pub fn dls_with_levels(
     let profile = platform.profile();
     let n = ctg.num_tasks();
 
-    // Combined precedence: CTG edges plus implied or-node dependencies.
-    let mut preds: Vec<Vec<(TaskId, f64)>> = vec![Vec::new(); n];
-    for (_, e) in ctg.edges() {
-        preds[e.dst().index()].push((e.src(), e.comm_kbytes()));
-    }
-    for &(fork, or_node) in ctx.activation().implied_or_deps() {
-        preds[or_node.index()].push((fork, 0.0));
-    }
-
-    let mut remaining: Vec<usize> = preds.iter().map(Vec::len).collect();
-    let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); n];
-    for (t, ps) in preds.iter().enumerate() {
-        for &(p, _) in ps {
-            succs[p.index()].push(TaskId::new(t));
-        }
-    }
+    // Combined precedence (CTG edges plus implied or-node dependencies),
+    // compiled once per context.
+    let cg = ctx.compiled();
+    let mut remaining: Vec<usize> = ctg.tasks().map(|t| cg.num_preds(t)).collect();
 
     let mut ready: Vec<TaskId> = (0..n)
         .filter(|&t| remaining[t] == 0)
@@ -112,7 +100,7 @@ pub fn dls_with_levels(
                 }
                 let at = earliest_start(
                     ctx,
-                    &preds[t.index()],
+                    cg.preds(t),
                     t,
                     pe,
                     &scheduled,
@@ -157,7 +145,7 @@ pub fn dls_with_levels(
         task_order.push(t);
 
         ready.retain(|&x| x != t);
-        for &s in &succs[t.index()] {
+        for &s in cg.succs(t) {
             remaining[s.index()] -= 1;
             if remaining[s.index()] == 0 {
                 ready.push(s);
@@ -197,20 +185,8 @@ pub fn list_schedule_fixed(
     let profile = platform.profile();
     let n = ctg.num_tasks();
 
-    let mut preds: Vec<Vec<(TaskId, f64)>> = vec![Vec::new(); n];
-    for (_, e) in ctg.edges() {
-        preds[e.dst().index()].push((e.src(), e.comm_kbytes()));
-    }
-    for &(fork, or_node) in ctx.activation().implied_or_deps() {
-        preds[or_node.index()].push((fork, 0.0));
-    }
-    let mut remaining: Vec<usize> = preds.iter().map(Vec::len).collect();
-    let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); n];
-    for (t, ps) in preds.iter().enumerate() {
-        for &(p, _) in ps {
-            succs[p.index()].push(TaskId::new(t));
-        }
-    }
+    let cg = ctx.compiled();
+    let mut remaining: Vec<usize> = ctg.tasks().map(|t| cg.num_preds(t)).collect();
 
     let mut ready: Vec<TaskId> = (0..n)
         .filter(|&t| remaining[t] == 0)
@@ -239,7 +215,7 @@ pub fn list_schedule_fixed(
         }
         let at = earliest_start(
             ctx,
-            &preds[t.index()],
+            cg.preds(t),
             t,
             pe,
             &scheduled,
@@ -265,7 +241,7 @@ pub fn list_schedule_fixed(
         pe_order[pe.index()].insert(pos, t);
         task_order.push(t);
         ready.retain(|&x| x != t);
-        for &s in &succs[t.index()] {
+        for &s in cg.succs(t) {
             remaining[s.index()] -= 1;
             if remaining[s.index()] == 0 {
                 ready.push(s);

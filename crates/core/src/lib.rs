@@ -71,11 +71,13 @@ mod stretch;
 #[doc(hidden)]
 pub mod test_util;
 mod validate;
+mod workspace;
 
 pub use adaptive::{
     AdaptiveScheduler, AdaptiveStats, EstimatorKind, EwmaEstimator, ObserveOutcome, SlidingWindow,
 };
 pub use cache::LruCache;
+pub use context::CompiledGraph;
 pub use context::{ScenarioMask, SchedContext};
 pub use dls::{dls_schedule, dls_with_levels, list_schedule_fixed};
 pub use error::SchedError;
@@ -84,5 +86,6 @@ pub use schedule::Schedule;
 pub use sgraph::{SEdge, SEdgeKind, SPath, ScheduledGraph, DEFAULT_PATH_CAP};
 pub use speed::{expected_energy, SpeedAssignment};
 pub use static_level::{delta, static_levels, worst_case_levels};
-pub use stretch::{stretch_schedule, StretchConfig};
+pub use stretch::{stretch_schedule, stretch_schedule_seeded, StretchConfig};
 pub use validate::{validate_schedule, validate_solution, ScheduleViolation};
+pub use workspace::{SolverWorkspace, WorkspaceStats};

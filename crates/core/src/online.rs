@@ -24,36 +24,14 @@ impl Solution {
     }
 
     /// Worst-case makespan of this solution: the longest scheduled-graph
-    /// path at the stretched speeds, over all scenarios.
+    /// chain at the stretched speeds, maximised over all scenarios.
     ///
-    /// When the path enumeration explodes past
-    /// [`DEFAULT_PATH_CAP`](crate::DEFAULT_PATH_CAP) an upper bound is
-    /// returned instead (nominal makespan over the slowest assigned speed),
-    /// which is consistent between solutions compared under the same cap.
+    /// Computed by an `O(scenarios · (V+E))` longest-path dynamic program —
+    /// exact (no path cap, no fallback estimate) and cheap enough to run on
+    /// every adoption comparison, unlike the full path enumeration it
+    /// replaced.
     pub fn worst_case_makespan(&self, ctx: &SchedContext) -> f64 {
-        let probs = BranchProbs::uniform(ctx.ctg());
-        match crate::sgraph::ScheduledGraph::build(
-            ctx,
-            &self.schedule,
-            &probs,
-            crate::DEFAULT_PATH_CAP,
-        ) {
-            Some(graph) => graph
-                .paths()
-                .iter()
-                .map(|p| p.stretched_delay(ctx, &self.schedule, &self.speeds))
-                .fold(0.0, f64::max),
-            None => {
-                let slowest = self
-                    .speeds
-                    .speeds()
-                    .iter()
-                    .copied()
-                    .fold(1.0_f64, f64::min)
-                    .max(f64::MIN_POSITIVE);
-                self.schedule.makespan() / slowest
-            }
-        }
+        crate::sgraph::worst_case_makespan_dp(ctx, &self.schedule, &self.speeds)
     }
 }
 
@@ -130,6 +108,24 @@ impl OnlineScheduler {
         }
         let speeds = stretch_schedule(ctx, probs, &schedule, &self.cfg)?;
         Ok(Solution { schedule, speeds })
+    }
+
+    /// Like [`OnlineScheduler::solve`], but with warm-start state carried
+    /// in `workspace` across calls — bit-for-bit the same solutions and
+    /// errors, structurally incremental when only the probabilities moved
+    /// since the previous solve (see
+    /// [`SolverWorkspace`](crate::SolverWorkspace)).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OnlineScheduler::solve`].
+    pub fn solve_with_workspace(
+        &self,
+        ctx: &SchedContext,
+        probs: &BranchProbs,
+        workspace: &mut crate::workspace::SolverWorkspace,
+    ) -> Result<Solution, SchedError> {
+        workspace.solve(&self.cfg, ctx, probs)
     }
 }
 

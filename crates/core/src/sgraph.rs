@@ -11,6 +11,7 @@
 
 use crate::context::{ScenarioMask, SchedContext};
 use crate::schedule::Schedule;
+use crate::speed::SpeedAssignment;
 use ctg_model::{BranchProbs, Literal, TaskId};
 
 /// Why an edge exists in the scheduled graph.
@@ -110,6 +111,14 @@ impl SPath {
             .iter()
             .position(|&t| t == task)
             .expect("task must lie on the path");
+        self.prob_after_at(pos, probs)
+    }
+
+    /// [`SPath::prob_after`] with the task's position on the path already
+    /// known (see [`ScheduledGraph::spanning_at`]) — the stretching loop's
+    /// hot variant, skipping the linear position scan. Identical guard
+    /// iteration order, so identical bits.
+    pub(crate) fn prob_after_at(&self, pos: usize, probs: &BranchProbs) -> f64 {
         self.guards
             .iter()
             .filter(|(fork_pos, _)| *fork_pos >= pos)
@@ -125,6 +134,10 @@ pub struct ScheduledGraph {
     paths: Vec<SPath>,
     /// For each task, the indices of the paths spanning it.
     spanning: Vec<Vec<usize>>,
+    /// For each task, the task's position on each spanning path (parallel
+    /// to `spanning`), precomputed so per-sweep probability lookups need no
+    /// position scan.
+    span_at: Vec<Vec<u32>>,
 }
 
 /// Upper bound on enumerated paths before falling back to the caller's
@@ -144,55 +157,7 @@ impl ScheduledGraph {
     ) -> Option<Self> {
         let ctg = ctx.ctg();
         let n = ctg.num_tasks();
-        let comm = ctx.platform().comm();
-
-        let mut edges: Vec<SEdge> = Vec::new();
-        for (_, e) in ctg.edges() {
-            let delay = comm.delay(
-                schedule.pe_of(e.src()),
-                schedule.pe_of(e.dst()),
-                e.comm_kbytes(),
-            );
-            edges.push(SEdge {
-                src: e.src(),
-                dst: e.dst(),
-                delay,
-                guard: e.condition().map(|alt| Literal::new(e.src(), alt)),
-                kind: SEdgeKind::Ctg,
-            });
-        }
-        for &(fork, or_node) in ctx.activation().implied_or_deps() {
-            if !edges.iter().any(|e| e.src == fork && e.dst == or_node) {
-                edges.push(SEdge {
-                    src: fork,
-                    dst: or_node,
-                    delay: 0.0,
-                    guard: None,
-                    kind: SEdgeKind::Implied,
-                });
-            }
-        }
-        // Same-PE serialization: earlier → later among non-exclusive pairs.
-        for pe in ctx.platform().pes() {
-            let order = schedule.pe_order(pe);
-            for i in 0..order.len() {
-                for j in (i + 1)..order.len() {
-                    let (a, b) = (order[i], order[j]);
-                    if ctx.mutually_exclusive(a, b) {
-                        continue;
-                    }
-                    if !edges.iter().any(|e| e.src == a && e.dst == b) {
-                        edges.push(SEdge {
-                            src: a,
-                            dst: b,
-                            delay: 0.0,
-                            guard: None,
-                            kind: SEdgeKind::Pseudo,
-                        });
-                    }
-                }
-            }
-        }
+        let edges = collect_edges(ctx, schedule);
 
         // Scenario-aware transitive reduction: a zero-delay pseudo/implied
         // edge (u, v) is redundant only when a longer route u→…→v exists
@@ -242,15 +207,18 @@ impl ScheduledGraph {
 
         let paths = enumerate(ctx, schedule, probs, &edges, cap)?;
         let mut spanning = vec![Vec::new(); n];
+        let mut span_at = vec![Vec::new(); n];
         for (i, p) in paths.iter().enumerate() {
-            for &t in &p.tasks {
+            for (pos, &t) in p.tasks.iter().enumerate() {
                 spanning[t.index()].push(i);
+                span_at[t.index()].push(pos as u32);
             }
         }
         Some(ScheduledGraph {
             edges,
             paths,
             spanning,
+            span_at,
         })
     }
 
@@ -274,6 +242,12 @@ impl ScheduledGraph {
         &self.spanning[task.index()]
     }
 
+    /// `task`'s position on each of its spanning paths, parallel to
+    /// [`ScheduledGraph::spanning`].
+    pub(crate) fn spanning_at(&self, task: TaskId) -> &[u32] {
+        &self.span_at[task.index()]
+    }
+
     /// Adds `extra` to the delay of every path spanning `task` — the
     /// stretching loop's propagation step, without cloning the spanning
     /// list to appease the borrow checker.
@@ -287,6 +261,145 @@ impl ScheduledGraph {
     pub fn critical_delay(&self) -> f64 {
         self.paths.iter().map(|p| p.delay).fold(0.0, f64::max)
     }
+
+    /// Recomputes every path's probability under a new probability table,
+    /// leaving topology, delays, conditions and guards untouched — the
+    /// O(paths) replacement for a full rebuild when only the estimates
+    /// moved (the mapping, order and communication delays do not depend on
+    /// `probs`).
+    ///
+    /// Produces bit-identical probabilities to a fresh
+    /// [`ScheduledGraph::build`] under the same table: the same
+    /// `mask_prob` evaluated on the same stored scenario masks.
+    pub fn reweight(&mut self, ctx: &SchedContext, probs: &BranchProbs) {
+        let scenario_probs = ctx.scenario_probs(probs);
+        for p in &mut self.paths {
+            p.prob = ctx.mask_prob(&p.cond, &scenario_probs);
+        }
+    }
+}
+
+/// The pre-reduction edge set of the scheduled graph: CTG edges with their
+/// communication delays and guards, implied or-node waits, and same-PE
+/// serialization pseudo-edges (mutually exclusive pairs excluded).
+fn collect_edges(ctx: &SchedContext, schedule: &Schedule) -> Vec<SEdge> {
+    let ctg = ctx.ctg();
+    let comm = ctx.platform().comm();
+
+    let mut edges: Vec<SEdge> = Vec::new();
+    for (_, e) in ctg.edges() {
+        let delay = comm.delay(
+            schedule.pe_of(e.src()),
+            schedule.pe_of(e.dst()),
+            e.comm_kbytes(),
+        );
+        edges.push(SEdge {
+            src: e.src(),
+            dst: e.dst(),
+            delay,
+            guard: e.condition().map(|alt| Literal::new(e.src(), alt)),
+            kind: SEdgeKind::Ctg,
+        });
+    }
+    for &(fork, or_node) in ctx.activation().implied_or_deps() {
+        if !edges.iter().any(|e| e.src == fork && e.dst == or_node) {
+            edges.push(SEdge {
+                src: fork,
+                dst: or_node,
+                delay: 0.0,
+                guard: None,
+                kind: SEdgeKind::Implied,
+            });
+        }
+    }
+    // Same-PE serialization: earlier → later among non-exclusive pairs.
+    for pe in ctx.platform().pes() {
+        let order = schedule.pe_order(pe);
+        for i in 0..order.len() {
+            for j in (i + 1)..order.len() {
+                let (a, b) = (order[i], order[j]);
+                if ctx.mutually_exclusive(a, b) {
+                    continue;
+                }
+                if !edges.iter().any(|e| e.src == a && e.dst == b) {
+                    edges.push(SEdge {
+                        src: a,
+                        dst: b,
+                        delay: 0.0,
+                        guard: None,
+                        kind: SEdgeKind::Pseudo,
+                    });
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Exact worst-case makespan of a (mapping, order, speeds) solution: for
+/// every scenario, a longest-path dynamic program over the scheduled
+/// graph's constraint edges with stretched execution times, maximised
+/// across scenarios. `O(S·(V+E))` for `S` enumerated scenarios — no path
+/// enumeration, no cap, no fallback estimate.
+///
+/// Uses the *un-reduced* edge set: dominated zero-delay edges never change
+/// a longest path (the covering route is at least as long in every shared
+/// scenario), and skipping the reduction keeps the routine cheap enough to
+/// run per comparison.
+pub(crate) fn worst_case_makespan_dp(
+    ctx: &SchedContext,
+    schedule: &Schedule,
+    speeds: &SpeedAssignment,
+) -> f64 {
+    let n = ctx.ctg().num_tasks();
+    let edges = collect_edges(ctx, schedule);
+    let mut radj: Vec<Vec<(usize, f64, Option<Literal>)>> = vec![Vec::new(); n];
+    for e in &edges {
+        radj[e.dst.index()].push((e.src.index(), e.delay, e.guard));
+    }
+    let profile = ctx.platform().profile();
+    let exec: Vec<f64> = (0..n)
+        .map(|t| {
+            let t = TaskId::new(t);
+            profile.wcet(t.index(), schedule.pe_of(t)) / speeds.speed(t)
+        })
+        .collect();
+    // A topological order of the constraint graph: pseudo edges always go
+    // from earlier to later start times, so schedule-start order works (the
+    // CTG's own topological order ignores pseudo edges).
+    let mut topo: Vec<usize> = (0..n).collect();
+    topo.sort_by(|&a, &b| {
+        schedule
+            .start(TaskId::new(a))
+            .partial_cmp(&schedule.start(TaskId::new(b)))
+            .expect("start times are finite")
+            .then(a.cmp(&b))
+    });
+    let mut fin = vec![0.0_f64; n];
+    let mut worst: f64 = 0.0;
+    for s in ctx.scenarios().scenarios() {
+        let active = s.active_tasks();
+        for &t in &topo {
+            if !active[t] {
+                continue;
+            }
+            let mut start: f64 = 0.0;
+            for &(src, delay, guard) in &radj[t] {
+                if !active[src] {
+                    continue;
+                }
+                if let Some(lit) = guard {
+                    if s.cube().alt_of(lit.branch()) != Some(lit.alt()) {
+                        continue;
+                    }
+                }
+                start = start.max(fin[src] + delay);
+            }
+            fin[t] = start + exec[t];
+            worst = worst.max(fin[t]);
+        }
+    }
+    worst
 }
 
 fn enumerate(
@@ -460,6 +573,48 @@ mod tests {
         let (ctx, probs, _) = example1_context();
         let s = dls_schedule(&ctx, &probs).unwrap();
         assert!(ScheduledGraph::build(&ctx, &s, &probs, 1).is_none());
+    }
+
+    #[test]
+    fn reweight_matches_rebuild_bitwise() {
+        let (ctx, probs, ids) = example1_context();
+        let [_, _, t3, ..] = ids;
+        let s = dls_schedule(&ctx, &probs).unwrap();
+        let mut skew = probs.clone();
+        skew.set(t3, vec![0.8, 0.2]).unwrap();
+
+        let mut g = ScheduledGraph::build(&ctx, &s, &probs, 10_000).unwrap();
+        g.reweight(&ctx, &skew);
+        let fresh = ScheduledGraph::build(&ctx, &s, &skew, 10_000).unwrap();
+        assert_eq!(g.paths().len(), fresh.paths().len());
+        for (a, b) in g.paths().iter().zip(fresh.paths()) {
+            assert_eq!(a.tasks, b.tasks);
+            assert_eq!(a.delay.to_bits(), b.delay.to_bits());
+            assert_eq!(a.prob.to_bits(), b.prob.to_bits(), "path prob diverged");
+        }
+    }
+
+    #[test]
+    fn makespan_dp_matches_path_enumeration() {
+        let (ctx, probs, _) = example1_context();
+        let s = dls_schedule(&ctx, &probs).unwrap();
+        let speeds =
+            crate::stretch::stretch_schedule(&ctx, &probs, &s, &Default::default()).unwrap();
+        let g = ScheduledGraph::build(&ctx, &s, &probs, 10_000).unwrap();
+        let by_paths = g
+            .paths()
+            .iter()
+            .map(|p| p.stretched_delay(&ctx, &s, &speeds))
+            .fold(0.0, f64::max);
+        let by_dp = worst_case_makespan_dp(&ctx, &s, &speeds);
+        assert!(
+            (by_dp - by_paths).abs() <= 1e-9 * by_paths.max(1.0),
+            "DP {by_dp} vs path enumeration {by_paths}"
+        );
+        // At nominal speeds the DP reproduces the schedule's makespan.
+        let nominal = SpeedAssignment::nominal(ctx.ctg().num_tasks());
+        let wcm = worst_case_makespan_dp(&ctx, &s, &nominal);
+        assert!((wcm - s.makespan()).abs() <= 1e-9 * s.makespan());
     }
 }
 

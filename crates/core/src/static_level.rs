@@ -20,41 +20,105 @@
 use crate::context::SchedContext;
 use ctg_model::{BranchProbs, TaskId};
 
+/// One task's static level given the (already final) levels of its CTG
+/// successors — the shared kernel of the full recompute and the dirty-set
+/// update, so both produce identical bits by construction.
+fn level_of(ctx: &SchedContext, probs: &BranchProbs, sl: &[f64], t: TaskId) -> f64 {
+    let ctg = ctx.ctg();
+    let base = ctx.compiled().wcet_avg(t);
+    let node = ctg.node(t);
+    if node.is_branch() {
+        // Per-alternative maximum, expectation across alternatives.
+        let mut uncond_max: f64 = 0.0;
+        let alts = node.alternatives() as usize;
+        let mut alt_max = vec![0.0_f64; alts];
+        for (_, e) in ctg.out_edges(t) {
+            let succ_sl = sl[e.dst().index()];
+            match e.condition() {
+                Some(a) => alt_max[a as usize] = alt_max[a as usize].max(succ_sl),
+                None => uncond_max = uncond_max.max(succ_sl),
+            }
+        }
+        let expected: f64 = (0..alts)
+            .map(|a| probs.prob(t, a as u8) * alt_max[a].max(uncond_max))
+            .sum();
+        base + expected
+    } else {
+        let succ_max = ctg
+            .successors(t)
+            .map(|s| sl[s.index()])
+            .fold(0.0_f64, f64::max);
+        base + succ_max
+    }
+}
+
 /// Computes the static level of every task under the current branch
 /// probabilities. Indexed by task id.
 pub fn static_levels(ctx: &SchedContext, probs: &BranchProbs) -> Vec<f64> {
-    let ctg = ctx.ctg();
-    let profile = ctx.platform().profile();
-    let mut sl = vec![0.0_f64; ctg.num_tasks()];
-    for &t in ctg.topological().iter().rev() {
-        let base = profile.wcet_avg(t.index());
-        let node = ctg.node(t);
-        let level = if node.is_branch() {
-            // Per-alternative maximum, expectation across alternatives.
-            let mut uncond_max: f64 = 0.0;
-            let alts = node.alternatives() as usize;
-            let mut alt_max = vec![0.0_f64; alts];
-            for (_, e) in ctg.out_edges(t) {
-                let succ_sl = sl[e.dst().index()];
-                match e.condition() {
-                    Some(a) => alt_max[a as usize] = alt_max[a as usize].max(succ_sl),
-                    None => uncond_max = uncond_max.max(succ_sl),
-                }
-            }
-            let expected: f64 = (0..alts)
-                .map(|a| probs.prob(t, a as u8) * alt_max[a].max(uncond_max))
-                .sum();
-            base + expected
-        } else {
-            let succ_max = ctg
-                .successors(t)
-                .map(|s| sl[s.index()])
-                .fold(0.0_f64, f64::max);
-            base + succ_max
-        };
-        sl[t.index()] = level;
-    }
+    let mut sl = Vec::new();
+    static_levels_into(ctx, probs, &mut sl);
     sl
+}
+
+/// [`static_levels`] into a caller-owned buffer (resized as needed).
+pub(crate) fn static_levels_into(ctx: &SchedContext, probs: &BranchProbs, sl: &mut Vec<f64>) {
+    let ctg = ctx.ctg();
+    sl.clear();
+    sl.resize(ctg.num_tasks(), 0.0);
+    for &t in ctg.topological().iter().rev() {
+        sl[t.index()] = level_of(ctx, probs, sl, t);
+    }
+}
+
+/// Dirty-set static-level update: recomputes only the levels of tasks that
+/// can reach (along CTG edges) a branch fork whose distribution moved
+/// between `old_probs` and `new_probs`, leaving every other entry untouched.
+///
+/// Change detection is **bitwise**, not thresholded, so the updated array is
+/// bit-for-bit the array a full [`static_levels`] recompute under
+/// `new_probs` would produce: untouched entries have bitwise-identical
+/// inputs (the levels only depend on downstream levels and the local fork's
+/// distribution), and recomputed entries run the exact same kernel.
+///
+/// Returns the number of recomputed levels.
+pub(crate) fn update_static_levels(
+    ctx: &SchedContext,
+    old_probs: &BranchProbs,
+    new_probs: &BranchProbs,
+    sl: &mut [f64],
+) -> usize {
+    let ctg = ctx.ctg();
+    let n = ctg.num_tasks();
+    debug_assert_eq!(sl.len(), n);
+    let mut changed = vec![false; n];
+    let mut any = false;
+    for &b in ctg.branch_nodes() {
+        let same = match (old_probs.distribution(b), new_probs.distribution(b)) {
+            (Some(o), Some(m)) => {
+                o.len() == m.len() && o.iter().zip(m).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            (None, None) => true,
+            _ => false,
+        };
+        if !same {
+            changed[b.index()] = true;
+            any = true;
+        }
+    }
+    if !any {
+        return 0;
+    }
+    let mut dirty = vec![false; n];
+    let mut recomputed = 0;
+    for &t in ctg.topological().iter().rev() {
+        let is_dirty = changed[t.index()] || ctg.successors(t).any(|s| dirty[s.index()]);
+        if is_dirty {
+            dirty[t.index()] = true;
+            sl[t.index()] = level_of(ctx, new_probs, sl, t);
+            recomputed += 1;
+        }
+    }
+    recomputed
 }
 
 /// Worst-case static levels: like [`static_levels`] but every branch
@@ -63,10 +127,9 @@ pub fn static_levels(ctx: &SchedContext, probs: &BranchProbs) -> Vec<f64> {
 /// Used by the probability-blind reference algorithm 1.
 pub fn worst_case_levels(ctx: &SchedContext) -> Vec<f64> {
     let ctg = ctx.ctg();
-    let profile = ctx.platform().profile();
     let mut sl = vec![0.0_f64; ctg.num_tasks()];
     for &t in ctg.topological().iter().rev() {
-        let base = profile.wcet_avg(t.index());
+        let base = ctx.compiled().wcet_avg(t);
         let succ_max = ctg
             .successors(t)
             .map(|s| sl[s.index()])
@@ -81,7 +144,7 @@ pub fn worst_case_levels(ctx: &SchedContext) -> Vec<f64> {
 /// Positive when `p` is faster than average for this task.
 pub fn delta(ctx: &SchedContext, task: TaskId, pe: mpsoc_platform::PeId) -> f64 {
     let profile = ctx.platform().profile();
-    profile.wcet_avg(task.index()) - profile.wcet(task.index(), pe)
+    ctx.compiled().wcet_avg(task) - profile.wcet(task.index(), pe)
 }
 
 #[cfg(test)]
@@ -151,6 +214,54 @@ mod tests {
         let ex = static_levels(&ctx, &probs);
         for (w, e) in wc.iter().zip(&ex) {
             assert!(w + 1e-12 >= *e);
+        }
+    }
+
+    #[test]
+    fn dirty_update_matches_full_recompute_bitwise() {
+        let (ctx, probs, ids) = example1_context();
+        let [_, _, t3, ..] = ids;
+        let mut sl = static_levels(&ctx, &probs);
+        let mut skew = probs.clone();
+        skew.set(t3, vec![0.7, 0.3]).unwrap();
+        let recomputed = update_static_levels(&ctx, &probs, &skew, &mut sl);
+        // Only τ3 and its ancestors are touched, never the whole graph.
+        assert!(recomputed > 0 && recomputed < ctx.ctg().num_tasks());
+        let full = static_levels(&ctx, &skew);
+        for (t, (a, b)) in sl.iter().zip(&full).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "level of task {t} diverged");
+        }
+        // Bitwise-identical tables are a no-op.
+        assert_eq!(update_static_levels(&ctx, &skew, &skew.clone(), &mut sl), 0);
+    }
+
+    #[test]
+    fn compiled_adjacency_matches_naive_construction() {
+        let (ctx, _, _) = example1_context();
+        let ctg = ctx.ctg();
+        let n = ctg.num_tasks();
+        let mut preds: Vec<Vec<(TaskId, f64)>> = vec![Vec::new(); n];
+        for (_, e) in ctg.edges() {
+            preds[e.dst().index()].push((e.src(), e.comm_kbytes()));
+        }
+        for &(fork, or_node) in ctx.activation().implied_or_deps() {
+            preds[or_node.index()].push((fork, 0.0));
+        }
+        let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        for (t, ps) in preds.iter().enumerate() {
+            for &(p, _) in ps {
+                succs[p.index()].push(TaskId::new(t));
+            }
+        }
+        let cg = ctx.compiled();
+        for t in ctg.tasks() {
+            assert_eq!(cg.preds(t), preds[t.index()].as_slice());
+            assert_eq!(cg.succs(t), succs[t.index()].as_slice());
+            assert_eq!(cg.num_preds(t), preds[t.index()].len());
+            assert_eq!(
+                cg.wcet_avg(t).to_bits(),
+                ctx.platform().profile().wcet_avg(t.index()).to_bits()
+            );
         }
     }
 

@@ -23,7 +23,7 @@ use crate::error::SchedError;
 use crate::schedule::Schedule;
 use crate::sgraph::{ScheduledGraph, DEFAULT_PATH_CAP};
 use crate::speed::SpeedAssignment;
-use ctg_model::{BranchProbs, TaskId};
+use ctg_model::{BranchProbs, Literal, TaskId};
 use std::collections::HashMap;
 
 /// Tuning knobs for the stretching heuristic.
@@ -118,6 +118,68 @@ pub fn stretch_schedule(
     schedule: &Schedule,
     cfg: &StretchConfig,
 ) -> Result<SpeedAssignment, SchedError> {
+    validate_config(cfg)?;
+    match ScheduledGraph::build(ctx, schedule, probs, cfg.path_cap) {
+        Some(graph) => {
+            let groups = PathGroups::of(&graph);
+            let mut scratch = StretchScratch::default();
+            Ok(stretch_on_graph(
+                ctx,
+                probs,
+                schedule,
+                cfg,
+                &graph,
+                &groups,
+                None,
+                &mut scratch,
+            ))
+        }
+        None => Ok(critical_path_fallback(ctx, probs, schedule, cfg)),
+    }
+}
+
+/// [`stretch_schedule`] warm-started from a previous speed assignment.
+///
+/// The seed's stretch is pre-applied (each task's accumulated extension and
+/// every spanning path's delay start from the seeded speeds) before the
+/// sweeps run, so a seed near the solution leaves the sweeps almost nothing
+/// to grant. Each seeded call therefore *continues* the slack-consuming
+/// iteration where the seed stopped (a cold exhaustive run may hit its
+/// sweep cap first); iterating the seeding converges to a fixed point that
+/// re-seeds to itself — see `tests/solver_equivalence.rs`.
+///
+/// # Errors
+///
+/// Same as [`stretch_schedule`].
+pub fn stretch_schedule_seeded(
+    ctx: &SchedContext,
+    probs: &BranchProbs,
+    schedule: &Schedule,
+    cfg: &StretchConfig,
+    seed: &SpeedAssignment,
+) -> Result<SpeedAssignment, SchedError> {
+    validate_config(cfg)?;
+    match ScheduledGraph::build(ctx, schedule, probs, cfg.path_cap) {
+        Some(graph) => {
+            let groups = PathGroups::of(&graph);
+            let mut scratch = StretchScratch::default();
+            Ok(stretch_on_graph(
+                ctx,
+                probs,
+                schedule,
+                cfg,
+                &graph,
+                &groups,
+                Some(seed),
+                &mut scratch,
+            ))
+        }
+        None => Ok(critical_path_fallback(ctx, probs, schedule, cfg)),
+    }
+}
+
+/// Rejects configurations [`stretch_schedule`] cannot run with.
+pub(crate) fn validate_config(cfg: &StretchConfig) -> Result<(), SchedError> {
     if !(cfg.min_speed > 0.0 && cfg.min_speed <= 1.0) {
         return Err(SchedError::InvalidParameter("min_speed must lie in (0, 1]"));
     }
@@ -127,47 +189,186 @@ pub fn stretch_schedule(
     if cfg.sweeps == 0 {
         return Err(SchedError::InvalidParameter("sweeps must be positive"));
     }
-    match ScheduledGraph::build(ctx, schedule, probs, cfg.path_cap) {
-        Some(graph) => Ok(stretch_with_paths(ctx, probs, schedule, cfg, graph)),
-        None => Ok(critical_path_fallback(ctx, probs, schedule, cfg)),
-    }
+    Ok(())
 }
 
 /// Hard upper bound on stretching sweeps (used by
 /// [`StretchConfig::exhaustive`]).
 pub(crate) const MAX_SWEEPS: usize = 64;
 
-fn stretch_with_paths(
-    ctx: &SchedContext,
-    probs: &BranchProbs,
-    schedule: &Schedule,
-    cfg: &StretchConfig,
-    mut graph: ScheduledGraph,
-) -> SpeedAssignment {
-    let deadline = ctx.ctg().deadline();
-    let profile = ctx.platform().profile();
-    let n = ctx.ctg().num_tasks();
-    let mut extra = vec![0.0_f64; n];
+/// Global minterm-group ids over a graph's path list, assigned by first
+/// occurrence: `calculate_slack` groups a task's spanning paths into
+/// reusable scratch buffers instead of building a fresh HashMap per task.
+/// Spanning lists are ascending, so first-occurrence order within a
+/// spanning list equals the old sort-by-smallest-member group order.
+///
+/// Depends only on the path *conditions*, so a reused graph keeps its
+/// groups across probability changes.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PathGroups {
+    group_of: Vec<usize>,
+    num_groups: usize,
+}
 
-    let task_probs: Vec<f64> = ctx.ctg().tasks().map(|t| ctx.task_prob(t, probs)).collect();
-
-    // Global minterm-group ids, assigned by first occurrence over the path
-    // list: `calculate_slack` then groups a task's spanning paths into
-    // reusable scratch buffers instead of building a fresh HashMap per task.
-    // Spanning lists are ascending, so first-occurrence order within a
-    // spanning list equals the old sort-by-smallest-member group order.
-    let (group_of, num_groups) = {
+impl PathGroups {
+    pub(crate) fn of(graph: &ScheduledGraph) -> Self {
         let mut ids: HashMap<&ScenarioMask, usize> = HashMap::new();
         let mut group_of = Vec::with_capacity(graph.paths().len());
         for p in graph.paths() {
             let next = ids.len();
             group_of.push(*ids.entry(&p.cond).or_insert(next));
         }
-        let n = ids.len();
-        (group_of, n)
-    };
-    let mut members: Vec<Vec<usize>> = vec![Vec::new(); num_groups];
-    let mut touched: Vec<usize> = Vec::with_capacity(num_groups);
+        PathGroups {
+            group_of,
+            num_groups: ids.len(),
+        }
+    }
+
+    /// [`ScheduledGraph::reweight`] evaluated once per minterm group
+    /// instead of once per path: members of a group share their condition
+    /// mask, and `mask_prob` is a pure function of (mask, table), so the
+    /// group representative's probability is bit-identical to what every
+    /// member would compute — typically a ~30× cheaper re-weight.
+    pub(crate) fn reweight(
+        &self,
+        ctx: &SchedContext,
+        probs: &BranchProbs,
+        graph: &mut ScheduledGraph,
+    ) {
+        let scenario_probs = ctx.scenario_probs(probs);
+        let mut group_prob = vec![f64::NAN; self.num_groups];
+        for (i, p) in graph.paths_mut().iter_mut().enumerate() {
+            let g = self.group_of[i];
+            if group_prob[g].is_nan() {
+                group_prob[g] = ctx.mask_prob(&p.cond, &scenario_probs);
+            }
+            p.prob = group_prob[g];
+        }
+    }
+}
+
+/// Reusable buffers for [`stretch_on_graph`]: every field is cleared and
+/// refilled per call, so a long-lived scratch makes repeated stretching
+/// allocation-free after warm-up.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StretchScratch {
+    extra: Vec<f64>,
+    delays: Vec<f64>,
+    /// Per-group `(path index, task position on path)` member lists.
+    members: Vec<Vec<(usize, u32)>>,
+    touched: Vec<usize>,
+    task_probs: Vec<f64>,
+    /// Per-path `prob(p, τ)` for the task currently being stretched,
+    /// written before it is read for exactly the paths whose group needs
+    /// it — each probability product is evaluated once instead of at every
+    /// use.
+    prob_after: Vec<f64>,
+    /// Flat `(branch, alternative) → probability` lookup mirroring the
+    /// current table (`lit_flat[lit_base[branch] + alt]`): the exact f64s
+    /// `BranchProbs::prob` returns, read from an array instead of a B-tree.
+    lit_base: Vec<usize>,
+    lit_flat: Vec<f64>,
+    /// Per-scenario probabilities under the current table, in enumeration
+    /// order.
+    scenario_probs: Vec<f64>,
+}
+
+/// `probs.prob(lit.branch(), lit.alt())` through the flat scratch lookup —
+/// the same stored f64, so identical bits wherever it is multiplied.
+fn lit_prob(lit_base: &[usize], lit_flat: &[f64], lit: &Literal) -> f64 {
+    match lit_base.get(lit.branch().index()) {
+        Some(&base) if base != usize::MAX => lit_flat
+            .get(base + lit.alt() as usize)
+            .copied()
+            .unwrap_or(0.0),
+        _ => 0.0,
+    }
+}
+
+/// The stretching sweeps against an already-built scheduled graph.
+///
+/// The graph is **not mutated**: current path delays live in
+/// `scratch.delays` (initialized from the graph's nominal delays), so an
+/// incumbent graph stays pristine for reuse. With `seed = None` this is
+/// bit-for-bit the historical `stretch_with_paths` — the same operations on
+/// the same values in the same order, with the delay updates applied to the
+/// scratch buffer instead of the paths. A seed pre-applies a previous
+/// assignment's stretch before the sweeps run (see
+/// [`stretch_schedule_seeded`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stretch_on_graph(
+    ctx: &SchedContext,
+    probs: &BranchProbs,
+    schedule: &Schedule,
+    cfg: &StretchConfig,
+    graph: &ScheduledGraph,
+    groups: &PathGroups,
+    seed: Option<&SpeedAssignment>,
+    scratch: &mut StretchScratch,
+) -> SpeedAssignment {
+    let deadline = ctx.ctg().deadline();
+    let profile = ctx.platform().profile();
+    let n = ctx.ctg().num_tasks();
+
+    scratch.extra.clear();
+    scratch.extra.resize(n, 0.0);
+    // Flat probability lookup, then per-scenario and per-task activation
+    // probabilities derived through it: every product and sum below walks
+    // the same values in the same order as the `BranchProbs`/`ScenarioSet`
+    // originals, so the results are bit-identical — only the B-tree lookups
+    // are gone.
+    scratch.lit_base.clear();
+    scratch.lit_base.resize(n, usize::MAX);
+    scratch.lit_flat.clear();
+    for &b in ctx.ctg().branch_nodes() {
+        if let Some(d) = probs.distribution(b) {
+            scratch.lit_base[b.index()] = scratch.lit_flat.len();
+            scratch.lit_flat.extend_from_slice(d);
+        }
+    }
+    scratch.scenario_probs.clear();
+    for s in ctx.scenarios().scenarios() {
+        let p: f64 = s
+            .cube()
+            .literals()
+            .iter()
+            .map(|lit| lit_prob(&scratch.lit_base, &scratch.lit_flat, lit))
+            .product();
+        scratch.scenario_probs.push(p);
+    }
+    scratch.task_probs.clear();
+    for t in ctx.ctg().tasks() {
+        let p: f64 = ctx
+            .scenarios()
+            .scenarios()
+            .iter()
+            .zip(&scratch.scenario_probs)
+            .filter(|(s, _)| s.is_active(t))
+            .map(|(_, &sp)| sp)
+            .sum();
+        scratch.task_probs.push(p);
+    }
+    scratch.delays.clear();
+    scratch.delays.extend(graph.paths().iter().map(|p| p.delay));
+    debug_assert!(scratch.members.iter().all(Vec::is_empty));
+    debug_assert!(scratch.touched.is_empty());
+    scratch.members.resize(groups.num_groups, Vec::new());
+    scratch.prob_after.clear();
+    scratch.prob_after.resize(graph.paths().len(), 0.0);
+
+    if let Some(seed) = seed {
+        for t in ctx.ctg().tasks() {
+            let s = seed.speed(t);
+            if s < 1.0 {
+                let wcet = profile.wcet(t.index(), schedule.pe_of(t));
+                let extra = wcet * (1.0 / s - 1.0);
+                scratch.extra[t.index()] = extra;
+                for &idx in graph.spanning(t) {
+                    scratch.delays[idx] += extra;
+                }
+            }
+        }
+    }
 
     for _sweep in 0..cfg.sweeps.clamp(1, MAX_SWEEPS) {
         let mut granted_total = 0.0;
@@ -176,34 +377,39 @@ fn stretch_with_paths(
             if wcet <= 0.0 || graph.spanning(t).is_empty() {
                 continue;
             }
-            let task_prob = task_probs[t.index()];
+            let task_prob = scratch.task_probs[t.index()];
             if task_prob <= 0.0 {
                 // A task that can never activate costs no expected energy
                 // either way; leave it at nominal speed.
                 continue;
             }
             let slack = calculate_slack(
-                probs,
-                &graph,
+                graph,
                 t,
                 wcet,
                 task_prob,
                 deadline,
-                &group_of,
-                &mut members,
-                &mut touched,
+                &groups.group_of,
+                &scratch.delays,
+                &mut scratch.members,
+                &mut scratch.touched,
+                &mut scratch.prob_after,
+                &scratch.lit_base,
+                &scratch.lit_flat,
             );
             // Respect the speed floor over the *accumulated* extension.
             let max_total = wcet * (1.0 / cfg.min_speed - 1.0);
-            let slack = slack.min(max_total - extra[t.index()]).max(0.0);
+            let slack = slack.min(max_total - scratch.extra[t.index()]).max(0.0);
             if slack <= 1e-12 {
                 continue;
             }
-            extra[t.index()] += slack;
+            scratch.extra[t.index()] += slack;
             granted_total += slack;
             // Lock and propagate: every spanning path now takes `slack`
             // longer.
-            graph.add_delay_to_spanning(t, slack);
+            for &idx in graph.spanning(t) {
+                scratch.delays[idx] += slack;
+            }
         }
         if granted_total <= 1e-9 * deadline {
             break;
@@ -212,9 +418,9 @@ fn stretch_with_paths(
 
     let mut speeds = SpeedAssignment::nominal(n);
     for t in ctx.ctg().tasks() {
-        if extra[t.index()] > 0.0 {
+        if scratch.extra[t.index()] > 0.0 {
             let wcet = profile.wcet(t.index(), schedule.pe_of(t));
-            speeds.set(t, wcet / (wcet + extra[t.index()]));
+            speeds.set(t, wcet / (wcet + scratch.extra[t.index()]));
         }
     }
     speeds
@@ -223,39 +429,45 @@ fn stretch_with_paths(
 /// The paper's `CalculateSlack(τ)` routine.
 ///
 /// `group_of` maps each path index to its global minterm-group id (see
-/// `stretch_with_paths`); `members`/`touched` are caller-owned scratch
-/// buffers, left empty on return, so the hot loop allocates nothing after
-/// warm-up. Minimum scans replace on `<=` to reproduce
-/// `Iterator::min_by`'s last-of-equal-minima choice bit-for-bit.
+/// [`PathGroups`]); `delays` holds the current (stretched-so-far) delay of
+/// every path; `members`/`touched`/`prob_after` are caller-owned scratch
+/// buffers (the first two left empty on return), so the hot loop allocates
+/// nothing after warm-up. Minimum scans replace on `<=` to reproduce
+/// `Iterator::min_by`'s last-of-equal-minima choice bit-for-bit, and each
+/// path's `prob(p, τ)` is evaluated exactly once per call — the same
+/// product, so the same bits at every use.
 #[allow(clippy::too_many_arguments)]
 fn calculate_slack(
-    probs: &BranchProbs,
     graph: &ScheduledGraph,
     task: TaskId,
     wcet: f64,
     task_prob: f64,
     deadline: f64,
     group_of: &[usize],
-    members: &mut [Vec<usize>],
+    delays: &[f64],
+    members: &mut [Vec<(usize, u32)>],
     touched: &mut Vec<usize>,
+    prob_after: &mut [f64],
+    lit_base: &[usize],
+    lit_flat: &[f64],
 ) -> f64 {
     // Group spanning paths by their minterm (path condition). Spanning
     // lists are ascending, so `touched` visits groups in order of their
     // smallest member.
     debug_assert!(touched.is_empty());
-    for &idx in graph.spanning(task) {
+    for (&idx, &pos) in graph.spanning(task).iter().zip(graph.spanning_at(task)) {
         let g = group_of[idx];
         if members[g].is_empty() {
             touched.push(g);
         }
-        members[g].push(idx);
+        members[g].push((idx, pos));
     }
     let ratio = |idx: usize| {
-        let p = &graph.paths()[idx];
-        if p.delay <= 0.0 {
+        let delay = delays[idx];
+        if delay <= 0.0 {
             0.0
         } else {
-            (deadline - p.delay) / p.delay
+            (deadline - delay) / delay
         }
     };
 
@@ -265,7 +477,7 @@ fn calculate_slack(
     let mut any2 = false;
     for &g in touched.iter() {
         let idxs = &members[g];
-        let group_prob = graph.paths()[idxs[0]].prob;
+        let group_prob = graph.paths()[idxs[0].0].prob;
         if group_prob <= PROB_ONE_EPS {
             // A minterm the current estimates consider impossible: it must
             // not throttle the slack of live tasks. (It still participates
@@ -275,8 +487,8 @@ fn calculate_slack(
         }
         if group_prob + PROB_ONE_EPS >= 1.0 {
             // Step 5–7: minterms with probability 1 contribute via slk2.
-            let mut worst_ratio = ratio(idxs[0]);
-            for &i in &idxs[1..] {
+            let mut worst_ratio = ratio(idxs[0].0);
+            for &(i, _) in &idxs[1..] {
                 let r = ratio(i);
                 if r <= worst_ratio {
                     worst_ratio = r;
@@ -288,12 +500,19 @@ fn calculate_slack(
             // Step 3–4: pick the critical path with prob(p, τ) ≠ 1 and the
             // lowest distributable slack ratio; fall back to the whole group
             // when every spanning path is already decided at τ.
-            let undecided =
-                |i: usize| graph.paths()[i].prob_after(task, probs) < 1.0 - PROB_ONE_EPS;
-            let any_undecided = idxs.iter().any(|&i| undecided(i));
+            for &(i, pos) in idxs.iter() {
+                prob_after[i] = graph.paths()[i]
+                    .guards
+                    .iter()
+                    .filter(|(fork_pos, _)| *fork_pos >= pos as usize)
+                    .map(|(_, lit)| lit_prob(lit_base, lit_flat, lit))
+                    .product();
+            }
+            let undecided = |i: usize| prob_after[i] < 1.0 - PROB_ONE_EPS;
+            let any_undecided = idxs.iter().any(|&(i, _)| undecided(i));
             let mut worst = usize::MAX;
             let mut worst_ratio = f64::INFINITY;
-            for &i in idxs.iter() {
+            for &(i, _) in idxs.iter() {
                 if any_undecided && !undecided(i) {
                     continue;
                 }
@@ -303,7 +522,7 @@ fn calculate_slack(
                     worst = i;
                 }
             }
-            let p_after = graph.paths()[worst].prob_after(task, probs);
+            let p_after = prob_after[worst];
             slk1 += p_after * wcet * worst_ratio * task_prob;
             any1 = true;
         }
@@ -321,7 +540,7 @@ fn calculate_slack(
     };
     // Steps 9–10: never push any spanning path past the deadline.
     for &idx in graph.spanning(task) {
-        slack = slack.min(deadline - graph.paths()[idx].delay);
+        slack = slack.min(deadline - delays[idx]);
     }
     slack
 }
@@ -329,7 +548,7 @@ fn calculate_slack(
 /// Fallback when path enumeration exceeds the cap: distribute slack along
 /// per-task worst-case critical paths computed by dynamic programming
 /// (condition-blind, therefore conservative).
-fn critical_path_fallback(
+pub(crate) fn critical_path_fallback(
     ctx: &SchedContext,
     probs: &BranchProbs,
     schedule: &Schedule,

@@ -1,0 +1,402 @@
+//! Incremental warm-start solver core.
+//!
+//! [`SolverWorkspace`] makes *repeated* online solves cheap while staying
+//! **bit-for-bit equivalent** to a from-scratch
+//! [`OnlineScheduler::solve`](crate::OnlineScheduler::solve). Between
+//! adaptive re-schedules the CTG, the platform and usually the mapping are
+//! unchanged — only the branch-probability estimates drift — so almost all
+//! of the solver's work can be amortized:
+//!
+//! 1. **Compiled context** (in [`SchedContext`]): CSR adjacency and cached
+//!    per-task average WCETs are built once per context, so neither DLS nor
+//!    the level computation rebuilds `Vec<Vec<…>>` structures per call.
+//! 2. **Dirty-set static levels**: the probability-weighted static levels
+//!    are recomputed only for tasks that reach a fork whose distribution
+//!    actually changed (bitwise comparison), falling back to a full
+//!    recompute on the first call. Untouched levels have bit-identical
+//!    inputs, so the updated array equals a full recompute bit for bit.
+//! 3. **Scheduled-graph reuse**: a bounded pool keeps the
+//!    [`ScheduledGraph`] of recently seen schedules. When DLS returns a
+//!    mapping/order already in the pool (drift typically oscillates among a
+//!    handful of distinct mappings), the stored graph — whose topology,
+//!    delays and path conditions do not depend on the probabilities — is
+//!    reused and only the path probabilities are re-weighted in O(paths),
+//!    skipping the transitive reduction and the worst-case-exponential path
+//!    enumeration.
+//! 4. **Memoisation**: a solve for the exact probability table and stretch
+//!    configuration of the previous solve returns its solution — the
+//!    solver is deterministic, so re-running it cannot produce anything
+//!    else.
+//!
+//! The stretching sweeps themselves intentionally run *cold* (not seeded
+//! from the incumbent speeds): seeding changes the sweep arithmetic and
+//! therefore the bits. Warm-started stretching is available separately as
+//! [`stretch_schedule_seeded`](crate::stretch_schedule_seeded), whose fixed
+//! point matches the cold result to tolerance (see
+//! `tests/solver_equivalence.rs`).
+
+use crate::context::SchedContext;
+use crate::dls::dls_with_levels;
+use crate::error::SchedError;
+use crate::online::Solution;
+use crate::schedule::Schedule;
+use crate::sgraph::ScheduledGraph;
+use crate::speed::SpeedAssignment;
+use crate::static_level::{static_levels_into, update_static_levels};
+use crate::stretch::{
+    critical_path_fallback, stretch_on_graph, validate_config, PathGroups, StretchConfig,
+    StretchScratch,
+};
+use ctg_model::{BranchProbs, Ctg};
+use mpsoc_platform::Platform;
+
+/// Counters describing how much work repeated solves actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkspaceStats {
+    /// Total solve calls (including memo hits and failed solves).
+    pub solves: usize,
+    /// Solves answered entirely from the previous solve (same
+    /// probabilities, same configuration).
+    pub memo_hits: usize,
+    /// Full static-level recomputes (first call and after each rebind).
+    pub full_level_rebuilds: usize,
+    /// Incremental static-level updates.
+    pub dirty_level_updates: usize,
+    /// Individual levels recomputed across all incremental updates.
+    pub levels_recomputed: usize,
+    /// Solves that reused a pooled scheduled graph (including reusing the
+    /// knowledge that the path enumeration exceeds the cap).
+    pub graph_reuses: usize,
+    /// Solves that rebuilt the scheduled graph from scratch.
+    pub graph_rebuilds: usize,
+    /// Times the workspace was re-bound to a different context.
+    pub rebinds: usize,
+}
+
+/// The (context) inputs the cached state is valid for. Compared by content,
+/// so rebuilding an equal context (as the adaptive manager's guard-band
+/// path does) keeps the warm state.
+#[derive(Debug, Clone)]
+struct Bound {
+    ctg: Ctg,
+    platform: Platform,
+}
+
+/// The last successful solve, for exact-repeat memoisation.
+#[derive(Debug, Clone)]
+struct LastSolve {
+    probs: BranchProbs,
+    cfg: StretchConfig,
+    schedule: Schedule,
+    speeds: SpeedAssignment,
+}
+
+/// One pooled scheduled graph, keyed by the (schedule, path cap) it was
+/// built for.
+#[derive(Debug, Clone)]
+struct GraphEntry {
+    schedule: Schedule,
+    path_cap: usize,
+    /// `None` when the path enumeration exceeded the cap — a property of
+    /// (schedule, cap) alone, so it is reusable knowledge too.
+    graph: Option<ScheduledGraph>,
+    groups: PathGroups,
+    /// The probability table the stored graph's path probabilities
+    /// currently reflect.
+    probs: BranchProbs,
+}
+
+/// Bounded size of the schedule→graph pool. Under drifting estimates DLS
+/// oscillates among a small set of distinct mappings (revisiting earlier
+/// ones as scenes recur), so keeping the recent graphs — not just the last
+/// one — multiplies reuse; each entry holds one enumerated path set, so the
+/// pool stays tens of MB at worst. Sized above the ~55-schedule working
+/// set of a feature-length MPEG drift run: an LRU scanned by a working set
+/// just over its capacity thrashes to ~0 hits.
+const GRAPH_POOL_CAP: usize = 64;
+
+/// Reusable state for repeated online solves over one (CTG, platform)
+/// context — see the [module docs](self) for the layers and the
+/// equivalence argument.
+///
+/// Obtain solutions through
+/// [`OnlineScheduler::solve_with_workspace`](crate::OnlineScheduler::solve_with_workspace);
+/// the [`AdaptiveScheduler`](crate::AdaptiveScheduler) owns one internally.
+/// A workspace may be reused across contexts — it detects the change and
+/// starts cold again (counted in [`WorkspaceStats::rebinds`]).
+#[derive(Debug, Clone, Default)]
+pub struct SolverWorkspace {
+    bound: Option<Bound>,
+    /// Static levels under `sl_probs`, maintained incrementally.
+    sl: Vec<f64>,
+    sl_probs: Option<BranchProbs>,
+    last: Option<LastSolve>,
+    /// Recently used scheduled graphs, least-recently-used first.
+    graphs: Vec<GraphEntry>,
+    scratch: StretchScratch,
+    stats: WorkspaceStats,
+}
+
+impl SolverWorkspace {
+    /// Creates an empty (cold) workspace.
+    pub fn new() -> Self {
+        SolverWorkspace::default()
+    }
+
+    /// Work counters accumulated since creation (rebinds do not reset
+    /// them).
+    pub fn stats(&self) -> WorkspaceStats {
+        self.stats
+    }
+
+    /// Solves `ctx` under `probs` with warm-start state, producing the
+    /// exact solution (and the exact error, if any) a fresh
+    /// [`OnlineScheduler::solve`](crate::OnlineScheduler::solve) with the
+    /// same configuration would.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OnlineScheduler::solve`](crate::OnlineScheduler::solve):
+    /// mapping infeasibility, unreachable deadlines, invalid
+    /// configurations.
+    pub fn solve(
+        &mut self,
+        cfg: &StretchConfig,
+        ctx: &SchedContext,
+        probs: &BranchProbs,
+    ) -> Result<Solution, SchedError> {
+        self.stats.solves += 1;
+        let bound_matches = self
+            .bound
+            .as_ref()
+            .is_some_and(|b| b.ctg == *ctx.ctg() && b.platform == *ctx.platform());
+        if !bound_matches {
+            if self.bound.is_some() {
+                self.stats.rebinds += 1;
+            }
+            self.bound = Some(Bound {
+                ctg: ctx.ctg().clone(),
+                platform: ctx.platform().clone(),
+            });
+            self.sl_probs = None;
+            self.last = None;
+            self.graphs.clear();
+        }
+
+        // Layer 4: the solver is a pure function of (ctx, probs, cfg) — an
+        // exact repeat returns the previous solution.
+        if let Some(last) = &self.last {
+            if last.probs == *probs && last.cfg == *cfg {
+                self.stats.memo_hits += 1;
+                return Ok(Solution {
+                    schedule: last.schedule.clone(),
+                    speeds: last.speeds.clone(),
+                });
+            }
+        }
+
+        // Layer 2: dirty-set static levels (full recompute when cold).
+        match self.sl_probs.take() {
+            None => {
+                static_levels_into(ctx, probs, &mut self.sl);
+                self.stats.full_level_rebuilds += 1;
+            }
+            Some(old) => {
+                self.stats.levels_recomputed +=
+                    update_static_levels(ctx, &old, probs, &mut self.sl);
+                self.stats.dirty_level_updates += 1;
+            }
+        }
+        self.sl_probs = Some(probs.clone());
+
+        // Same pipeline — and the same error order — as the cold solver:
+        // DLS, deadline check, config validation, stretch.
+        let schedule = dls_with_levels(ctx, &self.sl, true)?;
+        let makespan = schedule.makespan();
+        let deadline = ctx.ctg().deadline();
+        if makespan > deadline + 1e-9 {
+            return Err(SchedError::DeadlineUnreachable { makespan, deadline });
+        }
+        validate_config(cfg)?;
+
+        // Layer 3: reuse a pooled scheduled graph when DLS returned a
+        // mapping/order the pool has seen. Topology, delays, conditions and
+        // guards are probability-independent; only the path probabilities
+        // need re-weighting. A `None` graph is equally reusable: whether
+        // the enumeration exceeds the cap depends on (schedule, cap) alone.
+        // Entries are unique per (schedule, cap); a hit moves its entry to
+        // the most-recently-used end.
+        let hit = self
+            .graphs
+            .iter()
+            .position(|e| e.path_cap == cfg.path_cap && e.schedule == schedule);
+        let speeds = match hit {
+            Some(i) => {
+                self.stats.graph_reuses += 1;
+                let mut entry = self.graphs.remove(i);
+                let speeds = match entry.graph.as_mut() {
+                    Some(g) => {
+                        if entry.probs != *probs {
+                            entry.groups.reweight(ctx, probs, g);
+                            entry.probs = probs.clone();
+                        }
+                        stretch_on_graph(
+                            ctx,
+                            probs,
+                            &schedule,
+                            cfg,
+                            g,
+                            &entry.groups,
+                            None,
+                            &mut self.scratch,
+                        )
+                    }
+                    None => critical_path_fallback(ctx, probs, &schedule, cfg),
+                };
+                self.graphs.push(entry);
+                speeds
+            }
+            None => {
+                self.stats.graph_rebuilds += 1;
+                let (graph, groups) =
+                    match ScheduledGraph::build(ctx, &schedule, probs, cfg.path_cap) {
+                        Some(g) => {
+                            let groups = PathGroups::of(&g);
+                            (Some(g), groups)
+                        }
+                        None => (None, PathGroups::default()),
+                    };
+                let speeds = match &graph {
+                    Some(g) => stretch_on_graph(
+                        ctx,
+                        probs,
+                        &schedule,
+                        cfg,
+                        g,
+                        &groups,
+                        None,
+                        &mut self.scratch,
+                    ),
+                    None => critical_path_fallback(ctx, probs, &schedule, cfg),
+                };
+                if self.graphs.len() == GRAPH_POOL_CAP {
+                    self.graphs.remove(0);
+                }
+                self.graphs.push(GraphEntry {
+                    schedule: schedule.clone(),
+                    path_cap: cfg.path_cap,
+                    graph,
+                    groups,
+                    probs: probs.clone(),
+                });
+                speeds
+            }
+        };
+
+        self.last = Some(LastSolve {
+            probs: probs.clone(),
+            cfg: cfg.clone(),
+            schedule: schedule.clone(),
+            speeds: speeds.clone(),
+        });
+        Ok(Solution { schedule, speeds })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::OnlineScheduler;
+    use crate::test_util::example1_context;
+
+    fn assert_bit_identical(a: &Solution, b: &Solution, ctx: &SchedContext) {
+        assert_eq!(a.schedule, b.schedule);
+        for t in ctx.ctg().tasks() {
+            assert_eq!(
+                a.speeds.speed(t).to_bits(),
+                b.speeds.speed(t).to_bits(),
+                "speed of {t} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_solves_match_cold_over_a_drift_sequence() {
+        let (ctx, probs, ids) = example1_context();
+        let [_, _, t3, _, _, t5, ..] = ids;
+        let scheduler = OnlineScheduler::new();
+        let mut ws = SolverWorkspace::new();
+        let tables: Vec<BranchProbs> = [
+            vec![0.5, 0.5],
+            vec![0.6, 0.4],
+            vec![0.6, 0.4], // exact repeat → memo
+            vec![0.62, 0.38],
+            vec![0.2, 0.8],
+            vec![0.5, 0.5],
+        ]
+        .into_iter()
+        .map(|d| {
+            let mut p = probs.clone();
+            p.set(t3, d.clone()).unwrap();
+            p.set(t5, d).unwrap();
+            p
+        })
+        .collect();
+        for p in &tables {
+            let cold = scheduler.solve(&ctx, p).unwrap();
+            let warm = scheduler.solve_with_workspace(&ctx, p, &mut ws).unwrap();
+            assert_bit_identical(&cold, &warm, &ctx);
+        }
+        let stats = ws.stats();
+        assert_eq!(stats.solves, tables.len());
+        assert!(stats.memo_hits >= 1, "{stats:?}");
+        assert_eq!(stats.full_level_rebuilds, 1);
+        assert!(stats.graph_reuses + stats.graph_rebuilds + stats.memo_hits == stats.solves);
+        assert!(stats.graph_reuses >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn rebind_to_a_different_context_starts_cold() {
+        let (ctx, probs, _) = example1_context();
+        let scheduler = OnlineScheduler::new();
+        let mut ws = SolverWorkspace::new();
+        scheduler
+            .solve_with_workspace(&ctx, &probs, &mut ws)
+            .unwrap();
+        // Same structure, different deadline → different context.
+        let ctx2 = SchedContext::new(
+            ctx.ctg().with_deadline(ctx.ctg().deadline() * 2.0),
+            ctx.platform().clone(),
+        )
+        .unwrap();
+        let warm = scheduler
+            .solve_with_workspace(&ctx2, &probs, &mut ws)
+            .unwrap();
+        let cold = scheduler.solve(&ctx2, &probs).unwrap();
+        assert_bit_identical(&cold, &warm, &ctx2);
+        assert_eq!(ws.stats().rebinds, 1);
+        assert_eq!(ws.stats().full_level_rebuilds, 2);
+        // A content-equal rebuild of the same context keeps the warm state.
+        let ctx2_again = SchedContext::new(ctx2.ctg().clone(), ctx2.platform().clone()).unwrap();
+        scheduler
+            .solve_with_workspace(&ctx2_again, &probs, &mut ws)
+            .unwrap();
+        assert_eq!(ws.stats().rebinds, 1);
+        assert_eq!(ws.stats().memo_hits, 1);
+    }
+
+    #[test]
+    fn errors_match_the_cold_solver() {
+        let (ctx, probs, _) = example1_context();
+        // A deadline below the best makespan: both paths must return the
+        // same DeadlineUnreachable.
+        let tight =
+            SchedContext::new(ctx.ctg().with_deadline(1e-3), ctx.platform().clone()).unwrap();
+        let scheduler = OnlineScheduler::new();
+        let mut ws = SolverWorkspace::new();
+        let cold = scheduler.solve(&tight, &probs);
+        let warm = scheduler.solve_with_workspace(&tight, &probs, &mut ws);
+        assert_eq!(cold, warm);
+        assert!(cold.is_err());
+    }
+}

@@ -21,6 +21,48 @@ use std::sync::mpsc;
 /// Environment variable overriding the default worker count.
 pub const WORKERS_ENV: &str = "CTG_WORKERS";
 
+/// Environment variable overriding the small-batch sequential-fallback
+/// threshold (see [`min_batch`]).
+pub const MIN_BATCH_ENV: &str = "CTG_POOL_MIN_BATCH";
+
+/// Default minimum batch size for which spawning workers pays off.
+///
+/// Below this many items the per-run thread spawn/join and channel traffic
+/// dominate the microsecond-scale per-item simulation: the throughput
+/// bench showed a 2-worker pool *slower* than sequential at 600 instances.
+/// Sequential and parallel runs produce bit-identical results (the pool's
+/// ordered-merge contract), so the fallback only changes wall-clock time.
+pub const DEFAULT_MIN_BATCH: usize = 1024;
+
+/// Parses a `CTG_POOL_MIN_BATCH`-style override: a non-negative integer,
+/// where `0` disables the fallback entirely. Unset or unparsable values
+/// yield [`DEFAULT_MIN_BATCH`]. Split out of [`min_batch`] so the policy is
+/// testable without mutating the process environment (environment writes
+/// race across the test harness's threads).
+fn parse_min_batch(raw: Option<&str>) -> usize {
+    match raw {
+        Some(v) => v.trim().parse::<usize>().unwrap_or(DEFAULT_MIN_BATCH),
+        None => DEFAULT_MIN_BATCH,
+    }
+}
+
+/// The batch size below which [`effective_workers`] degrades to sequential:
+/// `CTG_POOL_MIN_BATCH` when set to a valid integer (0 disables the
+/// fallback), else [`DEFAULT_MIN_BATCH`].
+pub fn min_batch() -> usize {
+    parse_min_batch(std::env::var(MIN_BATCH_ENV).ok().as_deref())
+}
+
+/// The worker count actually worth using for a batch of `total_items`:
+/// `workers`, degraded to 1 when the batch is smaller than [`min_batch`].
+pub fn effective_workers(total_items: usize, workers: usize) -> usize {
+    if total_items < min_batch() {
+        1
+    } else {
+        workers
+    }
+}
+
 /// The pool's default worker count: `CTG_WORKERS` (if set to a positive
 /// integer), else [`std::thread::available_parallelism`], else 1.
 pub fn worker_count() -> usize {
@@ -173,5 +215,28 @@ mod tests {
     #[test]
     fn worker_count_is_positive() {
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn min_batch_parsing() {
+        assert_eq!(parse_min_batch(None), DEFAULT_MIN_BATCH);
+        assert_eq!(parse_min_batch(Some("256")), 256);
+        assert_eq!(parse_min_batch(Some(" 64 ")), 64);
+        // 0 disables the fallback: no batch is ever "too small".
+        assert_eq!(parse_min_batch(Some("0")), 0);
+        assert_eq!(parse_min_batch(Some("nope")), DEFAULT_MIN_BATCH);
+        assert_eq!(parse_min_batch(Some("-3")), DEFAULT_MIN_BATCH);
+    }
+
+    #[test]
+    fn effective_workers_degrades_small_batches() {
+        // Uses the compiled-in default (the env override is covered by
+        // `min_batch_parsing` without touching the process environment).
+        let threshold = min_batch();
+        if threshold > 0 {
+            assert_eq!(effective_workers(threshold - 1, 8), 1);
+        }
+        assert_eq!(effective_workers(threshold, 8), 8);
+        assert_eq!(effective_workers(threshold + 1, 4), 4);
     }
 }

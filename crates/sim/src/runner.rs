@@ -154,7 +154,10 @@ fn chunk_len(len: usize, workers: usize) -> usize {
 /// bit-for-bit equal to [`run_static`]'s for every worker count (the
 /// wall-clock fields differ; they are ignored by `==`).
 ///
-/// Use [`pool::worker_count`] for a `CTG_WORKERS`-aware default.
+/// Use [`pool::worker_count`] for a `CTG_WORKERS`-aware default. Traces
+/// shorter than [`pool::min_batch`] run sequentially regardless of
+/// `workers` — spawn/join overhead dominates there — which changes only
+/// the wall-clock fields.
 ///
 /// # Errors
 ///
@@ -166,6 +169,7 @@ pub fn run_static_parallel(
     workers: usize,
 ) -> Result<RunSummary, SchedError> {
     let start = Instant::now();
+    let workers = pool::effective_workers(vectors.len(), workers);
     let chunks: Vec<&[DecisionVector]> =
         vectors.chunks(chunk_len(vectors.len(), workers)).collect();
     let results = pool::map_ordered_with(
@@ -223,7 +227,8 @@ pub fn run_static_faulty(
 /// Fault decisions are keyed by `(plan.seed, global instance index)`, so
 /// instances are independent and the partition into chunks cannot change
 /// them; outcomes are folded in trace order, making the summary bit-for-bit
-/// equal to [`run_static_faulty`]'s at every worker count.
+/// equal to [`run_static_faulty`]'s at every worker count. Traces shorter
+/// than [`pool::min_batch`] run sequentially regardless of `workers`.
 ///
 /// # Errors
 ///
@@ -236,6 +241,7 @@ pub fn run_static_faulty_parallel(
     workers: usize,
 ) -> Result<RunSummary, SchedError> {
     let start = Instant::now();
+    let workers = pool::effective_workers(vectors.len(), workers);
     let clen = chunk_len(vectors.len(), workers);
     let chunks: Vec<(usize, &[DecisionVector])> = vectors
         .chunks(clen)

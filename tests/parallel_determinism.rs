@@ -18,7 +18,11 @@ use adaptive_dvfs::workloads::traces::{self, DriftProfile};
 use adaptive_dvfs::workloads::{cruise, mpeg};
 
 const WORKER_MATRIX: [usize; 3] = [1, 2, 4];
-const LEN: usize = 500;
+/// Above the pool's default `CTG_POOL_MIN_BATCH` (1024), so the matrix
+/// exercises genuinely parallel runs, not the small-batch fallback.
+const LEN: usize = 2048;
+/// Below the threshold: these traces take the sequential fallback.
+const SHORT_LEN: usize = 64;
 
 fn calibrated(ctg: Ctg, platform: Platform, factor: f64) -> SchedContext {
     let ctx = SchedContext::new(ctg, platform).unwrap();
@@ -31,7 +35,9 @@ fn calibrated(ctg: Ctg, platform: Platform, factor: f64) -> SchedContext {
     .unwrap()
 }
 
-fn workloads() -> Vec<(&'static str, SchedContext, Solution, Vec<DecisionVector>)> {
+fn workloads_of_len(
+    len: usize,
+) -> Vec<(&'static str, SchedContext, Solution, Vec<DecisionVector>)> {
     let mut out = Vec::new();
     for (name, ctx, seed) in [
         (
@@ -53,12 +59,16 @@ fn workloads() -> Vec<(&'static str, SchedContext, Solution, Vec<DecisionVector>
             42,
         ),
     ] {
-        let trace = traces::generate_trace(ctx.ctg(), &DriftProfile::new(seed), LEN);
+        let trace = traces::generate_trace(ctx.ctg(), &DriftProfile::new(seed), len);
         let probs = traces::empirical_probs(ctx.ctg(), &trace);
         let solution = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
         out.push((name, ctx, solution, trace));
     }
     out
+}
+
+fn workloads() -> Vec<(&'static str, SchedContext, Solution, Vec<DecisionVector>)> {
+    workloads_of_len(LEN)
 }
 
 /// Bitwise equality of every accumulated field (PartialEq already skips the
@@ -102,6 +112,34 @@ fn faulty_parallel_matches_sequential_at_every_worker_count() {
             let par = run_static_faulty_parallel(&ctx, &solution, &trace, &plan, workers).unwrap();
             assert_bit_identical(&seq, &par, &format!("{name}-faulty@{workers}w"));
             assert_eq!(seq.faults, par.faults, "{name}@{workers}w: fault stats");
+        }
+    }
+}
+
+#[test]
+fn small_batch_fallback_stays_bit_identical() {
+    // Traces below `CTG_POOL_MIN_BATCH` degrade to one worker inside the
+    // parallel entry points. The fallback is a pure wall-clock optimisation:
+    // the summaries must still match the sequential runners bit-for-bit.
+    let plan = FaultPlan::uniform(0xD15EA5E, 0.08);
+    for (name, ctx, solution, trace) in workloads_of_len(SHORT_LEN) {
+        let seq = run_static(&ctx, &solution, &trace).unwrap();
+        assert_eq!(seq.instances, SHORT_LEN);
+        let seq_faulty = run_static_faulty(&ctx, &solution, &trace, &plan).unwrap();
+        for workers in WORKER_MATRIX {
+            let par = run_static_parallel(&ctx, &solution, &trace, workers).unwrap();
+            assert_bit_identical(&seq, &par, &format!("{name}-short@{workers}w"));
+            let par_faulty =
+                run_static_faulty_parallel(&ctx, &solution, &trace, &plan, workers).unwrap();
+            assert_bit_identical(
+                &seq_faulty,
+                &par_faulty,
+                &format!("{name}-short-faulty@{workers}w"),
+            );
+            assert_eq!(
+                seq_faulty.faults, par_faulty.faults,
+                "{name}-short@{workers}w: fault stats"
+            );
         }
     }
 }
