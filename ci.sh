@@ -27,4 +27,11 @@ echo "==> solver bench smoke (asserts warm == cold bit-for-bit)"
 cargo build -q --release --offline -p ctg-bench --bin solver
 ./target/release/solver --smoke
 
+echo "==> serving-engine determinism matrix (2 workers forced)"
+CTG_WORKERS=2 cargo test -q --offline --test serve_determinism
+
+echo "==> serve bench smoke (asserts summaries invariant across engine configs)"
+cargo build -q --release --offline -p ctg-bench --bin serve
+CTG_WORKERS=2 ./target/release/serve --smoke
+
 echo "==> CI OK"

@@ -9,7 +9,7 @@
 //! filter over the branch probability signal (the paper's *filtered Prob*
 //! series in Figure 4).
 
-use crate::cache::LruCache;
+use crate::cache::{LruCache, ScheduleKey};
 use crate::context::SchedContext;
 use crate::error::SchedError;
 use crate::online::{OnlineScheduler, Solution};
@@ -202,26 +202,6 @@ pub struct AdaptiveStats {
     pub cache_misses: usize,
 }
 
-/// Cache key of one solver invocation: the branch-probability table
-/// quantised at the drift threshold, plus the guard-banded deadline the
-/// solve ran against.
-///
-/// Quantisation only *buckets* entries so the cache stays small over a
-/// drifting trace — it never substitutes a nearby solution: a hit
-/// additionally requires the entry's exact stored probabilities to equal the
-/// requested ones (see [`CacheEntry`]), so a cached plan is always the plan
-/// the solver would have produced.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct CacheKey {
-    /// `round(p / threshold)` per alternative, in branch-node order.
-    qprobs: Vec<i64>,
-    /// Bits of the deadline-guard factor the solve honours.
-    guard: u64,
-    /// Bits of the context's (unguarded) deadline — a cheap fingerprint
-    /// against a manager being driven with a re-scaled context.
-    deadline: u64,
-}
-
 /// A memoised solver result: the exact probability table it was solved for
 /// and the solution produced.
 #[derive(Debug, Clone)]
@@ -304,7 +284,7 @@ pub struct AdaptiveScheduler {
     /// Memoised solver results; `None` means caching is disabled (the
     /// default, which reproduces the paper's re-solve-on-every-drift
     /// behaviour exactly).
-    cache: Option<LruCache<CacheKey, CacheEntry>>,
+    cache: Option<LruCache<ScheduleKey, CacheEntry>>,
     /// Warm-start solver state for unguarded solves — bit-for-bit
     /// equivalent to calling the scheduler from scratch, but structurally
     /// incremental across re-schedules.
@@ -374,22 +354,83 @@ impl AdaptiveScheduler {
         threshold: f64,
         scheduler: OnlineScheduler,
     ) -> Result<Self, SchedError> {
+        let estimators = Self::build_estimators(ctx, &initial_probs, kind, threshold)?;
+        let mut workspace = SolverWorkspace::new();
+        let solution = workspace.solve(scheduler.config(), ctx, &initial_probs)?;
+        Ok(Self::assemble(
+            scheduler,
+            estimators,
+            initial_probs,
+            threshold,
+            solution,
+            workspace,
+        ))
+    }
+
+    /// Builds the manager around an *externally supplied* initial solution,
+    /// skipping the construction-time solve.
+    ///
+    /// `solution` **must** be exactly what `scheduler` would produce for
+    /// `(ctx, initial_probs)` — the caller vouches for that. The serving
+    /// engine uses this to solve one initial table once and fan it out to
+    /// every stream that starts from it; since the solver is deterministic,
+    /// the fanned-out manager is indistinguishable from one built with
+    /// [`AdaptiveScheduler::with_estimator`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid estimator parameters / thresholds and probability
+    /// tables not matching the graph (everything except scheduling
+    /// failures, which cannot occur because nothing is solved).
+    pub fn with_initial_solution(
+        ctx: &SchedContext,
+        initial_probs: BranchProbs,
+        kind: EstimatorKind,
+        threshold: f64,
+        scheduler: OnlineScheduler,
+        solution: Solution,
+    ) -> Result<Self, SchedError> {
+        let estimators = Self::build_estimators(ctx, &initial_probs, kind, threshold)?;
+        Ok(Self::assemble(
+            scheduler,
+            estimators,
+            initial_probs,
+            threshold,
+            solution,
+            SolverWorkspace::new(),
+        ))
+    }
+
+    /// Shared parameter validation and estimator construction.
+    fn build_estimators(
+        ctx: &SchedContext,
+        initial_probs: &BranchProbs,
+        kind: EstimatorKind,
+        threshold: f64,
+    ) -> Result<Vec<Estimator>, SchedError> {
         if !(threshold > 0.0 && threshold <= 1.0) {
             return Err(SchedError::InvalidParameter("threshold must lie in (0, 1]"));
         }
         initial_probs.validate(ctx.ctg())?;
-        let estimators = ctx
-            .ctg()
+        ctx.ctg()
             .branch_nodes()
             .iter()
             .map(|&b| Estimator::new(kind, ctx.ctg().node(b).alternatives()))
-            .collect::<Result<Vec<_>, _>>()?;
-        let mut workspace = SolverWorkspace::new();
-        let solution = workspace.solve(scheduler.config(), ctx, &initial_probs)?;
-        Ok(AdaptiveScheduler {
+            .collect()
+    }
+
+    fn assemble(
+        scheduler: OnlineScheduler,
+        estimators: Vec<Estimator>,
+        current_probs: BranchProbs,
+        threshold: f64,
+        solution: Solution,
+        workspace: SolverWorkspace,
+    ) -> Self {
+        AdaptiveScheduler {
             scheduler,
             estimators,
-            current_probs: initial_probs,
+            current_probs,
             threshold,
             solution,
             stats: AdaptiveStats::default(),
@@ -397,7 +438,7 @@ impl AdaptiveScheduler {
             cache: None,
             workspace,
             guard_workspace: SolverWorkspace::new(),
-        })
+        }
     }
 
     /// The solution currently in force.
@@ -508,6 +549,37 @@ impl AdaptiveScheduler {
             }
         }
         (drift > self.threshold).then_some(estimated)
+    }
+
+    /// The estimated probability table, when any branch's windowed estimate
+    /// has drifted beyond the threshold from the table in force — i.e. the
+    /// table [`AdaptiveScheduler::observe`] would re-schedule on right now.
+    ///
+    /// Splitting drift detection from solving lets an external engine
+    /// coalesce solves across streams: collect candidates, solve each
+    /// distinct table once, then hand the plans back through
+    /// [`AdaptiveScheduler::adopt_candidate`].
+    pub fn drift_candidate(&self, ctx: &SchedContext) -> Option<BranchProbs> {
+        self.drifted_probs(ctx)
+    }
+
+    /// Adopts an *externally solved* candidate for `probs`, mirroring the
+    /// adoption arm of [`AdaptiveScheduler::observe`]: the probabilities are
+    /// re-latched, the solution replaces the incumbent, and the statistics
+    /// are updated (`calls` only when `solver_call` is set — a plan served
+    /// from a cache is not a call).
+    ///
+    /// `candidate` **must** be exactly the solution this manager's solver
+    /// would produce for `(ctx, probs)`; callers that share plans across
+    /// streams guarantee this with an exact-probability guard, so adoption
+    /// order and cache hits can never change a single adopted bit.
+    pub fn adopt_candidate(&mut self, probs: BranchProbs, candidate: Solution, solver_call: bool) {
+        self.current_probs = probs;
+        self.solution = candidate;
+        if solver_call {
+            self.stats.calls += 1;
+        }
+        self.stats.reschedules += 1;
     }
 
     /// Like [`AdaptiveScheduler::observe`], but with retry-with-fallback
@@ -652,22 +724,8 @@ impl AdaptiveScheduler {
     /// The cache key for one solve: per-alternative probabilities quantised
     /// at the adaptation threshold (the resolution below which the manager
     /// itself does not react), plus the guard factor and deadline bits.
-    fn cache_key(&self, ctx: &SchedContext, probs: &BranchProbs, guard: f64) -> CacheKey {
-        let ctg = ctx.ctg();
-        let mut qprobs = Vec::new();
-        for &b in ctg.branch_nodes() {
-            let dist = probs
-                .distribution(b)
-                .expect("validated table has every branch");
-            for &p in dist {
-                qprobs.push((p / self.threshold).round() as i64);
-            }
-        }
-        CacheKey {
-            qprobs,
-            guard: guard.to_bits(),
-            deadline: ctg.deadline().to_bits(),
-        }
+    fn cache_key(&self, ctx: &SchedContext, probs: &BranchProbs, guard: f64) -> ScheduleKey {
+        ScheduleKey::new(ctx, probs, self.threshold, guard)
     }
 
     /// Enables schedule memoisation with room for `capacity` solutions,

@@ -13,8 +13,63 @@
 //! avoid — nearby-but-new tables — structurally incremental. Neither
 //! changes a single adopted plan.
 
+use crate::context::SchedContext;
+use ctg_model::BranchProbs;
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
+
+/// Cache key of one solver invocation: the branch-probability table
+/// quantised at a resolution `quantum`, plus the guard-banded deadline the
+/// solve ran against.
+///
+/// Quantisation only *buckets* entries so a cache stays small over a
+/// drifting trace — it never substitutes a nearby solution: every consumer
+/// (the [`AdaptiveScheduler`](crate::AdaptiveScheduler) schedule cache and
+/// the serving engine's cross-stream cache) additionally requires the
+/// entry's exact stored probabilities to equal the requested ones before
+/// returning it, so a cached plan is always the plan the solver would have
+/// produced.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScheduleKey {
+    /// `round(p / quantum)` per alternative, in branch-node order.
+    qprobs: Vec<i64>,
+    /// Bits of the deadline-guard factor the solve honours.
+    guard: u64,
+    /// Bits of the context's (unguarded) deadline — a cheap fingerprint
+    /// against a consumer being driven with a re-scaled context.
+    deadline: u64,
+}
+
+impl ScheduleKey {
+    /// Builds the key for a solve of `probs` on `ctx` under `guard`, with
+    /// probabilities bucketed at `quantum` (the adaptive manager uses its
+    /// drift threshold — the resolution below which it does not react).
+    ///
+    /// The key is a pure function of its inputs' bits, never of lookup
+    /// history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` lacks a distribution for one of the context's
+    /// branch nodes (callers hold validated tables).
+    pub fn new(ctx: &SchedContext, probs: &BranchProbs, quantum: f64, guard: f64) -> Self {
+        let ctg = ctx.ctg();
+        let mut qprobs = Vec::new();
+        for &b in ctg.branch_nodes() {
+            let dist = probs
+                .distribution(b)
+                .expect("validated table has every branch");
+            for &p in dist {
+                qprobs.push((p / quantum).round() as i64);
+            }
+        }
+        ScheduleKey {
+            qprobs,
+            guard: guard.to_bits(),
+            deadline: ctg.deadline().to_bits(),
+        }
+    }
+}
 
 /// A bounded map evicting the least-recently-used entry on overflow.
 ///

@@ -76,7 +76,7 @@ mod workspace;
 pub use adaptive::{
     AdaptiveScheduler, AdaptiveStats, EstimatorKind, EwmaEstimator, ObserveOutcome, SlidingWindow,
 };
-pub use cache::LruCache;
+pub use cache::{LruCache, ScheduleKey};
 pub use context::CompiledGraph;
 pub use context::{ScenarioMask, SchedContext};
 pub use dls::{dls_schedule, dls_with_levels, list_schedule_fixed};

@@ -26,7 +26,18 @@
 //! 4. **Memoisation**: a solve for the exact probability table and stretch
 //!    configuration of the previous solve returns its solution — the
 //!    solver is deterministic, so re-running it cannot produce anything
-//!    else.
+//!    else. Note that the memo is depth-1 and therefore **dead on a pure
+//!    drift sequence by construction**: the adaptive manager only re-solves
+//!    when the estimate moved beyond the threshold from the table in force,
+//!    so consecutive *adopted* tables always differ (`BENCH_solver.json`
+//!    reports `memo_hits: 0` over 1483 adopted MPEG drift tables — that is
+//!    correct behaviour, not a broken key). The memo earns its keep on the
+//!    paths that re-solve an *unchanged* table: the degradation ladder's
+//!    [`resolve_now`](crate::AdaptiveScheduler::resolve_now) rungs, guard
+//!    relax/escalate cycles, and external callers replaying a table.
+//!    Deeper replay of non-consecutive tables is the schedule cache's job
+//!    (see [`LruCache`](crate::LruCache) in the adaptive manager), not the
+//!    workspace's.
 //!
 //! The stretching sweeps themselves intentionally run *cold* (not seeded
 //! from the incumbent speeds): seeding changes the sweep arithmetic and
@@ -353,6 +364,46 @@ mod tests {
         assert_eq!(stats.full_level_rebuilds, 1);
         assert!(stats.graph_reuses + stats.graph_rebuilds + stats.memo_hits == stats.solves);
         assert!(stats.graph_reuses >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn memo_counter_pins_exact_consecutive_repeats_only() {
+        // Regression for the "dead memo" investigation: the depth-1 memo
+        // hits exactly once per *unchanged consecutive* table and never
+        // across an intervening different table. Pinned with equalities,
+        // not >=, so a silently broken key (0 hits) or an over-eager one
+        // (matching non-consecutive repeats) both fail.
+        let (ctx, probs, ids) = example1_context();
+        let [_, _, t3, _, _, t5, ..] = ids;
+        let scheduler = OnlineScheduler::new();
+        let mut ws = SolverWorkspace::new();
+        let table = |d: Vec<f64>| {
+            let mut p = probs.clone();
+            p.set(t3, d.clone()).unwrap();
+            p.set(t5, d).unwrap();
+            p
+        };
+        let a = table(vec![0.7, 0.3]);
+        let b = table(vec![0.3, 0.7]);
+
+        let first = scheduler.solve_with_workspace(&ctx, &a, &mut ws).unwrap();
+        assert_eq!(ws.stats().memo_hits, 0, "cold solve cannot hit");
+        // Unchanged consecutive table: must be answered from the memo.
+        let repeat = scheduler.solve_with_workspace(&ctx, &a, &mut ws).unwrap();
+        assert_eq!(ws.stats().memo_hits, 1);
+        assert_bit_identical(&first, &repeat, &ctx);
+        let again = scheduler.solve_with_workspace(&ctx, &a, &mut ws).unwrap();
+        assert_eq!(ws.stats().memo_hits, 2);
+        assert_bit_identical(&first, &again, &ctx);
+        // A drifted table breaks the streak…
+        scheduler.solve_with_workspace(&ctx, &b, &mut ws).unwrap();
+        assert_eq!(ws.stats().memo_hits, 2);
+        // …and returning to `a` is a non-consecutive repeat: the depth-1
+        // memo must NOT serve it (that replay is the schedule cache's job).
+        let back = scheduler.solve_with_workspace(&ctx, &a, &mut ws).unwrap();
+        assert_eq!(ws.stats().memo_hits, 2);
+        assert_bit_identical(&first, &back, &ctx);
+        assert_eq!(ws.stats().solves, 5);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! the paper's evaluation averages over 1000-instance traces.
 //!
 //! [`runner`] drives whole traces through the non-adaptive (static) and
-//! adaptive policies.
+//! adaptive policies; [`serve`] drives *many* independent adaptive streams
+//! at once, sharded over worker threads with a cross-stream schedule cache
+//! and same-tick reschedule coalescing.
 //!
 //! # Example
 //!
@@ -57,6 +59,7 @@ pub mod metrics;
 pub mod pool;
 pub mod reclaim;
 pub mod runner;
+pub mod serve;
 
 pub use degrade::{DegradeConfig, DegradeStats, Rung, Watchdog, WatchdogVerdict};
 pub use estimate::{monte_carlo_energy, McEstimate};
@@ -68,9 +71,16 @@ pub use instance::{
     InstanceResult, SimWorkspace,
 };
 pub use metrics::{trace_metrics, TraceMetrics};
-pub use pool::{map_ordered, map_ordered_with, worker_count};
+pub use pool::{
+    effective_workers, effective_workers_weighted, map_ordered, map_ordered_with, worker_count,
+};
 pub use reclaim::simulate_instance_reclaiming;
 pub use runner::{
     run_adaptive, run_adaptive_resilient, run_periodic, run_static, run_static_faulty,
     run_static_faulty_parallel, run_static_parallel, PeriodicSummary, RunSummary,
+    FAULTY_INSTANCE_COST,
+};
+pub use serve::{
+    run_serve, CacheMode, ServeConfig, ServeReport, ServeStats, SharedScheduleCache, StreamSpec,
+    StreamSummary, SERVE_SHARDS_ENV,
 };

@@ -56,7 +56,24 @@ pub fn min_batch() -> usize {
 /// The worker count actually worth using for a batch of `total_items`:
 /// `workers`, degraded to 1 when the batch is smaller than [`min_batch`].
 pub fn effective_workers(total_items: usize, workers: usize) -> usize {
-    if total_items < min_batch() {
+    effective_workers_weighted(total_items, workers, 1.0)
+}
+
+/// Like [`effective_workers`], but for items whose per-item cost is
+/// `unit_cost ×` the plain-simulation baseline the [`min_batch`] threshold
+/// was calibrated on.
+///
+/// The fallback exists because thread spawn/join overhead must be amortized
+/// over enough *work*, not enough *items*: a batch of heavier items (e.g.
+/// faulty instances, which re-plan around injected overruns and stalls and
+/// cost roughly twice a plain instance) pays for the pool at proportionally
+/// fewer items. `total_items × unit_cost` is compared against the
+/// threshold, so a cost of 2.0 halves the break-even batch size. Costs
+/// below 1.0 raise it symmetrically. The choice only affects wall-clock
+/// time — sequential and pooled runs are bit-identical either way.
+pub fn effective_workers_weighted(total_items: usize, workers: usize, unit_cost: f64) -> usize {
+    let weighted = total_items as f64 * unit_cost.max(0.0);
+    if weighted < min_batch() as f64 {
         1
     } else {
         workers
@@ -238,5 +255,28 @@ mod tests {
         }
         assert_eq!(effective_workers(threshold, 8), 8);
         assert_eq!(effective_workers(threshold + 1, 4), 4);
+    }
+
+    #[test]
+    fn weighted_cost_scales_the_break_even_batch() {
+        let threshold = min_batch();
+        if threshold < 2 {
+            return; // fallback disabled; nothing to scale
+        }
+        // 2x-heavy items break even at half the items…
+        assert_eq!(effective_workers_weighted(threshold / 2, 8, 2.0), 8);
+        assert_eq!(effective_workers_weighted(threshold / 2 - 1, 8, 2.0), 1);
+        // …and half-weight items need twice as many.
+        assert_eq!(effective_workers_weighted(threshold, 8, 0.5), 1);
+        assert_eq!(effective_workers_weighted(2 * threshold, 8, 0.5), 8);
+        // Cost 1.0 reproduces the unweighted policy exactly.
+        for items in [0, threshold - 1, threshold, threshold + 7] {
+            assert_eq!(
+                effective_workers_weighted(items, 8, 1.0),
+                effective_workers(items, 8)
+            );
+        }
+        // Degenerate costs never panic and degrade conservatively.
+        assert_eq!(effective_workers_weighted(usize::MAX, 8, 0.0), 1);
     }
 }

@@ -222,13 +222,24 @@ pub fn run_static_faulty(
     Ok(summary)
 }
 
+/// Relative per-instance cost of a faulty simulation vs a plain one, used
+/// to weight the small-batch sequential fallback: a faulty instance
+/// resamples its fault stream and re-plans around injected overruns,
+/// stalls and retransmits, costing roughly twice a plain instance (the
+/// `throughput` bench measures ~1.5–2×), so the pool breaks even at about
+/// half as many instances.
+pub const FAULTY_INSTANCE_COST: f64 = 2.0;
+
 /// [`run_static_faulty`] fanned out over a worker pool.
 ///
 /// Fault decisions are keyed by `(plan.seed, global instance index)`, so
 /// instances are independent and the partition into chunks cannot change
 /// them; outcomes are folded in trace order, making the summary bit-for-bit
-/// equal to [`run_static_faulty`]'s at every worker count. Traces shorter
-/// than [`pool::min_batch`] run sequentially regardless of `workers`.
+/// equal to [`run_static_faulty`]'s at every worker count. The small-batch
+/// sequential fallback is weighted by [`FAULTY_INSTANCE_COST`]: faulty
+/// instances are heavier than plain ones, so the pool pays off at
+/// proportionally shorter traces than [`run_static_parallel`]'s
+/// [`pool::min_batch`] floor.
 ///
 /// # Errors
 ///
@@ -241,7 +252,7 @@ pub fn run_static_faulty_parallel(
     workers: usize,
 ) -> Result<RunSummary, SchedError> {
     let start = Instant::now();
-    let workers = pool::effective_workers(vectors.len(), workers);
+    let workers = pool::effective_workers_weighted(vectors.len(), workers, FAULTY_INSTANCE_COST);
     let clen = chunk_len(vectors.len(), workers);
     let chunks: Vec<(usize, &[DecisionVector])> = vectors
         .chunks(clen)

@@ -1,0 +1,1066 @@
+//! `ctg_serve` — the sharded multi-stream adaptive serving engine.
+//!
+//! PRs 2–3 made a *single* adaptive stream fast (deterministic worker
+//! pool, schedule LRU, warm-start [`SolverWorkspace`]). This module serves
+//! **many independent streams** — each a session with its own trace,
+//! sliding-window profiler, fault plan and seed, all decoding the same
+//! application on the same platform (e.g. thousands of MPEG sessions, each
+//! playing its own movie) — and amortizes scheduling work *across* them:
+//!
+//! * **Sharding.** Streams are partitioned into shards
+//!   ([`ServeConfig::shards`], default `CTG_SERVE_SHARDS` or the pool
+//!   worker count) and shards are distributed over persistent worker
+//!   threads. Workers advance their streams in lockstep ticks (one
+//!   instance per stream per tick) separated by barriers, so scheduling
+//!   work of one tick can be batched across streams.
+//! * **Cross-stream schedule cache.** A lock-striped
+//!   [`SharedScheduleCache`] keyed on the quantised-probability
+//!   [`ScheduleKey`] of PR 2 lets a plan solved for one stream be adopted
+//!   by any stream whose windowed estimate lands on the *same exact*
+//!   probability table (the quantised key only selects the bucket; a hit
+//!   additionally requires the entry's stored table to equal the requested
+//!   one bit-for-bit — the exact-probability guard). Windowed estimates
+//!   are ratios of small integer counts, so distinct streams genuinely
+//!   collide on exact tables all the time.
+//! * **Reschedule coalescing.** Within a tick, streams requesting the same
+//!   exact table are grouped and solved **once**; the one warm solve fans
+//!   out to every requester. (Grouping by quantised cell alone would break
+//!   the exact-probability guard, so groups are formed per exact table —
+//!   the cell is just the hash prelude.)
+//!
+//! # Determinism
+//!
+//! Per-stream results depend only on `(stream spec, context)` — never on
+//! shard count, worker count, cache mode or hit/miss order. The argument
+//! reduces to two facts: (1) the solver is a pure function of
+//! `(context, probs, config)` and both caches guard hits on *exact*
+//! probability equality, so a served plan is always bit-identical to the
+//! plan the stream's own solver would have produced; (2) each stream is a
+//! self-contained state machine advanced in tick order by exactly one
+//! owner, and results are merged by stream id. [`StreamSummary`] therefore
+//! compares bit-for-bit across every engine configuration
+//! (`tests/serve_determinism.rs` pins the matrix). Aggregate *cache
+//! counters* are the one exception: under eviction pressure the shared
+//! LRU's recency order depends on stripe-lock interleaving, so hit/miss
+//! tallies may wobble with the worker count — adopted plans never do.
+
+use crate::fault::{FaultInjector, FaultLog, FaultPlan, FaultStats};
+use crate::instance::SimWorkspace;
+use crate::pool;
+use ctg_model::{BranchProbs, DecisionVector};
+use ctg_sched::{
+    AdaptiveScheduler, EstimatorKind, LruCache, OnlineScheduler, SchedContext, SchedError,
+    ScheduleKey, Solution, SolverWorkspace,
+};
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Environment variable overriding the default shard count.
+pub const SERVE_SHARDS_ENV: &str = "CTG_SERVE_SHARDS";
+
+/// Parses a `CTG_SERVE_SHARDS`-style override: a positive integer. Split
+/// out of [`default_shards`] so the policy is testable without mutating
+/// the process environment.
+fn parse_shards(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// The default shard count: `CTG_SERVE_SHARDS` when set to a positive
+/// integer, else the pool's [`worker_count`](pool::worker_count).
+pub fn default_shards() -> usize {
+    parse_shards(std::env::var(SERVE_SHARDS_ENV).ok().as_deref()).unwrap_or_else(pool::worker_count)
+}
+
+/// Which schedule cache the engine consults before solving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// No cache: every coalesced group is solved.
+    Off,
+    /// One isolated LRU per stream (the PR 2 manager cache, externalised):
+    /// a stream can only replay plans it produced itself. The baseline the
+    /// shared cache is measured against.
+    PerStream {
+        /// Per-stream entry capacity.
+        capacity: usize,
+    },
+    /// One lock-striped cache shared by all streams: a plan solved for one
+    /// stream is adopted by any stream landing on the same exact table.
+    Shared {
+        /// Total entry capacity, split evenly over the stripes.
+        capacity: usize,
+        /// Number of independently locked stripes.
+        stripes: usize,
+    },
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (clamped to the shard and stream counts).
+    pub workers: usize,
+    /// Stream shards; stream `i` lives in shard `i % shards` and shard `s`
+    /// is owned by worker `s % workers`. Affects load balance only.
+    pub shards: usize,
+    /// Schedule cache mode.
+    pub cache: CacheMode,
+    /// Group identical same-tick requests into one solve. Off, every
+    /// request is solved individually (ablation knob).
+    pub coalesce: bool,
+    /// Quantisation resolution of the shared cache's [`ScheduleKey`]
+    /// (per-stream caches quantise at the stream's own drift threshold).
+    /// Any positive value is *correct* — quantisation only buckets, the
+    /// exact-probability guard decides — it just trades bucket collisions
+    /// against map size.
+    pub quantum: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: pool::worker_count(),
+            shards: default_shards(),
+            cache: CacheMode::Shared {
+                capacity: 4096,
+                stripes: 16,
+            },
+            coalesce: true,
+            quantum: 0.1,
+        }
+    }
+}
+
+/// One stream: a session's trace plus its profiling and fault parameters.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// The branch-decision trace driving this stream.
+    pub trace: Vec<DecisionVector>,
+    /// Probability table the stream's first solution is computed with.
+    pub initial_probs: BranchProbs,
+    /// Sliding-window length of the stream's profiler.
+    pub window: usize,
+    /// Drift threshold triggering re-scheduling.
+    pub threshold: f64,
+    /// Optional fault plan (instance `i` draws faults from the sub-stream
+    /// `mix(plan.seed, i)`, so give each stream its own seed).
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl StreamSpec {
+    /// A stream with the bench's default profiler (window 20, threshold
+    /// 0.1) and no faults.
+    pub fn new(trace: Vec<DecisionVector>, initial_probs: BranchProbs) -> Self {
+        StreamSpec {
+            trace,
+            initial_probs,
+            window: 20,
+            threshold: 0.1,
+            fault_plan: None,
+        }
+    }
+}
+
+/// Per-stream outcome. Contains only *simulated* quantities — no wall
+/// clock, no cache/solver accounting — so it is bit-identical across
+/// worker counts, shard counts and cache modes (`PartialEq` compares
+/// everything, f64s included).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamSummary {
+    /// Instances executed.
+    pub instances: usize,
+    /// Sum of per-instance energies.
+    pub total_energy: f64,
+    /// Instances whose makespan exceeded the deadline.
+    pub deadline_misses: usize,
+    /// Largest observed makespan.
+    pub max_makespan: f64,
+    /// Adopted re-schedule events (however the plan was served).
+    pub reschedules: usize,
+    /// Injected-fault accounting (all-zero for fault-free streams).
+    pub faults: FaultStats,
+}
+
+/// Engine-level accounting of one serve run.
+///
+/// The request/group/solve counters are deterministic (grouping is a pure
+/// function of the tick's sorted requests); the shared-cache hit counters
+/// can wobble under eviction pressure (see the module docs) and are
+/// reported for observability, not asserted for equality.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Streams served.
+    pub streams: usize,
+    /// Total instances executed across streams.
+    pub instances: usize,
+    /// Lockstep ticks driven (the longest trace's length).
+    pub ticks: usize,
+    /// Drift events: a stream's windowed estimate crossed its threshold
+    /// (every one ends in an adopted re-schedule).
+    pub drift_events: usize,
+    /// Drift events answered from a stream's own cache
+    /// ([`CacheMode::PerStream`] only).
+    pub per_stream_hits: usize,
+    /// Drift events that reached the coalescing stage
+    /// (`drift_events − per_stream_hits`).
+    pub requests: usize,
+    /// Distinct solve jobs formed from those requests.
+    pub groups: usize,
+    /// Requests folded into another stream's job (`requests − groups`).
+    pub coalesced_requests: usize,
+    /// Groups answered by the shared cache ([`CacheMode::Shared`] only).
+    pub shared_hits: usize,
+    /// Requests belonging to shared-cache-answered groups.
+    pub shared_hit_requests: usize,
+    /// Groups that ran the warm solver.
+    pub solver_calls: usize,
+    /// Wall-clock seconds of the whole run (measured).
+    pub wall_s: f64,
+}
+
+impl ServeStats {
+    /// Fraction of drift events answered from the stream's own cache.
+    pub fn per_stream_hit_rate(&self) -> f64 {
+        ratio(self.per_stream_hits, self.drift_events)
+    }
+
+    /// Fraction of drift events answered from the shared cache.
+    pub fn shared_hit_rate(&self) -> f64 {
+        ratio(self.shared_hit_requests, self.drift_events)
+    }
+
+    /// Mean requests folded into one solve job (≥ 1 when any request was
+    /// made; 0 for a drift-free run).
+    pub fn coalescing_factor(&self) -> f64 {
+        ratio(self.requests, self.groups)
+    }
+
+    /// Adopted re-schedules per wall-clock second (aggregate).
+    pub fn reschedules_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.drift_events as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulated instances per wall-clock second (aggregate).
+    pub fn instances_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.instances as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Everything a serve run produces: per-stream summaries in stream order
+/// plus engine accounting.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// One summary per stream, in [`StreamSpec`] order.
+    pub streams: Vec<StreamSummary>,
+    /// Engine-level counters.
+    pub stats: ServeStats,
+}
+
+/// A memoised solver result: the exact table it was solved for plus the
+/// plan (the exact-probability guard's evidence).
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    probs: BranchProbs,
+    solution: Solution,
+}
+
+/// The lock-striped cross-stream schedule cache.
+///
+/// Entries are bucketed by [`ScheduleKey`] (quantised probabilities +
+/// guard + deadline bits) and striped by the key's hash, so concurrent
+/// lookups from different buckets rarely contend. A hit requires the
+/// stored *exact* table to equal the requested one — the same guard the
+/// per-manager cache of PR 2 uses — so sharing plans across streams can
+/// never change an adopted bit.
+#[derive(Debug)]
+pub struct SharedScheduleCache {
+    stripes: Vec<Mutex<LruCache<ScheduleKey, CacheEntry>>>,
+}
+
+impl SharedScheduleCache {
+    /// Creates a cache holding at most `capacity` plans across
+    /// `stripes.max(1)` independently locked stripes (capacity is split
+    /// evenly, rounded up).
+    pub fn new(capacity: usize, stripes: usize) -> Self {
+        let stripes = stripes.max(1);
+        let per_stripe = capacity.div_ceil(stripes);
+        SharedScheduleCache {
+            stripes: (0..stripes)
+                .map(|_| Mutex::new(LruCache::new(per_stripe)))
+                .collect(),
+        }
+    }
+
+    /// Number of stripes.
+    pub fn num_stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Total stored entries (momentary; takes every stripe lock).
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("stripe lock").len())
+            .sum()
+    }
+
+    /// Whether no stripe holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn stripe_of(&self, key: &ScheduleKey) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.stripes.len()
+    }
+
+    /// Returns the cached plan for `key` iff the stored exact table equals
+    /// `probs` (marking the entry most-recently-used).
+    pub fn lookup(&self, key: &ScheduleKey, probs: &BranchProbs) -> Option<Solution> {
+        let mut stripe = self.stripes[self.stripe_of(key)]
+            .lock()
+            .expect("stripe lock");
+        stripe
+            .get(key)
+            .filter(|e| e.probs == *probs)
+            .map(|e| e.solution.clone())
+    }
+
+    /// Stores `solution` as the plan for (`key`, exact `probs`).
+    pub fn insert(&self, key: ScheduleKey, probs: BranchProbs, solution: Solution) {
+        let mut stripe = self.stripes[self.stripe_of(&key)]
+            .lock()
+            .expect("stripe lock");
+        stripe.insert(key, CacheEntry { probs, solution });
+    }
+}
+
+/// Exact identity of a probability table: the bits of every alternative's
+/// probability in branch-node order. Used to group same-tick requests and
+/// to deduplicate initial solves.
+fn probs_bits(ctx: &SchedContext, probs: &BranchProbs) -> Vec<u64> {
+    ctx.ctg()
+        .branch_nodes()
+        .iter()
+        .flat_map(|&b| {
+            probs
+                .distribution(b)
+                .expect("validated table has every branch")
+                .iter()
+                .map(|p| p.to_bits())
+        })
+        .collect()
+}
+
+/// One coalesced solve job: the exact table and everyone who asked for it.
+#[derive(Debug)]
+struct Group {
+    probs: BranchProbs,
+    /// Requesting stream ids, ascending (grouping input is sorted).
+    requesters: Vec<usize>,
+    outcome: OnceLock<GroupOutcome>,
+}
+
+#[derive(Debug, Clone)]
+struct GroupOutcome {
+    result: Result<Solution, SchedError>,
+    from_shared: bool,
+}
+
+/// The live state of one stream.
+struct StreamState<'a> {
+    id: usize,
+    trace: &'a [DecisionVector],
+    pos: usize,
+    mgr: AdaptiveScheduler,
+    sim: SimWorkspace,
+    plan: Option<&'a FaultPlan>,
+    injector: FaultInjector,
+    log: FaultLog,
+    /// Own plan cache ([`CacheMode::PerStream`] only).
+    cache: Option<LruCache<ScheduleKey, CacheEntry>>,
+    summary: StreamSummary,
+}
+
+impl StreamSummary {
+    fn absorb_outcome(&mut self, r: &crate::instance::InstanceOutcome) {
+        self.instances += 1;
+        self.total_energy += r.energy;
+        self.deadline_misses += usize::from(!r.deadline_met);
+        self.max_makespan = self.max_makespan.max(r.makespan);
+    }
+}
+
+/// Per-worker counter accumulator, summed into [`ServeStats`] at the end.
+#[derive(Debug, Clone, Copy, Default)]
+struct LocalCounters {
+    drift_events: usize,
+    per_stream_hits: usize,
+    requests: usize,
+    groups: usize,
+    coalesced_requests: usize,
+    shared_hits: usize,
+    shared_hit_requests: usize,
+    solver_calls: usize,
+}
+
+impl LocalCounters {
+    fn absorb(&mut self, o: &LocalCounters) {
+        self.drift_events += o.drift_events;
+        self.per_stream_hits += o.per_stream_hits;
+        self.requests += o.requests;
+        self.groups += o.groups;
+        self.coalesced_requests += o.coalesced_requests;
+        self.shared_hits += o.shared_hits;
+        self.shared_hit_requests += o.shared_hit_requests;
+        self.solver_calls += o.solver_calls;
+    }
+}
+
+/// Drives `specs` to completion on the engine described by `cfg` and
+/// returns per-stream summaries plus engine stats.
+///
+/// All streams share `ctx` (they are sessions of one application on one
+/// platform) and the default stretch configuration. Per-stream summaries
+/// are **bit-for-bit identical** for every `(workers, shards, cache,
+/// coalesce)` choice; see the [module docs](self) for the argument.
+///
+/// # Errors
+///
+/// Returns [`SchedError::VectorArity`] for traces not matching the graph,
+/// parameter errors for invalid windows/thresholds/fault plans, and
+/// propagates the first solver failure (streams are driven with
+/// [`AdaptiveScheduler::observe`]-style unconditional adoption, which
+/// propagates solve errors rather than degrading).
+pub fn run_serve(
+    ctx: &SchedContext,
+    specs: &[StreamSpec],
+    cfg: &ServeConfig,
+) -> Result<ServeReport, SchedError> {
+    let start = Instant::now();
+    let num_branches = ctx.ctg().num_branches();
+    for spec in specs {
+        for v in &spec.trace {
+            if v.len() != num_branches {
+                return Err(SchedError::VectorArity {
+                    expected: num_branches,
+                    got: v.len(),
+                });
+            }
+        }
+        if let Some(plan) = &spec.fault_plan {
+            // Surface invalid plans at setup so workers cannot fail on them.
+            FaultInjector::empty(ctx).resample(plan, ctx, 0)?;
+        }
+    }
+
+    // Initial solves, one per distinct exact table (tick-0 coalescing).
+    let online = OnlineScheduler::new();
+    let mut setup_ws = SolverWorkspace::new();
+    let mut initial: HashMap<Vec<u64>, Solution> = HashMap::new();
+    for spec in specs {
+        if let Entry::Vacant(e) = initial.entry(probs_bits(ctx, &spec.initial_probs)) {
+            e.insert(online.solve_with_workspace(ctx, &spec.initial_probs, &mut setup_ws)?);
+        }
+    }
+
+    let per_stream_capacity = match cfg.cache {
+        CacheMode::PerStream { capacity } => Some(capacity),
+        _ => None,
+    };
+    let mut states: Vec<StreamState> = Vec::with_capacity(specs.len());
+    for (id, spec) in specs.iter().enumerate() {
+        let solution = initial[&probs_bits(ctx, &spec.initial_probs)].clone();
+        let mgr = AdaptiveScheduler::with_initial_solution(
+            ctx,
+            spec.initial_probs.clone(),
+            EstimatorKind::Window(spec.window),
+            spec.threshold,
+            OnlineScheduler::new(),
+            solution,
+        )?;
+        let sim = SimWorkspace::new(ctx, mgr.solution());
+        states.push(StreamState {
+            id,
+            trace: &spec.trace,
+            pos: 0,
+            mgr,
+            sim,
+            plan: spec.fault_plan.as_ref(),
+            injector: FaultInjector::empty(ctx),
+            log: FaultLog::default(),
+            cache: per_stream_capacity.map(LruCache::new),
+            summary: StreamSummary::default(),
+        });
+    }
+
+    let shards = cfg.shards.max(1);
+    let workers = cfg.workers.max(1).min(shards).min(specs.len().max(1));
+    let owner = |stream_id: usize| (stream_id % shards) % workers;
+    let mut per_worker: Vec<Vec<StreamState>> = (0..workers).map(|_| Vec::new()).collect();
+    for st in states {
+        per_worker[owner(st.id)].push(st);
+    }
+
+    let ticks = specs.iter().map(|s| s.trace.len()).max().unwrap_or(0);
+    let shared_cache = match cfg.cache {
+        CacheMode::Shared { capacity, stripes } => {
+            Some(SharedScheduleCache::new(capacity, stripes))
+        }
+        _ => None,
+    };
+    let barrier = Barrier::new(workers);
+    let request_slots: Vec<Mutex<Vec<(usize, BranchProbs)>>> =
+        (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+    let groups: RwLock<Vec<Group>> = RwLock::new(Vec::new());
+    let requests_cum = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let first_error: Mutex<Option<SchedError>> = Mutex::new(None);
+
+    let fail = |e: SchedError| {
+        let mut slot = first_error.lock().expect("error slot lock");
+        slot.get_or_insert(e);
+        abort.store(true, Ordering::SeqCst);
+    };
+
+    let (finished, counters) = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for (w, mut my_streams) in per_worker.into_iter().enumerate() {
+            let barrier = &barrier;
+            let request_slots = &request_slots;
+            let groups = &groups;
+            let requests_cum = &requests_cum;
+            let abort = &abort;
+            let shared_cache = shared_cache.as_ref();
+            let online = &online;
+            let fail = &fail;
+            handles.push(scope.spawn(move || {
+                let mut ws = SolverWorkspace::new();
+                let mut counters = LocalCounters::default();
+                let mut last_seen = 0usize;
+                let id_to_idx: HashMap<usize, usize> = my_streams
+                    .iter()
+                    .enumerate()
+                    .map(|(i, st)| (st.id, i))
+                    .collect();
+                for _tick in 0..ticks {
+                    // All workers observe the same abort state here: it is
+                    // only ever stored before a barrier they all crossed.
+                    if abort.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    // Phase A: advance my streams by one instance each.
+                    let mut local_requests: Vec<(usize, BranchProbs)> = Vec::new();
+                    for st in &mut my_streams {
+                        if let Err(e) = advance_stream(ctx, st, &mut counters, &mut local_requests)
+                        {
+                            fail(e);
+                        }
+                    }
+                    if !local_requests.is_empty() {
+                        requests_cum.fetch_add(local_requests.len(), Ordering::SeqCst);
+                        request_slots[w]
+                            .lock()
+                            .expect("request slot lock")
+                            .append(&mut local_requests);
+                    }
+                    barrier.wait();
+                    // Every worker computes the same "any requests this
+                    // tick" verdict from the cumulative counter (all adds
+                    // happened before the barrier); no reset required.
+                    let now = requests_cum.load(Ordering::SeqCst);
+                    let any_requests = now != last_seen;
+                    last_seen = now;
+                    if any_requests {
+                        if w == 0 {
+                            group_requests(ctx, cfg, request_slots, groups, &mut counters);
+                        }
+                        barrier.wait();
+                        // Phase B: resolve my share of the groups.
+                        {
+                            let gs = groups.read().expect("groups read");
+                            for (gi, g) in gs.iter().enumerate() {
+                                if gi % workers != w {
+                                    continue;
+                                }
+                                let outcome = resolve_group(
+                                    ctx,
+                                    cfg,
+                                    online,
+                                    &mut ws,
+                                    shared_cache,
+                                    g,
+                                    &mut counters,
+                                );
+                                g.outcome.set(outcome).expect("each group resolved once");
+                            }
+                        }
+                        barrier.wait();
+                        // Phase C: adopt for my requesting streams.
+                        let gs = groups.read().expect("groups read");
+                        for g in gs.iter() {
+                            let out = g.outcome.get().expect("all groups resolved");
+                            for (slot, &sid) in g.requesters.iter().enumerate() {
+                                let Some(&idx) = id_to_idx.get(&sid) else {
+                                    continue; // not my stream
+                                };
+                                let st = &mut my_streams[idx];
+                                match &out.result {
+                                    Ok(solution) => {
+                                        adopt(ctx, st, g, slot, out.from_shared, solution);
+                                        if out.from_shared {
+                                            counters.shared_hit_requests += 1;
+                                        }
+                                    }
+                                    Err(e) => fail(e.clone()),
+                                }
+                            }
+                        }
+                    }
+                    // Re-sync so an abort stored in phase A or C is seen by
+                    // every worker at the next tick's check.
+                    barrier.wait();
+                }
+                for st in &mut my_streams {
+                    st.summary.reschedules = st.mgr.stats().reschedules;
+                }
+                (my_streams, counters)
+            }));
+        }
+        let mut finished: Vec<StreamState> = Vec::with_capacity(specs.len());
+        let mut counters = LocalCounters::default();
+        for h in handles {
+            let (streams, c) = h.join().expect("serve worker panicked");
+            finished.extend(streams);
+            counters.absorb(&c);
+        }
+        (finished, counters)
+    });
+
+    if let Some(e) = first_error.into_inner().expect("error slot lock") {
+        return Err(e);
+    }
+
+    let mut finished = finished;
+    finished.sort_by_key(|st| st.id);
+    debug_assert_eq!(finished.len(), specs.len());
+    let streams: Vec<StreamSummary> = finished.into_iter().map(|st| st.summary).collect();
+    let stats = ServeStats {
+        streams: streams.len(),
+        instances: streams.iter().map(|s| s.instances).sum(),
+        ticks,
+        drift_events: counters.drift_events,
+        per_stream_hits: counters.per_stream_hits,
+        requests: counters.requests,
+        groups: counters.groups,
+        coalesced_requests: counters.coalesced_requests,
+        shared_hits: counters.shared_hits,
+        shared_hit_requests: counters.shared_hit_requests,
+        solver_calls: counters.solver_calls,
+        wall_s: start.elapsed().as_secs_f64(),
+    };
+    Ok(ServeReport { streams, stats })
+}
+
+/// Phase A for one stream: simulate the next instance under the solution
+/// in force, record the observation, and either satisfy a drift event from
+/// the stream's own cache or queue a solve request.
+fn advance_stream(
+    ctx: &SchedContext,
+    st: &mut StreamState,
+    counters: &mut LocalCounters,
+    requests: &mut Vec<(usize, BranchProbs)>,
+) -> Result<(), SchedError> {
+    if st.pos >= st.trace.len() {
+        return Ok(());
+    }
+    let v = &st.trace[st.pos];
+    let outcome = match st.plan {
+        Some(plan) => {
+            st.injector.resample(plan, ctx, st.pos as u64)?;
+            let r = st.sim.simulate_faulty(
+                ctx,
+                st.mgr.solution(),
+                v,
+                plan,
+                &st.injector,
+                &mut st.log,
+            )?;
+            st.summary.faults.absorb(&st.log.stats);
+            r
+        }
+        None => st.sim.simulate(ctx, st.mgr.solution(), v)?,
+    };
+    st.summary.absorb_outcome(&outcome);
+    st.pos += 1;
+    st.mgr.record_observation(ctx, v)?;
+    let Some(estimated) = st.mgr.drift_candidate(ctx) else {
+        return Ok(());
+    };
+    counters.drift_events += 1;
+    if let Some(cache) = st.cache.as_mut() {
+        let key = ScheduleKey::new(ctx, &estimated, st.mgr.threshold(), 1.0);
+        let hit = cache
+            .get(&key)
+            .filter(|e| e.probs == estimated)
+            .map(|e| e.solution.clone());
+        if let Some(solution) = hit {
+            // Exact-guard hit in the stream's own cache: adopt immediately,
+            // no request. The plan is the solver's own earlier output for
+            // this exact table, so adoption bits cannot differ.
+            counters.per_stream_hits += 1;
+            st.mgr.adopt_candidate(estimated, solution, false);
+            st.sim.rebuild(ctx, st.mgr.solution());
+            return Ok(());
+        }
+    }
+    requests.push((st.id, estimated));
+    Ok(())
+}
+
+/// Grouping (worker 0, between barriers): drain every worker's request
+/// slot, sort by stream id, and fold identical exact tables into one group
+/// (or one group per request with coalescing off). Deterministic: a pure
+/// function of the tick's request set.
+fn group_requests(
+    ctx: &SchedContext,
+    cfg: &ServeConfig,
+    request_slots: &[Mutex<Vec<(usize, BranchProbs)>>],
+    groups: &RwLock<Vec<Group>>,
+    counters: &mut LocalCounters,
+) {
+    let mut all: Vec<(usize, BranchProbs)> = Vec::new();
+    for slot in request_slots {
+        all.append(&mut slot.lock().expect("request slot lock"));
+    }
+    all.sort_by_key(|&(id, _)| id);
+    let tick_requests = all.len();
+    let mut new_groups: Vec<Group> = Vec::new();
+    if cfg.coalesce {
+        let mut index: HashMap<Vec<u64>, usize> = HashMap::new();
+        for (id, probs) in all {
+            match index.entry(probs_bits(ctx, &probs)) {
+                Entry::Occupied(e) => new_groups[*e.get()].requesters.push(id),
+                Entry::Vacant(e) => {
+                    e.insert(new_groups.len());
+                    new_groups.push(Group {
+                        probs,
+                        requesters: vec![id],
+                        outcome: OnceLock::new(),
+                    });
+                }
+            }
+        }
+    } else {
+        new_groups.extend(all.into_iter().map(|(id, probs)| Group {
+            probs,
+            requesters: vec![id],
+            outcome: OnceLock::new(),
+        }));
+    }
+    counters.requests += tick_requests;
+    counters.groups += new_groups.len();
+    counters.coalesced_requests += tick_requests - new_groups.len();
+    *groups.write().expect("groups write") = new_groups;
+}
+
+/// Phase B for one group: shared-cache lookup (exact guard), else one warm
+/// solve, inserted back into the shared cache on success.
+fn resolve_group(
+    ctx: &SchedContext,
+    cfg: &ServeConfig,
+    online: &OnlineScheduler,
+    ws: &mut SolverWorkspace,
+    shared: Option<&SharedScheduleCache>,
+    g: &Group,
+    counters: &mut LocalCounters,
+) -> GroupOutcome {
+    let key = shared.map(|_| ScheduleKey::new(ctx, &g.probs, cfg.quantum, 1.0));
+    if let (Some(cache), Some(key)) = (shared, key.as_ref()) {
+        if let Some(solution) = cache.lookup(key, &g.probs) {
+            counters.shared_hits += 1;
+            return GroupOutcome {
+                result: Ok(solution),
+                from_shared: true,
+            };
+        }
+    }
+    counters.solver_calls += 1;
+    // The stripe lock is NOT held during the solve: two same-cell groups
+    // may solve concurrently and insert in either order — harmless, the
+    // exact guard keeps every future hit bit-correct.
+    let result = online.solve_with_workspace(ctx, &g.probs, ws);
+    if let (Ok(solution), Some(cache), Some(key)) = (&result, shared, key) {
+        cache.insert(key, g.probs.clone(), solution.clone());
+    }
+    GroupOutcome {
+        result,
+        from_shared: false,
+    }
+}
+
+/// Phase C for one requester: adopt the group's plan into the stream and
+/// refresh its simulation workspace.
+fn adopt(
+    ctx: &SchedContext,
+    st: &mut StreamState,
+    g: &Group,
+    requester_slot: usize,
+    from_shared: bool,
+    solution: &Solution,
+) {
+    // `calls` semantics: the group's solve is attributed to its first
+    // requester (lowest stream id — grouping input is sorted, so this is
+    // deterministic); coalesced followers and cache-served adopters record
+    // a reschedule without a call.
+    let solver_call = !from_shared && requester_slot == 0;
+    if let Some(cache) = st.cache.as_mut() {
+        let key = ScheduleKey::new(ctx, &g.probs, st.mgr.threshold(), 1.0);
+        cache.insert(
+            key,
+            CacheEntry {
+                probs: g.probs.clone(),
+                solution: solution.clone(),
+            },
+        );
+    }
+    st.mgr
+        .adopt_candidate(g.probs.clone(), solution.clone(), solver_call);
+    st.sim.rebuild(ctx, st.mgr.solution());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctg_model::BranchProbs;
+    use ctg_sched::test_util::example1_context;
+
+    fn setup() -> (SchedContext, BranchProbs) {
+        let (ctx, probs, _) = example1_context();
+        (ctx, probs)
+    }
+
+    fn drifty_trace(len: usize, phase: usize) -> Vec<DecisionVector> {
+        (0..len)
+            .map(|i| {
+                let alt = u8::from(((i + phase) / 8) % 2 == 1);
+                DecisionVector::new(vec![alt, alt])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shards_env_parsing() {
+        assert_eq!(parse_shards(None), None);
+        assert_eq!(parse_shards(Some("8")), Some(8));
+        assert_eq!(parse_shards(Some(" 3 ")), Some(3));
+        assert_eq!(parse_shards(Some("0")), None);
+        assert_eq!(parse_shards(Some("nope")), None);
+        assert!(default_shards() >= 1);
+    }
+
+    #[test]
+    fn shared_cache_exact_guard_rejects_same_bucket_neighbours() {
+        let (ctx, probs) = setup();
+        let cache = SharedScheduleCache::new(8, 2);
+        let fork = ctx.ctg().branch_nodes()[0];
+        let mut a = probs.clone();
+        a.set(fork, vec![0.6, 0.4]).unwrap();
+        let mut b = probs.clone();
+        b.set(fork, vec![0.59, 0.41]).unwrap();
+        let quantum = 0.3;
+        let key_a = ScheduleKey::new(&ctx, &a, quantum, 1.0);
+        let key_b = ScheduleKey::new(&ctx, &b, quantum, 1.0);
+        assert_eq!(key_a, key_b, "0.6 and 0.59 share a 0.3-quantum bucket");
+
+        let sol = OnlineScheduler::new().solve(&ctx, &a).unwrap();
+        cache.insert(key_a, a.clone(), sol.clone());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(&key_b, &a), Some(sol));
+        assert_eq!(
+            cache.lookup(&key_b, &b),
+            None,
+            "same bucket, different exact table must miss"
+        );
+    }
+
+    #[test]
+    fn empty_and_trivial_runs() {
+        let (ctx, probs) = setup();
+        let report = run_serve(&ctx, &[], &ServeConfig::default()).unwrap();
+        assert!(report.streams.is_empty());
+        assert_eq!(report.stats.instances, 0);
+
+        let spec = StreamSpec {
+            trace: Vec::new(),
+            initial_probs: probs,
+            window: 4,
+            threshold: 0.3,
+            fault_plan: None,
+        };
+        let report = run_serve(&ctx, &[spec], &ServeConfig::default()).unwrap();
+        assert_eq!(report.streams.len(), 1);
+        assert_eq!(report.streams[0].instances, 0);
+        assert_eq!(report.stats.ticks, 0);
+    }
+
+    #[test]
+    fn wrong_arity_trace_rejected_up_front() {
+        let (ctx, probs) = setup();
+        let spec = StreamSpec {
+            trace: vec![DecisionVector::new(vec![0])],
+            initial_probs: probs,
+            window: 4,
+            threshold: 0.3,
+            fault_plan: None,
+        };
+        assert!(matches!(
+            run_serve(&ctx, &[spec], &ServeConfig::default()),
+            Err(SchedError::VectorArity {
+                expected: 2,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn coalescing_groups_identical_tables() {
+        let (ctx, probs) = setup();
+        // Four streams on the *same* trace: their windowed estimates move in
+        // lockstep, so every drift tick produces identical exact tables and
+        // the engine should solve each table once.
+        let specs: Vec<StreamSpec> = (0..4)
+            .map(|_| StreamSpec {
+                trace: drifty_trace(48, 0),
+                initial_probs: probs.clone(),
+                window: 4,
+                threshold: 0.3,
+                fault_plan: None,
+            })
+            .collect();
+        let cfg = ServeConfig {
+            workers: 2,
+            shards: 4,
+            cache: CacheMode::Off,
+            coalesce: true,
+            quantum: 0.1,
+        };
+        let report = run_serve(&ctx, &specs, &cfg).unwrap();
+        assert!(report.stats.drift_events > 0, "{:?}", report.stats);
+        assert_eq!(report.stats.requests, report.stats.drift_events);
+        assert_eq!(
+            report.stats.coalesced_requests,
+            report.stats.requests - report.stats.groups
+        );
+        assert!(
+            (report.stats.coalescing_factor() - 4.0).abs() < 1e-9,
+            "identical streams must coalesce 4:1, got {}",
+            report.stats.coalescing_factor()
+        );
+        assert_eq!(report.stats.solver_calls, report.stats.groups);
+        for s in &report.streams[1..] {
+            assert_eq!(*s, report.streams[0], "lockstep streams match");
+        }
+
+        // Coalescing off: one solve per request, same summaries.
+        let uncoalesced = run_serve(
+            &ctx,
+            &specs,
+            &ServeConfig {
+                coalesce: false,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_eq!(uncoalesced.stats.groups, uncoalesced.stats.requests);
+        assert_eq!(uncoalesced.stats.coalesced_requests, 0);
+        assert_eq!(uncoalesced.streams, report.streams);
+    }
+
+    #[test]
+    fn shared_cache_and_modes_do_not_change_summaries() {
+        let (ctx, probs) = setup();
+        let specs: Vec<StreamSpec> = (0..6)
+            .map(|i| StreamSpec {
+                trace: drifty_trace(64, 3 * i),
+                initial_probs: probs.clone(),
+                window: 4,
+                threshold: 0.3,
+                fault_plan: (i % 2 == 1).then(|| FaultPlan::uniform(0xBEEF + i as u64, 0.05)),
+            })
+            .collect();
+        let base = ServeConfig {
+            workers: 1,
+            shards: 1,
+            cache: CacheMode::Off,
+            coalesce: true,
+            quantum: 0.1,
+        };
+        let reference = run_serve(&ctx, &specs, &base).unwrap();
+        for cache in [
+            CacheMode::Off,
+            CacheMode::PerStream { capacity: 16 },
+            CacheMode::Shared {
+                capacity: 64,
+                stripes: 4,
+            },
+        ] {
+            for workers in [1, 3] {
+                let cfg = ServeConfig {
+                    workers,
+                    shards: 5,
+                    cache,
+                    coalesce: true,
+                    quantum: 0.1,
+                };
+                let report = run_serve(&ctx, &specs, &cfg).unwrap();
+                assert_eq!(
+                    report.streams, reference.streams,
+                    "summaries diverged at {cache:?}/{workers}w"
+                );
+                assert_eq!(report.stats.drift_events, reference.stats.drift_events);
+            }
+        }
+        // The shared run on recurring regimes must actually hit.
+        let shared = run_serve(
+            &ctx,
+            &specs,
+            &ServeConfig {
+                workers: 2,
+                shards: 6,
+                cache: CacheMode::Shared {
+                    capacity: 64,
+                    stripes: 4,
+                },
+                coalesce: true,
+                quantum: 0.1,
+            },
+        )
+        .unwrap();
+        assert!(
+            shared.stats.shared_hits > 0,
+            "recurring regimes must hit the shared cache: {:?}",
+            shared.stats
+        );
+    }
+}

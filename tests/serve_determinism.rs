@@ -1,0 +1,260 @@
+//! Serving-engine determinism matrix: per-stream summaries must be
+//! bit-for-bit identical for every (worker count, shard count, cache mode)
+//! choice, with and without fault injection — and a single fault-free
+//! served stream must reproduce `run_adaptive` exactly.
+//!
+//! The reference point of every matrix is the most sequential engine
+//! (1 worker, 1 shard, no cache, coalescing on); everything else must
+//! merely be *faster*, never *different*.
+
+use adaptive_dvfs::ctg::{BranchProbs, DecisionVector};
+use adaptive_dvfs::sched::test_util::example1_context;
+use adaptive_dvfs::sched::{dls_schedule, AdaptiveScheduler, SchedContext};
+use adaptive_dvfs::sim::serve::{run_serve, CacheMode, ServeConfig, StreamSpec, StreamSummary};
+use adaptive_dvfs::sim::{run_adaptive, FaultPlan};
+use adaptive_dvfs::workloads::mpeg;
+use adaptive_dvfs::workloads::traces::{self, DriftProfile};
+
+/// Per-stream drifting traces: a handful of distinct drift seeds reused
+/// across streams, so same-seed streams move in lockstep and the engine
+/// has real coalescing and cross-stream replay opportunities (the serving
+/// scenario: many sessions playing the same few movies).
+fn stream_specs(
+    ctx: &SchedContext,
+    streams: usize,
+    len: usize,
+    window: usize,
+    threshold: f64,
+    faults: bool,
+) -> Vec<StreamSpec> {
+    (0..streams)
+        .map(|i| {
+            let profile = DriftProfile::new(0xA5EED + (i % 8) as u64);
+            let trace = traces::generate_trace(ctx.ctg(), &profile, len);
+            let initial = traces::empirical_probs(ctx.ctg(), &trace[..len.min(24)]);
+            StreamSpec {
+                trace,
+                initial_probs: initial,
+                window,
+                threshold,
+                // Faulty streams get stream-unique fault seeds: determinism
+                // must come from the engine, not from identical inputs.
+                fault_plan: faults.then(|| FaultPlan::uniform(0xFA17 + i as u64, 0.04)),
+            }
+        })
+        .collect()
+}
+
+fn assert_summaries_eq(a: &[StreamSummary], b: &[StreamSummary], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: stream count");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x, y, "{what}: stream {i} summary diverged");
+        // PartialEq on f64 fields compares values; pin the bits too.
+        assert_eq!(
+            x.total_energy.to_bits(),
+            y.total_energy.to_bits(),
+            "{what}: stream {i} energy bits"
+        );
+        assert_eq!(
+            x.max_makespan.to_bits(),
+            y.max_makespan.to_bits(),
+            "{what}: stream {i} makespan bits"
+        );
+    }
+}
+
+/// The full matrix on the (fast) example graph:
+/// (1, 2, 4) workers × (1, 4, 64) streams × faults on/off × cache
+/// off/per-stream/shared × shard counts — all against the sequential
+/// reference.
+#[test]
+fn summaries_invariant_across_workers_streams_faults_and_caches() {
+    let (ctx, _, _) = example1_context();
+    for &streams in &[1usize, 4, 64] {
+        for &faults in &[false, true] {
+            let specs = stream_specs(&ctx, streams, 48, 6, 0.25, faults);
+            let reference = run_serve(
+                &ctx,
+                &specs,
+                &ServeConfig {
+                    workers: 1,
+                    shards: 1,
+                    cache: CacheMode::Off,
+                    coalesce: true,
+                    quantum: 0.1,
+                },
+            )
+            .unwrap();
+            assert_eq!(reference.streams.len(), streams);
+            assert!(
+                reference.streams.iter().all(|s| s.instances == 48),
+                "every stream must finish its trace"
+            );
+            for cache in [
+                CacheMode::Off,
+                CacheMode::PerStream { capacity: 16 },
+                CacheMode::Shared {
+                    capacity: 128,
+                    stripes: 4,
+                },
+            ] {
+                for &workers in &[1usize, 2, 4] {
+                    for &shards in &[1usize, 5, 64] {
+                        let report = run_serve(
+                            &ctx,
+                            &specs,
+                            &ServeConfig {
+                                workers,
+                                shards,
+                                cache,
+                                coalesce: true,
+                                quantum: 0.1,
+                            },
+                        )
+                        .unwrap();
+                        assert_summaries_eq(
+                            &report.streams,
+                            &reference.streams,
+                            &format!(
+                                "streams={streams} faults={faults} \
+                                 cache={cache:?} workers={workers} shards={shards}"
+                            ),
+                        );
+                        // Drift detection is per-stream state, so the event
+                        // count is engine-invariant too.
+                        assert_eq!(report.stats.drift_events, reference.stats.drift_events);
+                    }
+                }
+            }
+            // Coalescing itself must not change results either.
+            let uncoalesced = run_serve(
+                &ctx,
+                &specs,
+                &ServeConfig {
+                    workers: 2,
+                    shards: 5,
+                    cache: CacheMode::Off,
+                    coalesce: false,
+                    quantum: 0.1,
+                },
+            )
+            .unwrap();
+            assert_summaries_eq(
+                &uncoalesced.streams,
+                &reference.streams,
+                &format!("streams={streams} faults={faults} uncoalesced"),
+            );
+        }
+    }
+}
+
+fn mpeg_context() -> SchedContext {
+    let ctg = mpeg::mpeg_ctg();
+    let platform = mpeg::mpeg_platform(&ctg);
+    let ctx = SchedContext::new(ctg, platform).unwrap();
+    let probs = BranchProbs::uniform(ctx.ctg());
+    let makespan = dls_schedule(&ctx, &probs).unwrap().makespan();
+    SchedContext::new(
+        ctx.ctg().with_deadline(2.0 * makespan),
+        ctx.platform().clone(),
+    )
+    .unwrap()
+}
+
+/// MPEG spot check: the engine behaves on the paper's real workload like it
+/// does on the toy graph, and the shared cache actually fires there.
+#[test]
+fn mpeg_streams_invariant_and_shared_cache_fires() {
+    let ctx = mpeg_context();
+    let specs = stream_specs(&ctx, 8, 90, 10, 0.2, false);
+    let reference = run_serve(
+        &ctx,
+        &specs,
+        &ServeConfig {
+            workers: 1,
+            shards: 1,
+            cache: CacheMode::Off,
+            coalesce: true,
+            quantum: 0.1,
+        },
+    )
+    .unwrap();
+    assert!(
+        reference.stats.drift_events > 0,
+        "the MPEG drift trace must trigger reschedules: {:?}",
+        reference.stats
+    );
+    let shared = run_serve(
+        &ctx,
+        &specs,
+        &ServeConfig {
+            workers: 4,
+            shards: 8,
+            cache: CacheMode::Shared {
+                capacity: 256,
+                stripes: 8,
+            },
+            coalesce: true,
+            quantum: 0.1,
+        },
+    )
+    .unwrap();
+    assert_summaries_eq(&shared.streams, &reference.streams, "mpeg shared 4w");
+    assert!(
+        shared.stats.coalesced_requests > 0 || shared.stats.shared_hits > 0,
+        "seed-sharing MPEG streams must amortize solves: {:?}",
+        shared.stats
+    );
+    assert!(
+        shared.stats.solver_calls < reference.stats.solver_calls,
+        "sharing must save solver calls ({} vs {})",
+        shared.stats.solver_calls,
+        reference.stats.solver_calls
+    );
+}
+
+/// A single fault-free served stream is the adaptive runner, field for
+/// field: the engine only re-plumbs *where* solves happen, never *what* is
+/// adopted.
+#[test]
+fn single_stream_serve_matches_run_adaptive() {
+    let ctx = mpeg_context();
+    let profile = DriftProfile::new(0xC0FFEE);
+    let trace: Vec<DecisionVector> = traces::generate_trace(ctx.ctg(), &profile, 120);
+    let initial = traces::empirical_probs(ctx.ctg(), &trace[..30]);
+
+    let mgr = AdaptiveScheduler::new(&ctx, initial.clone(), 10, 0.2).unwrap();
+    let (baseline, _) = run_adaptive(&ctx, mgr, &trace).unwrap();
+
+    let spec = StreamSpec {
+        trace,
+        initial_probs: initial,
+        window: 10,
+        threshold: 0.2,
+        fault_plan: None,
+    };
+    for workers in [1usize, 3] {
+        let report = run_serve(
+            &ctx,
+            std::slice::from_ref(&spec),
+            &ServeConfig {
+                workers,
+                shards: 2,
+                cache: CacheMode::Shared {
+                    capacity: 64,
+                    stripes: 2,
+                },
+                coalesce: true,
+                quantum: 0.1,
+            },
+        )
+        .unwrap();
+        let s = &report.streams[0];
+        assert_eq!(s.instances, baseline.instances);
+        assert_eq!(s.deadline_misses, baseline.deadline_misses);
+        assert_eq!(s.reschedules, baseline.reschedules);
+        assert_eq!(s.total_energy.to_bits(), baseline.total_energy.to_bits());
+        assert_eq!(s.max_makespan.to_bits(), baseline.max_makespan.to_bits());
+        assert_eq!(s.faults, adaptive_dvfs::sim::FaultStats::default());
+    }
+}

@@ -135,6 +135,66 @@ fn repeated_table_hits_the_memo() {
     assert_eq!(ws.stats().memo_hits, 2, "reps 2 and 3 are memo hits");
 }
 
+/// Regression for the "dead memo" finding of `BENCH_solver.json`
+/// (`memo_hits: 0` across 1483 adopted drift tables): adopted tables
+/// *genuinely never repeat consecutively* — the manager only adopts when
+/// the estimate drifted beyond the threshold from the table in force, so
+/// each adopted table differs from its predecessor by construction. The
+/// depth-1 memo is therefore correctly silent on a drift replay, and a
+/// sequence with each adopted table repeated back-to-back hits exactly once
+/// per repeat.
+#[test]
+fn adopted_drift_tables_never_repeat_consecutively_but_unchanged_repeats_hit() {
+    use adaptive_dvfs::sched::AdaptiveScheduler;
+    use adaptive_dvfs::workloads::traces::{self, DriftProfile};
+
+    let ctx = build_context(11, 24, 3, Category::ForkJoin, 3);
+    let trace = traces::generate_trace(ctx.ctg(), &DriftProfile::new(0xD81F7), 400);
+    let initial = traces::empirical_probs(ctx.ctg(), &trace);
+    let mut mgr = AdaptiveScheduler::new(&ctx, initial.clone(), 12, 0.15).unwrap();
+    let mut adopted: Vec<BranchProbs> = vec![initial];
+    for v in &trace {
+        if mgr.observe(&ctx, v).unwrap() {
+            adopted.push(mgr.current_probs().clone());
+        }
+    }
+    assert!(
+        adopted.len() >= 8,
+        "drift must trigger enough adoptions to be meaningful ({})",
+        adopted.len()
+    );
+    for pair in adopted.windows(2) {
+        assert_ne!(
+            pair[0], pair[1],
+            "consecutive adopted tables must differ (drift threshold)"
+        );
+    }
+
+    let online = OnlineScheduler::new();
+    // Plain replay: pins the bench's observed number — zero memo hits.
+    let mut ws = SolverWorkspace::new();
+    for table in &adopted {
+        online.solve_with_workspace(&ctx, table, &mut ws).unwrap();
+    }
+    assert_eq!(
+        ws.stats().memo_hits,
+        0,
+        "a pure drift sequence never hits the depth-1 memo"
+    );
+    // Doubled replay: every unchanged consecutive table must hit.
+    let mut ws = SolverWorkspace::new();
+    for table in &adopted {
+        let first = online.solve_with_workspace(&ctx, table, &mut ws).unwrap();
+        let again = online.solve_with_workspace(&ctx, table, &mut ws).unwrap();
+        assert_eq!(first, again, "memoised solution must be identical");
+    }
+    assert_eq!(
+        ws.stats().memo_hits,
+        adopted.len(),
+        "exactly one hit per unchanged consecutive repeat"
+    );
+}
+
 /// Alternating between tables that map to the same schedule reuses the
 /// pooled scheduled graph instead of re-enumerating paths.
 #[test]
