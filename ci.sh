@@ -30,8 +30,17 @@ cargo build -q --release --offline -p ctg-bench --bin solver
 echo "==> serving-engine determinism matrix (2 workers forced)"
 CTG_WORKERS=2 cargo test -q --offline --test serve_determinism
 
-echo "==> serve bench smoke (asserts summaries invariant across engine configs)"
+echo "==> telemetry equivalence matrix (sink off / no-op / buffered)"
+cargo test -q --offline --test obs_equivalence
+CTG_WORKERS=2 cargo test -q --offline --test obs_equivalence
+
+echo "==> clippy over the obs crate (deny warnings)"
+cargo clippy -p ctg-obs --all-targets --offline -- -D warnings
+
+echo "==> serve bench smoke (asserts summaries invariant across engine configs,"
+echo "    writes + validates a telemetry-on chrome trace)"
 cargo build -q --release --offline -p ctg-bench --bin serve
-CTG_WORKERS=2 ./target/release/serve --smoke
+CTG_WORKERS=2 ./target/release/serve --smoke --trace target/ci_serve_trace.json
+test -s target/ci_serve_trace.json
 
 echo "==> CI OK"

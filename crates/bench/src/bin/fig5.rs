@@ -50,7 +50,7 @@ fn main() {
                 let mgr = AdaptiveScheduler::new(&ctx, profiled.clone(), WINDOW, threshold)
                     .expect("manager builds");
                 let (summary, _) = run_adaptive(&ctx, mgr, test).expect("adaptive run");
-                assert_eq!(summary.deadline_misses, 0, "hard deadline violated");
+                assert_eq!(summary.exec.deadline_misses, 0, "hard deadline violated");
                 results.push(summary);
             }
             (s_online, results)

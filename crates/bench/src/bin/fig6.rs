@@ -65,7 +65,7 @@ fn main() {
             let mgr = AdaptiveScheduler::new(ctx, ideal.clone(), WINDOW, threshold)
                 .expect("manager builds");
             let (s_adaptive, _) = run_adaptive(ctx, mgr, &trace).expect("adaptive run");
-            assert_eq!(s_adaptive.deadline_misses, 0, "hard deadline violated");
+            assert_eq!(s_adaptive.exec.deadline_misses, 0, "hard deadline violated");
             let savings = 1.0 - s_adaptive.avg_energy() / s_online.avg_energy();
             best_savings = best_savings.max(savings);
             cells.push(f1(s_adaptive.avg_energy()));

@@ -39,7 +39,7 @@ fn main() {
     let grid_cells = map_ordered(&grid, workers, |_, &(w, t)| {
         let mgr = AdaptiveScheduler::new(&ctx, profiled.clone(), w, t).expect("manager builds");
         let (s, _) = run_adaptive(&ctx, mgr, test).expect("adaptive run");
-        assert_eq!(s.deadline_misses, 0);
+        assert_eq!(s.exec.deadline_misses, 0);
         let savings = 1.0 - s.avg_energy() / s_online.avg_energy();
         format!("{} ({} calls)", pct(savings), s.calls)
     });
@@ -73,7 +73,7 @@ fn main() {
         )
         .expect("manager builds");
         let (s, _) = run_adaptive(&ctx, mgr, test).expect("adaptive run");
-        assert_eq!(s.deadline_misses, 0);
+        assert_eq!(s.exec.deadline_misses, 0);
         [
             label.to_string(),
             pct(1.0 - s.avg_energy() / s_online.avg_energy()),
@@ -126,7 +126,7 @@ fn energy_with_dvfs(
     let online = OnlineScheduler::new().solve(&ctx, probs).expect("solves");
     let s = run_static(&ctx, &online, test).expect("static run");
     assert_eq!(
-        s.deadline_misses, 0,
+        s.exec.deadline_misses, 0,
         "quantized speeds must stay deadline-safe"
     );
     s.avg_energy()

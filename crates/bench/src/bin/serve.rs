@@ -19,10 +19,13 @@
 
 use ctg_bench::setup::{prepare_mpeg, profile_trace};
 use ctg_model::DecisionVector;
+use ctg_obs::{chrome, json, BufferedSink, Event, EventKind, Obs};
 use ctg_sched::AdaptiveScheduler;
 use ctg_sim::serve::{run_serve, CacheMode, ServeConfig, ServeReport, StreamSpec};
-use ctg_sim::{map_ordered, run_adaptive, worker_count};
+use ctg_sim::{map_ordered, run_adaptive, worker_count, RunConfig, Runner};
 use ctg_workloads::traces::{self, DriftProfile};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 const WINDOW: usize = 20;
@@ -121,11 +124,49 @@ fn assert_same_streams(a: &ServeReport, b: &ServeReport, what: &str) {
     for (i, (x, y)) in a.streams.iter().zip(&b.streams).enumerate() {
         assert_eq!(x, y, "{what}: stream {i} summary diverged");
         assert_eq!(
-            x.total_energy.to_bits(),
-            y.total_energy.to_bits(),
+            x.exec.total_energy.to_bits(),
+            y.exec.total_energy.to_bits(),
             "{what}: stream {i} energy bits"
         );
     }
+}
+
+/// Per-stage aggregate over one telemetry-on run: span count + total busy
+/// time, plus instant count (stages like `cache_hit` are instants only).
+#[derive(Default, Clone, Copy)]
+struct StageAgg {
+    spans: usize,
+    span_us: f64,
+    instants: usize,
+}
+
+fn aggregate_stages(events: &[Event]) -> BTreeMap<&'static str, StageAgg> {
+    let mut agg: BTreeMap<&'static str, StageAgg> = BTreeMap::new();
+    for e in events {
+        let entry = agg.entry(e.stage.name()).or_default();
+        match e.kind {
+            EventKind::Span => {
+                entry.spans += 1;
+                entry.span_us += e.dur_ns as f64 / 1_000.0;
+            }
+            EventKind::Instant => entry.instants += 1,
+        }
+    }
+    agg
+}
+
+fn stages_json(agg: &BTreeMap<&'static str, StageAgg>) -> String {
+    let fields: Vec<String> = agg
+        .iter()
+        .map(|(name, a)| {
+            format!(
+                "{{\"stage\": \"{name}\", \"spans\": {}, \"span_us\": {:.1}, \
+                 \"instants\": {}}}",
+                a.spans, a.span_us, a.instants
+            )
+        })
+        .collect();
+    format!("[{}]", fields.join(", "))
 }
 
 struct Row {
@@ -140,10 +181,18 @@ struct Row {
     solver_calls_independent: usize,
     baseline_resched_per_s: f64,
     speedup: f64,
+    stages: BTreeMap<&'static str, StageAgg>,
+    metrics_json: String,
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let trace_path: Option<&str> = args.iter().position(|a| a == "--trace").map(|i| {
+        args.get(i + 1)
+            .expect("--trace requires a file path")
+            .as_str()
+    });
     let trace_len = if smoke { 120 } else { 480 };
     let stream_counts: &[usize] = if smoke { &[1, 8, 64] } else { &[1, 8, 64, 256] };
     let workers = worker_count();
@@ -204,6 +253,38 @@ fn main() {
         );
         assert_eq!(shared.stats.drift_events, reference.stats.drift_events);
 
+        // Telemetry-on run through the unified `Runner` API: bit-identical
+        // streams (asserted) plus a stage-level breakdown for the artifact.
+        let sink = Arc::new(BufferedSink::new(workers.max(1)));
+        let obs = Obs::with_sink(sink.clone());
+        let traced = Runner::new(
+            RunConfig::new()
+                .workers(workers)
+                .shards(streams)
+                .cache(shared_cache)
+                .obs(obs.clone()),
+        )
+        .serve(&ctx, &specs)
+        .expect("telemetry-on serve run");
+        assert_same_streams(&traced, &reference, &format!("{streams}: traced vs ref"));
+        let events = sink.drain_sorted();
+        let stages = aggregate_stages(&events);
+        let metrics_json = obs
+            .metrics_snapshot()
+            .expect("enabled handle has metrics")
+            .to_json();
+        if let Some(path) = trace_path {
+            if streams == *stream_counts.last().expect("non-empty counts") {
+                let doc = chrome::render(&events);
+                json::parse(&doc).expect("exported chrome trace must be valid JSON");
+                std::fs::write(path, &doc).expect("write chrome trace");
+                println!(
+                    "      wrote chrome trace ({} events) to {path}",
+                    events.len()
+                );
+            }
+        }
+
         let baseline = run_independent(&ctx, &specs, workers);
         assert_eq!(
             baseline.reschedules, shared.stats.drift_events,
@@ -250,6 +331,8 @@ fn main() {
             solver_calls_independent: reference.stats.solver_calls,
             baseline_resched_per_s,
             speedup,
+            stages,
+            metrics_json,
         });
     }
 
@@ -284,7 +367,8 @@ fn main() {
              \"resched_per_s\": {:.1}, \"coalescing_factor\": {:.3}, \
              \"per_stream_hit_rate\": {:.4}, \"shared_hit_rate\": {:.4}, \
              \"solver_calls_shared\": {}, \"solver_calls_independent\": {}, \
-             \"baseline_resched_per_s\": {:.1}, \"speedup_vs_independent\": {:.3}}}{}\n",
+             \"baseline_resched_per_s\": {:.1}, \"speedup_vs_independent\": {:.3}, \
+             \"stages\": {}, \"metrics\": {}}}{}\n",
             r.streams,
             r.instances,
             r.inst_per_s,
@@ -296,6 +380,8 @@ fn main() {
             r.solver_calls_independent,
             r.baseline_resched_per_s,
             r.speedup,
+            stages_json(&r.stages),
+            r.metrics_json,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

@@ -44,8 +44,8 @@ fn main() {
         let mgr = AdaptiveScheduler::new(&ctx, profiled.clone(), WINDOW, thresholds[i])
             .expect("manager builds");
         let (s_adaptive, _) = run_adaptive(&ctx, mgr, seq).expect("adaptive run");
-        assert_eq!(s_adaptive.deadline_misses, 0, "hard deadline violated");
-        assert_eq!(s_static.deadline_misses, 0, "hard deadline violated");
+        assert_eq!(s_adaptive.exec.deadline_misses, 0, "hard deadline violated");
+        assert_eq!(s_static.exec.deadline_misses, 0, "hard deadline violated");
         let savings = 1.0 - s_adaptive.avg_energy() / s_static.avg_energy();
         table.row([
             format!("{}", i + 1),

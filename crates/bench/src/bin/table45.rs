@@ -37,13 +37,13 @@ fn run_case(
         .solve(ctx, biased)
         .expect("online solves");
     let s_online: RunSummary = run_static(ctx, &online, trace).expect("static run");
-    assert_eq!(s_online.deadline_misses, 0, "hard deadline violated");
+    assert_eq!(s_online.exec.deadline_misses, 0, "hard deadline violated");
     let mut adaptive = [(0.0, 0usize); 2];
     for (k, threshold) in [0.5, 0.1].into_iter().enumerate() {
         let mgr =
             AdaptiveScheduler::new(ctx, biased.clone(), WINDOW, threshold).expect("manager builds");
         let (s, _) = run_adaptive(ctx, mgr, trace).expect("adaptive run");
-        assert_eq!(s.deadline_misses, 0, "hard deadline violated");
+        assert_eq!(s.exec.deadline_misses, 0, "hard deadline violated");
         adaptive[k] = (s.avg_energy(), s.calls);
     }
     CaseResult {

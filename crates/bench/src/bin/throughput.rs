@@ -95,12 +95,12 @@ fn main() {
     let (on, _) = run_adaptive(&ctx, mgr_on, &trace).expect("adaptive cached run");
 
     assert_eq!(
-        off.total_energy.to_bits(),
-        on.total_energy.to_bits(),
+        off.exec.total_energy.to_bits(),
+        on.exec.total_energy.to_bits(),
         "cache must not change a single adopted plan"
     );
     assert_eq!(off.reschedules, on.reschedules);
-    assert_eq!(off.deadline_misses, on.deadline_misses);
+    assert_eq!(off.exec.deadline_misses, on.exec.deadline_misses);
     assert!(
         on.cache_hits > 0,
         "recurring MPEG scenes must produce cache hits"

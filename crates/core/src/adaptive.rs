@@ -16,6 +16,7 @@ use crate::online::{OnlineScheduler, Solution};
 use crate::speed::SpeedAssignment;
 use crate::workspace::{SolverWorkspace, WorkspaceStats};
 use ctg_model::{BranchProbs, DecisionVector, TaskId};
+use ctg_obs::{Counter, Obs, Stage};
 use std::collections::VecDeque;
 
 /// How the manager estimates branch probabilities from observed decisions.
@@ -295,6 +296,10 @@ pub struct AdaptiveScheduler {
     /// content, so interleaving them would discard the warm state every
     /// call).
     guard_workspace: SolverWorkspace,
+    /// Telemetry handle (disabled by default); drift/adopt/cache events are
+    /// recorded against `obs_track`.
+    obs: Obs,
+    obs_track: u32,
 }
 
 impl AdaptiveScheduler {
@@ -438,7 +443,19 @@ impl AdaptiveScheduler {
             cache: None,
             workspace,
             guard_workspace: SolverWorkspace::new(),
+            obs: Obs::disabled(),
+            obs_track: 0,
         }
+    }
+
+    /// Attaches a telemetry handle recording against `track`; forwarded to
+    /// both solver workspaces so solve-stage spans land on the same track.
+    /// Recording never changes observations, adoptions or solutions.
+    pub fn set_obs(&mut self, obs: Obs, track: u32) {
+        self.workspace.set_obs(obs.clone(), track);
+        self.guard_workspace.set_obs(obs.clone(), track);
+        self.obs = obs;
+        self.obs_track = track;
     }
 
     /// The solution currently in force.
@@ -484,6 +501,7 @@ impl AdaptiveScheduler {
     ) -> Result<bool, SchedError> {
         self.record_observation(ctx, vector)?;
         if let Some(estimated) = self.drifted_probs(ctx) {
+            self.record_drift();
             let (solution, hit) = self.solve_probs(ctx, &estimated, 1.0)?;
             self.current_probs = estimated;
             self.solution = solution;
@@ -491,9 +509,24 @@ impl AdaptiveScheduler {
                 self.stats.calls += 1;
             }
             self.stats.reschedules += 1;
+            self.record_adopt(!hit);
             return Ok(true);
         }
         Ok(false)
+    }
+
+    /// Telemetry: a drift beyond the threshold was detected.
+    fn record_drift(&self) {
+        self.obs.instant(self.obs_track, Stage::DriftDetect, 1);
+        self.obs.count(Counter::DriftEvents, 1);
+    }
+
+    /// Telemetry: a candidate was adopted (`solver_call` false = served from
+    /// a cache).
+    fn record_adopt(&self, solver_call: bool) {
+        self.obs
+            .instant(self.obs_track, Stage::Adopt, i64::from(solver_call));
+        self.obs.count(Counter::Adoptions, 1);
     }
 
     /// Records one executed instance's branch decisions *without* any
@@ -560,7 +593,11 @@ impl AdaptiveScheduler {
     /// distinct table once, then hand the plans back through
     /// [`AdaptiveScheduler::adopt_candidate`].
     pub fn drift_candidate(&self, ctx: &SchedContext) -> Option<BranchProbs> {
-        self.drifted_probs(ctx)
+        let candidate = self.drifted_probs(ctx);
+        if candidate.is_some() {
+            self.record_drift();
+        }
+        candidate
     }
 
     /// Adopts an *externally solved* candidate for `probs`, mirroring the
@@ -580,6 +617,7 @@ impl AdaptiveScheduler {
             self.stats.calls += 1;
         }
         self.stats.reschedules += 1;
+        self.record_adopt(solver_call);
     }
 
     /// Like [`AdaptiveScheduler::observe`], but with retry-with-fallback
@@ -604,7 +642,10 @@ impl AdaptiveScheduler {
         self.record_observation(ctx, vector)?;
         match self.drifted_probs(ctx) {
             None => Ok(ObserveOutcome::NoDrift),
-            Some(estimated) => Ok(self.try_adopt(ctx, estimated)),
+            Some(estimated) => {
+                self.record_drift();
+                Ok(self.try_adopt(ctx, estimated))
+            }
         }
     }
 
@@ -642,6 +683,7 @@ impl AdaptiveScheduler {
                         self.stats.calls += 1;
                     }
                     self.stats.reschedules += 1;
+                    self.record_adopt(!hit);
                     ObserveOutcome::Rescheduled
                 }
             }
@@ -705,9 +747,13 @@ impl AdaptiveScheduler {
         {
             let solution = entry.solution.clone();
             self.stats.cache_hits += 1;
+            self.obs.instant(self.obs_track, Stage::CacheHit, 1);
+            self.obs.count(Counter::CacheHits, 1);
             return Ok((solution, true));
         }
         self.stats.cache_misses += 1;
+        self.obs.instant(self.obs_track, Stage::CacheMiss, 1);
+        self.obs.count(Counter::CacheMisses, 1);
         let solution = self.raw_solve(ctx, probs, guard)?;
         if let Some(cache) = self.cache.as_mut() {
             cache.insert(

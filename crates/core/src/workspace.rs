@@ -59,6 +59,7 @@ use crate::stretch::{
     StretchScratch,
 };
 use ctg_model::{BranchProbs, Ctg};
+use ctg_obs::{Counter, Hist, Obs, Stage};
 use mpsoc_platform::Platform;
 
 /// Counters describing how much work repeated solves actually did.
@@ -146,6 +147,10 @@ pub struct SolverWorkspace {
     graphs: Vec<GraphEntry>,
     scratch: StretchScratch,
     stats: WorkspaceStats,
+    /// Telemetry handle (disabled by default — recording is then free).
+    obs: Obs,
+    /// The telemetry track solve-stage events are recorded against.
+    obs_track: u32,
 }
 
 impl SolverWorkspace {
@@ -158,6 +163,14 @@ impl SolverWorkspace {
     /// them).
     pub fn stats(&self) -> WorkspaceStats {
         self.stats
+    }
+
+    /// Attaches a telemetry handle; solve stages record spans/instants
+    /// against `track`. Recording never changes what `solve` returns —
+    /// `tests/obs_equivalence.rs` pins the bit-equivalence.
+    pub fn set_obs(&mut self, obs: Obs, track: u32) {
+        self.obs = obs;
+        self.obs_track = track;
     }
 
     /// Solves `ctx` under `probs` with warm-start state, producing the
@@ -176,6 +189,12 @@ impl SolverWorkspace {
         ctx: &SchedContext,
         probs: &BranchProbs,
     ) -> Result<Solution, SchedError> {
+        // A clone of the handle (an `Option<Arc>`) so spans can stay open
+        // across the `&mut self` body below.
+        let obs = self.obs.clone();
+        let track = self.obs_track;
+        let solve_span = obs.span(track, Stage::Solve);
+        obs.count(Counter::SolverCalls, 1);
         self.stats.solves += 1;
         let bound_matches = self
             .bound
@@ -199,6 +218,9 @@ impl SolverWorkspace {
         if let Some(last) = &self.last {
             if last.probs == *probs && last.cfg == *cfg {
                 self.stats.memo_hits += 1;
+                obs.instant(track, Stage::MemoHit, 1);
+                let dur_ns = solve_span.end(SOLVE_VIA_MEMO);
+                obs.observe(Hist::SolveUs, dur_ns as f64 / 1e3);
                 return Ok(Solution {
                     schedule: last.schedule.clone(),
                     speeds: last.speeds.clone(),
@@ -222,7 +244,9 @@ impl SolverWorkspace {
 
         // Same pipeline — and the same error order — as the cold solver:
         // DLS, deadline check, config validation, stretch.
+        let dls_span = obs.span(track, Stage::DlsMap);
         let schedule = dls_with_levels(ctx, &self.sl, true)?;
+        dls_span.end(ctx.ctg().num_tasks() as i64);
         let makespan = schedule.makespan();
         let deadline = ctx.ctg().deadline();
         if makespan > deadline + 1e-9 {
@@ -241,10 +265,17 @@ impl SolverWorkspace {
             .graphs
             .iter()
             .position(|e| e.path_cap == cfg.path_cap && e.schedule == schedule);
+        let via = if hit.is_some() {
+            SOLVE_VIA_POOL
+        } else {
+            SOLVE_VIA_REBUILD
+        };
         let speeds = match hit {
             Some(i) => {
                 self.stats.graph_reuses += 1;
+                obs.instant(track, Stage::PoolHit, 1);
                 let mut entry = self.graphs.remove(i);
+                let stretch_span = obs.span(track, Stage::Stretch);
                 let speeds = match entry.graph.as_mut() {
                     Some(g) => {
                         if entry.probs != *probs {
@@ -264,11 +295,13 @@ impl SolverWorkspace {
                     }
                     None => critical_path_fallback(ctx, probs, &schedule, cfg),
                 };
+                stretch_span.end(1);
                 self.graphs.push(entry);
                 speeds
             }
             None => {
                 self.stats.graph_rebuilds += 1;
+                let enum_span = obs.span(track, Stage::PathEnum);
                 let (graph, groups) =
                     match ScheduledGraph::build(ctx, &schedule, probs, cfg.path_cap) {
                         Some(g) => {
@@ -277,6 +310,10 @@ impl SolverWorkspace {
                         }
                         None => (None, PathGroups::default()),
                     };
+                // arg: 1 when the enumeration fit the cap, 0 when it
+                // overflowed (and the critical-path fallback runs).
+                enum_span.end(i64::from(graph.is_some()));
+                let stretch_span = obs.span(track, Stage::Stretch);
                 let speeds = match &graph {
                     Some(g) => stretch_on_graph(
                         ctx,
@@ -290,6 +327,7 @@ impl SolverWorkspace {
                     ),
                     None => critical_path_fallback(ctx, probs, &schedule, cfg),
                 };
+                stretch_span.end(0);
                 if self.graphs.len() == GRAPH_POOL_CAP {
                     self.graphs.remove(0);
                 }
@@ -310,9 +348,16 @@ impl SolverWorkspace {
             schedule: schedule.clone(),
             speeds: speeds.clone(),
         });
+        let dur_ns = solve_span.end(via);
+        obs.observe(Hist::SolveUs, dur_ns as f64 / 1e3);
         Ok(Solution { schedule, speeds })
     }
 }
+
+/// [`Stage::Solve`] span args: which warm-start layer answered the solve.
+const SOLVE_VIA_REBUILD: i64 = 0;
+const SOLVE_VIA_POOL: i64 = 1;
+const SOLVE_VIA_MEMO: i64 = 2;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,187 @@
+//! Chrome trace-event export (`chrome://tracing` / Perfetto).
+//!
+//! Renders a slice of [`Event`]s as the Trace Event Format's JSON object
+//! form: `{"traceEvents": [...]}` with complete (`"ph": "X"`) events for
+//! spans and instant (`"ph": "i"`) events for point occurrences, one
+//! `tid` per telemetry track. Open the file at <https://ui.perfetto.dev>
+//! or `chrome://tracing` to see the solver/cache/serve stages on a
+//! timeline.
+//!
+//! Events are emitted in `(track, ts)` order, so per-track timestamps are
+//! monotone in the output — `tests/obs_equivalence.rs` pins that, plus
+//! that the emitted document parses with [`crate::json`].
+
+use crate::event::{Event, EventKind};
+use crate::json::quote;
+use std::collections::BTreeMap;
+
+/// The `pid` every event is exported under (the stack is one process).
+pub const PID: u32 = 1;
+
+/// Renders `events` as a Chrome-trace JSON document with default track
+/// names (`"track <id>"`).
+pub fn render(events: &[Event]) -> String {
+    render_named(events, &BTreeMap::new())
+}
+
+/// Like [`render`], with explicit display names for (some) tracks.
+pub fn render_named(events: &[Event], track_names: &BTreeMap<u32, String>) -> String {
+    let mut sorted: Vec<&Event> = events.iter().collect();
+    sorted.sort_by_key(|a| (a.track, a.ts_ns));
+
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, entry: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        out.push_str(&entry);
+    };
+
+    // Thread-name metadata first: viewers label the rows with them.
+    let mut tracks: Vec<u32> = sorted.iter().map(|e| e.track).collect();
+    tracks.dedup();
+    for &t in &tracks {
+        let name = track_names
+            .get(&t)
+            .cloned()
+            .unwrap_or_else(|| format!("track {t}"));
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{t},\
+                 \"args\":{{\"name\":{}}}}}",
+                quote(&name)
+            ),
+        );
+    }
+
+    for e in sorted {
+        push(&mut out, render_event(e));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// One trace-event JSON object. Timestamps are microseconds (the format's
+/// unit), kept fractional so nanosecond spans survive.
+fn render_event(e: &Event) -> String {
+    let ts_us = e.ts_ns as f64 / 1000.0;
+    let common = format!(
+        "\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{PID},\"tid\":{},\"ts\":{},\
+         \"args\":{{\"arg\":{}}}",
+        e.stage.name(),
+        e.stage.category(),
+        e.track,
+        crate::json::fmt_f64(ts_us),
+        e.arg,
+    );
+    match e.kind {
+        EventKind::Span => format!(
+            "{{{common},\"ph\":\"X\",\"dur\":{}}}",
+            crate::json::fmt_f64(e.dur_ns as f64 / 1000.0)
+        ),
+        EventKind::Instant => format!("{{{common},\"ph\":\"i\",\"s\":\"t\"}}"),
+    }
+}
+
+/// Renders and writes a trace file in one step.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn write_file(
+    path: &std::path::Path,
+    events: &[Event],
+    track_names: &BTreeMap<u32, String>,
+) -> std::io::Result<()> {
+    std::fs::write(path, render_named(events, track_names))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Stage;
+    use crate::json::{parse, Value};
+
+    fn ev(track: u32, ts_ns: u64, kind: EventKind) -> Event {
+        Event {
+            track,
+            stage: Stage::Solve,
+            kind,
+            ts_ns,
+            dur_ns: if kind == EventKind::Span { 500 } else { 0 },
+            arg: 3,
+        }
+    }
+
+    #[test]
+    fn renders_valid_json_with_monotone_tracks() {
+        let events = vec![
+            ev(1, 900, EventKind::Instant),
+            ev(0, 2_000, EventKind::Span),
+            ev(0, 1_000, EventKind::Span),
+            ev(1, 100, EventKind::Span),
+        ];
+        let doc = render(&events);
+        let parsed = parse(&doc).expect("chrome trace parses");
+        let items = parsed
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        // 2 tracks → 2 metadata events + 4 real events.
+        assert_eq!(items.len(), 6);
+        let mut last: std::collections::BTreeMap<u64, f64> = Default::default();
+        for item in items {
+            let ph = item.get("ph").and_then(Value::as_str).unwrap();
+            if ph == "M" {
+                continue;
+            }
+            let tid = item.get("tid").and_then(Value::as_f64).unwrap() as u64;
+            let ts = item.get("ts").and_then(Value::as_f64).unwrap();
+            if let Some(prev) = last.insert(tid, ts) {
+                assert!(ts >= prev, "track {tid} timestamps must be monotone");
+            }
+        }
+    }
+
+    #[test]
+    fn names_and_durations_survive() {
+        let doc = render_named(
+            &[ev(7, 0, EventKind::Span)],
+            &[(7, "worker \"7\"".to_string())].into_iter().collect(),
+        );
+        let parsed = parse(&doc).unwrap();
+        let items = parsed.get("traceEvents").and_then(Value::as_array).unwrap();
+        let meta = &items[0];
+        assert_eq!(
+            meta.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str),
+            Some("worker \"7\"")
+        );
+        let span = &items[1];
+        assert_eq!(span.get("name").and_then(Value::as_str), Some("solve"));
+        assert_eq!(span.get("dur").and_then(Value::as_f64), Some(0.5));
+        assert_eq!(
+            span.get("args")
+                .and_then(|a| a.get("arg"))
+                .and_then(Value::as_f64),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let parsed = parse(&render(&[])).unwrap();
+        assert_eq!(
+            parsed
+                .get("traceEvents")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(0)
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! JSON-lines export: one event object per line.
+//!
+//! The machine-friendly sibling of the Chrome exporter — trivially
+//! greppable, streamable, and parseable line by line with any JSON
+//! reader (including [`crate::json`]).
+
+use crate::event::{Event, EventKind};
+
+/// Renders one event as a single-line JSON object.
+pub fn render_line(e: &Event) -> String {
+    format!(
+        "{{\"track\":{},\"stage\":\"{}\",\"cat\":\"{}\",\"kind\":\"{}\",\
+         \"ts_ns\":{},\"dur_ns\":{},\"arg\":{}}}",
+        e.track,
+        e.stage.name(),
+        e.stage.category(),
+        match e.kind {
+            EventKind::Span => "span",
+            EventKind::Instant => "instant",
+        },
+        e.ts_ns,
+        e.dur_ns,
+        e.arg,
+    )
+}
+
+/// Renders `events` as a JSON-lines document (trailing newline included
+/// when non-empty).
+pub fn render(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&render_line(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders and writes a `.jsonl` file in one step.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn write_file(path: &std::path::Path, events: &[Event]) -> std::io::Result<()> {
+    std::fs::write(path, render(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Stage;
+    use crate::json::{parse, Value};
+
+    #[test]
+    fn every_line_parses_independently() {
+        let events = vec![
+            Event {
+                track: 0,
+                stage: Stage::CacheHit,
+                kind: EventKind::Instant,
+                ts_ns: 12,
+                dur_ns: 0,
+                arg: -1,
+            },
+            Event {
+                track: 9,
+                stage: Stage::Stretch,
+                kind: EventKind::Span,
+                ts_ns: 40,
+                dur_ns: 8,
+                arg: 2,
+            },
+        ];
+        let doc = render(&events);
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = parse(lines[0]).unwrap();
+        assert_eq!(
+            first.get("stage").and_then(Value::as_str),
+            Some("cache_hit")
+        );
+        assert_eq!(first.get("arg").and_then(Value::as_f64), Some(-1.0));
+        let second = parse(lines[1]).unwrap();
+        assert_eq!(second.get("kind").and_then(Value::as_str), Some("span"));
+        assert_eq!(second.get("dur_ns").and_then(Value::as_f64), Some(8.0));
+    }
+
+    #[test]
+    fn empty_input_renders_empty_document() {
+        assert!(render(&[]).is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Event sinks: where recorded events go.
+//!
+//! The recorder ([`Obs`](crate::Obs)) is generic over a [`Sink`] trait
+//! object. Two implementations ship with the crate:
+//!
+//! * [`NullSink`] — accepts and discards everything. Useful for measuring
+//!   the recording overhead itself (an enabled recorder whose events cost
+//!   only their construction).
+//! * [`BufferedSink`] — keeps events in memory, lock-striped by track so
+//!   concurrent workers recording to *different* tracks almost never
+//!   contend, and merged deterministically at drain time.
+//!
+//! # Determinism of the merge
+//!
+//! [`BufferedSink::drain_sorted`] concatenates the stripes and stably
+//! sorts by `(track, ts_ns)`. A track is only ever recorded by one thread
+//! at a time (workers own disjoint tracks; phase hand-offs are separated
+//! by barriers in the engines that share tracks), so within a track both
+//! buffer order and timestamps are well-defined and the sorted output is a
+//! pure function of what each track recorded — never of cross-thread
+//! interleaving. Two runs of the same workload produce the same event
+//! *sequence* per track; only the timestamp values differ.
+
+use crate::event::Event;
+use std::sync::Mutex;
+
+/// Receives recorded events. Implementations must be cheap and
+/// thread-safe: `record` is called from simulation hot paths (only while
+/// telemetry is enabled).
+pub trait Sink: Send + Sync {
+    /// Accepts one event.
+    fn record(&self, event: Event);
+    /// Events accepted so far (0 for sinks that do not retain anything).
+    fn len(&self) -> usize;
+    /// Whether the sink holds no retained events.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A sink that drops every event.
+///
+/// Distinct from running with telemetry *disabled*: the recorder still
+/// timestamps and constructs events, so the equivalence suite can assert
+/// that the act of recording never perturbs results.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _event: Event) {}
+    fn len(&self) -> usize {
+        0
+    }
+}
+
+/// An in-memory sink, lock-striped by track.
+///
+/// Stripe `track % stripes` owns the events of `track`, so a track's
+/// events land in one stripe in record order and workers on different
+/// tracks take different locks.
+#[derive(Debug)]
+pub struct BufferedSink {
+    stripes: Vec<Mutex<Vec<Event>>>,
+}
+
+impl BufferedSink {
+    /// Creates a sink with `stripes.max(1)` stripes. Size the stripe count
+    /// at or above the number of concurrently recording tracks.
+    pub fn new(stripes: usize) -> Self {
+        BufferedSink {
+            stripes: (0..stripes.max(1))
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of stripes.
+    pub fn num_stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Drains every stripe and returns all events, stably sorted by
+    /// `(track, ts_ns)` — the deterministic ordered merge (see the module
+    /// docs).
+    pub fn drain_sorted(&self) -> Vec<Event> {
+        let mut all: Vec<Event> = Vec::new();
+        for stripe in &self.stripes {
+            all.append(&mut stripe.lock().expect("obs stripe lock"));
+        }
+        all.sort_by_key(|a| (a.track, a.ts_ns));
+        all
+    }
+
+    /// Like [`BufferedSink::drain_sorted`] without draining: clones the
+    /// retained events.
+    pub fn snapshot_sorted(&self) -> Vec<Event> {
+        let mut all: Vec<Event> = Vec::new();
+        for stripe in &self.stripes {
+            all.extend(stripe.lock().expect("obs stripe lock").iter().copied());
+        }
+        all.sort_by_key(|a| (a.track, a.ts_ns));
+        all
+    }
+}
+
+impl Sink for BufferedSink {
+    fn record(&self, event: Event) {
+        let stripe = event.track as usize % self.stripes.len();
+        self.stripes[stripe]
+            .lock()
+            .expect("obs stripe lock")
+            .push(event);
+    }
+
+    fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("obs stripe lock").len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Stage};
+
+    fn ev(track: u32, ts_ns: u64) -> Event {
+        Event {
+            track,
+            stage: Stage::Tick,
+            kind: EventKind::Instant,
+            ts_ns,
+            dur_ns: 0,
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn null_sink_retains_nothing() {
+        let s = NullSink;
+        s.record(ev(0, 1));
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn buffered_sink_merges_by_track_then_time() {
+        let s = BufferedSink::new(2);
+        s.record(ev(1, 30));
+        s.record(ev(0, 20));
+        s.record(ev(1, 10));
+        s.record(ev(0, 5));
+        assert_eq!(s.len(), 4);
+        let drained = s.drain_sorted();
+        let keys: Vec<(u32, u64)> = drained.iter().map(|e| (e.track, e.ts_ns)).collect();
+        assert_eq!(keys, vec![(0, 5), (0, 20), (1, 10), (1, 30)]);
+        assert!(s.is_empty(), "drain empties the stripes");
+    }
+
+    #[test]
+    fn snapshot_does_not_drain() {
+        let s = BufferedSink::new(1);
+        s.record(ev(3, 7));
+        assert_eq!(s.snapshot_sorted().len(), 1);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_tracks_round_trip() {
+        let s = BufferedSink::new(4);
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let s = &s;
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        s.record(ev(t, i));
+                    }
+                });
+            }
+        });
+        let drained = s.drain_sorted();
+        assert_eq!(drained.len(), 400);
+        for pair in drained.windows(2) {
+            if pair[0].track == pair[1].track {
+                assert!(pair[0].ts_ns <= pair[1].ts_ns, "per-track order");
+            } else {
+                assert!(pair[0].track < pair[1].track, "track-major order");
+            }
+        }
+    }
+}

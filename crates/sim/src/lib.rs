@@ -9,10 +9,15 @@
 //! instance's actual energy, makespan and deadline verdict — the quantities
 //! the paper's evaluation averages over 1000-instance traces.
 //!
-//! [`runner`] drives whole traces through the non-adaptive (static) and
-//! adaptive policies; [`serve`] drives *many* independent adaptive streams
-//! at once, sharded over worker threads with a cross-stream schedule cache
-//! and same-tick reschedule coalescing.
+//! [`run`] is the front door for whole traces: a [`RunConfig`] builder
+//! (workers, fault plan, degradation ladder, serve knobs, telemetry) and a
+//! [`Runner`] dispatching to the static / adaptive / serving engines. The
+//! [`runner`] free functions survive as thin wrappers over it. [`serve`]
+//! drives *many* independent adaptive streams at once, sharded over worker
+//! threads with a cross-stream schedule cache and same-tick reschedule
+//! coalescing. Every engine records structured telemetry through a
+//! `ctg_obs::Obs` handle when one is configured — with the invariant that
+//! simulated results are bit-identical with telemetry on or off.
 //!
 //! # Example
 //!
@@ -58,8 +63,10 @@ mod instance;
 pub mod metrics;
 pub mod pool;
 pub mod reclaim;
+pub mod run;
 pub mod runner;
 pub mod serve;
+mod summary;
 
 pub use degrade::{DegradeConfig, DegradeStats, Rung, Watchdog, WatchdogVerdict};
 pub use estimate::{monte_carlo_energy, McEstimate};
@@ -72,9 +79,11 @@ pub use instance::{
 };
 pub use metrics::{trace_metrics, TraceMetrics};
 pub use pool::{
-    effective_workers, effective_workers_weighted, map_ordered, map_ordered_with, worker_count,
+    effective_workers, effective_workers_weighted, effective_workers_with, map_ordered,
+    map_ordered_with, worker_count,
 };
 pub use reclaim::simulate_instance_reclaiming;
+pub use run::{RunConfig, Runner};
 pub use runner::{
     run_adaptive, run_adaptive_resilient, run_periodic, run_static, run_static_faulty,
     run_static_faulty_parallel, run_static_parallel, PeriodicSummary, RunSummary,
@@ -84,3 +93,4 @@ pub use serve::{
     run_serve, CacheMode, ServeConfig, ServeReport, ServeStats, SharedScheduleCache, StreamSpec,
     StreamSummary, SERVE_SHARDS_ENV,
 };
+pub use summary::ExecStats;

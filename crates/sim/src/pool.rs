@@ -72,8 +72,22 @@ pub fn effective_workers(total_items: usize, workers: usize) -> usize {
 /// below 1.0 raise it symmetrically. The choice only affects wall-clock
 /// time — sequential and pooled runs are bit-identical either way.
 pub fn effective_workers_weighted(total_items: usize, workers: usize, unit_cost: f64) -> usize {
+    effective_workers_with(total_items, workers, min_batch(), unit_cost)
+}
+
+/// Like [`effective_workers_weighted`], with an explicit `min_batch`
+/// threshold instead of the environment-derived one.
+/// [`RunConfig`](crate::RunConfig) resolves the threshold once — builder
+/// value or `CTG_POOL_MIN_BATCH` fallback — and the runner engines pass it
+/// through here, so the environment is read in exactly one place.
+pub fn effective_workers_with(
+    total_items: usize,
+    workers: usize,
+    min_batch: usize,
+    unit_cost: f64,
+) -> usize {
     let weighted = total_items as f64 * unit_cost.max(0.0);
-    if weighted < min_batch() as f64 {
+    if weighted < min_batch as f64 {
         1
     } else {
         workers

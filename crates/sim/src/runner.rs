@@ -1,15 +1,28 @@
 //! Trace runners: drive the non-adaptive and adaptive policies over a
 //! sequence of decision vectors.
+//!
+//! The eight historical `run_*` entry points survive as thin wrappers over
+//! the unified [`Runner`](crate::Runner) / [`RunConfig`](crate::RunConfig)
+//! API (see [`crate::run`]); the engine implementations live here and all
+//! take an [`Obs`] telemetry handle — free when disabled, and never
+//! affecting a single simulated bit when enabled.
 
 use crate::degrade::{DegradeConfig, DegradeStats, Rung, Watchdog, WatchdogVerdict};
 use crate::fault::{FaultInjector, FaultLog, FaultPlan, FaultStats};
 use crate::instance::{InstanceOutcome, SimWorkspace};
 use crate::pool;
+use crate::run::{RunConfig, Runner};
+use crate::summary::{fmt_f64, ExecStats};
 use ctg_model::DecisionVector;
+use ctg_obs::{Counter, Hist, Obs, Stage};
 use ctg_sched::{AdaptiveScheduler, ObserveOutcome, SchedContext, SchedError, Solution};
 use std::time::Instant;
 
 /// Aggregate outcome of a trace run.
+///
+/// The simulated core (instances, energy, misses, makespan) lives in the
+/// shared [`ExecStats`] under [`RunSummary::exec`]; the serving engine's
+/// [`StreamSummary`](crate::StreamSummary) embeds the same core.
 ///
 /// Equality (`==`) compares the *simulated* quantities only: the wall-clock
 /// fields [`RunSummary::wall_s`] and [`RunSummary::resched_wall_s`] are
@@ -17,14 +30,8 @@ use std::time::Instant;
 /// "parallel summary == sequential summary" hold bit-for-bit.
 #[derive(Debug, Clone, Default)]
 pub struct RunSummary {
-    /// Instances executed.
-    pub instances: usize,
-    /// Sum of per-instance energies.
-    pub total_energy: f64,
-    /// Instances whose makespan exceeded the deadline.
-    pub deadline_misses: usize,
-    /// Largest observed makespan.
-    pub max_makespan: f64,
+    /// The simulated execution core: instances, energy, misses, makespan.
+    pub exec: ExecStats,
     /// Adopted re-schedules that invoked the solver (0 for the static
     /// policy; excludes cache hits).
     pub calls: usize,
@@ -50,10 +57,7 @@ pub struct RunSummary {
 impl PartialEq for RunSummary {
     fn eq(&self, other: &Self) -> bool {
         // Everything except the measured wall-clock fields.
-        self.instances == other.instances
-            && self.total_energy == other.total_energy
-            && self.deadline_misses == other.deadline_misses
-            && self.max_makespan == other.max_makespan
+        self.exec == other.exec
             && self.calls == other.calls
             && self.reschedules == other.reschedules
             && self.cache_hits == other.cache_hits
@@ -64,47 +68,48 @@ impl PartialEq for RunSummary {
 }
 
 impl RunSummary {
-    /// Mean per-instance energy.
-    ///
-    /// Returns `0.0` when `instances == 0` (an empty run consumed nothing),
-    /// so callers can aggregate without guarding against division by zero.
+    /// Mean per-instance energy (see [`ExecStats::avg_energy`]).
     pub fn avg_energy(&self) -> f64 {
-        if self.instances == 0 {
-            0.0
-        } else {
-            self.total_energy / self.instances as f64
-        }
+        self.exec.avg_energy()
     }
 
-    /// Fraction of instances that missed the deadline, in `[0, 1]`.
-    ///
-    /// Returns `0.0` when `instances == 0` (an empty run missed nothing),
-    /// mirroring [`RunSummary::avg_energy`].
+    /// Fraction of instances that missed the deadline, in `[0, 1]` (see
+    /// [`ExecStats::miss_rate`]).
     pub fn miss_rate(&self) -> f64 {
-        if self.instances == 0 {
-            0.0
-        } else {
-            self.deadline_misses as f64 / self.instances as f64
-        }
+        self.exec.miss_rate()
     }
 
     /// Simulated instances per wall-clock second.
     ///
     /// Returns `0.0` when `instances == 0` or no wall time was recorded
-    /// (same convention as [`RunSummary::avg_energy`]).
+    /// (same convention as [`ExecStats::avg_energy`]).
     pub fn throughput(&self) -> f64 {
-        if self.instances == 0 || self.wall_s <= 0.0 {
+        if self.exec.instances == 0 || self.wall_s <= 0.0 {
             0.0
         } else {
-            self.instances as f64 / self.wall_s
+            self.exec.instances as f64 / self.wall_s
         }
     }
 
+    /// Renders the summary as one JSON object (hand-rolled: the workspace
+    /// carries no serde). Wall-clock fields are included for reporting even
+    /// though `==` ignores them.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"exec\":{},\"calls\":{},\"reschedules\":{},\"cache_hits\":{},\
+             \"cache_misses\":{},\"wall_s\":{},\"resched_wall_s\":{}}}",
+            self.exec.to_json(),
+            self.calls,
+            self.reschedules,
+            self.cache_hits,
+            self.cache_misses,
+            fmt_f64(self.wall_s),
+            fmt_f64(self.resched_wall_s)
+        )
+    }
+
     fn absorb_outcome(&mut self, r: &InstanceOutcome) {
-        self.instances += 1;
-        self.total_energy += r.energy;
-        self.deadline_misses += usize::from(!r.deadline_met);
-        self.max_makespan = self.max_makespan.max(r.makespan);
+        self.exec.absorb_outcome(r);
     }
 
     fn absorb_manager(&mut self, manager: &AdaptiveScheduler) {
@@ -116,8 +121,51 @@ impl RunSummary {
     }
 }
 
+impl std::fmt::Display for RunSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}; {} calls, {} reschedules",
+            self.exec, self.calls, self.reschedules
+        )
+    }
+}
+
+/// Telemetry for one simulated instance: instance/miss counters plus the
+/// slack histogram. One `enabled` check guards the arithmetic so disabled
+/// runs pay a single branch.
+pub(crate) fn note_instance(obs: &Obs, ctx: &SchedContext, r: &InstanceOutcome) {
+    if !obs.enabled() {
+        return;
+    }
+    obs.count(Counter::Instances, 1);
+    if !r.deadline_met {
+        obs.count(Counter::DeadlineMisses, 1);
+    }
+    let deadline = ctx.ctg().deadline();
+    if deadline > 0.0 {
+        obs.observe(Hist::SlackPct, 100.0 * (deadline - r.makespan) / deadline);
+    }
+}
+
+/// Telemetry for one faulty instance: a fault-injection instant (arg =
+/// events this instance) plus the injected-fault counter.
+pub(crate) fn note_faults(obs: &Obs, track: u32, stats: &FaultStats) {
+    if !obs.enabled() {
+        return;
+    }
+    let events = (stats.overruns + stats.stalls + stats.denials + stats.retransmits) as u64;
+    if events > 0 {
+        obs.instant(track, Stage::FaultInject, events as i64);
+        obs.count(Counter::FaultsInjected, events);
+    }
+}
+
 /// Runs a fixed solution over a trace (the paper's *non-adaptive online*
 /// policy: schedule once from profiled probabilities, never revisit).
+///
+/// Thin wrapper over [`Runner::run_static`] with the sequential
+/// [`RunConfig::new`] defaults.
 ///
 /// # Errors
 ///
@@ -127,13 +175,26 @@ pub fn run_static(
     solution: &Solution,
     vectors: &[DecisionVector],
 ) -> Result<RunSummary, SchedError> {
+    Runner::new(RunConfig::new()).run_static(ctx, solution, vectors)
+}
+
+/// Sequential static engine.
+pub(crate) fn static_seq(
+    ctx: &SchedContext,
+    solution: &Solution,
+    vectors: &[DecisionVector],
+    obs: &Obs,
+) -> Result<RunSummary, SchedError> {
     let start = Instant::now();
+    let run_span = obs.span(0, Stage::Run);
     let mut ws = SimWorkspace::new(ctx, solution);
     let mut summary = RunSummary::default();
     for v in vectors {
         let r = ws.simulate(ctx, solution, v)?;
         summary.absorb_outcome(&r);
+        note_instance(obs, ctx, &r);
     }
+    run_span.end(summary.exec.instances as i64);
     summary.wall_s = start.elapsed().as_secs_f64();
     Ok(summary)
 }
@@ -159,6 +220,10 @@ fn chunk_len(len: usize, workers: usize) -> usize {
 /// `workers` — spawn/join overhead dominates there — which changes only
 /// the wall-clock fields.
 ///
+/// Thin wrapper over [`Runner::run_static`] with [`RunConfig::from_env`]
+/// (preserving the `CTG_POOL_MIN_BATCH` fallback) and an explicit worker
+/// count.
+///
 /// # Errors
 ///
 /// Propagates vector-arity mismatches.
@@ -168,8 +233,23 @@ pub fn run_static_parallel(
     vectors: &[DecisionVector],
     workers: usize,
 ) -> Result<RunSummary, SchedError> {
+    Runner::new(RunConfig::from_env().workers(workers)).run_static(ctx, solution, vectors)
+}
+
+/// Parallel static engine: telemetry (counters, histograms) is recorded on
+/// the merging thread in trace order, so enabling it cannot perturb the
+/// worker pool or the merged bits.
+pub(crate) fn static_parallel(
+    ctx: &SchedContext,
+    solution: &Solution,
+    vectors: &[DecisionVector],
+    workers: usize,
+    min_batch: usize,
+    obs: &Obs,
+) -> Result<RunSummary, SchedError> {
     let start = Instant::now();
-    let workers = pool::effective_workers(vectors.len(), workers);
+    let run_span = obs.span(0, Stage::Run);
+    let workers = pool::effective_workers_with(vectors.len(), workers, min_batch, 1.0);
     let chunks: Vec<&[DecisionVector]> =
         vectors.chunks(chunk_len(vectors.len(), workers)).collect();
     let results = pool::map_ordered_with(
@@ -187,8 +267,10 @@ pub fn run_static_parallel(
     for chunk in results {
         for r in chunk? {
             summary.absorb_outcome(&r);
+            note_instance(obs, ctx, &r);
         }
     }
+    run_span.end(summary.exec.instances as i64);
     summary.wall_s = start.elapsed().as_secs_f64();
     Ok(summary)
 }
@@ -197,6 +279,8 @@ pub fn run_static_parallel(
 /// of [`run_static`] with the fault semantics of
 /// [`simulate_instance_faulty`](crate::simulate_instance_faulty); instance
 /// `i` draws its faults from the sub-stream `mix(plan.seed, i)`).
+///
+/// Thin wrapper over [`Runner::run_static`] with a fault plan configured.
 ///
 /// # Errors
 ///
@@ -207,7 +291,19 @@ pub fn run_static_faulty(
     vectors: &[DecisionVector],
     plan: &FaultPlan,
 ) -> Result<RunSummary, SchedError> {
+    Runner::new(RunConfig::new().fault_plan(plan.clone())).run_static(ctx, solution, vectors)
+}
+
+/// Sequential faulty static engine.
+pub(crate) fn static_faulty_seq(
+    ctx: &SchedContext,
+    solution: &Solution,
+    vectors: &[DecisionVector],
+    plan: &FaultPlan,
+    obs: &Obs,
+) -> Result<RunSummary, SchedError> {
     let start = Instant::now();
+    let run_span = obs.span(0, Stage::Run);
     let mut ws = SimWorkspace::new(ctx, solution);
     let mut injector = FaultInjector::empty(ctx);
     let mut log = FaultLog::default();
@@ -217,7 +313,10 @@ pub fn run_static_faulty(
         let r = ws.simulate_faulty(ctx, solution, v, plan, &injector, &mut log)?;
         summary.absorb_outcome(&r);
         summary.faults.absorb(&log.stats);
+        note_instance(obs, ctx, &r);
+        note_faults(obs, 0, &log.stats);
     }
+    run_span.end(summary.exec.instances as i64);
     summary.wall_s = start.elapsed().as_secs_f64();
     Ok(summary)
 }
@@ -241,6 +340,9 @@ pub const FAULTY_INSTANCE_COST: f64 = 2.0;
 /// proportionally shorter traces than [`run_static_parallel`]'s
 /// [`pool::min_batch`] floor.
 ///
+/// Thin wrapper over [`Runner::run_static`] with [`RunConfig::from_env`]
+/// plus a fault plan and an explicit worker count.
+///
 /// # Errors
 ///
 /// Propagates vector-arity mismatches and invalid plans.
@@ -251,8 +353,29 @@ pub fn run_static_faulty_parallel(
     plan: &FaultPlan,
     workers: usize,
 ) -> Result<RunSummary, SchedError> {
+    Runner::new(
+        RunConfig::from_env()
+            .workers(workers)
+            .fault_plan(plan.clone()),
+    )
+    .run_static(ctx, solution, vectors)
+}
+
+/// Parallel faulty static engine (telemetry merged in trace order, like
+/// [`static_parallel`]).
+pub(crate) fn static_faulty_parallel(
+    ctx: &SchedContext,
+    solution: &Solution,
+    vectors: &[DecisionVector],
+    plan: &FaultPlan,
+    workers: usize,
+    min_batch: usize,
+    obs: &Obs,
+) -> Result<RunSummary, SchedError> {
     let start = Instant::now();
-    let workers = pool::effective_workers_weighted(vectors.len(), workers, FAULTY_INSTANCE_COST);
+    let run_span = obs.span(0, Stage::Run);
+    let workers =
+        pool::effective_workers_with(vectors.len(), workers, min_batch, FAULTY_INSTANCE_COST);
     let clen = chunk_len(vectors.len(), workers);
     let chunks: Vec<(usize, &[DecisionVector])> = vectors
         .chunks(clen)
@@ -289,8 +412,11 @@ pub fn run_static_faulty_parallel(
         for (r, stats) in chunk? {
             summary.absorb_outcome(&r);
             summary.faults.absorb(&stats);
+            note_instance(obs, ctx, &r);
+            note_faults(obs, 0, &stats);
         }
     }
+    run_span.end(summary.exec.instances as i64);
     summary.wall_s = start.elapsed().as_secs_f64();
     Ok(summary)
 }
@@ -303,21 +429,38 @@ pub fn run_static_faulty_parallel(
 /// The manager is taken by value and mutated; pass a freshly constructed
 /// [`AdaptiveScheduler`] for reproducible runs.
 ///
+/// Thin wrapper over [`Runner::run_adaptive`] with the fault-free
+/// [`RunConfig::new`] defaults.
+///
 /// # Errors
 ///
 /// Propagates vector-arity mismatches and re-scheduling failures.
 pub fn run_adaptive(
     ctx: &SchedContext,
-    mut manager: AdaptiveScheduler,
+    manager: AdaptiveScheduler,
     vectors: &[DecisionVector],
 ) -> Result<(RunSummary, AdaptiveScheduler), SchedError> {
+    Runner::new(RunConfig::new()).run_adaptive(ctx, manager, vectors)
+}
+
+/// Adaptive engine: the manager records drift/adopt/solve telemetry on
+/// track 0.
+pub(crate) fn adaptive_run(
+    ctx: &SchedContext,
+    mut manager: AdaptiveScheduler,
+    vectors: &[DecisionVector],
+    obs: &Obs,
+) -> Result<(RunSummary, AdaptiveScheduler), SchedError> {
     let start = Instant::now();
+    let run_span = obs.span(0, Stage::Run);
+    manager.set_obs(obs.clone(), 0);
     let mut summary = RunSummary::default();
     let mut ws = SimWorkspace::new(ctx, manager.solution());
     let mut last_reschedules = manager.stats().reschedules;
     for v in vectors {
         let r = ws.simulate(ctx, manager.solution(), v)?;
         summary.absorb_outcome(&r);
+        note_instance(obs, ctx, &r);
         let t0 = Instant::now();
         manager.observe(ctx, v)?;
         summary.resched_wall_s += t0.elapsed().as_secs_f64();
@@ -329,6 +472,7 @@ pub fn run_adaptive(
         }
     }
     summary.absorb_manager(&manager);
+    run_span.end(summary.exec.instances as i64);
     summary.wall_s = start.elapsed().as_secs_f64();
     Ok((summary, manager))
 }
@@ -339,6 +483,12 @@ fn note_outcome(summary: &mut RunSummary, outcome: ObserveOutcome) {
         ObserveOutcome::SolveFailed(_) => summary.degrade.failed_reschedules += 1,
         ObserveOutcome::NoDrift | ObserveOutcome::Rescheduled => {}
     }
+}
+
+/// Telemetry for a degradation-ladder transition onto `rung`.
+fn note_ladder(obs: &Obs, rung: Rung) {
+    obs.instant(0, Stage::Ladder, rung as i64);
+    obs.count(Counter::LadderTransitions, 1);
 }
 
 /// Runs the adaptive policy over a trace under a fault plan, protected by
@@ -357,6 +507,11 @@ fn note_outcome(summary: &mut RunSummary, outcome: ObserveOutcome) {
 /// misses, the summary's energies and call counts equal [`run_adaptive`]'s
 /// exactly.
 ///
+/// Thin wrapper over [`Runner::run_adaptive`] with the plan and ladder
+/// configured.
+///
+/// [`simulate_instance_faulty`]: crate::simulate_instance_faulty
+///
 /// # Errors
 ///
 /// Returns `Err` only for non-recoverable misuse: wrong-arity vectors and
@@ -364,12 +519,28 @@ fn note_outcome(summary: &mut RunSummary, outcome: ObserveOutcome) {
 /// during the run are absorbed and accounted, never propagated.
 pub fn run_adaptive_resilient(
     ctx: &SchedContext,
-    mut manager: AdaptiveScheduler,
+    manager: AdaptiveScheduler,
     vectors: &[DecisionVector],
     plan: &FaultPlan,
     cfg: &DegradeConfig,
 ) -> Result<(RunSummary, AdaptiveScheduler), SchedError> {
+    Runner::new(RunConfig::new().fault_plan(plan.clone()).degrade(*cfg))
+        .run_adaptive(ctx, manager, vectors)
+}
+
+/// Resilient adaptive engine: ladder transitions and fault injections are
+/// recorded alongside the manager's drift/adopt telemetry (track 0).
+pub(crate) fn adaptive_resilient_run(
+    ctx: &SchedContext,
+    mut manager: AdaptiveScheduler,
+    vectors: &[DecisionVector],
+    plan: &FaultPlan,
+    cfg: &DegradeConfig,
+    obs: &Obs,
+) -> Result<(RunSummary, AdaptiveScheduler), SchedError> {
     let start = Instant::now();
+    let run_span = obs.span(0, Stage::Run);
+    manager.set_obs(obs.clone(), 0);
     let mut watchdog = Watchdog::new(*cfg)?;
     let mut summary = RunSummary::default();
     let mut ws = SimWorkspace::new(ctx, manager.solution());
@@ -381,27 +552,33 @@ pub fn run_adaptive_resilient(
         let r = ws.simulate_faulty(ctx, manager.solution(), v, plan, &injector, &mut log)?;
         summary.absorb_outcome(&r);
         summary.faults.absorb(&log.stats);
+        note_instance(obs, ctx, &r);
+        note_faults(obs, 0, &log.stats);
         let manage_t0 = Instant::now();
         match watchdog.record(r.deadline_met) {
             WatchdogVerdict::Hold => {}
             WatchdogVerdict::Escalate(rung) => match rung {
                 Rung::GuardBand => {
                     summary.degrade.guard_band_escalations += 1;
+                    note_ladder(obs, rung);
                     manager.set_deadline_guard(cfg.guard_band)?;
                     note_outcome(&mut summary, manager.resolve_now(ctx));
                 }
                 Rung::SafeMode => {
                     summary.degrade.safe_mode_escalations += 1;
+                    note_ladder(obs, rung);
                     manager.enter_safe_mode();
                 }
                 Rung::Unschedulable => {
                     // Recorded, not raised: stay at full speed and keep going.
                     summary.degrade.unschedulable_events += 1;
+                    note_ladder(obs, rung);
                 }
                 Rung::Normal => unreachable!("escalation never lands on Normal"),
             },
             WatchdogVerdict::Relax(rung) => {
                 summary.degrade.recoveries += 1;
+                note_ladder(obs, rung);
                 match rung {
                     Rung::Normal => {
                         manager.set_deadline_guard(1.0)?;
@@ -430,6 +607,7 @@ pub fn run_adaptive_resilient(
         }
     }
     summary.absorb_manager(&manager);
+    run_span.end(summary.exec.instances as i64);
     summary.wall_s = start.elapsed().as_secs_f64();
     Ok((summary, manager))
 }
@@ -460,11 +638,11 @@ mod tests {
         let sol = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
         let trace = constant_trace(0, 10);
         let s = run_static(&ctx, &sol, &trace).unwrap();
-        assert_eq!(s.instances, 10);
-        assert_eq!(s.deadline_misses, 0);
+        assert_eq!(s.exec.instances, 10);
+        assert_eq!(s.exec.deadline_misses, 0);
         assert_eq!(s.calls, 0);
         assert!(s.avg_energy() > 0.0);
-        assert!((s.total_energy - 10.0 * s.avg_energy()).abs() < 1e-9);
+        assert!((s.exec.total_energy - 10.0 * s.avg_energy()).abs() < 1e-9);
     }
 
     #[test]
@@ -482,12 +660,12 @@ mod tests {
         let (s_adaptive, _) = run_adaptive(&ctx, manager, &trace).unwrap();
         assert!(s_adaptive.calls >= 1);
         assert!(
-            s_adaptive.total_energy < s_static.total_energy,
+            s_adaptive.exec.total_energy < s_static.exec.total_energy,
             "adaptive {} !< static {}",
-            s_adaptive.total_energy,
-            s_static.total_energy
+            s_adaptive.exec.total_energy,
+            s_static.exec.total_energy
         );
-        assert_eq!(s_adaptive.deadline_misses, 0);
+        assert_eq!(s_adaptive.exec.deadline_misses, 0);
     }
 
     #[test]
@@ -499,7 +677,7 @@ mod tests {
         let manager = AdaptiveScheduler::new(&ctx, probs, 10, 1.0).unwrap();
         let (s_adaptive, _) = run_adaptive(&ctx, manager, &trace).unwrap();
         assert_eq!(s_adaptive.calls, 0);
-        assert!((s_adaptive.total_energy - s_static.total_energy).abs() < 1e-9);
+        assert!((s_adaptive.exec.total_energy - s_static.exec.total_energy).abs() < 1e-9);
     }
 
     #[test]
@@ -520,6 +698,17 @@ mod tests {
             s_high.calls
         );
         assert!(s_low.calls > 0);
+    }
+
+    #[test]
+    fn summary_json_renders() {
+        let (ctx, probs) = setup();
+        let sol = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+        let s = run_static(&ctx, &sol, &constant_trace(0, 4)).unwrap();
+        let json = s.to_json();
+        assert!(json.contains("\"exec\":{\"instances\":4"));
+        assert!(json.contains("\"calls\":0"));
+        assert!(format!("{s}").contains("4 instances"));
     }
 }
 
@@ -561,6 +750,8 @@ impl PeriodicSummary {
 /// With `period ≥` the worst-case makespan the result matches
 /// [`run_static`] instance by instance; shorter periods make instances
 /// interfere and eventually overrun.
+///
+/// Also reachable through [`Runner::run_periodic`].
 ///
 /// # Errors
 ///
@@ -697,7 +888,7 @@ mod periodic_tests {
         let periodic = run_periodic(&ctx, &solution, &vs, ctx.ctg().deadline()).unwrap();
         let isolated = run_static(&ctx, &solution, &vs).unwrap();
         assert_eq!(periodic.overruns, 0);
-        assert!((periodic.total_energy - isolated.total_energy).abs() < 1e-9);
+        assert!((periodic.total_energy - isolated.exec.total_energy).abs() < 1e-9);
         assert!(periodic.max_lateness <= 0.0);
     }
 
@@ -711,7 +902,7 @@ mod periodic_tests {
         assert!(periodic.max_lateness > 0.0);
         // Energy is speed-determined, not contention-determined.
         let isolated = run_static(&ctx, &solution, &vs).unwrap();
-        assert!((periodic.total_energy - isolated.total_energy).abs() < 1e-9);
+        assert!((periodic.total_energy - isolated.exec.total_energy).abs() < 1e-9);
     }
 
     #[test]

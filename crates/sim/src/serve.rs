@@ -47,7 +47,10 @@
 use crate::fault::{FaultInjector, FaultLog, FaultPlan, FaultStats};
 use crate::instance::SimWorkspace;
 use crate::pool;
+use crate::runner::{note_faults, note_instance};
+use crate::summary::ExecStats;
 use ctg_model::{BranchProbs, DecisionVector};
+use ctg_obs::{Counter, Obs, Stage};
 use ctg_sched::{
     AdaptiveScheduler, EstimatorKind, LruCache, OnlineScheduler, SchedContext, SchedError,
     ScheduleKey, Solution, SolverWorkspace,
@@ -170,18 +173,19 @@ impl StreamSpec {
 /// everything, f64s included).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StreamSummary {
-    /// Instances executed.
-    pub instances: usize,
-    /// Sum of per-instance energies.
-    pub total_energy: f64,
-    /// Instances whose makespan exceeded the deadline.
-    pub deadline_misses: usize,
-    /// Largest observed makespan.
-    pub max_makespan: f64,
+    /// The simulated execution core: instances, energy, misses, makespan
+    /// (shared with [`RunSummary`](crate::RunSummary)).
+    pub exec: ExecStats,
     /// Adopted re-schedule events (however the plan was served).
     pub reschedules: usize,
     /// Injected-fault accounting (all-zero for fault-free streams).
     pub faults: FaultStats,
+}
+
+impl std::fmt::Display for StreamSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}; {} reschedules", self.exec, self.reschedules)
+    }
 }
 
 /// Engine-level accounting of one serve run.
@@ -404,10 +408,17 @@ struct StreamState<'a> {
 
 impl StreamSummary {
     fn absorb_outcome(&mut self, r: &crate::instance::InstanceOutcome) {
-        self.instances += 1;
-        self.total_energy += r.energy;
-        self.deadline_misses += usize::from(!r.deadline_met);
-        self.max_makespan = self.max_makespan.max(r.makespan);
+        self.exec.absorb_outcome(r);
+    }
+
+    /// Renders the summary as one JSON object (hand-rolled: the workspace
+    /// carries no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"exec\":{},\"reschedules\":{}}}",
+            self.exec.to_json(),
+            self.reschedules
+        )
     }
 }
 
@@ -457,6 +468,26 @@ pub fn run_serve(
     specs: &[StreamSpec],
     cfg: &ServeConfig,
 ) -> Result<ServeReport, SchedError> {
+    serve_engine(ctx, specs, cfg, &Obs::disabled())
+}
+
+/// The serving engine proper: [`run_serve`] with a telemetry handle.
+///
+/// Telemetry track assignment is *track = worker index*: worker `w` records
+/// its tick spans, cache verdicts and fan-outs on track `w`, and every
+/// stream's manager records drift/adoption instants on its owner worker's
+/// track — so each track is written by exactly one thread at a time and a
+/// [`BufferedSink`](ctg_obs::BufferedSink) drains per-track-monotone
+/// events. Setup-phase solves (tick-0 initial solutions) land on track 0
+/// before the workers spawn. None of it feeds back into scheduling:
+/// summaries are bit-identical with telemetry on or off
+/// (`tests/obs_equivalence.rs` pins this).
+pub(crate) fn serve_engine(
+    ctx: &SchedContext,
+    specs: &[StreamSpec],
+    cfg: &ServeConfig,
+    obs: &Obs,
+) -> Result<ServeReport, SchedError> {
     let start = Instant::now();
     let num_branches = ctx.ctg().num_branches();
     for spec in specs {
@@ -474,9 +505,15 @@ pub fn run_serve(
         }
     }
 
+    let shards = cfg.shards.max(1);
+    let workers = cfg.workers.max(1).min(shards).min(specs.len().max(1));
+    let owner = |stream_id: usize| (stream_id % shards) % workers;
+
     // Initial solves, one per distinct exact table (tick-0 coalescing).
+    // Telemetry lands on track 0: the workers have not spawned yet.
     let online = OnlineScheduler::new();
     let mut setup_ws = SolverWorkspace::new();
+    setup_ws.set_obs(obs.clone(), 0);
     let mut initial: HashMap<Vec<u64>, Solution> = HashMap::new();
     for spec in specs {
         if let Entry::Vacant(e) = initial.entry(probs_bits(ctx, &spec.initial_probs)) {
@@ -491,7 +528,7 @@ pub fn run_serve(
     let mut states: Vec<StreamState> = Vec::with_capacity(specs.len());
     for (id, spec) in specs.iter().enumerate() {
         let solution = initial[&probs_bits(ctx, &spec.initial_probs)].clone();
-        let mgr = AdaptiveScheduler::with_initial_solution(
+        let mut mgr = AdaptiveScheduler::with_initial_solution(
             ctx,
             spec.initial_probs.clone(),
             EstimatorKind::Window(spec.window),
@@ -499,6 +536,9 @@ pub fn run_serve(
             OnlineScheduler::new(),
             solution,
         )?;
+        // Drift/adoption instants go to the stream's owner-worker track:
+        // that worker is the only thread ever advancing this stream.
+        mgr.set_obs(obs.clone(), owner(id) as u32);
         let sim = SimWorkspace::new(ctx, mgr.solution());
         states.push(StreamState {
             id,
@@ -514,9 +554,6 @@ pub fn run_serve(
         });
     }
 
-    let shards = cfg.shards.max(1);
-    let workers = cfg.workers.max(1).min(shards).min(specs.len().max(1));
-    let owner = |stream_id: usize| (stream_id % shards) % workers;
     let mut per_worker: Vec<Vec<StreamState>> = (0..workers).map(|_| Vec::new()).collect();
     for st in states {
         per_worker[owner(st.id)].push(st);
@@ -555,7 +592,9 @@ pub fn run_serve(
             let online = &online;
             let fail = &fail;
             handles.push(scope.spawn(move || {
+                let track = w as u32;
                 let mut ws = SolverWorkspace::new();
+                ws.set_obs(obs.clone(), track);
                 let mut counters = LocalCounters::default();
                 let mut last_seen = 0usize;
                 let id_to_idx: HashMap<usize, usize> = my_streams
@@ -563,16 +602,18 @@ pub fn run_serve(
                     .enumerate()
                     .map(|(i, st)| (st.id, i))
                     .collect();
-                for _tick in 0..ticks {
+                for tick in 0..ticks {
                     // All workers observe the same abort state here: it is
                     // only ever stored before a barrier they all crossed.
                     if abort.load(Ordering::SeqCst) {
                         break;
                     }
+                    let tick_span = obs.span(track, Stage::Tick);
                     // Phase A: advance my streams by one instance each.
                     let mut local_requests: Vec<(usize, BranchProbs)> = Vec::new();
                     for st in &mut my_streams {
-                        if let Err(e) = advance_stream(ctx, st, &mut counters, &mut local_requests)
+                        if let Err(e) =
+                            advance_stream(ctx, st, &mut counters, &mut local_requests, obs, track)
                         {
                             fail(e);
                         }
@@ -593,7 +634,7 @@ pub fn run_serve(
                     last_seen = now;
                     if any_requests {
                         if w == 0 {
-                            group_requests(ctx, cfg, request_slots, groups, &mut counters);
+                            group_requests(ctx, cfg, request_slots, groups, &mut counters, obs);
                         }
                         barrier.wait();
                         // Phase B: resolve my share of the groups.
@@ -611,6 +652,8 @@ pub fn run_serve(
                                     shared_cache,
                                     g,
                                     &mut counters,
+                                    obs,
+                                    track,
                                 );
                                 g.outcome.set(outcome).expect("each group resolved once");
                             }
@@ -620,6 +663,7 @@ pub fn run_serve(
                         let gs = groups.read().expect("groups read");
                         for g in gs.iter() {
                             let out = g.outcome.get().expect("all groups resolved");
+                            let mut my_adopters = 0_i64;
                             for (slot, &sid) in g.requesters.iter().enumerate() {
                                 let Some(&idx) = id_to_idx.get(&sid) else {
                                     continue; // not my stream
@@ -628,6 +672,7 @@ pub fn run_serve(
                                 match &out.result {
                                     Ok(solution) => {
                                         adopt(ctx, st, g, slot, out.from_shared, solution);
+                                        my_adopters += 1;
                                         if out.from_shared {
                                             counters.shared_hit_requests += 1;
                                         }
@@ -635,11 +680,15 @@ pub fn run_serve(
                                     Err(e) => fail(e.clone()),
                                 }
                             }
+                            if my_adopters > 0 {
+                                obs.instant(track, Stage::FanOut, my_adopters);
+                            }
                         }
                     }
                     // Re-sync so an abort stored in phase A or C is seen by
                     // every worker at the next tick's check.
                     barrier.wait();
+                    tick_span.end(tick as i64);
                 }
                 for st in &mut my_streams {
                     st.summary.reschedules = st.mgr.stats().reschedules;
@@ -667,7 +716,7 @@ pub fn run_serve(
     let streams: Vec<StreamSummary> = finished.into_iter().map(|st| st.summary).collect();
     let stats = ServeStats {
         streams: streams.len(),
-        instances: streams.iter().map(|s| s.instances).sum(),
+        instances: streams.iter().map(|s| s.exec.instances).sum(),
         ticks,
         drift_events: counters.drift_events,
         per_stream_hits: counters.per_stream_hits,
@@ -690,6 +739,8 @@ fn advance_stream(
     st: &mut StreamState,
     counters: &mut LocalCounters,
     requests: &mut Vec<(usize, BranchProbs)>,
+    obs: &Obs,
+    track: u32,
 ) -> Result<(), SchedError> {
     if st.pos >= st.trace.len() {
         return Ok(());
@@ -707,11 +758,13 @@ fn advance_stream(
                 &mut st.log,
             )?;
             st.summary.faults.absorb(&st.log.stats);
+            note_faults(obs, track, &st.log.stats);
             r
         }
         None => st.sim.simulate(ctx, st.mgr.solution(), v)?,
     };
     st.summary.absorb_outcome(&outcome);
+    note_instance(obs, ctx, &outcome);
     st.pos += 1;
     st.mgr.record_observation(ctx, v)?;
     let Some(estimated) = st.mgr.drift_candidate(ctx) else {
@@ -729,6 +782,8 @@ fn advance_stream(
             // no request. The plan is the solver's own earlier output for
             // this exact table, so adoption bits cannot differ.
             counters.per_stream_hits += 1;
+            obs.instant(track, Stage::CacheHit, 1);
+            obs.count(Counter::CacheHits, 1);
             st.mgr.adopt_candidate(estimated, solution, false);
             st.sim.rebuild(ctx, st.mgr.solution());
             return Ok(());
@@ -748,6 +803,7 @@ fn group_requests(
     request_slots: &[Mutex<Vec<(usize, BranchProbs)>>],
     groups: &RwLock<Vec<Group>>,
     counters: &mut LocalCounters,
+    obs: &Obs,
 ) {
     let mut all: Vec<(usize, BranchProbs)> = Vec::new();
     for slot in request_slots {
@@ -780,12 +836,19 @@ fn group_requests(
     }
     counters.requests += tick_requests;
     counters.groups += new_groups.len();
-    counters.coalesced_requests += tick_requests - new_groups.len();
+    let coalesced = tick_requests - new_groups.len();
+    counters.coalesced_requests += coalesced;
+    if coalesced > 0 {
+        // Grouping runs on worker 0 between barriers: track 0 is its track.
+        obs.instant(0, Stage::Coalesce, coalesced as i64);
+        obs.count(Counter::CoalescedRequests, coalesced as u64);
+    }
     *groups.write().expect("groups write") = new_groups;
 }
 
 /// Phase B for one group: shared-cache lookup (exact guard), else one warm
 /// solve, inserted back into the shared cache on success.
+#[allow(clippy::too_many_arguments)]
 fn resolve_group(
     ctx: &SchedContext,
     cfg: &ServeConfig,
@@ -794,16 +857,22 @@ fn resolve_group(
     shared: Option<&SharedScheduleCache>,
     g: &Group,
     counters: &mut LocalCounters,
+    obs: &Obs,
+    track: u32,
 ) -> GroupOutcome {
     let key = shared.map(|_| ScheduleKey::new(ctx, &g.probs, cfg.quantum, 1.0));
     if let (Some(cache), Some(key)) = (shared, key.as_ref()) {
         if let Some(solution) = cache.lookup(key, &g.probs) {
             counters.shared_hits += 1;
+            obs.instant(track, Stage::CacheHit, g.requesters.len() as i64);
+            obs.count(Counter::CacheHits, 1);
             return GroupOutcome {
                 result: Ok(solution),
                 from_shared: true,
             };
         }
+        obs.instant(track, Stage::CacheMiss, g.requesters.len() as i64);
+        obs.count(Counter::CacheMisses, 1);
     }
     counters.solver_calls += 1;
     // The stripe lock is NOT held during the solve: two same-cell groups
@@ -920,7 +989,7 @@ mod tests {
         };
         let report = run_serve(&ctx, &[spec], &ServeConfig::default()).unwrap();
         assert_eq!(report.streams.len(), 1);
-        assert_eq!(report.streams[0].instances, 0);
+        assert_eq!(report.streams[0].exec.instances, 0);
         assert_eq!(report.stats.ticks, 0);
     }
 

@@ -1,0 +1,155 @@
+//! The shared execution-statistics core of every run summary.
+//!
+//! [`RunSummary`](crate::RunSummary) (trace runners) and
+//! [`StreamSummary`](crate::StreamSummary) (serving engine) both measure
+//! the same four simulated quantities; [`ExecStats`] is that common core,
+//! embedded as the `exec` field of both. It carries only *simulated*
+//! values — no wall clock, no cache accounting — so it is bit-identical
+//! across worker counts, shard counts and cache modes, and `PartialEq`
+//! compares everything (f64s by value).
+//!
+//! The workspace has no serde dependency (it is fully self-contained), so
+//! serialization is a hand-rolled [`ExecStats::to_json`] with the same
+//! float formatting the bench reports use, plus a human-oriented
+//! [`Display`](std::fmt::Display).
+
+use crate::instance::InstanceOutcome;
+
+/// Simulated execution statistics common to every runner.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecStats {
+    /// Instances executed.
+    pub instances: usize,
+    /// Sum of per-instance energies.
+    pub total_energy: f64,
+    /// Instances whose makespan exceeded the deadline.
+    pub deadline_misses: usize,
+    /// Largest observed makespan.
+    pub max_makespan: f64,
+}
+
+impl ExecStats {
+    /// Folds one instance outcome in.
+    pub fn absorb_outcome(&mut self, r: &InstanceOutcome) {
+        self.instances += 1;
+        self.total_energy += r.energy;
+        self.deadline_misses += usize::from(!r.deadline_met);
+        self.max_makespan = self.max_makespan.max(r.makespan);
+    }
+
+    /// Mean per-instance energy.
+    ///
+    /// Returns `0.0` when `instances == 0` (an empty run consumed
+    /// nothing), so callers can aggregate without guarding against
+    /// division by zero.
+    pub fn avg_energy(&self) -> f64 {
+        if self.instances == 0 {
+            0.0
+        } else {
+            self.total_energy / self.instances as f64
+        }
+    }
+
+    /// Fraction of instances that missed the deadline, in `[0, 1]`.
+    ///
+    /// Returns `0.0` when `instances == 0`, mirroring
+    /// [`ExecStats::avg_energy`].
+    pub fn miss_rate(&self) -> f64 {
+        if self.instances == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.instances as f64
+        }
+    }
+
+    /// Renders the stats as one JSON object (hand-rolled: the workspace
+    /// carries no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"instances\":{},\"total_energy\":{},\"deadline_misses\":{},\"max_makespan\":{}}}",
+            self.instances,
+            fmt_f64(self.total_energy),
+            self.deadline_misses,
+            fmt_f64(self.max_makespan)
+        )
+    }
+}
+
+impl std::fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} instances, avg energy {:.3}, {} misses ({:.2}%), max makespan {:.3}",
+            self.instances,
+            self.avg_energy(),
+            self.deadline_misses,
+            100.0 * self.miss_rate(),
+            self.max_makespan
+        )
+    }
+}
+
+/// JSON-safe float formatting: finite values print exactly (shortest
+/// round-trip `Display`), non-finite values become `null`.
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(energy: f64, makespan: f64, met: bool) -> InstanceOutcome {
+        InstanceOutcome {
+            energy,
+            exec_energy: energy,
+            comm_energy: 0.0,
+            makespan,
+            deadline_met: met,
+        }
+    }
+
+    #[test]
+    fn absorbs_and_derives() {
+        let mut s = ExecStats::default();
+        assert_eq!(s.avg_energy(), 0.0);
+        assert_eq!(s.miss_rate(), 0.0);
+        s.absorb_outcome(&outcome(2.0, 10.0, true));
+        s.absorb_outcome(&outcome(4.0, 30.0, false));
+        assert_eq!(s.instances, 2);
+        assert_eq!(s.total_energy, 6.0);
+        assert_eq!(s.deadline_misses, 1);
+        assert_eq!(s.max_makespan, 30.0);
+        assert!((s.avg_energy() - 3.0).abs() < 1e-12);
+        assert!((s.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_and_display_render() {
+        let mut s = ExecStats::default();
+        s.absorb_outcome(&outcome(1.5, 12.0, true));
+        let json = s.to_json();
+        assert!(json.contains("\"instances\":1"));
+        assert!(json.contains("\"total_energy\":1.5"));
+        assert!(json.contains("\"deadline_misses\":0"));
+        let shown = format!("{s}");
+        assert!(shown.contains("1 instances"));
+        assert!(shown.contains("max makespan 12.000"));
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        let s = ExecStats {
+            instances: 0,
+            total_energy: f64::NAN,
+            deadline_misses: 0,
+            max_makespan: f64::INFINITY,
+        };
+        assert!(!s.to_json().contains("NaN"));
+        assert!(!s.to_json().contains("inf"));
+    }
+}

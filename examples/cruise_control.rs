@@ -3,9 +3,8 @@
 //!
 //! Run with `cargo run --release --example cruise_control`.
 
-use adaptive_dvfs::ctg::BranchProbs;
-use adaptive_dvfs::sched::{dls_schedule, AdaptiveScheduler, OnlineScheduler, SchedContext};
-use adaptive_dvfs::sim::{run_adaptive, run_static};
+use adaptive_dvfs::prelude::*;
+use adaptive_dvfs::sched::dls_schedule;
 use adaptive_dvfs::workloads::{cruise, traces};
 use std::error::Error;
 
@@ -36,10 +35,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     let profiled = traces::empirical_probs(ctx.ctg(), &seqs[0]);
     let online = OnlineScheduler::new().solve(&ctx, &profiled)?;
 
+    let runner = Runner::new(RunConfig::new());
     for (road, seq) in roads.iter().zip(&seqs) {
-        let s_static = run_static(&ctx, &online, seq)?;
+        let s_static = runner.run_static(&ctx, &online, seq)?;
         let manager = AdaptiveScheduler::new(&ctx, profiled.clone(), 20, 0.1)?;
-        let (s_adaptive, _) = run_adaptive(&ctx, manager, seq)?;
+        let (s_adaptive, _) = runner.run_adaptive(&ctx, manager, seq)?;
         println!(
             "{}: non-adaptive {:.2}, adaptive {:.2} ({:+.1}%), {} calls, {} misses",
             road.name,
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             s_adaptive.avg_energy(),
             100.0 * (s_adaptive.avg_energy() / s_static.avg_energy() - 1.0),
             s_adaptive.calls,
-            s_adaptive.deadline_misses,
+            s_adaptive.exec.deadline_misses,
         );
     }
     println!("(the paper reports ~5% savings — small because the CTG has only three minterms)");

@@ -5,9 +5,8 @@
 //!
 //! Run with `cargo run --release --example graceful_degradation`.
 
-use adaptive_dvfs::ctg::BranchProbs;
-use adaptive_dvfs::sched::{dls_schedule, AdaptiveScheduler, SchedContext};
-use adaptive_dvfs::sim::{run_adaptive_resilient, DegradeConfig, FaultPlan};
+use adaptive_dvfs::prelude::*;
+use adaptive_dvfs::sched::dls_schedule;
 use adaptive_dvfs::workloads::{mpeg, traces};
 use std::error::Error;
 
@@ -45,7 +44,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         let mut plan = FaultPlan::uniform(0xDE6_12AD, rate);
         plan.overrun_factor = 2.0;
         let manager = AdaptiveScheduler::new(&ctx, BranchProbs::uniform(ctx.ctg()), 20, 0.1)?;
-        let (s, _) = run_adaptive_resilient(&ctx, manager, &trace, &plan, &ladder)?;
+        let runner = Runner::new(RunConfig::new().fault_plan(plan).degrade(ladder));
+        let (s, _) = runner.run_adaptive(&ctx, manager, &trace)?;
         println!(
             "{:>5.0}% {:>10.2} {:>8.1}% {:>8} {:>8} {:>8} {:>9} {:>8}",
             100.0 * rate,

@@ -4,11 +4,11 @@
 //!
 //! Run with `cargo run --release --example mpeg_adaptive`.
 
-use adaptive_dvfs::ctg::BranchProbs;
-use adaptive_dvfs::sched::{dls_schedule, AdaptiveScheduler, OnlineScheduler, SchedContext};
-use adaptive_dvfs::sim::{run_adaptive, run_static};
+use adaptive_dvfs::prelude::*;
+use adaptive_dvfs::sched::dls_schedule;
 use adaptive_dvfs::workloads::{mpeg, traces};
 use std::error::Error;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn Error>> {
     // MPEG macroblock decoder: 40 tasks, 9 branch fork nodes, 3 PEs.
@@ -39,11 +39,15 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Non-adaptive online algorithm: profile once, schedule once.
     let profiled = traces::empirical_probs(ctx.ctg(), train);
     let online = OnlineScheduler::new().solve(&ctx, &profiled)?;
-    let s_static = run_static(&ctx, &online, test)?;
+    let s_static = Runner::new(RunConfig::new()).run_static(&ctx, &online, test)?;
 
-    // Adaptive: sliding window 20, threshold 0.1.
+    // Adaptive: sliding window 20, threshold 0.1 — with telemetry on (the
+    // simulated results are bit-identical to a telemetry-off run).
+    let sink = Arc::new(BufferedSink::new(1));
+    let obs = Obs::with_sink(sink.clone());
     let manager = AdaptiveScheduler::new(&ctx, profiled, 20, 0.1)?;
-    let (s_adaptive, manager) = run_adaptive(&ctx, manager, test)?;
+    let (s_adaptive, manager) =
+        Runner::new(RunConfig::new().obs(obs.clone())).run_adaptive(&ctx, manager, test)?;
 
     println!(
         "movie {:8}: online avg energy {:.2}, adaptive avg energy {:.2} ({:.1}% saved)",
@@ -54,8 +58,15 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     println!(
         "re-scheduling calls: {} over {} macroblocks; deadline misses: {} (must be 0)",
-        s_adaptive.calls, s_adaptive.instances, s_adaptive.deadline_misses
+        s_adaptive.calls, s_adaptive.exec.instances, s_adaptive.exec.deadline_misses
     );
     println!("final tracked probabilities: {}", manager.current_probs());
+    if let Some(metrics) = obs.metrics_snapshot() {
+        println!(
+            "telemetry: {} span/instant events recorded; metrics {}",
+            sink.snapshot_sorted().len(),
+            metrics.to_json()
+        );
+    }
     Ok(())
 }

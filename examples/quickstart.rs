@@ -4,10 +4,8 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use adaptive_dvfs::ctg::{BranchProbs, CtgBuilder, DecisionVector};
-use adaptive_dvfs::platform::PlatformBuilder;
-use adaptive_dvfs::sched::{OnlineScheduler, SchedContext, Solution, SpeedAssignment};
-use adaptive_dvfs::sim::simulate_instance;
+use adaptive_dvfs::prelude::*;
+use adaptive_dvfs::sched::SpeedAssignment;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {

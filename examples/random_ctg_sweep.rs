@@ -4,8 +4,9 @@
 //!
 //! Run with `cargo run --release --example random_ctg_sweep`.
 
+use adaptive_dvfs::prelude::*;
 use adaptive_dvfs::sched::baseline::{reference1, reference2, NlpConfig};
-use adaptive_dvfs::sched::{dls_schedule, OnlineScheduler, SchedContext, StretchConfig};
+use adaptive_dvfs::sched::{dls_schedule, StretchConfig};
 use adaptive_dvfs::tgff::{Category, TgffConfig};
 use std::error::Error;
 

@@ -7,9 +7,8 @@
 //!
 //! Run with `cargo run --release --example wlan_phy`.
 
-use adaptive_dvfs::ctg::{BranchProbs, DecisionVector};
-use adaptive_dvfs::sched::{dls_schedule, AdaptiveScheduler, OnlineScheduler, SchedContext};
-use adaptive_dvfs::sim::{run_adaptive, run_static, simulate_instance};
+use adaptive_dvfs::prelude::*;
+use adaptive_dvfs::sched::dls_schedule;
 use adaptive_dvfs::workloads::wlan;
 use ctg_rng::Rng64;
 use std::error::Error;
@@ -85,16 +84,17 @@ fn main() -> Result<(), Box<dyn Error>> {
     let (train, test) = trace.split_at(600);
     let profiled = adaptive_dvfs::workloads::traces::empirical_probs(ctx.ctg(), train);
     let online = OnlineScheduler::new().solve(&ctx, &profiled)?;
-    let s_static = run_static(&ctx, &online, test)?;
+    let runner = Runner::new(RunConfig::new());
+    let s_static = runner.run_static(&ctx, &online, test)?;
     let mgr = AdaptiveScheduler::new(&ctx, profiled, 20, 0.1)?;
-    let (s_adaptive, _) = run_adaptive(&ctx, mgr, test)?;
+    let (s_adaptive, _) = runner.run_adaptive(&ctx, mgr, test)?;
     println!(
         "link trace: online {:.2}, adaptive {:.2} ({:+.1}%), {} calls, {} misses",
         s_static.avg_energy(),
         s_adaptive.avg_energy(),
         100.0 * (s_adaptive.avg_energy() / s_static.avg_energy() - 1.0),
         s_adaptive.calls,
-        s_adaptive.deadline_misses
+        s_adaptive.exec.deadline_misses
     );
     Ok(())
 }

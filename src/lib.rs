@@ -20,9 +20,14 @@
 //! * [`sched`] — the schedulers: online algorithm, baselines, adaptive
 //!   manager (the paper's contribution);
 //! * [`sim`] — the instance-level execution simulator and trace runners;
+//! * [`obs`] — the structured telemetry layer (spans, metrics, JSON-lines
+//!   and Chrome-trace export), zero-overhead when disabled;
 //! * [`tgff`] — random CTG generation in the spirit of TGFF;
 //! * [`workloads`] — the MPEG decoder and cruise-controller CTGs plus the
 //!   movie/road trace generators.
+//!
+//! [`prelude`] re-exports the ~15 types nearly every consumer touches —
+//! `use adaptive_dvfs::prelude::*;` is how the `examples/` start.
 //!
 //! # Quickstart
 //!
@@ -72,9 +77,31 @@
 #![forbid(unsafe_code)]
 
 pub use ctg_model as ctg;
+pub use ctg_obs as obs;
 pub use ctg_rng as rng;
 pub use ctg_sched as sched;
 pub use ctg_sim as sim;
 pub use ctg_workloads as workloads;
 pub use mpsoc_platform as platform;
 pub use tgff_gen as tgff;
+
+/// The common vocabulary of the crate family in one import.
+///
+/// Covers the modelling types (graphs, probabilities, decision vectors,
+/// platforms), the scheduling entry points (context, online solver,
+/// adaptive manager), the unified run API ([`Runner`](sim::Runner) /
+/// [`RunConfig`](sim::RunConfig) and the serve types), and the telemetry
+/// handle. Anything rarer stays behind its module path.
+pub mod prelude {
+    pub use crate::ctg::{BranchProbs, Ctg, CtgBuilder, DecisionVector, TaskId};
+    pub use crate::obs::{BufferedSink, MetricsSnapshot, Obs};
+    pub use crate::platform::{Platform, PlatformBuilder};
+    pub use crate::sched::{
+        AdaptiveScheduler, EstimatorKind, OnlineScheduler, SchedContext, SchedError, Solution,
+    };
+    pub use crate::sim::{
+        run_serve, simulate_instance, CacheMode, DegradeConfig, ExecStats, FaultPlan,
+        InstanceOutcome, RunConfig, RunSummary, Runner, ServeConfig, ServeReport, StreamSpec,
+        StreamSummary,
+    };
+}

@@ -26,8 +26,8 @@ fn mpeg_adaptive_run_is_deadline_safe_and_counts_calls() {
     let probs = BranchProbs::uniform(ctx.ctg());
     let mgr = AdaptiveScheduler::new(&ctx, probs, 20, 0.1).unwrap();
     let (summary, mgr) = run_adaptive(&ctx, mgr, &trace).unwrap();
-    assert_eq!(summary.instances, 600);
-    assert_eq!(summary.deadline_misses, 0);
+    assert_eq!(summary.exec.instances, 600);
+    assert_eq!(summary.exec.deadline_misses, 0);
     assert!(
         summary.calls > 0,
         "a drifting movie must trigger re-scheduling"
@@ -66,10 +66,10 @@ fn adaptive_beats_stale_profile_on_mpeg() {
     let mgr = AdaptiveScheduler::new(&ctx, profiled, 20, 0.1).unwrap();
     let (s_adaptive, _) = run_adaptive(&ctx, mgr, test).unwrap();
     assert!(
-        s_adaptive.total_energy < s_static.total_energy,
+        s_adaptive.exec.total_energy < s_static.exec.total_energy,
         "adaptive {} should beat stale online {}",
-        s_adaptive.total_energy,
-        s_static.total_energy
+        s_adaptive.exec.total_energy,
+        s_static.exec.total_energy
     );
 }
 
@@ -90,8 +90,12 @@ fn cruise_controller_full_run() {
         let trace = traces::generate_trace(ctx.ctg(), &road.profile, 400);
         let mgr = AdaptiveScheduler::new(&ctx, probs.clone(), 20, 0.1).unwrap();
         let (summary, _) = run_adaptive(&ctx, mgr, &trace).unwrap();
-        assert_eq!(summary.deadline_misses, 0, "{} missed deadlines", road.name);
-        assert!(summary.total_energy > 0.0);
+        assert_eq!(
+            summary.exec.deadline_misses, 0,
+            "{} missed deadlines",
+            road.name
+        );
+        assert!(summary.exec.total_energy > 0.0);
     }
 }
 

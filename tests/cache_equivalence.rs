@@ -52,14 +52,17 @@ fn cached_adaptive_run_is_bitwise_equivalent_to_uncached() {
 
     // Same decisions, same plans, same energies — to the bit.
     assert_eq!(
-        off.total_energy.to_bits(),
-        on.total_energy.to_bits(),
+        off.exec.total_energy.to_bits(),
+        on.exec.total_energy.to_bits(),
         "cache changed the adopted plans"
     );
-    assert_eq!(off.max_makespan.to_bits(), on.max_makespan.to_bits());
-    assert_eq!(off.deadline_misses, on.deadline_misses);
+    assert_eq!(
+        off.exec.max_makespan.to_bits(),
+        on.exec.max_makespan.to_bits()
+    );
+    assert_eq!(off.exec.deadline_misses, on.exec.deadline_misses);
     assert_eq!(off.reschedules, on.reschedules);
-    assert_eq!(off.instances, on.instances);
+    assert_eq!(off.exec.instances, on.exec.instances);
     assert_eq!(final_off.solution(), final_on.solution());
     assert_eq!(final_off.current_probs(), final_on.current_probs());
 
@@ -88,7 +91,10 @@ fn zero_capacity_cache_behaves_like_cache_off() {
     mgr_zero.enable_cache(&ctx, 0);
     let (zero, _) = run_adaptive(&ctx, mgr_zero, &trace).unwrap();
 
-    assert_eq!(off.total_energy.to_bits(), zero.total_energy.to_bits());
+    assert_eq!(
+        off.exec.total_energy.to_bits(),
+        zero.exec.total_energy.to_bits()
+    );
     assert_eq!(off.calls, zero.calls);
     assert_eq!(off.reschedules, zero.reschedules);
     assert_eq!(zero.cache_hits, 0, "a capacity-0 cache can never hit");

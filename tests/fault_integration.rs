@@ -54,16 +54,16 @@ fn zero_fault_plan_matches_run_adaptive_bitwise() {
     let (plain, _) = run_adaptive(&ctx, manager(&ctx), &trace).unwrap();
     let shielded = resilient(&ctx, &trace, &FaultPlan::none(99));
 
-    assert_eq!(plain.instances, shielded.instances);
+    assert_eq!(plain.exec.instances, shielded.exec.instances);
     assert_eq!(
-        plain.total_energy.to_bits(),
-        shielded.total_energy.to_bits()
+        plain.exec.total_energy.to_bits(),
+        shielded.exec.total_energy.to_bits()
     );
     assert_eq!(
-        plain.max_makespan.to_bits(),
-        shielded.max_makespan.to_bits()
+        plain.exec.max_makespan.to_bits(),
+        shielded.exec.max_makespan.to_bits()
     );
-    assert_eq!(plain.deadline_misses, shielded.deadline_misses);
+    assert_eq!(plain.exec.deadline_misses, shielded.exec.deadline_misses);
     assert_eq!(plain.calls, shielded.calls);
     assert_eq!(shielded.faults.total(), 0);
     assert_eq!(shielded.degrade.guard_band_escalations, 0);
@@ -91,8 +91,8 @@ fn fault_pattern_follows_plan_seed() {
     let a = resilient(&ctx, &trace, &FaultPlan::uniform(1, 0.08));
     let b = resilient(&ctx, &trace, &FaultPlan::uniform(2, 0.08));
     assert_ne!(
-        a.total_energy.to_bits(),
-        b.total_energy.to_bits(),
+        a.exec.total_energy.to_bits(),
+        b.exec.total_energy.to_bits(),
         "independent seeds should perturb the run differently"
     );
 }
@@ -107,8 +107,11 @@ fn heavy_faults_are_absorbed_not_raised() {
     plan.stall_time = 10.0;
     let s = resilient(&ctx, &trace, &plan);
 
-    assert_eq!(s.instances, LEN);
-    assert!(s.deadline_misses > 0, "a 50% plan at 3x severity must miss");
+    assert_eq!(s.exec.instances, LEN);
+    assert!(
+        s.exec.deadline_misses > 0,
+        "a 50% plan at 3x severity must miss"
+    );
     assert!(
         s.degrade.guard_band_escalations > 0,
         "watchdog should have escalated at least to the guard band"

@@ -61,7 +61,7 @@ fn adaptive_tracks_three_way_distribution() {
     // A trace that settles on alternative 2.
     let trace: Vec<DecisionVector> = (0..60).map(|_| DecisionVector::new(vec![2])).collect();
     let (summary, mgr) = run_adaptive(&ctx, mgr, &trace).unwrap();
-    assert_eq!(summary.deadline_misses, 0);
+    assert_eq!(summary.exec.deadline_misses, 0);
     assert!(summary.calls >= 1);
     let sel = ctx.ctg().branch_nodes()[0];
     assert!(mgr.current_probs().prob(sel, 2) > 0.9);

@@ -76,13 +76,13 @@ fn workloads() -> Vec<(&'static str, SchedContext, Solution, Vec<DecisionVector>
 fn assert_bit_identical(a: &RunSummary, b: &RunSummary, label: &str) {
     assert_eq!(a, b, "{label}: summaries differ");
     assert_eq!(
-        a.total_energy.to_bits(),
-        b.total_energy.to_bits(),
+        a.exec.total_energy.to_bits(),
+        b.exec.total_energy.to_bits(),
         "{label}: total_energy bits differ"
     );
     assert_eq!(
-        a.max_makespan.to_bits(),
-        b.max_makespan.to_bits(),
+        a.exec.max_makespan.to_bits(),
+        b.exec.max_makespan.to_bits(),
         "{label}: max_makespan bits differ"
     );
 }
@@ -91,7 +91,7 @@ fn assert_bit_identical(a: &RunSummary, b: &RunSummary, label: &str) {
 fn static_parallel_matches_sequential_at_every_worker_count() {
     for (name, ctx, solution, trace) in workloads() {
         let seq = run_static(&ctx, &solution, &trace).unwrap();
-        assert!(seq.instances == LEN && seq.total_energy > 0.0);
+        assert!(seq.exec.instances == LEN && seq.exec.total_energy > 0.0);
         for workers in WORKER_MATRIX {
             let par = run_static_parallel(&ctx, &solution, &trace, workers).unwrap();
             assert_bit_identical(&seq, &par, &format!("{name}@{workers}w"));
@@ -124,7 +124,7 @@ fn small_batch_fallback_stays_bit_identical() {
     let plan = FaultPlan::uniform(0xD15EA5E, 0.08);
     for (name, ctx, solution, trace) in workloads_of_len(SHORT_LEN) {
         let seq = run_static(&ctx, &solution, &trace).unwrap();
-        assert_eq!(seq.instances, SHORT_LEN);
+        assert_eq!(seq.exec.instances, SHORT_LEN);
         let seq_faulty = run_static_faulty(&ctx, &solution, &trace, &plan).unwrap();
         for workers in WORKER_MATRIX {
             let par = run_static_parallel(&ctx, &solution, &trace, workers).unwrap();

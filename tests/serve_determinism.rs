@@ -51,13 +51,13 @@ fn assert_summaries_eq(a: &[StreamSummary], b: &[StreamSummary], what: &str) {
         assert_eq!(x, y, "{what}: stream {i} summary diverged");
         // PartialEq on f64 fields compares values; pin the bits too.
         assert_eq!(
-            x.total_energy.to_bits(),
-            y.total_energy.to_bits(),
+            x.exec.total_energy.to_bits(),
+            y.exec.total_energy.to_bits(),
             "{what}: stream {i} energy bits"
         );
         assert_eq!(
-            x.max_makespan.to_bits(),
-            y.max_makespan.to_bits(),
+            x.exec.max_makespan.to_bits(),
+            y.exec.max_makespan.to_bits(),
             "{what}: stream {i} makespan bits"
         );
     }
@@ -87,7 +87,7 @@ fn summaries_invariant_across_workers_streams_faults_and_caches() {
             .unwrap();
             assert_eq!(reference.streams.len(), streams);
             assert!(
-                reference.streams.iter().all(|s| s.instances == 48),
+                reference.streams.iter().all(|s| s.exec.instances == 48),
                 "every stream must finish its trace"
             );
             for cache in [
@@ -250,11 +250,17 @@ fn single_stream_serve_matches_run_adaptive() {
         )
         .unwrap();
         let s = &report.streams[0];
-        assert_eq!(s.instances, baseline.instances);
-        assert_eq!(s.deadline_misses, baseline.deadline_misses);
+        assert_eq!(s.exec.instances, baseline.exec.instances);
+        assert_eq!(s.exec.deadline_misses, baseline.exec.deadline_misses);
         assert_eq!(s.reschedules, baseline.reschedules);
-        assert_eq!(s.total_energy.to_bits(), baseline.total_energy.to_bits());
-        assert_eq!(s.max_makespan.to_bits(), baseline.max_makespan.to_bits());
+        assert_eq!(
+            s.exec.total_energy.to_bits(),
+            baseline.exec.total_energy.to_bits()
+        );
+        assert_eq!(
+            s.exec.max_makespan.to_bits(),
+            baseline.exec.max_makespan.to_bits()
+        );
         assert_eq!(s.faults, adaptive_dvfs::sim::FaultStats::default());
     }
 }
