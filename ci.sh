@@ -37,6 +37,11 @@ CTG_WORKERS=2 cargo test -q --offline --test obs_equivalence
 echo "==> clippy over the obs crate (deny warnings)"
 cargo clippy -p ctg-obs --all-targets --offline -- -D warnings
 
+echo "==> overload-resilience matrix (dormant-knob equivalence + shed/quarantine"
+echo "    determinism across workers, shards, cache modes; budget-off == baseline)"
+cargo test -q --offline --test serve_overload
+CTG_WORKERS=2 cargo test -q --offline --test serve_overload
+
 echo "==> serve bench smoke (asserts summaries invariant across engine configs,"
 echo "    writes + validates a telemetry-on chrome trace)"
 cargo build -q --release --offline -p ctg-bench --bin serve

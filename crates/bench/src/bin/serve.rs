@@ -20,9 +20,11 @@
 use ctg_bench::setup::{prepare_mpeg, profile_trace};
 use ctg_model::DecisionVector;
 use ctg_obs::{chrome, json, BufferedSink, Event, EventKind, Obs};
-use ctg_sched::AdaptiveScheduler;
-use ctg_sim::serve::{run_serve, CacheMode, ServeConfig, ServeReport, StreamSpec};
-use ctg_sim::{map_ordered, run_adaptive, worker_count, RunConfig, Runner};
+use ctg_sched::{AdaptiveScheduler, OnlineScheduler, SolverWorkspace};
+use ctg_sim::serve::{
+    run_serve, AdmissionConfig, CacheMode, QuarantineConfig, ServeConfig, ServeReport, StreamSpec,
+};
+use ctg_sim::{map_ordered, run_adaptive, worker_count, BurstModel, FaultPlan, RunConfig, Runner};
 use ctg_workloads::traces::{self, DriftProfile};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -76,6 +78,7 @@ fn stream_specs(
                 window: WINDOW,
                 threshold: THRESHOLD,
                 fault_plan: None,
+                criticality: 0,
             }
         })
         .collect()
@@ -88,6 +91,9 @@ fn serve_cfg(workers: usize, shards: usize, cache: CacheMode) -> ServeConfig {
         cache,
         coalesce: true,
         quantum: THRESHOLD,
+        solve_budget: None,
+        admission: None,
+        quarantine: None,
     }
 }
 
@@ -167,6 +173,128 @@ fn stages_json(agg: &BTreeMap<&'static str, StageAgg>) -> String {
         })
         .collect();
     format!("[{}]", fields.join(", "))
+}
+
+/// One point of the overload sweep: the engine under a Gilbert–Elliott
+/// fault storm with budgets, admission control and quarantine active.
+struct OverloadRow {
+    p_enter: f64,
+    shed_requests: usize,
+    shed_rate: f64,
+    quarantines: usize,
+    quarantined_ticks: usize,
+    budget_exceeded: usize,
+    miss_rate: f64,
+}
+
+/// The sweep population: the drift-movie sessions of [`stream_specs`] with
+/// staggered criticalities and (for `p_enter > 0`) a burst-modulated fault
+/// plan driving correlated miss storms.
+fn overload_specs(
+    ctx: &ctg_sched::SchedContext,
+    streams: usize,
+    trace_len: usize,
+    p_enter: f64,
+) -> Vec<StreamSpec> {
+    let mut specs = stream_specs(ctx, streams, trace_len);
+    for (i, spec) in specs.iter_mut().enumerate() {
+        spec.criticality = (i % 4) as u8;
+        if p_enter > 0.0 {
+            let mut plan = FaultPlan::uniform(0xB0057 + i as u64, 0.02);
+            plan.burst = Some(BurstModel {
+                p_enter,
+                p_exit: 0.25,
+                rate_multiplier: 8.0,
+            });
+            spec.fault_plan = Some(plan);
+        }
+    }
+    specs
+}
+
+/// Deterministic work-unit cost of one representative cold solve, used to
+/// pin the sweep's budget just below it so a realistic fraction of
+/// re-solves abort.
+fn typical_solve_cost(ctx: &ctg_sched::SchedContext, specs: &[StreamSpec]) -> u64 {
+    let mut ws = SolverWorkspace::new();
+    OnlineScheduler::new()
+        .solve_with_workspace(ctx, &specs[0].initial_probs, &mut ws)
+        .expect("budget probe solve");
+    ws.last_solve_cost().expect("probe solve recorded its cost")
+}
+
+fn overload_sweep(
+    ctx: &ctg_sched::SchedContext,
+    trace_len: usize,
+    smoke: bool,
+    workers: usize,
+) -> Vec<OverloadRow> {
+    let streams = if smoke { 16 } else { 64 };
+    let high_water = (streams / 8).max(1);
+    let budget = {
+        let probe = overload_specs(ctx, streams, trace_len, 0.0);
+        let cost = typical_solve_cost(ctx, &probe);
+        cost - cost / 8
+    };
+    let cache = CacheMode::Shared {
+        capacity: SHARED_CAPACITY,
+        stripes: SHARED_STRIPES,
+    };
+    let overload_cfg = |workers: usize, shards: usize| ServeConfig {
+        solve_budget: Some(budget),
+        admission: Some(AdmissionConfig { high_water }),
+        quarantine: Some(QuarantineConfig::default()),
+        ..serve_cfg(workers, shards, cache)
+    };
+    println!(
+        "\noverload sweep ({streams} streams, budget {budget} units, \
+         high-water {high_water}):"
+    );
+    let mut rows = Vec::new();
+    for &p_enter in &[0.0, 0.05, 0.2] {
+        let specs = overload_specs(ctx, streams, trace_len, p_enter);
+        let report =
+            run_serve(ctx, &specs, &overload_cfg(workers, streams)).expect("overload serve run");
+        // Every shed and quarantine decision must survive resharding.
+        let resharded = run_serve(
+            ctx,
+            &specs,
+            &overload_cfg(workers.div_ceil(2), (streams / 2).max(1)),
+        )
+        .expect("resharded overload run");
+        assert_same_streams(
+            &report,
+            &resharded,
+            &format!("overload p_enter={p_enter}: resharded"),
+        );
+        let misses: usize = report.streams.iter().map(|s| s.exec.deadline_misses).sum();
+        let miss_rate = if report.stats.instances > 0 {
+            misses as f64 / report.stats.instances as f64
+        } else {
+            0.0
+        };
+        println!(
+            "  burst p_enter {p_enter:>4.2}: shed {:>5} ({:>5.1}%)  \
+             quarantines {:>3} ({:>4} frozen ticks)  budget aborts {:>4}  \
+             miss rate {:>5.2}%",
+            report.stats.shed_requests,
+            100.0 * report.stats.shed_rate(),
+            report.stats.quarantines,
+            report.stats.quarantined_ticks,
+            report.stats.budget_exceeded,
+            100.0 * miss_rate
+        );
+        rows.push(OverloadRow {
+            p_enter,
+            shed_requests: report.stats.shed_requests,
+            shed_rate: report.stats.shed_rate(),
+            quarantines: report.stats.quarantines,
+            quarantined_ticks: report.stats.quarantined_ticks,
+            budget_exceeded: report.stats.budget_exceeded,
+            miss_rate,
+        });
+    }
+    rows
 }
 
 struct Row {
@@ -353,6 +481,14 @@ fn main() {
              baseline at 64 streams, got x{speedup_at_64:.2}"
         );
     }
+    let overload_rows = overload_sweep(&ctx, trace_len, smoke, workers);
+    assert!(
+        overload_rows
+            .iter()
+            .any(|r| r.shed_requests > 0 || r.budget_exceeded > 0),
+        "the overload sweep must actually exercise shedding or budgets"
+    );
+
     println!("\ndeterminism: PASS (summaries identical across workers/shards/cache modes)");
 
     // ---- Hand-rolled JSON artifact. ----
@@ -383,6 +519,27 @@ fn main() {
             stages_json(&r.stages),
             r.metrics_json,
             if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n  \"overload\": [\n");
+    for (i, r) in overload_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"burst_p_enter\": {:.3}, \"shed_requests\": {}, \
+             \"shed_rate\": {:.4}, \"quarantines\": {}, \
+             \"quarantined_ticks\": {}, \"budget_exceeded\": {}, \
+             \"miss_rate\": {:.4}}}{}\n",
+            r.p_enter,
+            r.shed_requests,
+            r.shed_rate,
+            r.quarantines,
+            r.quarantined_ticks,
+            r.budget_exceeded,
+            r.miss_rate,
+            if i + 1 == overload_rows.len() {
+                ""
+            } else {
+                ","
+            }
         ));
     }
     json.push_str("  ],\n  \"determinism\": \"pass\"\n}\n");

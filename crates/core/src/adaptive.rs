@@ -458,6 +458,23 @@ impl AdaptiveScheduler {
         self.obs_track = track;
     }
 
+    /// Sets (or clears) the deterministic per-solve work budget, forwarded
+    /// to both solver workspaces (normal and guard-banded solves share the
+    /// limit). A budgeted re-solve that crosses the limit surfaces as
+    /// [`ObserveOutcome::SolveFailed`] with
+    /// [`SchedError::SolveBudgetExceeded`]; the manager keeps the last
+    /// adopted solution, so callers degrade instead of crashing. See
+    /// [`SolverWorkspace::set_budget`] for the determinism argument.
+    pub fn set_solve_budget(&mut self, budget: Option<u64>) {
+        self.workspace.set_budget(budget);
+        self.guard_workspace.set_budget(budget);
+    }
+
+    /// The configured per-solve work budget, if any.
+    pub fn solve_budget(&self) -> Option<u64> {
+        self.workspace.budget()
+    }
+
     /// The solution currently in force.
     pub fn solution(&self) -> &Solution {
         &self.solution

@@ -12,6 +12,7 @@
 //! where, unlike classical DLS, **mutually exclusive tasks may overlap on
 //! the same PE** because at most one of them executes in any run.
 
+use crate::budget::WorkMeter;
 use crate::context::SchedContext;
 use crate::error::SchedError;
 use crate::schedule::Schedule;
@@ -70,6 +71,28 @@ pub fn dls_with_levels(
     sl: &[f64],
     exploit_mutex: bool,
 ) -> Result<Schedule, SchedError> {
+    dls_with_levels_metered(ctx, sl, exploit_mutex, &mut WorkMeter::unlimited())
+}
+
+/// [`dls_with_levels`] with a work budget: every runnable (ready task, PE)
+/// candidate evaluated charges one unit to `meter`.
+///
+/// The candidate count is a pure function of the scheduling problem — the
+/// ready-set evolution depends only on the compiled precedence graph and
+/// the committed decisions, which are deterministic — so a budget verdict
+/// is reproducible regardless of where or when the solve runs. With an
+/// unlimited meter this is exactly `dls_with_levels`.
+///
+/// # Errors
+///
+/// [`SchedError::SolveBudgetExceeded`] when the meter's budget is crossed,
+/// plus everything [`dls_schedule`] can return.
+pub fn dls_with_levels_metered(
+    ctx: &SchedContext,
+    sl: &[f64],
+    exploit_mutex: bool,
+    meter: &mut WorkMeter,
+) -> Result<Schedule, SchedError> {
     let ctg = ctx.ctg();
     let platform = ctx.platform();
     let profile = platform.profile();
@@ -98,6 +121,7 @@ pub fn dls_with_levels(
                 if !profile.can_run(t.index(), pe) {
                     continue;
                 }
+                meter.charge(1)?;
                 let at = earliest_start(
                     ctx,
                     cg.preds(t),

@@ -35,6 +35,15 @@ pub enum SchedError {
     },
     /// An invalid configuration parameter (window length, threshold, …).
     InvalidParameter(&'static str),
+    /// A budgeted solve exceeded its deterministic work budget and was
+    /// aborted (see [`crate::WorkMeter`]); the caller should fall back to
+    /// its last adopted solution or a degraded mode.
+    SolveBudgetExceeded {
+        /// Work units charged when the budget was crossed.
+        spent: u64,
+        /// The configured budget.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -57,6 +66,10 @@ impl fmt::Display for SchedError {
                 )
             }
             SchedError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            SchedError::SolveBudgetExceeded { spent, budget } => write!(
+                f,
+                "solve aborted: {spent} work units spent against a budget of {budget}"
+            ),
         }
     }
 }

@@ -57,6 +57,7 @@
 
 mod adaptive;
 pub mod baseline;
+mod budget;
 mod cache;
 mod context;
 pub mod critical;
@@ -76,10 +77,11 @@ mod workspace;
 pub use adaptive::{
     AdaptiveScheduler, AdaptiveStats, EstimatorKind, EwmaEstimator, ObserveOutcome, SlidingWindow,
 };
+pub use budget::WorkMeter;
 pub use cache::{LruCache, ScheduleKey};
 pub use context::CompiledGraph;
 pub use context::{ScenarioMask, SchedContext};
-pub use dls::{dls_schedule, dls_with_levels, list_schedule_fixed};
+pub use dls::{dls_schedule, dls_with_levels, dls_with_levels_metered, list_schedule_fixed};
 pub use error::SchedError;
 pub use online::{OnlineScheduler, Solution};
 pub use schedule::Schedule;

@@ -9,7 +9,9 @@
 //! with its delay, activation condition and probability — the data the
 //! paper's `CalculateSlack` routine consumes.
 
+use crate::budget::WorkMeter;
 use crate::context::{ScenarioMask, SchedContext};
+use crate::error::SchedError;
 use crate::schedule::Schedule;
 use crate::speed::SpeedAssignment;
 use ctg_model::{BranchProbs, Literal, TaskId};
@@ -155,6 +157,29 @@ impl ScheduledGraph {
         probs: &BranchProbs,
         cap: usize,
     ) -> Option<Self> {
+        Self::build_metered(ctx, schedule, probs, cap, &mut WorkMeter::unlimited())
+            .expect("an unlimited meter cannot exceed its budget")
+    }
+
+    /// [`ScheduledGraph::build`] with a work budget: every enumeration step
+    /// (frame expansion and edge extension) charges one unit to `meter`.
+    ///
+    /// The step count depends only on the schedule's topology, the scenario
+    /// masks and the path cap — not on probability values — so the charge
+    /// is a pure function of the problem and budget verdicts reproduce
+    /// bit-for-bit. With an unlimited meter this is exactly `build`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::SolveBudgetExceeded`] when the budget is crossed; the
+    /// `Ok(None)` case still means the path cap was exceeded.
+    pub fn build_metered(
+        ctx: &SchedContext,
+        schedule: &Schedule,
+        probs: &BranchProbs,
+        cap: usize,
+        meter: &mut WorkMeter,
+    ) -> Result<Option<Self>, SchedError> {
         let ctg = ctx.ctg();
         let n = ctg.num_tasks();
         let edges = collect_edges(ctx, schedule);
@@ -205,7 +230,9 @@ impl ScheduledGraph {
         }
         let edges = reduced;
 
-        let paths = enumerate(ctx, schedule, probs, &edges, cap)?;
+        let Some(paths) = enumerate(ctx, schedule, probs, &edges, cap, meter)? else {
+            return Ok(None);
+        };
         let mut spanning = vec![Vec::new(); n];
         let mut span_at = vec![Vec::new(); n];
         for (i, p) in paths.iter().enumerate() {
@@ -214,12 +241,12 @@ impl ScheduledGraph {
                 span_at[t.index()].push(pos as u32);
             }
         }
-        Some(ScheduledGraph {
+        Ok(Some(ScheduledGraph {
             edges,
             paths,
             spanning,
             span_at,
-        })
+        }))
     }
 
     /// The edges of the (reduced) scheduled graph.
@@ -408,7 +435,8 @@ fn enumerate(
     probs: &BranchProbs,
     edges: &[SEdge],
     cap: usize,
-) -> Option<Vec<SPath>> {
+    meter: &mut WorkMeter,
+) -> Result<Option<Vec<SPath>>, SchedError> {
     let ctg = ctx.ctg();
     let n = ctg.num_tasks();
     let mut out_adj: Vec<Vec<&SEdge>> = vec![Vec::new(); n];
@@ -446,10 +474,12 @@ fn enumerate(
 
     let n_scen = ctx.scenarios().len();
     while let Some(f) = stack.pop() {
+        meter.charge(1)?;
         // Extend through every consistent out-edge, tracking which of the
         // frame's scenarios are covered by at least one extension.
         let mut covered = ScenarioMask::empty(n_scen);
         for e in &out_adj[f.task.index()] {
+            meter.charge(1)?;
             // Combine the running condition with the guard and the next
             // node's own activation condition; prune impossible branches.
             let mut cond = f.cond.and(ctx.task_mask(e.dst));
@@ -494,13 +524,13 @@ fn enumerate(
                 prob,
             });
             if paths.len() > cap {
-                return None;
+                return Ok(None);
             }
         }
     }
     // Deterministic order.
     paths.sort_by(|a, b| a.tasks.cmp(&b.tasks));
-    Some(paths)
+    Ok(Some(paths))
 }
 
 #[cfg(test)]

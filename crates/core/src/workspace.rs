@@ -46,8 +46,9 @@
 //! point matches the cold result to tolerance (see
 //! `tests/solver_equivalence.rs`).
 
+use crate::budget::WorkMeter;
 use crate::context::SchedContext;
-use crate::dls::dls_with_levels;
+use crate::dls::dls_with_levels_metered;
 use crate::error::SchedError;
 use crate::online::Solution;
 use crate::schedule::Schedule;
@@ -83,6 +84,8 @@ pub struct WorkspaceStats {
     pub graph_rebuilds: usize,
     /// Times the workspace was re-bound to a different context.
     pub rebinds: usize,
+    /// Solves aborted because they crossed the configured work budget.
+    pub budget_exceeded: usize,
 }
 
 /// The (context) inputs the cached state is valid for. Compared by content,
@@ -101,6 +104,10 @@ struct LastSolve {
     cfg: StretchConfig,
     schedule: Schedule,
     speeds: SpeedAssignment,
+    /// Total work units the solve cost — a pure function of
+    /// (context, probs, cfg), re-charged on memo hits so a warm repeat
+    /// reaches the same budget verdict as a cold solve.
+    work_units: u64,
 }
 
 /// One pooled scheduled graph, keyed by the (schedule, path cap) it was
@@ -116,6 +123,10 @@ struct GraphEntry {
     /// The probability table the stored graph's path probabilities
     /// currently reflect.
     probs: BranchProbs,
+    /// Work units the path enumeration cost when the entry was built — a
+    /// pure function of (schedule, cap), re-charged on pool hits so warm
+    /// and cold solves reach the same budget verdict.
+    enum_units: u64,
 }
 
 /// Bounded size of the schedule→graph pool. Under drifting estimates DLS
@@ -151,6 +162,9 @@ pub struct SolverWorkspace {
     obs: Obs,
     /// The telemetry track solve-stage events are recorded against.
     obs_track: u32,
+    /// Optional per-solve work budget, in solver work units (DLS candidate
+    /// evaluations + path-enumeration steps). `None` = unlimited.
+    budget: Option<u64>,
 }
 
 impl SolverWorkspace {
@@ -171,6 +185,43 @@ impl SolverWorkspace {
     pub fn set_obs(&mut self, obs: Obs, track: u32) {
         self.obs = obs;
         self.obs_track = track;
+    }
+
+    /// Sets (or clears) the per-solve work budget.
+    ///
+    /// A budgeted solve counts DLS candidate evaluations and
+    /// path-enumeration steps; crossing the budget aborts with
+    /// [`SchedError::SolveBudgetExceeded`], leaving the warm state intact
+    /// (the caller keeps its last adopted solution). Because the charge is
+    /// a pure function of `(ctx, probs, cfg)` — warm paths re-charge the
+    /// stored cost of the work they skip — the verdict is identical no
+    /// matter which warm-start layer answers, and `None` (the default) is
+    /// bit-identical to a workspace without budget support.
+    pub fn set_budget(&mut self, budget: Option<u64>) {
+        self.budget = budget;
+    }
+
+    /// The configured per-solve work budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Work units the last successful solve cost, if any — the cost is a
+    /// pure function of the problem, so this is useful for calibrating
+    /// budgets against a representative solve.
+    pub fn last_solve_cost(&self) -> Option<u64> {
+        self.last.as_ref().map(|l| l.work_units)
+    }
+
+    /// Records a budget abort in the stats and telemetry, passing the
+    /// error through; non-budget errors pass through untouched.
+    fn note_budget_abort(&mut self, obs: &Obs, track: u32, e: SchedError) -> SchedError {
+        if let SchedError::SolveBudgetExceeded { spent, .. } = e {
+            self.stats.budget_exceeded += 1;
+            obs.instant(track, Stage::BudgetAbort, spent as i64);
+            obs.count(Counter::BudgetExceededSolves, 1);
+        }
+        e
     }
 
     /// Solves `ctx` under `probs` with warm-start state, producing the
@@ -213,19 +264,29 @@ impl SolverWorkspace {
             self.graphs.clear();
         }
 
+        let mut meter = WorkMeter::from_limit(self.budget);
+
         // Layer 4: the solver is a pure function of (ctx, probs, cfg) — an
-        // exact repeat returns the previous solution.
-        if let Some(last) = &self.last {
-            if last.probs == *probs && last.cfg == *cfg {
-                self.stats.memo_hits += 1;
-                obs.instant(track, Stage::MemoHit, 1);
-                let dur_ns = solve_span.end(SOLVE_VIA_MEMO);
-                obs.observe(Hist::SolveUs, dur_ns as f64 / 1e3);
-                return Ok(Solution {
-                    schedule: last.schedule.clone(),
-                    speeds: last.speeds.clone(),
-                });
+        // exact repeat returns the previous solution. The stored work units
+        // are re-charged first, so a table too expensive for the budget
+        // aborts here exactly as a cold solve of it would.
+        let memo_units = self
+            .last
+            .as_ref()
+            .and_then(|last| (last.probs == *probs && last.cfg == *cfg).then_some(last.work_units));
+        if let Some(units) = memo_units {
+            if let Err(e) = meter.charge(units) {
+                return Err(self.note_budget_abort(&obs, track, e));
             }
+            let last = self.last.as_ref().expect("memo hit checked above");
+            self.stats.memo_hits += 1;
+            obs.instant(track, Stage::MemoHit, 1);
+            let dur_ns = solve_span.end(SOLVE_VIA_MEMO);
+            obs.observe(Hist::SolveUs, dur_ns as f64 / 1e3);
+            return Ok(Solution {
+                schedule: last.schedule.clone(),
+                speeds: last.speeds.clone(),
+            });
         }
 
         // Layer 2: dirty-set static levels (full recompute when cold).
@@ -245,7 +306,10 @@ impl SolverWorkspace {
         // Same pipeline — and the same error order — as the cold solver:
         // DLS, deadline check, config validation, stretch.
         let dls_span = obs.span(track, Stage::DlsMap);
-        let schedule = dls_with_levels(ctx, &self.sl, true)?;
+        let schedule = match dls_with_levels_metered(ctx, &self.sl, true, &mut meter) {
+            Ok(s) => s,
+            Err(e) => return Err(self.note_budget_abort(&obs, track, e)),
+        };
         dls_span.end(ctx.ctg().num_tasks() as i64);
         let makespan = schedule.makespan();
         let deadline = ctx.ctg().deadline();
@@ -272,6 +336,13 @@ impl SolverWorkspace {
         };
         let speeds = match hit {
             Some(i) => {
+                // Re-charge the stored enumeration cost *before* touching
+                // the entry: a budget abort must leave the pool intact and
+                // land on the same verdict a cold enumeration would (the
+                // cost is a pure function of (schedule, cap)).
+                if let Err(e) = meter.charge(self.graphs[i].enum_units) {
+                    return Err(self.note_budget_abort(&obs, track, e));
+                }
                 self.stats.graph_reuses += 1;
                 obs.instant(track, Stage::PoolHit, 1);
                 let mut entry = self.graphs.remove(i);
@@ -302,14 +373,25 @@ impl SolverWorkspace {
             None => {
                 self.stats.graph_rebuilds += 1;
                 let enum_span = obs.span(track, Stage::PathEnum);
-                let (graph, groups) =
-                    match ScheduledGraph::build(ctx, &schedule, probs, cfg.path_cap) {
-                        Some(g) => {
-                            let groups = PathGroups::of(&g);
-                            (Some(g), groups)
-                        }
-                        None => (None, PathGroups::default()),
-                    };
+                let enum_start = meter.spent();
+                let built = match ScheduledGraph::build_metered(
+                    ctx,
+                    &schedule,
+                    probs,
+                    cfg.path_cap,
+                    &mut meter,
+                ) {
+                    Ok(b) => b,
+                    Err(e) => return Err(self.note_budget_abort(&obs, track, e)),
+                };
+                let enum_units = meter.spent() - enum_start;
+                let (graph, groups) = match built {
+                    Some(g) => {
+                        let groups = PathGroups::of(&g);
+                        (Some(g), groups)
+                    }
+                    None => (None, PathGroups::default()),
+                };
                 // arg: 1 when the enumeration fit the cap, 0 when it
                 // overflowed (and the critical-path fallback runs).
                 enum_span.end(i64::from(graph.is_some()));
@@ -337,6 +419,7 @@ impl SolverWorkspace {
                     graph,
                     groups,
                     probs: probs.clone(),
+                    enum_units,
                 });
                 speeds
             }
@@ -347,6 +430,7 @@ impl SolverWorkspace {
             cfg: cfg.clone(),
             schedule: schedule.clone(),
             speeds: speeds.clone(),
+            work_units: meter.spent(),
         });
         let dur_ns = solve_span.end(via);
         obs.observe(Hist::SolveUs, dur_ns as f64 / 1e3);
@@ -479,6 +563,95 @@ mod tests {
             .unwrap();
         assert_eq!(ws.stats().rebinds, 1);
         assert_eq!(ws.stats().memo_hits, 1);
+    }
+
+    #[test]
+    fn budget_aborts_match_cold_verdicts_and_keep_warm_state() {
+        let (ctx, probs, _) = example1_context();
+        let scheduler = OnlineScheduler::new();
+        let mut ws = SolverWorkspace::new();
+        let sol = scheduler
+            .solve_with_workspace(&ctx, &probs, &mut ws)
+            .unwrap();
+        let cost = ws.last_solve_cost().unwrap();
+        assert!(cost > 0);
+
+        // An exactly-affordable budget succeeds, bit-identically.
+        let mut exact = SolverWorkspace::new();
+        exact.set_budget(Some(cost));
+        let cold_ok = scheduler
+            .solve_with_workspace(&ctx, &probs, &mut exact)
+            .unwrap();
+        assert_bit_identical(&sol, &cold_ok, &ctx);
+        assert_eq!(exact.stats().budget_exceeded, 0);
+
+        // One unit short: a cold solve and a warm memo repeat abort with
+        // the identical error (cold crosses on a 1-unit charge at
+        // spent == cost; the memo re-charge lands on the same total).
+        let mut short = SolverWorkspace::new();
+        short.set_budget(Some(cost - 1));
+        let cold_err = scheduler.solve_with_workspace(&ctx, &probs, &mut short);
+        ws.set_budget(Some(cost - 1));
+        let warm_err = scheduler.solve_with_workspace(&ctx, &probs, &mut ws);
+        assert_eq!(cold_err, warm_err);
+        assert!(matches!(
+            cold_err,
+            Err(SchedError::SolveBudgetExceeded { .. })
+        ));
+        assert_eq!(ws.stats().budget_exceeded, 1);
+
+        // The abort left the warm state intact: lifting the budget
+        // re-solves the same table bit-identically.
+        ws.set_budget(None);
+        let after = scheduler
+            .solve_with_workspace(&ctx, &probs, &mut ws)
+            .unwrap();
+        assert_bit_identical(&sol, &after, &ctx);
+    }
+
+    #[test]
+    fn pool_hits_recharge_enumeration_cost() {
+        // Solve a, then b, then a again: the third solve answers from the
+        // graph pool (non-consecutive repeat, so the depth-1 memo cannot).
+        // Its budget verdict must match a cold solve of a at the same
+        // budget, because the pooled enumeration cost is re-charged.
+        let (ctx, probs, ids) = example1_context();
+        let [_, _, t3, _, _, t5, ..] = ids;
+        let scheduler = OnlineScheduler::new();
+        let table = |d: Vec<f64>| {
+            let mut p = probs.clone();
+            p.set(t3, d.clone()).unwrap();
+            p.set(t5, d).unwrap();
+            p
+        };
+        let a = table(vec![0.7, 0.3]);
+        let b = table(vec![0.3, 0.7]);
+
+        let mut probe = SolverWorkspace::new();
+        scheduler
+            .solve_with_workspace(&ctx, &a, &mut probe)
+            .unwrap();
+        let cost_a = probe.last_solve_cost().unwrap();
+
+        let mut ws = SolverWorkspace::new();
+        scheduler.solve_with_workspace(&ctx, &a, &mut ws).unwrap();
+        scheduler.solve_with_workspace(&ctx, &b, &mut ws).unwrap();
+        ws.set_budget(Some(cost_a - 1));
+        let reuses_before = ws.stats().graph_reuses;
+        let warm = scheduler.solve_with_workspace(&ctx, &a, &mut ws);
+
+        let mut cold_ws = SolverWorkspace::new();
+        cold_ws.set_budget(Some(cost_a - 1));
+        let cold = scheduler.solve_with_workspace(&ctx, &a, &mut cold_ws);
+        assert_eq!(warm, cold);
+        assert!(matches!(warm, Err(SchedError::SolveBudgetExceeded { .. })));
+        // The abort must not have consumed (or evicted) the pool entry.
+        assert_eq!(ws.stats().graph_reuses, reuses_before);
+        ws.set_budget(Some(cost_a));
+        let ok = scheduler.solve_with_workspace(&ctx, &a, &mut ws).unwrap();
+        assert_eq!(ws.stats().graph_reuses, reuses_before + 1);
+        let cold_ok = scheduler.solve(&ctx, &a).unwrap();
+        assert_bit_identical(&cold_ok, &ok, &ctx);
     }
 
     #[test]

@@ -49,6 +49,15 @@ pub enum Stage {
     FaultInject,
     /// The degradation ladder changed rung (`arg` = new rung, 0..=3).
     Ladder,
+    /// Admission control shed reschedule requests this tick
+    /// (`arg` = requests shed).
+    Shed,
+    /// A stream's circuit breaker opened and the stream entered
+    /// quarantine (`arg` = stream id).
+    Quarantine,
+    /// A budgeted solve crossed its work budget and aborted
+    /// (`arg` = work units spent at the abort).
+    BudgetAbort,
     /// A whole trace/serve run (the root span of an export).
     Run,
 }
@@ -72,6 +81,9 @@ impl Stage {
             Stage::Tick => "tick",
             Stage::FaultInject => "fault_inject",
             Stage::Ladder => "ladder",
+            Stage::Shed => "shed",
+            Stage::Quarantine => "quarantine",
+            Stage::BudgetAbort => "budget_abort",
             Stage::Run => "run",
         }
     }
@@ -83,7 +95,11 @@ impl Stage {
             Stage::PoolHit | Stage::MemoHit | Stage::CacheHit | Stage::CacheMiss => "cache",
             Stage::DriftDetect | Stage::Adopt => "adapt",
             Stage::Coalesce | Stage::FanOut | Stage::Tick => "serve",
-            Stage::FaultInject | Stage::Ladder => "resilience",
+            Stage::FaultInject
+            | Stage::Ladder
+            | Stage::Shed
+            | Stage::Quarantine
+            | Stage::BudgetAbort => "resilience",
             Stage::Run => "run",
         }
     }
@@ -141,6 +157,9 @@ mod tests {
             Stage::Tick,
             Stage::FaultInject,
             Stage::Ladder,
+            Stage::Shed,
+            Stage::Quarantine,
+            Stage::BudgetAbort,
             Stage::Run,
         ];
         let mut names: Vec<&str> = all.iter().map(|s| s.name()).collect();

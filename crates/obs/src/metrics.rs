@@ -36,10 +36,16 @@ pub enum Counter {
     FaultsInjected,
     /// Degradation-ladder transitions.
     LadderTransitions,
+    /// Reschedule requests shed by admission control.
+    ShedRequests,
+    /// Circuit-breaker openings (streams entering quarantine).
+    QuarantineEvents,
+    /// Solves aborted by the work-budget watchdog.
+    BudgetExceededSolves,
 }
 
 /// All counters, in snapshot/export order.
-pub const COUNTERS: [Counter; 10] = [
+pub const COUNTERS: [Counter; 13] = [
     Counter::Instances,
     Counter::DeadlineMisses,
     Counter::SolverCalls,
@@ -50,6 +56,9 @@ pub const COUNTERS: [Counter; 10] = [
     Counter::CoalescedRequests,
     Counter::FaultsInjected,
     Counter::LadderTransitions,
+    Counter::ShedRequests,
+    Counter::QuarantineEvents,
+    Counter::BudgetExceededSolves,
 ];
 
 impl Counter {
@@ -65,6 +74,9 @@ impl Counter {
             Counter::CoalescedRequests => 7,
             Counter::FaultsInjected => 8,
             Counter::LadderTransitions => 9,
+            Counter::ShedRequests => 10,
+            Counter::QuarantineEvents => 11,
+            Counter::BudgetExceededSolves => 12,
         }
     }
 
@@ -81,6 +93,9 @@ impl Counter {
             Counter::CoalescedRequests => "coalesced_requests",
             Counter::FaultsInjected => "faults_injected",
             Counter::LadderTransitions => "ladder_transitions",
+            Counter::ShedRequests => "shed_requests",
+            Counter::QuarantineEvents => "quarantine_events",
+            Counter::BudgetExceededSolves => "budget_exceeded_solves",
         }
     }
 }

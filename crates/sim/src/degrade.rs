@@ -116,6 +116,11 @@ pub struct DegradeStats {
     /// Re-schedules that failed with a `SchedError` and kept the
     /// last-known-good solution.
     pub failed_reschedules: usize,
+    /// Solves aborted by the per-solve work budget (see
+    /// [`ctg_sched::WorkMeter`]); each abort keeps the last-known-good
+    /// solution and, from [`Rung::Normal`], escalates straight onto the
+    /// guard-band rung.
+    pub budget_exceeded: usize,
 }
 
 /// What the watchdog decided after absorbing one verdict.
@@ -196,6 +201,24 @@ impl Watchdog {
             self.window.clear();
             self.rung = next;
             return WatchdogVerdict::Relax(next);
+        }
+        WatchdogVerdict::Hold
+    }
+
+    /// Absorbs a budget-exceeded solve abort.
+    ///
+    /// A solve that blows its work budget is direct evidence that the
+    /// solver cannot keep up, so from [`Rung::Normal`] the ladder jumps
+    /// straight onto the guard-band rung (clearing the window, like any
+    /// rung change). On higher rungs the event is already covered by the
+    /// active mitigation and the watchdog holds; the deadline verdicts of
+    /// the frozen plan keep driving further escalation if needed.
+    pub fn record_budget_exceeded(&mut self) -> WatchdogVerdict {
+        if self.rung == Rung::Normal {
+            self.window.clear();
+            self.misses = 0;
+            self.rung = Rung::GuardBand;
+            return WatchdogVerdict::Escalate(Rung::GuardBand);
         }
         WatchdogVerdict::Hold
     }
@@ -293,5 +316,72 @@ mod tests {
         w.reset();
         assert_eq!(w.rung(), Rung::Normal);
         assert_eq!(w.window_misses(), 0);
+    }
+
+    #[test]
+    fn rungs_are_totally_ordered_most_capable_first() {
+        assert!(Rung::Normal < Rung::GuardBand);
+        assert!(Rung::GuardBand < Rung::SafeMode);
+        assert!(Rung::SafeMode < Rung::Unschedulable);
+        // Escalation follows exactly that order and saturates at the bottom.
+        assert_eq!(Rung::Normal.escalated(), Rung::GuardBand);
+        assert_eq!(Rung::GuardBand.escalated(), Rung::SafeMode);
+        assert_eq!(Rung::SafeMode.escalated(), Rung::Unschedulable);
+        assert_eq!(Rung::Unschedulable.escalated(), Rung::Unschedulable);
+        // Relaxation walks the same ladder back up and saturates at the top.
+        assert_eq!(Rung::Unschedulable.relaxed(), Rung::SafeMode);
+        assert_eq!(Rung::SafeMode.relaxed(), Rung::GuardBand);
+        assert_eq!(Rung::GuardBand.relaxed(), Rung::Normal);
+        assert_eq!(Rung::Normal.relaxed(), Rung::Normal);
+    }
+
+    #[test]
+    fn escalation_clears_the_window_each_rung_judged_on_fresh_evidence() {
+        let mut w = Watchdog::new(cfg(4, 2)).unwrap();
+        w.record(false);
+        assert_eq!(w.record(false), WatchdogVerdict::Escalate(Rung::GuardBand));
+        // The two misses that caused the escalation must not count against
+        // the new rung.
+        assert_eq!(w.window_misses(), 0);
+        assert_eq!(w.record(false), WatchdogVerdict::Hold);
+        assert_eq!(w.rung(), Rung::GuardBand);
+    }
+
+    #[test]
+    fn budget_exceeded_escalates_to_guard_band_from_normal_only() {
+        let mut w = Watchdog::new(cfg(4, 2)).unwrap();
+        w.record(false); // pending miss in the window
+        assert_eq!(
+            w.record_budget_exceeded(),
+            WatchdogVerdict::Escalate(Rung::GuardBand)
+        );
+        assert_eq!(w.rung(), Rung::GuardBand);
+        // The jump cleared the window, like any rung change.
+        assert_eq!(w.window_misses(), 0);
+        // On guard-band (or deeper) the event holds: the mitigation is
+        // already active.
+        assert_eq!(w.record_budget_exceeded(), WatchdogVerdict::Hold);
+        assert_eq!(w.rung(), Rung::GuardBand);
+        w.record(false);
+        w.record(false);
+        assert_eq!(w.rung(), Rung::SafeMode);
+        assert_eq!(w.record_budget_exceeded(), WatchdogVerdict::Hold);
+        assert_eq!(w.rung(), Rung::SafeMode);
+    }
+
+    #[test]
+    fn budget_exceeded_rung_recovers_through_clean_windows() {
+        let mut w = Watchdog::new(cfg(2, 2)).unwrap();
+        assert_eq!(
+            w.record_budget_exceeded(),
+            WatchdogVerdict::Escalate(Rung::GuardBand)
+        );
+        assert_eq!(w.record(true), WatchdogVerdict::Hold);
+        assert_eq!(w.record(true), WatchdogVerdict::Relax(Rung::Normal));
+        // And reset also works from the budget-entered rung.
+        w.record_budget_exceeded();
+        assert_eq!(w.rung(), Rung::GuardBand);
+        w.reset();
+        assert_eq!(w.rung(), Rung::Normal);
     }
 }

@@ -22,6 +22,14 @@
 //! instance under the same plan produce bit-identical results — and instances
 //! are statistically independent of each other.
 //!
+//! Faults in real systems cluster (thermal events, interference storms), so
+//! a plan can additionally carry a [`BurstModel`]: a two-state
+//! Gilbert–Elliott modulator whose *bad* state multiplies every rate. The
+//! burst chain draws from its own salted seed stream — one transition draw
+//! per instance index, independent of the per-instance fault draws — so the
+//! state of instance *i* is a pure function of `(plan.seed, i)` and burst
+//! plans stay exactly as deterministic as plain ones.
+//!
 //! With every rate at zero, [`simulate_instance_faulty`] reproduces
 //! [`simulate_instance`](crate::simulate_instance) **bit-for-bit**: the
 //! fault-free arithmetic path is byte-identical, faults only ever add terms.
@@ -59,7 +67,35 @@ pub struct FaultPlan {
     pub retransmit_rate: f64,
     /// Retransmit severity: communication delay × this (≥ 1).
     pub retransmit_factor: f64,
+    /// Optional Gilbert–Elliott burst modulator over all four rates.
+    /// `None` leaves the plan bit-identical to a plan without burst
+    /// support.
+    pub burst: Option<BurstModel>,
 }
+
+/// Two-state Gilbert–Elliott burst modulator.
+///
+/// The chain starts in the *good* state at instance 0 and makes one
+/// transition draw per instance: from good it turns bad with probability
+/// `p_enter`, from bad it recovers with probability `p_exit`. While bad,
+/// every fault rate of the plan is multiplied by `rate_multiplier`
+/// (clamped to 1), producing correlated fault bursts whose expected length
+/// is `1 / p_exit` instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstModel {
+    /// Per-instance probability of entering the bursty state.
+    pub p_enter: f64,
+    /// Per-instance probability of leaving the bursty state.
+    pub p_exit: f64,
+    /// Multiplier applied to every fault rate while bursty (≥ 1; the
+    /// boosted rates are clamped to 1).
+    pub rate_multiplier: f64,
+}
+
+/// Salt separating the burst chain's seed stream from the per-instance
+/// fault streams, so adding a burst model never perturbs the non-burst
+/// draws of the same plan seed.
+const BURST_SALT: u64 = 0x6269_7473_7572_6221;
 
 impl Default for FaultPlan {
     fn default() -> Self {
@@ -80,6 +116,7 @@ impl FaultPlan {
             dvfs_levels: vec![0.25, 0.5, 0.75, 1.0],
             retransmit_rate: 0.0,
             retransmit_factor: 2.0,
+            burst: None,
         }
     }
 
@@ -131,6 +168,18 @@ impl FaultPlan {
             return Err(SchedError::InvalidParameter(
                 "denial levels must be non-empty ratios in (0, 1]",
             ));
+        }
+        if let Some(b) = &self.burst {
+            if !(rate_ok(b.p_enter) && rate_ok(b.p_exit)) {
+                return Err(SchedError::InvalidParameter(
+                    "burst transition probabilities must lie in [0, 1]",
+                ));
+            }
+            if !(b.rate_multiplier >= 1.0 && b.rate_multiplier.is_finite()) {
+                return Err(SchedError::InvalidParameter(
+                    "burst rate multiplier must be ≥ 1",
+                ));
+            }
         }
         Ok(())
     }
@@ -251,6 +300,12 @@ pub struct FaultInjector {
     denial: Vec<bool>,
     /// Delay multiplier per CTG edge index (1.0 = no retransmit).
     retransmit: Vec<f64>,
+    /// Burst-chain cursor: `burst_bad` is the chain state of instance
+    /// `burst_pos`. Purely a walk cache — the state of any instance is a
+    /// pure function of `(plan.seed, instance)`, the cursor just makes
+    /// sequential resampling O(1) per instance.
+    burst_pos: u64,
+    burst_bad: bool,
 }
 
 impl FaultInjector {
@@ -262,7 +317,35 @@ impl FaultInjector {
             stall: Vec::with_capacity(ctx.platform().num_pes()),
             denial: Vec::with_capacity(ctx.ctg().num_tasks()),
             retransmit: Vec::with_capacity(ctx.ctg().num_edges()),
+            burst_pos: 0,
+            burst_bad: false,
         }
+    }
+
+    /// Walks the Gilbert–Elliott chain to `instance` and returns its state.
+    ///
+    /// Each step draws from its own salted sub-stream
+    /// (`mix(seed ^ BURST_SALT, step)`), so the state of instance `i` is a
+    /// pure function of `(seed, i)`: out-of-order access restarts the walk
+    /// from instance 0 and lands on the identical state.
+    fn burst_state(&mut self, seed: u64, model: &BurstModel, instance: u64) -> bool {
+        if instance < self.burst_pos {
+            self.burst_pos = 0;
+            self.burst_bad = false;
+        }
+        while self.burst_pos < instance {
+            let mut rng = Rng64::seed_from_u64(SplitMix64::mix(seed ^ BURST_SALT, self.burst_pos));
+            let flip = if self.burst_bad {
+                model.p_exit
+            } else {
+                model.p_enter
+            };
+            if rng.gen_bool(flip) {
+                self.burst_bad = !self.burst_bad;
+            }
+            self.burst_pos += 1;
+        }
+        self.burst_bad
     }
 
     /// Samples the fault decisions for `instance` under `plan`.
@@ -294,13 +377,27 @@ impl FaultInjector {
         instance: u64,
     ) -> Result<(), SchedError> {
         plan.validate()?;
+        // Gilbert–Elliott burst modulation: the bad state multiplies every
+        // rate (clamped to 1). A `None` model or the good state leaves each
+        // rate bit-untouched, so non-burst plans draw exactly as before.
+        let multiplier = match &plan.burst {
+            Some(m) if self.burst_state(plan.seed, m, instance) => m.rate_multiplier,
+            _ => 1.0,
+        };
+        let rate = |r: f64| {
+            if multiplier == 1.0 {
+                r
+            } else {
+                (r * multiplier).min(1.0)
+            }
+        };
         let mut rng = Rng64::seed_from_u64(SplitMix64::mix(plan.seed, instance));
         let n = ctx.ctg().num_tasks();
         let horizon = ctx.ctg().deadline().max(0.0);
 
         self.overrun.clear();
         self.overrun.extend((0..n).map(|_| {
-            if rng.gen_bool(plan.overrun_rate) {
+            if rng.gen_bool(rate(plan.overrun_rate)) {
                 plan.overrun_factor
             } else {
                 1.0
@@ -308,7 +405,7 @@ impl FaultInjector {
         }));
         self.stall.clear();
         self.stall.extend((0..ctx.platform().num_pes()).map(|_| {
-            if rng.gen_bool(plan.stall_rate) {
+            if rng.gen_bool(rate(plan.stall_rate)) {
                 let from = if horizon > 0.0 {
                     rng.gen_range(0.0..horizon)
                 } else {
@@ -321,10 +418,10 @@ impl FaultInjector {
         }));
         self.denial.clear();
         self.denial
-            .extend((0..n).map(|_| rng.gen_bool(plan.dvfs_denial_rate)));
+            .extend((0..n).map(|_| rng.gen_bool(rate(plan.dvfs_denial_rate))));
         self.retransmit.clear();
         self.retransmit.extend((0..ctx.ctg().num_edges()).map(|_| {
-            if rng.gen_bool(plan.retransmit_rate) {
+            if rng.gen_bool(rate(plan.retransmit_rate)) {
                 plan.retransmit_factor
             } else {
                 1.0
@@ -707,6 +804,114 @@ mod tests {
             ..FaultPlan::none(0)
         };
         assert!(simulate_instance_faulty(&ctx, &solution, &v, &bad_levels, 0).is_err());
+    }
+
+    #[test]
+    fn burst_that_never_enters_is_bit_identical_to_no_burst() {
+        let (ctx, solution) = setup(60.0);
+        let base = FaultPlan::uniform(7, 0.3);
+        let dormant = FaultPlan {
+            burst: Some(BurstModel {
+                p_enter: 0.0,
+                p_exit: 0.5,
+                rate_multiplier: 8.0,
+            }),
+            ..base.clone()
+        };
+        let v = DecisionVector::new(vec![0, 1]);
+        for i in 0..16u64 {
+            let (a, la) = simulate_instance_faulty(&ctx, &solution, &v, &base, i).unwrap();
+            let (b, lb) = simulate_instance_faulty(&ctx, &solution, &v, &dormant, i).unwrap();
+            assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+            assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+            assert_eq!(la, lb);
+        }
+    }
+
+    #[test]
+    fn burst_raises_fault_pressure_deterministically() {
+        let (ctx, solution) = setup(60.0);
+        let base = FaultPlan::uniform(7, 0.02);
+        let bursty = FaultPlan {
+            burst: Some(BurstModel {
+                p_enter: 0.3,
+                p_exit: 0.2,
+                rate_multiplier: 25.0,
+            }),
+            ..base.clone()
+        };
+        let v = DecisionVector::new(vec![0, 1]);
+        let total = |plan: &FaultPlan| -> usize {
+            (0..64u64)
+                .map(|i| {
+                    simulate_instance_faulty(&ctx, &solution, &v, plan, i)
+                        .unwrap()
+                        .1
+                        .stats
+                        .total()
+                })
+                .sum()
+        };
+        let calm = total(&base);
+        let stormy = total(&bursty);
+        assert!(
+            stormy > calm,
+            "a 25× burst multiplier must inject more faults ({stormy} vs {calm})"
+        );
+        // Re-running the bursty sweep reproduces it exactly.
+        assert_eq!(total(&bursty), stormy);
+    }
+
+    #[test]
+    fn burst_state_is_pure_under_out_of_order_resampling() {
+        let (ctx, solution) = setup(60.0);
+        let plan = FaultPlan {
+            burst: Some(BurstModel {
+                p_enter: 0.4,
+                p_exit: 0.3,
+                rate_multiplier: 10.0,
+            }),
+            ..FaultPlan::uniform(21, 0.1)
+        };
+        // One injector visiting instances out of order must draw exactly
+        // what fresh injectors draw for each instance.
+        let mut walker = FaultInjector::empty(&ctx);
+        for &i in &[5u64, 2, 9, 9, 0, 63] {
+            walker.resample(&plan, &ctx, i).unwrap();
+            let fresh = FaultInjector::for_instance(&plan, &ctx, i).unwrap();
+            assert_eq!(walker.overrun, fresh.overrun, "instance {i}: overrun");
+            assert_eq!(walker.stall, fresh.stall, "instance {i}: stall");
+            assert_eq!(walker.denial, fresh.denial, "instance {i}: denial");
+            assert_eq!(
+                walker.retransmit, fresh.retransmit,
+                "instance {i}: retransmit"
+            );
+        }
+        let _ = solution;
+    }
+
+    #[test]
+    fn invalid_burst_models_rejected() {
+        let (ctx, solution) = setup(60.0);
+        let v = DecisionVector::new(vec![0, 0]);
+        let bad_prob = FaultPlan {
+            burst: Some(BurstModel {
+                p_enter: 1.5,
+                p_exit: 0.5,
+                rate_multiplier: 2.0,
+            }),
+            ..FaultPlan::uniform(0, 0.1)
+        };
+        assert!(simulate_instance_faulty(&ctx, &solution, &v, &bad_prob, 0).is_err());
+        let bad_mult = FaultPlan {
+            burst: Some(BurstModel {
+                p_enter: 0.5,
+                p_exit: 0.5,
+                rate_multiplier: 0.5,
+            }),
+            ..FaultPlan::uniform(0, 0.1)
+        };
+        assert!(simulate_instance_faulty(&ctx, &solution, &v, &bad_mult, 0).is_err());
     }
 
     #[test]

@@ -71,7 +71,8 @@ mod summary;
 pub use degrade::{DegradeConfig, DegradeStats, Rung, Watchdog, WatchdogVerdict};
 pub use estimate::{monte_carlo_energy, McEstimate};
 pub use fault::{
-    simulate_instance_faulty, FaultEvent, FaultInjector, FaultLog, FaultPlan, FaultStats,
+    simulate_instance_faulty, BurstModel, FaultEvent, FaultInjector, FaultLog, FaultPlan,
+    FaultStats,
 };
 pub use instance::{
     simulate_instance, simulate_instance_with_overhead, DvfsOverhead, InstanceOutcome,
@@ -90,7 +91,7 @@ pub use runner::{
     FAULTY_INSTANCE_COST,
 };
 pub use serve::{
-    run_serve, CacheMode, ServeConfig, ServeReport, ServeStats, SharedScheduleCache, StreamSpec,
-    StreamSummary, SERVE_SHARDS_ENV,
+    run_serve, AdmissionConfig, CacheMode, QuarantineConfig, ServeConfig, ServeReport, ServeStats,
+    SharedScheduleCache, StreamSpec, StreamSummary, SERVE_SHARDS_ENV,
 };
 pub use summary::ExecStats;

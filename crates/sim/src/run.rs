@@ -53,7 +53,9 @@ use crate::degrade::DegradeConfig;
 use crate::fault::FaultPlan;
 use crate::pool;
 use crate::runner::{self, PeriodicSummary, RunSummary};
-use crate::serve::{self, CacheMode, ServeConfig, ServeReport, StreamSpec};
+use crate::serve::{
+    self, AdmissionConfig, CacheMode, QuarantineConfig, ServeConfig, ServeReport, StreamSpec,
+};
 use ctg_model::DecisionVector;
 use ctg_obs::Obs;
 use ctg_sched::{AdaptiveScheduler, SchedContext, SchedError, Solution};
@@ -89,6 +91,15 @@ pub struct RunConfig {
     /// Protect adaptive runs with the graceful-degradation ladder
     /// ([`Runner::run_adaptive`] uses the resilient engine when set).
     pub degrade: Option<DegradeConfig>,
+    /// Per-solve work budget in solver work units, applied to
+    /// [`Runner::serve`] workers and [`Runner::run_adaptive`] managers.
+    /// `None` (the default) never aborts a solve.
+    pub solve_budget: Option<u64>,
+    /// Admission control for [`Runner::serve`]: cap per-tick reschedule
+    /// demand and shed the excess deterministically.
+    pub admission: Option<AdmissionConfig>,
+    /// Per-stream quarantine circuit breaker for [`Runner::serve`].
+    pub quarantine: Option<QuarantineConfig>,
     /// Telemetry handle. [`Obs::disabled`] (the default) costs one branch
     /// per would-be event; an enabled handle records spans, instants and
     /// metrics without changing a single simulated bit.
@@ -114,6 +125,9 @@ impl RunConfig {
             quantum: 0.1,
             fault_plan: None,
             degrade: None,
+            solve_budget: None,
+            admission: None,
+            quarantine: None,
             obs: Obs::disabled(),
         }
     }
@@ -193,6 +207,27 @@ impl RunConfig {
         self
     }
 
+    /// Caps every solve at `budget` work units.
+    #[must_use]
+    pub fn solve_budget(mut self, budget: u64) -> Self {
+        self.solve_budget = Some(budget);
+        self
+    }
+
+    /// Enables serve-engine admission control.
+    #[must_use]
+    pub fn admission(mut self, cfg: AdmissionConfig) -> Self {
+        self.admission = Some(cfg);
+        self
+    }
+
+    /// Enables the serve engine's per-stream quarantine breaker.
+    #[must_use]
+    pub fn quarantine(mut self, cfg: QuarantineConfig) -> Self {
+        self.quarantine = Some(cfg);
+        self
+    }
+
     /// Attaches a telemetry handle.
     #[must_use]
     pub fn obs(mut self, obs: Obs) -> Self {
@@ -208,6 +243,9 @@ impl RunConfig {
             cache: self.cache,
             coalesce: self.coalesce,
             quantum: self.quantum,
+            solve_budget: self.solve_budget,
+            admission: self.admission,
+            quarantine: self.quarantine,
         }
     }
 }
@@ -293,6 +331,11 @@ impl Runner {
     /// (a missing plan defaults to [`FaultPlan::none`], a missing ladder
     /// config to [`DegradeConfig::default`]).
     ///
+    /// A configured [`solve_budget`](RunConfig::solve_budget) is installed
+    /// on the manager: the resilient engine absorbs budget aborts (keeping
+    /// the last plan and escalating the ladder), the plain engine
+    /// propagates them like any other solve failure.
+    ///
     /// # Errors
     ///
     /// Propagates vector-arity mismatches; the plain engine additionally
@@ -305,6 +348,8 @@ impl Runner {
         vectors: &[DecisionVector],
     ) -> Result<(RunSummary, AdaptiveScheduler), SchedError> {
         let obs = &self.cfg.obs;
+        let mut manager = manager;
+        manager.set_solve_budget(self.cfg.solve_budget);
         if self.cfg.fault_plan.is_none() && self.cfg.degrade.is_none() {
             return runner::adaptive_run(ctx, manager, vectors, obs);
         }
@@ -382,7 +427,10 @@ mod tests {
             .coalesce(false)
             .quantum(0.25)
             .fault_plan(FaultPlan::none(3))
-            .degrade(DegradeConfig::default());
+            .degrade(DegradeConfig::default())
+            .solve_budget(5000)
+            .admission(AdmissionConfig { high_water: 3 })
+            .quarantine(QuarantineConfig::default());
         assert_eq!(cfg.workers, 4);
         assert_eq!(cfg.min_batch, 0);
         assert_eq!(cfg.shards, 7);
@@ -390,9 +438,13 @@ mod tests {
         assert!(!cfg.coalesce);
         assert!(cfg.fault_plan.is_some());
         assert!(cfg.degrade.is_some());
+        assert_eq!(cfg.solve_budget, Some(5000));
         let sc = cfg.serve_config();
         assert_eq!(sc.workers, 4);
         assert_eq!(sc.shards, 7);
+        assert_eq!(sc.solve_budget, Some(5000));
+        assert_eq!(sc.admission, Some(AdmissionConfig { high_water: 3 }));
+        assert_eq!(sc.quarantine, Some(QuarantineConfig::default()));
         assert!(!cfg.obs.enabled());
     }
 

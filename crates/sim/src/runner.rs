@@ -595,7 +595,24 @@ pub(crate) fn adaptive_resilient_run(
         }
         if watchdog.rung() <= Rung::GuardBand {
             let outcome = manager.observe_resilient(ctx, v)?;
+            let budget_hit = matches!(
+                &outcome,
+                ObserveOutcome::SolveFailed(SchedError::SolveBudgetExceeded { .. })
+            );
             note_outcome(&mut summary, outcome);
+            if budget_hit {
+                // A blown solve budget is overload evidence on its own:
+                // escalate straight onto the guard band (from Normal) so
+                // the cheaper guard-banded solves take over, rather than
+                // waiting for deadline misses to accumulate.
+                summary.degrade.budget_exceeded += 1;
+                if let WatchdogVerdict::Escalate(rung) = watchdog.record_budget_exceeded() {
+                    summary.degrade.guard_band_escalations += 1;
+                    note_ladder(obs, rung);
+                    manager.set_deadline_guard(cfg.guard_band)?;
+                    note_outcome(&mut summary, manager.resolve_now(ctx));
+                }
+            }
         } else {
             // Safe mode / unschedulable: profile only, keep speeds pinned.
             manager.record_observation(ctx, v)?;

@@ -43,6 +43,30 @@
 //! counters* are the one exception: under eviction pressure the shared
 //! LRU's recency order depends on stripe-lock interleaving, so hit/miss
 //! tallies may wobble with the worker count — adopted plans never do.
+//!
+//! # Overload resilience
+//!
+//! Three optional mechanisms bound scheduling work under saturation while
+//! preserving the determinism contract (DESIGN.md §14):
+//!
+//! * **Solve budgets** ([`ServeConfig::solve_budget`]) — every worker
+//!   solve runs under a [`ctg_sched::WorkMeter`]; a solve whose
+//!   deterministic work-unit cost exceeds the budget aborts with
+//!   [`SchedError::SolveBudgetExceeded`] and the requesting streams keep
+//!   their last adopted plan. The abort verdict is a pure function of the
+//!   requested table (warm paths re-charge stored costs), so it is
+//!   identical across warm/cold workspaces and cache modes.
+//! * **Admission control** ([`ServeConfig::admission`]) — each tick's
+//!   drift requests are capped at a high-water mark; the excess is shed in
+//!   a total order (lowest [`StreamSpec::criticality`] first, highest
+//!   stream id first among equals) that is invariant across workers,
+//!   shards and cache modes. Shed streams keep their plan and record the
+//!   event in [`StreamSummary::shed`].
+//! * **Quarantine** ([`ServeConfig::quarantine`]) — a per-stream circuit
+//!   breaker counts budget strikes in a sliding window; too many strikes
+//!   freeze the stream's plan for an exponentially backed-off number of
+//!   ticks, after which one half-open probe solve decides between
+//!   re-admission and a doubled backoff.
 
 use crate::fault::{FaultInjector, FaultLog, FaultPlan, FaultStats};
 use crate::instance::SimWorkspace;
@@ -56,7 +80,7 @@ use ctg_sched::{
     ScheduleKey, Solution, SolverWorkspace,
 };
 use std::collections::hash_map::{DefaultHasher, Entry};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, OnceLock, RwLock};
@@ -101,6 +125,88 @@ pub enum CacheMode {
     },
 }
 
+/// Admission-control configuration: per-tick reschedule demand is capped
+/// at a high-water mark and the excess is shed deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum solve requests admitted per tick. Requests beyond the mark
+    /// are shed in ascending ([`StreamSpec::criticality`], reversed stream
+    /// id) priority: the lowest-criticality requests go first, and among
+    /// equals the highest stream id — a total order, so the shed set is a
+    /// pure function of the tick's request set.
+    pub high_water: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig { high_water: 64 }
+    }
+}
+
+impl AdmissionConfig {
+    fn validate(&self) -> Result<(), SchedError> {
+        if self.high_water == 0 {
+            return Err(SchedError::InvalidParameter(
+                "admission high-water mark must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Per-stream circuit-breaker configuration driving quarantine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineConfig {
+    /// Budget strikes within [`window`](Self::window) that trip the
+    /// breaker.
+    pub strikes: usize,
+    /// Sliding window (in solve outcomes) the strikes are counted over.
+    pub window: usize,
+    /// Initial quarantine length in ticks; after it expires one half-open
+    /// probe solve is allowed.
+    pub backoff: usize,
+    /// Backoff cap: a failed probe doubles the backoff up to this many
+    /// ticks.
+    pub backoff_max: usize,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> Self {
+        QuarantineConfig {
+            strikes: 3,
+            window: 16,
+            backoff: 8,
+            backoff_max: 256,
+        }
+    }
+}
+
+impl QuarantineConfig {
+    fn validate(&self) -> Result<(), SchedError> {
+        if self.strikes == 0 {
+            return Err(SchedError::InvalidParameter(
+                "quarantine strike budget must be positive",
+            ));
+        }
+        if self.window < self.strikes {
+            return Err(SchedError::InvalidParameter(
+                "quarantine window must hold at least the strike budget",
+            ));
+        }
+        if self.backoff == 0 {
+            return Err(SchedError::InvalidParameter(
+                "quarantine backoff must be positive",
+            ));
+        }
+        if self.backoff_max < self.backoff {
+            return Err(SchedError::InvalidParameter(
+                "quarantine backoff cap must be at least the initial backoff",
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -120,6 +226,17 @@ pub struct ServeConfig {
     /// exact-probability guard decides — it just trades bucket collisions
     /// against map size.
     pub quantum: f64,
+    /// Per-solve work budget in solver work units (DLS candidate
+    /// evaluations + path-enumeration steps), applied to every worker
+    /// solve. `None` disables budgeting; tick-0 setup solves are always
+    /// exempt (there is no plan to fall back on yet).
+    pub solve_budget: Option<u64>,
+    /// Admission control; `None` admits every request (baseline
+    /// behaviour, bit-exact with pre-overload engines).
+    pub admission: Option<AdmissionConfig>,
+    /// Per-stream quarantine circuit breaker; `None` never freezes a
+    /// stream.
+    pub quarantine: Option<QuarantineConfig>,
 }
 
 impl Default for ServeConfig {
@@ -133,6 +250,9 @@ impl Default for ServeConfig {
             },
             coalesce: true,
             quantum: 0.1,
+            solve_budget: None,
+            admission: None,
+            quarantine: None,
         }
     }
 }
@@ -151,11 +271,15 @@ pub struct StreamSpec {
     /// Optional fault plan (instance `i` draws faults from the sub-stream
     /// `mix(plan.seed, i)`, so give each stream its own seed).
     pub fault_plan: Option<FaultPlan>,
+    /// Admission-control priority: under overload, lower-criticality
+    /// streams are shed first (ties broken by stream id). Ignored when
+    /// [`ServeConfig::admission`] is `None`.
+    pub criticality: u8,
 }
 
 impl StreamSpec {
     /// A stream with the bench's default profiler (window 20, threshold
-    /// 0.1) and no faults.
+    /// 0.1), no faults and criticality 0.
     pub fn new(trace: Vec<DecisionVector>, initial_probs: BranchProbs) -> Self {
         StreamSpec {
             trace,
@@ -163,6 +287,7 @@ impl StreamSpec {
             window: 20,
             threshold: 0.1,
             fault_plan: None,
+            criticality: 0,
         }
     }
 }
@@ -180,6 +305,16 @@ pub struct StreamSummary {
     pub reschedules: usize,
     /// Injected-fault accounting (all-zero for fault-free streams).
     pub faults: FaultStats,
+    /// Solve requests shed by admission control (the stream kept its last
+    /// adopted plan).
+    pub shed: usize,
+    /// Solves for this stream aborted by the work budget (counted per
+    /// requester, so coalescing does not change it).
+    pub budget_exceeded: usize,
+    /// Times the stream's circuit breaker tripped into quarantine.
+    pub quarantines: usize,
+    /// Ticks spent frozen in quarantine (drift checks suppressed).
+    pub quarantined_ticks: usize,
 }
 
 impl std::fmt::Display for StreamSummary {
@@ -221,6 +356,15 @@ pub struct ServeStats {
     pub shared_hit_requests: usize,
     /// Groups that ran the warm solver.
     pub solver_calls: usize,
+    /// Requests shed by admission control (sum of [`StreamSummary::shed`]).
+    pub shed_requests: usize,
+    /// Budget-aborted solves counted per requester (sum of
+    /// [`StreamSummary::budget_exceeded`]).
+    pub budget_exceeded: usize,
+    /// Circuit-breaker trips (sum of [`StreamSummary::quarantines`]).
+    pub quarantines: usize,
+    /// Frozen stream-ticks (sum of [`StreamSummary::quarantined_ticks`]).
+    pub quarantined_ticks: usize,
     /// Wall-clock seconds of the whole run (measured).
     pub wall_s: f64,
 }
@@ -240,6 +384,11 @@ impl ServeStats {
     /// made; 0 for a drift-free run).
     pub fn coalescing_factor(&self) -> f64 {
         ratio(self.requests, self.groups)
+    }
+
+    /// Fraction of solve requests shed by admission control.
+    pub fn shed_rate(&self) -> f64 {
+        ratio(self.shed_requests, self.requests)
     }
 
     /// Adopted re-schedules per wall-clock second (aggregate).
@@ -391,6 +540,114 @@ struct GroupOutcome {
     from_shared: bool,
 }
 
+/// Circuit-breaker phase (the quarantine state machine's node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Normal operation; strikes are counted in a sliding window.
+    Closed,
+    /// Quarantined: the plan is frozen for every tick `< until_tick`.
+    Open { until_tick: usize },
+    /// Quarantine expired: the next solve is a probe deciding between
+    /// re-admission (success) and a doubled backoff (strike).
+    HalfOpen,
+}
+
+/// Per-stream circuit breaker: repeated budget-exceeded solves quarantine
+/// the stream into frozen-plan mode with deterministic exponential
+/// backoff. Driven only by solve verdicts — which are pure functions of
+/// the requested table — and the lockstep tick counter, so its evolution
+/// is identical across workers, shards and cache modes.
+#[derive(Debug)]
+struct Breaker {
+    cfg: QuarantineConfig,
+    state: BreakerState,
+    /// Last `cfg.window` solve outcomes (`true` = budget strike).
+    window: VecDeque<bool>,
+    strikes: usize,
+    /// Current quarantine length; doubles on a failed probe, capped at
+    /// `cfg.backoff_max`, reset on a successful one.
+    backoff: usize,
+}
+
+impl Breaker {
+    fn new(cfg: QuarantineConfig) -> Self {
+        Breaker {
+            state: BreakerState::Closed,
+            window: VecDeque::with_capacity(cfg.window),
+            strikes: 0,
+            backoff: cfg.backoff,
+            cfg,
+        }
+    }
+
+    /// Whether the stream is frozen at `tick`. Flips an expired
+    /// quarantine to the half-open probe state as a side effect.
+    fn is_quarantined(&mut self, tick: usize) -> bool {
+        if let BreakerState::Open { until_tick } = self.state {
+            if tick < until_tick {
+                return true;
+            }
+            self.state = BreakerState::HalfOpen;
+        }
+        false
+    }
+
+    fn push(&mut self, strike: bool) {
+        if self.window.len() == self.cfg.window && self.window.pop_front() == Some(true) {
+            self.strikes -= 1;
+        }
+        self.window.push_back(strike);
+        if strike {
+            self.strikes += 1;
+        }
+    }
+
+    /// A solve for this stream succeeded — or a cache hit proved the
+    /// table affordable (caches only ever store solutions that solved
+    /// within budget, so a hit and a fresh solve reach the same verdict).
+    fn note_success(&mut self) {
+        match self.state {
+            BreakerState::Closed => self.push(false),
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Closed;
+                self.window.clear();
+                self.strikes = 0;
+                self.backoff = self.cfg.backoff;
+            }
+            // Frozen streams issue no solves; a shed request records
+            // nothing, so nothing to do.
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    /// A solve for this stream blew its budget at `tick`; returns `true`
+    /// when this trips the breaker into quarantine.
+    fn note_strike(&mut self, tick: usize) -> bool {
+        match self.state {
+            BreakerState::Closed => {
+                self.push(true);
+                if self.strikes >= self.cfg.strikes {
+                    self.window.clear();
+                    self.strikes = 0;
+                    self.state = BreakerState::Open {
+                        until_tick: tick + self.backoff + 1,
+                    };
+                    return true;
+                }
+                false
+            }
+            BreakerState::HalfOpen => {
+                self.backoff = self.backoff.saturating_mul(2).min(self.cfg.backoff_max);
+                self.state = BreakerState::Open {
+                    until_tick: tick + self.backoff + 1,
+                };
+                true
+            }
+            BreakerState::Open { .. } => false,
+        }
+    }
+}
+
 /// The live state of one stream.
 struct StreamState<'a> {
     id: usize,
@@ -403,6 +660,8 @@ struct StreamState<'a> {
     log: FaultLog,
     /// Own plan cache ([`CacheMode::PerStream`] only).
     cache: Option<LruCache<ScheduleKey, CacheEntry>>,
+    /// Quarantine circuit breaker ([`ServeConfig::quarantine`] only).
+    breaker: Option<Breaker>,
     summary: StreamSummary,
 }
 
@@ -415,9 +674,14 @@ impl StreamSummary {
     /// carries no serde).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"exec\":{},\"reschedules\":{}}}",
+            "{{\"exec\":{},\"reschedules\":{},\"shed\":{},\"budget_exceeded\":{},\
+             \"quarantines\":{},\"quarantined_ticks\":{}}}",
             self.exec.to_json(),
-            self.reschedules
+            self.reschedules,
+            self.shed,
+            self.budget_exceeded,
+            self.quarantines,
+            self.quarantined_ticks
         )
     }
 }
@@ -504,6 +768,12 @@ pub(crate) fn serve_engine(
             FaultInjector::empty(ctx).resample(plan, ctx, 0)?;
         }
     }
+    if let Some(adm) = &cfg.admission {
+        adm.validate()?;
+    }
+    if let Some(q) = &cfg.quarantine {
+        q.validate()?;
+    }
 
     let shards = cfg.shards.max(1);
     let workers = cfg.workers.max(1).min(shards).min(specs.len().max(1));
@@ -550,9 +820,12 @@ pub(crate) fn serve_engine(
             injector: FaultInjector::empty(ctx),
             log: FaultLog::default(),
             cache: per_stream_capacity.map(LruCache::new),
+            breaker: cfg.quarantine.map(Breaker::new),
             summary: StreamSummary::default(),
         });
     }
+    // Criticalities indexed by stream id, for worker 0's shedding pass.
+    let crits: Vec<u8> = specs.iter().map(|s| s.criticality).collect();
 
     let mut per_worker: Vec<Vec<StreamState>> = (0..workers).map(|_| Vec::new()).collect();
     for st in states {
@@ -570,6 +843,9 @@ pub(crate) fn serve_engine(
     let request_slots: Vec<Mutex<Vec<(usize, BranchProbs)>>> =
         (0..workers).map(|_| Mutex::new(Vec::new())).collect();
     let groups: RwLock<Vec<Group>> = RwLock::new(Vec::new());
+    // Stream ids shed by admission control this tick, ascending; written
+    // by worker 0 during grouping, read by owners in phase C.
+    let shed_ids: RwLock<Vec<usize>> = RwLock::new(Vec::new());
     let requests_cum = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
     let first_error: Mutex<Option<SchedError>> = Mutex::new(None);
@@ -586,6 +862,8 @@ pub(crate) fn serve_engine(
             let barrier = &barrier;
             let request_slots = &request_slots;
             let groups = &groups;
+            let shed_ids = &shed_ids;
+            let crits = &crits;
             let requests_cum = &requests_cum;
             let abort = &abort;
             let shared_cache = shared_cache.as_ref();
@@ -595,6 +873,7 @@ pub(crate) fn serve_engine(
                 let track = w as u32;
                 let mut ws = SolverWorkspace::new();
                 ws.set_obs(obs.clone(), track);
+                ws.set_budget(cfg.solve_budget);
                 let mut counters = LocalCounters::default();
                 let mut last_seen = 0usize;
                 let id_to_idx: HashMap<usize, usize> = my_streams
@@ -612,9 +891,16 @@ pub(crate) fn serve_engine(
                     // Phase A: advance my streams by one instance each.
                     let mut local_requests: Vec<(usize, BranchProbs)> = Vec::new();
                     for st in &mut my_streams {
-                        if let Err(e) =
-                            advance_stream(ctx, st, &mut counters, &mut local_requests, obs, track)
-                        {
+                        if let Err(e) = advance_stream(
+                            ctx,
+                            st,
+                            tick,
+                            cfg.admission.is_some(),
+                            &mut counters,
+                            &mut local_requests,
+                            obs,
+                            track,
+                        ) {
                             fail(e);
                         }
                     }
@@ -634,7 +920,16 @@ pub(crate) fn serve_engine(
                     last_seen = now;
                     if any_requests {
                         if w == 0 {
-                            group_requests(ctx, cfg, request_slots, groups, &mut counters, obs);
+                            group_requests(
+                                ctx,
+                                cfg,
+                                crits,
+                                request_slots,
+                                groups,
+                                shed_ids,
+                                &mut counters,
+                                obs,
+                            );
                         }
                         barrier.wait();
                         // Phase B: resolve my share of the groups.
@@ -659,7 +954,15 @@ pub(crate) fn serve_engine(
                             }
                         }
                         barrier.wait();
-                        // Phase C: adopt for my requesting streams.
+                        // Phase C: adopt for my requesting streams. Shed
+                        // streams first: they keep their plan, record the
+                        // event, and their breaker is untouched (a shed is
+                        // not evidence about solve cost).
+                        for &sid in shed_ids.read().expect("shed read").iter() {
+                            if let Some(&idx) = id_to_idx.get(&sid) {
+                                my_streams[idx].summary.shed += 1;
+                            }
+                        }
                         let gs = groups.read().expect("groups read");
                         for g in gs.iter() {
                             let out = g.outcome.get().expect("all groups resolved");
@@ -672,9 +975,27 @@ pub(crate) fn serve_engine(
                                 match &out.result {
                                     Ok(solution) => {
                                         adopt(ctx, st, g, slot, out.from_shared, solution);
+                                        if let Some(b) = st.breaker.as_mut() {
+                                            b.note_success();
+                                        }
                                         my_adopters += 1;
                                         if out.from_shared {
                                             counters.shared_hit_requests += 1;
+                                        }
+                                    }
+                                    Err(SchedError::SolveBudgetExceeded { .. }) => {
+                                        // Overload, not failure: the stream
+                                        // keeps its last adopted plan and the
+                                        // breaker (if any) counts a strike.
+                                        st.summary.budget_exceeded += 1;
+                                        let tripped = st
+                                            .breaker
+                                            .as_mut()
+                                            .is_some_and(|b| b.note_strike(tick));
+                                        if tripped {
+                                            st.summary.quarantines += 1;
+                                            obs.instant(track, Stage::Quarantine, sid as i64);
+                                            obs.count(Counter::QuarantineEvents, 1);
                                         }
                                     }
                                     Err(e) => fail(e.clone()),
@@ -712,7 +1033,20 @@ pub(crate) fn serve_engine(
 
     let mut finished = finished;
     finished.sort_by_key(|st| st.id);
-    debug_assert_eq!(finished.len(), specs.len());
+    // Release-mode invariant: every spec'd stream must come back from the
+    // worker pool exactly once — a mismatch means the shard→worker
+    // partition dropped or duplicated a stream, and silently returning a
+    // truncated report would corrupt every downstream determinism check.
+    assert_eq!(
+        finished.len(),
+        specs.len(),
+        "serve engine stream accounting broken: {} streams returned from \
+         {} workers for {} specs (shards={})",
+        finished.len(),
+        workers,
+        specs.len(),
+        shards
+    );
     let streams: Vec<StreamSummary> = finished.into_iter().map(|st| st.summary).collect();
     let stats = ServeStats {
         streams: streams.len(),
@@ -726,6 +1060,10 @@ pub(crate) fn serve_engine(
         shared_hits: counters.shared_hits,
         shared_hit_requests: counters.shared_hit_requests,
         solver_calls: counters.solver_calls,
+        shed_requests: streams.iter().map(|s| s.shed).sum(),
+        budget_exceeded: streams.iter().map(|s| s.budget_exceeded).sum(),
+        quarantines: streams.iter().map(|s| s.quarantines).sum(),
+        quarantined_ticks: streams.iter().map(|s| s.quarantined_ticks).sum(),
         wall_s: start.elapsed().as_secs_f64(),
     };
     Ok(ServeReport { streams, stats })
@@ -734,9 +1072,19 @@ pub(crate) fn serve_engine(
 /// Phase A for one stream: simulate the next instance under the solution
 /// in force, record the observation, and either satisfy a drift event from
 /// the stream's own cache or queue a solve request.
+///
+/// With admission control on, the per-stream cache fast path is bypassed
+/// and **every** drift candidate becomes a request: the shed decision must
+/// see the tick's full drift set (which is per-stream deterministic) or it
+/// would depend on the cache mode. Quarantined streams skip the drift
+/// check entirely — their plan is frozen; the profiler keeps recording so
+/// a re-admitted stream picks up with current estimates.
+#[allow(clippy::too_many_arguments)]
 fn advance_stream(
     ctx: &SchedContext,
     st: &mut StreamState,
+    tick: usize,
+    admission_on: bool,
     counters: &mut LocalCounters,
     requests: &mut Vec<(usize, BranchProbs)>,
     obs: &Obs,
@@ -767,26 +1115,41 @@ fn advance_stream(
     note_instance(obs, ctx, &outcome);
     st.pos += 1;
     st.mgr.record_observation(ctx, v)?;
+    if let Some(b) = st.breaker.as_mut() {
+        if b.is_quarantined(tick) {
+            st.summary.quarantined_ticks += 1;
+            return Ok(());
+        }
+    }
     let Some(estimated) = st.mgr.drift_candidate(ctx) else {
         return Ok(());
     };
     counters.drift_events += 1;
-    if let Some(cache) = st.cache.as_mut() {
-        let key = ScheduleKey::new(ctx, &estimated, st.mgr.threshold(), 1.0);
-        let hit = cache
-            .get(&key)
-            .filter(|e| e.probs == estimated)
-            .map(|e| e.solution.clone());
-        if let Some(solution) = hit {
-            // Exact-guard hit in the stream's own cache: adopt immediately,
-            // no request. The plan is the solver's own earlier output for
-            // this exact table, so adoption bits cannot differ.
-            counters.per_stream_hits += 1;
-            obs.instant(track, Stage::CacheHit, 1);
-            obs.count(Counter::CacheHits, 1);
-            st.mgr.adopt_candidate(estimated, solution, false);
-            st.sim.rebuild(ctx, st.mgr.solution());
-            return Ok(());
+    if !admission_on {
+        if let Some(cache) = st.cache.as_mut() {
+            let key = ScheduleKey::new(ctx, &estimated, st.mgr.threshold(), 1.0);
+            let hit = cache
+                .get(&key)
+                .filter(|e| e.probs == estimated)
+                .map(|e| e.solution.clone());
+            if let Some(solution) = hit {
+                // Exact-guard hit in the stream's own cache: adopt immediately,
+                // no request. The plan is the solver's own earlier output for
+                // this exact table, so adoption bits cannot differ.
+                counters.per_stream_hits += 1;
+                obs.instant(track, Stage::CacheHit, 1);
+                obs.count(Counter::CacheHits, 1);
+                st.mgr.adopt_candidate(estimated, solution, false);
+                st.sim.rebuild(ctx, st.mgr.solution());
+                // The cached plan solved within budget when it was adopted,
+                // so the hit carries the same verdict a fresh solve would —
+                // the breaker window must see it or its contents would
+                // depend on the cache mode.
+                if let Some(b) = st.breaker.as_mut() {
+                    b.note_success();
+                }
+                return Ok(());
+            }
         }
     }
     requests.push((st.id, estimated));
@@ -794,14 +1157,19 @@ fn advance_stream(
 }
 
 /// Grouping (worker 0, between barriers): drain every worker's request
-/// slot, sort by stream id, and fold identical exact tables into one group
-/// (or one group per request with coalescing off). Deterministic: a pure
-/// function of the tick's request set.
+/// slot, apply admission control, sort by stream id, and fold identical
+/// exact tables into one group (or one group per request with coalescing
+/// off). Deterministic: a pure function of the tick's request set — the
+/// shed order is the total order (criticality desc, stream id asc), so it
+/// cannot depend on which worker queued a request first.
+#[allow(clippy::too_many_arguments)]
 fn group_requests(
     ctx: &SchedContext,
     cfg: &ServeConfig,
+    crits: &[u8],
     request_slots: &[Mutex<Vec<(usize, BranchProbs)>>],
     groups: &RwLock<Vec<Group>>,
+    shed_ids: &RwLock<Vec<usize>>,
     counters: &mut LocalCounters,
     obs: &Obs,
 ) {
@@ -809,8 +1177,27 @@ fn group_requests(
     for slot in request_slots {
         all.append(&mut slot.lock().expect("request slot lock"));
     }
-    all.sort_by_key(|&(id, _)| id);
     let tick_requests = all.len();
+    let mut shed: Vec<usize> = Vec::new();
+    if let Some(adm) = &cfg.admission {
+        if all.len() > adm.high_water {
+            // Admit the `high_water` highest-priority requests: highest
+            // criticality first, lowest stream id among equals.
+            all.sort_by_key(|&(id, _)| (std::cmp::Reverse(crits[id]), id));
+            shed = all
+                .split_off(adm.high_water)
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
+            shed.sort_unstable();
+            // Grouping runs on worker 0 between barriers: track 0 is its
+            // track.
+            obs.instant(0, Stage::Shed, shed.len() as i64);
+            obs.count(Counter::ShedRequests, shed.len() as u64);
+        }
+    }
+    *shed_ids.write().expect("shed write") = shed;
+    all.sort_by_key(|&(id, _)| id);
     let mut new_groups: Vec<Group> = Vec::new();
     if cfg.coalesce {
         let mut index: HashMap<Vec<u64>, usize> = HashMap::new();
@@ -986,6 +1373,7 @@ mod tests {
             window: 4,
             threshold: 0.3,
             fault_plan: None,
+            criticality: 0,
         };
         let report = run_serve(&ctx, &[spec], &ServeConfig::default()).unwrap();
         assert_eq!(report.streams.len(), 1);
@@ -1002,6 +1390,7 @@ mod tests {
             window: 4,
             threshold: 0.3,
             fault_plan: None,
+            criticality: 0,
         };
         assert!(matches!(
             run_serve(&ctx, &[spec], &ServeConfig::default()),
@@ -1025,6 +1414,7 @@ mod tests {
                 window: 4,
                 threshold: 0.3,
                 fault_plan: None,
+                criticality: 0,
             })
             .collect();
         let cfg = ServeConfig {
@@ -1033,6 +1423,7 @@ mod tests {
             cache: CacheMode::Off,
             coalesce: true,
             quantum: 0.1,
+            ..ServeConfig::default()
         };
         let report = run_serve(&ctx, &specs, &cfg).unwrap();
         assert!(report.stats.drift_events > 0, "{:?}", report.stats);
@@ -1076,6 +1467,7 @@ mod tests {
                 window: 4,
                 threshold: 0.3,
                 fault_plan: (i % 2 == 1).then(|| FaultPlan::uniform(0xBEEF + i as u64, 0.05)),
+                criticality: 0,
             })
             .collect();
         let base = ServeConfig {
@@ -1084,6 +1476,7 @@ mod tests {
             cache: CacheMode::Off,
             coalesce: true,
             quantum: 0.1,
+            ..ServeConfig::default()
         };
         let reference = run_serve(&ctx, &specs, &base).unwrap();
         for cache in [
@@ -1101,6 +1494,7 @@ mod tests {
                     cache,
                     coalesce: true,
                     quantum: 0.1,
+                    ..ServeConfig::default()
                 };
                 let report = run_serve(&ctx, &specs, &cfg).unwrap();
                 assert_eq!(
@@ -1123,6 +1517,7 @@ mod tests {
                 },
                 coalesce: true,
                 quantum: 0.1,
+                ..ServeConfig::default()
             },
         )
         .unwrap();
@@ -1131,5 +1526,228 @@ mod tests {
             "recurring regimes must hit the shared cache: {:?}",
             shared.stats
         );
+    }
+
+    #[test]
+    fn invalid_overload_configs_rejected() {
+        let (ctx, probs) = setup();
+        let spec = StreamSpec::new(drifty_trace(8, 0), probs);
+        let bad_admission = ServeConfig {
+            admission: Some(AdmissionConfig { high_water: 0 }),
+            ..ServeConfig::default()
+        };
+        assert!(run_serve(&ctx, std::slice::from_ref(&spec), &bad_admission).is_err());
+        for q in [
+            QuarantineConfig {
+                strikes: 0,
+                ..QuarantineConfig::default()
+            },
+            QuarantineConfig {
+                strikes: 5,
+                window: 4,
+                ..QuarantineConfig::default()
+            },
+            QuarantineConfig {
+                backoff: 0,
+                ..QuarantineConfig::default()
+            },
+            QuarantineConfig {
+                backoff: 8,
+                backoff_max: 4,
+                ..QuarantineConfig::default()
+            },
+        ] {
+            let cfg = ServeConfig {
+                quarantine: Some(q),
+                ..ServeConfig::default()
+            };
+            assert!(
+                run_serve(&ctx, std::slice::from_ref(&spec), &cfg).is_err(),
+                "{q:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn breaker_trips_backs_off_and_readmits() {
+        let cfg = QuarantineConfig {
+            strikes: 2,
+            window: 4,
+            backoff: 2,
+            backoff_max: 5,
+        };
+        let mut b = Breaker::new(cfg);
+        assert!(!b.is_quarantined(0));
+        assert!(!b.note_strike(0), "one strike of two must not trip");
+        assert!(b.note_strike(1), "second strike trips the breaker");
+        // Open for `backoff` ticks after the strike tick, then half-open.
+        assert!(b.is_quarantined(2));
+        assert!(b.is_quarantined(3));
+        assert!(!b.is_quarantined(4), "backoff expired: probe allowed");
+        assert_eq!(b.state, BreakerState::HalfOpen);
+        // Failed probe: backoff doubles (2 → 4) and the breaker re-opens.
+        assert!(b.note_strike(4));
+        assert!((5..=8).all(|t| {
+            let mut c = Breaker {
+                state: b.state,
+                window: b.window.clone(),
+                strikes: b.strikes,
+                backoff: b.backoff,
+                cfg: b.cfg,
+            };
+            c.is_quarantined(t)
+        }));
+        assert!(!b.is_quarantined(9));
+        // Another failed probe: 4 → 8 capped at 5.
+        assert!(b.note_strike(9));
+        assert_eq!(b.backoff, 5);
+        assert!(!b.is_quarantined(15));
+        // Successful probe: closed, fresh window, backoff reset.
+        b.note_success();
+        assert_eq!(b.state, BreakerState::Closed);
+        assert_eq!(b.backoff, cfg.backoff);
+        assert!(!b.note_strike(16), "strike window restarted from empty");
+    }
+
+    #[test]
+    fn breaker_strikes_age_out_of_the_window() {
+        let mut b = Breaker::new(QuarantineConfig {
+            strikes: 2,
+            window: 3,
+            backoff: 2,
+            backoff_max: 8,
+        });
+        assert!(!b.note_strike(0));
+        b.note_success();
+        b.note_success();
+        // The old strike fell out of the 3-outcome window: one more alone
+        // must not trip.
+        assert!(!b.note_strike(3));
+        assert_eq!(b.state, BreakerState::Closed);
+    }
+
+    #[test]
+    fn zero_budget_aborts_every_reschedule_and_quarantines() {
+        let (ctx, probs) = setup();
+        let specs: Vec<StreamSpec> = (0..4)
+            .map(|_| StreamSpec {
+                trace: drifty_trace(48, 0),
+                initial_probs: probs.clone(),
+                window: 4,
+                threshold: 0.3,
+                fault_plan: None,
+                criticality: 0,
+            })
+            .collect();
+        let cfg = ServeConfig {
+            workers: 2,
+            shards: 4,
+            cache: CacheMode::Off,
+            coalesce: true,
+            quantum: 0.1,
+            solve_budget: Some(0),
+            admission: None,
+            quarantine: Some(QuarantineConfig {
+                strikes: 2,
+                window: 8,
+                backoff: 4,
+                backoff_max: 16,
+            }),
+        };
+        let report = run_serve(&ctx, &specs, &cfg).unwrap();
+        // Setup solves are budget-exempt, so the run completes; every
+        // drift-triggered solve aborts and no plan is ever re-adopted.
+        assert!(report.stats.budget_exceeded > 0, "{:?}", report.stats);
+        assert!(report.stats.quarantines > 0, "{:?}", report.stats);
+        assert!(report.stats.quarantined_ticks > 0, "{:?}", report.stats);
+        for s in &report.streams {
+            assert_eq!(s.reschedules, 0, "budget 0 must block every adoption");
+        }
+        // Budget verdicts are per-stream deterministic: a 1-worker run
+        // reaches the identical summaries (quarantine decisions included).
+        let seq = run_serve(
+            &ctx,
+            &specs,
+            &ServeConfig {
+                workers: 1,
+                shards: 1,
+                ..cfg.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(seq.streams, report.streams);
+    }
+
+    #[test]
+    fn admission_sheds_lowest_criticality_first() {
+        let (ctx, probs) = setup();
+        // Four lockstep streams, distinct criticalities: every drift tick
+        // produces four identical requests and high_water 1 admits only
+        // the most critical (id 3).
+        let specs: Vec<StreamSpec> = (0..4)
+            .map(|i| StreamSpec {
+                trace: drifty_trace(48, 0),
+                initial_probs: probs.clone(),
+                window: 4,
+                threshold: 0.3,
+                fault_plan: None,
+                criticality: i as u8,
+            })
+            .collect();
+        let cfg = ServeConfig {
+            workers: 2,
+            shards: 4,
+            cache: CacheMode::Off,
+            coalesce: true,
+            quantum: 0.1,
+            solve_budget: None,
+            admission: Some(AdmissionConfig { high_water: 1 }),
+            quarantine: None,
+        };
+        let report = run_serve(&ctx, &specs, &cfg).unwrap();
+        assert!(report.stats.shed_requests > 0, "{:?}", report.stats);
+        assert_eq!(
+            report.streams[3].shed, 0,
+            "the most critical stream is never shed"
+        );
+        assert!(report.streams[3].reschedules > 0);
+        for s in &report.streams[..3] {
+            assert!(s.shed > 0, "low-criticality lockstep streams are shed");
+        }
+        assert_eq!(
+            report.stats.shed_requests,
+            report.streams.iter().map(|s| s.shed).sum::<usize>()
+        );
+        assert!(report.stats.shed_rate() > 0.0);
+        // Shedding is a pure function of the drift set: worker/shard/cache
+        // choices cannot move a single shed event.
+        for (workers, shards, cache) in [
+            (1, 1, CacheMode::Off),
+            (4, 5, CacheMode::PerStream { capacity: 16 }),
+            (
+                3,
+                4,
+                CacheMode::Shared {
+                    capacity: 64,
+                    stripes: 4,
+                },
+            ),
+        ] {
+            let alt = run_serve(
+                &ctx,
+                &specs,
+                &ServeConfig {
+                    workers,
+                    shards,
+                    cache,
+                    ..cfg.clone()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                alt.streams, report.streams,
+                "shed decisions diverged at {cache:?}/{workers}w/{shards}s"
+            );
+        }
     }
 }

@@ -100,8 +100,8 @@ pub mod prelude {
         AdaptiveScheduler, EstimatorKind, OnlineScheduler, SchedContext, SchedError, Solution,
     };
     pub use crate::sim::{
-        run_serve, simulate_instance, CacheMode, DegradeConfig, ExecStats, FaultPlan,
-        InstanceOutcome, RunConfig, RunSummary, Runner, ServeConfig, ServeReport, StreamSpec,
-        StreamSummary,
+        run_serve, simulate_instance, AdmissionConfig, BurstModel, CacheMode, DegradeConfig,
+        ExecStats, FaultPlan, InstanceOutcome, QuarantineConfig, RunConfig, RunSummary, Runner,
+        ServeConfig, ServeReport, StreamSpec, StreamSummary,
     };
 }

@@ -133,6 +133,7 @@ fn stream_specs(ctx: &SchedContext, streams: usize, len: usize, faults: bool) ->
                 window: 6,
                 threshold: 0.25,
                 fault_plan: faults.then(|| FaultPlan::uniform(0xFA17 + i as u64, 0.05)),
+                criticality: 0,
             }
         })
         .collect()
@@ -290,6 +291,7 @@ fn telemetry_on_serve_matches_telemetry_on_adaptive() {
         window: 6,
         threshold: 0.25,
         fault_plan: None,
+        criticality: 0,
     };
     let obs_b = Obs::with_sink(Arc::new(BufferedSink::new(2)));
     let report = Runner::new(RunConfig::new().workers(2).shards(2).obs(obs_b))

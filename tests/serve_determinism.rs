@@ -40,6 +40,7 @@ fn stream_specs(
                 // Faulty streams get stream-unique fault seeds: determinism
                 // must come from the engine, not from identical inputs.
                 fault_plan: faults.then(|| FaultPlan::uniform(0xFA17 + i as u64, 0.04)),
+                criticality: 0,
             }
         })
         .collect()
@@ -82,6 +83,7 @@ fn summaries_invariant_across_workers_streams_faults_and_caches() {
                     cache: CacheMode::Off,
                     coalesce: true,
                     quantum: 0.1,
+                    ..ServeConfig::default()
                 },
             )
             .unwrap();
@@ -109,6 +111,7 @@ fn summaries_invariant_across_workers_streams_faults_and_caches() {
                                 cache,
                                 coalesce: true,
                                 quantum: 0.1,
+                                ..ServeConfig::default()
                             },
                         )
                         .unwrap();
@@ -136,6 +139,7 @@ fn summaries_invariant_across_workers_streams_faults_and_caches() {
                     cache: CacheMode::Off,
                     coalesce: false,
                     quantum: 0.1,
+                    ..ServeConfig::default()
                 },
             )
             .unwrap();
@@ -176,6 +180,7 @@ fn mpeg_streams_invariant_and_shared_cache_fires() {
             cache: CacheMode::Off,
             coalesce: true,
             quantum: 0.1,
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -196,6 +201,7 @@ fn mpeg_streams_invariant_and_shared_cache_fires() {
             },
             coalesce: true,
             quantum: 0.1,
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -232,6 +238,7 @@ fn single_stream_serve_matches_run_adaptive() {
         window: 10,
         threshold: 0.2,
         fault_plan: None,
+        criticality: 0,
     };
     for workers in [1usize, 3] {
         let report = run_serve(
@@ -246,6 +253,7 @@ fn single_stream_serve_matches_run_adaptive() {
                 },
                 coalesce: true,
                 quantum: 0.1,
+                ..ServeConfig::default()
             },
         )
         .unwrap();
