@@ -23,9 +23,14 @@ CTG_WORKERS=2 ./target/release/throughput --smoke
 echo "==> warm-start solver equivalence"
 cargo test -q --offline --test solver_equivalence
 
-echo "==> solver bench smoke (asserts warm == cold bit-for-bit)"
+echo "==> intra-solve determinism (2 intra-solve workers forced)"
+CTG_INTRA_SOLVE=2 cargo test -q --offline --test solver_equivalence
+
+echo "==> solver bench smoke (asserts warm == cold bit-for-bit; warm p99 must"
+echo "    stay within 2x of the committed BASELINE_solver.json snapshot)"
 cargo build -q --release --offline -p ctg-bench --bin solver
-./target/release/solver --smoke
+./target/release/solver --smoke --check-baseline BASELINE_solver.json
+test -s target/BENCH_solver_smoke.json
 
 echo "==> serving-engine determinism matrix (2 workers forced)"
 CTG_WORKERS=2 cargo test -q --offline --test serve_determinism
@@ -47,5 +52,6 @@ echo "    writes + validates a telemetry-on chrome trace)"
 cargo build -q --release --offline -p ctg-bench --bin serve
 CTG_WORKERS=2 ./target/release/serve --smoke --trace target/ci_serve_trace.json
 test -s target/ci_serve_trace.json
+test -s target/BENCH_serve_smoke.json
 
 echo "==> CI OK"

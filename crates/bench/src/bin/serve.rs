@@ -15,7 +15,9 @@
 //! the speedup over the independent-manager baseline. Determinism is
 //! asserted, not sampled: per-stream summaries must be bit-identical
 //! across worker counts, shard counts and cache modes. Pass `--smoke` for
-//! a seconds-scale run (CI); numbers land in `BENCH_serve.json`.
+//! a seconds-scale run (CI); numbers land in `BENCH_serve.json`, or in
+//! `target/BENCH_serve_smoke.json` for smoke runs so CI never clobbers
+//! the committed full-run artifact.
 
 use ctg_bench::setup::{prepare_mpeg, profile_trace};
 use ctg_model::DecisionVector;
@@ -92,6 +94,7 @@ fn serve_cfg(workers: usize, shards: usize, cache: CacheMode) -> ServeConfig {
         coalesce: true,
         quantum: THRESHOLD,
         solve_budget: None,
+        intra_solve_workers: 1,
         admission: None,
         quarantine: None,
     }
@@ -543,6 +546,12 @@ fn main() {
         ));
     }
     json.push_str("  ],\n  \"determinism\": \"pass\"\n}\n");
-    std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");
-    println!("wrote BENCH_serve.json");
+    let out = if smoke {
+        std::fs::create_dir_all("target").expect("create target dir");
+        "target/BENCH_serve_smoke.json"
+    } else {
+        "BENCH_serve.json"
+    };
+    std::fs::write(out, json).expect("write bench artifact");
+    println!("wrote {out}");
 }

@@ -211,6 +211,14 @@ struct CacheEntry {
     solution: Solution,
 }
 
+/// Capacity of each workspace's quantised near-miss memo: enough buckets
+/// for the distinct operating points a drifting trace cycles through
+/// (the harvested MPEG drift run revisits roughly a hundred per period —
+/// an LRU smaller than the revisit cycle thrashes and never replays),
+/// while entries (a schedule, a speed table and a probability table)
+/// stay small enough that the memo costs well under a megabyte.
+const NEAR_MEMO_CAP: usize = 128;
+
 /// Outcome of a resilient (re-)scheduling attempt.
 ///
 /// Returned by [`AdaptiveScheduler::observe_resilient`] and
@@ -430,8 +438,16 @@ impl AdaptiveScheduler {
         current_probs: BranchProbs,
         threshold: f64,
         solution: Solution,
-        workspace: SolverWorkspace,
+        mut workspace: SolverWorkspace,
     ) -> Self {
+        // The near-miss memo buckets tables at the drift threshold — the
+        // resolution below which the manager does not react — so revisited
+        // operating points keep replaying across sub-threshold wobble. It
+        // is an exact-replay cache (see `SolverWorkspace::set_near_memo`);
+        // every adopted plan stays bit-identical to a cold solve.
+        let mut guard_workspace = SolverWorkspace::new();
+        workspace.set_near_memo(threshold, NEAR_MEMO_CAP);
+        guard_workspace.set_near_memo(threshold, NEAR_MEMO_CAP);
         AdaptiveScheduler {
             scheduler,
             estimators,
@@ -442,7 +458,7 @@ impl AdaptiveScheduler {
             deadline_guard: 1.0,
             cache: None,
             workspace,
-            guard_workspace: SolverWorkspace::new(),
+            guard_workspace,
             obs: Obs::disabled(),
             obs_track: 0,
         }
@@ -473,6 +489,15 @@ impl AdaptiveScheduler {
     /// The configured per-solve work budget, if any.
     pub fn solve_budget(&self) -> Option<u64> {
         self.workspace.budget()
+    }
+
+    /// Sets the intra-solve worker count, forwarded to both solver
+    /// workspaces. Results are bit-identical at any count (see
+    /// [`SolverWorkspace::set_intra_workers`]); `1` (the default) keeps the
+    /// inner loops sequential.
+    pub fn set_intra_solve_workers(&mut self, workers: usize) {
+        self.workspace.set_intra_workers(workers);
+        self.guard_workspace.set_intra_workers(workers);
     }
 
     /// The solution currently in force.

@@ -74,6 +74,18 @@ impl WorkMeter {
         self.spent
     }
 
+    /// Whether this meter can never fail a charge
+    /// (see [`WorkMeter::unlimited`]).
+    ///
+    /// Parallel solver stages consult this: intra-solve parallelism is only
+    /// engaged on unlimited meters, because a *budgeted* abort's charge
+    /// count depends on traversal order and must replay the sequential
+    /// traversal exactly.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.budget == u64::MAX
+    }
+
     /// Adds `units` to the running total.
     ///
     /// # Errors

@@ -142,6 +142,14 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.insert(key, value)
     }
 
+    /// Drops every entry, keeping the configured capacity. Used when the
+    /// cached solutions' premises change wholesale (e.g. a workspace
+    /// rebinding to a different context).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.recency.clear();
+    }
+
     /// Moves `key` (assumed present) to the most-recently-used position.
     fn touch(&mut self, key: &K) {
         if let Some(pos) = self.recency.iter().position(|k| k == key) {
@@ -208,6 +216,18 @@ mod tests {
         assert_eq!(c.peek(&"a"), None);
         assert_eq!(c.get(&"b"), Some(&2));
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 2);
+        c.insert("c", 3);
+        assert_eq!(c.peek(&"c"), Some(&3));
     }
 
     #[test]

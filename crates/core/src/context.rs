@@ -111,9 +111,83 @@ impl ScenarioMask {
         }
     }
 
-    /// Iterates over the scenario indices in the set.
+    /// Iterates over the scenario indices in the set, in ascending order.
+    ///
+    /// Walks set bits word by word (`trailing_zeros`) rather than probing
+    /// every index, so sparse masks over wide scenario sets iterate in time
+    /// proportional to the population count. The ascending order is part of
+    /// the contract: [`SchedContext::mask_prob`] sums probabilities in this
+    /// order, and the sum must stay bit-identical.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.len).filter(|&i| self.contains(i))
+        self.bits
+            .iter()
+            .enumerate()
+            .flat_map(|(w, &word)| WordBits { word, base: w * 64 })
+    }
+
+    /// Removes every scenario from the set, keeping its width.
+    pub fn clear(&mut self) {
+        for w in &mut self.bits {
+            *w = 0;
+        }
+    }
+
+    /// Makes this mask an exact copy of `other`, reusing the existing word
+    /// buffer when the widths match (the allocation-free counterpart of
+    /// `*self = other.clone()`).
+    pub fn copy_from(&mut self, other: &ScenarioMask) {
+        if self.bits.len() == other.bits.len() {
+            self.bits.copy_from_slice(&other.bits);
+        } else {
+            self.bits.clear();
+            self.bits.extend_from_slice(&other.bits);
+        }
+        self.len = other.len;
+    }
+
+    /// Makes this mask the intersection `a & b` in one fused pass, reusing
+    /// the existing word buffer when the widths match — the hot path of the
+    /// path enumeration, where a copy-then-intersect would walk the words
+    /// twice.
+    pub fn assign_and(&mut self, a: &ScenarioMask, b: &ScenarioMask) {
+        debug_assert_eq!(a.len, b.len);
+        if self.bits.len() == a.bits.len() {
+            for (w, (x, y)) in self.bits.iter_mut().zip(a.bits.iter().zip(&b.bits)) {
+                *w = x & y;
+            }
+        } else {
+            self.bits.clear();
+            self.bits
+                .extend(a.bits.iter().zip(&b.bits).map(|(x, y)| x & y));
+        }
+        self.len = a.len;
+    }
+
+    /// In-place difference: removes every scenario of `other` from the set.
+    pub fn subtract_assign(&mut self, other: &ScenarioMask) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= !b;
+        }
+    }
+}
+
+/// Iterator over the set bits of one mask word (ascending).
+struct WordBits {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for WordBits {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.base + tz)
     }
 }
 
@@ -325,13 +399,34 @@ impl SchedContext {
         }
     }
 
+    /// Borrowed view of [`SchedContext::literal_mask`] — `None` for unknown
+    /// branches/alternatives (callers treat that as the empty mask). The
+    /// enumeration hot loop uses this to intersect against the stored mask
+    /// without cloning it first.
+    pub fn literal_mask_ref(&self, branch: TaskId, alt: u8) -> Option<&ScenarioMask> {
+        self.ctg
+            .branch_index(branch)
+            .and_then(|bi| self.literal_masks[bi].get(alt as usize))
+    }
+
     /// Per-scenario probabilities under `probs`, in enumeration order.
     pub fn scenario_probs(&self, probs: &BranchProbs) -> Vec<f64> {
-        self.scenarios
-            .scenarios()
-            .iter()
-            .map(|s| s.probability(probs))
-            .collect()
+        let mut out = Vec::new();
+        self.scenario_probs_into(probs, &mut out);
+        out
+    }
+
+    /// [`SchedContext::scenario_probs`] into a caller-owned buffer (cleared
+    /// first) — the same values in the same order, allocation-free after
+    /// warm-up.
+    pub fn scenario_probs_into(&self, probs: &BranchProbs, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            self.scenarios
+                .scenarios()
+                .iter()
+                .map(|s| s.probability(probs)),
+        );
     }
 
     /// Total probability of a scenario mask given per-scenario

@@ -64,6 +64,7 @@ pub mod critical;
 mod dls;
 mod error;
 mod online;
+pub mod par;
 mod schedule;
 mod sgraph;
 mod speed;
@@ -81,9 +82,13 @@ pub use budget::WorkMeter;
 pub use cache::{LruCache, ScheduleKey};
 pub use context::CompiledGraph;
 pub use context::{ScenarioMask, SchedContext};
-pub use dls::{dls_schedule, dls_with_levels, dls_with_levels_metered, list_schedule_fixed};
+pub use dls::{
+    dls_schedule, dls_with_levels, dls_with_levels_metered, dls_with_levels_par,
+    list_schedule_fixed,
+};
 pub use error::SchedError;
 pub use online::{OnlineScheduler, Solution};
+pub use par::{intra_solve_workers, INTRA_SOLVE_ENV};
 pub use schedule::Schedule;
 pub use sgraph::{SEdge, SEdgeKind, SPath, ScheduledGraph, DEFAULT_PATH_CAP};
 pub use speed::{expected_energy, SpeedAssignment};

@@ -1,0 +1,177 @@
+//! Intra-solve worker pool: deterministic, submission-ordered parallel map
+//! for the solver's own inner loops.
+//!
+//! The simulation crate already has an ordered-merge pool
+//! (`ctg_sim::pool::map_ordered`) for fanning *instances* out across
+//! workers; this module brings the same discipline inside a single solve —
+//! path-enumeration chunks and DLS candidate evaluations — without
+//! inverting the crate dependency (the simulator depends on the solver, not
+//! the other way round). The contract is identical: workers claim item
+//! indices from a shared atomic counter, results travel back over an
+//! [`std::sync::mpsc`] channel tagged with their index, and the caller
+//! reads the slots in submission order, so every reduction performed over
+//! the output is **bit-for-bit identical to the sequential run** at any
+//! worker count. Parallelism may only change wall-clock time.
+//!
+//! The knob is [`INTRA_SOLVE_ENV`] (`CTG_INTRA_SOLVE`), read by
+//! [`intra_solve_workers`]; `RunConfig::from_env` in the simulation crate
+//! is the one place the environment is consulted on a run path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Environment variable selecting the intra-solve worker count.
+///
+/// Unset, `1`, or unparsable means sequential (the default: intra-solve
+/// parallelism is opt-in); `0` means "use all available cores"; `n >= 2`
+/// spawns `n` workers inside parallel-eligible solver stages.
+pub const INTRA_SOLVE_ENV: &str = "CTG_INTRA_SOLVE";
+
+/// Parses a `CTG_INTRA_SOLVE`-style override (see [`INTRA_SOLVE_ENV`]).
+/// Split from [`intra_solve_workers`] so the policy is testable without
+/// mutating the process environment.
+fn parse_intra_workers(raw: Option<&str>) -> usize {
+    match raw.map(str::trim).and_then(|v| v.parse::<usize>().ok()) {
+        Some(0) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        Some(n) => n,
+        None => 1,
+    }
+}
+
+/// The intra-solve worker count from the environment: `CTG_INTRA_SOLVE`
+/// per [`INTRA_SOLVE_ENV`], defaulting to 1 (sequential).
+pub fn intra_solve_workers() -> usize {
+    parse_intra_workers(std::env::var(INTRA_SOLVE_ENV).ok().as_deref())
+}
+
+/// Maps `f` over `items` on up to `workers` threads, returning results in
+/// submission order (`out[i] = f(i, &items[i])`).
+///
+/// With `workers <= 1` (or fewer than two items) no thread is spawned and
+/// the closure runs inline; the parallel path produces the exact same
+/// vector, it only interleaves the calls.
+pub fn map_ordered<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len());
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            debug_assert!(slots[i].is_none(), "item {i} produced twice");
+            slots[i] = Some(r);
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("scope joined: every claimed item sent a result"))
+        .collect()
+}
+
+/// Splits `0..total` into at most `workers` contiguous, non-empty chunks of
+/// near-equal size, in ascending order. The partition depends only on
+/// `(total, workers)`, never on timing, so chunked parallel stages charge
+/// and merge deterministically.
+pub fn chunk_ranges(total: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let workers = workers.max(1).min(total.max(1));
+    let base = total / workers;
+    let extra = total % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        if len == 0 {
+            continue;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_submission_order() {
+        let items: Vec<usize> = (0..193).collect();
+        for workers in [1, 2, 3, 8] {
+            let out = map_ordered(&items, workers, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            for (i, &r) in out.iter().enumerate() {
+                assert_eq!(r, i * 3, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(map_ordered(&none, 8, |_, &x| x).is_empty());
+        assert_eq!(map_ordered(&[7u32], 8, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn chunks_cover_exactly_once_in_order() {
+        for total in [0usize, 1, 2, 7, 64, 65] {
+            for workers in [1usize, 2, 3, 4, 16] {
+                let chunks = chunk_ranges(total, workers);
+                let mut next = 0;
+                for r in &chunks {
+                    assert_eq!(r.start, next, "total={total} workers={workers}");
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, total);
+                assert!(chunks.len() <= workers.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn intra_worker_parsing() {
+        assert_eq!(parse_intra_workers(None), 1);
+        assert_eq!(parse_intra_workers(Some("1")), 1);
+        assert_eq!(parse_intra_workers(Some(" 4 ")), 4);
+        assert_eq!(parse_intra_workers(Some("nope")), 1);
+        assert_eq!(parse_intra_workers(Some("-2")), 1);
+        // 0 = all cores; at least one.
+        assert!(parse_intra_workers(Some("0")) >= 1);
+    }
+}

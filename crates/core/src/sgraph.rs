@@ -9,12 +9,69 @@
 //! with its delay, activation condition and probability — the data the
 //! paper's `CalculateSlack` routine consumes.
 
+use std::collections::HashMap;
+
 use crate::budget::WorkMeter;
 use crate::context::{ScenarioMask, SchedContext};
 use crate::error::SchedError;
 use crate::schedule::Schedule;
 use crate::speed::SpeedAssignment;
 use ctg_model::{BranchProbs, Literal, TaskId};
+
+/// FNV-1a for the build-time mask dedup. The map is rebuilt per solve from
+/// non-adversarial keys (a few thousand scenario masks), so the cheap
+/// multiply-xor beats SipHash's per-key setup; `write_u64`/`write_usize`
+/// are overridden because mask words arrive through them.
+#[derive(Default)]
+struct Fnv(u64);
+
+type BuildFnv = std::hash::BuildHasherDefault<Fnv>;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl std::hash::Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { FNV_OFFSET } else { self.0 };
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+    fn write_u64(&mut self, v: u64) {
+        let h = if self.0 == 0 { FNV_OFFSET } else { self.0 };
+        self.0 = (h ^ v).wrapping_mul(FNV_PRIME);
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// Largest task count for which the canonical path sort can use the packed
+/// integer prefix key: twenty 6-bit slots hold task indices up to 62 (slot
+/// value `index + 1`; 0 pads sequences shorter than twenty tasks, ordering
+/// a strict prefix before its extensions exactly like `Vec::cmp`).
+const PACK_MAX_TASK: usize = 62;
+
+/// How many leading tasks [`packed_prefix`] covers.
+const PACK_SLOTS: usize = 20;
+
+/// The first twenty tasks of a path packed into a big-endian 120-bit key
+/// whose integer order equals the lexicographic order of the (truncated)
+/// task sequence. Ties fall back to comparing the remaining tasks.
+fn packed_prefix(tasks: &[TaskId]) -> u128 {
+    let mut key = 0u128;
+    for slot in 0..PACK_SLOTS {
+        key <<= 6;
+        if let Some(t) = tasks.get(slot) {
+            key |= t.index() as u128 + 1;
+        }
+    }
+    key
+}
 
 /// Why an edge exists in the scheduled graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +197,12 @@ pub struct ScheduledGraph {
     /// to `spanning`), precomputed so per-sweep probability lookups need no
     /// position scan.
     span_at: Vec<Vec<u32>>,
+    /// For each path, the id of its minterm group (paths with content-equal
+    /// condition masks share one), ids in first-occurrence order over the
+    /// canonical path order. Computed once at build so downstream
+    /// group-level consumers need not re-hash the masks.
+    group_of: Vec<u32>,
+    num_groups: u32,
 }
 
 /// Upper bound on enumerated paths before falling back to the caller's
@@ -180,61 +243,208 @@ impl ScheduledGraph {
         cap: usize,
         meter: &mut WorkMeter,
     ) -> Result<Option<Self>, SchedError> {
-        let ctg = ctx.ctg();
-        let n = ctg.num_tasks();
-        let edges = collect_edges(ctx, schedule);
+        Self::build_metered_par(ctx, schedule, probs, cap, 1, meter)
+    }
 
-        // Scenario-aware transitive reduction: a zero-delay pseudo/implied
-        // edge (u, v) is redundant only when a longer route u→…→v exists
-        // whose every intermediate node executes in *every scenario where
-        // both u and v execute* — then the route's delay constraint is
-        // present whenever the edge's is, and dominates it. CTG edges are
-        // always kept (they carry guards and communication delays).
-        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    /// [`ScheduledGraph::build_metered`] with the path enumeration fanned
+    /// out over `workers` intra-solve threads.
+    ///
+    /// The source frontier (indegree-0 tasks) is split into contiguous
+    /// chunks; each worker enumerates its chunk's sub-forest independently
+    /// and the per-chunk path lists are concatenated in chunk order before
+    /// the canonical sort, so the result is **bit-identical to the
+    /// sequential build at any worker count** (the sort key — the task
+    /// sequence — is unique per path, and equal-key prefix paths keep their
+    /// within-root DFS order under the stable sort). Work charges are
+    /// accounted pre-partition: the total step count of a complete
+    /// enumeration is a pure function of the problem, so the meter sees the
+    /// exact sequential total regardless of the partition.
+    ///
+    /// Parallelism is only engaged for unlimited meters; a *budgeted* build
+    /// runs sequentially so an abort reproduces the sequential traversal's
+    /// exact charge sequence (a cap- or budget-crossing step count depends
+    /// on traversal order). Likewise, if any chunk overflows the path cap
+    /// the build re-runs sequentially to reproduce the sequential verdict.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::SolveBudgetExceeded`] when the budget is crossed.
+    pub fn build_metered_par(
+        ctx: &SchedContext,
+        schedule: &Schedule,
+        probs: &BranchProbs,
+        cap: usize,
+        workers: usize,
+        meter: &mut WorkMeter,
+    ) -> Result<Option<Self>, SchedError> {
+        let n = ctx.ctg().num_tasks();
+        let edges = reduced_edges(ctx, schedule);
+
+        // CSR out-adjacency: `adj[adj_start[t]..adj_start[t + 1]]` are
+        // `t`'s out-edges in edge-list order (the same order the former
+        // per-source index lists preserved), flattened so the enumeration
+        // reads each visited edge with one predictable load.
+        let mut adj_start = vec![0u32; n + 1];
+        let mut indeg = vec![0usize; n];
         for e in &edges {
-            adj[e.src.index()].push(e.dst.index());
+            adj_start[e.src.index() + 1] += 1;
+            indeg[e.dst.index()] += 1;
         }
-        let covered_by_route = |u: TaskId, v: TaskId| -> bool {
-            let both = ctx.task_mask(u).and(ctx.task_mask(v));
-            let safe = |w: usize| {
-                w != u.index() && w != v.index() && both.subset_of(ctx.task_mask(TaskId::new(w)))
+        for i in 0..n {
+            adj_start[i + 1] += adj_start[i];
+        }
+        let mut cursor: Vec<u32> = adj_start[..n].to_vec();
+        let mut adj: Vec<OutEdge> = vec![
+            OutEdge {
+                dst: TaskId::new(0),
+                delay: 0.0,
+                guard: None,
             };
-            // Reach v from u through ≥1 safe intermediate.
-            let mut seen = vec![false; n];
-            let mut stack: Vec<usize> = adj[u.index()]
-                .iter()
-                .copied()
-                .filter(|&w| safe(w))
-                .collect();
-            while let Some(w) = stack.pop() {
-                if seen[w] {
-                    continue;
-                }
-                seen[w] = true;
-                for &x in &adj[w] {
-                    if x == v.index() {
-                        return true;
+            edges.len()
+        ];
+        for e in &edges {
+            let c = &mut cursor[e.src.index()];
+            adj[*c as usize] = OutEdge {
+                dst: e.dst,
+                delay: e.delay,
+                guard: e.guard,
+            };
+            *c += 1;
+        }
+        let roots: Vec<TaskId> = (0..n).filter(|&t| indeg[t] == 0).map(TaskId::new).collect();
+
+        let mut paths = if workers > 1 && meter.is_unlimited() && roots.len() > 1 {
+            let chunks = crate::par::chunk_ranges(roots.len(), workers);
+            let results = crate::par::map_ordered(&chunks, workers, |_, range| {
+                let mut local = WorkMeter::unlimited();
+                let sub = enumerate_from(
+                    ctx,
+                    schedule,
+                    &adj_start,
+                    &adj,
+                    &roots[range.clone()],
+                    cap,
+                    &mut local,
+                )
+                .expect("an unlimited meter cannot exceed its budget");
+                (sub, local.spent())
+            });
+            let mut merged: Vec<SPath> = Vec::new();
+            let mut units_total: u64 = 0;
+            let mut complete = true;
+            for (sub, units) in results {
+                units_total = units_total.saturating_add(units);
+                match sub {
+                    Some(mut p) if complete => {
+                        merged.append(&mut p);
+                        if merged.len() > cap {
+                            complete = false;
+                        }
                     }
-                    if safe(x) && !seen[x] {
-                        stack.push(x);
-                    }
+                    _ => complete = false,
                 }
             }
-            false
+            if complete {
+                // Pre-partition accounting: a complete enumeration's step
+                // count is partition-invariant, so the summed chunk charges
+                // equal the sequential total. Charged only on completion —
+                // the meter carries earlier pipeline stages' charges and
+                // must never see a partial parallel attempt.
+                meter.charge(units_total)?;
+                merged
+            } else {
+                // A chunk (or the union) overflowed the cap: replay the
+                // sequential traversal on the untouched meter so the
+                // verdict and the charge sequence match the sequential
+                // build exactly.
+                match enumerate_from(ctx, schedule, &adj_start, &adj, &roots, cap, meter)? {
+                    Some(p) => p,
+                    None => return Ok(None),
+                }
+            }
+        } else {
+            match enumerate_from(ctx, schedule, &adj_start, &adj, &roots, cap, meter)? {
+                Some(p) => p,
+                None => return Ok(None),
+            }
         };
-        let mut reduced: Vec<SEdge> = Vec::with_capacity(edges.len());
-        for e in &edges {
-            if e.kind == SEdgeKind::Ctg || !covered_by_route(e.src, e.dst) {
-                reduced.push(e.clone());
+
+        // Deterministic canonical order: ascending task sequence, with the
+        // DFS emission index as the final tiebreak so fully-equal sequences
+        // keep their emission order (what the previous stable sort
+        // guaranteed). The comparator front-loads a packed 60-bit key of the
+        // first ten tasks so almost every comparison is one integer compare.
+        if n <= PACK_MAX_TASK {
+            let mut order: Vec<(u128, u32)> = paths
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (packed_prefix(&p.tasks), i as u32))
+                .collect();
+            let rest = |i: u32| paths[i as usize].tasks.get(PACK_SLOTS..).unwrap_or(&[]);
+            order.sort_unstable_by(|a, b| {
+                a.0.cmp(&b.0)
+                    // Equal keys ⇒ the first PACK_SLOTS tasks are equal;
+                    // compare only the remainder, then keep emission order.
+                    .then_with(|| rest(a.1).cmp(rest(b.1)))
+                    .then(a.1.cmp(&b.1))
+            });
+            // Apply the permutation in place by cycle-following swaps:
+            // `inv[old] = new` position, and swapping `paths[i]` with
+            // `paths[inv[i]]` until `inv[i] == i` realizes `paths[new] =
+            // old_paths[order[new].1]` without a second allocation.
+            let mut inv: Vec<u32> = vec![0; order.len()];
+            for (newpos, &(_, old)) in order.iter().enumerate() {
+                inv[old as usize] = newpos as u32;
+            }
+            for i in 0..inv.len() {
+                while inv[i] as usize != i {
+                    let j = inv[i] as usize;
+                    paths.swap(i, j);
+                    inv.swap(i, j);
+                }
+            }
+        } else {
+            paths.sort_by(|a, b| a.tasks.cmp(&b.tasks));
+        }
+
+        // Minterm groups and path probabilities, evaluated once per
+        // *distinct* condition mask: `mask_prob` is a pure function of
+        // (mask content, table) — the same ascending-bit sum for equal
+        // masks — so the representative's value is bit-identical to what
+        // every member would compute. Group ids are kept on the graph so
+        // downstream group-level consumers never re-hash the masks.
+        let scenario_probs = ctx.scenario_probs(probs);
+        let mut group_of: Vec<u32> = Vec::with_capacity(paths.len());
+        let mut num_groups: u32 = 0;
+        {
+            let mut by_cond: HashMap<&ScenarioMask, (u32, f64), BuildFnv> =
+                HashMap::with_hasher(BuildFnv::default());
+            let probs_of: Vec<f64> = paths
+                .iter()
+                .map(|p| {
+                    let (g, v) = *by_cond.entry(&p.cond).or_insert_with(|| {
+                        let g = num_groups;
+                        num_groups += 1;
+                        (g, ctx.mask_prob(&p.cond, &scenario_probs))
+                    });
+                    group_of.push(g);
+                    v
+                })
+                .collect();
+            drop(by_cond);
+            for (p, v) in paths.iter_mut().zip(probs_of) {
+                p.prob = v;
             }
         }
-        let edges = reduced;
 
-        let Some(paths) = enumerate(ctx, schedule, probs, &edges, cap, meter)? else {
-            return Ok(None);
-        };
-        let mut spanning = vec![Vec::new(); n];
-        let mut span_at = vec![Vec::new(); n];
+        let mut counts = vec![0usize; n];
+        for p in &paths {
+            for &t in &p.tasks {
+                counts[t.index()] += 1;
+            }
+        }
+        let mut spanning: Vec<Vec<usize>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        let mut span_at: Vec<Vec<u32>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
         for (i, p) in paths.iter().enumerate() {
             for (pos, &t) in p.tasks.iter().enumerate() {
                 spanning[t.index()].push(i);
@@ -246,6 +456,8 @@ impl ScheduledGraph {
             paths,
             spanning,
             span_at,
+            group_of,
+            num_groups,
         }))
     }
 
@@ -267,6 +479,24 @@ impl ScheduledGraph {
     /// Indices of the paths spanning `task`.
     pub fn spanning(&self, task: TaskId) -> &[usize] {
         &self.spanning[task.index()]
+    }
+
+    /// Number of tasks the graph was built over (the width of the spanning
+    /// tables).
+    pub(crate) fn num_tasks(&self) -> usize {
+        self.spanning.len()
+    }
+
+    /// For each path, its minterm-group id — paths with content-equal
+    /// condition masks share a group (ids in first-occurrence order over
+    /// the canonical path order).
+    pub(crate) fn group_of(&self) -> &[u32] {
+        &self.group_of
+    }
+
+    /// Number of distinct minterm groups among the paths.
+    pub(crate) fn num_groups(&self) -> usize {
+        self.num_groups as usize
     }
 
     /// `task`'s position on each of its spanning paths, parallel to
@@ -313,6 +543,14 @@ fn collect_edges(ctx: &SchedContext, schedule: &Schedule) -> Vec<SEdge> {
     let ctg = ctx.ctg();
     let comm = ctx.platform().comm();
 
+    // Presence bit-matrix so the "is there already an (a, b) edge?" dedup
+    // checks are O(1) instead of a scan over the edge list — the same-PE
+    // pass below asks for every ordered pair on every PE.
+    let n = ctg.num_tasks();
+    let words = n.div_ceil(64);
+    let mut present = vec![0u64; n * words];
+    let bit = |u: TaskId, v: TaskId| (u.index() * words + v.index() / 64, 1u64 << (v.index() % 64));
+
     let mut edges: Vec<SEdge> = Vec::new();
     for (_, e) in ctg.edges() {
         let delay = comm.delay(
@@ -327,9 +565,13 @@ fn collect_edges(ctx: &SchedContext, schedule: &Schedule) -> Vec<SEdge> {
             guard: e.condition().map(|alt| Literal::new(e.src(), alt)),
             kind: SEdgeKind::Ctg,
         });
+        let (w, m) = bit(e.src(), e.dst());
+        present[w] |= m;
     }
     for &(fork, or_node) in ctx.activation().implied_or_deps() {
-        if !edges.iter().any(|e| e.src == fork && e.dst == or_node) {
+        let (w, m) = bit(fork, or_node);
+        if present[w] & m == 0 {
+            present[w] |= m;
             edges.push(SEdge {
                 src: fork,
                 dst: or_node,
@@ -348,7 +590,9 @@ fn collect_edges(ctx: &SchedContext, schedule: &Schedule) -> Vec<SEdge> {
                 if ctx.mutually_exclusive(a, b) {
                     continue;
                 }
-                if !edges.iter().any(|e| e.src == a && e.dst == b) {
+                let (w, m) = bit(a, b);
+                if present[w] & m == 0 {
+                    present[w] |= m;
                     edges.push(SEdge {
                         src: a,
                         dst: b,
@@ -429,82 +673,226 @@ pub(crate) fn worst_case_makespan_dp(
     worst
 }
 
-fn enumerate(
+/// The scheduled graph's edge set after the scenario-aware transitive
+/// reduction: a zero-delay pseudo/implied edge (u, v) is redundant only
+/// when a longer route u→…→v exists whose every intermediate node executes
+/// in *every scenario where both u and v execute* — then the route's delay
+/// constraint is present whenever the edge's is, and dominates it. CTG
+/// edges are always kept (they carry guards and communication delays).
+fn reduced_edges(ctx: &SchedContext, schedule: &Schedule) -> Vec<SEdge> {
+    let n = ctx.ctg().num_tasks();
+    let n_scen = ctx.scenarios().len();
+    let edges = collect_edges(ctx, schedule);
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in &edges {
+        adj[e.src.index()].push(e.dst.index());
+    }
+    // Start times are monotone along every edge of a precedence-respecting
+    // schedule (dependency, implied-wait and same-PE-order edges all point
+    // forward in time), so a node starting strictly after `v` can never lie
+    // on a route to `v` and the DFS may skip it. Verified once per build —
+    // if a schedule ever violated monotonicity the prune is disabled and
+    // the search degrades to the exhaustive form with the same result.
+    let starts: Vec<f64> = (0..n).map(|t| schedule.start(TaskId::new(t))).collect();
+    let monotone = edges
+        .iter()
+        .all(|e| starts[e.src.index()] <= starts[e.dst.index()]);
+
+    // DFS buffers reused across edges (the reduction runs once per build,
+    // but visits every pseudo edge; per-edge allocation used to dominate).
+    let mut seen = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut both = ScenarioMask::empty(n_scen);
+    let mut reduced: Vec<SEdge> = Vec::with_capacity(edges.len());
+    for e in &edges {
+        if e.kind == SEdgeKind::Ctg {
+            reduced.push(e.clone());
+            continue;
+        }
+        let (u, v) = (e.src, e.dst);
+        both.copy_from(ctx.task_mask(u));
+        both.intersect(ctx.task_mask(v));
+        let vstart = starts[v.index()];
+        let safe = |w: usize| {
+            w != u.index()
+                && w != v.index()
+                && !(monotone && starts[w] > vstart)
+                && both.subset_of(ctx.task_mask(TaskId::new(w)))
+        };
+        // Reach v from u through ≥1 safe intermediate.
+        seen.fill(false);
+        stack.clear();
+        stack.extend(adj[u.index()].iter().copied().filter(|&w| safe(w)));
+        let mut covered = false;
+        'dfs: while let Some(w) = stack.pop() {
+            if seen[w] {
+                continue;
+            }
+            seen[w] = true;
+            for &x in &adj[w] {
+                if x == v.index() {
+                    covered = true;
+                    break 'dfs;
+                }
+                if safe(x) && !seen[x] {
+                    stack.push(x);
+                }
+            }
+        }
+        if !covered {
+            reduced.push(e.clone());
+        }
+    }
+    reduced
+}
+
+/// One flattened out-edge of the scheduled graph: the CSR adjacency the
+/// enumeration walks (destination, delay and guard contiguous per source
+/// task, in edge-list order).
+#[derive(Clone)]
+struct OutEdge {
+    dst: TaskId,
+    delay: f64,
+    guard: Option<Literal>,
+}
+
+/// Depth-first path enumeration over `roots`, LIFO over a shared stack —
+/// exactly the historical traversal (roots pushed in ascending task order,
+/// each subtree fully explored before the next root) so the per-step meter
+/// charges, the cap verdict and every float operation replay bit-for-bit.
+/// Returns the emitted paths in DFS order, `Ok(None)` once more than `cap`
+/// paths have been emitted.
+///
+/// The rewrite versus the original frame-cloning formulation is purely
+/// structural: the current prefix's tasks and guards live in shared buffers
+/// maintained by truncate-and-push across pops, scenario masks come from a
+/// free list and are combined in place, and emission copies the contiguous
+/// buffers instead of walking a parent chain. Identical arithmetic,
+/// identical order.
+fn enumerate_from(
     ctx: &SchedContext,
     schedule: &Schedule,
-    probs: &BranchProbs,
-    edges: &[SEdge],
+    adj_start: &[u32],
+    adj: &[OutEdge],
+    roots: &[TaskId],
     cap: usize,
     meter: &mut WorkMeter,
 ) -> Result<Option<Vec<SPath>>, SchedError> {
-    let ctg = ctx.ctg();
-    let n = ctg.num_tasks();
-    let mut out_adj: Vec<Vec<&SEdge>> = vec![Vec::new(); n];
-    let mut indeg = vec![0usize; n];
-    for e in edges {
-        out_adj[e.src.index()].push(e);
-        indeg[e.dst.index()] += 1;
-    }
     let profile = ctx.platform().profile();
     let exec = |t: TaskId| profile.wcet(t.index(), schedule.pe_of(t));
-    let scenario_probs = ctx.scenario_probs(probs);
+    let n_scen = ctx.scenarios().len();
 
+    /// One deferred extension. `depth`/`guard_len` locate the frame's
+    /// prefix in the shared buffers: on pop, both are truncated to those
+    /// lengths and the frame's own task/guard appended. LIFO exploration
+    /// keeps the buffer positions below a frame's truncation point owned by
+    /// its ancestors — sibling subtrees, explored in between, only ever
+    /// write at or above them.
     struct Frame {
         task: TaskId,
-        tasks: Vec<TaskId>,
+        depth: u32,
+        guard_len: u32,
+        /// Guard of the edge into this node, with the path position of the
+        /// deciding fork (matching the historical `SPath::guards` entries).
+        guard: Option<(u32, Literal)>,
         delay: f64,
         cond: ScenarioMask,
-        guards: Vec<(usize, Literal)>,
     }
 
-    let mut paths = Vec::new();
-    let mut stack: Vec<Frame> = (0..n)
-        .filter(|&t| indeg[t] == 0)
-        .map(|t| {
-            let t = TaskId::new(t);
-            Frame {
-                task: t,
-                tasks: vec![t],
-                delay: exec(t),
-                cond: ctx.task_mask(t).clone(),
-                guards: Vec::new(),
-            }
-        })
-        .collect();
+    let mut stack: Vec<Frame> = Vec::new();
+    for &t in roots {
+        stack.push(Frame {
+            task: t,
+            depth: 0,
+            guard_len: 0,
+            guard: None,
+            delay: exec(t),
+            cond: ctx.task_mask(t).clone(),
+        });
+    }
 
-    let n_scen = ctx.scenarios().len();
+    // Unlimited meters (the common case: unbudgeted solves, and the
+    // parallel workers' local meters) accumulate the step count locally and
+    // charge once at the end — the same total as per-step charging, without
+    // a fallible call in the hot loop. Budgeted meters keep the per-step
+    // charge so an abort reproduces the exact crossing step.
+    let unlimited = meter.is_unlimited();
+    let mut units: u64 = 0;
+
+    // The task/guard sequence of the *current* prefix, maintained across
+    // pops by truncate-and-push (see `Frame`): at the top of each loop
+    // iteration they hold exactly the popped frame's full path, so emission
+    // is a pair of contiguous copies.
+    let mut prefix: Vec<TaskId> = Vec::new();
+    let mut guard_trail: Vec<(usize, Literal)> = Vec::new();
+
+    let mut free: Vec<ScenarioMask> = Vec::new();
+    let mut covered = ScenarioMask::empty(n_scen);
+    let mut cand = ScenarioMask::empty(n_scen);
+    let mut paths: Vec<SPath> = Vec::new();
     while let Some(f) = stack.pop() {
-        meter.charge(1)?;
+        if unlimited {
+            units += 1;
+        } else {
+            meter.charge(1)?;
+        }
+        let fdepth = f.depth;
+        prefix.truncate(fdepth as usize);
+        prefix.push(f.task);
+        guard_trail.truncate(f.guard_len as usize);
+        if let Some((pos, lit)) = f.guard {
+            guard_trail.push((pos as usize, lit));
+        }
+        let child_guard_len = guard_trail.len() as u32;
         // Extend through every consistent out-edge, tracking which of the
         // frame's scenarios are covered by at least one extension.
-        let mut covered = ScenarioMask::empty(n_scen);
-        for e in &out_adj[f.task.index()] {
-            meter.charge(1)?;
+        covered.clear();
+        let lo = adj_start[f.task.index()] as usize;
+        let hi = adj_start[f.task.index() + 1] as usize;
+        for e in &adj[lo..hi] {
+            if unlimited {
+                units += 1;
+            } else {
+                meter.charge(1)?;
+            }
             // Combine the running condition with the guard and the next
             // node's own activation condition; prune impossible branches.
-            let mut cond = f.cond.and(ctx.task_mask(e.dst));
-            let mut guards = f.guards.clone();
+            cand.assign_and(&f.cond, ctx.task_mask(e.dst));
+            let mut guard = None;
             if let Some(lit) = e.guard {
-                cond.intersect(&ctx.literal_mask(lit.branch(), lit.alt()));
-                let fork_pos = f
-                    .tasks
-                    .iter()
-                    .position(|&t| t == lit.branch())
-                    .unwrap_or(f.tasks.len() - 1);
-                guards.push((fork_pos, lit));
+                match ctx.literal_mask_ref(lit.branch(), lit.alt()) {
+                    Some(m) => cand.intersect(m),
+                    None => cand.clear(),
+                }
+                // Position of the deciding fork on the path: its deepest
+                // occurrence on the prefix, or the frame task's own
+                // position when the fork is not on the path (the
+                // historical fallback).
+                let mut fork_pos = fdepth;
+                for (d, &pt) in prefix.iter().enumerate().rev() {
+                    if pt == lit.branch() {
+                        fork_pos = d as u32;
+                        break;
+                    }
+                }
+                guard = Some((fork_pos, lit));
             }
-            if cond.is_empty() {
+            if cand.is_empty() {
                 continue;
             }
-            covered.union(&cond);
-            let mut tasks = f.tasks.clone();
-            tasks.push(e.dst);
+            covered.union(&cand);
+            // Hand `cand`'s words to the new frame and recycle a free-list
+            // buffer as the next `cand` (fully overwritten by the next
+            // `assign_and`, so stale content is fine).
+            let mut cmask = free.pop().unwrap_or_else(|| ScenarioMask::empty(n_scen));
+            std::mem::swap(&mut cmask, &mut cand);
             stack.push(Frame {
                 task: e.dst,
-                tasks,
+                depth: fdepth + 1,
+                guard_len: child_guard_len,
+                guard,
                 delay: f.delay + e.delay + exec(e.dst),
-                cond,
-                guards,
+                cond: cmask,
             });
         }
         // Scenarios in which the path effectively *ends here* — either the
@@ -513,23 +901,27 @@ fn enumerate(
         // the prefix is a real worst-case path and must be emitted (without
         // this, a chain ending at a non-sink task whose continuations are
         // all scenario-inconsistent would escape the deadline analysis).
-        let residual = f.cond.subtract(&covered);
+        let mut residual = f.cond;
+        residual.subtract_assign(&covered);
         if !residual.is_empty() {
-            let prob = ctx.mask_prob(&residual, &scenario_probs);
+            // `prob` is filled in by the caller once per *distinct*
+            // condition mask (see `build_metered_par`), not per path.
             paths.push(SPath {
-                tasks: f.tasks,
+                tasks: prefix.clone(),
                 cond: residual,
                 delay: f.delay,
-                guards: f.guards,
-                prob,
+                guards: guard_trail.clone(),
+                prob: f64::NAN,
             });
             if paths.len() > cap {
+                meter.charge(units)?;
                 return Ok(None);
             }
+        } else {
+            free.push(residual);
         }
     }
-    // Deterministic order.
-    paths.sort_by(|a, b| a.tasks.cmp(&b.tasks));
+    meter.charge(units)?;
     Ok(Some(paths))
 }
 

@@ -18,13 +18,12 @@
 //! The per-task slack is finally capped so that every spanning path still
 //! meets the deadline, which keeps the worst case schedulable.
 
-use crate::context::{ScenarioMask, SchedContext};
+use crate::context::SchedContext;
 use crate::error::SchedError;
 use crate::schedule::Schedule;
 use crate::sgraph::{ScheduledGraph, DEFAULT_PATH_CAP};
 use crate::speed::SpeedAssignment;
 use ctg_model::{BranchProbs, Literal, TaskId};
-use std::collections::HashMap;
 
 /// Tuning knobs for the stretching heuristic.
 #[derive(Debug, Clone, PartialEq)]
@@ -208,43 +207,112 @@ pub(crate) const MAX_SWEEPS: usize = 64;
 pub(crate) struct PathGroups {
     group_of: Vec<usize>,
     num_groups: usize,
+    /// Flattened per-task group-member layout: for every task, the members
+    /// `(path index, task position)` of each minterm group spanning it,
+    /// stored contiguously — groups in first-occurrence order of their
+    /// smallest member, members ascending by path index. Precomputing this
+    /// once per graph replaces the per-task-per-sweep bucket rebuild the
+    /// slack routine used to do; the iteration order is identical, so the
+    /// sweeps' arithmetic is too.
+    members_flat: Vec<(u32, u32)>,
+    /// One `(start, end)` run into `members_flat` per (task, group) pair.
+    runs: Vec<(u32, u32)>,
+    /// Per task, the `(start, end)` slice of `runs` describing its groups.
+    task_runs: Vec<(u32, u32)>,
 }
 
 impl PathGroups {
     pub(crate) fn of(graph: &ScheduledGraph) -> Self {
-        let mut ids: HashMap<&ScenarioMask, usize> = HashMap::new();
-        let mut group_of = Vec::with_capacity(graph.paths().len());
-        for p in graph.paths() {
-            let next = ids.len();
-            group_of.push(*ids.entry(&p.cond).or_insert(next));
+        // Group ids come precomputed from the build's mask dedup — the same
+        // first-occurrence assignment over the same canonical path order
+        // this type used to hash out itself.
+        let group_of: Vec<usize> = graph.group_of().iter().map(|&g| g as usize).collect();
+        let num_groups = graph.num_groups();
+
+        // Per-task layout: bucket each spanning list by group exactly the
+        // way `calculate_slack` historically did per sweep (first-occurrence
+        // group order over the ascending spanning list), then flatten.
+        let n_tasks = graph.num_tasks();
+        let total: usize = (0..n_tasks)
+            .map(|t| graph.spanning(TaskId::new(t)).len())
+            .sum();
+        let mut members_flat: Vec<(u32, u32)> = Vec::with_capacity(total);
+        let mut runs: Vec<(u32, u32)> = Vec::new();
+        let mut task_runs: Vec<(u32, u32)> = Vec::with_capacity(n_tasks);
+        let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_groups];
+        let mut touched: Vec<usize> = Vec::new();
+        for t in 0..n_tasks {
+            let task = TaskId::new(t);
+            for (&idx, &pos) in graph.spanning(task).iter().zip(graph.spanning_at(task)) {
+                let g = group_of[idx];
+                if buckets[g].is_empty() {
+                    touched.push(g);
+                }
+                buckets[g].push((idx as u32, pos));
+            }
+            let runs_start = runs.len() as u32;
+            for &g in &touched {
+                let start = members_flat.len() as u32;
+                members_flat.append(&mut buckets[g]);
+                runs.push((start, members_flat.len() as u32));
+            }
+            touched.clear();
+            task_runs.push((runs_start, runs.len() as u32));
         }
+
         PathGroups {
             group_of,
-            num_groups: ids.len(),
+            num_groups,
+            members_flat,
+            runs,
+            task_runs,
         }
+    }
+
+    /// The `(start, end)` runs into [`PathGroups::members`] for `task`'s
+    /// minterm groups, in first-occurrence order.
+    fn task_group_runs(&self, task: TaskId) -> &[(u32, u32)] {
+        let (s, e) = self.task_runs[task.index()];
+        &self.runs[s as usize..e as usize]
+    }
+
+    /// The flattened `(path index, task position)` member store.
+    fn members(&self) -> &[(u32, u32)] {
+        &self.members_flat
     }
 
     /// [`ScheduledGraph::reweight`] evaluated once per minterm group
     /// instead of once per path: members of a group share their condition
     /// mask, and `mask_prob` is a pure function of (mask, table), so the
     /// group representative's probability is bit-identical to what every
-    /// member would compute — typically a ~30× cheaper re-weight.
-    pub(crate) fn reweight(
+    /// member would compute — typically a ~30× cheaper re-weight. The
+    /// caller owns the scratch buffers, so a warm workspace re-weights its
+    /// pooled graphs without allocating.
+    pub(crate) fn reweight_with(
         &self,
         ctx: &SchedContext,
         probs: &BranchProbs,
         graph: &mut ScheduledGraph,
+        scratch: &mut ReweightScratch,
     ) {
-        let scenario_probs = ctx.scenario_probs(probs);
-        let mut group_prob = vec![f64::NAN; self.num_groups];
+        ctx.scenario_probs_into(probs, &mut scratch.scenario_probs);
+        scratch.group_prob.clear();
+        scratch.group_prob.resize(self.num_groups, f64::NAN);
         for (i, p) in graph.paths_mut().iter_mut().enumerate() {
             let g = self.group_of[i];
-            if group_prob[g].is_nan() {
-                group_prob[g] = ctx.mask_prob(&p.cond, &scenario_probs);
+            if scratch.group_prob[g].is_nan() {
+                scratch.group_prob[g] = ctx.mask_prob(&p.cond, &scratch.scenario_probs);
             }
-            p.prob = group_prob[g];
+            p.prob = scratch.group_prob[g];
         }
     }
+}
+
+/// Reusable buffers for [`PathGroups::reweight_with`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ReweightScratch {
+    group_prob: Vec<f64>,
+    scenario_probs: Vec<f64>,
 }
 
 /// Reusable buffers for [`stretch_on_graph`]: every field is cleared and
@@ -254,15 +322,20 @@ impl PathGroups {
 pub(crate) struct StretchScratch {
     extra: Vec<f64>,
     delays: Vec<f64>,
-    /// Per-group `(path index, task position on path)` member lists.
-    members: Vec<Vec<(usize, u32)>>,
-    touched: Vec<usize>,
+    /// Per-path `(deadline - delay) / delay`, kept in lockstep with
+    /// `delays` (recomputed only when a path's delay changes) so the
+    /// sweeps' minimum scans read a cached quotient instead of re-dividing
+    /// — the same operands, so the same bits.
+    ratios: Vec<f64>,
     task_probs: Vec<f64>,
-    /// Per-path `prob(p, τ)` for the task currently being stretched,
-    /// written before it is read for exactly the paths whose group needs
-    /// it — each probability product is evaluated once instead of at every
-    /// use.
+    /// `prob(p, τ)` per (task, spanning-path) slot, parallel to
+    /// [`PathGroups::members`]. The products depend only on the path
+    /// guards and the probability table — not on the sweeps' state — so
+    /// each slot is written once per call (on the task's first sweep) and
+    /// re-read by later sweeps.
     prob_after: Vec<f64>,
+    /// Whether a task's `prob_after` slots have been filled this call.
+    pa_filled: Vec<bool>,
     /// Flat `(branch, alternative) → probability` lookup mirroring the
     /// current table (`lit_flat[lit_base[branch] + alt]`): the exact f64s
     /// `BranchProbs::prob` returns, read from an array instead of a B-tree.
@@ -350,11 +423,10 @@ pub(crate) fn stretch_on_graph(
     }
     scratch.delays.clear();
     scratch.delays.extend(graph.paths().iter().map(|p| p.delay));
-    debug_assert!(scratch.members.iter().all(Vec::is_empty));
-    debug_assert!(scratch.touched.is_empty());
-    scratch.members.resize(groups.num_groups, Vec::new());
     scratch.prob_after.clear();
-    scratch.prob_after.resize(graph.paths().len(), 0.0);
+    scratch.prob_after.resize(groups.members().len(), 0.0);
+    scratch.pa_filled.clear();
+    scratch.pa_filled.resize(n, false);
 
     if let Some(seed) = seed {
         for t in ctx.ctg().tasks() {
@@ -369,6 +441,18 @@ pub(crate) fn stretch_on_graph(
             }
         }
     }
+    // Cached slack ratios over the (possibly seeded) initial delays.
+    let path_ratio = |delay: f64| {
+        if delay <= 0.0 {
+            0.0
+        } else {
+            (deadline - delay) / delay
+        }
+    };
+    scratch.ratios.clear();
+    scratch
+        .ratios
+        .extend(scratch.delays.iter().map(|&d| path_ratio(d)));
 
     for _sweep in 0..cfg.sweeps.clamp(1, MAX_SWEEPS) {
         let mut granted_total = 0.0;
@@ -383,17 +467,19 @@ pub(crate) fn stretch_on_graph(
                 // either way; leave it at nominal speed.
                 continue;
             }
+            let fill_pa = !scratch.pa_filled[t.index()];
+            scratch.pa_filled[t.index()] = true;
             let slack = calculate_slack(
                 graph,
                 t,
                 wcet,
                 task_prob,
                 deadline,
-                &groups.group_of,
+                groups,
                 &scratch.delays,
-                &mut scratch.members,
-                &mut scratch.touched,
+                &scratch.ratios,
                 &mut scratch.prob_after,
+                fill_pa,
                 &scratch.lit_base,
                 &scratch.lit_flat,
             );
@@ -406,9 +492,10 @@ pub(crate) fn stretch_on_graph(
             scratch.extra[t.index()] += slack;
             granted_total += slack;
             // Lock and propagate: every spanning path now takes `slack`
-            // longer.
+            // longer (ratios follow their delays).
             for &idx in graph.spanning(t) {
                 scratch.delays[idx] += slack;
+                scratch.ratios[idx] = path_ratio(scratch.delays[idx]);
             }
         }
         if granted_total <= 1e-9 * deadline {
@@ -428,14 +515,14 @@ pub(crate) fn stretch_on_graph(
 
 /// The paper's `CalculateSlack(τ)` routine.
 ///
-/// `group_of` maps each path index to its global minterm-group id (see
-/// [`PathGroups`]); `delays` holds the current (stretched-so-far) delay of
-/// every path; `members`/`touched`/`prob_after` are caller-owned scratch
-/// buffers (the first two left empty on return), so the hot loop allocates
-/// nothing after warm-up. Minimum scans replace on `<=` to reproduce
-/// `Iterator::min_by`'s last-of-equal-minima choice bit-for-bit, and each
-/// path's `prob(p, τ)` is evaluated exactly once per call — the same
-/// product, so the same bits at every use.
+/// The task's minterm groups come precomputed from [`PathGroups`] (same
+/// first-occurrence group order and ascending members the per-call
+/// bucketing historically produced); `delays`/`ratios` hold the current
+/// (stretched-so-far) delay and slack ratio of every path; `prob_after` is
+/// the caller's per-(task, member) product cache, filled on the task's
+/// first visit (`fill_pa`) and re-read afterwards — the same product, so
+/// the same bits at every use. Minimum scans replace on `<=` to reproduce
+/// `Iterator::min_by`'s last-of-equal-minima choice bit-for-bit.
 #[allow(clippy::too_many_arguments)]
 fn calculate_slack(
     graph: &ScheduledGraph,
@@ -443,41 +530,32 @@ fn calculate_slack(
     wcet: f64,
     task_prob: f64,
     deadline: f64,
-    group_of: &[usize],
+    groups: &PathGroups,
     delays: &[f64],
-    members: &mut [Vec<(usize, u32)>],
-    touched: &mut Vec<usize>,
+    ratios: &[f64],
     prob_after: &mut [f64],
+    fill_pa: bool,
     lit_base: &[usize],
     lit_flat: &[f64],
 ) -> f64 {
-    // Group spanning paths by their minterm (path condition). Spanning
-    // lists are ascending, so `touched` visits groups in order of their
-    // smallest member.
-    debug_assert!(touched.is_empty());
-    for (&idx, &pos) in graph.spanning(task).iter().zip(graph.spanning_at(task)) {
-        let g = group_of[idx];
-        if members[g].is_empty() {
-            touched.push(g);
-        }
-        members[g].push((idx, pos));
-    }
-    let ratio = |idx: usize| {
-        let delay = delays[idx];
-        if delay <= 0.0 {
-            0.0
-        } else {
-            (deadline - delay) / delay
-        }
-    };
-
+    let members = groups.members();
     let mut slk1 = 0.0;
     let mut any1 = false;
     let mut slk2 = f64::INFINITY;
     let mut any2 = false;
-    for &g in touched.iter() {
-        let idxs = &members[g];
-        let group_prob = graph.paths()[idxs[0].0].prob;
+    // Steps 9–10 (fused): never push any spanning path past the deadline.
+    // The runs partition exactly the spanning set, and a fold of `f64::min`
+    // over finite values is order-invariant, so accumulating the cap here
+    // is bit-identical to the historical separate pass over
+    // `graph.spanning(task)`.
+    let mut deadline_cap = f64::INFINITY;
+    for &(run_start, run_end) in groups.task_group_runs(task) {
+        let (run_start, run_end) = (run_start as usize, run_end as usize);
+        let idxs = &members[run_start..run_end];
+        for &(i, _) in idxs {
+            deadline_cap = deadline_cap.min(deadline - delays[i as usize]);
+        }
+        let group_prob = graph.paths()[idxs[0].0 as usize].prob;
         if group_prob <= PROB_ONE_EPS {
             // A minterm the current estimates consider impossible: it must
             // not throttle the slack of live tasks. (It still participates
@@ -487,9 +565,9 @@ fn calculate_slack(
         }
         if group_prob + PROB_ONE_EPS >= 1.0 {
             // Step 5–7: minterms with probability 1 contribute via slk2.
-            let mut worst_ratio = ratio(idxs[0].0);
+            let mut worst_ratio = ratios[idxs[0].0 as usize];
             for &(i, _) in &idxs[1..] {
-                let r = ratio(i);
+                let r = ratios[i as usize];
                 if r <= worst_ratio {
                     worst_ratio = r;
                 }
@@ -500,49 +578,44 @@ fn calculate_slack(
             // Step 3–4: pick the critical path with prob(p, τ) ≠ 1 and the
             // lowest distributable slack ratio; fall back to the whole group
             // when every spanning path is already decided at τ.
-            for &(i, pos) in idxs.iter() {
-                prob_after[i] = graph.paths()[i]
-                    .guards
-                    .iter()
-                    .filter(|(fork_pos, _)| *fork_pos >= pos as usize)
-                    .map(|(_, lit)| lit_prob(lit_base, lit_flat, lit))
-                    .product();
+            if fill_pa {
+                for (slot, &(i, pos)) in idxs.iter().enumerate() {
+                    prob_after[run_start + slot] = graph.paths()[i as usize]
+                        .guards
+                        .iter()
+                        .filter(|(fork_pos, _)| *fork_pos >= pos as usize)
+                        .map(|(_, lit)| lit_prob(lit_base, lit_flat, lit))
+                        .product();
+                }
             }
-            let undecided = |i: usize| prob_after[i] < 1.0 - PROB_ONE_EPS;
-            let any_undecided = idxs.iter().any(|&(i, _)| undecided(i));
+            let pa = &prob_after[run_start..run_end];
+            let undecided = |slot: usize| pa[slot] < 1.0 - PROB_ONE_EPS;
+            let any_undecided = (0..idxs.len()).any(undecided);
             let mut worst = usize::MAX;
             let mut worst_ratio = f64::INFINITY;
-            for &(i, _) in idxs.iter() {
-                if any_undecided && !undecided(i) {
+            for (slot, &(i, _)) in idxs.iter().enumerate() {
+                if any_undecided && !undecided(slot) {
                     continue;
                 }
-                let r = ratio(i);
+                let r = ratios[i as usize];
                 if worst == usize::MAX || r <= worst_ratio {
                     worst_ratio = r;
-                    worst = i;
+                    worst = slot;
                 }
             }
-            let p_after = prob_after[worst];
+            let p_after = pa[worst];
             slk1 += p_after * wcet * worst_ratio * task_prob;
             any1 = true;
         }
     }
-    for &g in touched.iter() {
-        members[g].clear();
-    }
-    touched.clear();
 
-    let mut slack = match (any1, any2) {
+    let slack = match (any1, any2) {
         (true, true) => slk1.min(slk2),
         (true, false) => slk1,
         (false, true) => slk2,
         (false, false) => 0.0,
     };
-    // Steps 9–10: never push any spanning path past the deadline.
-    for &idx in graph.spanning(task) {
-        slack = slack.min(deadline - delays[idx]);
-    }
-    slack
+    slack.min(deadline_cap)
 }
 
 /// Fallback when path enumeration exceeds the cap: distribute slack along

@@ -47,8 +47,9 @@
 //! `tests/solver_equivalence.rs`).
 
 use crate::budget::WorkMeter;
+use crate::cache::{LruCache, ScheduleKey};
 use crate::context::SchedContext;
-use crate::dls::dls_with_levels_metered;
+use crate::dls::dls_with_levels_par;
 use crate::error::SchedError;
 use crate::online::Solution;
 use crate::schedule::Schedule;
@@ -56,8 +57,8 @@ use crate::sgraph::ScheduledGraph;
 use crate::speed::SpeedAssignment;
 use crate::static_level::{static_levels_into, update_static_levels};
 use crate::stretch::{
-    critical_path_fallback, stretch_on_graph, validate_config, PathGroups, StretchConfig,
-    StretchScratch,
+    critical_path_fallback, stretch_on_graph, validate_config, PathGroups, ReweightScratch,
+    StretchConfig, StretchScratch,
 };
 use ctg_model::{BranchProbs, Ctg};
 use ctg_obs::{Counter, Hist, Obs, Stage};
@@ -86,6 +87,9 @@ pub struct WorkspaceStats {
     pub rebinds: usize,
     /// Solves aborted because they crossed the configured work budget.
     pub budget_exceeded: usize,
+    /// Solves answered by the quantised near-miss memo (exact replay of a
+    /// cached table sharing the requested table's quantisation bucket).
+    pub near_hits: usize,
 }
 
 /// The (context) inputs the cached state is valid for. Compared by content,
@@ -108,6 +112,51 @@ struct LastSolve {
     /// (context, probs, cfg), re-charged on memo hits so a warm repeat
     /// reaches the same budget verdict as a cold solve.
     work_units: u64,
+}
+
+/// Key of the quantised near-miss memo: the probability table bucketed at
+/// the memo's quantum (via [`ScheduleKey`], which also fingerprints the
+/// context deadline), plus the exact stretch configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct NearKey {
+    key: ScheduleKey,
+    /// `min_speed` bits — configs are compared exactly, never bucketed.
+    min_speed: u64,
+    path_cap: usize,
+    sweeps: usize,
+}
+
+impl NearKey {
+    fn new(ctx: &SchedContext, probs: &BranchProbs, quantum: f64, cfg: &StretchConfig) -> Self {
+        NearKey {
+            key: ScheduleKey::new(ctx, probs, quantum, 1.0),
+            min_speed: cfg.min_speed.to_bits(),
+            path_cap: cfg.path_cap,
+            sweeps: cfg.sweeps,
+        }
+    }
+}
+
+/// One near-miss memo entry: a full solve outcome plus the *exact* table it
+/// was produced under. Quantisation only buckets lookups — an entry is
+/// replayed solely when its stored table equals the requested one bit for
+/// bit, so the memo never substitutes a nearby solution (see
+/// [`SolverWorkspace::set_near_memo`]).
+#[derive(Debug, Clone)]
+struct NearEntry {
+    probs: BranchProbs,
+    schedule: Schedule,
+    speeds: SpeedAssignment,
+    /// Re-charged on a hit, like [`LastSolve::work_units`].
+    work_units: u64,
+}
+
+/// The quantised near-miss memo (disabled unless
+/// [`SolverWorkspace::set_near_memo`] was called).
+#[derive(Debug, Clone)]
+struct NearMemo {
+    quantum: f64,
+    cache: LruCache<NearKey, NearEntry>,
 }
 
 /// One pooled scheduled graph, keyed by the (schedule, path cap) it was
@@ -157,6 +206,7 @@ pub struct SolverWorkspace {
     /// Recently used scheduled graphs, least-recently-used first.
     graphs: Vec<GraphEntry>,
     scratch: StretchScratch,
+    reweight_scratch: ReweightScratch,
     stats: WorkspaceStats,
     /// Telemetry handle (disabled by default — recording is then free).
     obs: Obs,
@@ -165,12 +215,28 @@ pub struct SolverWorkspace {
     /// Optional per-solve work budget, in solver work units (DLS candidate
     /// evaluations + path-enumeration steps). `None` = unlimited.
     budget: Option<u64>,
+    /// Quantised near-miss memo (`None` = disabled, the default).
+    near: Option<NearMemo>,
+    /// Intra-solve worker count for the parallel-eligible stages (path
+    /// enumeration, DLS candidate evaluation). `0`/`1` = sequential.
+    intra_workers: usize,
 }
 
 impl SolverWorkspace {
     /// Creates an empty (cold) workspace.
+    ///
+    /// The intra-solve worker count starts from the `CTG_INTRA_SOLVE`
+    /// environment variable (unset = sequential; see
+    /// [`crate::intra_solve_workers`]). Since any count produces
+    /// bit-identical results, the env-sensitive default is safe — it is
+    /// how the CI determinism matrix drives every workspace in the suite
+    /// through the parallel stages. [`SolverWorkspace::set_intra_workers`]
+    /// overrides it.
     pub fn new() -> Self {
-        SolverWorkspace::default()
+        SolverWorkspace {
+            intra_workers: crate::par::intra_solve_workers(),
+            ..SolverWorkspace::default()
+        }
     }
 
     /// Work counters accumulated since creation (rebinds do not reset
@@ -204,6 +270,83 @@ impl SolverWorkspace {
     /// The configured per-solve work budget, if any.
     pub fn budget(&self) -> Option<u64> {
         self.budget
+    }
+
+    /// Enables the quantised near-miss memo: up to `cap` past solves are
+    /// kept, keyed by their probability table bucketed at `quantum` (plus
+    /// the exact stretch configuration and context deadline).
+    ///
+    /// The memo is an **exact-replay** cache with a quantised index, not an
+    /// approximation: a lookup first locates the bucket, then requires the
+    /// stored table to equal the requested one bit for bit before the
+    /// stored solution is returned, so every answer is the one a cold solve
+    /// would produce. The bucketing is what keeps the memo small under
+    /// drift — tables differing below `quantum` share an entry slot, and
+    /// the working set of *adopted* tables in a drift run is tiny (most
+    /// adopted tables are exact revisits of an earlier one). Deeper than
+    /// the depth-1 last-solve memo, cheaper than the graph pool (which
+    /// still re-runs the stretch sweeps on every hit).
+    ///
+    /// Stored work units are re-charged on hits, so budget verdicts are
+    /// identical to a cold solve of the same table. For warm-*starting* a
+    /// genuinely new table from a neighbouring bucket — a tolerance-level,
+    /// not bitwise, shortcut — see [`SolverWorkspace::near_seed`] and
+    /// [`crate::stretch_schedule_seeded`].
+    ///
+    /// The adaptive manager enables this on its workspaces with `quantum` =
+    /// its drift threshold; a bare workspace leaves it off, keeping the
+    /// default construction bit-compatible with earlier revisions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is not a positive, finite number.
+    pub fn set_near_memo(&mut self, quantum: f64, cap: usize) {
+        assert!(
+            quantum.is_finite() && quantum > 0.0,
+            "near-memo quantum must be positive and finite"
+        );
+        self.near = Some(NearMemo {
+            quantum,
+            cache: LruCache::new(cap),
+        });
+    }
+
+    /// Disables the near-miss memo and drops its entries.
+    pub fn clear_near_memo(&mut self) {
+        self.near = None;
+    }
+
+    /// The speeds of a cached solve whose table shares `probs`'s
+    /// quantisation bucket (and exact `cfg`), if the near-miss memo holds
+    /// one — the seed for an explicitly opted-in
+    /// [`crate::stretch_schedule_seeded`] warm start. Does not touch
+    /// recency. Callers accepting a seeded solve accept tolerance-level
+    /// (not bitwise) agreement with the cold fixed point; the default
+    /// [`SolverWorkspace::solve`] path never does this.
+    pub fn near_seed(
+        &self,
+        ctx: &SchedContext,
+        probs: &BranchProbs,
+        cfg: &StretchConfig,
+    ) -> Option<&SpeedAssignment> {
+        let near = self.near.as_ref()?;
+        let key = NearKey::new(ctx, probs, near.quantum, cfg);
+        near.cache.peek(&key).map(|e| &e.speeds)
+    }
+
+    /// Sets the intra-solve worker count for the parallel-eligible solver
+    /// stages (path enumeration and DLS candidate evaluation); `0` or `1`
+    /// means sequential. Any count produces bit-identical solutions — the
+    /// parallel stages merge in submission order and fold with the
+    /// sequential comparator — and budgeted solves always run sequentially
+    /// so abort verdicts replay exactly.
+    pub fn set_intra_workers(&mut self, workers: usize) {
+        self.intra_workers = workers;
+    }
+
+    /// The configured intra-solve worker count (normalized; ≥ 1).
+    pub fn intra_workers(&self) -> usize {
+        self.intra_workers.max(1)
     }
 
     /// Work units the last successful solve cost, if any — the cost is a
@@ -262,6 +405,11 @@ impl SolverWorkspace {
             self.sl_probs = None;
             self.last = None;
             self.graphs.clear();
+            // Near-memo entries are premised on the old context; keep the
+            // configuration (quantum, capacity) but drop every entry.
+            if let Some(near) = self.near.as_mut() {
+                near.cache.clear();
+            }
         }
 
         let mut meter = WorkMeter::from_limit(self.budget);
@@ -289,6 +437,46 @@ impl SolverWorkspace {
             });
         }
 
+        // Layer 4b: the quantised near-miss memo (when enabled). The key
+        // buckets the table at the memo's quantum; the entry answers only
+        // when its stored table equals the requested one bit for bit, so
+        // this is an exact replay like the depth-1 memo — just deeper, and
+        // indexed so the lookup survives sub-quantum drift around a
+        // revisited table. The stored work units are re-charged first for
+        // identical budget verdicts.
+        let near_key = self
+            .near
+            .as_ref()
+            .map(|near| NearKey::new(ctx, probs, near.quantum, cfg));
+        if let (Some(near), Some(key)) = (self.near.as_mut(), near_key.as_ref()) {
+            let replay = near
+                .cache
+                .get(key)
+                .filter(|e| e.probs == *probs)
+                .map(|e| (e.schedule.clone(), e.speeds.clone(), e.work_units));
+            if let Some((schedule, speeds, units)) = replay {
+                if let Err(e) = meter.charge(units) {
+                    return Err(self.note_budget_abort(&obs, track, e));
+                }
+                self.stats.near_hits += 1;
+                obs.instant(track, Stage::NearMissHit, 1);
+                obs.count(Counter::NearMissHits, 1);
+                // The replay is the most recent successful solve; keeping
+                // the depth-1 memo on it preserves `last_solve_cost` and
+                // lets exact consecutive repeats keep hitting layer 4.
+                self.last = Some(LastSolve {
+                    probs: probs.clone(),
+                    cfg: cfg.clone(),
+                    schedule: schedule.clone(),
+                    speeds: speeds.clone(),
+                    work_units: units,
+                });
+                let dur_ns = solve_span.end(SOLVE_VIA_NEAR);
+                obs.observe(Hist::SolveUs, dur_ns as f64 / 1e3);
+                return Ok(Solution { schedule, speeds });
+            }
+        }
+
         // Layer 2: dirty-set static levels (full recompute when cold).
         match self.sl_probs.take() {
             None => {
@@ -304,9 +492,13 @@ impl SolverWorkspace {
         self.sl_probs = Some(probs.clone());
 
         // Same pipeline — and the same error order — as the cold solver:
-        // DLS, deadline check, config validation, stretch.
+        // DLS, deadline check, config validation, stretch. The intra-solve
+        // worker count only fans the inner loops out; results and charges
+        // are bit-identical at any count (and budgeted solves run
+        // sequentially regardless — see `dls_with_levels_par`).
+        let workers = self.intra_workers.max(1);
         let dls_span = obs.span(track, Stage::DlsMap);
-        let schedule = match dls_with_levels_metered(ctx, &self.sl, true, &mut meter) {
+        let schedule = match dls_with_levels_par(ctx, &self.sl, true, workers, &mut meter) {
             Ok(s) => s,
             Err(e) => return Err(self.note_budget_abort(&obs, track, e)),
         };
@@ -350,7 +542,9 @@ impl SolverWorkspace {
                 let speeds = match entry.graph.as_mut() {
                     Some(g) => {
                         if entry.probs != *probs {
-                            entry.groups.reweight(ctx, probs, g);
+                            entry
+                                .groups
+                                .reweight_with(ctx, probs, g, &mut self.reweight_scratch);
                             entry.probs = probs.clone();
                         }
                         stretch_on_graph(
@@ -373,12 +567,16 @@ impl SolverWorkspace {
             None => {
                 self.stats.graph_rebuilds += 1;
                 let enum_span = obs.span(track, Stage::PathEnum);
+                if workers > 1 && meter.is_unlimited() {
+                    obs.instant(track, Stage::PathEnumPar, workers as i64);
+                }
                 let enum_start = meter.spent();
-                let built = match ScheduledGraph::build_metered(
+                let built = match ScheduledGraph::build_metered_par(
                     ctx,
                     &schedule,
                     probs,
                     cfg.path_cap,
+                    workers,
                     &mut meter,
                 ) {
                     Ok(b) => b,
@@ -432,6 +630,17 @@ impl SolverWorkspace {
             speeds: speeds.clone(),
             work_units: meter.spent(),
         });
+        if let (Some(near), Some(key)) = (self.near.as_mut(), near_key) {
+            near.cache.insert(
+                key,
+                NearEntry {
+                    probs: probs.clone(),
+                    schedule: schedule.clone(),
+                    speeds: speeds.clone(),
+                    work_units: meter.spent(),
+                },
+            );
+        }
         let dur_ns = solve_span.end(via);
         obs.observe(Hist::SolveUs, dur_ns as f64 / 1e3);
         Ok(Solution { schedule, speeds })
@@ -442,6 +651,7 @@ impl SolverWorkspace {
 const SOLVE_VIA_REBUILD: i64 = 0;
 const SOLVE_VIA_POOL: i64 = 1;
 const SOLVE_VIA_MEMO: i64 = 2;
+const SOLVE_VIA_NEAR: i64 = 3;
 
 #[cfg(test)]
 mod tests {
@@ -652,6 +862,172 @@ mod tests {
         assert_eq!(ws.stats().graph_reuses, reuses_before + 1);
         let cold_ok = scheduler.solve(&ctx, &a).unwrap();
         assert_bit_identical(&cold_ok, &ok, &ctx);
+    }
+
+    #[test]
+    fn near_memo_replays_non_consecutive_repeats_bit_identically() {
+        let (ctx, probs, ids) = example1_context();
+        let [_, _, t3, _, _, t5, ..] = ids;
+        let scheduler = OnlineScheduler::new();
+        let table = |d: Vec<f64>| {
+            let mut p = probs.clone();
+            p.set(t3, d.clone()).unwrap();
+            p.set(t5, d).unwrap();
+            p
+        };
+        let a = table(vec![0.7, 0.3]);
+        let b = table(vec![0.3, 0.7]);
+
+        let mut ws = SolverWorkspace::new();
+        ws.set_near_memo(0.05, 32);
+        let first = scheduler.solve_with_workspace(&ctx, &a, &mut ws).unwrap();
+        scheduler.solve_with_workspace(&ctx, &b, &mut ws).unwrap();
+        assert_eq!(ws.stats().near_hits, 0, "cold solves cannot near-hit");
+        // Returning to `a` is a non-consecutive repeat: the depth-1 memo
+        // misses (last solve was `b`) and the near memo must answer.
+        let rebuilds_before = ws.stats().graph_rebuilds + ws.stats().graph_reuses;
+        let back = scheduler.solve_with_workspace(&ctx, &a, &mut ws).unwrap();
+        assert_eq!(ws.stats().near_hits, 1);
+        assert_eq!(
+            ws.stats().graph_rebuilds + ws.stats().graph_reuses,
+            rebuilds_before,
+            "a near hit must not run the graph pipeline"
+        );
+        assert_bit_identical(&first, &back, &ctx);
+        let cold = scheduler.solve(&ctx, &a).unwrap();
+        assert_bit_identical(&cold, &back, &ctx);
+        // The replay refreshed the depth-1 memo: an exact consecutive
+        // repeat of `a` now hits layer 4, not the near memo again.
+        scheduler.solve_with_workspace(&ctx, &a, &mut ws).unwrap();
+        assert_eq!(ws.stats().memo_hits, 1);
+        assert_eq!(ws.stats().near_hits, 1);
+    }
+
+    #[test]
+    fn near_memo_never_substitutes_a_same_bucket_table() {
+        // Two tables in the same quantisation bucket (quantum 0.05 buckets
+        // 0.70 and 0.71 both to round(14.x) at most one apart — pick values
+        // that collide) must not replay each other: the near memo is an
+        // exact-replay cache with a quantised *index*, never a nearby
+        // *answer*.
+        let (ctx, probs, ids) = example1_context();
+        let [_, _, t3, _, _, t5, ..] = ids;
+        let scheduler = OnlineScheduler::new();
+        let table = |d: Vec<f64>| {
+            let mut p = probs.clone();
+            p.set(t3, d.clone()).unwrap();
+            p.set(t5, d).unwrap();
+            p
+        };
+        // quantum 0.05: 0.70/0.05 = 14.0 and 0.71/0.05 = 14.2 both round
+        // to 14; 0.30 → 6 and 0.29 → 6. Same key, different bits.
+        let a = table(vec![0.70, 0.30]);
+        let a_drifted = table(vec![0.71, 0.29]);
+
+        let mut ws = SolverWorkspace::new();
+        ws.set_near_memo(0.05, 32);
+        scheduler.solve_with_workspace(&ctx, &a, &mut ws).unwrap();
+        let warm = scheduler
+            .solve_with_workspace(&ctx, &a_drifted, &mut ws)
+            .unwrap();
+        assert_eq!(
+            ws.stats().near_hits,
+            0,
+            "a same-bucket but different table must fall through to the solver"
+        );
+        let cold = scheduler.solve(&ctx, &a_drifted).unwrap();
+        assert_bit_identical(&cold, &warm, &ctx);
+        // The bucket now holds the drifted table. After an intervening
+        // solve from a *different* bucket (so neither the depth-1 memo nor
+        // this bucket is disturbed), revisiting the drifted table replays.
+        let elsewhere = table(vec![0.30, 0.70]);
+        scheduler
+            .solve_with_workspace(&ctx, &elsewhere, &mut ws)
+            .unwrap();
+        scheduler
+            .solve_with_workspace(&ctx, &a_drifted, &mut ws)
+            .unwrap();
+        assert_eq!(ws.stats().near_hits, 1);
+    }
+
+    #[test]
+    fn near_hits_recharge_work_for_identical_budget_verdicts() {
+        let (ctx, probs, ids) = example1_context();
+        let [_, _, t3, _, _, t5, ..] = ids;
+        let scheduler = OnlineScheduler::new();
+        let table = |d: Vec<f64>| {
+            let mut p = probs.clone();
+            p.set(t3, d.clone()).unwrap();
+            p.set(t5, d).unwrap();
+            p
+        };
+        let a = table(vec![0.7, 0.3]);
+        let b = table(vec![0.3, 0.7]);
+
+        let mut probe = SolverWorkspace::new();
+        scheduler
+            .solve_with_workspace(&ctx, &a, &mut probe)
+            .unwrap();
+        let cost_a = probe.last_solve_cost().unwrap();
+
+        let mut ws = SolverWorkspace::new();
+        ws.set_near_memo(0.05, 32);
+        scheduler.solve_with_workspace(&ctx, &a, &mut ws).unwrap();
+        scheduler.solve_with_workspace(&ctx, &b, &mut ws).unwrap();
+
+        // One unit short: the near replay's re-charge must abort with the
+        // identical error a cold solve of `a` produces at that budget.
+        ws.set_budget(Some(cost_a - 1));
+        let warm_err = scheduler.solve_with_workspace(&ctx, &a, &mut ws);
+        let mut cold_ws = SolverWorkspace::new();
+        cold_ws.set_budget(Some(cost_a - 1));
+        let cold_err = scheduler.solve_with_workspace(&ctx, &a, &mut cold_ws);
+        assert_eq!(warm_err, cold_err);
+        assert!(matches!(
+            warm_err,
+            Err(SchedError::SolveBudgetExceeded { .. })
+        ));
+        assert_eq!(ws.stats().near_hits, 0, "an aborted replay is not a hit");
+
+        // Exactly affordable: the replay succeeds and is bit-identical.
+        ws.set_budget(Some(cost_a));
+        let ok = scheduler.solve_with_workspace(&ctx, &a, &mut ws).unwrap();
+        assert_eq!(ws.stats().near_hits, 1);
+        let cold_ok = scheduler.solve(&ctx, &a).unwrap();
+        assert_bit_identical(&cold_ok, &ok, &ctx);
+    }
+
+    #[test]
+    fn rebind_and_disable_drop_near_entries() {
+        let (ctx, probs, _) = example1_context();
+        let scheduler = OnlineScheduler::new();
+        let mut ws = SolverWorkspace::new();
+        ws.set_near_memo(0.05, 32);
+        scheduler
+            .solve_with_workspace(&ctx, &probs, &mut ws)
+            .unwrap();
+        let cfg = StretchConfig::default();
+        assert!(ws.near_seed(&ctx, &probs, &cfg).is_some());
+
+        // A different context drops the entries but keeps the memo enabled.
+        let ctx2 = SchedContext::new(
+            ctx.ctg().with_deadline(ctx.ctg().deadline() * 2.0),
+            ctx.platform().clone(),
+        )
+        .unwrap();
+        scheduler
+            .solve_with_workspace(&ctx2, &probs, &mut ws)
+            .unwrap();
+        assert_eq!(ws.stats().near_hits, 0);
+        assert!(ws.near_seed(&ctx2, &probs, &cfg).is_some());
+
+        // Disabling drops everything; seeds stop being offered.
+        ws.clear_near_memo();
+        assert!(ws.near_seed(&ctx2, &probs, &cfg).is_none());
+        scheduler
+            .solve_with_workspace(&ctx2, &probs, &mut ws)
+            .unwrap();
+        assert_eq!(ws.stats().near_hits, 0);
     }
 
     #[test]

@@ -28,6 +28,12 @@ pub enum Stage {
     Stretch,
     /// A solve answered from the workspace's last-solve memo.
     MemoHit,
+    /// A solve answered from the workspace's quantised near-miss memo
+    /// (exact replay of a cached table in the same quantisation bucket).
+    NearMissHit,
+    /// The path enumeration ran fanned out over intra-solve workers
+    /// (`arg` = worker count).
+    PathEnumPar,
     /// The manager's windowed estimate crossed its drift threshold
     /// (`arg` = instances observed so far).
     DriftDetect,
@@ -72,6 +78,8 @@ impl Stage {
             Stage::PoolHit => "pool_hit",
             Stage::Stretch => "stretch",
             Stage::MemoHit => "memo_hit",
+            Stage::NearMissHit => "near_miss_hit",
+            Stage::PathEnumPar => "path_enum_par",
             Stage::DriftDetect => "drift_detect",
             Stage::Adopt => "adopt",
             Stage::CacheHit => "cache_hit",
@@ -91,8 +99,16 @@ impl Stage {
     /// Coarse category for trace viewers (Perfetto groups by `cat`).
     pub fn category(self) -> &'static str {
         match self {
-            Stage::Solve | Stage::DlsMap | Stage::PathEnum | Stage::Stretch => "solver",
-            Stage::PoolHit | Stage::MemoHit | Stage::CacheHit | Stage::CacheMiss => "cache",
+            Stage::Solve
+            | Stage::DlsMap
+            | Stage::PathEnum
+            | Stage::PathEnumPar
+            | Stage::Stretch => "solver",
+            Stage::PoolHit
+            | Stage::MemoHit
+            | Stage::NearMissHit
+            | Stage::CacheHit
+            | Stage::CacheMiss => "cache",
             Stage::DriftDetect | Stage::Adopt => "adapt",
             Stage::Coalesce | Stage::FanOut | Stage::Tick => "serve",
             Stage::FaultInject
@@ -148,6 +164,8 @@ mod tests {
             Stage::PoolHit,
             Stage::Stretch,
             Stage::MemoHit,
+            Stage::NearMissHit,
+            Stage::PathEnumPar,
             Stage::DriftDetect,
             Stage::Adopt,
             Stage::CacheHit,

@@ -42,10 +42,12 @@ pub enum Counter {
     QuarantineEvents,
     /// Solves aborted by the work-budget watchdog.
     BudgetExceededSolves,
+    /// Solves answered by the workspace's quantised near-miss memo.
+    NearMissHits,
 }
 
 /// All counters, in snapshot/export order.
-pub const COUNTERS: [Counter; 13] = [
+pub const COUNTERS: [Counter; 14] = [
     Counter::Instances,
     Counter::DeadlineMisses,
     Counter::SolverCalls,
@@ -59,6 +61,7 @@ pub const COUNTERS: [Counter; 13] = [
     Counter::ShedRequests,
     Counter::QuarantineEvents,
     Counter::BudgetExceededSolves,
+    Counter::NearMissHits,
 ];
 
 impl Counter {
@@ -77,6 +80,7 @@ impl Counter {
             Counter::ShedRequests => 10,
             Counter::QuarantineEvents => 11,
             Counter::BudgetExceededSolves => 12,
+            Counter::NearMissHits => 13,
         }
     }
 
@@ -96,6 +100,7 @@ impl Counter {
             Counter::ShedRequests => "shed_requests",
             Counter::QuarantineEvents => "quarantine_events",
             Counter::BudgetExceededSolves => "budget_exceeded_solves",
+            Counter::NearMissHits => "near_miss_hits",
         }
     }
 }

@@ -95,6 +95,12 @@ pub struct RunConfig {
     /// [`Runner::serve`] workers and [`Runner::run_adaptive`] managers.
     /// `None` (the default) never aborts a solve.
     pub solve_budget: Option<u64>,
+    /// Intra-solve worker threads for the solver's inner loops (path
+    /// enumeration, DLS candidate evaluation), applied to
+    /// [`Runner::serve`] workers and [`Runner::run_adaptive`] managers.
+    /// Results are bit-identical at any count; `1` (the default) keeps
+    /// every solve sequential.
+    pub intra_solve_workers: usize,
     /// Admission control for [`Runner::serve`]: cap per-tick reschedule
     /// demand and shed the excess deterministically.
     pub admission: Option<AdmissionConfig>,
@@ -126,6 +132,7 @@ impl RunConfig {
             fault_plan: None,
             degrade: None,
             solve_budget: None,
+            intra_solve_workers: 1,
             admission: None,
             quarantine: None,
             obs: Obs::disabled(),
@@ -140,12 +147,15 @@ impl RunConfig {
     /// * `min_batch` ← `CTG_POOL_MIN_BATCH`, else
     ///   [`pool::DEFAULT_MIN_BATCH`] ([`pool::min_batch`]);
     /// * `shards` ← `CTG_SERVE_SHARDS`, else the worker count
-    ///   ([`serve::default_shards`]).
+    ///   ([`serve::default_shards`]);
+    /// * `intra_solve_workers` ← `CTG_INTRA_SOLVE`, else `1`
+    ///   ([`ctg_sched::intra_solve_workers`]).
     pub fn from_env() -> Self {
         RunConfig {
             workers: pool::worker_count(),
             min_batch: pool::min_batch(),
             shards: serve::default_shards(),
+            intra_solve_workers: ctg_sched::intra_solve_workers(),
             ..RunConfig::new()
         }
     }
@@ -214,6 +224,13 @@ impl RunConfig {
         self
     }
 
+    /// Sets the intra-solve worker count (`1` = sequential inner loops).
+    #[must_use]
+    pub fn intra_solve_workers(mut self, workers: usize) -> Self {
+        self.intra_solve_workers = workers;
+        self
+    }
+
     /// Enables serve-engine admission control.
     #[must_use]
     pub fn admission(mut self, cfg: AdmissionConfig) -> Self {
@@ -244,6 +261,7 @@ impl RunConfig {
             coalesce: self.coalesce,
             quantum: self.quantum,
             solve_budget: self.solve_budget,
+            intra_solve_workers: self.intra_solve_workers,
             admission: self.admission,
             quarantine: self.quarantine,
         }
@@ -350,6 +368,7 @@ impl Runner {
         let obs = &self.cfg.obs;
         let mut manager = manager;
         manager.set_solve_budget(self.cfg.solve_budget);
+        manager.set_intra_solve_workers(self.cfg.intra_solve_workers);
         if self.cfg.fault_plan.is_none() && self.cfg.degrade.is_none() {
             return runner::adaptive_run(ctx, manager, vectors, obs);
         }
@@ -429,6 +448,7 @@ mod tests {
             .fault_plan(FaultPlan::none(3))
             .degrade(DegradeConfig::default())
             .solve_budget(5000)
+            .intra_solve_workers(2)
             .admission(AdmissionConfig { high_water: 3 })
             .quarantine(QuarantineConfig::default());
         assert_eq!(cfg.workers, 4);
@@ -439,10 +459,12 @@ mod tests {
         assert!(cfg.fault_plan.is_some());
         assert!(cfg.degrade.is_some());
         assert_eq!(cfg.solve_budget, Some(5000));
+        assert_eq!(cfg.intra_solve_workers, 2);
         let sc = cfg.serve_config();
         assert_eq!(sc.workers, 4);
         assert_eq!(sc.shards, 7);
         assert_eq!(sc.solve_budget, Some(5000));
+        assert_eq!(sc.intra_solve_workers, 2);
         assert_eq!(sc.admission, Some(AdmissionConfig { high_water: 3 }));
         assert_eq!(sc.quarantine, Some(QuarantineConfig::default()));
         assert!(!cfg.obs.enabled());
@@ -456,6 +478,7 @@ mod tests {
         assert_eq!(cfg.workers, pool::worker_count());
         assert_eq!(cfg.min_batch, pool::min_batch());
         assert_eq!(cfg.shards, serve::default_shards());
+        assert_eq!(cfg.intra_solve_workers, ctg_sched::intra_solve_workers());
     }
 
     #[test]

@@ -231,6 +231,11 @@ pub struct ServeConfig {
     /// solve. `None` disables budgeting; tick-0 setup solves are always
     /// exempt (there is no plan to fall back on yet).
     pub solve_budget: Option<u64>,
+    /// Intra-solve worker threads for each solve's inner loops (path
+    /// enumeration, DLS candidate evaluation) — orthogonal to `workers`,
+    /// which parallelises *across* streams. Results are bit-identical at
+    /// any count; `1` (the default) keeps every solve sequential.
+    pub intra_solve_workers: usize,
     /// Admission control; `None` admits every request (baseline
     /// behaviour, bit-exact with pre-overload engines).
     pub admission: Option<AdmissionConfig>,
@@ -251,6 +256,7 @@ impl Default for ServeConfig {
             coalesce: true,
             quantum: 0.1,
             solve_budget: None,
+            intra_solve_workers: 1,
             admission: None,
             quarantine: None,
         }
@@ -784,6 +790,7 @@ pub(crate) fn serve_engine(
     let online = OnlineScheduler::new();
     let mut setup_ws = SolverWorkspace::new();
     setup_ws.set_obs(obs.clone(), 0);
+    setup_ws.set_intra_workers(cfg.intra_solve_workers);
     let mut initial: HashMap<Vec<u64>, Solution> = HashMap::new();
     for spec in specs {
         if let Entry::Vacant(e) = initial.entry(probs_bits(ctx, &spec.initial_probs)) {
@@ -874,6 +881,7 @@ pub(crate) fn serve_engine(
                 let mut ws = SolverWorkspace::new();
                 ws.set_obs(obs.clone(), track);
                 ws.set_budget(cfg.solve_budget);
+                ws.set_intra_workers(cfg.intra_solve_workers);
                 let mut counters = LocalCounters::default();
                 let mut last_seen = 0usize;
                 let id_to_idx: HashMap<usize, usize> = my_streams
@@ -1646,6 +1654,7 @@ mod tests {
             coalesce: true,
             quantum: 0.1,
             solve_budget: Some(0),
+            intra_solve_workers: 1,
             admission: None,
             quarantine: Some(QuarantineConfig {
                 strikes: 2,
@@ -1701,6 +1710,7 @@ mod tests {
             coalesce: true,
             quantum: 0.1,
             solve_budget: None,
+            intra_solve_workers: 1,
             admission: Some(AdmissionConfig { high_water: 1 }),
             quarantine: None,
         };
