@@ -47,10 +47,16 @@ echo "    determinism across workers, shards, cache modes; budget-off == baselin
 cargo test -q --offline --test serve_overload
 CTG_WORKERS=2 cargo test -q --offline --test serve_overload
 
-echo "==> serve bench smoke (asserts summaries invariant across engine configs,"
+echo "==> event-engine determinism matrix (workers x streams x arrivals x caches;"
+echo "    closed-loop == lockstep bit-for-bit)"
+cargo test -q --offline --test serve_events
+CTG_WORKERS=2 cargo test -q --offline --test serve_events
+
+echo "==> serve bench smoke (asserts summaries invariant across engine configs and"
+echo "    engines via --compare-lockstep, runs the 10k-stream open-loop scale row,"
 echo "    writes + validates a telemetry-on chrome trace)"
 cargo build -q --release --offline -p ctg-bench --bin serve
-CTG_WORKERS=2 ./target/release/serve --smoke --trace target/ci_serve_trace.json
+CTG_WORKERS=2 ./target/release/serve --smoke --compare-lockstep --trace target/ci_serve_trace.json
 test -s target/ci_serve_trace.json
 test -s target/BENCH_serve_smoke.json
 

@@ -662,6 +662,32 @@ impl AdaptiveScheduler {
         self.record_adopt(solver_call);
     }
 
+    /// Solves for `probs` through this manager's own warm-start workspace,
+    /// without touching the schedule cache, the statistics or the solution
+    /// in force — the solving half of the
+    /// [`AdaptiveScheduler::drift_candidate`] /
+    /// [`AdaptiveScheduler::adopt_candidate`] split.
+    ///
+    /// An external engine that interleaves many streams over few OS
+    /// threads uses this so each stream's solves warm-start against *its
+    /// own* solve history (memo, pool, near-miss buckets) instead of
+    /// whatever stream last used a shared per-thread workspace. The result
+    /// is bit-identical to a from-scratch solve (the workspace's warm==cold
+    /// contract), so it composes with exact-guard plan sharing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures ([`SchedError`]) unchanged; budget
+    /// aborts surface as [`SchedError::SolveBudgetExceeded`] like any other
+    /// budgeted solve.
+    pub fn solve_candidate(
+        &mut self,
+        ctx: &SchedContext,
+        probs: &BranchProbs,
+    ) -> Result<Solution, SchedError> {
+        self.workspace.solve(self.scheduler.config(), ctx, probs)
+    }
+
     /// Like [`AdaptiveScheduler::observe`], but with retry-with-fallback
     /// semantics: a failed or worse re-schedule keeps the last-known-good
     /// solution and is *reported*, not propagated. The probabilities in

@@ -1,10 +1,12 @@
-//! A small bounded LRU map, hand-rolled over `HashMap` + `VecDeque`.
+//! A small bounded LRU map, hand-rolled over `HashMap`.
 //!
-//! No external cache crate is used. The recency list is a `VecDeque<K>`
-//! scanned linearly on touch — O(capacity) per operation, which is the
-//! right trade-off for the schedule cache's double-digit capacities
-//! (entries hold full DLS+stretch solutions, so the map stays small by
-//! construction).
+//! No external cache crate is used. Recency is a monotonic stamp stored
+//! next to each value: `get`/`insert` bump the clock in O(1), and only an
+//! eviction (at most one per insert, and only once the map is full) scans
+//! for the minimum stamp. The earlier `VecDeque` recency list scanned the
+//! whole deque on *every hit* — quadratic in capacity for hit-heavy
+//! workloads, which the serving engine's striped cache and the near-miss
+//! memo both are once their capacities reach the hundreds.
 //!
 //! The schedule cache and the warm-start
 //! [`SolverWorkspace`](crate::SolverWorkspace) are complementary: the
@@ -15,7 +17,7 @@
 
 use crate::context::SchedContext;
 use ctg_model::BranchProbs;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::hash::Hash;
 
 /// Cache key of one solver invocation: the branch-probability table
@@ -78,9 +80,11 @@ impl ScheduleKey {
 /// which lets callers thread "caching disabled" through the same code path.
 #[derive(Debug, Clone)]
 pub struct LruCache<K, V> {
-    map: HashMap<K, V>,
-    /// Keys from least- (front) to most-recently-used (back).
-    recency: VecDeque<K>,
+    /// Value plus the clock stamp of its last use (higher = more recent).
+    map: HashMap<K, (V, u64)>,
+    /// Monotonic use counter; stamps are unique, so the eviction victim
+    /// (minimum stamp) is unambiguous regardless of map iteration order.
+    clock: u64,
     capacity: usize,
 }
 
@@ -89,7 +93,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn new(capacity: usize) -> Self {
         LruCache {
             map: HashMap::with_capacity(capacity),
-            recency: VecDeque::with_capacity(capacity),
+            clock: 0,
             capacity,
         }
     }
@@ -111,15 +115,17 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 
     /// Looks `key` up, marking it most-recently-used on a hit.
     pub fn get(&mut self, key: &K) -> Option<&V> {
-        if self.map.contains_key(key) {
-            self.touch(key);
-        }
-        self.map.get(key)
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|slot| {
+            slot.1 = clock;
+            &slot.0
+        })
     }
 
     /// Looks `key` up without affecting recency.
     pub fn peek(&self, key: &K) -> Option<&V> {
-        self.map.get(key)
+        self.map.get(key).map(|slot| &slot.0)
     }
 
     /// Inserts (or replaces) an entry as most-recently-used, evicting the
@@ -129,17 +135,23 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         if self.capacity == 0 {
             return None;
         }
-        if self.map.contains_key(&key) {
-            self.touch(&key);
-            return self.map.insert(key, value);
+        self.clock += 1;
+        if let Some(slot) = self.map.get_mut(&key) {
+            let old = std::mem::replace(&mut slot.0, value);
+            slot.1 = self.clock;
+            return Some(old);
         }
         if self.map.len() == self.capacity {
-            if let Some(lru) = self.recency.pop_front() {
-                self.map.remove(&lru);
-            }
+            let lru = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+                .expect("a full cache has a least-recently-used entry");
+            self.map.remove(&lru);
         }
-        self.recency.push_back(key.clone());
-        self.map.insert(key, value)
+        self.map.insert(key, (value, self.clock));
+        None
     }
 
     /// Drops every entry, keeping the configured capacity. Used when the
@@ -147,15 +159,6 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// rebinding to a different context).
     pub fn clear(&mut self) {
         self.map.clear();
-        self.recency.clear();
-    }
-
-    /// Moves `key` (assumed present) to the most-recently-used position.
-    fn touch(&mut self, key: &K) {
-        if let Some(pos) = self.recency.iter().position(|k| k == key) {
-            let k = self.recency.remove(pos).expect("position is in range");
-            self.recency.push_back(k);
-        }
     }
 }
 

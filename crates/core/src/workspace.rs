@@ -163,6 +163,14 @@ struct NearMemo {
 /// built for.
 #[derive(Debug, Clone)]
 struct GraphEntry {
+    /// Fingerprint of (schedule mapping/order, path cap): a u64 prefilter
+    /// so pool scans compare one word per entry instead of five vectors.
+    /// Equality is still decided by the full `schedule` compare below.
+    fp: u64,
+    /// Recency stamp (higher = more recently used); the eviction victim is
+    /// the minimum. Stamps replace a move-to-back `Vec` discipline whose
+    /// `remove`/`push` shuffled these fat entries on every hit.
+    stamp: u64,
     schedule: Schedule,
     path_cap: usize,
     /// `None` when the path enumeration exceeded the cap — a property of
@@ -187,6 +195,19 @@ struct GraphEntry {
 /// just over its capacity thrashes to ~0 hits.
 const GRAPH_POOL_CAP: usize = 64;
 
+/// Pool-scan prefilter: hashes the schedule's mapping and order (plus the
+/// path cap). Start/finish times are a pure function of mapping + order
+/// within one bound context, so they add nothing to the fingerprint; the
+/// full equality compare still has the final say on a fingerprint match.
+fn graph_fp(schedule: &Schedule, path_cap: usize) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    path_cap.hash(&mut h);
+    schedule.assignment.hash(&mut h);
+    schedule.task_order.hash(&mut h);
+    h.finish()
+}
+
 /// Reusable state for repeated online solves over one (CTG, platform)
 /// context — see the [module docs](self) for the layers and the
 /// equivalence argument.
@@ -203,8 +224,11 @@ pub struct SolverWorkspace {
     sl: Vec<f64>,
     sl_probs: Option<BranchProbs>,
     last: Option<LastSolve>,
-    /// Recently used scheduled graphs, least-recently-used first.
+    /// Pooled scheduled graphs, recency carried by each entry's stamp.
     graphs: Vec<GraphEntry>,
+    /// Monotonic use counter stamping pool entries (unique, so the
+    /// minimum-stamp eviction victim is unambiguous).
+    graph_clock: u64,
     scratch: StretchScratch,
     reweight_scratch: ReweightScratch,
     stats: WorkspaceStats,
@@ -517,10 +541,11 @@ impl SolverWorkspace {
         // the enumeration exceeds the cap depends on (schedule, cap) alone.
         // Entries are unique per (schedule, cap); a hit moves its entry to
         // the most-recently-used end.
+        let fp = graph_fp(&schedule, cfg.path_cap);
         let hit = self
             .graphs
             .iter()
-            .position(|e| e.path_cap == cfg.path_cap && e.schedule == schedule);
+            .position(|e| e.fp == fp && e.path_cap == cfg.path_cap && e.schedule == schedule);
         let via = if hit.is_some() {
             SOLVE_VIA_POOL
         } else {
@@ -537,14 +562,21 @@ impl SolverWorkspace {
                 }
                 self.stats.graph_reuses += 1;
                 obs.instant(track, Stage::PoolHit, 1);
-                let mut entry = self.graphs.remove(i);
+                self.graph_clock += 1;
                 let stretch_span = obs.span(track, Stage::Stretch);
+                let Self {
+                    graphs,
+                    scratch,
+                    reweight_scratch,
+                    graph_clock,
+                    ..
+                } = self;
+                let entry = &mut graphs[i];
+                entry.stamp = *graph_clock;
                 let speeds = match entry.graph.as_mut() {
                     Some(g) => {
                         if entry.probs != *probs {
-                            entry
-                                .groups
-                                .reweight_with(ctx, probs, g, &mut self.reweight_scratch);
+                            entry.groups.reweight_with(ctx, probs, g, reweight_scratch);
                             entry.probs = probs.clone();
                         }
                         stretch_on_graph(
@@ -555,13 +587,12 @@ impl SolverWorkspace {
                             g,
                             &entry.groups,
                             None,
-                            &mut self.scratch,
+                            scratch,
                         )
                     }
                     None => critical_path_fallback(ctx, probs, &schedule, cfg),
                 };
                 stretch_span.end(1);
-                self.graphs.push(entry);
                 speeds
             }
             None => {
@@ -609,9 +640,19 @@ impl SolverWorkspace {
                 };
                 stretch_span.end(0);
                 if self.graphs.len() == GRAPH_POOL_CAP {
-                    self.graphs.remove(0);
+                    let victim = self
+                        .graphs
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.stamp)
+                        .map(|(i, _)| i)
+                        .expect("a full pool has a least-recently-used entry");
+                    self.graphs.swap_remove(victim);
                 }
+                self.graph_clock += 1;
                 self.graphs.push(GraphEntry {
+                    fp,
+                    stamp: self.graph_clock,
                     schedule: schedule.clone(),
                     path_cap: cfg.path_cap,
                     graph,

@@ -51,6 +51,14 @@ pub enum Stage {
     FanOut,
     /// One lockstep serving tick on one worker (`arg` = streams advanced).
     Tick,
+    /// An instance arrival was pushed onto a worker's event queue
+    /// (`arg` = queue depth after the push).
+    Enqueue,
+    /// A worker popped and serviced one event from its virtual-time queue
+    /// (`arg` = stream id).
+    Dequeue,
+    /// An instance completed past its latency SLO (`arg` = stream id).
+    SloMiss,
     /// Faults were injected into an instance (`arg` = events injected).
     FaultInject,
     /// The degradation ladder changed rung (`arg` = new rung, 0..=3).
@@ -87,6 +95,9 @@ impl Stage {
             Stage::Coalesce => "coalesce",
             Stage::FanOut => "fan_out",
             Stage::Tick => "tick",
+            Stage::Enqueue => "enqueue",
+            Stage::Dequeue => "dequeue",
+            Stage::SloMiss => "slo_miss",
             Stage::FaultInject => "fault_inject",
             Stage::Ladder => "ladder",
             Stage::Shed => "shed",
@@ -110,7 +121,12 @@ impl Stage {
             | Stage::CacheHit
             | Stage::CacheMiss => "cache",
             Stage::DriftDetect | Stage::Adopt => "adapt",
-            Stage::Coalesce | Stage::FanOut | Stage::Tick => "serve",
+            Stage::Coalesce
+            | Stage::FanOut
+            | Stage::Tick
+            | Stage::Enqueue
+            | Stage::Dequeue
+            | Stage::SloMiss => "serve",
             Stage::FaultInject
             | Stage::Ladder
             | Stage::Shed
@@ -173,6 +189,9 @@ mod tests {
             Stage::Coalesce,
             Stage::FanOut,
             Stage::Tick,
+            Stage::Enqueue,
+            Stage::Dequeue,
+            Stage::SloMiss,
             Stage::FaultInject,
             Stage::Ladder,
             Stage::Shed,

@@ -44,10 +44,12 @@ pub enum Counter {
     BudgetExceededSolves,
     /// Solves answered by the workspace's quantised near-miss memo.
     NearMissHits,
+    /// Instances whose arrival-to-completion latency exceeded the SLO.
+    SloMisses,
 }
 
 /// All counters, in snapshot/export order.
-pub const COUNTERS: [Counter; 14] = [
+pub const COUNTERS: [Counter; 15] = [
     Counter::Instances,
     Counter::DeadlineMisses,
     Counter::SolverCalls,
@@ -62,6 +64,7 @@ pub const COUNTERS: [Counter; 14] = [
     Counter::QuarantineEvents,
     Counter::BudgetExceededSolves,
     Counter::NearMissHits,
+    Counter::SloMisses,
 ];
 
 impl Counter {
@@ -81,6 +84,7 @@ impl Counter {
             Counter::QuarantineEvents => 11,
             Counter::BudgetExceededSolves => 12,
             Counter::NearMissHits => 13,
+            Counter::SloMisses => 14,
         }
     }
 
@@ -101,6 +105,7 @@ impl Counter {
             Counter::QuarantineEvents => "quarantine_events",
             Counter::BudgetExceededSolves => "budget_exceeded_solves",
             Counter::NearMissHits => "near_miss_hits",
+            Counter::SloMisses => "slo_misses",
         }
     }
 }

@@ -1,0 +1,305 @@
+//! Deterministic arrival-process samplers for open-loop serving.
+//!
+//! The event-driven serving engine gives every stream an independent
+//! inter-arrival process. These samplers are the vendored, reproducible
+//! building blocks: each stream's gap sequence is a pure function of
+//! `(seed, stream_id)` — and therefore the `index`-th gap is a pure
+//! function of `(seed, stream_id, index)` — so arrival times can never
+//! depend on worker counts, sharding or wall-clock interleaving. The exact
+//! sequences are part of this crate's contract (experiments pin them), and
+//! the `golden_*` tests below guard the first few values of each process
+//! so a refactor cannot silently shift every arrival in every benchmark.
+//!
+//! Two processes are provided:
+//!
+//! * [`PoissonGaps`] — exponential inter-arrival gaps at a fixed rate
+//!   (inverse-CDF over [`Rng64`] draws): the classic open-loop Poisson
+//!   arrival stream.
+//! * [`BurstyGaps`] — a Gilbert–Elliott-modulated Poisson process: a
+//!   two-state Markov chain (calm/burst) advanced one step per gap, with
+//!   the burst state multiplying the arrival rate. This reproduces the
+//!   correlated request storms the serve engine's overload machinery is
+//!   designed for, with the same `(p_enter, p_exit)` parameterisation as
+//!   the fault injector's `BurstModel`.
+//!
+//! Every gap consumes a fixed number of generator draws (one for
+//! [`PoissonGaps`], two for [`BurstyGaps`]), which is what makes per-index
+//! replay ([`PoissonGaps::gap_at`], [`BurstyGaps::gap_at`]) exact.
+
+use crate::{Rng64, SplitMix64};
+
+/// Derives the per-stream generator: decorrelated across both the base
+/// seed and the stream id, so "same movie, different session" streams see
+/// independent arrival processes.
+fn stream_rng(seed: u64, stream_id: u64) -> Rng64 {
+    Rng64::seed_from_u64(SplitMix64::mix(seed, stream_id))
+}
+
+/// Draws one exponential gap with the given rate from `rng`.
+///
+/// Inverse CDF: `-ln(1 - u) / rate` with `u ∈ [0, 1)`, so the argument of
+/// `ln` lies in `(0, 1]` and the gap is always finite and non-negative.
+fn exp_gap(rng: &mut Rng64, rate: f64) -> f64 {
+    -(1.0 - rng.next_f64()).ln() / rate
+}
+
+/// Exponential (Poisson-process) inter-arrival gaps for one stream.
+///
+/// The sequence of gaps is a pure function of `(seed, stream_id)`; the
+/// `i`-th gap is a pure function of `(seed, stream_id, i)` (see
+/// [`PoissonGaps::gap_at`]).
+#[derive(Debug, Clone)]
+pub struct PoissonGaps {
+    rng: Rng64,
+    rate: f64,
+}
+
+impl PoissonGaps {
+    /// A sampler for stream `stream_id` with mean arrival rate `rate`
+    /// (arrivals per simulated time unit; mean gap `1 / rate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is finite and positive.
+    pub fn new(seed: u64, stream_id: u64, rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be finite and positive"
+        );
+        PoissonGaps {
+            rng: stream_rng(seed, stream_id),
+            rate,
+        }
+    }
+
+    /// The next inter-arrival gap.
+    pub fn next_gap(&mut self) -> f64 {
+        exp_gap(&mut self.rng, self.rate)
+    }
+
+    /// The `index`-th gap, replayed from scratch — a pure function of
+    /// `(seed, stream_id, index)`. O(`index`); the engine iterates with
+    /// [`PoissonGaps::next_gap`], tests use this to pin purity.
+    pub fn gap_at(seed: u64, stream_id: u64, rate: f64, index: usize) -> f64 {
+        let mut s = PoissonGaps::new(seed, stream_id, rate);
+        for _ in 0..index {
+            s.next_gap();
+        }
+        s.next_gap()
+    }
+}
+
+/// Gilbert–Elliott-modulated Poisson inter-arrival gaps for one stream.
+///
+/// A two-state chain starts calm; before each gap it enters the burst
+/// state with probability `p_enter` (or leaves it with probability
+/// `p_exit`), and the gap is exponential at `rate * burst_mult` while
+/// bursting, `rate` otherwise. Each gap consumes exactly two generator
+/// draws (state flip + exponential), so the sequence — and the `i`-th gap
+/// — is a pure function of `(seed, stream_id)` (resp. `(seed, stream_id,
+/// i)`).
+#[derive(Debug, Clone)]
+pub struct BurstyGaps {
+    rng: Rng64,
+    rate: f64,
+    burst_mult: f64,
+    p_enter: f64,
+    p_exit: f64,
+    in_burst: bool,
+}
+
+impl BurstyGaps {
+    /// A sampler for stream `stream_id`: calm rate `rate`, burst rate
+    /// `rate * burst_mult`, per-gap transition probabilities `p_enter` /
+    /// `p_exit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` and `burst_mult` are finite and positive and
+    /// the transition probabilities lie in `[0, 1]`.
+    pub fn new(
+        seed: u64,
+        stream_id: u64,
+        rate: f64,
+        burst_mult: f64,
+        p_enter: f64,
+        p_exit: f64,
+    ) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be finite and positive"
+        );
+        assert!(
+            burst_mult.is_finite() && burst_mult > 0.0,
+            "burst multiplier must be finite and positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&p_enter) && (0.0..=1.0).contains(&p_exit),
+            "transition probabilities must lie in [0, 1]"
+        );
+        BurstyGaps {
+            rng: stream_rng(seed, stream_id),
+            rate,
+            burst_mult,
+            p_enter,
+            p_exit,
+            in_burst: false,
+        }
+    }
+
+    /// Whether the chain is currently in the burst state.
+    pub fn in_burst(&self) -> bool {
+        self.in_burst
+    }
+
+    /// Advances the chain one step and draws the next gap.
+    pub fn next_gap(&mut self) -> f64 {
+        let flip_p = if self.in_burst {
+            self.p_exit
+        } else {
+            self.p_enter
+        };
+        if self.rng.gen_bool(flip_p) {
+            self.in_burst = !self.in_burst;
+        }
+        let rate = if self.in_burst {
+            self.rate * self.burst_mult
+        } else {
+            self.rate
+        };
+        exp_gap(&mut self.rng, rate)
+    }
+
+    /// The `index`-th gap, replayed from scratch — a pure function of
+    /// `(seed, stream_id, index)` for fixed process parameters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gap_at(
+        seed: u64,
+        stream_id: u64,
+        rate: f64,
+        burst_mult: f64,
+        p_enter: f64,
+        p_exit: f64,
+        index: usize,
+    ) -> f64 {
+        let mut s = BurstyGaps::new(seed, stream_id, rate, burst_mult, p_enter, p_exit);
+        for _ in 0..index {
+            s.next_gap();
+        }
+        s.next_gap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEED: u64 = 0x0A17_1BA5;
+
+    #[test]
+    fn poisson_gaps_are_pure_per_index() {
+        let mut iter = PoissonGaps::new(SEED, 3, 0.5);
+        for i in 0..16 {
+            let sequential = iter.next_gap();
+            let replayed = PoissonGaps::gap_at(SEED, 3, 0.5, i);
+            assert_eq!(
+                sequential.to_bits(),
+                replayed.to_bits(),
+                "gap {i} must be a pure function of (seed, stream, index)"
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_gaps_are_pure_per_index() {
+        let mut iter = BurstyGaps::new(SEED, 7, 1.0, 8.0, 0.2, 0.3);
+        for i in 0..16 {
+            let sequential = iter.next_gap();
+            let replayed = BurstyGaps::gap_at(SEED, 7, 1.0, 8.0, 0.2, 0.3, i);
+            assert_eq!(
+                sequential.to_bits(),
+                replayed.to_bits(),
+                "bursty gap {i} must be a pure function of (seed, stream, index)"
+            );
+        }
+    }
+
+    #[test]
+    fn streams_and_seeds_decorrelate() {
+        let a = PoissonGaps::gap_at(SEED, 0, 1.0, 0);
+        let b = PoissonGaps::gap_at(SEED, 1, 1.0, 0);
+        let c = PoissonGaps::gap_at(SEED + 1, 0, 1.0, 0);
+        assert_ne!(a.to_bits(), b.to_bits());
+        assert_ne!(a.to_bits(), c.to_bits());
+    }
+
+    #[test]
+    fn gaps_are_finite_positive_and_mean_tracks_rate() {
+        let mut p = PoissonGaps::new(SEED, 11, 2.0);
+        let mut sum = 0.0;
+        for _ in 0..20_000 {
+            let g = p.next_gap();
+            assert!(g.is_finite() && g >= 0.0, "gap {g}");
+            sum += g;
+        }
+        let mean = sum / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean gap {mean} at rate 2.0");
+    }
+
+    #[test]
+    fn bursty_bursts_shorten_gaps() {
+        // With p_enter = 1 the chain bursts immediately and stays through
+        // p_exit = 0: every gap runs at 10x the calm rate.
+        let mut always = BurstyGaps::new(SEED, 1, 1.0, 10.0, 1.0, 0.0);
+        assert!(!always.in_burst());
+        let mut burst_sum = 0.0;
+        for _ in 0..10_000 {
+            burst_sum += always.next_gap();
+        }
+        assert!(always.in_burst());
+        let mut never = BurstyGaps::new(SEED, 1, 1.0, 10.0, 0.0, 0.0);
+        let mut calm_sum = 0.0;
+        for _ in 0..10_000 {
+            calm_sum += never.next_gap();
+        }
+        assert!(
+            burst_sum * 5.0 < calm_sum,
+            "burst gaps must be ~10x shorter: {burst_sum} vs {calm_sum}"
+        );
+    }
+
+    /// Golden pins: the first gaps of each process for a fixed seed. If a
+    /// refactor changes these bits, every open-loop benchmark and the
+    /// serve-engine determinism matrix silently shift — fail loudly here
+    /// instead.
+    #[test]
+    fn golden_sequences_are_pinned() {
+        let poisson: Vec<u64> = (0..4)
+            .map(|i| PoissonGaps::gap_at(0xDEC0DE, 5, 0.5, i).to_bits())
+            .collect();
+        let bursty: Vec<u64> = (0..4)
+            .map(|i| BurstyGaps::gap_at(0xDEC0DE, 5, 1.0, 8.0, 0.1, 0.25, i).to_bits())
+            .collect();
+        assert_eq!(
+            poisson, GOLDEN_POISSON,
+            "poisson golden sequence shifted: {poisson:#018X?}"
+        );
+        assert_eq!(
+            bursty, GOLDEN_BURSTY,
+            "bursty golden sequence shifted: {bursty:#018X?}"
+        );
+    }
+
+    const GOLDEN_POISSON: [u64; 4] = [
+        0x401B933FF8E804AF,
+        0x400FAB83ED850995,
+        0x40080934669F5BDB,
+        0x3FFB7A7642FF8636,
+    ];
+    const GOLDEN_BURSTY: [u64; 4] = [
+        0x3FFFAB83ED850995,
+        0x3FEB7A7642FF8636,
+        0x3FE2DBCD9F8D7AEA,
+        0x4007562575591F2E,
+    ];
+}

@@ -36,6 +36,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrival;
+
+pub use arrival::{BurstyGaps, PoissonGaps};
+
 use std::ops::{Range, RangeInclusive};
 
 /// SplitMix64: a tiny 64-bit generator/mixer.

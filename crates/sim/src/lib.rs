@@ -91,7 +91,8 @@ pub use runner::{
     FAULTY_INSTANCE_COST,
 };
 pub use serve::{
-    run_serve, AdmissionConfig, CacheMode, QuarantineConfig, ServeConfig, ServeReport, ServeStats,
-    SharedScheduleCache, StreamSpec, StreamSummary, SERVE_SHARDS_ENV,
+    default_arrival, run_serve, AdmissionConfig, ArrivalConfig, ArrivalKind, CacheMode, EngineKind,
+    QuarantineConfig, ServeConfig, ServeReport, ServeStats, SharedScheduleCache, StreamSpec,
+    StreamSummary, SERVE_ARRIVAL_ENV, SERVE_SHARDS_ENV,
 };
-pub use summary::ExecStats;
+pub use summary::{percentile_sorted, ExecStats, StreamLatency};

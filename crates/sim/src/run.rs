@@ -54,7 +54,8 @@ use crate::fault::FaultPlan;
 use crate::pool;
 use crate::runner::{self, PeriodicSummary, RunSummary};
 use crate::serve::{
-    self, AdmissionConfig, CacheMode, QuarantineConfig, ServeConfig, ServeReport, StreamSpec,
+    self, AdmissionConfig, ArrivalConfig, CacheMode, EngineKind, QuarantineConfig, ServeConfig,
+    ServeReport, StreamSpec,
 };
 use ctg_model::DecisionVector;
 use ctg_obs::Obs;
@@ -101,6 +102,13 @@ pub struct RunConfig {
     /// Results are bit-identical at any count; `1` (the default) keeps
     /// every solve sequential.
     pub intra_solve_workers: usize,
+    /// Arrival process, latency SLO and replay traces for
+    /// [`Runner::serve`]'s discrete-event engine (closed loop by default).
+    pub arrival: ArrivalConfig,
+    /// Serve-engine selection: [`EngineKind::Auto`] (the default) routes
+    /// admission-controlled closed-loop runs to the lockstep engine and
+    /// everything else to the event-driven one.
+    pub engine: EngineKind,
     /// Admission control for [`Runner::serve`]: cap per-tick reschedule
     /// demand and shed the excess deterministically.
     pub admission: Option<AdmissionConfig>,
@@ -133,6 +141,8 @@ impl RunConfig {
             degrade: None,
             solve_budget: None,
             intra_solve_workers: 1,
+            arrival: ArrivalConfig::default(),
+            engine: EngineKind::Auto,
             admission: None,
             quarantine: None,
             obs: Obs::disabled(),
@@ -149,13 +159,19 @@ impl RunConfig {
     /// * `shards` ← `CTG_SERVE_SHARDS`, else the worker count
     ///   ([`serve::default_shards`]);
     /// * `intra_solve_workers` ← `CTG_INTRA_SOLVE`, else `1`
-    ///   ([`ctg_sched::intra_solve_workers`]).
+    ///   ([`ctg_sched::intra_solve_workers`]);
+    /// * `arrival.kind` ← `CTG_SERVE_ARRIVAL`, else closed loop
+    ///   ([`serve::default_arrival`]).
     pub fn from_env() -> Self {
         RunConfig {
             workers: pool::worker_count(),
             min_batch: pool::min_batch(),
             shards: serve::default_shards(),
             intra_solve_workers: ctg_sched::intra_solve_workers(),
+            arrival: ArrivalConfig {
+                kind: serve::default_arrival(),
+                ..ArrivalConfig::default()
+            },
             ..RunConfig::new()
         }
     }
@@ -231,6 +247,20 @@ impl RunConfig {
         self
     }
 
+    /// Sets the serve-engine arrival process (and SLO / replay traces).
+    #[must_use]
+    pub fn arrival(mut self, arrival: ArrivalConfig) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Pins the serve engine ([`EngineKind::Auto`] picks per run).
+    #[must_use]
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Enables serve-engine admission control.
     #[must_use]
     pub fn admission(mut self, cfg: AdmissionConfig) -> Self {
@@ -262,6 +292,8 @@ impl RunConfig {
             quantum: self.quantum,
             solve_budget: self.solve_budget,
             intra_solve_workers: self.intra_solve_workers,
+            arrival: self.arrival.clone(),
+            engine: self.engine,
             admission: self.admission,
             quarantine: self.quarantine,
         }
@@ -438,6 +470,11 @@ mod tests {
 
     #[test]
     fn builder_round_trips() {
+        let arrival = ArrivalConfig {
+            kind: crate::serve::ArrivalKind::Poisson { rate: 0.5 },
+            slo: Some(40.0),
+            ..ArrivalConfig::default()
+        };
         let cfg = RunConfig::new()
             .workers(4)
             .min_batch(0)
@@ -449,6 +486,8 @@ mod tests {
             .degrade(DegradeConfig::default())
             .solve_budget(5000)
             .intra_solve_workers(2)
+            .arrival(arrival.clone())
+            .engine(EngineKind::Events)
             .admission(AdmissionConfig { high_water: 3 })
             .quarantine(QuarantineConfig::default());
         assert_eq!(cfg.workers, 4);
@@ -460,11 +499,15 @@ mod tests {
         assert!(cfg.degrade.is_some());
         assert_eq!(cfg.solve_budget, Some(5000));
         assert_eq!(cfg.intra_solve_workers, 2);
+        assert_eq!(cfg.arrival, arrival);
+        assert_eq!(cfg.engine, EngineKind::Events);
         let sc = cfg.serve_config();
         assert_eq!(sc.workers, 4);
         assert_eq!(sc.shards, 7);
         assert_eq!(sc.solve_budget, Some(5000));
         assert_eq!(sc.intra_solve_workers, 2);
+        assert_eq!(sc.arrival, arrival);
+        assert_eq!(sc.engine, EngineKind::Events);
         assert_eq!(sc.admission, Some(AdmissionConfig { high_water: 3 }));
         assert_eq!(sc.quarantine, Some(QuarantineConfig::default()));
         assert!(!cfg.obs.enabled());
@@ -479,6 +522,8 @@ mod tests {
         assert_eq!(cfg.min_batch, pool::min_batch());
         assert_eq!(cfg.shards, serve::default_shards());
         assert_eq!(cfg.intra_solve_workers, ctg_sched::intra_solve_workers());
+        assert_eq!(cfg.arrival.kind, serve::default_arrival());
+        assert_eq!(cfg.engine, EngineKind::Auto);
     }
 
     #[test]

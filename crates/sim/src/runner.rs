@@ -161,6 +161,16 @@ pub(crate) fn note_faults(obs: &Obs, track: u32, stats: &FaultStats) {
     }
 }
 
+/// Telemetry for one SLO violation in the event-driven serving engine: a
+/// per-worker instant (arg = stream id) plus the violation counter.
+pub(crate) fn note_slo_miss(obs: &Obs, track: u32, stream_id: usize) {
+    if !obs.enabled() {
+        return;
+    }
+    obs.instant(track, Stage::SloMiss, stream_id as i64);
+    obs.count(Counter::SloMisses, 1);
+}
+
 /// Runs a fixed solution over a trace (the paper's *non-adaptive online*
 /// policy: schedule once from profiled probabilities, never revisit).
 ///

@@ -13,6 +13,16 @@
 //!   threads. Workers advance their streams in lockstep ticks (one
 //!   instance per stream per tick) separated by barriers, so scheduling
 //!   work of one tick can be batched across streams.
+//! * **Discrete-event core.** The default engine ([`EngineKind::Events`])
+//!   replaces lockstep ticks with per-worker virtual-time event queues:
+//!   each stream is an independent arrival process
+//!   ([`ArrivalKind::ClosedLoop`] back-to-back, [`ArrivalKind::Poisson`],
+//!   Gilbert–Elliott-modulated [`ArrivalKind::Bursty`], or
+//!   [`ArrivalKind::Trace`]-replayed gaps), workers pop `(time, stream,
+//!   seq)`-ordered events with no barriers, and per-stream deadlines
+//!   become latency SLOs ([`ArrivalConfig::slo`], reported per stream as
+//!   [`StreamLatency`]). DESIGN.md §16 documents the event queue,
+//!   tie-breaking and SLO semantics.
 //! * **Cross-stream schedule cache.** A lock-striped
 //!   [`SharedScheduleCache`] keyed on the quantised-probability
 //!   [`ScheduleKey`] of PR 2 lets a plan solved for one stream be adopted
@@ -30,19 +40,23 @@
 //!
 //! # Determinism
 //!
-//! Per-stream results depend only on `(stream spec, context)` — never on
-//! shard count, worker count, cache mode or hit/miss order. The argument
-//! reduces to two facts: (1) the solver is a pure function of
-//! `(context, probs, config)` and both caches guard hits on *exact*
-//! probability equality, so a served plan is always bit-identical to the
-//! plan the stream's own solver would have produced; (2) each stream is a
-//! self-contained state machine advanced in tick order by exactly one
-//! owner, and results are merged by stream id. [`StreamSummary`] therefore
-//! compares bit-for-bit across every engine configuration
-//! (`tests/serve_determinism.rs` pins the matrix). Aggregate *cache
-//! counters* are the one exception: under eviction pressure the shared
-//! LRU's recency order depends on stripe-lock interleaving, so hit/miss
-//! tallies may wobble with the worker count — adopted plans never do.
+//! Per-stream results depend only on `(stream spec, arrival process,
+//! context)` — never on shard count, worker count, cache mode or hit/miss
+//! order. The argument reduces to two facts: (1) the solver is a pure
+//! function of `(context, probs, config)` and both caches guard hits on
+//! *exact* probability equality, so a served plan is always bit-identical
+//! to the plan the stream's own solver would have produced; (2) each
+//! stream is a self-contained state machine advanced in instance order by
+//! exactly one owner (lockstep: tick order; events: the per-worker heap
+//! pops a stream's events in `(time, stream, seq)` order and streams never
+//! interact through the heap), and results are merged by stream id.
+//! [`StreamSummary`] therefore compares bit-for-bit across every engine
+//! configuration — including across the two engines for closed-loop
+//! arrivals (`tests/serve_events.rs` pins the equivalence and the matrix).
+//! Aggregate *cache counters* are the one exception: under eviction
+//! pressure the shared LRU's recency order depends on stripe-lock
+//! interleaving, so hit/miss tallies may wobble with the worker count —
+//! adopted plans never do.
 //!
 //! # Overload resilience
 //!
@@ -71,16 +85,18 @@
 use crate::fault::{FaultInjector, FaultLog, FaultPlan, FaultStats};
 use crate::instance::SimWorkspace;
 use crate::pool;
-use crate::runner::{note_faults, note_instance};
-use crate::summary::ExecStats;
+use crate::runner::{note_faults, note_instance, note_slo_miss};
+use crate::summary::{percentile_sorted, ExecStats, StreamLatency};
 use ctg_model::{BranchProbs, DecisionVector};
 use ctg_obs::{Counter, Obs, Stage};
+use ctg_rng::{BurstyGaps, PoissonGaps};
 use ctg_sched::{
     AdaptiveScheduler, EstimatorKind, LruCache, OnlineScheduler, SchedContext, SchedError,
     ScheduleKey, Solution, SolverWorkspace,
 };
+use std::cmp::Reverse;
 use std::collections::hash_map::{DefaultHasher, Entry};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, OnceLock, RwLock};
@@ -101,6 +117,60 @@ fn parse_shards(raw: Option<&str>) -> Option<usize> {
 /// integer, else the pool's [`worker_count`](pool::worker_count).
 pub fn default_shards() -> usize {
     parse_shards(std::env::var(SERVE_SHARDS_ENV).ok().as_deref()).unwrap_or_else(pool::worker_count)
+}
+
+/// Environment variable selecting the default arrival process.
+pub const SERVE_ARRIVAL_ENV: &str = "CTG_SERVE_ARRIVAL";
+
+/// Near-miss memo capacity of each event-engine worker workspace: the
+/// per-manager cap (128, sized above one stream's ~100-table revisit
+/// cycle) scaled for a workspace serving many interleaved streams.
+const NEAR_MEMO_WORKER_CAP: usize = 1024;
+
+/// Parses a `CTG_SERVE_ARRIVAL`-style override:
+///
+/// * `closed` — the closed loop (the default);
+/// * `poisson:<rate>` — Poisson arrivals at `rate` per virtual-time unit;
+/// * `bursty:<rate>:<mult>:<p_enter>:<p_exit>` — the two-state bursty
+///   process.
+///
+/// Split out of [`default_arrival`] so the policy is testable without
+/// mutating the process environment. Malformed or out-of-range values
+/// parse to `None` (callers fall back to closed loop) — an env knob should
+/// degrade, not abort.
+fn parse_arrival(raw: Option<&str>) -> Option<ArrivalKind> {
+    let raw = raw?.trim();
+    let mut parts = raw.split(':');
+    let kind = parts.next()?.trim().to_ascii_lowercase();
+    let mut nums = Vec::new();
+    for p in parts {
+        nums.push(p.trim().parse::<f64>().ok().filter(|v| v.is_finite())?);
+    }
+    match (kind.as_str(), nums.as_slice()) {
+        ("closed", []) => Some(ArrivalKind::ClosedLoop),
+        ("poisson", &[rate]) if rate > 0.0 => Some(ArrivalKind::Poisson { rate }),
+        ("bursty", &[rate, burst_mult, p_enter, p_exit])
+            if rate > 0.0
+                && burst_mult >= 1.0
+                && (0.0..=1.0).contains(&p_enter)
+                && (0.0..=1.0).contains(&p_exit) =>
+        {
+            Some(ArrivalKind::Bursty {
+                rate,
+                burst_mult,
+                p_enter,
+                p_exit,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// The default arrival process: `CTG_SERVE_ARRIVAL` when set to a valid
+/// spec ([`parse_arrival`]), else the closed loop.
+pub fn default_arrival() -> ArrivalKind {
+    parse_arrival(std::env::var(SERVE_ARRIVAL_ENV).ok().as_deref())
+        .unwrap_or(ArrivalKind::ClosedLoop)
 }
 
 /// Which schedule cache the engine consults before solving.
@@ -207,6 +277,152 @@ impl QuarantineConfig {
     }
 }
 
+/// Arrival-process family driving each stream of the event engine.
+///
+/// Every open-loop process is a pure function of
+/// `(ArrivalConfig::seed, stream id)` via the [`ctg_rng::arrival`]
+/// samplers, so arrival times can never depend on worker counts or event
+/// interleaving.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalKind {
+    /// Back-to-back: instance `k + 1` arrives exactly when instance `k`
+    /// completes (queue depth is always 0, latency equals makespan). This
+    /// reproduces the lockstep engine's per-stream semantics bit-for-bit.
+    ClosedLoop,
+    /// Poisson arrivals: exponential inter-arrival gaps at `rate`
+    /// (arrivals per virtual-time unit).
+    Poisson {
+        /// Mean arrival rate (gaps average `1 / rate`).
+        rate: f64,
+    },
+    /// Gilbert–Elliott-modulated Poisson: a two-state calm/burst chain
+    /// advanced once per gap, bursting at `rate * burst_mult` (the PR 6
+    /// fault modulator's parameterisation, applied to arrivals).
+    Bursty {
+        /// Calm-state arrival rate.
+        rate: f64,
+        /// Burst-state rate multiplier (`> 1` compresses gaps).
+        burst_mult: f64,
+        /// Per-gap probability of entering the burst state.
+        p_enter: f64,
+        /// Per-gap probability of leaving the burst state.
+        p_exit: f64,
+    },
+    /// Replay recorded inter-arrival gaps from [`ArrivalConfig::traces`]
+    /// (one gap sequence per stream, each at least as long as the stream's
+    /// decision trace).
+    Trace,
+}
+
+/// Arrival-process and SLO configuration for the event engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalConfig {
+    /// The process family.
+    pub kind: ArrivalKind,
+    /// Base seed; stream `i` draws from the decorrelated sub-stream
+    /// `mix(seed, i)`.
+    pub seed: u64,
+    /// Per-instance latency SLO in virtual time: an instance whose
+    /// arrival-to-completion latency exceeds this counts as an SLO
+    /// violation in [`StreamLatency`]. `None` disables violation counting.
+    pub slo: Option<f64>,
+    /// Per-stream inter-arrival gap traces, used only by
+    /// [`ArrivalKind::Trace`] (gap `k` separates arrivals `k − 1` and `k`;
+    /// gap 0 is the first arrival's absolute time).
+    pub traces: Vec<Vec<f64>>,
+}
+
+impl Default for ArrivalConfig {
+    fn default() -> Self {
+        ArrivalConfig {
+            kind: ArrivalKind::ClosedLoop,
+            seed: 0x0A17_1BA5,
+            slo: None,
+            traces: Vec::new(),
+        }
+    }
+}
+
+impl ArrivalConfig {
+    fn validate(&self, specs: &[StreamSpec]) -> Result<(), SchedError> {
+        match self.kind {
+            ArrivalKind::ClosedLoop => {}
+            ArrivalKind::Poisson { rate } => {
+                if !(rate.is_finite() && rate > 0.0) {
+                    return Err(SchedError::InvalidParameter(
+                        "poisson arrival rate must be finite and positive",
+                    ));
+                }
+            }
+            ArrivalKind::Bursty {
+                rate,
+                burst_mult,
+                p_enter,
+                p_exit,
+            } => {
+                if !(rate.is_finite() && rate > 0.0) {
+                    return Err(SchedError::InvalidParameter(
+                        "bursty arrival rate must be finite and positive",
+                    ));
+                }
+                if !(burst_mult.is_finite() && burst_mult >= 1.0) {
+                    return Err(SchedError::InvalidParameter(
+                        "bursty burst multiplier must be finite and at least 1",
+                    ));
+                }
+                if !((0.0..=1.0).contains(&p_enter) && (0.0..=1.0).contains(&p_exit)) {
+                    return Err(SchedError::InvalidParameter(
+                        "bursty transition probabilities must lie in [0, 1]",
+                    ));
+                }
+            }
+            ArrivalKind::Trace => {
+                if self.traces.len() != specs.len() {
+                    return Err(SchedError::InvalidParameter(
+                        "arrival traces must match the stream count",
+                    ));
+                }
+                for (gaps, spec) in self.traces.iter().zip(specs) {
+                    if gaps.len() < spec.trace.len() {
+                        return Err(SchedError::InvalidParameter(
+                            "arrival trace shorter than the stream's decision trace",
+                        ));
+                    }
+                    if gaps.iter().any(|g| !g.is_finite() || *g < 0.0) {
+                        return Err(SchedError::InvalidParameter(
+                            "arrival gaps must be finite and non-negative",
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(slo) = self.slo {
+            if !(slo.is_finite() && slo > 0.0) {
+                return Err(SchedError::InvalidParameter(
+                    "latency SLO must be finite and positive",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Which serving engine drives the streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Pick automatically: the lockstep engine when per-tick admission
+    /// control is configured with closed-loop arrivals (its shed order is
+    /// defined over the tick's cross-stream request set, a lockstep
+    /// concept), the event engine otherwise.
+    Auto,
+    /// The barrier-synchronised tick engine (PR 4–7 semantics). Requires
+    /// [`ArrivalKind::ClosedLoop`].
+    Lockstep,
+    /// The discrete-event engine: per-worker virtual-time heaps, open-loop
+    /// arrivals, latency SLOs, admission by per-stream queue depth.
+    Events,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -237,11 +453,21 @@ pub struct ServeConfig {
     /// any count; `1` (the default) keeps every solve sequential.
     pub intra_solve_workers: usize,
     /// Admission control; `None` admits every request (baseline
-    /// behaviour, bit-exact with pre-overload engines).
+    /// behaviour, bit-exact with pre-overload engines). The lockstep
+    /// engine caps each tick's cross-stream request set; the event engine
+    /// sheds a stream's drift solve while more than
+    /// [`AdmissionConfig::high_water`] arrivals sit queued behind its
+    /// in-service instance.
     pub admission: Option<AdmissionConfig>,
     /// Per-stream quarantine circuit breaker; `None` never freezes a
     /// stream.
     pub quarantine: Option<QuarantineConfig>,
+    /// Arrival process and latency SLO (event engine; the lockstep engine
+    /// requires the closed-loop default).
+    pub arrival: ArrivalConfig,
+    /// Engine selection; [`EngineKind::Auto`] (the default) resolves via
+    /// [`ServeConfig::resolved_engine`].
+    pub engine: EngineKind,
 }
 
 impl Default for ServeConfig {
@@ -259,6 +485,29 @@ impl Default for ServeConfig {
             intra_solve_workers: 1,
             admission: None,
             quarantine: None,
+            arrival: ArrivalConfig::default(),
+            engine: EngineKind::Auto,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The engine this configuration actually runs on:
+    /// [`EngineKind::Auto`] resolves to [`EngineKind::Lockstep`] when
+    /// per-tick admission control is configured with closed-loop arrivals
+    /// (preserving the PR 6 cross-stream shed order), and to
+    /// [`EngineKind::Events`] otherwise.
+    pub fn resolved_engine(&self) -> EngineKind {
+        match self.engine {
+            EngineKind::Auto => {
+                if self.admission.is_some() && matches!(self.arrival.kind, ArrivalKind::ClosedLoop)
+                {
+                    EngineKind::Lockstep
+                } else {
+                    EngineKind::Events
+                }
+            }
+            e => e,
         }
     }
 }
@@ -341,8 +590,15 @@ pub struct ServeStats {
     pub streams: usize,
     /// Total instances executed across streams.
     pub instances: usize,
-    /// Lockstep ticks driven (the longest trace's length).
+    /// Lockstep ticks driven — the longest trace's length (the event
+    /// engine reports the same value: its per-stream instance ceiling).
     pub ticks: usize,
+    /// Events dequeued from the virtual-time heaps (event engine only;
+    /// 0 under lockstep).
+    pub events: usize,
+    /// Largest per-stream queue depth observed (arrivals waiting behind an
+    /// in-service instance; event engine only).
+    pub max_queue_depth: usize,
     /// Drift events: a stream's windowed estimate crossed its threshold
     /// (every one ends in an adopted re-schedule).
     pub drift_events: usize,
@@ -371,11 +627,26 @@ pub struct ServeStats {
     pub quarantines: usize,
     /// Frozen stream-ticks (sum of [`StreamSummary::quarantined_ticks`]).
     pub quarantined_ticks: usize,
+    /// Pooled median arrival-to-completion latency across every instance
+    /// of every stream (virtual time; event engine only).
+    pub latency_p50: f64,
+    /// Pooled 99th-percentile latency (event engine only).
+    pub latency_p99: f64,
+    /// Largest observed latency (event engine only).
+    pub latency_max: f64,
+    /// Instances past the latency SLO (sum of
+    /// [`StreamLatency::slo_misses`]; 0 without an SLO).
+    pub slo_misses: usize,
     /// Wall-clock seconds of the whole run (measured).
     pub wall_s: f64,
 }
 
 impl ServeStats {
+    /// Fraction of instances whose latency exceeded the SLO, in `[0, 1]`.
+    pub fn slo_miss_rate(&self) -> f64 {
+        ratio(self.slo_misses, self.instances)
+    }
+
     /// Fraction of drift events answered from the stream's own cache.
     pub fn per_stream_hit_rate(&self) -> f64 {
         ratio(self.per_stream_hits, self.drift_events)
@@ -430,6 +701,11 @@ fn ratio(num: usize, den: usize) -> f64 {
 pub struct ServeReport {
     /// One summary per stream, in [`StreamSpec`] order.
     pub streams: Vec<StreamSummary>,
+    /// One latency distribution per stream, in [`StreamSpec`] order. Kept
+    /// out of [`StreamSummary`] so summary equality across engines stays a
+    /// plain `==`; the lockstep engine (no arrival times) reports
+    /// all-default distributions.
+    pub latencies: Vec<StreamLatency>,
     /// Engine-level counters.
     pub stats: ServeStats,
 }
@@ -703,6 +979,11 @@ struct LocalCounters {
     shared_hits: usize,
     shared_hit_requests: usize,
     solver_calls: usize,
+    /// Events dequeued (event engine only).
+    events: usize,
+    /// Largest per-stream queue depth seen (event engine only; merged by
+    /// max, not sum).
+    max_queue_depth: usize,
 }
 
 impl LocalCounters {
@@ -715,6 +996,8 @@ impl LocalCounters {
         self.shared_hits += o.shared_hits;
         self.shared_hit_requests += o.shared_hit_requests;
         self.solver_calls += o.solver_calls;
+        self.events += o.events;
+        self.max_queue_depth = self.max_queue_depth.max(o.max_queue_depth);
     }
 }
 
@@ -780,13 +1063,32 @@ pub(crate) fn serve_engine(
     if let Some(q) = &cfg.quarantine {
         q.validate()?;
     }
+    cfg.arrival.validate(specs)?;
+    let engine = cfg.resolved_engine();
+    if engine == EngineKind::Lockstep && !matches!(cfg.arrival.kind, ArrivalKind::ClosedLoop) {
+        return Err(SchedError::InvalidParameter(
+            "the lockstep engine requires closed-loop arrivals",
+        ));
+    }
+    match engine {
+        EngineKind::Lockstep => lockstep_engine(ctx, specs, cfg, obs, start),
+        _ => events_engine(ctx, specs, cfg, obs, start),
+    }
+}
 
-    let shards = cfg.shards.max(1);
-    let workers = cfg.workers.max(1).min(shards).min(specs.len().max(1));
+/// Setup shared by both engines: deduplicated initial solves (tick-0
+/// coalescing, telemetry on track 0 — the workers have not spawned yet)
+/// and the per-stream live states, with each stream's manager wired to its
+/// owner worker's telemetry track.
+fn setup_streams<'a>(
+    ctx: &SchedContext,
+    specs: &'a [StreamSpec],
+    cfg: &ServeConfig,
+    obs: &Obs,
+    workers: usize,
+    shards: usize,
+) -> Result<Vec<StreamState<'a>>, SchedError> {
     let owner = |stream_id: usize| (stream_id % shards) % workers;
-
-    // Initial solves, one per distinct exact table (tick-0 coalescing).
-    // Telemetry lands on track 0: the workers have not spawned yet.
     let online = OnlineScheduler::new();
     let mut setup_ws = SolverWorkspace::new();
     setup_ws.set_obs(obs.clone(), 0);
@@ -831,6 +1133,24 @@ pub(crate) fn serve_engine(
             summary: StreamSummary::default(),
         });
     }
+    Ok(states)
+}
+
+/// The retired-but-kept barrier-tick engine (PR 4–7): exact per-tick
+/// admission semantics and same-tick coalescing, at the price of a full
+/// barrier round per tick.
+fn lockstep_engine<'a>(
+    ctx: &SchedContext,
+    specs: &'a [StreamSpec],
+    cfg: &ServeConfig,
+    obs: &Obs,
+    start: Instant,
+) -> Result<ServeReport, SchedError> {
+    let shards = cfg.shards.max(1);
+    let workers = cfg.workers.max(1).min(shards).min(specs.len().max(1));
+    let owner = |stream_id: usize| (stream_id % shards) % workers;
+    let online = OnlineScheduler::new();
+    let states = setup_streams(ctx, specs, cfg, obs, workers, shards)?;
     // Criticalities indexed by stream id, for worker 0's shedding pass.
     let crits: Vec<u8> = specs.iter().map(|s| s.criticality).collect();
 
@@ -863,20 +1183,19 @@ pub(crate) fn serve_engine(
         abort.store(true, Ordering::SeqCst);
     };
 
-    let (finished, counters) = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for (w, mut my_streams) in per_worker.into_iter().enumerate() {
-            let barrier = &barrier;
-            let request_slots = &request_slots;
-            let groups = &groups;
-            let shed_ids = &shed_ids;
-            let crits = &crits;
-            let requests_cum = &requests_cum;
-            let abort = &abort;
-            let shared_cache = shared_cache.as_ref();
-            let online = &online;
-            let fail = &fail;
-            handles.push(scope.spawn(move || {
+    let run_worker = |w: usize, mut my_streams: Vec<StreamState<'a>>| {
+        let barrier = &barrier;
+        let request_slots = &request_slots;
+        let groups = &groups;
+        let shed_ids = &shed_ids;
+        let crits = &crits;
+        let requests_cum = &requests_cum;
+        let abort = &abort;
+        let shared_cache = shared_cache.as_ref();
+        let online = &online;
+        let fail = &fail;
+        {
+            {
                 let track = w as u32;
                 let mut ws = SolverWorkspace::new();
                 ws.set_obs(obs.clone(), track);
@@ -1023,23 +1342,45 @@ pub(crate) fn serve_engine(
                     st.summary.reschedules = st.mgr.stats().reschedules;
                 }
                 (my_streams, counters)
-            }));
+            }
         }
-        let mut finished: Vec<StreamState> = Vec::with_capacity(specs.len());
-        let mut counters = LocalCounters::default();
-        for h in handles {
-            let (streams, c) = h.join().expect("serve worker panicked");
-            finished.extend(streams);
-            counters.absorb(&c);
-        }
-        (finished, counters)
-    });
+    };
+    // A single worker runs inline on the calling thread: every barrier is
+    // trivially satisfied, there is nothing to overlap, and a spawned
+    // thread can be scheduled measurably worse than the caller on
+    // constrained hosts. Results are bit-identical either way (the worker
+    // closure is the same).
+    let results: Vec<(Vec<StreamState>, LocalCounters)> = if workers == 1 {
+        per_worker
+            .into_iter()
+            .enumerate()
+            .map(|(w, s)| run_worker(w, s))
+            .collect()
+    } else {
+        std::thread::scope(|scope| {
+            let run_worker = &run_worker;
+            let handles: Vec<_> = per_worker
+                .into_iter()
+                .enumerate()
+                .map(|(w, s)| scope.spawn(move || run_worker(w, s)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("serve worker panicked"))
+                .collect()
+        })
+    };
 
     if let Some(e) = first_error.into_inner().expect("error slot lock") {
         return Err(e);
     }
 
-    let mut finished = finished;
+    let mut finished: Vec<StreamState> = Vec::with_capacity(specs.len());
+    let mut counters = LocalCounters::default();
+    for (streams, c) in results {
+        finished.extend(streams);
+        counters.absorb(&c);
+    }
     finished.sort_by_key(|st| st.id);
     // Release-mode invariant: every spec'd stream must come back from the
     // worker pool exactly once — a mismatch means the shard→worker
@@ -1072,9 +1413,677 @@ pub(crate) fn serve_engine(
         budget_exceeded: streams.iter().map(|s| s.budget_exceeded).sum(),
         quarantines: streams.iter().map(|s| s.quarantines).sum(),
         quarantined_ticks: streams.iter().map(|s| s.quarantined_ticks).sum(),
+        events: 0,
+        max_queue_depth: 0,
+        latency_p50: 0.0,
+        latency_p99: 0.0,
+        latency_max: 0.0,
+        slo_misses: 0,
         wall_s: start.elapsed().as_secs_f64(),
     };
-    Ok(ServeReport { streams, stats })
+    // Lockstep has no arrival process: every instance starts the moment its
+    // predecessor completes, so there is no latency distribution to report.
+    let latencies = streams.iter().map(|_| StreamLatency::default()).collect();
+    Ok(ServeReport {
+        streams,
+        latencies,
+        stats,
+    })
+}
+
+/// One virtual-time event in the discrete-event engine.
+///
+/// The ordering is the engine's determinism contract: earliest time first,
+/// ties broken by stream id, then by per-worker insertion sequence. Two
+/// events never compare equal through `total_cmp` + distinct `(stream,
+/// seq)`, so heap pops are a total order independent of insertion history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Ev {
+    t: f64,
+    stream: usize,
+    seq: u64,
+    kind: EvKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvKind {
+    /// An instance arrived and joined its stream's queue.
+    Arrive,
+    /// The instance in service on this stream finished executing.
+    Complete,
+}
+
+impl Eq for Ev {}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.t
+            .total_cmp(&other.t)
+            .then_with(|| self.stream.cmp(&other.stream))
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// Per-stream arrival generator for the event engine.
+enum ArrivalGen {
+    /// Closed loop: instance `k+1` arrives when instance `k` completes.
+    Closed,
+    Poisson(PoissonGaps),
+    Bursty(BurstyGaps),
+    Trace {
+        gaps: Vec<f64>,
+        next: usize,
+    },
+}
+
+impl ArrivalGen {
+    fn new(cfg: &ArrivalConfig, stream_id: usize) -> Self {
+        match cfg.kind {
+            ArrivalKind::ClosedLoop => ArrivalGen::Closed,
+            ArrivalKind::Poisson { rate } => {
+                ArrivalGen::Poisson(PoissonGaps::new(cfg.seed, stream_id as u64, rate))
+            }
+            ArrivalKind::Bursty {
+                rate,
+                burst_mult,
+                p_enter,
+                p_exit,
+            } => ArrivalGen::Bursty(BurstyGaps::new(
+                cfg.seed,
+                stream_id as u64,
+                rate,
+                burst_mult,
+                p_enter,
+                p_exit,
+            )),
+            ArrivalKind::Trace => ArrivalGen::Trace {
+                gaps: cfg.traces.get(stream_id).cloned().unwrap_or_default(),
+                next: 0,
+            },
+        }
+    }
+
+    /// Next inter-arrival gap, or `None` for closed-loop mode (arrivals
+    /// are completion-driven, not generator-driven).
+    fn next_gap(&mut self) -> Option<f64> {
+        match self {
+            ArrivalGen::Closed => None,
+            ArrivalGen::Poisson(p) => Some(p.next_gap()),
+            ArrivalGen::Bursty(b) => Some(b.next_gap()),
+            ArrivalGen::Trace { gaps, next } => {
+                let g = gaps.get(*next).copied().unwrap_or(0.0);
+                *next += 1;
+                Some(g)
+            }
+        }
+    }
+
+    fn is_closed(&self) -> bool {
+        matches!(self, ArrivalGen::Closed)
+    }
+}
+
+/// Event-engine bookkeeping for one stream, parallel to its
+/// [`StreamState`]. Kept separate so the scheduling state (`StreamState`)
+/// stays byte-for-byte the lockstep engine's and the closed-loop
+/// equivalence proof reads off the shared helpers.
+struct EvStream {
+    gen: ArrivalGen,
+    /// Index of the next instance to *arrive* (arrivals issued so far).
+    next_arrival: usize,
+    /// Virtual time of the most recent arrival (open-loop gap anchor).
+    last_arrival: f64,
+    /// Arrival times of instances waiting for service, FIFO.
+    queue: VecDeque<f64>,
+    /// Arrival time of the instance currently executing, if any.
+    in_service: Option<f64>,
+    /// Arrival-to-completion latency of every finished instance.
+    latencies: Vec<f64>,
+    /// Deepest the queue ever got (including the arriving instance).
+    max_depth: usize,
+}
+
+/// One event-engine worker's yield: its streams, each stream's latency
+/// samples keyed by stream id, and the worker-local counters.
+type WorkerYield<'a> = (Vec<StreamState<'a>>, Vec<(usize, Vec<f64>)>, LocalCounters);
+
+/// The discrete-event serving engine: per-worker virtual-time event queues,
+/// per-stream arrival processes, no barriers. Workers never synchronise
+/// after spawn (streams are partitioned, caches are exact), so virtual
+/// time advances independently per worker and every per-stream result is
+/// bit-identical across worker and shard counts.
+fn events_engine<'a>(
+    ctx: &SchedContext,
+    specs: &'a [StreamSpec],
+    cfg: &ServeConfig,
+    obs: &Obs,
+    start: Instant,
+) -> Result<ServeReport, SchedError> {
+    let shards = cfg.shards.max(1);
+    let workers = cfg.workers.max(1).min(shards).min(specs.len().max(1));
+    let owner = |stream_id: usize| (stream_id % shards) % workers;
+    let states = setup_streams(ctx, specs, cfg, obs, workers, shards)?;
+    let ticks = specs.iter().map(|s| s.trace.len()).max().unwrap_or(0);
+
+    let shared_cache = match cfg.cache {
+        CacheMode::Shared { capacity, stripes } => {
+            Some(SharedScheduleCache::new(capacity, stripes))
+        }
+        _ => None,
+    };
+    let mut per_worker: Vec<Vec<StreamState>> = (0..workers).map(|_| Vec::new()).collect();
+    for st in states {
+        per_worker[owner(st.id)].push(st);
+    }
+    let abort = AtomicBool::new(false);
+    let first_error: Mutex<Option<SchedError>> = Mutex::new(None);
+    let fail = |e: SchedError| {
+        let mut slot = first_error.lock().expect("error slot lock");
+        slot.get_or_insert(e);
+        abort.store(true, Ordering::SeqCst);
+    };
+
+    let run_worker = |w: usize, mut my_streams: Vec<StreamState<'a>>| {
+        let abort = &abort;
+        let shared_cache = shared_cache.as_ref();
+        let fail = &fail;
+        {
+            {
+                let track = w as u32;
+                // Drift solves run on one worker-shared warm-start
+                // workspace, exactly like the lockstep engine: its memo and
+                // incumbents amortize across every stream the worker owns,
+                // and the warm == cold bit-identity contract (§11) keeps
+                // summaries invariant across worker counts regardless of
+                // which streams share a workspace.
+                let online = OnlineScheduler::new();
+                let mut ws = SolverWorkspace::new();
+                ws.set_obs(obs.clone(), track);
+                ws.set_budget(cfg.solve_budget);
+                ws.set_intra_workers(cfg.intra_solve_workers);
+                // The §15 near-miss memo, worker-wide: every stream's
+                // regime revisits (and any cross-stream table collisions)
+                // replay as sub-ms exact-guarded hits with the stored work
+                // re-charged, so budget verdicts and solutions stay
+                // bit-identical to a cold solve at any worker count.
+                if cfg.quantum.is_finite() && cfg.quantum > 0.0 {
+                    ws.set_near_memo(cfg.quantum, NEAR_MEMO_WORKER_CAP);
+                }
+                let mut counters = LocalCounters::default();
+                let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+                let mut seq = 0u64;
+                // Index into `my_streams`/`evs` by local position; events
+                // carry the global stream id for deterministic ordering.
+                let id_to_idx: HashMap<usize, usize> = my_streams
+                    .iter()
+                    .enumerate()
+                    .map(|(i, st)| (st.id, i))
+                    .collect();
+                let mut evs: Vec<EvStream> = Vec::with_capacity(my_streams.len());
+                for st in &my_streams {
+                    evs.push(EvStream {
+                        next_arrival: 0,
+                        last_arrival: 0.0,
+                        queue: VecDeque::new(),
+                        in_service: None,
+                        latencies: Vec::with_capacity(st.trace.len()),
+                        max_depth: 0,
+                        gen: ArrivalGen::new(&cfg.arrival, st.id),
+                    });
+                }
+                let seed = |st: &StreamState,
+                            es: &mut EvStream,
+                            heap: &mut BinaryHeap<Reverse<Ev>>,
+                            seq: &mut u64| {
+                    if !st.trace.is_empty() {
+                        let t0 = es.gen.next_gap().unwrap_or(0.0);
+                        es.last_arrival = t0;
+                        es.next_arrival = 1;
+                        heap.push(Reverse(Ev {
+                            t: t0,
+                            stream: st.id,
+                            seq: *seq,
+                            kind: EvKind::Arrive,
+                        }));
+                        *seq += 1;
+                    }
+                };
+                macro_rules! drain {
+                    () => {
+                        while let Some(Reverse(ev)) = heap.pop() {
+                            if abort.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            counters.events += 1;
+                            let span = obs.span(track, Stage::Dequeue);
+                            let idx = id_to_idx[&ev.stream];
+                            let st = &mut my_streams[idx];
+                            let es = &mut evs[idx];
+                            let r = match ev.kind {
+                                EvKind::Arrive => {
+                                    on_arrive(ctx, st, es, ev.t, &mut heap, &mut seq, obs, track)
+                                }
+                                EvKind::Complete => on_complete(
+                                    ctx,
+                                    cfg,
+                                    st,
+                                    es,
+                                    ev.t,
+                                    &mut heap,
+                                    &mut seq,
+                                    &online,
+                                    &mut ws,
+                                    shared_cache,
+                                    &mut counters,
+                                    obs,
+                                    track,
+                                ),
+                            };
+                            if let Err(e) = r {
+                                fail(e);
+                            }
+                            counters.max_queue_depth = counters.max_queue_depth.max(es.max_depth);
+                            span.end(ev.stream as i64);
+                        }
+                    };
+                }
+                if matches!(cfg.arrival.kind, ArrivalKind::ClosedLoop) {
+                    // Closed loop has no cross-stream timing coupling: a
+                    // stream's next event is always its own, so the heap
+                    // would round-robin the worker's streams instance by
+                    // instance, evicting each stream's warm solver and
+                    // simulation state between turns. Running streams to
+                    // completion one at a time keeps that state hot and
+                    // changes nothing a summary can observe (per-stream
+                    // decisions are stream-local; shared-cache hit counters
+                    // are documented as order-wobbly).
+                    for idx in 0..my_streams.len() {
+                        seed(&my_streams[idx], &mut evs[idx], &mut heap, &mut seq);
+                        drain!();
+                    }
+                } else {
+                    for idx in 0..my_streams.len() {
+                        seed(&my_streams[idx], &mut evs[idx], &mut heap, &mut seq);
+                    }
+                    drain!();
+                }
+                for st in &mut my_streams {
+                    st.summary.reschedules = st.mgr.stats().reschedules;
+                }
+                let lats: Vec<(usize, Vec<f64>)> = my_streams
+                    .iter()
+                    .zip(evs)
+                    .map(|(st, es)| (st.id, es.latencies))
+                    .collect();
+                (my_streams, lats, counters)
+            }
+        }
+    };
+    // A single worker runs inline on the calling thread: there is nothing
+    // to overlap, and a spawned thread can be scheduled measurably worse
+    // than the caller on constrained hosts. Results are bit-identical
+    // either way (the worker closure is the same).
+    let results: Vec<WorkerYield> = if workers == 1 {
+        per_worker
+            .into_iter()
+            .enumerate()
+            .map(|(w, s)| run_worker(w, s))
+            .collect()
+    } else {
+        std::thread::scope(|scope| {
+            let run_worker = &run_worker;
+            let handles: Vec<_> = per_worker
+                .into_iter()
+                .enumerate()
+                .map(|(w, s)| scope.spawn(move || run_worker(w, s)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("serve worker panicked"))
+                .collect()
+        })
+    };
+    let (finished, counters) = {
+        let mut finished: Vec<(StreamState, Vec<f64>)> = Vec::with_capacity(specs.len());
+        let mut counters = LocalCounters::default();
+        for (streams, mut lats, c) in results {
+            let by_id: HashMap<usize, usize> = lats
+                .iter()
+                .enumerate()
+                .map(|(i, (id, _))| (*id, i))
+                .collect();
+            for st in streams {
+                let lat = std::mem::take(&mut lats[by_id[&st.id]].1);
+                finished.push((st, lat));
+            }
+            counters.absorb(&c);
+        }
+        (finished, counters)
+    };
+
+    if let Some(e) = first_error.into_inner().expect("error slot lock") {
+        return Err(e);
+    }
+
+    let mut finished = finished;
+    finished.sort_by_key(|(st, _)| st.id);
+    assert_eq!(
+        finished.len(),
+        specs.len(),
+        "serve engine stream accounting broken: {} streams returned from \
+         {} workers for {} specs (shards={})",
+        finished.len(),
+        workers,
+        specs.len(),
+        shards
+    );
+    let mut streams: Vec<StreamSummary> = Vec::with_capacity(finished.len());
+    let mut latencies: Vec<StreamLatency> = Vec::with_capacity(finished.len());
+    let mut pooled: Vec<f64> = Vec::new();
+    for (st, lats) in finished {
+        pooled.extend_from_slice(&lats);
+        latencies.push(StreamLatency::from_latencies(lats, cfg.arrival.slo));
+        streams.push(st.summary);
+    }
+    pooled.sort_by(f64::total_cmp);
+    let stats = ServeStats {
+        streams: streams.len(),
+        instances: streams.iter().map(|s| s.exec.instances).sum(),
+        ticks,
+        drift_events: counters.drift_events,
+        per_stream_hits: counters.per_stream_hits,
+        requests: counters.requests,
+        groups: counters.groups,
+        coalesced_requests: counters.coalesced_requests,
+        shared_hits: counters.shared_hits,
+        shared_hit_requests: counters.shared_hit_requests,
+        solver_calls: counters.solver_calls,
+        shed_requests: streams.iter().map(|s| s.shed).sum(),
+        budget_exceeded: streams.iter().map(|s| s.budget_exceeded).sum(),
+        quarantines: streams.iter().map(|s| s.quarantines).sum(),
+        quarantined_ticks: streams.iter().map(|s| s.quarantined_ticks).sum(),
+        events: counters.events,
+        max_queue_depth: counters.max_queue_depth,
+        latency_p50: percentile_sorted(&pooled, 50.0),
+        latency_p99: percentile_sorted(&pooled, 99.0),
+        latency_max: pooled.last().copied().unwrap_or(0.0),
+        slo_misses: latencies.iter().map(|l| l.slo_misses).sum(),
+        wall_s: start.elapsed().as_secs_f64(),
+    };
+    Ok(ServeReport {
+        streams,
+        latencies,
+        stats,
+    })
+}
+
+/// Arrive handler: queue the instance, schedule the successor arrival (open
+/// loop only), and start service if the stream is idle.
+#[allow(clippy::too_many_arguments)]
+fn on_arrive(
+    ctx: &SchedContext,
+    st: &mut StreamState,
+    es: &mut EvStream,
+    now: f64,
+    heap: &mut BinaryHeap<Reverse<Ev>>,
+    seq: &mut u64,
+    obs: &Obs,
+    track: u32,
+) -> Result<(), SchedError> {
+    // Open loop: the next arrival is independent of service progress.
+    if !es.gen.is_closed() && es.next_arrival < st.trace.len() {
+        if let Some(g) = es.gen.next_gap() {
+            es.last_arrival += g;
+            es.next_arrival += 1;
+            heap.push(Reverse(Ev {
+                t: es.last_arrival,
+                stream: st.id,
+                seq: *seq,
+                kind: EvKind::Arrive,
+            }));
+            *seq += 1;
+        }
+    }
+    es.queue.push_back(now);
+    obs.instant(track, Stage::Enqueue, es.queue.len() as i64);
+    if es.in_service.is_none() {
+        start_service(ctx, st, es, now, heap, seq, obs, track)?;
+    }
+    // Depth is measured *after* the idle-server fast path, so an arrival
+    // that goes straight into service never counts as queued — closed-loop
+    // runs report depth 0, as [`ArrivalKind::ClosedLoop`] promises.
+    es.max_depth = es.max_depth.max(es.queue.len());
+    Ok(())
+}
+
+/// Starts service on the head-of-queue instance: simulate it under the
+/// plan in force (the identical code path to the lockstep engine's phase
+/// A), record the observation, and schedule the completion event one
+/// simulated makespan later.
+#[allow(clippy::too_many_arguments)]
+fn start_service(
+    ctx: &SchedContext,
+    st: &mut StreamState,
+    es: &mut EvStream,
+    now: f64,
+    heap: &mut BinaryHeap<Reverse<Ev>>,
+    seq: &mut u64,
+    obs: &Obs,
+    track: u32,
+) -> Result<(), SchedError> {
+    let arrival = es.queue.pop_front().expect("start_service on empty queue");
+    let v = &st.trace[st.pos];
+    let outcome = match st.plan {
+        Some(plan) => {
+            st.injector.resample(plan, ctx, st.pos as u64)?;
+            let r = st.sim.simulate_faulty(
+                ctx,
+                st.mgr.solution(),
+                v,
+                plan,
+                &st.injector,
+                &mut st.log,
+            )?;
+            st.summary.faults.absorb(&st.log.stats);
+            note_faults(obs, track, &st.log.stats);
+            r
+        }
+        None => st.sim.simulate(ctx, st.mgr.solution(), v)?,
+    };
+    st.summary.absorb_outcome(&outcome);
+    note_instance(obs, ctx, &outcome);
+    st.pos += 1;
+    st.mgr.record_observation(ctx, v)?;
+    es.in_service = Some(arrival);
+    heap.push(Reverse(Ev {
+        t: now + outcome.makespan,
+        stream: st.id,
+        seq: *seq,
+        kind: EvKind::Complete,
+    }));
+    *seq += 1;
+    Ok(())
+}
+
+/// Complete handler: measure latency, run the post-instance adaptation
+/// pipeline (drift check, admission, caches, solve), feed the closed loop,
+/// and pull the next queued instance into service.
+#[allow(clippy::too_many_arguments)]
+fn on_complete(
+    ctx: &SchedContext,
+    cfg: &ServeConfig,
+    st: &mut StreamState,
+    es: &mut EvStream,
+    now: f64,
+    heap: &mut BinaryHeap<Reverse<Ev>>,
+    seq: &mut u64,
+    online: &OnlineScheduler,
+    ws: &mut SolverWorkspace,
+    shared: Option<&SharedScheduleCache>,
+    counters: &mut LocalCounters,
+    obs: &Obs,
+    track: u32,
+) -> Result<(), SchedError> {
+    let arrival = es.in_service.take().expect("complete without service");
+    let latency = now - arrival;
+    es.latencies.push(latency);
+    if cfg.arrival.slo.is_some_and(|s| latency > s) {
+        note_slo_miss(obs, track, st.id);
+    }
+    post_instance(
+        ctx,
+        cfg,
+        st,
+        es.queue.len(),
+        online,
+        ws,
+        shared,
+        counters,
+        obs,
+        track,
+    )?;
+    // Closed loop: the next arrival is this completion.
+    if es.gen.is_closed() && es.next_arrival < st.trace.len() {
+        es.next_arrival += 1;
+        heap.push(Reverse(Ev {
+            t: now,
+            stream: st.id,
+            seq: *seq,
+            kind: EvKind::Arrive,
+        }));
+        *seq += 1;
+    } else if !es.queue.is_empty() {
+        start_service(ctx, st, es, now, heap, seq, obs, track)?;
+    }
+    Ok(())
+}
+
+/// The adaptation pipeline after instance `st.pos - 1` completes: breaker
+/// gate, drift check, queue-depth admission, per-stream cache fast path,
+/// shared cache, and finally a solve on the worker-shared warm workspace
+/// (the lockstep engine's routing). Mirrors that engine's decision order exactly so
+/// closed-loop summaries stay bit-identical; only the *shed* trigger
+/// differs (queue depth here, per-tick drift volume there), and in closed
+/// loop the queue is always empty so no shed ever fires.
+#[allow(clippy::too_many_arguments)]
+fn post_instance(
+    ctx: &SchedContext,
+    cfg: &ServeConfig,
+    st: &mut StreamState,
+    queue_depth: usize,
+    online: &OnlineScheduler,
+    ws: &mut SolverWorkspace,
+    shared: Option<&SharedScheduleCache>,
+    counters: &mut LocalCounters,
+    obs: &Obs,
+    track: u32,
+) -> Result<(), SchedError> {
+    // The instance just executed was index `pos - 1`; in closed loop this
+    // equals the lockstep tick, so breaker windows line up bit-for-bit.
+    let k = st.pos - 1;
+    if let Some(b) = st.breaker.as_mut() {
+        if b.is_quarantined(k) {
+            st.summary.quarantined_ticks += 1;
+            return Ok(());
+        }
+    }
+    let Some(estimated) = st.mgr.drift_candidate(ctx) else {
+        return Ok(());
+    };
+    counters.drift_events += 1;
+    // Queue-depth admission: under sustained overload the queue behind
+    // this stream grows; shedding the *reschedule* (not the instance)
+    // keeps serving under the last adopted plan. In closed loop the queue
+    // is always empty at completion, so this never fires — which is what
+    // keeps summaries bit-identical to the lockstep engine.
+    if let Some(adm) = &cfg.admission {
+        if queue_depth > adm.high_water {
+            st.summary.shed += 1;
+            obs.instant(track, Stage::Shed, 1);
+            obs.count(Counter::ShedRequests, 1);
+            return Ok(());
+        }
+    }
+    if let Some(cache) = st.cache.as_mut() {
+        let key = ScheduleKey::new(ctx, &estimated, st.mgr.threshold(), 1.0);
+        let hit = cache
+            .get(&key)
+            .filter(|e| e.probs == estimated)
+            .map(|e| e.solution.clone());
+        if let Some(solution) = hit {
+            counters.per_stream_hits += 1;
+            obs.instant(track, Stage::CacheHit, 1);
+            obs.count(Counter::CacheHits, 1);
+            st.mgr.adopt_candidate(estimated, solution, false);
+            st.sim.rebuild(ctx, st.mgr.solution());
+            if let Some(b) = st.breaker.as_mut() {
+                b.note_success();
+            }
+            return Ok(());
+        }
+    }
+    // From here on this is one single-requester "group": same counters and
+    // telemetry the lockstep engine's resolve/adopt phases would record.
+    counters.requests += 1;
+    counters.groups += 1;
+    let key = shared.map(|_| ScheduleKey::new(ctx, &estimated, cfg.quantum, 1.0));
+    if let (Some(cache), Some(key)) = (shared, key.as_ref()) {
+        if let Some(solution) = cache.lookup(key, &estimated) {
+            counters.shared_hits += 1;
+            counters.shared_hit_requests += 1;
+            obs.instant(track, Stage::CacheHit, 1);
+            obs.count(Counter::CacheHits, 1);
+            st.mgr.adopt_candidate(estimated, solution, false);
+            st.sim.rebuild(ctx, st.mgr.solution());
+            if let Some(b) = st.breaker.as_mut() {
+                b.note_success();
+            }
+            return Ok(());
+        }
+        obs.instant(track, Stage::CacheMiss, 1);
+        obs.count(Counter::CacheMisses, 1);
+    }
+    counters.solver_calls += 1;
+    match online.solve_with_workspace(ctx, &estimated, ws) {
+        Ok(solution) => {
+            if let (Some(cache), Some(key)) = (shared, key) {
+                cache.insert(key, estimated.clone(), solution.clone());
+            }
+            if let Some(cache) = st.cache.as_mut() {
+                let key = ScheduleKey::new(ctx, &estimated, st.mgr.threshold(), 1.0);
+                cache.insert(
+                    key,
+                    CacheEntry {
+                        probs: estimated.clone(),
+                        solution: solution.clone(),
+                    },
+                );
+            }
+            st.mgr.adopt_candidate(estimated, solution, true);
+            st.sim.rebuild(ctx, st.mgr.solution());
+            if let Some(b) = st.breaker.as_mut() {
+                b.note_success();
+            }
+            Ok(())
+        }
+        Err(SchedError::SolveBudgetExceeded { .. }) => {
+            st.summary.budget_exceeded += 1;
+            let tripped = st.breaker.as_mut().is_some_and(|b| b.note_strike(k));
+            if tripped {
+                st.summary.quarantines += 1;
+                obs.instant(track, Stage::Quarantine, st.id as i64);
+                obs.count(Counter::QuarantineEvents, 1);
+            }
+            Ok(())
+        }
+        Err(e) => Err(e),
+    }
 }
 
 /// Phase A for one stream: simulate the next instance under the solution
@@ -1344,6 +2353,243 @@ mod tests {
     }
 
     #[test]
+    fn arrival_env_parsing() {
+        assert_eq!(parse_arrival(None), None);
+        assert_eq!(parse_arrival(Some("closed")), Some(ArrivalKind::ClosedLoop));
+        assert_eq!(
+            parse_arrival(Some(" Poisson:0.5 ")),
+            Some(ArrivalKind::Poisson { rate: 0.5 })
+        );
+        assert_eq!(
+            parse_arrival(Some("bursty:1.0:8:0.1:0.25")),
+            Some(ArrivalKind::Bursty {
+                rate: 1.0,
+                burst_mult: 8.0,
+                p_enter: 0.1,
+                p_exit: 0.25,
+            })
+        );
+        // Malformed or out-of-range specs degrade to None, never panic.
+        for bad in [
+            "poisson",
+            "poisson:0",
+            "poisson:-1",
+            "poisson:inf",
+            "poisson:x",
+            "bursty:1:0.5:0.1:0.25", // burst_mult < 1
+            "bursty:1:8:1.5:0.25",   // p_enter out of range
+            "bursty:1:8:0.1",        // missing field
+            "trace",
+            "",
+        ] {
+            assert_eq!(parse_arrival(Some(bad)), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn arrival_validation_rejects_bad_configs() {
+        let (ctx, probs) = setup();
+        let spec = StreamSpec {
+            trace: drifty_trace(8, 0),
+            initial_probs: probs,
+            window: 4,
+            threshold: 0.3,
+            fault_plan: None,
+            criticality: 0,
+        };
+        let run = |arrival: ArrivalConfig| {
+            let cfg = ServeConfig {
+                arrival,
+                ..ServeConfig::default()
+            };
+            run_serve(&ctx, std::slice::from_ref(&spec), &cfg)
+        };
+        let bad = [
+            ArrivalConfig {
+                kind: ArrivalKind::Poisson { rate: 0.0 },
+                ..ArrivalConfig::default()
+            },
+            ArrivalConfig {
+                kind: ArrivalKind::Bursty {
+                    rate: 1.0,
+                    burst_mult: 0.5,
+                    p_enter: 0.1,
+                    p_exit: 0.25,
+                },
+                ..ArrivalConfig::default()
+            },
+            ArrivalConfig {
+                kind: ArrivalKind::Trace,
+                traces: vec![], // one stream, zero traces
+                ..ArrivalConfig::default()
+            },
+            ArrivalConfig {
+                kind: ArrivalKind::Trace,
+                traces: vec![vec![1.0; 4]], // shorter than the 8-long trace
+                ..ArrivalConfig::default()
+            },
+            ArrivalConfig {
+                kind: ArrivalKind::Trace,
+                traces: vec![vec![-1.0; 8]], // negative gap
+                ..ArrivalConfig::default()
+            },
+            ArrivalConfig {
+                slo: Some(0.0),
+                ..ArrivalConfig::default()
+            },
+        ];
+        for arrival in bad {
+            assert!(
+                matches!(run(arrival.clone()), Err(SchedError::InvalidParameter(_))),
+                "{arrival:?} must be rejected"
+            );
+        }
+        assert!(run(ArrivalConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn engine_resolution_routes_admission_to_lockstep() {
+        let open = ArrivalConfig {
+            kind: ArrivalKind::Poisson { rate: 1.0 },
+            ..ArrivalConfig::default()
+        };
+        let auto = ServeConfig::default();
+        assert_eq!(auto.resolved_engine(), EngineKind::Events);
+        let admitted = ServeConfig {
+            admission: Some(AdmissionConfig { high_water: 1 }),
+            ..ServeConfig::default()
+        };
+        assert_eq!(admitted.resolved_engine(), EngineKind::Lockstep);
+        let admitted_open = ServeConfig {
+            admission: Some(AdmissionConfig { high_water: 1 }),
+            arrival: open.clone(),
+            ..ServeConfig::default()
+        };
+        assert_eq!(admitted_open.resolved_engine(), EngineKind::Events);
+        let pinned = ServeConfig {
+            engine: EngineKind::Lockstep,
+            ..ServeConfig::default()
+        };
+        assert_eq!(pinned.resolved_engine(), EngineKind::Lockstep);
+
+        // A pinned lockstep engine cannot serve open-loop arrivals.
+        let (ctx, probs) = setup();
+        let spec = StreamSpec {
+            trace: drifty_trace(8, 0),
+            initial_probs: probs,
+            window: 4,
+            threshold: 0.3,
+            fault_plan: None,
+            criticality: 0,
+        };
+        let bad = ServeConfig {
+            engine: EngineKind::Lockstep,
+            arrival: open,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            run_serve(&ctx, &[spec], &bad),
+            Err(SchedError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn events_engine_matches_lockstep_bit_for_bit_in_closed_loop() {
+        let (ctx, probs) = setup();
+        let specs: Vec<StreamSpec> = (0..6)
+            .map(|i| StreamSpec {
+                trace: drifty_trace(40, i),
+                initial_probs: probs.clone(),
+                window: 4,
+                threshold: 0.3,
+                fault_plan: None,
+                criticality: 0,
+            })
+            .collect();
+        for cache in [
+            CacheMode::Off,
+            CacheMode::PerStream { capacity: 16 },
+            CacheMode::Shared {
+                capacity: 64,
+                stripes: 4,
+            },
+        ] {
+            let lockstep = run_serve(
+                &ctx,
+                &specs,
+                &ServeConfig {
+                    cache,
+                    engine: EngineKind::Lockstep,
+                    ..ServeConfig::default()
+                },
+            )
+            .unwrap();
+            let events = run_serve(
+                &ctx,
+                &specs,
+                &ServeConfig {
+                    cache,
+                    engine: EngineKind::Events,
+                    ..ServeConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                events.streams, lockstep.streams,
+                "closed-loop equivalence broke under {cache:?}"
+            );
+            // Closed loop: latency is exactly the service time, so the
+            // latency aggregate must reproduce the makespan aggregate.
+            let max_makespan = lockstep
+                .streams
+                .iter()
+                .map(|s| s.exec.max_makespan)
+                .fold(0.0_f64, f64::max);
+            assert_eq!(events.stats.latency_max, max_makespan);
+            assert_eq!(events.stats.slo_misses, 0);
+        }
+    }
+
+    #[test]
+    fn open_loop_arrivals_keep_summaries_and_measure_queueing() {
+        let (ctx, probs) = setup();
+        let specs: Vec<StreamSpec> = (0..4)
+            .map(|i| StreamSpec {
+                trace: drifty_trace(32, i),
+                initial_probs: probs.clone(),
+                window: 4,
+                threshold: 0.3,
+                fault_plan: None,
+                criticality: 0,
+            })
+            .collect();
+        let closed = run_serve(&ctx, &specs, &ServeConfig::default()).unwrap();
+        // A rate high enough to queue instances behind each other.
+        let poisson = run_serve(
+            &ctx,
+            &specs,
+            &ServeConfig {
+                arrival: ArrivalConfig {
+                    kind: ArrivalKind::Poisson { rate: 1.0 },
+                    slo: Some(ctx.ctg().deadline()),
+                    ..ArrivalConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        // Scheduling decisions depend only on the decision-vector trace,
+        // not on when instances arrive: summaries are arrival-invariant.
+        assert_eq!(poisson.streams, closed.streams);
+        assert_eq!(poisson.latencies.len(), specs.len());
+        let measured: usize = poisson.latencies.iter().map(|l| l.count).sum();
+        assert_eq!(measured, poisson.stats.instances);
+        assert!(poisson.stats.latency_p99 >= poisson.stats.latency_p50);
+        assert!(poisson.stats.max_queue_depth >= 1);
+        assert!(poisson.stats.events >= 2 * poisson.stats.instances);
+    }
+
+    #[test]
     fn shared_cache_exact_guard_rejects_same_bucket_neighbours() {
         let (ctx, probs) = setup();
         let cache = SharedScheduleCache::new(8, 2);
@@ -1431,6 +2677,9 @@ mod tests {
             cache: CacheMode::Off,
             coalesce: true,
             quantum: 0.1,
+            // Same-tick coalescing is a lockstep concept: the event engine
+            // has no tick barrier to group across.
+            engine: EngineKind::Lockstep,
             ..ServeConfig::default()
         };
         let report = run_serve(&ctx, &specs, &cfg).unwrap();
@@ -1655,6 +2904,8 @@ mod tests {
             quantum: 0.1,
             solve_budget: Some(0),
             intra_solve_workers: 1,
+            arrival: ArrivalConfig::default(),
+            engine: EngineKind::Auto,
             admission: None,
             quarantine: Some(QuarantineConfig {
                 strikes: 2,
@@ -1711,6 +2962,8 @@ mod tests {
             quantum: 0.1,
             solve_budget: None,
             intra_solve_workers: 1,
+            arrival: ArrivalConfig::default(),
+            engine: EngineKind::Auto,
             admission: Some(AdmissionConfig { high_water: 1 }),
             quarantine: None,
         };

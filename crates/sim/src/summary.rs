@@ -89,6 +89,98 @@ impl std::fmt::Display for ExecStats {
     }
 }
 
+/// Per-stream arrival-to-completion latency distribution from the
+/// event-driven serving engine.
+///
+/// Kept *separate* from [`StreamSummary`](crate::StreamSummary) so the
+/// closed-loop equivalence contract — event-engine summaries bit-equal to
+/// lockstep summaries — stays a plain `==` over summaries: latencies only
+/// exist where arrivals do. All quantities are virtual time (the same unit
+/// as makespans and deadlines). Latency for instance *k* is
+/// `completion_k − arrival_k`, which folds in any queueing delay behind
+/// earlier instances of the same stream; in closed-loop mode it collapses
+/// to the makespan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamLatency {
+    /// Completed instances measured (equals the summary's instance count).
+    pub count: usize,
+    /// Latency sum, for pooled means.
+    pub sum: f64,
+    /// Largest observed latency.
+    pub max: f64,
+    /// Median latency (nearest-rank; 0 when empty).
+    pub p50: f64,
+    /// 99th-percentile latency (nearest-rank; 0 when empty).
+    pub p99: f64,
+    /// Instances whose latency exceeded the SLO (0 when no SLO is set).
+    pub slo_misses: usize,
+}
+
+impl StreamLatency {
+    /// Builds the distribution from raw per-instance latencies (consumed;
+    /// sorting happens here). `slo` of `None` disables violation counting.
+    pub fn from_latencies(mut latencies: Vec<f64>, slo: Option<f64>) -> Self {
+        latencies.sort_by(f64::total_cmp);
+        let count = latencies.len();
+        let sum = latencies.iter().sum();
+        let max = latencies.last().copied().unwrap_or(0.0);
+        let slo_misses = match slo {
+            Some(s) => latencies.iter().filter(|&&l| l > s).count(),
+            None => 0,
+        };
+        StreamLatency {
+            count,
+            sum,
+            max,
+            p50: percentile_sorted(&latencies, 50.0),
+            p99: percentile_sorted(&latencies, 99.0),
+            slo_misses,
+        }
+    }
+
+    /// Mean latency (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Fraction of instances past the SLO, in `[0, 1]` (0 when empty).
+    pub fn slo_miss_rate(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.slo_misses as f64 / self.count as f64
+        }
+    }
+
+    /// Renders the distribution as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean\":{},\"max\":{},\"p50\":{},\"p99\":{},\"slo_misses\":{}}}",
+            self.count,
+            fmt_f64(self.mean()),
+            fmt_f64(self.max),
+            fmt_f64(self.p50),
+            fmt_f64(self.p99),
+            self.slo_misses
+        )
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (`p` in
+/// `[0, 100]`; 0 when empty). Deterministic: pure index arithmetic, no
+/// interpolation, so pooled reports are bit-stable across runs.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// JSON-safe float formatting: finite values print exactly (shortest
 /// round-trip `Display`), non-finite values become `null`.
 pub(crate) fn fmt_f64(v: f64) -> String {
@@ -139,6 +231,31 @@ mod tests {
         let shown = format!("{s}");
         assert!(shown.contains("1 instances"));
         assert!(shown.contains("max makespan 12.000"));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile_sorted(&v, 50.0), 50.0);
+        assert_eq!(percentile_sorted(&v, 99.0), 99.0);
+        assert_eq!(percentile_sorted(&v, 100.0), 100.0);
+        assert_eq!(percentile_sorted(&[], 50.0), 0.0);
+        assert_eq!(percentile_sorted(&[7.0], 1.0), 7.0);
+    }
+
+    #[test]
+    fn stream_latency_derives_and_counts_slo() {
+        let lat = StreamLatency::from_latencies(vec![3.0, 1.0, 2.0, 10.0], Some(2.5));
+        assert_eq!(lat.count, 4);
+        assert_eq!(lat.max, 10.0);
+        assert_eq!(lat.p50, 2.0);
+        assert_eq!(lat.p99, 10.0);
+        assert_eq!(lat.slo_misses, 2);
+        assert!((lat.mean() - 4.0).abs() < 1e-12);
+        assert!((lat.slo_miss_rate() - 0.5).abs() < 1e-12);
+        let none = StreamLatency::from_latencies(vec![], None);
+        assert_eq!(none, StreamLatency::default());
+        assert!(none.to_json().contains("\"count\":0"));
     }
 
     #[test]

@@ -236,7 +236,9 @@ fn chrome_export_is_valid_and_tracks_are_monotone() {
             assert!(ts >= prev, "exported track {tid} timestamps regressed");
         }
     }
-    for expected in ["solve", "tick", "fault_inject"] {
+    // The default engine is event-driven: enqueue/dequeue replace the
+    // lockstep engine's per-tick spans.
+    for expected in ["solve", "enqueue", "dequeue", "fault_inject"] {
         assert!(
             names.iter().any(|n| n == expected),
             "trace must contain {expected:?} events; saw {:?}",

@@ -54,6 +54,7 @@ fn base_cfg(workers: usize, shards: usize, cache: CacheMode) -> ServeConfig {
         intra_solve_workers: 1,
         admission: None,
         quarantine: None,
+        ..ServeConfig::default()
     }
 }
 
