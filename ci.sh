@@ -60,4 +60,16 @@ CTG_WORKERS=2 ./target/release/serve --smoke --compare-lockstep --trace target/c
 test -s target/ci_serve_trace.json
 test -s target/BENCH_serve_smoke.json
 
+echo "==> campaign determinism matrix (worker invariance + kill/resume round-trip)"
+cargo test -q --offline --test campaign_determinism
+CTG_WORKERS=2 cargo test -q --offline --test campaign_determinism
+
+echo "==> campaign bench smoke (8-cell grid at 2 workers: shared-artifact compile,"
+echo "    JSONL cell stream, truncate-mid-line kill/resume drill asserting the"
+echo "    resumed roll-up is bit-identical; JSONL validated by the strict parser)"
+cargo build -q --release --offline -p ctg-bench --bin campaign
+CTG_CAMPAIGN_WORKERS=2 ./target/release/campaign --smoke
+test -s target/campaign_cells_smoke.jsonl
+test -s target/BENCH_campaign_smoke.json
+
 echo "==> CI OK"

@@ -346,7 +346,36 @@ struct ScaleRow {
     events: usize,
     shared_hit_rate: f64,
     wall_s: f64,
+    /// Peak-RSS growth of the serve run divided by the stream count — the
+    /// per-stream resident state (0 when an earlier, larger row already
+    /// owns the high-water mark).
+    per_stream_bytes: f64,
+    /// `size_of::<AdaptiveScheduler>()` — the inline footprint every
+    /// stream pays before any solve runs.
+    mgr_size_bytes: usize,
+    /// The previous PR's committed numbers for this row, where recorded —
+    /// the before side of the lazy-workspace change.
+    prev: Option<(f64, f64)>,
 }
+
+/// VmHWM (peak RSS) of this process in bytes (0.0 where /proc is absent).
+fn peak_rss_bytes() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("VmHWM:"))
+                .and_then(|v| v.trim().strip_suffix("kB"))
+                .and_then(|v| v.trim().parse::<f64>().ok())
+        })
+        .map(|kb| kb * 1024.0)
+        .unwrap_or(0.0)
+}
+
+/// `BENCH_serve.json`'s 100k row as committed before the adaptive manager
+/// boxed its solver workspaces (PR 8): every stream carried two eagerly
+/// built `SolverWorkspace`s it never solved through in the serve engine.
+const PREV_100K: (f64, f64) = (23153.9, 51.83);
 
 fn scale_run(ctx: &ctg_sched::SchedContext, streams: usize, workers: usize) -> ScaleRow {
     let trace_len = 12;
@@ -371,7 +400,9 @@ fn scale_run(ctx: &ctg_sched::SchedContext, streams: usize, workers: usize) -> S
             },
         )
     };
+    let rss_before = peak_rss_bytes();
     let report = run_serve(ctx, &specs, &cfg).expect("scale serve run");
+    let per_stream_bytes = ((peak_rss_bytes() - rss_before) / streams as f64).max(0.0);
     let slo_misses: usize = report.latencies.iter().map(|l| l.slo_misses).sum();
     let slo_violation_rate = if report.stats.instances > 0 {
         slo_misses as f64 / report.stats.instances as f64
@@ -381,13 +412,16 @@ fn scale_run(ctx: &ctg_sched::SchedContext, streams: usize, workers: usize) -> S
     println!(
         "\nscale ({streams} streams x {trace_len} instances, poisson rate {rate:.3}, \
          slo {slo:.1}): {:.0} inst/s  p50 {:.1}  p99 {:.1}  max {:.1}  \
-         slo violations {:.2}%  max queue {}",
+         slo violations {:.2}%  max queue {}  ~{:.0} B/stream resident \
+         (manager struct {} B)",
         report.stats.instances_per_s(),
         report.stats.latency_p50,
         report.stats.latency_p99,
         report.stats.latency_max,
         100.0 * slo_violation_rate,
-        report.stats.max_queue_depth
+        report.stats.max_queue_depth,
+        per_stream_bytes,
+        std::mem::size_of::<AdaptiveScheduler>(),
     );
     ScaleRow {
         streams,
@@ -403,6 +437,9 @@ fn scale_run(ctx: &ctg_sched::SchedContext, streams: usize, workers: usize) -> S
         events: report.stats.events,
         shared_hit_rate: report.stats.shared_hit_rate(),
         wall_s: report.stats.wall_s,
+        per_stream_bytes,
+        mgr_size_bytes: std::mem::size_of::<AdaptiveScheduler>(),
+        prev: (streams == 100_000).then_some(PREV_100K),
     }
 }
 
@@ -696,7 +733,9 @@ fn main() {
              \"arrival\": \"poisson\", \"arrival_rate\": {:.4}, \"slo\": {:.3}, \
              \"latency_p50\": {:.3}, \"latency_p99\": {:.3}, \"latency_max\": {:.3}, \
              \"slo_violation_rate\": {:.4}, \"max_queue_depth\": {}, \"events\": {}, \
-             \"shared_hit_rate\": {:.4}, \"wall_s\": {:.2}}}{}\n",
+             \"shared_hit_rate\": {:.4}, \"wall_s\": {:.2}, \
+             \"per_stream_bytes\": {:.0}, \"mgr_size_bytes\": {}, \
+             \"prev_inst_per_s\": {}, \"prev_wall_s\": {}}}{}\n",
             scale.streams,
             scale.instances,
             scale.inst_per_s,
@@ -710,6 +749,16 @@ fn main() {
             scale.events,
             scale.shared_hit_rate,
             scale.wall_s,
+            scale.per_stream_bytes,
+            scale.mgr_size_bytes,
+            scale
+                .prev
+                .map(|(p, _)| format!("{p:.1}"))
+                .unwrap_or_else(|| "null".to_string()),
+            scale
+                .prev
+                .map(|(_, w)| format!("{w:.2}"))
+                .unwrap_or_else(|| "null".to_string()),
             if i + 1 == scale_rows.len() { "" } else { "," }
         ));
     }

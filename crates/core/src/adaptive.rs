@@ -219,6 +219,31 @@ struct CacheEntry {
 /// stay small enough that the memo costs well under a megabyte.
 const NEAR_MEMO_CAP: usize = 128;
 
+/// Returns the workspace in `slot`, creating it on first use with the
+/// manager's replayed settings (near memo at the drift threshold,
+/// telemetry, budget, intra-solve workers). A free function rather than a
+/// method so callers can borrow `slot` mutably while other fields of the
+/// manager stay readable.
+fn ensure_workspace<'a>(
+    slot: &'a mut Option<Box<SolverWorkspace>>,
+    threshold: f64,
+    obs: &Obs,
+    obs_track: u32,
+    budget: Option<u64>,
+    intra: Option<usize>,
+) -> &'a mut SolverWorkspace {
+    slot.get_or_insert_with(|| {
+        let mut ws = SolverWorkspace::new();
+        ws.set_near_memo(threshold, NEAR_MEMO_CAP);
+        ws.set_obs(obs.clone(), obs_track);
+        ws.set_budget(budget);
+        if let Some(workers) = intra {
+            ws.set_intra_workers(workers);
+        }
+        Box::new(ws)
+    })
+}
+
 /// Outcome of a resilient (re-)scheduling attempt.
 ///
 /// Returned by [`AdaptiveScheduler::observe_resilient`] and
@@ -296,14 +321,27 @@ pub struct AdaptiveScheduler {
     cache: Option<LruCache<ScheduleKey, CacheEntry>>,
     /// Warm-start solver state for unguarded solves — bit-for-bit
     /// equivalent to calling the scheduler from scratch, but structurally
-    /// incremental across re-schedules.
-    workspace: SolverWorkspace,
+    /// incremental across re-schedules. Boxed and allocated on first use:
+    /// a serving engine holds one manager per stream but solves through a
+    /// per-*worker* workspace, so at fleet scale (100k+ streams) an
+    /// eagerly built inline workspace is pure resident dead weight. The
+    /// workspace's warm==cold contract makes the deferral invisible in
+    /// results.
+    workspace: Option<Box<SolverWorkspace>>,
     /// Separate warm-start state for guard-banded solves: those run
     /// against a deadline-scaled context, and the two streams must not
     /// thrash each other's incumbents (the workspace re-binds by context
     /// content, so interleaving them would discard the warm state every
-    /// call).
-    guard_workspace: SolverWorkspace,
+    /// call). Lazily allocated like `workspace` — most managers never
+    /// solve with a guard band at all.
+    guard_workspace: Option<Box<SolverWorkspace>>,
+    /// Replayed onto lazily created workspaces: the per-solve work budget
+    /// in force (`None` = unbudgeted).
+    ws_budget: Option<u64>,
+    /// Replayed onto lazily created workspaces: explicitly configured
+    /// intra-solve worker count (`None` = inherit the process default at
+    /// creation, exactly like an eagerly built workspace would have).
+    ws_intra: Option<usize>,
     /// Telemetry handle (disabled by default); drift/adopt/cache events are
     /// recorded against `obs_track`.
     obs: Obs,
@@ -376,7 +414,7 @@ impl AdaptiveScheduler {
             initial_probs,
             threshold,
             solution,
-            workspace,
+            Some(Box::new(workspace)),
         ))
     }
 
@@ -404,13 +442,16 @@ impl AdaptiveScheduler {
         solution: Solution,
     ) -> Result<Self, SchedError> {
         let estimators = Self::build_estimators(ctx, &initial_probs, kind, threshold)?;
+        // No workspace yet: a fanned-out manager often never solves on its
+        // own (external engines solve through shared per-worker state), so
+        // deferring the allocation keeps per-stream resident state small.
         Ok(Self::assemble(
             scheduler,
             estimators,
             initial_probs,
             threshold,
             solution,
-            SolverWorkspace::new(),
+            None,
         ))
     }
 
@@ -438,16 +479,18 @@ impl AdaptiveScheduler {
         current_probs: BranchProbs,
         threshold: f64,
         solution: Solution,
-        mut workspace: SolverWorkspace,
+        mut workspace: Option<Box<SolverWorkspace>>,
     ) -> Self {
         // The near-miss memo buckets tables at the drift threshold — the
         // resolution below which the manager does not react — so revisited
         // operating points keep replaying across sub-threshold wobble. It
         // is an exact-replay cache (see `SolverWorkspace::set_near_memo`);
-        // every adopted plan stays bit-identical to a cold solve.
-        let mut guard_workspace = SolverWorkspace::new();
-        workspace.set_near_memo(threshold, NEAR_MEMO_CAP);
-        guard_workspace.set_near_memo(threshold, NEAR_MEMO_CAP);
+        // every adopted plan stays bit-identical to a cold solve. The same
+        // memo is applied to lazily created workspaces in
+        // `ensure_workspace`.
+        if let Some(ws) = workspace.as_deref_mut() {
+            ws.set_near_memo(threshold, NEAR_MEMO_CAP);
+        }
         AdaptiveScheduler {
             scheduler,
             estimators,
@@ -458,7 +501,9 @@ impl AdaptiveScheduler {
             deadline_guard: 1.0,
             cache: None,
             workspace,
-            guard_workspace,
+            guard_workspace: None,
+            ws_budget: None,
+            ws_intra: None,
             obs: Obs::disabled(),
             obs_track: 0,
         }
@@ -468,8 +513,12 @@ impl AdaptiveScheduler {
     /// both solver workspaces so solve-stage spans land on the same track.
     /// Recording never changes observations, adoptions or solutions.
     pub fn set_obs(&mut self, obs: Obs, track: u32) {
-        self.workspace.set_obs(obs.clone(), track);
-        self.guard_workspace.set_obs(obs.clone(), track);
+        if let Some(ws) = self.workspace.as_deref_mut() {
+            ws.set_obs(obs.clone(), track);
+        }
+        if let Some(ws) = self.guard_workspace.as_deref_mut() {
+            ws.set_obs(obs.clone(), track);
+        }
         self.obs = obs;
         self.obs_track = track;
     }
@@ -482,13 +531,18 @@ impl AdaptiveScheduler {
     /// adopted solution, so callers degrade instead of crashing. See
     /// [`SolverWorkspace::set_budget`] for the determinism argument.
     pub fn set_solve_budget(&mut self, budget: Option<u64>) {
-        self.workspace.set_budget(budget);
-        self.guard_workspace.set_budget(budget);
+        self.ws_budget = budget;
+        if let Some(ws) = self.workspace.as_deref_mut() {
+            ws.set_budget(budget);
+        }
+        if let Some(ws) = self.guard_workspace.as_deref_mut() {
+            ws.set_budget(budget);
+        }
     }
 
     /// The configured per-solve work budget, if any.
     pub fn solve_budget(&self) -> Option<u64> {
-        self.workspace.budget()
+        self.ws_budget
     }
 
     /// Sets the intra-solve worker count, forwarded to both solver
@@ -496,8 +550,13 @@ impl AdaptiveScheduler {
     /// [`SolverWorkspace::set_intra_workers`]); `1` (the default) keeps the
     /// inner loops sequential.
     pub fn set_intra_solve_workers(&mut self, workers: usize) {
-        self.workspace.set_intra_workers(workers);
-        self.guard_workspace.set_intra_workers(workers);
+        self.ws_intra = Some(workers);
+        if let Some(ws) = self.workspace.as_deref_mut() {
+            ws.set_intra_workers(workers);
+        }
+        if let Some(ws) = self.guard_workspace.as_deref_mut() {
+            ws.set_intra_workers(workers);
+        }
     }
 
     /// The solution currently in force.
@@ -685,7 +744,15 @@ impl AdaptiveScheduler {
         ctx: &SchedContext,
         probs: &BranchProbs,
     ) -> Result<Solution, SchedError> {
-        self.workspace.solve(self.scheduler.config(), ctx, probs)
+        let ws = ensure_workspace(
+            &mut self.workspace,
+            self.threshold,
+            &self.obs,
+            self.obs_track,
+            self.ws_budget,
+            self.ws_intra,
+        );
+        ws.solve(self.scheduler.config(), ctx, probs)
     }
 
     /// Like [`AdaptiveScheduler::observe`], but with retry-with-fallback
@@ -772,22 +839,40 @@ impl AdaptiveScheduler {
             // The guarded context is rebuilt per call, but its *content* is
             // the same for a fixed guard factor, so the guard workspace
             // stays warm across calls.
-            SchedContext::new(
+            let guarded = SchedContext::new(
                 ctx.ctg().with_deadline(guard * ctx.ctg().deadline()),
                 ctx.platform().clone(),
-            )
-            .and_then(|guarded| {
-                self.guard_workspace
-                    .solve(self.scheduler.config(), &guarded, probs)
-            })
+            )?;
+            let ws = ensure_workspace(
+                &mut self.guard_workspace,
+                self.threshold,
+                &self.obs,
+                self.obs_track,
+                self.ws_budget,
+                self.ws_intra,
+            );
+            ws.solve(self.scheduler.config(), &guarded, probs)
         } else {
-            self.workspace.solve(self.scheduler.config(), ctx, probs)
+            let ws = ensure_workspace(
+                &mut self.workspace,
+                self.threshold,
+                &self.obs,
+                self.obs_track,
+                self.ws_budget,
+                self.ws_intra,
+            );
+            ws.solve(self.scheduler.config(), ctx, probs)
         }
     }
 
-    /// Work counters of the unguarded warm-start solver workspace.
+    /// Work counters of the unguarded warm-start solver workspace
+    /// (all-zero while the workspace has not been created yet — the
+    /// manager has never solved on its own).
     pub fn workspace_stats(&self) -> WorkspaceStats {
-        self.workspace.stats()
+        self.workspace
+            .as_deref()
+            .map(SolverWorkspace::stats)
+            .unwrap_or_default()
     }
 
     /// Solves for `probs` through the schedule cache when enabled.

@@ -312,6 +312,15 @@ pub struct SchedContext {
     compiled: CompiledGraph,
 }
 
+/// Compile-time proof that a compiled context is plain shareable data:
+/// the campaign executor hands one `Arc<SchedContext>` to every worker
+/// thread, so this must fail to compile if interior mutability is ever
+/// introduced.
+const _: () = {
+    const fn is_sync_send<T: Sync + Send>() {}
+    is_sync_send::<SchedContext>()
+};
+
 impl SchedContext {
     /// Builds a context, validating that platform and graph agree on the
     /// task count.

@@ -72,6 +72,16 @@ pub enum Stage {
     /// A budgeted solve crossed its work budget and aborted
     /// (`arg` = work units spent at the abort).
     BudgetAbort,
+    /// A campaign artifact compile: TGFF/workload parsing, CTG
+    /// construction and context compilation for one distinct
+    /// (workload, platform) pair (`arg` = cells waiting on the pair).
+    Compile,
+    /// One campaign cell executed end to end (`arg` = simulated
+    /// instances).
+    CellRun,
+    /// A campaign cell skipped because the checkpoint already holds its
+    /// result (`arg` = cell index in the expanded grid).
+    CellSkip,
     /// A whole trace/serve run (the root span of an export).
     Run,
 }
@@ -103,6 +113,9 @@ impl Stage {
             Stage::Shed => "shed",
             Stage::Quarantine => "quarantine",
             Stage::BudgetAbort => "budget_abort",
+            Stage::Compile => "compile",
+            Stage::CellRun => "cell_run",
+            Stage::CellSkip => "cell_skip",
             Stage::Run => "run",
         }
     }
@@ -132,6 +145,7 @@ impl Stage {
             | Stage::Shed
             | Stage::Quarantine
             | Stage::BudgetAbort => "resilience",
+            Stage::Compile | Stage::CellRun | Stage::CellSkip => "campaign",
             Stage::Run => "run",
         }
     }
@@ -197,6 +211,9 @@ mod tests {
             Stage::Shed,
             Stage::Quarantine,
             Stage::BudgetAbort,
+            Stage::Compile,
+            Stage::CellRun,
+            Stage::CellSkip,
             Stage::Run,
         ];
         let mut names: Vec<&str> = all.iter().map(|s| s.name()).collect();

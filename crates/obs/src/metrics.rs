@@ -46,10 +46,19 @@ pub enum Counter {
     NearMissHits,
     /// Instances whose arrival-to-completion latency exceeded the SLO.
     SloMisses,
+    /// Campaign cells executed to completion.
+    CellsCompleted,
+    /// Campaign cells skipped because the checkpoint already held them.
+    CellsResumed,
+    /// Campaign artifact compiles (one per distinct workload × platform
+    /// pair actually touched).
+    ArtifactCompiles,
+    /// Campaign cells served an already-compiled artifact.
+    ArtifactHits,
 }
 
 /// All counters, in snapshot/export order.
-pub const COUNTERS: [Counter; 15] = [
+pub const COUNTERS: [Counter; 19] = [
     Counter::Instances,
     Counter::DeadlineMisses,
     Counter::SolverCalls,
@@ -65,6 +74,10 @@ pub const COUNTERS: [Counter; 15] = [
     Counter::BudgetExceededSolves,
     Counter::NearMissHits,
     Counter::SloMisses,
+    Counter::CellsCompleted,
+    Counter::CellsResumed,
+    Counter::ArtifactCompiles,
+    Counter::ArtifactHits,
 ];
 
 impl Counter {
@@ -85,6 +98,10 @@ impl Counter {
             Counter::BudgetExceededSolves => 12,
             Counter::NearMissHits => 13,
             Counter::SloMisses => 14,
+            Counter::CellsCompleted => 15,
+            Counter::CellsResumed => 16,
+            Counter::ArtifactCompiles => 17,
+            Counter::ArtifactHits => 18,
         }
     }
 
@@ -106,6 +123,10 @@ impl Counter {
             Counter::BudgetExceededSolves => "budget_exceeded_solves",
             Counter::NearMissHits => "near_miss_hits",
             Counter::SloMisses => "slo_misses",
+            Counter::CellsCompleted => "cells_completed",
+            Counter::CellsResumed => "cells_resumed",
+            Counter::ArtifactCompiles => "artifact_compiles",
+            Counter::ArtifactHits => "artifact_hits",
         }
     }
 }

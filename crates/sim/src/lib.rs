@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod degrade;
 pub mod estimate;
 pub mod fault;
@@ -68,6 +69,11 @@ pub mod runner;
 pub mod serve;
 mod summary;
 
+pub use campaign::{
+    campaign_workers, run_campaign, ArrivalSpec, Artifact, CampaignConfig, CampaignError,
+    CampaignReport, CampaignRollup, CampaignSpec, Cell, CellCoord, CellDigest, KnobSpec,
+    CAMPAIGN_WORKERS_ENV,
+};
 pub use degrade::{DegradeConfig, DegradeStats, Rung, Watchdog, WatchdogVerdict};
 pub use estimate::{monte_carlo_energy, McEstimate};
 pub use fault::{
@@ -91,8 +97,8 @@ pub use runner::{
     FAULTY_INSTANCE_COST,
 };
 pub use serve::{
-    default_arrival, run_serve, AdmissionConfig, ArrivalConfig, ArrivalKind, CacheMode, EngineKind,
-    QuarantineConfig, ServeConfig, ServeReport, ServeStats, SharedScheduleCache, StreamSpec,
-    StreamSummary, SERVE_ARRIVAL_ENV, SERVE_SHARDS_ENV,
+    default_arrival, run_serve, run_serve_seeded, AdmissionConfig, ArrivalConfig, ArrivalKind,
+    CacheMode, EngineKind, QuarantineConfig, ServeConfig, ServeReport, ServeStats,
+    SharedScheduleCache, StreamSpec, StreamSummary, SERVE_ARRIVAL_ENV, SERVE_SHARDS_ENV,
 };
 pub use summary::{percentile_sorted, ExecStats, StreamLatency};

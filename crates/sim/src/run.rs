@@ -443,7 +443,7 @@ impl Runner {
         ctx: &SchedContext,
         specs: &[StreamSpec],
     ) -> Result<ServeReport, SchedError> {
-        serve::serve_engine(ctx, specs, &self.cfg.serve_config(), &self.cfg.obs)
+        serve::serve_engine(ctx, specs, &self.cfg.serve_config(), &self.cfg.obs, None)
     }
 }
 

@@ -1021,7 +1021,27 @@ pub fn run_serve(
     specs: &[StreamSpec],
     cfg: &ServeConfig,
 ) -> Result<ServeReport, SchedError> {
-    serve_engine(ctx, specs, cfg, &Obs::disabled())
+    serve_engine(ctx, specs, cfg, &Obs::disabled(), None)
+}
+
+/// [`run_serve`] with a caller-owned setup workspace: the tick-0 initial
+/// solves run through `setup_ws` instead of a fresh workspace, so a driver
+/// executing many runs over the same context (the campaign engine runs one
+/// per cell) keeps the setup solver warm across runs. By the workspace's
+/// warm==cold contract the report is bit-identical to [`run_serve`]'s; the
+/// workspace's telemetry handle and intra-solve worker count are
+/// overwritten with this run's configuration.
+///
+/// # Errors
+///
+/// Same as [`run_serve`].
+pub fn run_serve_seeded(
+    ctx: &SchedContext,
+    specs: &[StreamSpec],
+    cfg: &ServeConfig,
+    setup_ws: &mut SolverWorkspace,
+) -> Result<ServeReport, SchedError> {
+    serve_engine(ctx, specs, cfg, &Obs::disabled(), Some(setup_ws))
 }
 
 /// The serving engine proper: [`run_serve`] with a telemetry handle.
@@ -1040,6 +1060,7 @@ pub(crate) fn serve_engine(
     specs: &[StreamSpec],
     cfg: &ServeConfig,
     obs: &Obs,
+    seed_ws: Option<&mut SolverWorkspace>,
 ) -> Result<ServeReport, SchedError> {
     let start = Instant::now();
     let num_branches = ctx.ctg().num_branches();
@@ -1071,8 +1092,8 @@ pub(crate) fn serve_engine(
         ));
     }
     match engine {
-        EngineKind::Lockstep => lockstep_engine(ctx, specs, cfg, obs, start),
-        _ => events_engine(ctx, specs, cfg, obs, start),
+        EngineKind::Lockstep => lockstep_engine(ctx, specs, cfg, obs, start, seed_ws),
+        _ => events_engine(ctx, specs, cfg, obs, start, seed_ws),
     }
 }
 
@@ -1087,16 +1108,27 @@ fn setup_streams<'a>(
     obs: &Obs,
     workers: usize,
     shards: usize,
+    seed_ws: Option<&mut SolverWorkspace>,
 ) -> Result<Vec<StreamState<'a>>, SchedError> {
     let owner = |stream_id: usize| (stream_id % shards) % workers;
     let online = OnlineScheduler::new();
-    let mut setup_ws = SolverWorkspace::new();
+    // A caller-owned seed workspace (warm across runs over the same
+    // context) or a run-local fresh one — bit-identical either way by the
+    // workspace's warm==cold contract.
+    let mut local_ws;
+    let setup_ws = match seed_ws {
+        Some(ws) => ws,
+        None => {
+            local_ws = SolverWorkspace::new();
+            &mut local_ws
+        }
+    };
     setup_ws.set_obs(obs.clone(), 0);
     setup_ws.set_intra_workers(cfg.intra_solve_workers);
     let mut initial: HashMap<Vec<u64>, Solution> = HashMap::new();
     for spec in specs {
         if let Entry::Vacant(e) = initial.entry(probs_bits(ctx, &spec.initial_probs)) {
-            e.insert(online.solve_with_workspace(ctx, &spec.initial_probs, &mut setup_ws)?);
+            e.insert(online.solve_with_workspace(ctx, &spec.initial_probs, setup_ws)?);
         }
     }
 
@@ -1145,12 +1177,13 @@ fn lockstep_engine<'a>(
     cfg: &ServeConfig,
     obs: &Obs,
     start: Instant,
+    seed_ws: Option<&mut SolverWorkspace>,
 ) -> Result<ServeReport, SchedError> {
     let shards = cfg.shards.max(1);
     let workers = cfg.workers.max(1).min(shards).min(specs.len().max(1));
     let owner = |stream_id: usize| (stream_id % shards) % workers;
     let online = OnlineScheduler::new();
-    let states = setup_streams(ctx, specs, cfg, obs, workers, shards)?;
+    let states = setup_streams(ctx, specs, cfg, obs, workers, shards, seed_ws)?;
     // Criticalities indexed by stream id, for worker 0's shedding pass.
     let crits: Vec<u8> = specs.iter().map(|s| s.criticality).collect();
 
@@ -1564,11 +1597,12 @@ fn events_engine<'a>(
     cfg: &ServeConfig,
     obs: &Obs,
     start: Instant,
+    seed_ws: Option<&mut SolverWorkspace>,
 ) -> Result<ServeReport, SchedError> {
     let shards = cfg.shards.max(1);
     let workers = cfg.workers.max(1).min(shards).min(specs.len().max(1));
     let owner = |stream_id: usize| (stream_id % shards) % workers;
-    let states = setup_streams(ctx, specs, cfg, obs, workers, shards)?;
+    let states = setup_streams(ctx, specs, cfg, obs, workers, shards, seed_ws)?;
     let ticks = specs.iter().map(|s| s.trace.len()).max().unwrap_or(0);
 
     let shared_cache = match cfg.cache {

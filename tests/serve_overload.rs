@@ -20,7 +20,7 @@ use adaptive_dvfs::sched::{AdaptiveScheduler, OnlineScheduler, SchedContext, Sol
 use adaptive_dvfs::sim::serve::{
     run_serve, AdmissionConfig, CacheMode, QuarantineConfig, ServeConfig, StreamSpec, StreamSummary,
 };
-use adaptive_dvfs::sim::{DegradeConfig, FaultPlan, RunConfig, RunSummary, Runner};
+use adaptive_dvfs::sim::{BurstModel, DegradeConfig, FaultPlan, RunConfig, RunSummary, Runner};
 use adaptive_dvfs::workloads::traces::{self, DriftProfile};
 
 /// Drifting streams over a small seed pool, so same-seed streams move in
@@ -239,6 +239,94 @@ fn overload_decisions_invariant_across_engine_configurations() {
     assert_eq!(
         uncoalesced.stats.budget_exceeded,
         reference.stats.budget_exceeded
+    );
+}
+
+/// DESIGN.md §14 pin: fault-burst intensity moves *fault* pressure, not
+/// *load*. Burst modulation multiplies fault rates only; the decision
+/// traces driving drift, re-solve demand and budget verdicts are fixed by
+/// the drift profiles, so every overload counter — sheds, budget aborts,
+/// quarantines, frozen ticks — is byte-identical at any `p_enter`, while
+/// fault totals rise with it. The identical overload columns across
+/// `burst_p_enter` in `BENCH_serve.json` are this invariance by
+/// construction, not a stuck sweep.
+#[test]
+fn burst_rate_moves_fault_pressure_but_not_overload_decisions() {
+    let (ctx, _, _) = example1_context();
+    let budget = probe_cost(&ctx, &stream_specs(&ctx, 1, 48, false)[0].initial_probs) / 2;
+    let overloaded = ServeConfig {
+        solve_budget: Some(budget),
+        admission: Some(AdmissionConfig { high_water: 2 }),
+        quarantine: Some(QuarantineConfig {
+            strikes: 2,
+            window: 8,
+            backoff: 4,
+            backoff_max: 32,
+        }),
+        ..base_cfg(2, 4, CacheMode::Off)
+    };
+    let reports: Vec<_> = [0.0, 0.05, 0.2]
+        .iter()
+        .map(|&p_enter| {
+            let mut specs = stream_specs(&ctx, 8, 48, true);
+            if p_enter > 0.0 {
+                for spec in &mut specs {
+                    spec.fault_plan.as_mut().expect("faulty specs").burst = Some(BurstModel {
+                        p_enter,
+                        p_exit: 0.25,
+                        rate_multiplier: 8.0,
+                    });
+                }
+            }
+            run_serve(&ctx, &specs, &overloaded).unwrap()
+        })
+        .collect();
+    let base = &reports[0];
+    assert!(
+        base.stats.shed_requests > 0 && base.stats.budget_exceeded > 0,
+        "fixture must actually overload: {:?}",
+        base.stats
+    );
+    for (r, p_enter) in reports[1..].iter().zip([0.05, 0.2]) {
+        let what = format!("burst p_enter={p_enter}");
+        assert_eq!(r.stats.shed_requests, base.stats.shed_requests, "{what}");
+        assert_eq!(
+            r.stats.budget_exceeded, base.stats.budget_exceeded,
+            "{what}"
+        );
+        assert_eq!(r.stats.quarantines, base.stats.quarantines, "{what}");
+        assert_eq!(
+            r.stats.quarantined_ticks, base.stats.quarantined_ticks,
+            "{what}"
+        );
+        assert_eq!(r.stats.drift_events, base.stats.drift_events, "{what}");
+        assert_eq!(r.stats.requests, base.stats.requests, "{what}");
+        for (i, (x, y)) in r.streams.iter().zip(&base.streams).enumerate() {
+            assert_eq!(x.reschedules, y.reschedules, "{what}: stream {i}");
+            assert_eq!(
+                (
+                    x.shed,
+                    x.budget_exceeded,
+                    x.quarantines,
+                    x.quarantined_ticks
+                ),
+                (
+                    y.shed,
+                    y.budget_exceeded,
+                    y.quarantines,
+                    y.quarantined_ticks
+                ),
+                "{what}: stream {i} overload counters"
+            );
+        }
+    }
+    let fault_totals: Vec<usize> = reports
+        .iter()
+        .map(|r| r.streams.iter().map(|s| s.faults.total()).sum())
+        .collect();
+    assert!(
+        fault_totals[2] > fault_totals[1] && fault_totals[1] > fault_totals[0],
+        "fault pressure must rise with burst intensity: {fault_totals:?}"
     );
 }
 
