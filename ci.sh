@@ -72,4 +72,15 @@ CTG_CAMPAIGN_WORKERS=2 ./target/release/campaign --smoke
 test -s target/campaign_cells_smoke.jsonl
 test -s target/BENCH_campaign_smoke.json
 
+echo "==> scheduler portfolio matrix (trait pin bit-for-bit, dormant knob, race"
+echo "    determinism across CTG_WORKERS x CTG_INTRA_SOLVE)"
+cargo test -q --offline --test scheduler_portfolio
+CTG_WORKERS=2 CTG_INTRA_SOLVE=2 cargo test -q --offline --test scheduler_portfolio
+
+echo "==> portfolio bench smoke (serve bench portfolio row: expected-energy"
+echo "    no-regression gate vs DLS-only + reshard determinism, asserted in-bin;"
+echo "    table1 asserts portfolio <= online on every row)"
+cargo build -q --release --offline -p ctg-bench --bin table1
+./target/release/table1 > /dev/null
+
 echo "==> CI OK"

@@ -97,6 +97,7 @@ fn full_spec() -> CampaignSpec {
         .iter()
         .map(|&(window, threshold)| KnobSpec { window, threshold })
         .collect(),
+        schedulers: vec!["dls".into()],
         streams: 8,
         seed: 0xF16_5600D,
         explicit: Vec::new(),
@@ -120,6 +121,7 @@ fn smoke_spec() -> CampaignSpec {
                 threshold: 0.25,
             },
         ],
+        schedulers: vec!["dls".into()],
         streams: 4,
         seed: 0xF16_5600D,
         explicit: Vec::new(),

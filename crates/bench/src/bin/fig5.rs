@@ -8,8 +8,8 @@
 
 use ctg_bench::report::{f1, pct, Table};
 use ctg_bench::setup::{prepare_mpeg, profile_trace};
-use ctg_sched::{AdaptiveScheduler, OnlineScheduler};
-use ctg_sim::{map_ordered, run_adaptive, run_static, worker_count, RunSummary};
+use ctg_sched::{AdaptiveScheduler, OnlineScheduler, DEFAULT_PORTFOLIO};
+use ctg_sim::{map_ordered, run_adaptive, worker_count, RunConfig, RunSummary, Runner};
 use ctg_workloads::traces;
 
 const WINDOW: usize = 20;
@@ -23,11 +23,13 @@ fn main() {
         "Online",
         "Adaptive T=0.5",
         "Adaptive T=0.1",
+        "Portfolio T=0.1",
         "Sav. 0.5",
         "Sav. 0.1",
+        "Sav. pf",
     ]);
     let mut calls_table = Table::new(["Movie", "T=0.5", "T=0.1"]);
-    let (mut sum05, mut sum01, mut n) = (0.0, 0.0, 0usize);
+    let (mut sum05, mut sum01, mut sumpf, mut n) = (0.0, 0.0, 0.0, 0usize);
     let (mut csum05, mut csum01) = (0usize, 0usize);
 
     // One independent cell per movie clip, merged back in preset order.
@@ -42,7 +44,9 @@ fn main() {
             let online = OnlineScheduler::new()
                 .solve(&ctx, &profiled)
                 .expect("online solves");
-            let s_online = run_static(&ctx, &online, test).expect("static run");
+            let s_online = Runner::new(RunConfig::new())
+                .run_static(&ctx, &online, test)
+                .expect("static run");
 
             // Adaptive: same initial (profiled) probabilities, window 20.
             let mut results = Vec::new();
@@ -53,27 +57,48 @@ fn main() {
                 assert_eq!(summary.exec.deadline_misses, 0, "hard deadline violated");
                 results.push(summary);
             }
+            // Portfolio racing at the aggressive threshold: same manager
+            // knobs, every drift event races DLS/HEFT/lookahead and adopts
+            // the lowest expected-energy schedulable plan.
+            let mgr = AdaptiveScheduler::new(&ctx, profiled.clone(), WINDOW, 0.1)
+                .expect("manager builds");
+            let (summary, _) = Runner::new(RunConfig::new().portfolio(&DEFAULT_PORTFOLIO))
+                .run_adaptive(&ctx, mgr, test)
+                .expect("portfolio run");
+            assert_eq!(summary.exec.deadline_misses, 0, "hard deadline violated");
+            results.push(summary);
             (s_online, results)
         });
 
     for (movie, (s_online, results)) in movies.iter().zip(&per_movie) {
-        let (a05, a01) = (&results[0], &results[1]);
+        let (a05, a01, apf) = (&results[0], &results[1], &results[2]);
         let e_on = s_online.avg_energy();
         let sav05 = 1.0 - a05.avg_energy() / e_on;
         let sav01 = 1.0 - a01.avg_energy() / e_on;
+        let savpf = 1.0 - apf.avg_energy() / e_on;
         sum05 += sav05;
         sum01 += sav01;
+        sumpf += savpf;
         csum05 += a05.calls;
         csum01 += a01.calls;
         n += 1;
+        assert!(
+            apf.avg_energy() <= a01.avg_energy() + 1e-9,
+            "portfolio must not regress DLS-only adaptation on {}: {} > {}",
+            movie.name,
+            apf.avg_energy(),
+            a01.avg_energy(),
+        );
 
         energy_table.row([
             movie.name.to_string(),
             f1(e_on),
             f1(a05.avg_energy()),
             f1(a01.avg_energy()),
+            f1(apf.avg_energy()),
             pct(sav05),
             pct(sav01),
+            pct(savpf),
         ]);
         calls_table.row([
             movie.name.to_string(),
@@ -84,9 +109,10 @@ fn main() {
 
     energy_table.print("Figure 5: MPEG energy consumption with varying thresholds");
     println!(
-        "\navg savings: T=0.5 {} (paper ~21%), T=0.1 {} (paper ~23%)",
+        "\navg savings: T=0.5 {} (paper ~21%), T=0.1 {} (paper ~23%), portfolio {}",
         pct(sum05 / n as f64),
-        pct(sum01 / n as f64)
+        pct(sum01 / n as f64),
+        pct(sumpf / n as f64)
     );
     calls_table.print("Table 2: algorithm call count for MPEG movies");
     println!(

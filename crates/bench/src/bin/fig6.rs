@@ -8,8 +8,8 @@
 
 use ctg_bench::report::{f1, pct, Table};
 use ctg_bench::setup::{prepare_case, profile_trace};
-use ctg_sched::{AdaptiveScheduler, OnlineScheduler};
-use ctg_sim::{map_ordered, run_adaptive, run_static, worker_count};
+use ctg_sched::{AdaptiveScheduler, OnlineScheduler, DEFAULT_PORTFOLIO};
+use ctg_sim::{map_ordered, run_adaptive, run_static, worker_count, RunConfig, Runner};
 use ctg_workloads::traces::{self, DriftProfile};
 
 const WINDOW: usize = 20;
@@ -29,6 +29,8 @@ fn main() {
         "Sav. 0.5",
         "Adaptive T=0.1",
         "Sav. 0.1",
+        "Portfolio T=0.1",
+        "Sav. pf",
     ]);
     let mut per_cat = [Vec::new(), Vec::new()];
 
@@ -61,6 +63,7 @@ fn main() {
             f1(s_online.avg_energy()),
         ];
         let mut best_savings = f64::NEG_INFINITY;
+        let mut e_dls01 = f64::INFINITY;
         for threshold in THRESHOLDS {
             let mgr = AdaptiveScheduler::new(ctx, ideal.clone(), WINDOW, threshold)
                 .expect("manager builds");
@@ -68,9 +71,30 @@ fn main() {
             assert_eq!(s_adaptive.exec.deadline_misses, 0, "hard deadline violated");
             let savings = 1.0 - s_adaptive.avg_energy() / s_online.avg_energy();
             best_savings = best_savings.max(savings);
+            e_dls01 = s_adaptive.avg_energy();
             cells.push(f1(s_adaptive.avg_energy()));
             cells.push(pct(savings));
         }
+        // Portfolio racing at the aggressive threshold, same knobs.
+        let mgr = AdaptiveScheduler::new(ctx, ideal.clone(), WINDOW, 0.1).expect("manager builds");
+        let (s_portfolio, _) = Runner::new(RunConfig::new().portfolio(&DEFAULT_PORTFOLIO))
+            .run_adaptive(ctx, mgr, &trace)
+            .expect("portfolio run");
+        assert_eq!(
+            s_portfolio.exec.deadline_misses, 0,
+            "hard deadline violated"
+        );
+        assert!(
+            s_portfolio.avg_energy() <= e_dls01 + 1e-9,
+            "portfolio must not regress DLS-only adaptation on case {}: {} > {}",
+            i + 1,
+            s_portfolio.avg_energy(),
+            e_dls01,
+        );
+        let savings = 1.0 - s_portfolio.avg_energy() / s_online.avg_energy();
+        best_savings = best_savings.max(savings);
+        cells.push(f1(s_portfolio.avg_energy()));
+        cells.push(pct(savings));
         (cells, best_savings)
     });
     for (i, (cells, best_savings)) in rows.into_iter().enumerate() {

@@ -32,7 +32,9 @@
 use ctg_bench::setup::{prepare_mpeg, profile_trace};
 use ctg_model::DecisionVector;
 use ctg_obs::{chrome, json, BufferedSink, Event, EventKind, Obs};
-use ctg_sched::{AdaptiveScheduler, OnlineScheduler, SolverWorkspace};
+use ctg_sched::{
+    AdaptiveScheduler, OnlineScheduler, SchedulerKind, SolverWorkspace, DEFAULT_PORTFOLIO,
+};
 use ctg_sim::serve::{
     run_serve, AdmissionConfig, ArrivalConfig, ArrivalKind, CacheMode, EngineKind,
     QuarantineConfig, ServeConfig, ServeReport, StreamSpec,
@@ -443,6 +445,84 @@ fn scale_run(ctx: &ctg_sched::SchedContext, streams: usize, workers: usize) -> S
     }
 }
 
+/// The portfolio point: the full shared-cache engine with scheduler
+/// racing on every drift event, against the identical DLS-only run.
+struct PortfolioRow {
+    streams: usize,
+    races: usize,
+    wins: [usize; SchedulerKind::COUNT],
+    total_energy: f64,
+    dls_total_energy: f64,
+    inst_per_s: f64,
+}
+
+fn portfolio_run(
+    ctx: &ctg_sched::SchedContext,
+    trace_len: usize,
+    workers: usize,
+    streams: usize,
+) -> PortfolioRow {
+    let specs = stream_specs(ctx, streams, trace_len);
+    let shared_cache = CacheMode::Shared {
+        capacity: SHARED_CAPACITY,
+        stripes: SHARED_STRIPES,
+    };
+    let dls =
+        run_serve(ctx, &specs, &serve_cfg(workers, streams, shared_cache)).expect("dls serve run");
+    let cfg = ServeConfig {
+        portfolio: Some(DEFAULT_PORTFOLIO.to_vec()),
+        ..serve_cfg(workers, streams, shared_cache)
+    };
+    let report = run_serve(ctx, &specs, &cfg).expect("portfolio serve run");
+    // Racing must not cost determinism: a resharded run (different worker
+    // and shard split) reproduces every stream summary bit-for-bit.
+    let resharded = run_serve(
+        ctx,
+        &specs,
+        &ServeConfig {
+            portfolio: Some(DEFAULT_PORTFOLIO.to_vec()),
+            ..serve_cfg(workers.div_ceil(2), (streams / 2).max(1), shared_cache)
+        },
+    )
+    .expect("resharded portfolio run");
+    assert_same_streams(&resharded, &report, "portfolio: resharded");
+    assert_eq!(
+        resharded.stats.portfolio_wins, report.stats.portfolio_wins,
+        "portfolio: win counters must survive resharding"
+    );
+
+    let energy = |r: &ServeReport| -> f64 { r.streams.iter().map(|s| s.exec.total_energy).sum() };
+    let total_energy = energy(&report);
+    let dls_total_energy = energy(&dls);
+    assert!(
+        total_energy <= dls_total_energy + 1e-6,
+        "portfolio must not regress the DLS-only engine: {total_energy} > {dls_total_energy}"
+    );
+    let wins: Vec<String> = SchedulerKind::ALL
+        .iter()
+        .map(|k| format!("{k}:{}", report.stats.portfolio_wins[k.index()]))
+        .collect();
+    println!(
+        "
+portfolio ({streams} streams): {} races, wins {}, energy {:.1} vs dls {:.1} \
+         ({:.2}% saved), {:.0} inst/s",
+        report.stats.portfolio_races,
+        wins.join(" "),
+        total_energy,
+        dls_total_energy,
+        100.0 * (1.0 - total_energy / dls_total_energy),
+        report.stats.instances_per_s(),
+    );
+    PortfolioRow {
+        streams,
+        races: report.stats.portfolio_races,
+        wins: report.stats.portfolio_wins,
+        total_energy,
+        dls_total_energy,
+        inst_per_s: report.stats.instances_per_s(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -674,6 +754,7 @@ fn main() {
         .map(|&n| scale_run(&ctx, n, workers))
         .collect();
     let overload_rows = overload_sweep(&ctx, trace_len, smoke, workers);
+    let portfolio_row = portfolio_run(&ctx, trace_len, workers, if smoke { 16 } else { 64 });
     assert!(
         overload_rows
             .iter()
@@ -784,7 +865,22 @@ fn main() {
             }
         ));
     }
-    json.push_str("  ],\n  \"determinism\": \"pass\"\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"portfolio\": {{\"streams\": {}, \"races\": {}, \"wins\": {{\"dls\": {}, \
+         \"heft\": {}, \"lookahead\": {}, \"frame\": {}}}, \"total_energy\": {:.3}, \
+         \"dls_total_energy\": {:.3}, \"inst_per_s\": {:.1}}},\n",
+        portfolio_row.streams,
+        portfolio_row.races,
+        portfolio_row.wins[0],
+        portfolio_row.wins[1],
+        portfolio_row.wins[2],
+        portfolio_row.wins[3],
+        portfolio_row.total_energy,
+        portfolio_row.dls_total_energy,
+        portfolio_row.inst_per_s,
+    ));
+    json.push_str("  \"determinism\": \"pass\"\n}\n");
     let out = if smoke {
         std::fs::create_dir_all("target").expect("create target dir");
         "target/BENCH_serve_smoke.json"

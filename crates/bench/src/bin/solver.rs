@@ -35,7 +35,10 @@ use std::time::Instant;
 use ctg_bench::setup::{prepare_mpeg, profile_trace};
 use ctg_model::BranchProbs;
 use ctg_obs::{BufferedSink, EventKind, Obs, Stage};
-use ctg_sched::{AdaptiveScheduler, OnlineScheduler, Solution, SolverWorkspace};
+use ctg_sched::{
+    race_portfolio, AdaptiveScheduler, OnlineScheduler, SchedulerKind, Solution, SolverWorkspace,
+    DEFAULT_PORTFOLIO,
+};
 use ctg_workloads::traces;
 
 const WINDOW: usize = 20;
@@ -146,8 +149,12 @@ fn main() {
     let mut cold_samples = Vec::with_capacity(tables.len() * reps);
     let mut warm_samples = Vec::with_capacity(tables.len() * reps);
     let mut near_samples = Vec::with_capacity(tables.len() * reps);
+    let mut race_samples = Vec::with_capacity(tables.len() * reps);
     let mut warm_stats = None;
     let mut near_stats = None;
+    let mut race_wins = [0usize; SchedulerKind::COUNT];
+    let mut race_energy_ratio_sum = 0.0;
+    let mut race_energy_ratio_n = 0usize;
     for _ in 0..reps {
         // Cold: every table solved from scratch.
         let mut cold_solutions = Vec::with_capacity(tables.len());
@@ -199,11 +206,58 @@ fn main() {
             assert_bit_identical(&ctx, probs, cold, &sol, "near");
         }
         near_stats = Some(ws.stats());
+
+        // Portfolio: race DLS/HEFT/lookahead on every table, per-entry
+        // workspaces (warm-layer keys carry no scheduler identity, so
+        // entries never share state), primed like the warm pass. The
+        // winner is asserted never worse than the cold (DLS) plan.
+        let mut wss: Vec<SolverWorkspace> = DEFAULT_PORTFOLIO
+            .iter()
+            .map(|_| SolverWorkspace::new())
+            .collect();
+        for probs in &tables {
+            race_portfolio(
+                &DEFAULT_PORTFOLIO,
+                &ctx,
+                probs,
+                &mut wss,
+                1,
+                &Obs::disabled(),
+                0,
+            )
+            .expect("race priming solve");
+        }
+        for (probs, cold) in tables.iter().zip(&cold_solutions) {
+            let t0 = Instant::now();
+            let outcome = race_portfolio(
+                &DEFAULT_PORTFOLIO,
+                &ctx,
+                probs,
+                &mut wss,
+                1,
+                &Obs::disabled(),
+                0,
+            )
+            .expect("race solve");
+            race_samples.push(t0.elapsed().as_secs_f64());
+            let e_cold = cold.expected_energy(&ctx, probs);
+            assert!(
+                outcome.energy <= e_cold + 1e-9,
+                "portfolio must never lose to the DLS pipeline: {} > {}",
+                outcome.energy,
+                e_cold
+            );
+            race_wins[DEFAULT_PORTFOLIO[outcome.winner].index()] += 1;
+            race_energy_ratio_sum += outcome.energy / e_cold;
+            race_energy_ratio_n += 1;
+        }
     }
 
     let cold = summarize(cold_samples);
     let warm = summarize(warm_samples);
     let near = summarize(near_samples);
+    let race = summarize(race_samples);
+    let race_energy_ratio = race_energy_ratio_sum / race_energy_ratio_n as f64;
     let speedup_total = cold.total_s / warm.total_s;
     let near_speedup_total = cold.total_s / near.total_s;
     let warm_stats = warm_stats.expect("at least one rep ran");
@@ -253,6 +307,7 @@ fn main() {
     fmt("cold", &cold);
     fmt("warm", &warm);
     fmt("near", &near);
+    fmt("race", &race);
     println!(
         "\nwarm speedup (total cold / total warm): {speedup_total:.2}x, \
          near-memo: {near_speedup_total:.2}x"
@@ -283,6 +338,15 @@ fn main() {
         near_stats.near_hits, near_stats.solves, near_stats.graph_reuses, near_stats.graph_rebuilds
     );
     println!("equivalence: PASS (every warm and near solution bit-identical to cold)");
+    let wins: Vec<String> = SchedulerKind::ALL
+        .iter()
+        .map(|k| format!("{k}:{}", race_wins[k.index()]))
+        .collect();
+    println!(
+        "portfolio race (dls+heft+lookahead): wins {}, mean energy vs dls {:.4} (never above 1)",
+        wins.join(" "),
+        race_energy_ratio
+    );
 
     // ---- Hand-rolled JSON artifact. ----
     let lat_json = |l: &Lat| {
@@ -302,6 +366,14 @@ fn main() {
     json.push_str(&format!("  \"cold\": {},\n", lat_json(&cold)));
     json.push_str(&format!("  \"warm\": {},\n", lat_json(&warm)));
     json.push_str(&format!("  \"near\": {},\n", lat_json(&near)));
+    json.push_str(&format!("  \"portfolio\": {},\n", lat_json(&race)));
+    json.push_str(&format!(
+        "  \"portfolio_wins\": {{\"dls\": {}, \"heft\": {}, \"lookahead\": {}, \"frame\": {}}},\n",
+        race_wins[0], race_wins[1], race_wins[2], race_wins[3]
+    ));
+    json.push_str(&format!(
+        "  \"portfolio_energy_vs_dls\": {race_energy_ratio:.6},\n"
+    ));
     json.push_str(&format!("  \"speedup_total\": {speedup_total:.4},\n"));
     json.push_str(&format!(
         "  \"near_speedup_total\": {near_speedup_total:.4},\n"

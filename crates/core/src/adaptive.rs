@@ -13,6 +13,7 @@ use crate::cache::{LruCache, ScheduleKey};
 use crate::context::SchedContext;
 use crate::error::SchedError;
 use crate::online::{OnlineScheduler, Solution};
+use crate::scheduler::{race_portfolio, PortfolioStats, SchedulerKind};
 use crate::speed::SpeedAssignment;
 use crate::workspace::{SolverWorkspace, WorkspaceStats};
 use ctg_model::{BranchProbs, DecisionVector, TaskId};
@@ -342,10 +343,24 @@ pub struct AdaptiveScheduler {
     /// intra-solve worker count (`None` = inherit the process default at
     /// creation, exactly like an eagerly built workspace would have).
     ws_intra: Option<usize>,
+    /// Scheduler-portfolio racing state; `None` (the default) keeps the
+    /// manager solving through the paper's DLS pipeline alone, bit-for-bit
+    /// as before the portfolio existed.
+    portfolio: Option<PortfolioState>,
     /// Telemetry handle (disabled by default); drift/adopt/cache events are
     /// recorded against `obs_track`.
     obs: Obs,
     obs_track: u32,
+}
+
+/// Racing state for portfolio mode: the configured entries, one private
+/// workspace per entry (warm layers are keyed by inputs only, so state
+/// must never mix across schedulers), and the win counters.
+#[derive(Debug, Clone)]
+struct PortfolioState {
+    kinds: Vec<SchedulerKind>,
+    workspaces: Vec<SolverWorkspace>,
+    stats: PortfolioStats,
 }
 
 impl AdaptiveScheduler {
@@ -504,6 +519,7 @@ impl AdaptiveScheduler {
             guard_workspace: None,
             ws_budget: None,
             ws_intra: None,
+            portfolio: None,
             obs: Obs::disabled(),
             obs_track: 0,
         }
@@ -518,6 +534,11 @@ impl AdaptiveScheduler {
         }
         if let Some(ws) = self.guard_workspace.as_deref_mut() {
             ws.set_obs(obs.clone(), track);
+        }
+        if let Some(p) = self.portfolio.as_mut() {
+            for ws in &mut p.workspaces {
+                ws.set_obs(obs.clone(), track);
+            }
         }
         self.obs = obs;
         self.obs_track = track;
@@ -538,6 +559,11 @@ impl AdaptiveScheduler {
         if let Some(ws) = self.guard_workspace.as_deref_mut() {
             ws.set_budget(budget);
         }
+        if let Some(p) = self.portfolio.as_mut() {
+            for ws in &mut p.workspaces {
+                ws.set_budget(budget);
+            }
+        }
     }
 
     /// The configured per-solve work budget, if any.
@@ -557,6 +583,76 @@ impl AdaptiveScheduler {
         if let Some(ws) = self.guard_workspace.as_deref_mut() {
             ws.set_intra_workers(workers);
         }
+        if let Some(p) = self.portfolio.as_mut() {
+            for ws in &mut p.workspaces {
+                ws.set_intra_workers(workers);
+            }
+        }
+    }
+
+    /// Switches the manager into portfolio mode: every subsequent
+    /// unguarded re-solve races `kinds` on the intra-solve worker pool and
+    /// adopts the lowest expected-energy schedulable plan (see
+    /// [`race_portfolio`] for the full verdict, which is bit-identical at
+    /// any worker count). List the paper's DLS first so a race can never
+    /// adopt a plan with higher expected energy than DLS alone. Guard-banded
+    /// resilient solves (`deadline_guard < 1.0`) intentionally stay
+    /// DLS-only — the degradation ladder's contract predates the portfolio
+    /// — and a budgeted workspace only constrains the DLS entry (the other
+    /// entries run cold, outside the metered pipeline). The construction
+    /// solve already happened, so the incumbent plan is unchanged until the
+    /// next drift event.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::InvalidParameter`] if `kinds` is empty.
+    pub fn enable_portfolio(&mut self, kinds: &[SchedulerKind]) -> Result<(), SchedError> {
+        if kinds.is_empty() {
+            return Err(SchedError::InvalidParameter(
+                "portfolio needs at least one scheduler",
+            ));
+        }
+        let workspaces = kinds
+            .iter()
+            .map(|_| {
+                let mut ws = SolverWorkspace::new();
+                ws.set_near_memo(self.threshold, NEAR_MEMO_CAP);
+                ws.set_obs(self.obs.clone(), self.obs_track);
+                ws.set_budget(self.ws_budget);
+                if let Some(w) = self.ws_intra {
+                    ws.set_intra_workers(w);
+                }
+                ws
+            })
+            .collect();
+        self.portfolio = Some(PortfolioState {
+            kinds: kinds.to_vec(),
+            workspaces,
+            stats: PortfolioStats::default(),
+        });
+        Ok(())
+    }
+
+    /// Leaves portfolio mode; subsequent re-solves go through the DLS
+    /// pipeline alone, exactly as before [`Self::enable_portfolio`].
+    pub fn disable_portfolio(&mut self) {
+        self.portfolio = None;
+    }
+
+    /// Whether portfolio racing is enabled.
+    pub fn portfolio_enabled(&self) -> bool {
+        self.portfolio.is_some()
+    }
+
+    /// The racing entries, in race order, when portfolio mode is on.
+    pub fn portfolio_kinds(&self) -> Option<&[SchedulerKind]> {
+        self.portfolio.as_ref().map(|p| p.kinds.as_slice())
+    }
+
+    /// Race and per-kind win counters (all zero when portfolio mode is or
+    /// was never on).
+    pub fn portfolio_stats(&self) -> PortfolioStats {
+        self.portfolio.as_ref().map(|p| p.stats).unwrap_or_default()
     }
 
     /// The solution currently in force.
@@ -852,6 +948,8 @@ impl AdaptiveScheduler {
                 self.ws_intra,
             );
             ws.solve(self.scheduler.config(), &guarded, probs)
+        } else if self.portfolio.is_some() {
+            self.portfolio_solve(ctx, probs)
         } else {
             let ws = ensure_workspace(
                 &mut self.workspace,
@@ -863,6 +961,36 @@ impl AdaptiveScheduler {
             );
             ws.solve(self.scheduler.config(), ctx, probs)
         }
+    }
+
+    /// One portfolio race: every configured entry solves `probs` against
+    /// its own workspace, fanned out on the intra-solve pool, and the
+    /// verdict fold adopts the lowest expected-energy schedulable plan
+    /// (bit-identical at any worker count — see [`race_portfolio`]).
+    fn portfolio_solve(
+        &mut self,
+        ctx: &SchedContext,
+        probs: &BranchProbs,
+    ) -> Result<Solution, SchedError> {
+        let workers = self
+            .ws_intra
+            .unwrap_or_else(crate::par::intra_solve_workers);
+        let obs = self.obs.clone();
+        let track = self.obs_track;
+        let p = self.portfolio.as_mut().expect("portfolio mode enabled");
+        let raced = race_portfolio(
+            &p.kinds,
+            ctx,
+            probs,
+            &mut p.workspaces,
+            workers,
+            &obs,
+            track,
+        );
+        p.stats.races += 1;
+        let outcome = raced?;
+        p.stats.wins[p.kinds[outcome.winner].index()] += 1;
+        Ok(outcome.solution)
     }
 
     /// Work counters of the unguarded warm-start solver workspace

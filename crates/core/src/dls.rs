@@ -376,8 +376,10 @@ pub fn list_schedule_fixed(
 }
 
 /// Earliest time `task` can start on `pe` given current decisions.
+/// Shared with the HEFT-family schedulers in [`crate::scheduler`] so every
+/// portfolio entry honours the same arrival and mutex-overlap rules.
 #[allow(clippy::too_many_arguments)]
-fn earliest_start(
+pub(crate) fn earliest_start(
     ctx: &SchedContext,
     preds: &[(TaskId, f64)],
     task: TaskId,

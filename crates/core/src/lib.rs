@@ -66,6 +66,7 @@ mod error;
 mod online;
 pub mod par;
 mod schedule;
+mod scheduler;
 mod sgraph;
 mod speed;
 mod static_level;
@@ -90,6 +91,11 @@ pub use error::SchedError;
 pub use online::{OnlineScheduler, Solution};
 pub use par::{intra_solve_workers, INTRA_SOLVE_ENV};
 pub use schedule::Schedule;
+pub use scheduler::{
+    parse_scheduler_selection, race_portfolio, CtgScheduler, DlsScheduler, FrameDvfsScheduler,
+    HeftScheduler, LookaheadScheduler, PortfolioStats, RaceOutcome, SchedulerKind,
+    DEFAULT_PORTFOLIO, FRAME_SPEED_LEVELS,
+};
 pub use sgraph::{SEdge, SEdgeKind, SPath, ScheduledGraph, DEFAULT_PATH_CAP};
 pub use speed::{expected_energy, SpeedAssignment};
 pub use static_level::{delta, static_levels, worst_case_levels};

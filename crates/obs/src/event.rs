@@ -84,6 +84,9 @@ pub enum Stage {
     CellSkip,
     /// A whole trace/serve run (the root span of an export).
     Run,
+    /// One scheduler-portfolio race over a drift event's probability
+    /// table (`arg` = winning entry index, `-1` if every entry failed).
+    PortfolioRace,
 }
 
 impl Stage {
@@ -117,6 +120,7 @@ impl Stage {
             Stage::CellRun => "cell_run",
             Stage::CellSkip => "cell_skip",
             Stage::Run => "run",
+            Stage::PortfolioRace => "portfolio_race",
         }
     }
 
@@ -133,7 +137,7 @@ impl Stage {
             | Stage::NearMissHit
             | Stage::CacheHit
             | Stage::CacheMiss => "cache",
-            Stage::DriftDetect | Stage::Adopt => "adapt",
+            Stage::DriftDetect | Stage::Adopt | Stage::PortfolioRace => "adapt",
             Stage::Coalesce
             | Stage::FanOut
             | Stage::Tick
@@ -215,6 +219,7 @@ mod tests {
             Stage::CellRun,
             Stage::CellSkip,
             Stage::Run,
+            Stage::PortfolioRace,
         ];
         let mut names: Vec<&str> = all.iter().map(|s| s.name()).collect();
         names.sort_unstable();

@@ -55,10 +55,12 @@ pub enum Counter {
     ArtifactCompiles,
     /// Campaign cells served an already-compiled artifact.
     ArtifactHits,
+    /// Scheduler-portfolio races run on drift events.
+    PortfolioRaces,
 }
 
 /// All counters, in snapshot/export order.
-pub const COUNTERS: [Counter; 19] = [
+pub const COUNTERS: [Counter; 20] = [
     Counter::Instances,
     Counter::DeadlineMisses,
     Counter::SolverCalls,
@@ -78,6 +80,7 @@ pub const COUNTERS: [Counter; 19] = [
     Counter::CellsResumed,
     Counter::ArtifactCompiles,
     Counter::ArtifactHits,
+    Counter::PortfolioRaces,
 ];
 
 impl Counter {
@@ -102,6 +105,7 @@ impl Counter {
             Counter::CellsResumed => 16,
             Counter::ArtifactCompiles => 17,
             Counter::ArtifactHits => 18,
+            Counter::PortfolioRaces => 19,
         }
     }
 
@@ -127,6 +131,7 @@ impl Counter {
             Counter::CellsResumed => "cells_resumed",
             Counter::ArtifactCompiles => "artifact_compiles",
             Counter::ArtifactHits => "artifact_hits",
+            Counter::PortfolioRaces => "portfolio_races",
         }
     }
 }

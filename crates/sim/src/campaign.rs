@@ -50,7 +50,7 @@ use ctg_model::{BranchProbs, DecisionVector};
 use ctg_obs::json::{self, fmt_f64, quote, Value};
 use ctg_obs::{Counter, Obs, Stage};
 use ctg_rng::SplitMix64;
-use ctg_sched::{SchedContext, SchedError, SolverWorkspace};
+use ctg_sched::{parse_scheduler_selection, SchedContext, SchedError, SolverWorkspace};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -164,6 +164,10 @@ pub struct CellCoord {
     pub arrival: usize,
     /// Index into [`CampaignSpec::knobs`].
     pub knob: usize,
+    /// Index into [`CampaignSpec::schedulers`]. `0` on the default
+    /// single-`"dls"` axis, where it folds into neither the spec hash nor
+    /// the cell ID — pre-portfolio checkpoints stay valid.
+    pub scheduler: usize,
 }
 
 /// One expanded cell: its position in the grid, its stable ID and its
@@ -200,6 +204,13 @@ pub struct CampaignSpec {
     pub arrivals: Vec<ArrivalSpec>,
     /// Adaptive knobs (window × threshold pairs).
     pub knobs: Vec<KnobSpec>,
+    /// Scheduler-selection axis: each value is a label accepted by
+    /// [`ctg_sched::parse_scheduler_selection`] — a kind name (`"dls"`,
+    /// `"heft"`, …), `"portfolio"`, or a comma list (`"dls,heft"`). The
+    /// default single-`"dls"` axis is hash-neutral: it changes no spec
+    /// hash and no cell ID, so checkpoints written before the axis existed
+    /// resume cleanly.
+    pub schedulers: Vec<String>,
     /// Streams per cell; stream `s` replays the artifact trace rotated by
     /// `s·len/streams`, so streams drift through distinct phases.
     pub streams: usize,
@@ -227,10 +238,17 @@ impl CampaignSpec {
                 window: 20,
                 threshold: 0.1,
             }],
+            schedulers: vec!["dls".to_string()],
             streams: 4,
             seed: 0x00CA_4A16,
             explicit: Vec::new(),
         }
+    }
+
+    /// Whether the scheduler axis is the hash-neutral pre-portfolio
+    /// default (a single `"dls"` value).
+    fn scheduler_axis_is_default(&self) -> bool {
+        self.schedulers.len() == 1 && self.schedulers[0] == "dls"
     }
 
     /// Validates axis shapes and parameter ranges.
@@ -244,8 +262,18 @@ impl CampaignSpec {
             || self.fault_rates.is_empty()
             || self.arrivals.is_empty()
             || self.knobs.is_empty()
+            || self.schedulers.is_empty()
         {
             return Err(CampaignError::Spec("every campaign axis needs a value"));
+        }
+        if self
+            .schedulers
+            .iter()
+            .any(|s| parse_scheduler_selection(s).is_none())
+        {
+            return Err(CampaignError::Spec(
+                "scheduler axis values must be kind names, `portfolio`, or comma lists",
+            ));
         }
         if self.streams == 0 {
             return Err(CampaignError::Spec("streams per cell must be positive"));
@@ -271,6 +299,7 @@ impl CampaignSpec {
                 || c.fault >= self.fault_rates.len()
                 || c.arrival >= self.arrivals.len()
                 || c.knob >= self.knobs.len()
+                || c.scheduler >= self.schedulers.len()
             {
                 return Err(CampaignError::Spec("explicit cell index out of range"));
             }
@@ -309,6 +338,16 @@ impl CampaignSpec {
             canon.push_str(&format!("{}:{:016x};", k.window, k.threshold.to_bits()));
         }
         canon.push_str(&format!("\u{1e}{}\u{1e}{:016x}", self.streams, self.seed));
+        // The scheduler axis folds in only when it deviates from the
+        // pre-portfolio default, so every spec hash (and thus every cell
+        // ID and checkpoint) minted before the axis existed stays valid.
+        if !self.scheduler_axis_is_default() {
+            canon.push('\u{1e}');
+            for s in &self.schedulers {
+                canon.push_str(s);
+                canon.push('\u{1f}');
+            }
+        }
         SplitMix64::mix(fnv1a64(&canon), 0xCA4D_4A16)
     }
 
@@ -326,6 +365,12 @@ impl CampaignSpec {
         .enumerate()
         {
             h = SplitMix64::mix(h, ((axis as u64 + 1) << 56) | idx as u64);
+        }
+        // Same compatibility discipline as `spec_hash`: scheduler index 0
+        // (the first — on the default axis, only — value) folds nothing,
+        // so pre-portfolio cell IDs are reproduced exactly.
+        if coord.scheduler != 0 {
+            h = SplitMix64::mix(h, (6u64 << 56) | coord.scheduler as u64);
         }
         h
     }
@@ -350,16 +395,19 @@ impl CampaignSpec {
                 for f in 0..self.fault_rates.len() {
                     for a in 0..self.arrivals.len() {
                         for k in 0..self.knobs.len() {
-                            push(
-                                &mut cells,
-                                CellCoord {
-                                    workload: w,
-                                    platform: p,
-                                    fault: f,
-                                    arrival: a,
-                                    knob: k,
-                                },
-                            );
+                            for s in 0..self.schedulers.len() {
+                                push(
+                                    &mut cells,
+                                    CellCoord {
+                                        workload: w,
+                                        platform: p,
+                                        fault: f,
+                                        arrival: a,
+                                        knob: k,
+                                        scheduler: s,
+                                    },
+                                );
+                            }
                         }
                     }
                 }
@@ -501,6 +549,9 @@ pub struct CellDigest {
     pub window: usize,
     /// Drift threshold.
     pub threshold: f64,
+    /// Scheduler-axis label (`"dls"` for digests from checkpoints that
+    /// predate the axis).
+    pub scheduler: String,
     /// Streams simulated.
     pub streams: usize,
     /// Instances simulated.
@@ -549,6 +600,7 @@ impl CellDigest {
             arrival: spec.arrivals[cell.coord.arrival].label(),
             window: spec.knobs[cell.coord.knob].window,
             threshold: spec.knobs[cell.coord.knob].threshold,
+            scheduler: spec.schedulers[cell.coord.scheduler].clone(),
             streams: report.stats.streams,
             instances: report.stats.instances as u64,
             events: report.stats.events as u64,
@@ -573,6 +625,7 @@ impl CellDigest {
             concat!(
                 "{{\"cell\":\"{:016x}\",\"workload\":{},\"platform\":{},",
                 "\"fault_rate\":{},\"arrival\":{},\"window\":{},\"threshold\":{},",
+                "\"scheduler\":{},",
                 "\"streams\":{},\"instances\":{},\"events\":{},\"drift_events\":{},",
                 "\"reschedules\":{},\"deadline_misses\":{},\"faults\":{},",
                 "\"energy\":{},\"energy_bits\":\"{}\",",
@@ -587,6 +640,7 @@ impl CellDigest {
             quote(&self.arrival),
             self.window,
             fmt_f64(self.threshold),
+            quote(&self.scheduler),
             self.streams,
             self.instances,
             self.events,
@@ -647,6 +701,9 @@ impl CellDigest {
             arrival: str_field("arrival")?,
             window: num_field("window")? as usize,
             threshold: f64_field("threshold")?,
+            // Absent in checkpoints written before the scheduler axis
+            // existed; those cells could only have run the DLS pipeline.
+            scheduler: str_field("scheduler").unwrap_or_else(|_| "dls".to_string()),
             streams: num_field("streams")? as usize,
             instances: num_field("instances")?,
             events: num_field("events")?,
@@ -908,6 +965,12 @@ fn run_cell(
         arrival: spec.arrivals[cell.coord.arrival]
             .to_config(SplitMix64::mix(cell.id, ARRIVAL_SALT)),
         engine: EngineKind::Auto,
+        // Labels were validated with the spec; a bare `dls` selection is
+        // the historic pipeline, not a one-entry race.
+        portfolio: crate::run::normalize_scheduler_selection(
+            parse_scheduler_selection(&spec.schedulers[cell.coord.scheduler])
+                .expect("scheduler axis labels validated"),
+        ),
     };
     let report = run_serve_seeded(&art.ctx, &specs, &cfg, setup_ws)?;
     Ok(CellDigest::from_report(spec, cell, &report))
@@ -1127,6 +1190,7 @@ mod tests {
                 window: 6,
                 threshold: 0.25,
             }],
+            schedulers: vec!["dls".into()],
             streams: 2,
             seed: 42,
             explicit: Vec::new(),
@@ -1161,6 +1225,7 @@ mod tests {
             fault: 1,
             arrival: 1,
             knob: 0,
+            scheduler: 0,
         });
         // Duplicate of a grid cell: dropped, nothing changes.
         assert_eq!(spec.cells(), base);
@@ -1172,6 +1237,7 @@ mod tests {
             fault: 1,
             arrival: 1,
             knob: 0,
+            scheduler: 0,
         }];
         let cells = spec.cells();
         assert_eq!(cells.len(), 4);
@@ -1193,6 +1259,7 @@ mod tests {
             fault: 0,
             arrival: 0,
             knob: 0,
+            scheduler: 0,
         });
         assert!(spec.validate().is_err());
         assert!(small_spec().validate().is_ok());
@@ -1208,6 +1275,7 @@ mod tests {
             arrival: "poisson:0.5".into(),
             window: 20,
             threshold: 0.1,
+            scheduler: "portfolio".into(),
             streams: 8,
             instances: 3840,
             events: 7680,
@@ -1243,6 +1311,7 @@ mod tests {
             arrival: "closed".into(),
             window: 4,
             threshold: 0.2,
+            scheduler: "dls".into(),
             streams: 2,
             instances: 100,
             events: 200,
@@ -1293,6 +1362,7 @@ mod tests {
             arrival: "closed".into(),
             window: 6,
             threshold: 0.25,
+            scheduler: "dls".into(),
             streams: 2,
             instances: 10,
             events: 20,

@@ -59,7 +59,34 @@ use crate::serve::{
 };
 use ctg_model::DecisionVector;
 use ctg_obs::Obs;
-use ctg_sched::{AdaptiveScheduler, SchedContext, SchedError, Solution};
+use ctg_sched::{
+    parse_scheduler_selection, AdaptiveScheduler, SchedContext, SchedError, SchedulerKind, Solution,
+};
+
+/// Environment override for the scheduler selection, read **only** by
+/// [`RunConfig::from_env`]: a kind name (`dls`, `heft`, `lookahead`,
+/// `frame`), the literal `portfolio`
+/// ([`ctg_sched::DEFAULT_PORTFOLIO`]), or a comma-separated racing list.
+/// Unset, empty, plain `dls`, or unparsable values keep the default
+/// DLS-only pipeline.
+pub const SCHEDULER_ENV: &str = "CTG_SCHEDULER";
+
+/// Folds a parsed selection to the `RunConfig` representation: a bare
+/// `[Dls]` is the historic pipeline, not a one-entry race.
+pub(crate) fn normalize_scheduler_selection(
+    kinds: Vec<SchedulerKind>,
+) -> Option<Vec<SchedulerKind>> {
+    if kinds == [SchedulerKind::Dls] {
+        None
+    } else {
+        Some(kinds)
+    }
+}
+
+fn scheduler_from_env() -> Option<Vec<SchedulerKind>> {
+    let raw = std::env::var(SCHEDULER_ENV).ok()?;
+    normalize_scheduler_selection(parse_scheduler_selection(&raw)?)
+}
 
 /// Every knob of every runner, in one place.
 ///
@@ -114,6 +141,11 @@ pub struct RunConfig {
     pub admission: Option<AdmissionConfig>,
     /// Per-stream quarantine circuit breaker for [`Runner::serve`].
     pub quarantine: Option<QuarantineConfig>,
+    /// Scheduler-portfolio selection for [`Runner::run_adaptive`] managers
+    /// and [`Runner::serve`] workers: race these entries on every drift
+    /// event and adopt the lowest expected-energy schedulable plan. `None`
+    /// (the default) is the paper's DLS pipeline alone, bit-for-bit.
+    pub portfolio: Option<Vec<SchedulerKind>>,
     /// Telemetry handle. [`Obs::disabled`] (the default) costs one branch
     /// per would-be event; an enabled handle records spans, instants and
     /// metrics without changing a single simulated bit.
@@ -145,6 +177,7 @@ impl RunConfig {
             engine: EngineKind::Auto,
             admission: None,
             quarantine: None,
+            portfolio: None,
             obs: Obs::disabled(),
         }
     }
@@ -161,7 +194,8 @@ impl RunConfig {
     /// * `intra_solve_workers` ← `CTG_INTRA_SOLVE`, else `1`
     ///   ([`ctg_sched::intra_solve_workers`]);
     /// * `arrival.kind` ← `CTG_SERVE_ARRIVAL`, else closed loop
-    ///   ([`serve::default_arrival`]).
+    ///   ([`serve::default_arrival`]);
+    /// * `portfolio` ← `CTG_SCHEDULER` ([`SCHEDULER_ENV`]), else DLS only.
     pub fn from_env() -> Self {
         RunConfig {
             workers: pool::worker_count(),
@@ -172,6 +206,7 @@ impl RunConfig {
                 kind: serve::default_arrival(),
                 ..ArrivalConfig::default()
             },
+            portfolio: scheduler_from_env(),
             ..RunConfig::new()
         }
     }
@@ -275,6 +310,29 @@ impl RunConfig {
         self
     }
 
+    /// Selects a single scheduler: [`SchedulerKind::Dls`] is the historic
+    /// pipeline (no racing), any other kind races it alone — every drift
+    /// event adopts that scheduler's plan when schedulable, its least-bad
+    /// plan otherwise.
+    #[must_use]
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.portfolio = normalize_scheduler_selection(vec![kind]);
+        self
+    }
+
+    /// Races `kinds` (in order — list [`SchedulerKind::Dls`] first so ties
+    /// keep the paper's plan) on every drift event. An empty slice resets
+    /// to the DLS-only default.
+    #[must_use]
+    pub fn portfolio(mut self, kinds: &[SchedulerKind]) -> Self {
+        self.portfolio = if kinds.is_empty() {
+            None
+        } else {
+            Some(kinds.to_vec())
+        };
+        self
+    }
+
     /// Attaches a telemetry handle.
     #[must_use]
     pub fn obs(mut self, obs: Obs) -> Self {
@@ -296,6 +354,7 @@ impl RunConfig {
             engine: self.engine,
             admission: self.admission,
             quarantine: self.quarantine,
+            portfolio: self.portfolio.clone(),
         }
     }
 }
@@ -401,6 +460,9 @@ impl Runner {
         let mut manager = manager;
         manager.set_solve_budget(self.cfg.solve_budget);
         manager.set_intra_solve_workers(self.cfg.intra_solve_workers);
+        if let Some(kinds) = &self.cfg.portfolio {
+            manager.enable_portfolio(kinds)?;
+        }
         if self.cfg.fault_plan.is_none() && self.cfg.degrade.is_none() {
             return runner::adaptive_run(ctx, manager, vectors, obs);
         }
@@ -489,7 +551,8 @@ mod tests {
             .arrival(arrival.clone())
             .engine(EngineKind::Events)
             .admission(AdmissionConfig { high_water: 3 })
-            .quarantine(QuarantineConfig::default());
+            .quarantine(QuarantineConfig::default())
+            .portfolio(&[SchedulerKind::Dls, SchedulerKind::Heft]);
         assert_eq!(cfg.workers, 4);
         assert_eq!(cfg.min_batch, 0);
         assert_eq!(cfg.shards, 7);
@@ -510,7 +573,33 @@ mod tests {
         assert_eq!(sc.engine, EngineKind::Events);
         assert_eq!(sc.admission, Some(AdmissionConfig { high_water: 3 }));
         assert_eq!(sc.quarantine, Some(QuarantineConfig::default()));
+        assert_eq!(
+            sc.portfolio,
+            Some(vec![SchedulerKind::Dls, SchedulerKind::Heft])
+        );
         assert!(!cfg.obs.enabled());
+    }
+
+    #[test]
+    fn scheduler_selection_normalizes() {
+        // A bare DLS selection *is* the default pipeline, not a race.
+        assert!(RunConfig::new()
+            .scheduler(SchedulerKind::Dls)
+            .portfolio
+            .is_none());
+        assert_eq!(
+            RunConfig::new().scheduler(SchedulerKind::Heft).portfolio,
+            Some(vec![SchedulerKind::Heft])
+        );
+        assert!(RunConfig::new()
+            .portfolio(&[SchedulerKind::Heft])
+            .portfolio(&[])
+            .portfolio
+            .is_none());
+        assert_eq!(
+            normalize_scheduler_selection(vec![SchedulerKind::Dls]),
+            None
+        );
     }
 
     #[test]
@@ -524,6 +613,7 @@ mod tests {
         assert_eq!(cfg.intra_solve_workers, ctg_sched::intra_solve_workers());
         assert_eq!(cfg.arrival.kind, serve::default_arrival());
         assert_eq!(cfg.engine, EngineKind::Auto);
+        assert_eq!(cfg.portfolio, scheduler_from_env());
     }
 
     #[test]

@@ -91,8 +91,8 @@ use ctg_model::{BranchProbs, DecisionVector};
 use ctg_obs::{Counter, Obs, Stage};
 use ctg_rng::{BurstyGaps, PoissonGaps};
 use ctg_sched::{
-    AdaptiveScheduler, EstimatorKind, LruCache, OnlineScheduler, SchedContext, SchedError,
-    ScheduleKey, Solution, SolverWorkspace,
+    race_portfolio, AdaptiveScheduler, EstimatorKind, LruCache, OnlineScheduler, SchedContext,
+    SchedError, ScheduleKey, SchedulerKind, Solution, SolverWorkspace,
 };
 use std::cmp::Reverse;
 use std::collections::hash_map::{DefaultHasher, Entry};
@@ -468,6 +468,14 @@ pub struct ServeConfig {
     /// Engine selection; [`EngineKind::Auto`] (the default) resolves via
     /// [`ServeConfig::resolved_engine`].
     pub engine: EngineKind,
+    /// Scheduler-portfolio selection: race these entries on every
+    /// solver-bound drift solve (list [`SchedulerKind::Dls`] first so ties
+    /// keep the paper's plan) and adopt the lowest expected-energy
+    /// schedulable plan. `None` (the default) solves through the DLS
+    /// pipeline alone — bit-for-bit the pre-portfolio engine. Tick-0 setup
+    /// solves always stay DLS: they seed the incumbent plan the same way
+    /// construction does in [`AdaptiveScheduler`].
+    pub portfolio: Option<Vec<SchedulerKind>>,
 }
 
 impl Default for ServeConfig {
@@ -487,6 +495,7 @@ impl Default for ServeConfig {
             quarantine: None,
             arrival: ArrivalConfig::default(),
             engine: EngineKind::Auto,
+            portfolio: None,
         }
     }
 }
@@ -637,6 +646,12 @@ pub struct ServeStats {
     /// Instances past the latency SLO (sum of
     /// [`StreamLatency::slo_misses`]; 0 without an SLO).
     pub slo_misses: usize,
+    /// Scheduler-portfolio races run (solver-bound drift solves while
+    /// [`ServeConfig::portfolio`] is set; 0 otherwise).
+    pub portfolio_races: usize,
+    /// Portfolio races won per scheduler kind, indexed by
+    /// [`SchedulerKind::index`] (all zero without a portfolio).
+    pub portfolio_wins: [usize; SchedulerKind::COUNT],
     /// Wall-clock seconds of the whole run (measured).
     pub wall_s: f64,
 }
@@ -979,6 +994,9 @@ struct LocalCounters {
     shared_hits: usize,
     shared_hit_requests: usize,
     solver_calls: usize,
+    /// Scheduler-portfolio races and per-kind wins (portfolio mode only).
+    portfolio_races: usize,
+    portfolio_wins: [usize; SchedulerKind::COUNT],
     /// Events dequeued (event engine only).
     events: usize,
     /// Largest per-stream queue depth seen (event engine only; merged by
@@ -996,6 +1014,10 @@ impl LocalCounters {
         self.shared_hits += o.shared_hits;
         self.shared_hit_requests += o.shared_hit_requests;
         self.solver_calls += o.solver_calls;
+        self.portfolio_races += o.portfolio_races;
+        for (w, ow) in self.portfolio_wins.iter_mut().zip(o.portfolio_wins) {
+            *w += ow;
+        }
         self.events += o.events;
         self.max_queue_depth = self.max_queue_depth.max(o.max_queue_depth);
     }
@@ -1234,6 +1256,10 @@ fn lockstep_engine<'a>(
                 ws.set_obs(obs.clone(), track);
                 ws.set_budget(cfg.solve_budget);
                 ws.set_intra_workers(cfg.intra_solve_workers);
+                let mut race = cfg
+                    .portfolio
+                    .as_deref()
+                    .map(|kinds| RaceState::new(kinds, cfg, false, obs, track));
                 let mut counters = LocalCounters::default();
                 let mut last_seen = 0usize;
                 let id_to_idx: HashMap<usize, usize> = my_streams
@@ -1304,6 +1330,7 @@ fn lockstep_engine<'a>(
                                     cfg,
                                     online,
                                     &mut ws,
+                                    &mut race,
                                     shared_cache,
                                     g,
                                     &mut counters,
@@ -1452,6 +1479,8 @@ fn lockstep_engine<'a>(
         latency_p99: 0.0,
         latency_max: 0.0,
         slo_misses: 0,
+        portfolio_races: counters.portfolio_races,
+        portfolio_wins: counters.portfolio_wins,
         wall_s: start.elapsed().as_secs_f64(),
     };
     // Lockstep has no arrival process: every instance starts the moment its
@@ -1649,6 +1678,10 @@ fn events_engine<'a>(
                 if cfg.quantum.is_finite() && cfg.quantum > 0.0 {
                     ws.set_near_memo(cfg.quantum, NEAR_MEMO_WORKER_CAP);
                 }
+                let mut race = cfg
+                    .portfolio
+                    .as_deref()
+                    .map(|kinds| RaceState::new(kinds, cfg, true, obs, track));
                 let mut counters = LocalCounters::default();
                 let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
                 let mut seq = 0u64;
@@ -1713,6 +1746,7 @@ fn events_engine<'a>(
                                     &mut seq,
                                     &online,
                                     &mut ws,
+                                    &mut race,
                                     shared_cache,
                                     &mut counters,
                                     obs,
@@ -1848,6 +1882,8 @@ fn events_engine<'a>(
         latency_p99: percentile_sorted(&pooled, 99.0),
         latency_max: pooled.last().copied().unwrap_or(0.0),
         slo_misses: latencies.iter().map(|l| l.slo_misses).sum(),
+        portfolio_races: counters.portfolio_races,
+        portfolio_wins: counters.portfolio_wins,
         wall_s: start.elapsed().as_secs_f64(),
     };
     Ok(ServeReport {
@@ -1959,6 +1995,7 @@ fn on_complete(
     seq: &mut u64,
     online: &OnlineScheduler,
     ws: &mut SolverWorkspace,
+    race: &mut Option<RaceState>,
     shared: Option<&SharedScheduleCache>,
     counters: &mut LocalCounters,
     obs: &Obs,
@@ -1977,6 +2014,7 @@ fn on_complete(
         es.queue.len(),
         online,
         ws,
+        race,
         shared,
         counters,
         obs,
@@ -2013,6 +2051,7 @@ fn post_instance(
     queue_depth: usize,
     online: &OnlineScheduler,
     ws: &mut SolverWorkspace,
+    race: &mut Option<RaceState>,
     shared: Option<&SharedScheduleCache>,
     counters: &mut LocalCounters,
     obs: &Obs,
@@ -2084,7 +2123,7 @@ fn post_instance(
         obs.count(Counter::CacheMisses, 1);
     }
     counters.solver_calls += 1;
-    match online.solve_with_workspace(ctx, &estimated, ws) {
+    match serve_solve(ctx, cfg, online, ws, race, &estimated, counters, obs, track) {
         Ok(solution) => {
             if let (Some(cache), Some(key)) = (shared, key) {
                 cache.insert(key, estimated.clone(), solution.clone());
@@ -2287,11 +2326,90 @@ fn group_requests(
 /// Phase B for one group: shared-cache lookup (exact guard), else one warm
 /// solve, inserted back into the shared cache on success.
 #[allow(clippy::too_many_arguments)]
+/// Per-worker portfolio racing state: the configured entries and one
+/// private workspace per entry, built exactly like the worker's own DLS
+/// workspace (same obs track, budget, intra-solve workers; the near-miss
+/// memo mirrors the owning engine's choice). Entry workspaces never mix
+/// across schedulers — warm-layer keys carry no scheduler identity, so
+/// sharing one would replay another entry's plans.
+struct RaceState {
+    kinds: Vec<SchedulerKind>,
+    wss: Vec<SolverWorkspace>,
+}
+
+impl RaceState {
+    fn new(
+        kinds: &[SchedulerKind],
+        cfg: &ServeConfig,
+        near_memo: bool,
+        obs: &Obs,
+        track: u32,
+    ) -> Self {
+        let wss = kinds
+            .iter()
+            .map(|_| {
+                let mut ws = SolverWorkspace::new();
+                ws.set_obs(obs.clone(), track);
+                ws.set_budget(cfg.solve_budget);
+                ws.set_intra_workers(cfg.intra_solve_workers);
+                if near_memo && cfg.quantum.is_finite() && cfg.quantum > 0.0 {
+                    ws.set_near_memo(cfg.quantum, NEAR_MEMO_WORKER_CAP);
+                }
+                ws
+            })
+            .collect();
+        RaceState {
+            kinds: kinds.to_vec(),
+            wss,
+        }
+    }
+}
+
+/// The one solver entry point of both engines: the DLS pipeline through
+/// the worker's warm workspace, or — with [`ServeConfig::portfolio`] set —
+/// a portfolio race whose verdict is bit-identical at any worker count
+/// (see [`race_portfolio`]). Shared/per-stream caches store whatever comes
+/// back; their exact-probability guards make replaying a raced winner just
+/// as sound as replaying a DLS plan.
+#[allow(clippy::too_many_arguments)]
+fn serve_solve(
+    ctx: &SchedContext,
+    cfg: &ServeConfig,
+    online: &OnlineScheduler,
+    ws: &mut SolverWorkspace,
+    race: &mut Option<RaceState>,
+    probs: &BranchProbs,
+    counters: &mut LocalCounters,
+    obs: &Obs,
+    track: u32,
+) -> Result<Solution, SchedError> {
+    match race.as_mut() {
+        None => online.solve_with_workspace(ctx, probs, ws),
+        Some(r) => {
+            let raced = race_portfolio(
+                &r.kinds,
+                ctx,
+                probs,
+                &mut r.wss,
+                cfg.intra_solve_workers,
+                obs,
+                track,
+            );
+            counters.portfolio_races += 1;
+            let outcome = raced?;
+            counters.portfolio_wins[r.kinds[outcome.winner].index()] += 1;
+            Ok(outcome.solution)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn resolve_group(
     ctx: &SchedContext,
     cfg: &ServeConfig,
     online: &OnlineScheduler,
     ws: &mut SolverWorkspace,
+    race: &mut Option<RaceState>,
     shared: Option<&SharedScheduleCache>,
     g: &Group,
     counters: &mut LocalCounters,
@@ -2316,7 +2434,7 @@ fn resolve_group(
     // The stripe lock is NOT held during the solve: two same-cell groups
     // may solve concurrently and insert in either order — harmless, the
     // exact guard keeps every future hit bit-correct.
-    let result = online.solve_with_workspace(ctx, &g.probs, ws);
+    let result = serve_solve(ctx, cfg, online, ws, race, &g.probs, counters, obs, track);
     if let (Ok(solution), Some(cache), Some(key)) = (&result, shared, key) {
         cache.insert(key, g.probs.clone(), solution.clone());
     }
@@ -2947,6 +3065,7 @@ mod tests {
                 backoff: 4,
                 backoff_max: 16,
             }),
+            portfolio: None,
         };
         let report = run_serve(&ctx, &specs, &cfg).unwrap();
         // Setup solves are budget-exempt, so the run completes; every
@@ -3000,6 +3119,7 @@ mod tests {
             engine: EngineKind::Auto,
             admission: Some(AdmissionConfig { high_water: 1 }),
             quarantine: None,
+            portfolio: None,
         };
         let report = run_serve(&ctx, &specs, &cfg).unwrap();
         assert!(report.stats.shed_requests > 0, "{:?}", report.stats);

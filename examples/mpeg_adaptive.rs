@@ -61,6 +61,24 @@ fn main() -> Result<(), Box<dyn Error>> {
         s_adaptive.calls, s_adaptive.exec.instances, s_adaptive.exec.deadline_misses
     );
     println!("final tracked probabilities: {}", manager.current_probs());
+
+    // Portfolio mode: race DLS against HEFT and the lookahead variant on
+    // every drift event, adopting the lowest expected-energy schedulable
+    // plan. Never worse than DLS alone on any drift event by construction.
+    let manager = AdaptiveScheduler::new(&ctx, traces::empirical_probs(ctx.ctg(), train), 20, 0.1)?;
+    let (s_portfolio, manager) = Runner::new(RunConfig::new().portfolio(&DEFAULT_PORTFOLIO))
+        .run_adaptive(&ctx, manager, test)?;
+    let stats = manager.portfolio_stats();
+    let wins: Vec<String> = DEFAULT_PORTFOLIO
+        .iter()
+        .map(|k| format!("{k}:{}", stats.wins[k.index()]))
+        .collect();
+    println!(
+        "portfolio avg energy {:.2} over {} races (wins {})",
+        s_portfolio.avg_energy(),
+        stats.races,
+        wins.join(" "),
+    );
     if let Some(metrics) = obs.metrics_snapshot() {
         println!(
             "telemetry: {} span/instant events recorded; metrics {}",

@@ -43,7 +43,17 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut probs = BranchProbs::uniform(ctx.ctg());
     probs.set(decide, vec![0.7, 0.3])?;
 
-    let solution = OnlineScheduler::new().solve(&ctx, &probs)?;
+    // `DlsScheduler` is the paper's pipeline behind the `CtgScheduler`
+    // trait; `HeftScheduler` and friends are drop-in alternatives.
+    let solution = DlsScheduler::new().solve(&ctx, &probs)?;
+    for kind in [SchedulerKind::Heft, SchedulerKind::Lookahead] {
+        let alt = kind.solve(&ctx, &probs)?;
+        println!(
+            "{kind:9} expected energy {:.2} (dls {:.2})",
+            alt.expected_energy(&ctx, &probs),
+            solution.expected_energy(&ctx, &probs),
+        );
+    }
     println!("schedule (worst case at nominal speed):");
     for t in ctx.ctg().tasks() {
         println!(

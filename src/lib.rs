@@ -97,7 +97,9 @@ pub mod prelude {
     pub use crate::obs::{BufferedSink, MetricsSnapshot, Obs};
     pub use crate::platform::{Platform, PlatformBuilder};
     pub use crate::sched::{
-        AdaptiveScheduler, EstimatorKind, OnlineScheduler, SchedContext, SchedError, Solution,
+        parse_scheduler_selection, AdaptiveScheduler, CtgScheduler, DlsScheduler, EstimatorKind,
+        FrameDvfsScheduler, HeftScheduler, LookaheadScheduler, OnlineScheduler, PortfolioStats,
+        SchedContext, SchedError, SchedulerKind, Solution, DEFAULT_PORTFOLIO,
     };
     pub use crate::sim::{
         run_serve, simulate_instance, AdmissionConfig, BurstModel, CacheMode, DegradeConfig,

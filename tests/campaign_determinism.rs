@@ -45,6 +45,7 @@ fn spec() -> CampaignSpec {
                 threshold: 0.1,
             },
         ],
+        schedulers: vec!["dls".into()],
         streams: 3,
         seed: 7,
         explicit: Vec::new(),

@@ -1,0 +1,361 @@
+//! PR 10 contract tests for the [`CtgScheduler`] trait and portfolio
+//! racing.
+//!
+//! * **Trait-equivalence pin** — [`DlsScheduler`] (and
+//!   [`SchedulerKind::Dls`]) must be bit-for-bit identical to the seed
+//!   [`OnlineScheduler`] pipeline on both TGFF families, warm and cold.
+//! * **Determinism matrix** — a portfolio race crowns the same winner
+//!   with a bit-identical plan at any intra-solve worker count, and the
+//!   serve engine's stream summaries and win counters survive any
+//!   (workers × intra-solve × shards) split.
+//! * **Dormant knob** — a `RunConfig` without a portfolio (or with the
+//!   explicit DLS-only selection, which normalizes to the same thing)
+//!   reproduces the historic pipeline bit-for-bit.
+
+use adaptive_dvfs::ctg::{BranchProbs, Ctg, DecisionVector};
+use adaptive_dvfs::sched::{
+    race_portfolio, validate_solution, AdaptiveScheduler, CtgScheduler, DlsScheduler,
+    OnlineScheduler, SchedContext, SchedulerKind, SolverWorkspace, DEFAULT_PORTFOLIO,
+};
+use adaptive_dvfs::sim::serve::{run_serve, CacheMode, ServeConfig, StreamSpec};
+use adaptive_dvfs::sim::{RunConfig, Runner};
+use adaptive_dvfs::tgff::{Category, TgffConfig};
+use adaptive_dvfs::workloads::traces::{self, DriftProfile};
+
+/// `(seed, num_tasks, num_branches, category, num_pes)` spanning both
+/// generator families.
+const CASES: [(u64, usize, usize, Category, usize); 4] = [
+    (31, 24, 3, Category::ForkJoin, 3),
+    (32, 18, 2, Category::ForkJoin, 2),
+    (41, 20, 2, Category::Layered, 3),
+    (42, 26, 3, Category::Layered, 2),
+];
+
+fn build_context(
+    seed: u64,
+    a: usize,
+    c: usize,
+    cat: Category,
+    pes: usize,
+) -> (SchedContext, BranchProbs) {
+    let cfg = TgffConfig::new(seed, a, c, cat);
+    let generated = cfg.generate();
+    let platform = cfg.generate_platform(&generated.ctg, pes);
+    let ctx = SchedContext::new(generated.ctg, platform).unwrap();
+    let makespan = adaptive_dvfs::sched::dls_schedule(&ctx, &generated.probs)
+        .unwrap()
+        .makespan();
+    let ctx = SchedContext::new(
+        ctx.ctg().with_deadline(2.0 * makespan),
+        ctx.platform().clone(),
+    )
+    .unwrap();
+    (ctx, generated.probs)
+}
+
+/// Deterministic drifting table sequence (pure integer arithmetic).
+fn drift_table(ctg: &Ctg, step: usize) -> BranchProbs {
+    let mut probs = BranchProbs::new();
+    for (bi, &b) in ctg.branch_nodes().iter().enumerate() {
+        let k = ctg.node(b).alternatives() as usize;
+        let favored = (step + bi) % k;
+        let lead = 0.1 + 0.08 * ((step * 7 + bi * 3) % 10) as f64;
+        let rest = (1.0 - lead) / (k - 1) as f64;
+        let dist: Vec<f64> = (0..k)
+            .map(|j| if j == favored { lead } else { rest })
+            .collect();
+        probs.set(b, dist).unwrap();
+    }
+    probs
+}
+
+fn assert_bit_identical(
+    ctx: &SchedContext,
+    probs: &BranchProbs,
+    a: &adaptive_dvfs::sched::Solution,
+    b: &adaptive_dvfs::sched::Solution,
+    label: &str,
+) {
+    assert_eq!(a.schedule, b.schedule, "{label}: schedules diverged");
+    for t in ctx.ctg().tasks() {
+        assert_eq!(
+            a.speeds.speed(t).to_bits(),
+            b.speeds.speed(t).to_bits(),
+            "{label}: speed bits diverged for task {t}"
+        );
+    }
+    assert_eq!(
+        a.expected_energy(ctx, probs).to_bits(),
+        b.expected_energy(ctx, probs).to_bits(),
+        "{label}: energy bits diverged"
+    );
+}
+
+/// The first implementor pin: the trait route into the solver is the seed
+/// pipeline, bit-for-bit, on both TGFF families — cold and through a warm
+/// workspace.
+#[test]
+fn dls_via_trait_is_bit_identical_to_online_scheduler() {
+    for &(seed, a, c, cat, pes) in &CASES {
+        let (ctx, gen_probs) = build_context(seed, a, c, cat, pes);
+        for step in 0..6 {
+            let probs = if step == 0 {
+                gen_probs.clone()
+            } else {
+                drift_table(ctx.ctg(), step)
+            };
+            let label = format!("case {seed} step {step}");
+            let online = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+            let via_struct = DlsScheduler::new().solve(&ctx, &probs).unwrap();
+            assert_bit_identical(&ctx, &probs, &online, &via_struct, &label);
+            let via_kind = SchedulerKind::Dls.solve(&ctx, &probs).unwrap();
+            assert_bit_identical(&ctx, &probs, &online, &via_kind, &label);
+            // `OnlineScheduler` itself implements the trait; dynamic
+            // dispatch must change nothing.
+            let dyn_sched: &dyn CtgScheduler = &OnlineScheduler::new();
+            let via_dyn = dyn_sched.solve(&ctx, &probs).unwrap();
+            assert_bit_identical(&ctx, &probs, &online, &via_dyn, &label);
+        }
+        // Warm route: a reused workspace through the trait equals cold.
+        let mut ws = SolverWorkspace::new();
+        for step in 0..6 {
+            let probs = drift_table(ctx.ctg(), step);
+            let cold = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+            let warm = DlsScheduler::new()
+                .solve_with_workspace(&ctx, &probs, &mut ws)
+                .unwrap();
+            assert_bit_identical(
+                &ctx,
+                &probs,
+                &cold,
+                &warm,
+                &format!("warm case {seed} step {step}"),
+            );
+        }
+    }
+}
+
+/// Every implementor must return a valid, deadline-feasible plan on every
+/// case of both families.
+#[test]
+fn every_scheduler_kind_solves_both_families() {
+    for &(seed, a, c, cat, pes) in &CASES {
+        let (ctx, probs) = build_context(seed, a, c, cat, pes);
+        for kind in SchedulerKind::ALL {
+            let sol = kind
+                .solve(&ctx, &probs)
+                .unwrap_or_else(|e| panic!("{kind} fails on case {seed}: {e}"));
+            validate_solution(&ctx, &sol.schedule, &sol.speeds)
+                .unwrap_or_else(|v| panic!("{kind} invalid on case {seed}: {v}"));
+            assert!(
+                sol.worst_case_makespan(&ctx) <= ctx.ctg().deadline() + 1e-6,
+                "{kind} misses the deadline on case {seed}"
+            );
+        }
+    }
+}
+
+/// The race verdict is a pure fold in entry order: any intra-solve worker
+/// count crowns the same winner with a bit-identical plan, and the winner
+/// never loses to the DLS entry on expected energy.
+#[test]
+fn portfolio_race_is_bit_identical_across_worker_counts() {
+    let obs = adaptive_dvfs::obs::Obs::disabled();
+    for &(seed, a, c, cat, pes) in &CASES[..2] {
+        let (ctx, _) = build_context(seed, a, c, cat, pes);
+        for step in 0..8 {
+            let probs = drift_table(ctx.ctg(), step);
+            let mut reference = None;
+            for workers in [1usize, 2, 4] {
+                let mut wss: Vec<SolverWorkspace> = DEFAULT_PORTFOLIO
+                    .iter()
+                    .map(|_| SolverWorkspace::new())
+                    .collect();
+                let out =
+                    race_portfolio(&DEFAULT_PORTFOLIO, &ctx, &probs, &mut wss, workers, &obs, 0)
+                        .unwrap();
+                let dls = OnlineScheduler::new().solve(&ctx, &probs).unwrap();
+                assert!(
+                    out.energy <= dls.expected_energy(&ctx, &probs) + 1e-9,
+                    "race lost to DLS at workers={workers}"
+                );
+                match &reference {
+                    None => reference = Some(out),
+                    Some(r) => {
+                        assert_eq!(r.winner, out.winner, "winner diverged at workers={workers}");
+                        assert_bit_identical(
+                            &ctx,
+                            &probs,
+                            &r.solution,
+                            &out.solution,
+                            &format!("race case {seed} step {step} workers {workers}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn drifty_streams(ctx: &SchedContext, n: usize, len: usize) -> Vec<StreamSpec> {
+    (0..n)
+        .map(|i| {
+            let trace: Vec<DecisionVector> =
+                traces::generate_trace(ctx.ctg(), &DriftProfile::new(0xCAFE + i as u64), len);
+            let initial = {
+                // Empirical profile of the head, like the serve benches.
+                let mut mgr =
+                    AdaptiveScheduler::new(ctx, BranchProbs::uniform(ctx.ctg()), 8, 0.3).unwrap();
+                for v in &trace[..len.min(16)] {
+                    mgr.observe(ctx, v).unwrap();
+                }
+                mgr.current_probs().clone()
+            };
+            StreamSpec {
+                trace,
+                initial_probs: initial,
+                window: 6,
+                threshold: 0.25,
+                fault_plan: None,
+                criticality: 0,
+            }
+        })
+        .collect()
+}
+
+/// The serve engine's portfolio matrix: stream summaries, race counts and
+/// per-scheduler win counters are bit-identical across every
+/// (workers × intra-solve-workers × shards) split.
+#[test]
+fn serve_portfolio_matrix_is_bit_identical() {
+    let (ctx, _) = build_context(31, 24, 3, Category::ForkJoin, 3);
+    let specs = drifty_streams(&ctx, 6, 48);
+    let cfg = |workers: usize, intra: usize, shards: usize| ServeConfig {
+        workers,
+        shards,
+        cache: CacheMode::Off,
+        intra_solve_workers: intra,
+        portfolio: Some(DEFAULT_PORTFOLIO.to_vec()),
+        ..ServeConfig::default()
+    };
+    let reference = run_serve(&ctx, &specs, &cfg(1, 1, 1)).unwrap();
+    assert!(
+        reference.stats.portfolio_races > 0,
+        "the matrix must actually race: {:?}",
+        reference.stats
+    );
+    for (workers, intra, shards) in [(1, 2, 1), (2, 1, 3), (2, 2, 6), (4, 4, 6)] {
+        let report = run_serve(&ctx, &specs, &cfg(workers, intra, shards)).unwrap();
+        assert_eq!(
+            report.streams, reference.streams,
+            "streams diverged at workers={workers} intra={intra} shards={shards}"
+        );
+        for (a, b) in report.streams.iter().zip(&reference.streams) {
+            assert_eq!(
+                a.exec.total_energy.to_bits(),
+                b.exec.total_energy.to_bits(),
+                "energy bits diverged at workers={workers} intra={intra}"
+            );
+        }
+        assert_eq!(
+            report.stats.portfolio_races,
+            reference.stats.portfolio_races
+        );
+        assert_eq!(report.stats.portfolio_wins, reference.stats.portfolio_wins);
+    }
+}
+
+/// The adaptive manager's portfolio mode never regresses the DLS-only
+/// manager on a drifting trace, and its outputs are bit-identical across
+/// intra-solve worker counts.
+#[test]
+fn adaptive_portfolio_never_regresses_and_is_deterministic() {
+    let (ctx, _) = build_context(41, 20, 2, Category::Layered, 3);
+    let trace = traces::generate_trace(ctx.ctg(), &DriftProfile::new(0xD01F), 160);
+    let initial = BranchProbs::uniform(ctx.ctg());
+
+    let mgr = AdaptiveScheduler::new(&ctx, initial.clone(), 6, 0.25).unwrap();
+    let (dls_only, _) = Runner::new(RunConfig::new())
+        .run_adaptive(&ctx, mgr, &trace)
+        .unwrap();
+
+    let mut summaries = Vec::new();
+    for intra in [1usize, 2, 4] {
+        let mgr = AdaptiveScheduler::new(&ctx, initial.clone(), 6, 0.25).unwrap();
+        let (summary, mgr) = Runner::new(
+            RunConfig::new()
+                .portfolio(&DEFAULT_PORTFOLIO)
+                .intra_solve_workers(intra),
+        )
+        .run_adaptive(&ctx, mgr, &trace)
+        .unwrap();
+        assert!(mgr.portfolio_enabled());
+        let stats = mgr.portfolio_stats();
+        assert_eq!(stats.races, summary.reschedules, "every adoption raced");
+        summaries.push(summary);
+    }
+    for s in &summaries[1..] {
+        assert_eq!(
+            s.exec.total_energy.to_bits(),
+            summaries[0].exec.total_energy.to_bits(),
+            "portfolio energy must be intra-solve invariant"
+        );
+        assert_eq!(s.reschedules, summaries[0].reschedules);
+    }
+    assert!(
+        summaries[0].avg_energy() <= dls_only.avg_energy() + 1e-9,
+        "portfolio regressed the DLS-only manager: {} > {}",
+        summaries[0].avg_energy(),
+        dls_only.avg_energy()
+    );
+}
+
+/// The dormant knob: no portfolio, the explicit DLS-only selection and the
+/// historic free-function pipeline are all the same bits.
+#[test]
+fn dormant_portfolio_knob_is_bit_exact() {
+    let (ctx, _) = build_context(32, 18, 2, Category::ForkJoin, 2);
+    let trace = traces::generate_trace(ctx.ctg(), &DriftProfile::new(0xBEEF), 120);
+    let initial = BranchProbs::uniform(ctx.ctg());
+
+    let run = |cfg: RunConfig| {
+        let mgr = AdaptiveScheduler::new(&ctx, initial.clone(), 6, 0.25).unwrap();
+        Runner::new(cfg).run_adaptive(&ctx, mgr, &trace).unwrap().0
+    };
+    let legacy = {
+        let mgr = AdaptiveScheduler::new(&ctx, initial.clone(), 6, 0.25).unwrap();
+        adaptive_dvfs::sim::run_adaptive(&ctx, mgr, &trace)
+            .unwrap()
+            .0
+    };
+    let plain = run(RunConfig::new());
+    let dls_selected = run(RunConfig::new().scheduler(SchedulerKind::Dls));
+    let cleared = run(RunConfig::new()
+        .portfolio(&DEFAULT_PORTFOLIO)
+        .portfolio(&[]));
+
+    for (label, summary) in [
+        ("plain RunConfig", &plain),
+        ("scheduler(Dls)", &dls_selected),
+        ("portfolio cleared", &cleared),
+    ] {
+        assert_eq!(
+            summary.exec.total_energy.to_bits(),
+            legacy.exec.total_energy.to_bits(),
+            "{label}: energy bits diverged from the legacy pipeline"
+        );
+        assert_eq!(summary.reschedules, legacy.reschedules, "{label}");
+        assert_eq!(summary.exec.instances, legacy.exec.instances, "{label}");
+    }
+
+    // The selection normalizer behind the builders: DLS-only is the
+    // historic pipeline, not a one-entry race.
+    assert_eq!(
+        RunConfig::new().scheduler(SchedulerKind::Dls).portfolio,
+        None
+    );
+    assert_eq!(
+        RunConfig::new().scheduler(SchedulerKind::Heft).portfolio,
+        Some(vec![SchedulerKind::Heft])
+    );
+}
